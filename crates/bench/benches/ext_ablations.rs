@@ -1,0 +1,107 @@
+//! Ablation experiments for the reproduction's own calibration choices
+//! (DESIGN.md §7): the demand hold-down, the baseline control period, and
+//! the DX AC derating. Each ablation switches one mechanism off and shows
+//! the behaviour it was added to produce (or prevent).
+
+use coolair::{CoolAirConfig, Version};
+use coolair_bench::{cached, check};
+use coolair_sim::{
+    run_annual_with_model, train_for_location, AnnualConfig, AnnualSummary, SimConfig,
+    SystemSpec,
+};
+use coolair_units::SimDuration;
+use coolair_weather::Location;
+use coolair_workload::TraceKind;
+
+fn newark_cfg() -> AnnualConfig {
+    // A bi-weekly year keeps the six ablation runs quick.
+    AnnualConfig { stride: 14, ..AnnualConfig::default() }
+}
+
+fn run(tag: &str, system: SystemSpec, location: &Location, cfg: &AnnualConfig) -> AnnualSummary {
+    let location = location.clone();
+    let cfg = cfg.clone();
+    cached(&format!("ablation_{tag}"), move || {
+        let model = train_for_location(&location, &cfg);
+        run_annual_with_model(&system, &location, TraceKind::Facebook, &cfg, Some(model))
+    })
+}
+
+fn main() {
+    let newark = Location::newark();
+    let singapore = Location::singapore();
+
+    println!("=== Ablations of the reproduction's calibration choices ===\n");
+
+    // --- 1. demand hold-down ------------------------------------------------
+    let with_holddown =
+        run("holddown_on", SystemSpec::CoolAir(Version::AllNd), &newark, &newark_cfg());
+    let no_holddown = run(
+        "holddown_off",
+        SystemSpec::CoolAirWith(
+            Version::AllNd,
+            CoolAirConfig { demand_window: 1, ..CoolAirConfig::default() },
+        ),
+        &newark,
+        &newark_cfg(),
+    );
+    println!(
+        "demand hold-down (Newark, All-ND): avg range {:.1} -> {:.1} °C, power cycles {} -> {}",
+        no_holddown.avg_worst_range(),
+        with_holddown.avg_worst_range(),
+        no_holddown.power_cycles(),
+        with_holddown.power_cycles(),
+    );
+    check(
+        "hold-down suppresses IT-load-driven variation or disk power-cycling",
+        with_holddown.avg_worst_range() <= no_holddown.avg_worst_range() + 0.2
+            && with_holddown.power_cycles() <= no_holddown.power_cycles(),
+        &format!(
+            "range {:.2} vs {:.2}; cycles {} vs {}",
+            with_holddown.avg_worst_range(),
+            no_holddown.avg_worst_range(),
+            with_holddown.power_cycles(),
+            no_holddown.power_cycles()
+        ),
+    );
+
+    // --- 2. baseline control period ------------------------------------------
+    let coarse = run("baseline_10min", SystemSpec::Baseline, &newark, &newark_cfg());
+    let fine = {
+        let mut cfg = newark_cfg();
+        cfg.engine = SimConfig {
+            baseline_control: SimDuration::from_minutes(2),
+            ..SimConfig::default()
+        };
+        run("baseline_2min", SystemSpec::Baseline, &newark, &cfg)
+    };
+    println!(
+        "\nbaseline control period (Newark): max range {:.1} °C at 10 min vs {:.1} °C at 2 min",
+        coarse.max_worst_range(),
+        fine.max_worst_range(),
+    );
+    check(
+        "the 10-minute baseline period produces the paper's overshoot-driven ranges",
+        coarse.max_worst_range() > fine.max_worst_range() + 2.0,
+        &format!("{:.1} vs {:.1} °C", coarse.max_worst_range(), fine.max_worst_range()),
+    );
+
+    // --- 3. DX AC derating ----------------------------------------------------
+    let derated = run("derate_on", SystemSpec::Baseline, &singapore, &newark_cfg());
+    let ideal = {
+        let mut cfg = newark_cfg();
+        cfg.ac_condenser_derate_per_c = Some(0.0);
+        cfg.ac_latent_factor = Some(1.0);
+        run("derate_off", SystemSpec::Baseline, &singapore, &cfg)
+    };
+    println!(
+        "\nAC derating (Singapore, baseline): avg violation {:.3} °C derated vs {:.3} °C ideal-AC",
+        derated.avg_violation(),
+        ideal.avg_violation(),
+    );
+    check(
+        "condenser/latent derating is what makes Singapore hard for the baseline",
+        derated.avg_violation() > ideal.avg_violation() + 0.05,
+        &format!("{:.3} vs {:.3} °C", derated.avg_violation(), ideal.avg_violation()),
+    );
+}

@@ -1,0 +1,70 @@
+//! Extension experiment: adiabatic (evaporative) pre-cooling.
+//!
+//! §2 notes that "in warmer climates, some free-cooled datacenters also
+//! apply adiabatic cooling (via water evaporation, within the humidity
+//! constraint)". This ablation adds a 70 %-effective evaporative pre-cooler
+//! to the intake and re-runs the baseline and All-ND at the hot locations.
+//! Expectation: large PUE gains in dry heat (Chad), little or nothing in
+//! humid heat (Singapore, where the cooler must stay off), and no
+//! regression at the cool sites.
+
+use coolair::Version;
+use coolair_bench::{cached, check, print_table, run_grid, standard_config, GridResult};
+use coolair_sim::SystemSpec;
+use coolair_weather::Location;
+use coolair_workload::TraceKind;
+
+fn main() {
+    let locations =
+        vec![Location::newark(), Location::chad(), Location::singapore()];
+    let systems = vec![SystemSpec::Baseline, SystemSpec::CoolAir(Version::AllNd)];
+
+    let dry: GridResult = cached("grid_ext_adiabatic_off", || {
+        GridResult::from_grid(&run_grid(&systems, &locations, TraceKind::Facebook, &standard_config()))
+    });
+    let wet: GridResult = cached("grid_ext_adiabatic_on", || {
+        let mut cfg = standard_config();
+        cfg.adiabatic = Some(0.7);
+        GridResult::from_grid(&run_grid(&systems, &locations, TraceKind::Facebook, &cfg))
+    });
+
+    let sys: Vec<String> = ["Baseline", "All-ND"].map(String::from).into();
+    let locs: Vec<String> = ["Newark", "Chad", "Singapore"].map(String::from).into();
+
+    print_table("PUE without adiabatic pre-cooling", &sys, &locs, |s, l| {
+        format!("{:.3}", dry.get(s, l).pue())
+    });
+    print_table("PUE with 70%-effective adiabatic pre-cooling", &sys, &locs, |s, l| {
+        format!("{:.3}", wet.get(s, l).pue())
+    });
+    print_table("Average violation with adiabatic (°C)", &sys, &locs, |s, l| {
+        format!("{:.3}", wet.get(s, l).avg_violation())
+    });
+
+    println!("\nChecks:");
+    let gain = |s: &str, l: &str| dry.get(s, l).pue() - wet.get(s, l).pue();
+    check(
+        "dry heat (Chad) benefits substantially",
+        gain("Baseline", "Chad") > 0.03,
+        &format!("baseline ΔPUE {:+.3}", -gain("Baseline", "Chad")),
+    );
+    check(
+        "humid heat (Singapore) benefits much less than Chad",
+        gain("Baseline", "Singapore") < gain("Baseline", "Chad"),
+        &format!(
+            "Chad {:.3} vs Singapore {:.3}",
+            gain("Baseline", "Chad"),
+            gain("Baseline", "Singapore")
+        ),
+    );
+    check(
+        "no regression at the mild site (Newark)",
+        gain("All-ND", "Newark") > -0.02,
+        &format!("ΔPUE {:+.3}", -gain("All-ND", "Newark")),
+    );
+    check(
+        "violations stay controlled with the pre-cooler",
+        wet.get("All-ND", "Chad").avg_violation() < 0.8,
+        &format!("{:.3}°C", wet.get("All-ND", "Chad").avg_violation()),
+    );
+}

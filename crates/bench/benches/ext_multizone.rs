@@ -1,0 +1,88 @@
+//! Extension experiment: multiple independent cooling zones (§6).
+//!
+//! Runs a four-container fleet in Newark for a month of sampled days —
+//! two baseline zones and two All-ND zones sharing one workload stream —
+//! and confirms the single-zone conclusions survive scale-out: the CoolAir
+//! zones hold tighter ranges at comparable (or better) energy.
+
+use coolair::Version;
+use coolair_bench::check;
+use coolair_sim::{train_for_location, AnnualConfig, MultiZone, SimConfig, ZoneSpec};
+use coolair_weather::{Location, TmySeries};
+use coolair_workload::facebook_trace;
+
+fn main() {
+    let location = Location::newark();
+    let cfg = AnnualConfig::default();
+    let tmy = TmySeries::generate(&location, cfg.weather_seed);
+    eprintln!("training the shared Cooling Model…");
+    let model = train_for_location(&location, &cfg);
+
+    let mut fleet = MultiZone::new(
+        &[
+            ZoneSpec::Baseline,
+            ZoneSpec::Baseline,
+            ZoneSpec::CoolAir(Version::AllNd),
+            ZoneSpec::CoolAir(Version::AllNd),
+        ],
+        &model,
+        &tmy,
+        SimConfig::default(),
+    );
+
+    // The fleet serves 4× the single-container offered load.
+    let trace = facebook_trace(cfg.trace_seed);
+    let days: Vec<u64> = (0..365).step_by(30).collect();
+    for &day in &days {
+        eprintln!("fleet day {day}…");
+        let mut jobs = Vec::new();
+        for copy in 0..4u64 {
+            for mut j in trace.jobs_for_day(day) {
+                j.id = coolair_workload::JobId(j.id.0 * 4 + copy);
+                jobs.push(j);
+            }
+        }
+        fleet.run_day(day, &jobs);
+    }
+
+    let report = fleet.report();
+    println!("=== Extension: four-zone fleet in Newark ({} sampled days) ===", days.len());
+    println!(
+        "{:<10} {:>12} {:>12} {:>10} {:>12}",
+        "zone", "avg range", "max range", "PUE", "jobs done"
+    );
+    for (name, summary) in report.zones.iter().zip(report.summaries.iter()) {
+        println!(
+            "{:<10} {:>11.1}° {:>11.1}° {:>10.3} {:>12}",
+            name,
+            summary.avg_worst_range(),
+            summary.max_worst_range(),
+            summary.pue(),
+            summary.jobs_completed()
+        );
+    }
+    println!("fleet-wide PUE: {:.3}", report.fleet_pue());
+
+    println!("\nChecks:");
+    let base_max = report.summaries[0].max_worst_range().max(report.summaries[1].max_worst_range());
+    let cool_max = report.summaries[2].max_worst_range().max(report.summaries[3].max_worst_range());
+    check(
+        "CoolAir zones hold tighter max ranges than baseline zones",
+        cool_max < base_max,
+        &format!("{cool_max:.1}° vs {base_max:.1}°"),
+    );
+    let twin_gap = (report.summaries[2].max_worst_range()
+        - report.summaries[3].max_worst_range())
+    .abs();
+    check(
+        "identical CoolAir zones behave consistently",
+        twin_gap < 2.0,
+        &format!("twin max-range gap {twin_gap:.2}°"),
+    );
+    let done: u64 = report.summaries.iter().map(|s| s.jobs_completed()).sum();
+    check(
+        "the fleet completes the offered workload",
+        done > (4 * trace.len() * days.len()) as u64 * 9 / 10,
+        &format!("{done} jobs"),
+    );
+}

@@ -1,0 +1,71 @@
+//! Extension experiment: disk-reliability impact of the management systems.
+//!
+//! Translates the Figures 8–10 grid into the failure-rate currencies of the
+//! studies the paper is motivated by: an Arrhenius multiplier for absolute
+//! disk temperature (Sankar et al.), a variation multiplier for daily
+//! ranges (El-Sayed et al.), and the §4.2 power-cycle budget. The paper's
+//! thesis — "it is possible to manage both effects while keeping cooling
+//! energy consumption low" — becomes directly checkable: All-ND should show
+//! the lowest combined multiplier at variation-dominated (cool) locations
+//! without an energy blow-up.
+
+use coolair_bench::{check, main_grid, print_table};
+use coolair_sim::{disk_reliability, ReliabilityParams};
+
+fn main() {
+    let grid = main_grid();
+    let params = ReliabilityParams::default();
+    let systems: Vec<String> =
+        ["Baseline", "Temperature", "Energy", "Variation", "All-ND"].map(String::from).into();
+    let locations: Vec<String> =
+        ["Newark", "Chad", "Santiago", "Iceland", "Singapore"].map(String::from).into();
+
+    let report = |s: &str, l: &str| disk_reliability(grid.get(s, l), &params);
+
+    print_table(
+        "Extension: combined disk failure-rate multiplier (1.0 = reference)",
+        &systems,
+        &locations,
+        |s, l| format!("{:.2}", report(s, l).combined_factor),
+    );
+    print_table("Arrhenius (absolute temperature) factor", &systems, &locations, |s, l| {
+        format!("{:.2}", report(s, l).arrhenius_factor)
+    });
+    print_table("Variation factor", &systems, &locations, |s, l| {
+        format!("{:.2}", report(s, l).variation_factor)
+    });
+    print_table("Power-cycle budget used (fraction of a year's allowance)", &systems, &locations, |s, l| {
+        format!("{:.3}", report(s, l).cycle_budget_fraction)
+    });
+
+    println!("\nChecks:");
+    let cool_locations = ["Newark", "Santiago", "Iceland"];
+    let better = cool_locations
+        .iter()
+        .filter(|l| report("All-ND", l).combined_factor < report("Baseline", l).combined_factor)
+        .count();
+    check(
+        "All-ND lowers the combined disk-failure multiplier at cool locations",
+        better >= 2,
+        &format!("{better}/3 locations"),
+    );
+    let budget_ok = systems.iter().all(|s| {
+        locations.iter().all(|l| report(s, l).cycle_budget_fraction < 1.0)
+    });
+    check(
+        "no system exceeds the yearly power-cycle allowance (§4.2: ≤2.2 cycles/h avg)",
+        budget_ok,
+        "",
+    );
+    let variation_best = cool_locations
+        .iter()
+        .filter(|l| {
+            report("Variation", l).variation_factor <= report("Energy", l).variation_factor
+        })
+        .count();
+    check(
+        "the variation-aware versions have lower variation factors than Energy",
+        variation_best >= 2,
+        &format!("{variation_best}/3 cool locations"),
+    );
+}

@@ -1,0 +1,62 @@
+//! Figure 5: CDFs of the Cooling Model's prediction error on held-out days.
+//!
+//! Paper quality gates: "without transitions, 95 % of the 2-minutes and
+//! 90 % of the 10-minutes predictions are within 1 °C of measured values.
+//! Even when including transitions, over 90 % of the 2-minutes and over
+//! 80 % of the 10-minutes predictions are within 1 °C"; humidity: "97 % of
+//! our predictions are within 5 % (in absolute terms)".
+
+use coolair::{train_cooling_model, TrainingConfig};
+use coolair_bench::check;
+use coolair_sim::model_error_cdfs;
+use coolair_weather::{Location, TmySeries};
+
+fn main() {
+    let tmy = TmySeries::generate(&Location::newark(), 42);
+    eprintln!("training the Cooling Model (45 days)…");
+    let model = train_cooling_model(&tmy, &TrainingConfig::default());
+    // Two non-consecutive held-out days (training used days 0..45; these
+    // are well outside it, in different seasons).
+    let report = model_error_cdfs(&model, &tmy, &[121, 171], 9);
+
+    println!("=== Figure 5: modeling errors (CDF of |error| in °C) ===");
+    println!("{:>8} {:>12} {:>12} {:>12} {:>12}", "err(°C)", "2min-notr", "10min-notr", "2min", "10min");
+    for threshold in [0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0] {
+        println!(
+            "{:>8.2} {:>11.1}% {:>11.1}% {:>11.1}% {:>11.1}%",
+            threshold,
+            report.two_min_no_transition.fraction_within(threshold) * 100.0,
+            report.ten_min_no_transition.fraction_within(threshold) * 100.0,
+            report.two_min.fraction_within(threshold) * 100.0,
+            report.ten_min.fraction_within(threshold) * 100.0,
+        );
+    }
+
+    println!("\nPaper-vs-measured:");
+    let p = |c: &coolair_ml::ErrorCdf, thr: f64| c.fraction_within(thr) * 100.0;
+    check(
+        "2-min no-transition within 1°C (paper 95%)",
+        p(&report.two_min_no_transition, 1.0) > 85.0,
+        &format!("{:.1}%", p(&report.two_min_no_transition, 1.0)),
+    );
+    check(
+        "10-min no-transition within 1°C (paper 90%)",
+        p(&report.ten_min_no_transition, 1.0) > 75.0,
+        &format!("{:.1}%", p(&report.ten_min_no_transition, 1.0)),
+    );
+    check(
+        "2-min all within 1°C (paper >90%)",
+        p(&report.two_min, 1.0) > 80.0,
+        &format!("{:.1}%", p(&report.two_min, 1.0)),
+    );
+    check(
+        "10-min all within 1°C (paper >80%)",
+        p(&report.ten_min, 1.0) > 65.0,
+        &format!("{:.1}%", p(&report.ten_min, 1.0)),
+    );
+    check(
+        "humidity within 5% (paper 97%)",
+        p(&report.humidity, 5.0) > 85.0,
+        &format!("{:.1}%", p(&report.humidity, 5.0)),
+    );
+}

@@ -1,0 +1,51 @@
+//! Figure 8: average temperature violations (°C above the desired 30 °C
+//! maximum) for a year of the Facebook workload at the five locations.
+//!
+//! Paper shape: the baseline cannot limit temperatures at warm locations
+//! (especially Singapore); every CoolAir version keeps average violations
+//! below 0.5 °C; Temperature is the strictest.
+
+use coolair_bench::{check, main_grid, print_table};
+
+fn main() {
+    let grid = main_grid();
+    let systems: Vec<String> =
+        ["Baseline", "Temperature", "Energy", "Variation", "All-ND"].map(String::from).into();
+    let locations: Vec<String> =
+        ["Newark", "Chad", "Santiago", "Iceland", "Singapore"].map(String::from).into();
+
+    print_table("Figure 8: average temperature violations (°C)", &systems, &locations, |s, l| {
+        format!("{:.3}", grid.get(s, l).avg_violation())
+    });
+
+    println!("\nPaper-vs-measured:");
+    let v = |s: &str, l: &str| grid.get(s, l).avg_violation();
+    let cool_worst =
+        v("Baseline", "Santiago").max(v("Baseline", "Iceland")).max(v("Baseline", "Newark"));
+    check(
+        "baseline cannot limit temperatures at the warm locations (esp. Singapore)",
+        v("Baseline", "Singapore") > 3.0 * cool_worst.max(0.01)
+            && v("Baseline", "Chad") > 3.0 * cool_worst.max(0.01),
+        &format!(
+            "Singapore {:.3}, Chad {:.3} vs cool locations ≤ {:.3}",
+            v("Baseline", "Singapore"),
+            v("Baseline", "Chad"),
+            cool_worst
+        ),
+    );
+    for version in ["Temperature", "Energy", "Variation", "All-ND"] {
+        let worst = locations.iter().map(|l| v(version, l)).fold(0.0, f64::max);
+        check(
+            &format!("{version} avg violations < 0.5°C everywhere"),
+            worst < 0.5,
+            &format!("worst {worst:.3}°C"),
+        );
+    }
+    let temp_worst = locations.iter().map(|l| v("Temperature", l)).fold(0.0, f64::max);
+    let allnd_worst = locations.iter().map(|l| v("All-ND", l)).fold(0.0, f64::max);
+    check(
+        "Temperature stricter than All-ND",
+        temp_worst <= allnd_worst + 0.05,
+        &format!("{temp_worst:.3} vs {allnd_worst:.3}"),
+    );
+}

@@ -1,0 +1,91 @@
+//! Figure 9: daily temperature ranges — the average of each day's worst
+//! sensor range (bars) and the min/max over the year (whiskers), plus the
+//! outside ranges.
+//!
+//! Paper shape: the baseline's average daily ranges hover around 9 °C with
+//! maxima ≥ 16.5 °C at locations with cold/cool seasons; Temperature and
+//! Energy can make maxima *worse*; Variation and All-ND cut the maximum
+//! roughly in half for Newark, Santiago, and Iceland (Chad stays).
+
+use coolair_bench::{check, main_grid, print_table};
+
+fn main() {
+    let grid = main_grid();
+    let systems: Vec<String> =
+        ["Baseline", "Temperature", "Energy", "Variation", "All-ND"].map(String::from).into();
+    let locations: Vec<String> =
+        ["Newark", "Chad", "Santiago", "Iceland", "Singapore"].map(String::from).into();
+
+    println!("=== Figure 9: temperature ranges (avg [min..max] of daily worst-sensor range, °C) ===");
+    print!("{:<16}", "");
+    for l in &locations {
+        print!("{l:>20}");
+    }
+    println!();
+    // Outside row first, as in the figure.
+    print!("{:<16}", "Outside");
+    for l in &locations {
+        let s = grid.get("Baseline", l);
+        print!("{:>20}", format!("{:.1} [..{:.1}]", s.avg_outside_range(), s.max_outside_range()));
+    }
+    println!();
+    for sys in &systems {
+        print!("{sys:<16}");
+        for l in &locations {
+            let s = grid.get(sys, l);
+            print!(
+                "{:>20}",
+                format!(
+                    "{:.1} [{:.1}..{:.1}]",
+                    s.avg_worst_range(),
+                    s.min_worst_range(),
+                    s.max_worst_range()
+                )
+            );
+        }
+        println!();
+    }
+
+    print_table("Maximum daily range only (°C)", &systems, &locations, |s, l| {
+        format!("{:.1}", grid.get(s, l).max_worst_range())
+    });
+
+    println!("\nPaper-vs-measured:");
+    let maxr = |s: &str, l: &str| grid.get(s, l).max_worst_range();
+    let avgr = |s: &str, l: &str| grid.get(s, l).avg_worst_range();
+    for l in ["Newark", "Santiago", "Iceland"] {
+        let cut = maxr("Baseline", l) / maxr("All-ND", l);
+        check(
+            &format!("All-ND cuts max range roughly in half at {l} (paper ~2x)"),
+            cut > 1.4,
+            &format!("{:.1} -> {:.1} ({cut:.2}x)", maxr("Baseline", l), maxr("All-ND", l)),
+        );
+    }
+    check(
+        "Chad's max range changes least under All-ND",
+        maxr("Baseline", "Chad") / maxr("All-ND", "Chad")
+            <= ["Newark", "Santiago", "Iceland"]
+                .iter()
+                .map(|l| maxr("Baseline", l) / maxr("All-ND", l))
+                .fold(f64::INFINITY, f64::min)
+                + 0.3,
+        &format!("{:.2}x", maxr("Baseline", "Chad") / maxr("All-ND", "Chad")),
+    );
+    let avg_down = ["Newark", "Chad", "Santiago", "Iceland", "Singapore"]
+        .iter()
+        .filter(|l| avgr("All-ND", l) <= avgr("Baseline", l) + 0.2)
+        .count();
+    check(
+        "All-ND lowers (or holds) average ranges at most locations",
+        avg_down >= 4,
+        &format!("{avg_down}/5 locations"),
+    );
+    let te_worse = ["Newark", "Chad", "Santiago", "Iceland", "Singapore"].iter().any(|l| {
+        maxr("Temperature", l) > maxr("Variation", l) || maxr("Energy", l) > maxr("Variation", l)
+    });
+    check(
+        "Temperature/Energy leave wider maxima than the variation-aware versions somewhere",
+        te_worse,
+        "",
+    );
+}

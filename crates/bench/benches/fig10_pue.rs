@@ -1,0 +1,73 @@
+//! Figure 10: yearly PUEs (including 0.08 for power delivery).
+//!
+//! Paper shape: the baseline exhibits high PUEs in Chad and Singapore;
+//! Energy reduces them significantly there; Variation pays a substantial
+//! cooling-energy penalty; All-ND brings PUEs back near Energy (except
+//! Santiago, where limiting variation costs some energy the baseline never
+//! spends).
+
+use coolair_bench::{check, main_grid, print_table};
+
+fn main() {
+    let grid = main_grid();
+    let systems: Vec<String> =
+        ["Baseline", "Temperature", "Energy", "Variation", "All-ND"].map(String::from).into();
+    let locations: Vec<String> =
+        ["Newark", "Chad", "Santiago", "Iceland", "Singapore"].map(String::from).into();
+
+    print_table(
+        "Figure 10: yearly PUE (incl. 0.08 power delivery)",
+        &systems,
+        &locations,
+        |s, l| format!("{:.3}", grid.get(s, l).pue()),
+    );
+    print_table("Cooling energy over the sampled year (kWh)", &systems, &locations, |s, l| {
+        format!("{:.0}", grid.get(s, l).cooling_kwh())
+    });
+
+    println!("\nPaper-vs-measured:");
+    let pue = |s: &str, l: &str| grid.get(s, l).pue();
+    check(
+        "baseline PUE highest in Chad/Singapore",
+        pue("Baseline", "Chad").max(pue("Baseline", "Singapore"))
+            > pue("Baseline", "Newark")
+                .max(pue("Baseline", "Iceland"))
+                .max(pue("Baseline", "Santiago")),
+        &format!(
+            "Chad {:.2}, Singapore {:.2} vs others ≤ {:.2}",
+            pue("Baseline", "Chad"),
+            pue("Baseline", "Singapore"),
+            pue("Baseline", "Newark").max(pue("Baseline", "Iceland")).max(pue("Baseline", "Santiago"))
+        ),
+    );
+    for l in ["Chad", "Singapore"] {
+        check(
+            &format!("Energy lowers PUE at {l}"),
+            pue("Energy", l) < pue("Baseline", l),
+            &format!("{:.3} -> {:.3}", pue("Baseline", l), pue("Energy", l)),
+        );
+    }
+    let var_penalty = ["Newark", "Chad", "Santiago", "Iceland", "Singapore"]
+        .iter()
+        .filter(|l| pue("Variation", l) > pue("Energy", l) + 0.005)
+        .count();
+    check(
+        "Variation costs energy vs Energy (paper: substantial penalty)",
+        var_penalty >= 3,
+        &format!("{var_penalty}/5 locations"),
+    );
+    let near = ["Newark", "Chad", "Iceland", "Singapore"]
+        .iter()
+        .filter(|l| (pue("All-ND", l) - pue("Energy", l)).abs() < 0.08)
+        .count();
+    check(
+        "All-ND PUE near Energy (except possibly Santiago)",
+        near >= 3,
+        &format!("{near}/4 non-Santiago locations within 0.08"),
+    );
+    check(
+        "Iceland free-cools nearly year-round (PUE near 1.08 floor)",
+        pue("Baseline", "Iceland") < 1.15,
+        &format!("{:.3}", pue("Baseline", "Iceland")),
+    );
+}

@@ -1,0 +1,72 @@
+//! Figure 11: temperature ranges as a function of spatial placement and the
+//! approach for limiting variation.
+//!
+//! Compares Baseline, Var-Low-Recirc (fixed 25–30 °C target, prior-work
+//! low-recirculation placement), Var-High-Recirc (same target, CoolAir's
+//! high-recirculation placement), and Variation (adds the adaptive band and
+//! weather prediction). Paper shape: high-recirculation placement trims the
+//! maxima somewhat; the adaptive band provides the largest reductions at
+//! locations with cold or cool seasons.
+
+use coolair::Version;
+use coolair_bench::{cached, check, paper_locations, print_table, run_grid, standard_config, GridResult};
+use coolair_sim::SystemSpec;
+use coolair_workload::TraceKind;
+
+fn main() {
+    let grid: GridResult = cached("grid_fb_spatial", || {
+        let systems = vec![
+            SystemSpec::Baseline,
+            SystemSpec::CoolAir(Version::VarLowRecirc),
+            SystemSpec::CoolAir(Version::VarHighRecirc),
+            SystemSpec::CoolAir(Version::Variation),
+        ];
+        let cfg = standard_config();
+        GridResult::from_grid(&run_grid(&systems, &paper_locations(), TraceKind::Facebook, &cfg))
+    });
+
+    let systems: Vec<String> =
+        ["Baseline", "Var-Low-Recirc", "Var-High-Recirc", "Variation"].map(String::from).into();
+    let locations: Vec<String> =
+        ["Newark", "Chad", "Santiago", "Iceland", "Singapore"].map(String::from).into();
+
+    print_table(
+        "Figure 11: max daily range by placement/approach (°C)",
+        &systems,
+        &locations,
+        |s, l| format!("{:.1}", grid.get(s, l).max_worst_range()),
+    );
+    print_table("Average daily range (°C)", &systems, &locations, |s, l| {
+        format!("{:.1}", grid.get(s, l).avg_worst_range())
+    });
+
+    println!("\nPaper-vs-measured:");
+    let maxr = |s: &str, l: &str| grid.get(s, l).max_worst_range();
+    let high_helps = locations
+        .iter()
+        .filter(|l| maxr("Var-High-Recirc", l) <= maxr("Var-Low-Recirc", l) + 0.3)
+        .count();
+    check(
+        "high-recirc placement reduces maxima vs low-recirc (paper: somewhat)",
+        high_helps >= 3,
+        &format!("{high_helps}/5 locations"),
+    );
+    let band_helps = ["Newark", "Santiago", "Iceland"]
+        .iter()
+        .filter(|l| maxr("Variation", l) < maxr("Var-High-Recirc", l) - 0.3)
+        .count();
+    check(
+        "the adaptive band gives the largest reductions at cold/cool locations",
+        band_helps >= 2,
+        &format!("{band_helps}/3 cold/cool locations"),
+    );
+    let all_beat_baseline = ["Newark", "Santiago", "Iceland"]
+        .iter()
+        .filter(|l| maxr("Variation", l) < maxr("Baseline", l))
+        .count();
+    check(
+        "Variation beats the baseline's maxima at cold/cool locations",
+        all_beat_baseline == 3,
+        &format!("{all_beat_baseline}/3"),
+    );
+}

@@ -1,0 +1,83 @@
+//! Figure 12: world-wide reduction in maximum daily temperature range
+//! (All-ND vs baseline) across the location grid.
+//!
+//! Paper: "CoolAir reduces the maximum range from 18.6 to 12.1 °C on
+//! average… it can reduce these ranges by between 2 and 14 °C in a large
+//! number of locations in North America, Europe, and Asia… In fewer than
+//! 2 % of locations, CoolAir increases the maximum range, but always by
+//! less than 1 °C." Set `COOLAIR_FULL_WORLD=1` for all 1520 locations; the
+//! default sweeps a latitude-preserving subsample sized for this machine.
+
+use coolair_bench::{cached, check};
+use coolair_sim::{world_sweep, WorldPoint, WorldSweepConfig};
+
+fn world_points() -> Vec<WorldPoint> {
+    let full = std::env::var("COOLAIR_FULL_WORLD").is_ok();
+    let count = if full { 1520 } else { 304 };
+    cached(&format!("world_sweep_{count}"), || {
+        let cfg = WorldSweepConfig { locations: count, ..WorldSweepConfig::default() };
+        eprintln!("sweeping {count} locations (2 annual runs each)…");
+        world_sweep(&cfg)
+    })
+}
+
+fn main() {
+    let points = world_points();
+    let n = points.len() as f64;
+
+    println!("=== Figure 12: world-wide reduction in max daily range (All-ND vs baseline) ===");
+    println!("{} locations swept", points.len());
+
+    // The figure's legend buckets.
+    let buckets: [(f64, f64, &str); 8] = [
+        (f64::NEG_INFINITY, 0.0, "-1-0°C (increase)"),
+        (0.0, 2.0, "0-2°C"),
+        (2.0, 4.0, "2-4°C"),
+        (4.0, 6.0, "4-6°C"),
+        (6.0, 8.0, "6-8°C"),
+        (8.0, 10.0, "8-10°C"),
+        (10.0, 14.0, "10-14°C"),
+        (14.0, f64::INFINITY, ">=14°C"),
+    ];
+    for (lo, hi, label) in buckets {
+        let c = points.iter().filter(|p| p.range_reduction() >= lo && p.range_reduction() < hi).count();
+        println!("{label:>18}: {c:>5} locations ({:.1}%)", c as f64 / n * 100.0);
+    }
+
+    let avg_base = points.iter().map(|p| p.baseline_max_range).sum::<f64>() / n;
+    let avg_cool = points.iter().map(|p| p.coolair_max_range).sum::<f64>() / n;
+    // Reduction by latitude band (the figure's geographic story).
+    let mut cold = (0.0, 0usize);
+    let mut warm = (0.0, 0usize);
+    for p in &points {
+        if p.latitude.abs() > 35.0 {
+            cold = (cold.0 + p.range_reduction(), cold.1 + 1);
+        } else if p.latitude.abs() < 20.0 {
+            warm = (warm.0 + p.range_reduction(), warm.1 + 1);
+        }
+    }
+    let cold_avg = cold.0 / cold.1.max(1) as f64;
+    let warm_avg = warm.0 / warm.1.max(1) as f64;
+    println!("\naverage max range: baseline {avg_base:.1}°C -> All-ND {avg_cool:.1}°C");
+    println!("average reduction: {:.1}°C at |lat|>35, {:.1}°C at |lat|<20", cold_avg, warm_avg);
+
+    println!("\nPaper-vs-measured:");
+    check(
+        "average max range falls substantially (paper 18.6 -> 12.1)",
+        avg_cool < avg_base - 2.0,
+        &format!("{avg_base:.1} -> {avg_cool:.1}"),
+    );
+    check(
+        "reductions are largest in colder (higher-latitude) locations",
+        cold_avg > warm_avg,
+        &format!("{cold_avg:.1}°C vs {warm_avg:.1}°C"),
+    );
+    let increased = points.iter().filter(|p| p.range_reduction() < -1e-9).count() as f64 / n;
+    let worst_increase =
+        points.iter().map(|p| -p.range_reduction()).fold(f64::NEG_INFINITY, f64::max);
+    check(
+        "few locations get worse, and never by much (paper <2%, <1°C)",
+        increased < 0.10 && worst_increase < 3.0,
+        &format!("{:.1}% worse, worst +{:.2}°C", increased * 100.0, worst_increase.max(0.0)),
+    );
+}

@@ -1,0 +1,71 @@
+//! Figure 13: world-wide reduction in yearly PUE (All-ND vs baseline).
+//!
+//! Paper: the range reductions "come with only a slight penalty in PUE"
+//! (average 1.08 → 1.09); near the Equator, where PUEs are higher, CoolAir
+//! lowers PUEs without increasing variation. Shares the cached sweep with
+//! the Figure 12 bench.
+
+use coolair_bench::{cached, check};
+use coolair_sim::{world_sweep, WorldPoint, WorldSweepConfig};
+
+fn world_points() -> Vec<WorldPoint> {
+    let full = std::env::var("COOLAIR_FULL_WORLD").is_ok();
+    let count = if full { 1520 } else { 304 };
+    cached(&format!("world_sweep_{count}"), || {
+        let cfg = WorldSweepConfig { locations: count, ..WorldSweepConfig::default() };
+        eprintln!("sweeping {count} locations (2 annual runs each)…");
+        world_sweep(&cfg)
+    })
+}
+
+fn main() {
+    let points = world_points();
+    let n = points.len() as f64;
+
+    println!("=== Figure 13: world-wide reduction in yearly PUE (All-ND vs baseline) ===");
+    let buckets: [(f64, f64, &str); 6] = [
+        (f64::NEG_INFINITY, -0.02, "-0.04 to -0.02 (PUE up)"),
+        (-0.02, -0.01, "-0.02 to -0.01"),
+        (-0.01, 0.0, "-0.01 to 0"),
+        (0.0, 0.01, "0 to 0.01"),
+        (0.01, 0.02, "0.01 to 0.02"),
+        (0.02, f64::INFINITY, "0.02 to 0.03+ (PUE down)"),
+    ];
+    for (lo, hi, label) in buckets {
+        let c = points.iter().filter(|p| p.pue_reduction() >= lo && p.pue_reduction() < hi).count();
+        println!("{label:>26}: {c:>5} locations ({:.1}%)", c as f64 / n * 100.0);
+    }
+
+    let avg_base = points.iter().map(|p| p.baseline_pue).sum::<f64>() / n;
+    let avg_cool = points.iter().map(|p| p.coolair_pue).sum::<f64>() / n;
+    println!("\naverage yearly PUE: baseline {avg_base:.3} -> All-ND {avg_cool:.3}");
+
+    // Equatorial story: where baseline PUE is high, CoolAir lowers it.
+    let hot: Vec<&WorldPoint> = points.iter().filter(|p| p.baseline_pue > 1.25).collect();
+    let hot_improved = hot.iter().filter(|p| p.pue_reduction() > 0.0).count();
+    println!(
+        "high-PUE locations (baseline > 1.25): {} of {} improved by All-ND",
+        hot_improved,
+        hot.len()
+    );
+
+    println!("\nPaper-vs-measured:");
+    check(
+        "average PUE changes only slightly (paper 1.08 -> 1.09)",
+        (avg_cool - avg_base).abs() < 0.05,
+        &format!("{avg_base:.3} -> {avg_cool:.3}"),
+    );
+    check(
+        "CoolAir lowers PUE at most high-PUE (equatorial) locations",
+        hot.is_empty() || hot_improved * 2 >= hot.len(),
+        &format!("{hot_improved}/{}", hot.len()),
+    );
+    let cold = points.iter().filter(|p| p.latitude.abs() > 40.0);
+    let cold_penalty: Vec<f64> = cold.map(|p| -p.pue_reduction()).collect();
+    let avg_cold_penalty = cold_penalty.iter().sum::<f64>() / cold_penalty.len().max(1) as f64;
+    check(
+        "cold locations pay at most a slight PUE penalty for their big range cuts",
+        avg_cold_penalty < 0.04,
+        &format!("avg penalty {avg_cold_penalty:+.3}"),
+    );
+}

@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks for the hot paths: plant physics steps, the
+//! learned-model prediction, the Cooling Optimizer's decision, M5P
+//! training, and a full closed-loop simulated day.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use coolair::{train_cooling_model, CoolAirConfig, TrainingConfig, Version};
+use coolair::manager::optimizer::CoolingOptimizer;
+use coolair::manager::band::TempBand;
+use coolair_ml::{Dataset, M5pConfig, ModelTree};
+use coolair_sim::{SimConfig, SimController, Simulation};
+use coolair_thermal::{
+    CoolingRegime, Infrastructure, ItLoad, OutsideConditions, Plant, PlantConfig, TksConfig,
+    TksController,
+};
+use coolair_units::{psychro, Celsius, FanSpeed, RelativeHumidity, SimDuration, SimTime, Watts};
+use coolair_weather::{Location, TmySeries};
+use coolair_workload::{facebook_trace, Cluster, ClusterConfig};
+
+fn bench_plant_step(c: &mut Criterion) {
+    let mut plant = Plant::new(PlantConfig::parasol());
+    let outside = OutsideConditions {
+        temperature: Celsius::new(12.0),
+        abs_humidity: psychro::absolute_humidity(Celsius::new(12.0), RelativeHumidity::new(60.0)),
+    };
+    let it = ItLoad::uniform(4, Watts::new(125.0), 0.27);
+    let regime = CoolingRegime::free_cooling(FanSpeed::new(0.5).unwrap());
+    c.bench_function("plant_step_15s", |b| {
+        b.iter(|| {
+            plant.step(SimDuration::from_secs(15), black_box(outside), &it, regime);
+        });
+    });
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let tmy = TmySeries::generate(&Location::newark(), 11);
+    let model = train_cooling_model(&tmy, &TrainingConfig::quick());
+    let cfg = CoolAirConfig::default();
+    let opt = CoolingOptimizer::new(Version::AllNd.utility(&cfg), Infrastructure::Smooth);
+    let plant = Plant::new(PlantConfig::parasol());
+    let readings = plant.readings(SimTime::EPOCH);
+    let band = TempBand::new(Celsius::new(20.0), Celsius::new(25.0));
+    c.bench_function("optimizer_select_smooth", |b| {
+        b.iter(|| {
+            black_box(opt.select(&model, &cfg, &readings, None, Some(band), &[true; 4]));
+        });
+    });
+}
+
+fn bench_m5p(c: &mut Criterion) {
+    let mut data = Dataset::new(vec!["fan".into(), "comp".into()]);
+    for i in 0..2000 {
+        let f = f64::from(i % 101) / 100.0;
+        data.push(vec![f, 0.0], 8.0 + 417.0 * f * f * f).unwrap();
+    }
+    c.bench_function("m5p_fit_2000_rows", |b| {
+        b.iter(|| black_box(ModelTree::fit(&data, M5pConfig::default()).unwrap()));
+    });
+}
+
+fn bench_day_sim(c: &mut Criterion) {
+    let tmy = TmySeries::generate(&Location::newark(), 5);
+    let trace = facebook_trace(1);
+    let mut group = c.benchmark_group("day_sim");
+    group.sample_size(10);
+    group.bench_function("baseline_full_day", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(
+                SimController::Baseline(TksController::new(TksConfig::baseline())),
+                PlantConfig::parasol(),
+                Cluster::new(ClusterConfig::parasol()),
+                tmy.clone(),
+                SimConfig::default(),
+            );
+            black_box(sim.run_day(100, trace.jobs_for_day(100)));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_plant_step, bench_optimizer, bench_m5p, bench_day_sim);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! §5.2 "Cost of managing temperature and variation": the yearly energy
+//! cost of lowering absolute temperature by 1 °C vs reducing the maximum
+//! daily range by 1 °C.
+//!
+//! Paper: "Lowering 1 °C of absolute temperature costs more than reducing
+//! 1 °C of maximum daily range in Newark (232 vs 53 kWh), Chad (1275 vs
+//! 131 kWh), and Singapore (2145 vs 716 kWh). In Santiago (110 vs 171 kWh)
+//! and Iceland (7 vs 29 kWh), the opposite is true."
+//!
+//! Derivation from the Figures 8–10 grid: the Temperature version is Energy
+//! with a 1 °C lower maximum, so the absolute-temperature cost is their
+//! cooling-energy difference; the variation cost is (All-ND − Energy)
+//! energy divided by the max-range reduction it buys.
+
+use coolair_bench::{check, main_grid};
+
+fn main() {
+    let grid = main_grid();
+    let year_scale = 365.0 / 53.0; // the year samples one day per week
+
+    println!("=== §5.2: yearly cost of managing temperature vs variation (kWh/°C) ===");
+    println!("{:<12} {:>14} {:>14} {:>22}", "location", "abs-temp cost", "variation cost", "paper (abs vs var)");
+    let paper: [(&str, f64, f64); 5] = [
+        ("Newark", 232.0, 53.0),
+        ("Chad", 1275.0, 131.0),
+        ("Santiago", 110.0, 171.0),
+        ("Iceland", 7.0, 29.0),
+        ("Singapore", 2145.0, 716.0),
+    ];
+
+    let mut warm_ok = 0;
+    let mut measured = Vec::new();
+    for (loc, p_abs, p_var) in paper {
+        let energy = grid.get("Energy", loc);
+        let temperature = grid.get("Temperature", loc);
+        let all_nd = grid.get("All-ND", loc);
+
+        let abs_cost =
+            (temperature.cooling_kwh() - energy.cooling_kwh()).max(0.0) * year_scale / 1.0;
+        let range_gain = (energy.max_worst_range() - all_nd.max_worst_range()).max(0.1);
+        let var_cost =
+            (all_nd.cooling_kwh() - energy.cooling_kwh()).max(0.0) * year_scale / range_gain;
+        measured.push((loc, abs_cost, var_cost));
+        println!(
+            "{loc:<12} {abs_cost:>14.0} {var_cost:>14.0} {:>22}",
+            format!("{p_abs:.0} vs {p_var:.0}")
+        );
+        if matches!(loc, "Newark" | "Chad" | "Singapore") && abs_cost >= var_cost {
+            warm_ok += 1;
+        }
+    }
+
+    println!("\nPaper-vs-measured:");
+    check(
+        "absolute temperature costs more than variation in warm-season locations",
+        warm_ok >= 2,
+        &format!("{warm_ok}/3 of Newark/Chad/Singapore"),
+    );
+    let hot_abs = measured.iter().find(|(l, ..)| *l == "Singapore").unwrap().1;
+    let cold_abs = measured.iter().find(|(l, ..)| *l == "Iceland").unwrap().1;
+    check(
+        "absolute-temperature cost ordered by climate (Singapore >> Iceland)",
+        hot_abs > cold_abs,
+        &format!("{hot_abs:.0} vs {cold_abs:.0} kWh/°C"),
+    );
+}

@@ -1,0 +1,73 @@
+//! §5.2 "Impact of weather forecast accuracy": consistently ±5 °C-biased
+//! forecasts.
+//!
+//! Paper: with +5 °C bias, maximum ranges increase "but always by less than
+//! 1 °C" and PUEs drop; with −5 °C bias, ranges decrease and PUEs increase
+//! "but always by less than 0.01". "Clearly, the impact of inaccuracies is
+//! small, mostly because of CoolAir's temperature band."
+
+use coolair::Version;
+use coolair_bench::{cached, check, main_grid, paper_locations, print_table, run_grid, GridResult};
+use coolair_sim::{AnnualConfig, SystemSpec};
+use coolair_weather::ForecastError;
+use coolair_workload::TraceKind;
+
+fn biased_grid(bias: f64) -> GridResult {
+    let tag = if bias > 0.0 { "plus5" } else { "minus5" };
+    cached(&format!("grid_fb_forecast_{tag}"), || {
+        let cfg = AnnualConfig { forecast_error: ForecastError::biased(bias), ..AnnualConfig::default() };
+        let systems = vec![SystemSpec::CoolAir(Version::AllNd)];
+        GridResult::from_grid(&run_grid(&systems, &paper_locations(), TraceKind::Facebook, &cfg))
+    })
+}
+
+fn main() {
+    let exact = main_grid();
+    let plus = biased_grid(5.0);
+    let minus = biased_grid(-5.0);
+
+    let locations: Vec<String> =
+        ["Newark", "Chad", "Santiago", "Iceland", "Singapore"].map(String::from).into();
+    let systems: Vec<String> = ["exact", "+5°C bias", "-5°C bias"].map(String::from).into();
+    let pick = |s: &str, l: &str| match s {
+        "exact" => exact.get("All-ND", l),
+        "+5°C bias" => plus.get("All-ND", l),
+        _ => minus.get("All-ND", l),
+    };
+
+    print_table("§5.2 forecast accuracy: All-ND max daily range (°C)", &systems, &locations, |s, l| {
+        format!("{:.1}", pick(s, l).max_worst_range())
+    });
+    print_table("All-ND yearly PUE", &systems, &locations, |s, l| {
+        format!("{:.3}", pick(s, l).pue())
+    });
+
+    println!("\nPaper-vs-measured:");
+    let small_range_impact = locations
+        .iter()
+        .filter(|l| {
+            let d_plus = plus.get("All-ND", l).max_worst_range() - exact.get("All-ND", l).max_worst_range();
+            let d_minus =
+                minus.get("All-ND", l).max_worst_range() - exact.get("All-ND", l).max_worst_range();
+            d_plus.abs() < 2.0 && d_minus.abs() < 2.0
+        })
+        .count();
+    check(
+        "±5°C bias moves max ranges only slightly (paper <1°C)",
+        small_range_impact >= 4,
+        &format!("{small_range_impact}/5 locations within 2°C"),
+    );
+    let small_pue_impact = locations
+        .iter()
+        .filter(|l| {
+            let d_plus = (plus.get("All-ND", l).pue() - exact.get("All-ND", l).pue()).abs();
+            let d_minus = (minus.get("All-ND", l).pue() - exact.get("All-ND", l).pue()).abs();
+            d_plus < 0.03 && d_minus < 0.03
+        })
+        .count();
+    check(
+        "±5°C bias moves PUEs only slightly (paper <0.01)",
+        small_pue_impact >= 4,
+        &format!("{small_pue_impact}/5 locations within 0.03"),
+    );
+}

@@ -1,0 +1,85 @@
+//! §5.2 "Impact of the desired maximum temperature": the same comparison
+//! with Max = 25 °C instead of 30 °C.
+//!
+//! Paper: "the CoolAir benefits tend to be greater when datacenter
+//! operators are willing to accept higher maximum temperatures… For
+//! locations where PUE is high for a desired maximum temperature of 30 °C,
+//! CoolAir tends to lower PUEs. However, CoolAir tends to increase PUEs for
+//! those same locations when the desired maximum temperature is 25 °C."
+
+use coolair::{CoolAirConfig, Version};
+use coolair_bench::{cached, check, main_grid, paper_locations, print_table, run_grid, GridResult};
+use coolair_sim::SystemSpec;
+use coolair_units::Celsius;
+use coolair_workload::TraceKind;
+
+fn main() {
+    let grid30 = main_grid();
+    let grid25: GridResult = cached("grid_fb_max25", || {
+        let cfg = coolair_bench::standard_config();
+        let systems = vec![
+            SystemSpec::BaselineWithSetpoint(Celsius::new(25.0)),
+            SystemSpec::CoolAirWith(
+                Version::AllNd,
+                CoolAirConfig::default().with_max_temp(Celsius::new(25.0)),
+            ),
+        ];
+        GridResult::from_grid(&run_grid(&systems, &paper_locations(), TraceKind::Facebook, &cfg))
+    });
+
+    let locations: Vec<String> =
+        ["Newark", "Chad", "Santiago", "Iceland", "Singapore"].map(String::from).into();
+    let systems: Vec<String> = ["Max30", "Max25"].map(String::from).into();
+
+    print_table(
+        "§5.2 max-temp study: All-ND reduction in max daily range vs its baseline (°C)",
+        &systems,
+        &locations,
+        |s, l| {
+            let (base, cool) = if s == "Max30" {
+                (grid30.get("Baseline", l), grid30.get("All-ND", l))
+            } else {
+                (grid25.get("Baseline@25", l), grid25.get("All-ND", l))
+            };
+            format!("{:.1}", base.max_worst_range() - cool.max_worst_range())
+        },
+    );
+    print_table("All-ND PUE delta vs its baseline (negative = CoolAir cheaper)", &systems, &locations, |s, l| {
+        let (base, cool) = if s == "Max30" {
+            (grid30.get("Baseline", l), grid30.get("All-ND", l))
+        } else {
+            (grid25.get("Baseline@25", l), grid25.get("All-ND", l))
+        };
+        format!("{:+.3}", cool.pue() - base.pue())
+    });
+
+    println!("\nPaper-vs-measured:");
+    let reduction = |g30: bool, l: &str| {
+        if g30 {
+            grid30.get("Baseline", l).max_worst_range() - grid30.get("All-ND", l).max_worst_range()
+        } else {
+            grid25.get("Baseline@25", l).max_worst_range() - grid25.get("All-ND", l).max_worst_range()
+        }
+    };
+    let greater_at_30 = locations.iter().filter(|l| reduction(true, l) >= reduction(false, l) - 0.5).count();
+    check(
+        "range-reduction benefits greater (or equal) at Max=30 than Max=25",
+        greater_at_30 >= 3,
+        &format!("{greater_at_30}/5 locations"),
+    );
+    // High-PUE locations: Chad and Singapore.
+    let pue_delta = |g30: bool, l: &str| {
+        if g30 {
+            grid30.get("All-ND", l).pue() - grid30.get("Baseline", l).pue()
+        } else {
+            grid25.get("All-ND", l).pue() - grid25.get("Baseline@25", l).pue()
+        }
+    };
+    for l in ["Chad", "Singapore"] {
+        check(
+            &format!("{l}: CoolAir's PUE position worsens when Max drops to 25"),
+            pue_delta(false, l) >= pue_delta(true, l) - 0.02,
+            &format!("Δ at 30: {:+.3}; Δ at 25: {:+.3}", pue_delta(true, l), pue_delta(false, l)),
+        );
+    }
+}

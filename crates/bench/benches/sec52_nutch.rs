@@ -1,0 +1,62 @@
+//! §5.2 "Impact of workload": the Nutch indexing trace.
+//!
+//! Paper: "The results with Nutch exhibit the exact same trends we observe
+//! with the Facebook workload… All-ND cuts the maximum daily temperature
+//! range in roughly half for Newark, Santiago, and Iceland, while also
+//! lowering the average daily range for all locations. These benefits come
+//! with significant PUE reductions for Chad and Singapore."
+
+use coolair::Version;
+use coolair_bench::{cached, check, paper_locations, print_table, run_grid, standard_config, GridResult};
+use coolair_sim::SystemSpec;
+use coolair_workload::TraceKind;
+
+fn main() {
+    let grid: GridResult = cached("grid_nutch", || {
+        let systems = vec![
+            SystemSpec::Baseline,
+            SystemSpec::CoolAir(Version::Energy),
+            SystemSpec::CoolAir(Version::AllNd),
+        ];
+        let cfg = standard_config();
+        GridResult::from_grid(&run_grid(&systems, &paper_locations(), TraceKind::Nutch, &cfg))
+    });
+
+    let locations: Vec<String> =
+        ["Newark", "Chad", "Santiago", "Iceland", "Singapore"].map(String::from).into();
+    let systems: Vec<String> = ["Baseline", "Energy", "All-ND"].map(String::from).into();
+
+    print_table("§5.2 Nutch workload: max daily range (°C)", &systems, &locations, |s, l| {
+        format!("{:.1}", grid.get(s, l).max_worst_range())
+    });
+    print_table("Average daily range (°C)", &systems, &locations, |s, l| {
+        format!("{:.1}", grid.get(s, l).avg_worst_range())
+    });
+    print_table("Yearly PUE", &systems, &locations, |s, l| {
+        format!("{:.3}", grid.get(s, l).pue())
+    });
+
+    println!("\nPaper-vs-measured (same trends as Facebook):");
+    let maxr = |s: &str, l: &str| grid.get(s, l).max_worst_range();
+    let cold_cut = ["Newark", "Santiago", "Iceland"]
+        .iter()
+        .filter(|l| maxr("Baseline", l) / maxr("All-ND", l) > 1.4)
+        .count();
+    check(
+        "All-ND cuts max range ~in half at Newark/Santiago/Iceland",
+        cold_cut >= 2,
+        &format!("{cold_cut}/3 locations beyond 1.4x"),
+    );
+    let avg_down = locations
+        .iter()
+        .filter(|l| grid.get("All-ND", l).avg_worst_range() <= grid.get("Baseline", l).avg_worst_range() + 0.2)
+        .count();
+    check("All-ND lowers average ranges broadly", avg_down >= 4, &format!("{avg_down}/5"));
+    for l in ["Chad", "Singapore"] {
+        check(
+            &format!("PUE reduction at {l}"),
+            grid.get("All-ND", l).pue() < grid.get("Baseline", l).pue() + 0.01,
+            &format!("{:.3} -> {:.3}", grid.get("Baseline", l).pue(), grid.get("All-ND", l).pue()),
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! §5.2 "Temporal scheduling": All-DEF vs All-ND, and the damage done by
+//! energy-only temporal scheduling (Energy-DEF).
+//!
+//! Paper: All-DEF provides only minor reductions over All-ND (the days
+//! All-ND struggles are exactly the days All-DEF skips scheduling).
+//! Energy-DEF conserves energy but widens variation dramatically: Newark's
+//! maximum range grows from 10 (All-ND) to 19 °C for a PUE drop from 1.17
+//! to 1.13; Santiago 10 → 18 °C for 1.25 → 1.10. "For all five locations,
+//! the Energy-DEF maximum ranges are even worse than those of the baseline."
+
+use coolair::Version;
+use coolair_bench::{cached, check, main_grid, paper_locations, print_table, run_grid, GridResult};
+use coolair_sim::{AnnualConfig, SystemSpec};
+use coolair_workload::TraceKind;
+
+fn main() {
+    let grid = main_grid();
+    let def_grid: GridResult = cached("grid_fb_deferrable", || {
+        let cfg = AnnualConfig { deferrable: true, ..AnnualConfig::default() };
+        let systems = vec![
+            SystemSpec::CoolAir(Version::AllDef),
+            SystemSpec::CoolAir(Version::EnergyDef),
+        ];
+        GridResult::from_grid(&run_grid(&systems, &paper_locations(), TraceKind::Facebook, &cfg))
+    });
+
+    let locations: Vec<String> =
+        ["Newark", "Chad", "Santiago", "Iceland", "Singapore"].map(String::from).into();
+    let lookup = |s: &str, l: &str| -> &coolair_sim::AnnualSummary {
+        match s {
+            "All-DEF" | "Energy-DEF" => def_grid.get(s, l),
+            _ => grid.get(s, l),
+        }
+    };
+    let systems: Vec<String> =
+        ["Baseline", "All-ND", "All-DEF", "Energy-DEF"].map(String::from).into();
+
+    print_table("§5.2 temporal scheduling: max daily range (°C)", &systems, &locations, |s, l| {
+        format!("{:.1}", lookup(s, l).max_worst_range())
+    });
+    print_table("Average daily range (°C)", &systems, &locations, |s, l| {
+        format!("{:.1}", lookup(s, l).avg_worst_range())
+    });
+    print_table("Yearly PUE", &systems, &locations, |s, l| {
+        format!("{:.3}", lookup(s, l).pue())
+    });
+
+    println!("\nPaper-vs-measured:");
+    let maxr = |s: &str, l: &str| lookup(s, l).max_worst_range();
+    let pue = |s: &str, l: &str| lookup(s, l).pue();
+
+    let minor = locations
+        .iter()
+        .filter(|l| (maxr("All-DEF", l) - maxr("All-ND", l)).abs() < 2.5)
+        .count();
+    check(
+        "All-DEF provides only minor changes vs All-ND",
+        minor >= 4,
+        &format!("{minor}/5 locations within 2.5°C"),
+    );
+    let edef_widens = locations
+        .iter()
+        .filter(|l| maxr("Energy-DEF", l) > maxr("All-ND", l) + 1.0)
+        .count();
+    check(
+        "Energy-DEF widens maximum ranges vs All-ND (paper: Newark 10 -> 19°C)",
+        edef_widens >= 3,
+        &format!("{edef_widens}/5 locations"),
+    );
+    let edef_saves = locations
+        .iter()
+        .filter(|l| pue("Energy-DEF", l) <= pue("All-ND", l) + 0.005)
+        .count();
+    check(
+        "Energy-DEF saves (or matches) cooling energy vs All-ND",
+        edef_saves >= 3,
+        &format!("{edef_saves}/5 locations"),
+    );
+    let worse_than_baseline = locations
+        .iter()
+        .filter(|l| maxr("Energy-DEF", l) > maxr("Baseline", l) - 2.0)
+        .count();
+    check(
+        "Energy-DEF maxima approach or exceed the baseline's",
+        worse_than_baseline >= 3,
+        &format!("{worse_than_baseline}/5 locations"),
+    );
+}

@@ -1,0 +1,231 @@
+//! §6 "Principles and lessons": the paper's eight take-aways, each checked
+//! mechanically against the (cached) experiment results.
+//!
+//! Run the other benches first (or let this one compute the grids it
+//! needs); every lesson prints its supporting evidence.
+
+use coolair::Version;
+use coolair_bench::{cached, check, main_grid, paper_locations, run_grid, GridResult};
+use coolair_sim::{world_sweep, AnnualConfig, SystemSpec, WorldPoint, WorldSweepConfig};
+use coolair_workload::TraceKind;
+
+fn spatial_grid() -> GridResult {
+    cached("grid_fb_spatial", || {
+        let systems = vec![
+            SystemSpec::Baseline,
+            SystemSpec::CoolAir(Version::VarLowRecirc),
+            SystemSpec::CoolAir(Version::VarHighRecirc),
+            SystemSpec::CoolAir(Version::Variation),
+        ];
+        GridResult::from_grid(&run_grid(
+            &systems,
+            &paper_locations(),
+            TraceKind::Facebook,
+            &coolair_bench::standard_config(),
+        ))
+    })
+}
+
+fn def_grid() -> GridResult {
+    cached("grid_fb_deferrable", || {
+        let cfg = AnnualConfig { deferrable: true, ..AnnualConfig::default() };
+        let systems = vec![
+            SystemSpec::CoolAir(Version::AllDef),
+            SystemSpec::CoolAir(Version::EnergyDef),
+        ];
+        GridResult::from_grid(&run_grid(&systems, &paper_locations(), TraceKind::Facebook, &cfg))
+    })
+}
+
+fn world() -> Vec<WorldPoint> {
+    let full = std::env::var("COOLAIR_FULL_WORLD").is_ok();
+    let count = if full { 1520 } else { 304 };
+    cached(&format!("world_sweep_{count}"), || {
+        let cfg = WorldSweepConfig { locations: count, ..WorldSweepConfig::default() };
+        world_sweep(&cfg)
+    })
+}
+
+fn main() {
+    let grid = main_grid();
+    let spatial = spatial_grid();
+    let defg = def_grid();
+    let points = world();
+    let locations = ["Newark", "Chad", "Santiago", "Iceland", "Singapore"];
+
+    println!("=== §6: principles and lessons, checked against the measured results ===\n");
+
+    // 1. Unmanaged temperatures/variations are high; internal variation can
+    //    exceed outside.
+    let unmanaged_high = locations
+        .iter()
+        .filter(|l| grid.get("Baseline", l).max_worst_range() > 13.0)
+        .count();
+    let inside_exceeds_outside = locations
+        .iter()
+        .filter(|l| {
+            grid.get("Baseline", l).avg_worst_range() > grid.get("Baseline", l).avg_outside_range()
+        })
+        .count();
+    check(
+        "1. unmanaged absolute temps/variations are high; internal variation can exceed outside",
+        unmanaged_high >= 4 && inside_exceeds_outside >= 2,
+        &format!(
+            "{unmanaged_high}/5 locations with baseline max range > 13°C; inside > outside at {inside_exceeds_outside}/5"
+        ),
+    );
+
+    // 2. Effective variation management needs fine-grain cooling + workload
+    //    control (evidenced by Fig 7's smooth-vs-Parasol day and Fig 11's
+    //    placement effect; here: placement effect).
+    let placement_helps = locations
+        .iter()
+        .filter(|l| {
+            spatial.get("Var-High-Recirc", l).max_worst_range()
+                <= spatial.get("Var-Low-Recirc", l).max_worst_range() + 0.3
+        })
+        .count();
+    check(
+        "2. variation management requires fine-grain knobs and workload control",
+        placement_helps >= 3,
+        &format!("high-recirc placement no worse at {placement_helps}/5 locations"),
+    );
+
+    // 3. Absolute temperature costs more than variation in warm regions,
+    //    less in cold ones.
+    let year = 365.0 / 53.0;
+    let abs_cost = |l: &str| {
+        (grid.get("Temperature", l).cooling_kwh() - grid.get("Energy", l).cooling_kwh()).max(0.0)
+            * year
+    };
+    let var_cost = |l: &str| {
+        let gain = (grid.get("Energy", l).max_worst_range()
+            - grid.get("All-ND", l).max_worst_range())
+        .max(0.1);
+        (grid.get("All-ND", l).cooling_kwh() - grid.get("Energy", l).cooling_kwh()).max(0.0) * year
+            / gain
+    };
+    check(
+        "3. managing absolute temperature costs more in warm regions, less in cold",
+        abs_cost("Singapore") > var_cost("Singapore") && abs_cost("Iceland") < var_cost("Iceland"),
+        &format!(
+            "Singapore {:.0} vs {:.0} kWh/°C; Iceland {:.0} vs {:.0}",
+            abs_cost("Singapore"),
+            var_cost("Singapore"),
+            abs_cost("Iceland"),
+            var_cost("Iceland")
+        ),
+    );
+
+    // 4. Bands + smart placement help; temporal scheduling does not (and
+    //    energy-driven temporal scheduling hurts).
+    let band_helps = locations
+        .iter()
+        .filter(|l| {
+            spatial.get("Variation", l).max_worst_range()
+                <= spatial.get("Var-High-Recirc", l).max_worst_range() + 0.3
+        })
+        .count();
+    let edef_hurts = locations
+        .iter()
+        .filter(|l| defg.get("Energy-DEF", l).max_worst_range() > grid.get("All-ND", l).max_worst_range())
+        .count();
+    let alldef_flat = locations
+        .iter()
+        .filter(|l| {
+            (defg.get("All-DEF", l).max_worst_range() - grid.get("All-ND", l).max_worst_range())
+                .abs()
+                < 2.5
+        })
+        .count();
+    check(
+        "4. adaptive bands and placement are useful; temporal scheduling is not (energy-driven temporal scheduling increases variation)",
+        band_helps >= 3 && edef_hurts >= 4 && alldef_flat >= 4,
+        &format!("band ≥as-good {band_helps}/5; Energy-DEF worse {edef_hurts}/5; All-DEF ≈ All-ND {alldef_flat}/5"),
+    );
+
+    // 5. Management is easier at higher internal temperatures (the CoolAir
+    //    PUE position vs its baseline is no worse at Max 30 than Max 25 —
+    //    our plant reproduces this for Singapore; see EXPERIMENTS.md for
+    //    the range-side divergence).
+    let grid25: Option<GridResult> = {
+        let path = coolair_bench::cache_dir().join(format!(
+            "grid_fb_max25.v{}.json",
+            coolair_bench::CACHE_VERSION
+        ));
+        std::fs::read(path)
+            .ok()
+            .and_then(|b| serde_json::from_slice(&b).ok())
+    };
+    match grid25 {
+        Some(g25) => {
+            let d30 = grid.get("All-ND", "Singapore").pue() - grid.get("Baseline", "Singapore").pue();
+            let d25 = g25.get("All-ND", "Singapore").pue() - g25.get("Baseline@25", "Singapore").pue();
+            check(
+                "5. higher allowed maximum temperatures make management easier (Singapore PUE evidence)",
+                d25 >= d30 - 0.02,
+                &format!("All-ND PUE delta vs baseline: {d30:+.3} at Max30, {d25:+.3} at Max25"),
+            );
+        }
+        None => println!("  [SKIP] 5. run sec52_maxtemp first for the Max=25 grid"),
+    }
+
+    // 6. Forecast accuracy is not a problem (bands absorb ±5 °C bias).
+    let plus: Option<GridResult> = {
+        let path = coolair_bench::cache_dir().join(format!(
+            "grid_fb_forecast_plus5.v{}.json",
+            coolair_bench::CACHE_VERSION
+        ));
+        std::fs::read(path).ok().and_then(|b| serde_json::from_slice(&b).ok())
+    };
+    match plus {
+        Some(p) => {
+            let worst = locations
+                .iter()
+                .map(|l| {
+                    (p.get("All-ND", l).max_worst_range()
+                        - grid.get("All-ND", l).max_worst_range())
+                    .abs()
+                })
+                .fold(0.0_f64, f64::max);
+            check(
+                "6. weather-forecast inaccuracy is absorbed by the band",
+                worst < 2.0,
+                &format!("worst max-range shift under +5°C bias: {worst:.2}°C"),
+            );
+        }
+        None => println!("  [SKIP] 6. run sec52_forecast first for the biased grids"),
+    }
+
+    // 7. Variation management is most critical and successful in cold
+    //    climates.
+    let n = points.len() as f64;
+    let mut cold = (0.0, 0usize);
+    let mut warm = (0.0, 0usize);
+    for p in &points {
+        if p.latitude.abs() > 35.0 {
+            cold = (cold.0 + p.range_reduction(), cold.1 + 1);
+        } else if p.latitude.abs() < 20.0 {
+            warm = (warm.0 + p.range_reduction(), warm.1 + 1);
+        }
+    }
+    check(
+        "7. variation management is most successful in cold climates",
+        cold.0 / cold.1.max(1) as f64 > warm.0 / warm.1.max(1) as f64 + 2.0,
+        &format!(
+            "avg reduction {:.1}°C (|lat|>35) vs {:.1}°C (|lat|<20) over {} locations",
+            cold.0 / cold.1.max(1) as f64,
+            warm.0 / warm.1.max(1) as f64,
+            n
+        ),
+    );
+
+    // 8. Even hot climates can be managed at little or no energy cost.
+    let hot: Vec<&WorldPoint> = points.iter().filter(|p| p.baseline_pue > 1.25).collect();
+    let improved = hot.iter().filter(|p| p.pue_reduction() > -0.01).count();
+    check(
+        "8. absolute temperature and variation manageable at little/no cost even in hot climates",
+        hot.is_empty() || improved * 10 >= hot.len() * 9,
+        &format!("{improved}/{} high-PUE locations at no PUE cost", hot.len()),
+    );
+}

@@ -1,0 +1,235 @@
+//! Shared infrastructure for the experiment benches.
+//!
+//! Each `benches/` target regenerates one table or figure of the paper.
+//! Year-long runs are expensive, so results are cached as JSON under
+//! `target/coolair-experiments/`; delete that directory (or bump
+//! [`CACHE_VERSION`]) to force recomputation. The caches also serve as the
+//! machine-readable record behind `EXPERIMENTS.md`.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use coolair::Version;
+use coolair_sim::{
+    run_annual_with_model, train_for_location, AnnualConfig, AnnualSummary, SystemSpec,
+};
+use coolair_weather::Location;
+use coolair_workload::TraceKind;
+use parking_lot::Mutex;
+use serde::{de::DeserializeOwned, Deserialize, Serialize};
+
+/// Bump to invalidate all cached experiment results.
+pub const CACHE_VERSION: u32 = 1;
+
+/// Directory where experiment artifacts are cached.
+#[must_use]
+pub fn cache_dir() -> PathBuf {
+    let dir = PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/coolair-experiments"
+    ));
+    fs::create_dir_all(&dir).expect("create cache dir");
+    dir
+}
+
+/// Loads a cached value, or computes and stores it.
+pub fn cached<T, F>(name: &str, compute: F) -> T
+where
+    T: Serialize + DeserializeOwned,
+    F: FnOnce() -> T,
+{
+    let path = cache_dir().join(format!("{name}.v{CACHE_VERSION}.json"));
+    if let Ok(bytes) = fs::read(&path) {
+        if let Ok(v) = serde_json::from_slice(&bytes) {
+            eprintln!("[cache] reusing {}", path.display());
+            return v;
+        }
+    }
+    let value = compute();
+    let json = serde_json::to_vec_pretty(&value).expect("serialize experiment result");
+    fs::write(&path, json).expect("write experiment cache");
+    value
+}
+
+/// A (system, location) → annual summary result set.
+pub type Grid = HashMap<(String, String), AnnualSummary>;
+
+/// Runs `systems × locations` annual simulations in parallel, reusing one
+/// trained Cooling Model per location.
+#[must_use]
+pub fn run_grid(
+    systems: &[SystemSpec],
+    locations: &[Location],
+    trace: TraceKind,
+    cfg: &AnnualConfig,
+) -> Grid {
+    // Train per location in parallel first.
+    let models: Vec<_> = parallel_map(locations, |loc| {
+        eprintln!("[grid] training model for {}", loc.name());
+        (loc.name().to_string(), train_for_location(loc, cfg))
+    });
+    let models: HashMap<_, _> = models.into_iter().collect();
+
+    let jobs: Vec<(SystemSpec, Location)> = systems
+        .iter()
+        .flat_map(|s| locations.iter().map(move |l| (s.clone(), l.clone())))
+        .collect();
+    let results = parallel_map(&jobs, |(system, location)| {
+        eprintln!("[grid] {} @ {}", system.name(), location.name());
+        let needs_model = matches!(system, SystemSpec::CoolAir(_) | SystemSpec::CoolAirWith(..));
+        let model = if needs_model {
+            Some(models[location.name()].clone())
+        } else {
+            None
+        };
+        let summary = run_annual_with_model(system, location, trace, cfg, model);
+        ((system.name(), location.name().to_string()), summary)
+    });
+    results.into_iter().collect()
+}
+
+/// Simple two-thread (N-core) parallel map preserving input order.
+pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let threads = std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(items.len().max(1)) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                *slots[i].lock() = Some(f(&items[i]));
+            });
+        }
+    })
+    .expect("parallel map worker panicked");
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("slot filled"))
+        .collect()
+}
+
+/// The five study locations in figure order.
+#[must_use]
+pub fn paper_locations() -> Vec<Location> {
+    Location::paper_five()
+}
+
+/// The five systems of Figures 8–10, in figure order.
+#[must_use]
+pub fn figure_systems() -> Vec<SystemSpec> {
+    vec![
+        SystemSpec::Baseline,
+        SystemSpec::CoolAir(Version::Temperature),
+        SystemSpec::CoolAir(Version::Energy),
+        SystemSpec::CoolAir(Version::Variation),
+        SystemSpec::CoolAir(Version::AllNd),
+    ]
+}
+
+/// The standard year configuration used by the figure benches.
+#[must_use]
+pub fn standard_config() -> AnnualConfig {
+    AnnualConfig::default()
+}
+
+/// The cached Figures 8–10 grid (Facebook workload, five locations, five
+/// systems).
+#[must_use]
+pub fn main_grid() -> GridResult {
+    cached("grid_fb_main", || {
+        let cfg = standard_config();
+        let grid = run_grid(&figure_systems(), &paper_locations(), TraceKind::Facebook, &cfg);
+        GridResult::from_grid(&grid)
+    })
+}
+
+/// Serializable grid wrapper (JSON map keys must be strings).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GridResult {
+    /// `system -> location -> summary`.
+    pub cells: HashMap<String, HashMap<String, AnnualSummary>>,
+}
+
+impl GridResult {
+    /// Converts from the tuple-keyed grid.
+    #[must_use]
+    pub fn from_grid(grid: &Grid) -> Self {
+        let mut cells: HashMap<String, HashMap<String, AnnualSummary>> = HashMap::new();
+        for ((system, location), summary) in grid {
+            cells.entry(system.clone()).or_default().insert(location.clone(), summary.clone());
+        }
+        GridResult { cells }
+    }
+
+    /// Looks up one cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is missing (a bench asked for a system/location
+    /// pair the grid never ran).
+    #[must_use]
+    pub fn get(&self, system: &str, location: &str) -> &AnnualSummary {
+        &self.cells[system][location]
+    }
+}
+
+/// Prints a figure-style table: rows = systems, columns = locations.
+pub fn print_table(
+    title: &str,
+    systems: &[String],
+    locations: &[String],
+    value: impl Fn(&str, &str) -> String,
+) {
+    println!("\n=== {title} ===");
+    print!("{:<16}", "");
+    for loc in locations {
+        print!("{loc:>12}");
+    }
+    println!();
+    for sys in systems {
+        print!("{sys:<16}");
+        for loc in locations {
+            print!("{:>12}", value(sys, loc));
+        }
+        println!();
+    }
+}
+
+/// Formats a paper-vs-measured check line.
+pub fn check(label: &str, ok: bool, detail: &str) {
+    println!("  [{}] {label}: {detail}", if ok { "PASS" } else { "WARN" });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let input: Vec<u32> = (0..37).collect();
+        let out = parallel_map(&input, |&x| x * 2);
+        assert_eq!(out, (0..37).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cache_round_trip() {
+        let name = "unit_test_cache_probe";
+        let path = cache_dir().join(format!("{name}.v{CACHE_VERSION}.json"));
+        let _ = std::fs::remove_file(&path);
+        let a: Vec<u32> = cached(name, || vec![1, 2, 3]);
+        let b: Vec<u32> = cached(name, || panic!("must come from cache"));
+        assert_eq!(a, b);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn figure_systems_order_matches_paper() {
+        let names: Vec<String> = figure_systems().iter().map(SystemSpec::name).collect();
+        assert_eq!(names, ["Baseline", "Temperature", "Energy", "Variation", "All-ND"]);
+    }
+}

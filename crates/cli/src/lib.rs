@@ -1,0 +1,348 @@
+//! Command implementations for the `coolair` CLI.
+//!
+//! The binary (`src/main.rs`) is a thin argument parser over these
+//! functions, which are kept in a library so the command logic is unit
+//! testable. Each command returns its report as a `String` (the binary
+//! prints it), and errors are plain messages.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use coolair::{train_cooling_model, CoolingModel, TrainingConfig, Version};
+use coolair_sim::{
+    disk_reliability, model_error_cdfs, run_annual_with_model, sweep_one, train_for_location,
+    AnnualConfig, ReliabilityParams, SystemSpec,
+};
+use coolair_weather::{Location, TmySeries, WorldGrid};
+use coolair_workload::TraceKind;
+
+/// A CLI-level error: a message for the user.
+pub type CliError = String;
+
+/// Parses a location name.
+///
+/// # Errors
+///
+/// Returns an error listing the known locations when `name` is unknown.
+pub fn parse_location(name: &str) -> Result<Location, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "newark" => Ok(Location::newark()),
+        "chad" => Ok(Location::chad()),
+        "santiago" => Ok(Location::santiago()),
+        "iceland" => Ok(Location::iceland()),
+        "singapore" => Ok(Location::singapore()),
+        "phoenix" => Ok(Location::phoenix()),
+        "london" => Ok(Location::london()),
+        "tokyo" => Ok(Location::tokyo()),
+        "sydney" => Ok(Location::sydney()),
+        "moscow" => Ok(Location::moscow()),
+        "nairobi" => Ok(Location::nairobi()),
+        other => Err(format!(
+            "unknown location '{other}' (known: newark, chad, santiago, iceland, singapore, \
+             phoenix, london, tokyo, sydney, moscow, nairobi)"
+        )),
+    }
+}
+
+/// Parses a system name.
+///
+/// # Errors
+///
+/// Returns an error listing the known systems when `name` is unknown.
+pub fn parse_system(name: &str) -> Result<SystemSpec, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "baseline" => Ok(SystemSpec::Baseline),
+        "temperature" => Ok(SystemSpec::CoolAir(Version::Temperature)),
+        "variation" => Ok(SystemSpec::CoolAir(Version::Variation)),
+        "energy" => Ok(SystemSpec::CoolAir(Version::Energy)),
+        "allnd" | "all-nd" => Ok(SystemSpec::CoolAir(Version::AllNd)),
+        "alldef" | "all-def" => Ok(SystemSpec::CoolAir(Version::AllDef)),
+        "energydef" | "energy-def" => Ok(SystemSpec::CoolAir(Version::EnergyDef)),
+        other => Err(format!(
+            "unknown system '{other}' (known: baseline, temperature, variation, energy, allnd, alldef, energydef)"
+        )),
+    }
+}
+
+/// Parses a trace name.
+///
+/// # Errors
+///
+/// Returns an error when `name` is neither `facebook` nor `nutch`.
+pub fn parse_trace(name: &str) -> Result<TraceKind, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "facebook" | "fb" => Ok(TraceKind::Facebook),
+        "nutch" => Ok(TraceKind::Nutch),
+        other => Err(format!("unknown trace '{other}' (known: facebook, nutch)")),
+    }
+}
+
+/// `coolair locations` — list the built-in study locations and a sample of
+/// the world grid.
+#[must_use]
+pub fn cmd_locations() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<12} {:>8} {:>9} {:>10} {:>10}", "name", "lat", "lon", "mean °C", "season ±");
+    for l in Location::extended_set() {
+        let c = l.climate();
+        let _ = writeln!(
+            out,
+            "{:<12} {:>8.1} {:>9.1} {:>10.1} {:>10.1}",
+            l.name(),
+            l.latitude(),
+            l.longitude(),
+            c.mean_temp,
+            c.seasonal_amplitude
+        );
+    }
+    let grid = WorldGrid::generate();
+    let _ = writeln!(out, "\nworld grid: {} locations (use `coolair compare`)", grid.len());
+    out
+}
+
+/// `coolair train` — run the §4.2 data-collection campaign and save the
+/// learned Cooling Model as JSON.
+///
+/// # Errors
+///
+/// Propagates location parsing and file I/O errors.
+pub fn cmd_train(location: &str, days: u64, out_path: &str) -> Result<String, CliError> {
+    let location = parse_location(location)?;
+    let tmy = TmySeries::generate(&location, 42);
+    let model = train_cooling_model(&tmy, &TrainingConfig { days, ..TrainingConfig::default() });
+    let json = serde_json::to_vec_pretty(&model).map_err(|e| format!("serialise model: {e}"))?;
+    std::fs::write(out_path, &json).map_err(|e| format!("write {out_path}: {e}"))?;
+    Ok(format!(
+        "trained on {days} days at {}: {} regime/transition models, ranking {:?}\nsaved to {out_path} ({} bytes)",
+        location.name(),
+        model.keys().count(),
+        model.recirc_ranking(),
+        json.len()
+    ))
+}
+
+/// Loads a model saved by [`cmd_train`].
+///
+/// # Errors
+///
+/// Propagates file and JSON errors.
+pub fn load_model(path: &str) -> Result<CoolingModel, CliError> {
+    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_slice(&bytes).map_err(|e| format!("parse {path}: {e}"))
+}
+
+/// `coolair annual` — run one system for a (sub-sampled) year and print the
+/// summary.
+///
+/// # Errors
+///
+/// Propagates parsing errors.
+pub fn cmd_annual(
+    location: &str,
+    system: &str,
+    trace: &str,
+    stride: u64,
+    model_path: Option<&str>,
+) -> Result<String, CliError> {
+    let location = parse_location(location)?;
+    let system = parse_system(system)?;
+    let trace = parse_trace(trace)?;
+    let mut cfg = AnnualConfig { stride: stride.max(1), ..AnnualConfig::default() };
+    if let SystemSpec::CoolAir(v) = &system {
+        cfg.deferrable = v.is_deferrable();
+    }
+    let model = match (&system, model_path) {
+        (SystemSpec::Baseline | SystemSpec::BaselineWithSetpoint(_), _) => None,
+        (_, Some(path)) => Some(load_model(path)?),
+        (_, None) => Some(train_for_location(&location, &cfg)),
+    };
+    let summary = run_annual_with_model(&system, &location, trace, &cfg, model);
+    let reliability = disk_reliability(&summary, &ReliabilityParams::default());
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{} @ {} ({} sampled days)", system.name(), location.name(), summary.len());
+    let _ = writeln!(out, "  avg violation        {:>8.3} °C", summary.avg_violation());
+    let _ = writeln!(
+        out,
+        "  daily range          {:>8.1} °C avg  [{:.1} .. {:.1}]",
+        summary.avg_worst_range(),
+        summary.min_worst_range(),
+        summary.max_worst_range()
+    );
+    let _ = writeln!(out, "  PUE                  {:>8.3}", summary.pue());
+    let _ = writeln!(
+        out,
+        "  energy               {:>8.1} kWh cooling / {:.1} kWh IT",
+        summary.cooling_kwh(),
+        summary.it_kwh()
+    );
+    let _ = writeln!(out, "  max rate observed    {:>8.1} °C/h", summary.max_rate());
+    let _ = writeln!(out, "  jobs completed       {:>8}", summary.jobs_completed());
+    let _ = writeln!(
+        out,
+        "  disk failure factor  {:>8.2}x (Arrhenius {:.2} × variation {:.2})",
+        reliability.combined_factor,
+        reliability.arrhenius_factor,
+        reliability.variation_factor
+    );
+    Ok(out)
+}
+
+/// `coolair validate` — held-out model accuracy (the Figure 5 gates).
+///
+/// # Errors
+///
+/// Propagates parsing errors.
+pub fn cmd_validate(location: &str, model_path: Option<&str>) -> Result<String, CliError> {
+    let location = parse_location(location)?;
+    let tmy = TmySeries::generate(&location, 42);
+    let model = match model_path {
+        Some(path) => load_model(path)?,
+        None => train_cooling_model(&tmy, &TrainingConfig::default()),
+    };
+    let report = model_error_cdfs(&model, &tmy, &[121, 171], 9);
+    let mut out = String::new();
+    let _ = writeln!(out, "held-out model accuracy at {} (days 121, 171):", location.name());
+    let _ = writeln!(
+        out,
+        "  2-min  within 1°C: {:>5.1}% (no transitions: {:.1}%)",
+        report.two_min.fraction_within(1.0) * 100.0,
+        report.two_min_no_transition.fraction_within(1.0) * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "  10-min within 1°C: {:>5.1}% (no transitions: {:.1}%)",
+        report.ten_min.fraction_within(1.0) * 100.0,
+        report.ten_min_no_transition.fraction_within(1.0) * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "  humidity within 5%RH: {:>5.1}%",
+        report.humidity.fraction_within(5.0) * 100.0
+    );
+    Ok(out)
+}
+
+/// `coolair compare` — baseline vs All-ND at one of the world-grid or named
+/// locations (one row of the Figure 12/13 sweep).
+///
+/// # Errors
+///
+/// Propagates parsing errors.
+pub fn cmd_compare(location: &str, stride: u64) -> Result<String, CliError> {
+    let location = parse_location(location)?;
+    let cfg = AnnualConfig { stride: stride.max(1), ..AnnualConfig::default() };
+    let point = sweep_one(&location, &cfg);
+    Ok(format!(
+        "{}: max daily range {:.1} -> {:.1} °C ({:+.1}), PUE {:.3} -> {:.3} ({:+.3})",
+        location.name(),
+        point.baseline_max_range,
+        point.coolair_max_range,
+        -point.range_reduction(),
+        point.baseline_pue,
+        point.coolair_pue,
+        -point.pue_reduction(),
+    ))
+}
+
+/// Usage text.
+#[must_use]
+pub fn usage() -> String {
+    "coolair — CoolAir reproduction CLI
+
+USAGE:
+    coolair locations
+    coolair train    --location <name> [--days N] --out <model.json>
+    coolair annual   --location <name> --system <name> [--trace facebook|nutch]
+                     [--stride N] [--model <model.json>]
+    coolair validate --location <name> [--model <model.json>]
+    coolair compare  --location <name> [--stride N]
+
+SYSTEMS: baseline, temperature, variation, energy, allnd, alldef, energydef
+LOCATIONS: newark, chad, santiago, iceland, singapore
+"
+    .to_string()
+}
+
+/// Extracts `--flag value` pairs from an argument list.
+///
+/// # Errors
+///
+/// Returns an error for flags without values or unknown positionals.
+pub fn parse_flags(args: &[String]) -> Result<std::collections::HashMap<String, String>, CliError> {
+    let mut flags = std::collections::HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            flags.insert(name.to_string(), value.clone());
+            i += 2;
+        } else {
+            return Err(format!("unexpected argument '{a}'"));
+        }
+    }
+    Ok(flags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn location_parsing() {
+        assert_eq!(parse_location("Newark").unwrap().name(), "Newark");
+        assert_eq!(parse_location("SINGAPORE").unwrap().name(), "Singapore");
+        assert!(parse_location("atlantis").is_err());
+    }
+
+    #[test]
+    fn system_parsing() {
+        assert_eq!(parse_system("allnd").unwrap().name(), "All-ND");
+        assert_eq!(parse_system("All-DEF").unwrap().name(), "All-DEF");
+        assert!(parse_system("turbo").is_err());
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args: Vec<String> =
+            ["--location", "newark", "--days", "8"].iter().map(|s| s.to_string()).collect();
+        let flags = parse_flags(&args).unwrap();
+        assert_eq!(flags["location"], "newark");
+        assert_eq!(flags["days"], "8");
+        assert!(parse_flags(&["--x".to_string()]).is_err());
+        assert!(parse_flags(&["oops".to_string()]).is_err());
+    }
+
+    #[test]
+    fn locations_command_lists_five() {
+        let out = cmd_locations();
+        for name in ["Newark", "Chad", "Santiago", "Iceland", "Singapore"] {
+            assert!(out.contains(name), "{name} missing from:\n{out}");
+        }
+    }
+
+    #[test]
+    fn train_save_load_round_trip() {
+        let dir = std::env::temp_dir().join("coolair_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        let path = path.to_str().unwrap();
+        let msg = cmd_train("newark", 8, path).unwrap();
+        assert!(msg.contains("saved to"));
+        let model = load_model(path).unwrap();
+        assert_eq!(model.pods(), 4);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn usage_names_all_commands() {
+        let u = usage();
+        for cmd in ["locations", "train", "annual", "validate", "compare"] {
+            assert!(u.contains(cmd));
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! The `coolair` command-line binary. See [`coolair_cli::usage`].
+
+use std::process::ExitCode;
+
+use coolair_cli::{
+    cmd_annual, cmd_compare, cmd_locations, cmd_train, cmd_validate, parse_flags, usage,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+
+    let result = match command.as_str() {
+        "locations" => Ok(cmd_locations()),
+        "train" => parse_flags(rest).and_then(|f| {
+            let location = f.get("location").cloned().unwrap_or_else(|| "newark".into());
+            let days = f.get("days").map_or(Ok(45), |d| {
+                d.parse::<u64>().map_err(|e| format!("--days: {e}"))
+            })?;
+            let out = f.get("out").cloned().unwrap_or_else(|| "model.json".into());
+            cmd_train(&location, days, &out)
+        }),
+        "annual" => parse_flags(rest).and_then(|f| {
+            let location = f.get("location").cloned().unwrap_or_else(|| "newark".into());
+            let system = f.get("system").cloned().unwrap_or_else(|| "allnd".into());
+            let trace = f.get("trace").cloned().unwrap_or_else(|| "facebook".into());
+            let stride = f.get("stride").map_or(Ok(7), |s| {
+                s.parse::<u64>().map_err(|e| format!("--stride: {e}"))
+            })?;
+            cmd_annual(&location, &system, &trace, stride, f.get("model").map(String::as_str))
+        }),
+        "validate" => parse_flags(rest).and_then(|f| {
+            let location = f.get("location").cloned().unwrap_or_else(|| "newark".into());
+            cmd_validate(&location, f.get("model").map(String::as_str))
+        }),
+        "compare" => parse_flags(rest).and_then(|f| {
+            let location = f.get("location").cloned().unwrap_or_else(|| "newark".into());
+            let stride = f.get("stride").map_or(Ok(14), |s| {
+                s.parse::<u64>().map_err(|e| format!("--stride: {e}"))
+            })?;
+            cmd_compare(&location, stride)
+        }),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown command '{other}'\n\n{}", usage())),
+    };
+
+    match result {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! The Compute Manager (§3.3): server activation, spatial placement, and
+//! temporal scheduling.
+
+mod placement;
+mod temporal;
+
+pub use placement::{server_priority, Placement};
+pub use temporal::{schedule_start, TemporalPolicy};

@@ -1,0 +1,104 @@
+//! Spatial placement (§3.3).
+//!
+//! "CoolAir selects the set of servers that are most prone to heat
+//! recirculation as targets for the current workload. Although this may seem
+//! counter-intuitive, this approach makes it easier to manage temperature
+//! variation… lower recirculation pods tend to be more exposed to the effect
+//! of the cooling infrastructure and, thus, may experience wider
+//! variations." The prior-work placement ([30, 32]) fills *low*
+//! recirculation pods first; both are supported for the Figure 11 ablation.
+
+use coolair_thermal::PodId;
+use serde::{Deserialize, Serialize};
+
+/// Which pods receive load first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Placement {
+    /// Fill the pods most prone to heat recirculation first (CoolAir's
+    /// variation-friendly choice).
+    HighRecircFirst,
+    /// Fill the pods least prone to recirculation first (the energy-optimal
+    /// placement of prior work).
+    LowRecircFirst,
+}
+
+/// Builds a server priority order from the learned pod ranking.
+///
+/// `ranking` lists pods by *descending* recirculation potential (as
+/// produced by the Cooling Modeler). The result lists every server exactly
+/// once: all servers of the first-choice pod, then the second, and so on.
+///
+/// # Panics
+///
+/// Panics if `ranking` is empty or `servers_per_pod` is zero.
+#[must_use]
+pub fn server_priority(
+    placement: Placement,
+    ranking: &[PodId],
+    servers_per_pod: usize,
+) -> Vec<usize> {
+    assert!(!ranking.is_empty(), "empty pod ranking");
+    assert!(servers_per_pod > 0, "servers_per_pod must be positive");
+    let pods: Vec<PodId> = match placement {
+        Placement::HighRecircFirst => ranking.to_vec(),
+        Placement::LowRecircFirst => ranking.iter().rev().copied().collect(),
+    };
+    let mut order = Vec::with_capacity(pods.len() * servers_per_pod);
+    for pod in pods {
+        let base = pod.index() * servers_per_pod;
+        order.extend(base..base + servers_per_pod);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranking() -> Vec<PodId> {
+        // Pod 0 most recirculation-prone, pod 3 least (the Parasol layout).
+        vec![PodId(0), PodId(1), PodId(2), PodId(3)]
+    }
+
+    #[test]
+    fn high_recirc_first_fills_pod0() {
+        let order = server_priority(Placement::HighRecircFirst, &ranking(), 16);
+        assert_eq!(order.len(), 64);
+        assert_eq!(&order[..3], &[0, 1, 2]);
+        assert_eq!(order[16], 16, "pod 1 second");
+        assert_eq!(*order.last().unwrap(), 63);
+    }
+
+    #[test]
+    fn low_recirc_first_fills_pod3() {
+        let order = server_priority(Placement::LowRecircFirst, &ranking(), 16);
+        assert_eq!(&order[..3], &[48, 49, 50]);
+        assert_eq!(*order.last().unwrap(), 15);
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        for placement in [Placement::HighRecircFirst, Placement::LowRecircFirst] {
+            let order = server_priority(placement, &ranking(), 16);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn respects_learned_ranking_order() {
+        // A scrambled ranking (pod 2 most recirc-prone).
+        let scrambled = vec![PodId(2), PodId(0), PodId(3), PodId(1)];
+        let order = server_priority(Placement::HighRecircFirst, &scrambled, 4);
+        assert_eq!(&order[..4], &[8, 9, 10, 11]);
+        let order = server_priority(Placement::LowRecircFirst, &scrambled, 4);
+        assert_eq!(&order[..4], &[4, 5, 6, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty pod ranking")]
+    fn rejects_empty_ranking() {
+        let _ = server_priority(Placement::HighRecircFirst, &[], 16);
+    }
+}

@@ -1,0 +1,269 @@
+//! Temporal scheduling (§3.3).
+//!
+//! For deferrable workloads CoolAir "tries to place as much load as possible
+//! during periods when the hourly predictions of outside air temperature for
+//! the day are within its temperature band", never delaying a job past its
+//! start deadline, and skips scheduling entirely on days when (1) the band
+//! had to slide against Min/Max, or (2) the band does not overlap the
+//! predicted outside temperatures. Energy-DEF instead schedules for the
+//! coolest in-deadline hours, like the prior energy-driven work [2, 22, 27].
+
+use coolair_units::{SimTime, TempDelta, SECS_PER_HOUR};
+use coolair_weather::DailyForecast;
+use coolair_workload::Job;
+use serde::{Deserialize, Serialize};
+
+use crate::manager::band::TempBand;
+
+/// Temporal scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TemporalPolicy {
+    /// No deferral: jobs run on arrival.
+    None,
+    /// All-DEF: defer into hours whose forecast outside temperature maps
+    /// inside the band (band minus Offset, since the band targets inside
+    /// temperatures).
+    BandAware,
+    /// Energy-DEF: defer into the coolest in-deadline hours, minimising
+    /// cooling energy regardless of variation.
+    CoolestHours,
+}
+
+/// Decides the earliest start time for `job`, submitted at `job.submit`,
+/// under the given policy. Returns the submission time itself (no deferral)
+/// whenever the policy, the skip rules, or the deadline say so.
+///
+/// `band_slid` is the flag from band selection; `offset` is the configured
+/// inside-minus-outside Offset used to express the band in outside terms.
+#[must_use]
+pub fn schedule_start(
+    policy: TemporalPolicy,
+    job: &Job,
+    band: Option<(TempBand, bool)>,
+    forecast: &DailyForecast,
+    offset: TempDelta,
+) -> SimTime {
+    let Some(latest) = job.latest_start() else {
+        return job.submit; // non-deferrable
+    };
+    match policy {
+        TemporalPolicy::None => job.submit,
+        TemporalPolicy::BandAware => {
+            let Some((band, slid)) = band else { return job.submit };
+            // Skip-day rule (1): the band slid against Min/Max.
+            if slid {
+                return job.submit;
+            }
+            let outside_band = band.shifted(-offset);
+            let eligible = forecast.hours_within(outside_band.lo(), outside_band.hi());
+            // Skip-day rule (2): no overlap with predicted temperatures.
+            if eligible.is_empty() {
+                return job.submit;
+            }
+            pick_hour(job.submit, latest, &eligible)
+        }
+        TemporalPolicy::CoolestHours => {
+            // Choose the coolest forecast hour reachable before the deadline.
+            let day_start = SimTime::from_days(job.submit.day_index());
+            let first_hour = job.submit.whole_hour_of_day();
+            let mut best: Option<(f64, u32)> = None;
+            for h in first_hour..24 {
+                let start = day_start + coolair_units::SimDuration::from_hours(u64::from(h));
+                if start > latest {
+                    break;
+                }
+                let t = forecast.hourly[h as usize].value();
+                if best.is_none_or(|(bt, _)| t < bt) {
+                    best = Some((t, h));
+                }
+            }
+            match best {
+                Some((_, h)) => {
+                    let start =
+                        day_start + coolair_units::SimDuration::from_hours(u64::from(h));
+                    start.max(job.submit).min(latest)
+                }
+                None => job.submit,
+            }
+        }
+    }
+}
+
+/// Earliest eligible hour at or after submission and before the deadline;
+/// falls back to the submission time when none fits.
+fn pick_hour(submit: SimTime, latest: SimTime, eligible_hours: &[u32]) -> SimTime {
+    let day_start = SimTime::from_days(submit.day_index());
+    for &h in eligible_hours {
+        let start = SimTime::from_secs(day_start.as_secs() + u64::from(h) * SECS_PER_HOUR);
+        if start >= submit && start <= latest {
+            return start;
+        }
+    }
+    // An eligible hour may be in progress right now.
+    let current_hour = submit.whole_hour_of_day();
+    if eligible_hours.contains(&current_hour) {
+        return submit;
+    }
+    submit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coolair_units::{Celsius, SimDuration};
+    use coolair_workload::JobId;
+
+    fn job(submit_h: u64, deadline_h: u64) -> Job {
+        Job {
+            id: JobId(1),
+            submit: SimTime::from_secs(submit_h * SECS_PER_HOUR),
+            map_tasks: 4,
+            reduce_tasks: 1,
+            map_work: 100.0,
+            reduce_work: 10.0,
+            start_deadline: Some(SimDuration::from_hours(deadline_h)),
+        }
+    }
+
+    /// Forecast: cold at night, warm mid-day (peak at 14 h).
+    fn forecast() -> DailyForecast {
+        DailyForecast {
+            day: 0,
+            hourly: (0..24)
+                .map(|h| {
+                    let x = f64::from(h);
+                    Celsius::new(10.0 + 8.0 * (-((x - 14.0) / 6.0).powi(2)).exp())
+                })
+                .collect(),
+        }
+    }
+
+    fn band() -> TempBand {
+        // Inside band [22, 27]; offset 8 → outside-equivalent [14, 19].
+        TempBand::new(Celsius::new(22.0), Celsius::new(27.0))
+    }
+
+    #[test]
+    fn non_deferrable_jobs_start_immediately() {
+        let mut j = job(2, 6);
+        j.start_deadline = None;
+        let s = schedule_start(
+            TemporalPolicy::BandAware,
+            &j,
+            Some((band(), false)),
+            &forecast(),
+            TempDelta::new(8.0),
+        );
+        assert_eq!(s, j.submit);
+    }
+
+    #[test]
+    fn band_aware_defers_into_warm_hours() {
+        // Submitted at 02:00 when outside ~10 °C (below the outside band
+        // [14,19]); eligible hours are mid-day. Deadline 23 h gives room.
+        let j = job(2, 23);
+        let s = schedule_start(
+            TemporalPolicy::BandAware,
+            &j,
+            Some((band(), false)),
+            &forecast(),
+            TempDelta::new(8.0),
+        );
+        assert!(s > j.submit, "should defer");
+        let hour = s.whole_hour_of_day();
+        let t = forecast().hourly[hour as usize].value();
+        assert!((14.0..=19.0).contains(&t), "deferred into hour {hour} at {t}°C");
+    }
+
+    #[test]
+    fn band_aware_respects_deadline() {
+        // Submitted at 02:00, deadline 3 h: warm hours unreachable → run now.
+        let j = job(2, 3);
+        let s = schedule_start(
+            TemporalPolicy::BandAware,
+            &j,
+            Some((band(), false)),
+            &forecast(),
+            TempDelta::new(8.0),
+        );
+        assert_eq!(s, j.submit);
+    }
+
+    #[test]
+    fn slid_band_skips_scheduling() {
+        let j = job(2, 23);
+        let s = schedule_start(
+            TemporalPolicy::BandAware,
+            &j,
+            Some((band(), true)),
+            &forecast(),
+            TempDelta::new(8.0),
+        );
+        assert_eq!(s, j.submit, "§3.3: no temporal scheduling when the band slid");
+    }
+
+    #[test]
+    fn no_overlap_skips_scheduling() {
+        // Band far above any forecast temperature.
+        let hot_band = TempBand::new(Celsius::new(40.0), Celsius::new(45.0));
+        let j = job(2, 23);
+        let s = schedule_start(
+            TemporalPolicy::BandAware,
+            &j,
+            Some((hot_band, false)),
+            &forecast(),
+            TempDelta::new(8.0),
+        );
+        assert_eq!(s, j.submit);
+    }
+
+    #[test]
+    fn coolest_hours_picks_the_trough() {
+        // Submitted at 01:00 with a long deadline: hour 1..24; coolest are
+        // the early-morning hours near 10 °C (far from the 14 h peak).
+        let j = job(1, 22);
+        let s = schedule_start(
+            TemporalPolicy::CoolestHours,
+            &j,
+            None,
+            &forecast(),
+            TempDelta::new(8.0),
+        );
+        let hour = s.whole_hour_of_day();
+        let t = forecast().hourly[hour as usize].value();
+        let min_reachable = forecast().hourly[1..=23]
+            .iter()
+            .map(|c| c.value())
+            .fold(f64::INFINITY, f64::min);
+        assert!((t - min_reachable).abs() < 1e-9, "picked {t}, min {min_reachable}");
+    }
+
+    #[test]
+    fn coolest_hours_never_past_deadline() {
+        // Submitted at 10:00, deadline 2 h: must start by 12:00 even though
+        // evening is cooler.
+        let j = job(10, 2);
+        let s = schedule_start(
+            TemporalPolicy::CoolestHours,
+            &j,
+            None,
+            &forecast(),
+            TempDelta::new(8.0),
+        );
+        assert!(s <= j.latest_start().unwrap());
+        assert!(s >= j.submit);
+    }
+
+    #[test]
+    fn none_policy_never_defers() {
+        let j = job(2, 23);
+        let s = schedule_start(
+            TemporalPolicy::None,
+            &j,
+            Some((band(), false)),
+            &forecast(),
+            TempDelta::new(8.0),
+        );
+        assert_eq!(s, j.submit);
+    }
+}

@@ -1,0 +1,320 @@
+//! CoolAir configuration and the Table 1 system versions.
+
+use coolair_units::{Celsius, RelativeHumidity, SimDuration, TempDelta};
+use serde::{Deserialize, Serialize};
+
+use crate::compute::{Placement, TemporalPolicy};
+
+/// Global CoolAir parameters (§5.1 defaults).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoolAirConfig {
+    /// Typical inside−outside temperature difference added to the forecast
+    /// mean when centring the band (§5.1: 8 °C as normally observed in
+    /// Parasol).
+    pub offset: TempDelta,
+    /// Width of the daily temperature band (§5.1: 5 °C).
+    pub width: TempDelta,
+    /// The band never extends below this temperature (§5.1: 10 °C).
+    pub min_temp: Celsius,
+    /// The band never extends above this temperature, which is also the
+    /// desired maximum absolute temperature (§5.1: 30 °C).
+    pub max_temp: Celsius,
+    /// Relative-humidity ceiling (§5.1: 80 %).
+    pub humidity_limit: RelativeHumidity,
+    /// Maximum tolerated rate of temperature change (§5.1 / ASHRAE:
+    /// 20 °C/hour).
+    pub max_rate_c_per_hour: f64,
+    /// Cooling-regime re-evaluation period (§3.2: every 10 minutes).
+    pub control_period: SimDuration,
+    /// Cooling Model step — the short horizon one model application covers
+    /// (§4.2 validates 2-minute predictions).
+    pub model_step: SimDuration,
+    /// Start deadline assumed for deferrable workloads (§5.1: 6 hours).
+    pub deferral_deadline: SimDuration,
+    /// Compute decisions keep servers active for the demand peak of this
+    /// many recent calls (a ~20-minute hold-down at the 1-minute cadence,
+    /// mirroring the §4.2 decommissioning grace). 1 disables the hold-down
+    /// — the ablation shows why that is a bad idea.
+    pub demand_window: usize,
+}
+
+impl Default for CoolAirConfig {
+    fn default() -> Self {
+        CoolAirConfig {
+            offset: TempDelta::new(8.0),
+            width: TempDelta::new(5.0),
+            min_temp: Celsius::new(10.0),
+            max_temp: Celsius::new(30.0),
+            humidity_limit: RelativeHumidity::new(80.0),
+            max_rate_c_per_hour: 20.0,
+            control_period: SimDuration::from_minutes(10),
+            model_step: SimDuration::from_minutes(2),
+            deferral_deadline: SimDuration::from_hours(6),
+            demand_window: 20,
+        }
+    }
+}
+
+impl CoolAirConfig {
+    /// Prediction sub-steps per control period (10 min / 2 min = 5).
+    #[must_use]
+    pub fn substeps(&self) -> usize {
+        ((self.control_period / self.model_step) as usize).max(1)
+    }
+
+    /// A copy with a different desired maximum temperature (the §5.2
+    /// "impact of the desired maximum temperature" study).
+    #[must_use]
+    pub fn with_max_temp(mut self, max: Celsius) -> Self {
+        self.max_temp = max;
+        self
+    }
+}
+
+/// How the utility function treats the temperature goal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BandPolicy {
+    /// No band: only the absolute maximum temperature is enforced (the
+    /// Temperature and Energy versions).
+    MaxOnly,
+    /// The adaptive daily band selected from the weather forecast.
+    Adaptive,
+    /// A fixed band, e.g. 25–30 °C for the §5.2 Var-Low/High-Recirc
+    /// ablations ("uses no temperature band or weather prediction").
+    Fixed {
+        /// Band lower edge.
+        lo: Celsius,
+        /// Band upper edge.
+        hi: Celsius,
+    },
+}
+
+/// What the utility function penalises for one CoolAir version.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilityProfile {
+    /// Desired maximum absolute temperature.
+    pub max_temp: Celsius,
+    /// Band policy.
+    pub band: BandPolicy,
+    /// Weight on predicted cooling energy (0 disables energy management,
+    /// as in the Variation version).
+    pub energy_weight: f64,
+    /// Whether the ASHRAE rate-of-change term is part of the utility.
+    /// Table 1 gives the Temperature and Energy versions utilities without
+    /// any variation component — which is why their Figure 9 ranges are as
+    /// wide as the baseline's.
+    pub manage_variation: bool,
+}
+
+/// The CoolAir versions of Table 1 plus the §5.2 ablation systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Version {
+    /// Limits absolute temperature below a low setpoint; energy- and
+    /// humidity-aware; low-recirculation placement. "Represents what
+    /// energy-aware thermal management systems do in non-free-cooled
+    /// datacenters today."
+    Temperature,
+    /// Limits temperature variation only (adaptive band, no energy term);
+    /// high-recirculation placement.
+    Variation,
+    /// Manages absolute temperature (30 °C max) and cooling energy, not
+    /// variation; low-recirculation placement.
+    Energy,
+    /// The complete CoolAir for non-deferrable workloads: adaptive band,
+    /// energy, humidity; high-recirculation placement.
+    AllNd,
+    /// The complete CoolAir for deferrable workloads: adds band-aware
+    /// temporal scheduling; low-recirculation placement (Table 1).
+    AllDef,
+    /// §5.2 ablation: fixed 25–30 °C target, low-recirculation placement
+    /// (the prior-work placement of [30, 32]); no weather band.
+    VarLowRecirc,
+    /// §5.2 ablation: fixed 25–30 °C target with high-recirculation
+    /// placement; no weather band.
+    VarHighRecirc,
+    /// §5.2 ablation: the Energy version plus temporal scheduling purely
+    /// for cooling energy (schedules load into the coolest hours, as in
+    /// prior work [2, 22, 27]).
+    EnergyDef,
+}
+
+impl Version {
+    /// All versions, in Table 1 order followed by the ablations.
+    pub const ALL: [Version; 8] = [
+        Version::Temperature,
+        Version::Variation,
+        Version::Energy,
+        Version::AllNd,
+        Version::AllDef,
+        Version::VarLowRecirc,
+        Version::VarHighRecirc,
+        Version::EnergyDef,
+    ];
+
+    /// Human-readable name matching the paper's figures.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Version::Temperature => "Temperature",
+            Version::Variation => "Variation",
+            Version::Energy => "Energy",
+            Version::AllNd => "All-ND",
+            Version::AllDef => "All-DEF",
+            Version::VarLowRecirc => "Var-Low-Recirc",
+            Version::VarHighRecirc => "Var-High-Recirc",
+            Version::EnergyDef => "Energy-DEF",
+        }
+    }
+
+    /// The utility profile for this version under `cfg` (Table 1).
+    #[must_use]
+    pub fn utility(self, cfg: &CoolAirConfig) -> UtilityProfile {
+        match self {
+            // "Lower max temp": the lowest setpoint that achieves the same
+            // PUE as the baseline; the paper uses 29 °C at its locations.
+            Version::Temperature => UtilityProfile {
+                max_temp: cfg.max_temp - TempDelta::new(1.0),
+                band: BandPolicy::MaxOnly,
+                energy_weight: 1.0,
+                manage_variation: false,
+            },
+            Version::Variation => UtilityProfile {
+                max_temp: cfg.max_temp,
+                band: BandPolicy::Adaptive,
+                energy_weight: 0.0,
+                manage_variation: true,
+            },
+            Version::Energy | Version::EnergyDef => UtilityProfile {
+                max_temp: cfg.max_temp,
+                band: BandPolicy::MaxOnly,
+                energy_weight: 1.0,
+                manage_variation: false,
+            },
+            Version::AllNd | Version::AllDef => UtilityProfile {
+                max_temp: cfg.max_temp,
+                band: BandPolicy::Adaptive,
+                energy_weight: 1.0,
+                manage_variation: true,
+            },
+            Version::VarLowRecirc | Version::VarHighRecirc => UtilityProfile {
+                max_temp: cfg.max_temp,
+                band: BandPolicy::Fixed {
+                    lo: cfg.max_temp - TempDelta::new(5.0),
+                    hi: cfg.max_temp,
+                },
+                energy_weight: 0.0,
+                manage_variation: true,
+            },
+        }
+    }
+
+    /// Spatial placement policy (Table 1).
+    #[must_use]
+    pub fn placement(self) -> Placement {
+        match self {
+            Version::Variation | Version::AllNd | Version::VarHighRecirc => {
+                Placement::HighRecircFirst
+            }
+            Version::Temperature
+            | Version::Energy
+            | Version::AllDef
+            | Version::VarLowRecirc
+            | Version::EnergyDef => Placement::LowRecircFirst,
+        }
+    }
+
+    /// Temporal scheduling policy (Table 1 / §5.2).
+    #[must_use]
+    pub fn temporal(self) -> TemporalPolicy {
+        match self {
+            Version::AllDef => TemporalPolicy::BandAware,
+            Version::EnergyDef => TemporalPolicy::CoolestHours,
+            _ => TemporalPolicy::None,
+        }
+    }
+
+    /// `true` for versions designed for deferrable workloads.
+    #[must_use]
+    pub fn is_deferrable(self) -> bool {
+        self.temporal() != TemporalPolicy::None
+    }
+}
+
+impl std::fmt::Display for Version {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_section_51() {
+        let cfg = CoolAirConfig::default();
+        assert_eq!(cfg.offset.degrees(), 8.0);
+        assert_eq!(cfg.width.degrees(), 5.0);
+        assert_eq!(cfg.min_temp, Celsius::new(10.0));
+        assert_eq!(cfg.max_temp, Celsius::new(30.0));
+        assert_eq!(cfg.humidity_limit.percent(), 80.0);
+        assert_eq!(cfg.max_rate_c_per_hour, 20.0);
+        assert_eq!(cfg.substeps(), 5);
+    }
+
+    #[test]
+    fn table1_placement() {
+        assert_eq!(Version::Temperature.placement(), Placement::LowRecircFirst);
+        assert_eq!(Version::Variation.placement(), Placement::HighRecircFirst);
+        assert_eq!(Version::Energy.placement(), Placement::LowRecircFirst);
+        assert_eq!(Version::AllNd.placement(), Placement::HighRecircFirst);
+        assert_eq!(Version::AllDef.placement(), Placement::LowRecircFirst);
+    }
+
+    #[test]
+    fn table1_temporal() {
+        assert_eq!(Version::AllDef.temporal(), TemporalPolicy::BandAware);
+        assert_eq!(Version::EnergyDef.temporal(), TemporalPolicy::CoolestHours);
+        for v in [Version::Temperature, Version::Variation, Version::Energy, Version::AllNd] {
+            assert_eq!(v.temporal(), TemporalPolicy::None);
+        }
+    }
+
+    #[test]
+    fn table1_utility() {
+        let cfg = CoolAirConfig::default();
+        let t = Version::Temperature.utility(&cfg);
+        assert_eq!(t.max_temp, Celsius::new(29.0));
+        assert_eq!(t.band, BandPolicy::MaxOnly);
+        assert!(t.energy_weight > 0.0);
+
+        let v = Version::Variation.utility(&cfg);
+        assert_eq!(v.band, BandPolicy::Adaptive);
+        assert_eq!(v.energy_weight, 0.0);
+
+        let a = Version::AllNd.utility(&cfg);
+        assert_eq!(a.band, BandPolicy::Adaptive);
+        assert!(a.energy_weight > 0.0);
+
+        let ab = Version::VarHighRecirc.utility(&cfg);
+        assert_eq!(
+            ab.band,
+            BandPolicy::Fixed { lo: Celsius::new(25.0), hi: Celsius::new(30.0) }
+        );
+    }
+
+    #[test]
+    fn deferrable_flags() {
+        assert!(Version::AllDef.is_deferrable());
+        assert!(Version::EnergyDef.is_deferrable());
+        assert!(!Version::AllNd.is_deferrable());
+    }
+
+    #[test]
+    fn max_temp_override() {
+        let cfg = CoolAirConfig::default().with_max_temp(Celsius::new(25.0));
+        assert_eq!(cfg.max_temp, Celsius::new(25.0));
+        let u = Version::AllNd.utility(&cfg);
+        assert_eq!(u.max_temp, Celsius::new(25.0));
+    }
+}

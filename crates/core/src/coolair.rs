@@ -1,0 +1,304 @@
+//! The CoolAir system facade: Cooling Manager + Compute Manager wired to a
+//! learned Cooling Model.
+
+use coolair_thermal::{Infrastructure, SensorReadings, SERVERS_PER_POD};
+use coolair_units::SimTime;
+use coolair_weather::Forecaster;
+use coolair_workload::Job;
+
+use crate::compute::{schedule_start, server_priority};
+use crate::config::{CoolAirConfig, Version};
+use crate::manager::band::{select_band, TempBand};
+use crate::manager::optimizer::{CoolingOptimizer, Decision};
+use crate::modeler::CoolingModel;
+
+/// A running CoolAir instance for one datacenter (cooling zone).
+///
+/// Drive it from a simulation (or a real deployment shim) as follows:
+///
+/// 1. call [`CoolAir::observe`] with fresh sensor readings every model step
+///    (2 minutes) so the predictor has the short history it needs;
+/// 2. call [`CoolAir::decide_cooling`] every control period (10 minutes) and
+///    apply the returned regime via the Cooling Configurer;
+/// 3. call [`CoolAir::decide_compute`] whenever the workload's demand
+///    changes and apply the returned activation target and server priority
+///    via the Compute Configurer;
+/// 4. for deferrable workloads, ask [`CoolAir::schedule_job`] for each
+///    arriving job's earliest start.
+#[derive(Debug)]
+pub struct CoolAir {
+    version: Version,
+    cfg: CoolAirConfig,
+    model: CoolingModel,
+    forecaster: Forecaster,
+    infra: Infrastructure,
+    optimizer: CoolingOptimizer,
+    band: Option<(TempBand, bool)>,
+    band_day: Option<u64>,
+    prev_reading: Option<SensorReadings>,
+    last_reading: Option<SensorReadings>,
+    priority: Vec<usize>,
+    active_pods: Vec<bool>,
+    demand_window: std::collections::VecDeque<usize>,
+}
+
+impl CoolAir {
+    /// Assembles a CoolAir instance.
+    #[must_use]
+    pub fn new(
+        version: Version,
+        cfg: CoolAirConfig,
+        model: CoolingModel,
+        forecaster: Forecaster,
+        infra: Infrastructure,
+    ) -> Self {
+        let priority =
+            server_priority(version.placement(), model.recirc_ranking(), SERVERS_PER_POD);
+        let pods = model.pods();
+        let optimizer = CoolingOptimizer::new(version.utility(&cfg), infra);
+        let window_capacity = cfg.demand_window.max(1);
+        CoolAir {
+            version,
+            cfg,
+            model,
+            forecaster,
+            infra,
+            optimizer,
+            band: None,
+            band_day: None,
+            prev_reading: None,
+            last_reading: None,
+            priority,
+            active_pods: vec![true; pods],
+            demand_window: std::collections::VecDeque::with_capacity(window_capacity),
+        }
+    }
+
+    /// The version this instance implements.
+    #[must_use]
+    pub fn version(&self) -> Version {
+        self.version
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &CoolAirConfig {
+        &self.cfg
+    }
+
+    /// The infrastructure this instance drives.
+    #[must_use]
+    pub fn infrastructure(&self) -> Infrastructure {
+        self.infra
+    }
+
+    /// The current day's temperature band, if one has been selected.
+    #[must_use]
+    pub fn band(&self) -> Option<TempBand> {
+        self.band.map(|(b, _)| b)
+    }
+
+    /// The learned model backing this instance.
+    #[must_use]
+    pub fn model(&self) -> &CoolingModel {
+        &self.model
+    }
+
+    /// Records a sensor snapshot (call every model step so the predictor
+    /// sees a 2-minute-old "previous" state, as it was trained on).
+    pub fn observe(&mut self, readings: SensorReadings) {
+        self.prev_reading = self.last_reading.take();
+        self.last_reading = Some(readings);
+    }
+
+    /// Ensures the daily band has been selected for the day containing
+    /// `now` (§3.2: once per day, from the forecast).
+    pub fn ensure_band(&mut self, now: SimTime) {
+        let day = now.day_index();
+        if self.band_day != Some(day) {
+            let forecast = self.forecaster.forecast_for(now);
+            self.band = Some(select_band(&forecast, &self.cfg));
+            self.band_day = Some(day);
+        }
+    }
+
+    /// Selects the cooling regime for the next control period.
+    pub fn decide_cooling(&mut self, readings: &SensorReadings, now: SimTime) -> Decision {
+        self.ensure_band(now);
+        let band = self.band.map(|(b, _)| b);
+        let prev = match (&self.last_reading, &self.prev_reading) {
+            // If the freshest observation is the same snapshot we were just
+            // handed, use the one before it as "previous".
+            (Some(last), Some(prev)) if last.time == readings.time => Some(prev),
+            (Some(last), _) => Some(last),
+            _ => None,
+        };
+        self.optimizer.select(&self.model, &self.cfg, readings, prev, band, &self.active_pods)
+    }
+
+    /// Sizes the active server set for the current `demand` (servers of
+    /// work available) and returns `(target, priority order)`. Also updates
+    /// which pods count as active for the utility function.
+    pub fn decide_compute(&mut self, demand: usize, covering: usize) -> (usize, &[usize]) {
+        let total = self.priority.len();
+        // Rapid wake/sleep cycling would both thrash disks and inject
+        // heat-load swings — the exact variation CoolAir exists to
+        // suppress; the hold-down matches the §4.2 decommission grace.
+        while self.demand_window.len() >= self.cfg.demand_window.max(1) {
+            self.demand_window.pop_front();
+        }
+        self.demand_window.push_back(demand);
+        let held = self.demand_window.iter().copied().max().unwrap_or(demand);
+        let target = held.min(total);
+        // Active pods: those hosting covering-subset servers (indices
+        // 0..covering) plus those receiving the first `target` priority
+        // servers.
+        let pods = self.model.pods();
+        let mut active = vec![false; pods];
+        for s in 0..covering.min(total) {
+            active[s / SERVERS_PER_POD] = true;
+        }
+        for &s in self.priority.iter().take(target) {
+            active[s / SERVERS_PER_POD] = true;
+        }
+        self.active_pods = active;
+        (target, &self.priority)
+    }
+
+    /// Currently active pods (by the latest compute decision).
+    #[must_use]
+    pub fn active_pods(&self) -> &[bool] {
+        &self.active_pods
+    }
+
+    /// Earliest start time for an arriving job under this version's
+    /// temporal policy (§3.3).
+    pub fn schedule_job(&mut self, job: &Job, now: SimTime) -> SimTime {
+        self.ensure_band(now);
+        let forecast = self.forecaster.forecast_for(now);
+        schedule_start(self.version.temporal(), job, self.band, &forecast, self.cfg.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modeler::{train_cooling_model, TrainingConfig};
+    use coolair_thermal::CoolingRegime;
+    use coolair_units::{psychro, Celsius, RelativeHumidity, SimDuration, Watts};
+    use coolair_weather::{Location, TmySeries};
+    use coolair_workload::JobId;
+
+    fn build(version: Version) -> CoolAir {
+        let tmy = TmySeries::generate(&Location::newark(), 11);
+        let model = train_cooling_model(&tmy, &TrainingConfig::quick());
+        CoolAir::new(
+            version,
+            CoolAirConfig::default(),
+            model,
+            Forecaster::perfect(tmy),
+            Infrastructure::Parasol,
+        )
+    }
+
+    fn readings(inlet: f64, outside: f64, t: SimTime) -> SensorReadings {
+        let temp = Celsius::new(inlet);
+        let out = Celsius::new(outside);
+        SensorReadings {
+            time: t,
+            outside_temp: out,
+            outside_rh: RelativeHumidity::new(60.0),
+            outside_abs: psychro::absolute_humidity(out, RelativeHumidity::new(60.0)),
+            pod_inlets: vec![temp; 4],
+            cold_aisle_rh: RelativeHumidity::new(45.0),
+            cold_aisle_abs: psychro::absolute_humidity(temp, RelativeHumidity::new(45.0)),
+            hot_aisle: Celsius::new(inlet + 6.0),
+            disk_temps: vec![Celsius::new(inlet + 10.0); 4],
+            regime: CoolingRegime::Closed,
+            cooling_power: Watts::ZERO,
+            it_power: Watts::new(500.0),
+            active_fraction: 0.3,
+        }
+    }
+
+    #[test]
+    fn band_selected_once_per_day() {
+        let mut ca = build(Version::AllNd);
+        assert!(ca.band().is_none());
+        ca.ensure_band(SimTime::from_days(10));
+        let b1 = ca.band().unwrap();
+        // Same day: unchanged.
+        ca.ensure_band(SimTime::from_days(10) + SimDuration::from_hours(10));
+        assert_eq!(ca.band().unwrap(), b1);
+        // New day: may move.
+        ca.ensure_band(SimTime::from_days(180));
+        let b2 = ca.band().unwrap();
+        assert!(b2.hi() <= Celsius::new(30.0));
+        assert!(b1.hi() <= Celsius::new(30.0));
+    }
+
+    #[test]
+    fn decide_cooling_returns_sanitizable_regime() {
+        let mut ca = build(Version::AllNd);
+        let now = SimTime::from_days(20);
+        let r = readings(24.0, 10.0, now);
+        ca.observe(r.clone());
+        let d = ca.decide_cooling(&r, now);
+        assert_eq!(d.regime, ca.infrastructure().sanitize(d.regime));
+    }
+
+    #[test]
+    fn compute_decision_marks_active_pods() {
+        let mut ca = build(Version::AllNd);
+        // All-ND → high-recirc-first → pod 0 first; covering (8 servers)
+        // also lives in pod 0.
+        let (target, order) = ca.decide_compute(10, 8);
+        assert_eq!(target, 10);
+        assert_eq!(order.len(), 64);
+        let active = ca.active_pods();
+        assert!(active[0], "pod 0 hosts covering subset and first placements");
+        assert!(!active[3], "pod 3 idle under high-recirc-first with demand 10");
+    }
+
+    #[test]
+    fn low_recirc_version_fills_opposite_end() {
+        let mut ca = build(Version::Energy);
+        let (_, order) = ca.decide_compute(10, 8);
+        assert_eq!(order[0] / SERVERS_PER_POD, 3, "Energy fills pod 3 first");
+        let active = ca.active_pods();
+        assert!(active[3]);
+        assert!(active[0], "covering pod is always active");
+    }
+
+    #[test]
+    fn schedule_job_defers_only_for_deferrable_versions() {
+        let now = SimTime::from_days(15);
+        let job = Job {
+            id: JobId(9),
+            submit: now + SimDuration::from_hours(2),
+            map_tasks: 4,
+            reduce_tasks: 1,
+            map_work: 100.0,
+            reduce_work: 10.0,
+            start_deadline: Some(SimDuration::from_hours(6)),
+        };
+        let mut nd = build(Version::AllNd);
+        assert_eq!(nd.schedule_job(&job, now), job.submit, "All-ND never defers");
+        let mut def = build(Version::AllDef);
+        let s = def.schedule_job(&job, now);
+        assert!(s >= job.submit);
+        assert!(s <= job.latest_start().unwrap());
+    }
+
+    #[test]
+    fn observe_keeps_two_snapshots() {
+        let mut ca = build(Version::AllNd);
+        let t0 = SimTime::from_days(20);
+        let t1 = t0 + SimDuration::from_minutes(2);
+        ca.observe(readings(24.0, 10.0, t0));
+        ca.observe(readings(24.5, 10.0, t1));
+        // Decide with the latest snapshot: prev must be the t0 one.
+        let d = ca.decide_cooling(&readings(24.5, 10.0, t1), t1);
+        let _ = d; // exercised the two-snapshot path without panicking
+    }
+}

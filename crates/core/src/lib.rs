@@ -1,0 +1,60 @@
+//! CoolAir: temperature- and variation-aware management for free-cooled
+//! datacenters.
+//!
+//! This crate is the paper's primary contribution (§3–§4): a workload and
+//! cooling management system that limits absolute inlet temperatures, daily
+//! temperature variation, relative humidity, and cooling energy. It follows
+//! the paper's architecture (Figure 2):
+//!
+//! - the **Cooling Modeler** ([`modeler`]) collects monitoring data under
+//!   the default controller, learns per-regime (and per-transition) linear
+//!   models of temperature and humidity, a piecewise-linear cooling-power
+//!   model, and the pods' heat-recirculation ranking;
+//! - the **Cooling Manager** ([`manager`]) selects a daily temperature band
+//!   from the weather forecast, and every 10 minutes rolls the Cooling
+//!   Predictor forward for each candidate cooling regime, scoring each with
+//!   the §3.2 utility function;
+//! - the **Compute Manager** ([`compute`]) sizes the active server set,
+//!   places load spatially by recirculation rank, and — for deferrable
+//!   workloads — schedules job start times against the band.
+//!
+//! [`CoolAir`] ties the three together; [`Version`] captures the paper's
+//! Table 1 system variants (Temperature, Variation, Energy, All-ND,
+//! All-DEF) plus the §5.2 ablations (Var-Low-Recirc, Var-High-Recirc,
+//! Energy-DEF).
+//!
+//! # Example: train a model and run one control decision
+//!
+//! ```no_run
+//! use coolair::{train_cooling_model, CoolAir, CoolAirConfig, TrainingConfig, Version};
+//! use coolair_thermal::{Infrastructure, Plant, PlantConfig};
+//! use coolair_weather::{Forecaster, Location, TmySeries};
+//! use coolair_units::SimTime;
+//!
+//! let location = Location::newark();
+//! let tmy = TmySeries::generate(&location, 42);
+//! let model = train_cooling_model(&tmy, &TrainingConfig::default());
+//! let coolair = CoolAir::new(
+//!     Version::AllNd,
+//!     CoolAirConfig::default(),
+//!     model,
+//!     Forecaster::perfect(tmy),
+//!     Infrastructure::Smooth,
+//! );
+//! # let _ = coolair;
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod compute;
+mod config;
+mod coolair;
+pub mod manager;
+pub mod modeler;
+
+pub use compute::{Placement, TemporalPolicy};
+pub use config::{BandPolicy, CoolAirConfig, UtilityProfile, Version};
+pub use coolair::CoolAir;
+pub use manager::band::TempBand;
+pub use modeler::{train_cooling_model, CoolingModel, TrainingConfig};

@@ -1,0 +1,177 @@
+//! Daily temperature-band selection (§3.2, Figure 3).
+
+use coolair_units::{Celsius, TempDelta};
+use coolair_weather::DailyForecast;
+use serde::{Deserialize, Serialize};
+
+use crate::config::CoolAirConfig;
+
+/// A target range of inlet temperatures CoolAir tries to stay inside for
+/// one day.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TempBand {
+    lo: Celsius,
+    hi: Celsius,
+}
+
+impl TempBand {
+    /// Creates a band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn new(lo: Celsius, hi: Celsius) -> Self {
+        assert!(lo <= hi, "band bounds inverted: {lo} > {hi}");
+        TempBand { lo, hi }
+    }
+
+    /// Lower edge.
+    #[must_use]
+    pub fn lo(self) -> Celsius {
+        self.lo
+    }
+
+    /// Upper edge.
+    #[must_use]
+    pub fn hi(self) -> Celsius {
+        self.hi
+    }
+
+    /// Band width.
+    #[must_use]
+    pub fn width(self) -> TempDelta {
+        self.hi - self.lo
+    }
+
+    /// `true` when `t` lies within the band (inclusive).
+    #[must_use]
+    pub fn contains(self, t: Celsius) -> bool {
+        t >= self.lo && t <= self.hi
+    }
+
+    /// Distance (°C) of `t` outside the band; 0 when inside.
+    #[must_use]
+    pub fn distance_outside(self, t: Celsius) -> f64 {
+        if t < self.lo {
+            (self.lo - t).degrees()
+        } else if t > self.hi {
+            (t - self.hi).degrees()
+        } else {
+            0.0
+        }
+    }
+
+    /// The band shifted by `delta` (used to express an inside-temperature
+    /// band in outside-temperature terms via the Offset).
+    #[must_use]
+    pub fn shifted(self, delta: TempDelta) -> TempBand {
+        TempBand { lo: self.lo + delta, hi: self.hi + delta }
+    }
+}
+
+impl std::fmt::Display for TempBand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:.1}, {:.1}]", self.lo.value(), self.hi.value())
+    }
+}
+
+/// Selects the day's band from the forecast (Figure 3): `Width` degrees
+/// wide, centred on the day's mean predicted outside temperature plus
+/// `Offset`, slid back inside `[Min, Max]` when it would protrude.
+///
+/// Returns the band and a flag indicating whether it had to slide — the
+/// condition under which All-DEF skips temporal scheduling (§3.3).
+#[must_use]
+pub fn select_band(forecast: &DailyForecast, cfg: &CoolAirConfig) -> (TempBand, bool) {
+    let center = forecast.daily_mean() + cfg.offset;
+    let half = cfg.width / 2.0;
+    let mut lo = center - half;
+    let mut hi = center + half;
+    let mut slid = false;
+    if hi > cfg.max_temp {
+        hi = cfg.max_temp;
+        lo = (cfg.max_temp - cfg.width).max(cfg.min_temp);
+        slid = true;
+    } else if lo < cfg.min_temp {
+        lo = cfg.min_temp;
+        hi = (cfg.min_temp + cfg.width).min(cfg.max_temp);
+        slid = true;
+    }
+    (TempBand::new(lo, hi), slid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn forecast_with_mean(mean: f64) -> DailyForecast {
+        DailyForecast { day: 0, hourly: vec![Celsius::new(mean); 24] }
+    }
+
+    fn cfg() -> CoolAirConfig {
+        CoolAirConfig::default()
+    }
+
+    #[test]
+    fn band_centres_on_mean_plus_offset() {
+        // Mean 15 °C + offset 8 = 23 centre; width 5 → [20.5, 25.5].
+        let (band, slid) = select_band(&forecast_with_mean(15.0), &cfg());
+        assert!(!slid);
+        assert!((band.lo().value() - 20.5).abs() < 1e-9);
+        assert!((band.hi().value() - 25.5).abs() < 1e-9);
+        assert_eq!(band.width().degrees(), 5.0);
+    }
+
+    #[test]
+    fn hot_day_slides_below_max() {
+        // Mean 30 + 8 = 38 centre: band must slide to [25, 30].
+        let (band, slid) = select_band(&forecast_with_mean(30.0), &cfg());
+        assert!(slid);
+        assert_eq!(band.hi(), Celsius::new(30.0));
+        assert_eq!(band.lo(), Celsius::new(25.0));
+    }
+
+    #[test]
+    fn cold_day_slides_above_min() {
+        // Mean -10 + 8 = -2 centre: band must slide to [10, 15].
+        let (band, slid) = select_band(&forecast_with_mean(-10.0), &cfg());
+        assert!(slid);
+        assert_eq!(band.lo(), Celsius::new(10.0));
+        assert_eq!(band.hi(), Celsius::new(15.0));
+    }
+
+    #[test]
+    fn containment_and_distance() {
+        let band = TempBand::new(Celsius::new(20.0), Celsius::new(25.0));
+        assert!(band.contains(Celsius::new(22.0)));
+        assert!(band.contains(Celsius::new(20.0)));
+        assert!(!band.contains(Celsius::new(26.0)));
+        assert_eq!(band.distance_outside(Celsius::new(27.5)), 2.5);
+        assert_eq!(band.distance_outside(Celsius::new(18.0)), 2.0);
+        assert_eq!(band.distance_outside(Celsius::new(23.0)), 0.0);
+    }
+
+    #[test]
+    fn shifted_band() {
+        let band = TempBand::new(Celsius::new(20.0), Celsius::new(25.0));
+        let out = band.shifted(TempDelta::new(-8.0));
+        assert_eq!(out.lo(), Celsius::new(12.0));
+        assert_eq!(out.hi(), Celsius::new(17.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "band bounds inverted")]
+    fn rejects_inverted_band() {
+        let _ = TempBand::new(Celsius::new(25.0), Celsius::new(20.0));
+    }
+
+    #[test]
+    fn consecutive_day_bands_overlap_with_default_width() {
+        // §3.2: Width is set so bands of consecutive days almost always
+        // overlap. Two days whose means differ by 4 °C must overlap.
+        let (b1, _) = select_band(&forecast_with_mean(14.0), &cfg());
+        let (b2, _) = select_band(&forecast_with_mean(18.0), &cfg());
+        assert!(b1.hi() >= b2.lo(), "bands {b1} and {b2} must overlap");
+    }
+}

@@ -1,0 +1,178 @@
+//! The Cooling Configurer for Parasol (§4.2).
+//!
+//! "This is the only module that interacts directly with the cooling
+//! infrastructure" (§3.2). On Parasol, CoolAir has no direct regime API:
+//! "CoolAir translates its desired actions into changes to the TKS
+//! temperature setpoint SP… By changing the TKS setpoint, we can also turn
+//! off the free cooling (which stops the flow of air into and out of
+//! Parasol), change the free cooling fan speed, and activate the AC" (§4.2).
+//!
+//! The simulation engine normally commands regimes directly (the smooth
+//! infrastructure has a native interface); this module exists to exercise
+//! the *real deployment path* and is validated against the direct one.
+
+use coolair_thermal::{CoolingRegime, SensorReadings, TksController};
+use coolair_units::{Celsius, TempDelta};
+
+/// Drives a TKS controller so it produces the regimes CoolAir wants.
+#[derive(Debug)]
+pub struct ParasolConfigurer {
+    tks: TksController,
+}
+
+impl ParasolConfigurer {
+    /// Wraps the container's TKS controller.
+    #[must_use]
+    pub fn new(tks: TksController) -> Self {
+        ParasolConfigurer { tks }
+    }
+
+    /// The wrapped controller (for inspection).
+    #[must_use]
+    pub fn tks(&self) -> &TksController {
+        &self.tks
+    }
+
+    /// Retargets the TKS setpoint so that its own control law yields (the
+    /// closest realisable approximation of) `desired`, then runs it.
+    ///
+    /// The inverse mapping per §4.1's control law:
+    /// - **Closed**: the TKS closes when the control temperature is below
+    ///   `SP − P`, so raise SP above `T_ctrl + P`.
+    /// - **Free cooling**: the TKS free-cools when `T_ctrl ∈ [SP − P, SP]`
+    ///   and picks fan speed from `T_ctrl − T_out`; place SP just above the
+    ///   control temperature. The exact speed is the TKS's choice — on
+    ///   Parasol CoolAir only controls the *regime*, one reason fine
+    ///   variation control is impossible there.
+    /// - **AC**: the TKS enters HOT mode when the outside temperature
+    ///   exceeds SP (plus hysteresis), so drop SP below outside; its
+    ///   compressor then cycles against SP, so position SP near the control
+    ///   temperature to get the on/off phase CoolAir wants.
+    pub fn apply(&mut self, desired: CoolingRegime, readings: &SensorReadings) -> CoolingRegime {
+        let t_ctrl = readings.max_inlet();
+        let t_out = readings.outside_temp;
+        let p = self.tks.config().proportional_band;
+        let hysteresis = self.tks.config().hysteresis;
+
+        let setpoint = match desired {
+            CoolingRegime::Closed => t_ctrl + TempDelta::new(p + 2.0),
+            CoolingRegime::FreeCooling { .. } => {
+                // Keep the control temperature inside the proportional band,
+                // but never let SP fall below outside (that would flip the
+                // TKS into HOT mode and start the AC).
+                let candidate = t_ctrl + TempDelta::new(1.0);
+                candidate.max(t_out + TempDelta::new(hysteresis + 0.5))
+            }
+            CoolingRegime::Ac { compressor } => {
+                // Below-outside SP forces HOT mode; SP relative to the
+                // control temperature picks the compressor phase.
+                let hot_mode_cap = t_out - TempDelta::new(hysteresis + 0.5);
+                if compressor > 0.0 {
+                    // Compressor runs while T_ctrl > SP.
+                    (t_ctrl - TempDelta::new(1.0)).min(hot_mode_cap)
+                } else {
+                    // Compressor stops below SP − 2.
+                    (t_ctrl + TempDelta::new(self.tks.config().ac_off_delta + 1.0))
+                        .min(hot_mode_cap)
+                }
+            }
+        };
+        self.tks.set_setpoint(clamp_setpoint(setpoint));
+        self.tks.decide(readings)
+    }
+}
+
+/// The TKS accepts setpoints in a bounded dial range.
+fn clamp_setpoint(sp: Celsius) -> Celsius {
+    sp.clamp(Celsius::new(5.0), Celsius::new(45.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coolair_thermal::{RegimeClass, TksConfig};
+    use coolair_units::{psychro, AbsoluteHumidity, RelativeHumidity, SimTime, Watts};
+
+    fn readings(inlet: f64, outside: f64) -> SensorReadings {
+        let t = Celsius::new(inlet);
+        let out = Celsius::new(outside);
+        SensorReadings {
+            time: SimTime::EPOCH,
+            outside_temp: out,
+            outside_rh: RelativeHumidity::new(50.0),
+            outside_abs: psychro::absolute_humidity(out, RelativeHumidity::new(50.0)),
+            pod_inlets: vec![t; 4],
+            cold_aisle_rh: RelativeHumidity::new(40.0),
+            cold_aisle_abs: AbsoluteHumidity::new(6.0),
+            hot_aisle: Celsius::new(inlet + 5.0),
+            disk_temps: vec![Celsius::new(inlet + 8.0); 4],
+            regime: CoolingRegime::Closed,
+            cooling_power: Watts::ZERO,
+            it_power: Watts::new(500.0),
+            active_fraction: 0.3,
+        }
+    }
+
+    fn configurer() -> ParasolConfigurer {
+        ParasolConfigurer::new(TksController::new(TksConfig::factory()))
+    }
+
+    #[test]
+    fn closed_request_yields_closed() {
+        let mut c = configurer();
+        let got = c.apply(CoolingRegime::Closed, &readings(22.0, 10.0));
+        assert_eq!(got.class(), RegimeClass::Closed);
+    }
+
+    #[test]
+    fn free_cooling_request_yields_free_cooling() {
+        let mut c = configurer();
+        let got = c.apply(
+            CoolingRegime::free_cooling(coolair_units::FanSpeed::PARASOL_MIN),
+            &readings(26.0, 12.0),
+        );
+        assert_eq!(got.class(), RegimeClass::FreeCooling);
+    }
+
+    #[test]
+    fn ac_request_yields_compressor_on() {
+        let mut c = configurer();
+        let got = c.apply(CoolingRegime::ac_on(), &readings(31.0, 35.0));
+        assert_eq!(got.class(), RegimeClass::AcCompressorOn);
+    }
+
+    #[test]
+    fn ac_fan_only_request_parks_compressor() {
+        let mut c = configurer();
+        // Enter HOT mode with the compressor running first.
+        let _ = c.apply(CoolingRegime::ac_on(), &readings(33.0, 36.0));
+        // Now ask for fan-only while the interior has cooled.
+        let got = c.apply(CoolingRegime::ac_fan_only(), &readings(27.0, 36.0));
+        assert_eq!(got.class(), RegimeClass::AcFanOnly);
+    }
+
+    #[test]
+    fn regime_sequence_round_trips_through_setpoints() {
+        // CoolAir's typical day: close overnight, free-cool in the morning,
+        // AC through a heat spike, then free-cool again.
+        let mut c = configurer();
+        let seq = [
+            (CoolingRegime::Closed, readings(18.0, 5.0), RegimeClass::Closed),
+            (
+                CoolingRegime::free_cooling(coolair_units::FanSpeed::new(0.5).unwrap()),
+                readings(27.0, 15.0),
+                RegimeClass::FreeCooling,
+            ),
+            (CoolingRegime::ac_on(), readings(31.0, 34.0), RegimeClass::AcCompressorOn),
+            (
+                CoolingRegime::free_cooling(coolair_units::FanSpeed::PARASOL_MIN),
+                readings(28.0, 20.0),
+                RegimeClass::FreeCooling,
+            ),
+        ];
+        for (desired, r, expect) in seq {
+            let got = c.apply(desired, &r);
+            assert_eq!(got.class(), expect, "wanted {desired}, TKS produced {got}");
+        }
+    }
+}

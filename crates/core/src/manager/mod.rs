@@ -1,0 +1,14 @@
+//! The Cooling Manager (§3.2): temperature-band selection, the Cooling
+//! Predictor, the utility function, and the Cooling Optimizer.
+
+pub mod band;
+pub mod configurer;
+pub mod optimizer;
+pub mod predictor;
+pub mod utility;
+
+pub use band::TempBand;
+pub use configurer::ParasolConfigurer;
+pub use optimizer::{CoolingOptimizer, Decision};
+pub use predictor::{predict_regime, Prediction};
+pub use utility::utility_penalty;

@@ -1,0 +1,240 @@
+//! The Cooling Optimizer (§3.2): pick the best regime for the next period.
+
+use coolair_thermal::{CoolingRegime, Infrastructure, SensorReadings};
+use serde::{Deserialize, Serialize};
+
+use crate::config::{CoolAirConfig, UtilityProfile};
+use crate::manager::band::TempBand;
+use crate::manager::predictor::{predict_regime, Prediction};
+use crate::manager::utility::utility_penalty;
+use crate::modeler::CoolingModel;
+
+/// The optimizer's choice for the next control period.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Decision {
+    /// The selected regime.
+    pub regime: CoolingRegime,
+    /// Its utility penalty (lower is better).
+    pub penalty: f64,
+    /// Its predicted outcome.
+    pub prediction: Prediction,
+    /// How many candidates were evaluated.
+    pub candidates: usize,
+}
+
+/// Evaluates every candidate regime the infrastructure offers and returns
+/// the one with the lowest utility penalty; predicted cooling energy breaks
+/// ties, so "do nothing" (closed) wins whenever nothing is at risk.
+#[derive(Debug, Clone)]
+pub struct CoolingOptimizer {
+    profile: UtilityProfile,
+    infra: Infrastructure,
+}
+
+impl CoolingOptimizer {
+    /// Creates an optimizer for one version's utility profile on the given
+    /// infrastructure.
+    #[must_use]
+    pub fn new(profile: UtilityProfile, infra: Infrastructure) -> Self {
+        CoolingOptimizer { profile, infra }
+    }
+
+    /// The utility profile in force.
+    #[must_use]
+    pub fn profile(&self) -> &UtilityProfile {
+        &self.profile
+    }
+
+    /// Selects the best regime for the next control period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active_pods` arity disagrees with the model's pod count.
+    #[must_use]
+    pub fn select(
+        &self,
+        model: &CoolingModel,
+        cfg: &CoolAirConfig,
+        readings: &SensorReadings,
+        prev: Option<&SensorReadings>,
+        band: Option<TempBand>,
+        active_pods: &[bool],
+    ) -> Decision {
+        assert_eq!(active_pods.len(), model.pods(), "active pod arity");
+        let mut best: Option<Decision> = None;
+        let candidates = self.infra.candidate_regimes();
+        let n = candidates.len();
+        for candidate in candidates {
+            let prediction = predict_regime(model, cfg, readings, prev, candidate, self.infra);
+            let penalty =
+                utility_penalty(&self.profile, cfg, band, &prediction, active_pods, candidate);
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    penalty < b.penalty - 1e-9
+                        || ((penalty - b.penalty).abs() <= 1e-9
+                            && prediction.energy_kwh < b.prediction.energy_kwh)
+                }
+            };
+            if better {
+                best = Some(Decision { regime: candidate, penalty, prediction, candidates: n });
+            }
+        }
+        best.expect("infrastructure offers at least one candidate regime")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Version;
+    use crate::modeler::{train_cooling_model, TrainingConfig};
+    use coolair_units::{psychro, Celsius, RelativeHumidity, SimTime, Watts};
+    use coolair_weather::{Location, TmySeries};
+
+    pub(super) fn model_pub() -> CoolingModel { model() }
+    pub(super) fn readings_pub(a: f64, b: f64, c: f64) -> SensorReadings { readings(a, b, c) }
+
+    fn model() -> CoolingModel {
+        let tmy = TmySeries::generate(&Location::newark(), 11);
+        train_cooling_model(&tmy, &TrainingConfig::quick())
+    }
+
+    fn readings(inlet: f64, outside: f64, rh_in: f64) -> SensorReadings {
+        let t = Celsius::new(inlet);
+        let out = Celsius::new(outside);
+        SensorReadings {
+            time: SimTime::EPOCH,
+            outside_temp: out,
+            outside_rh: RelativeHumidity::new(60.0),
+            outside_abs: psychro::absolute_humidity(out, RelativeHumidity::new(60.0)),
+            pod_inlets: vec![t; 4],
+            cold_aisle_rh: RelativeHumidity::new(rh_in),
+            cold_aisle_abs: psychro::absolute_humidity(t, RelativeHumidity::new(rh_in)),
+            hot_aisle: Celsius::new(inlet + 6.0),
+            disk_temps: vec![Celsius::new(inlet + 10.0); 4],
+            regime: CoolingRegime::Closed,
+            cooling_power: Watts::ZERO,
+            it_power: Watts::new(500.0),
+            active_fraction: 0.3,
+        }
+    }
+
+    #[test]
+    fn comfortable_state_prefers_closed() {
+        let m = model();
+        let cfg = CoolAirConfig::default();
+        let opt = CoolingOptimizer::new(Version::AllNd.utility(&cfg), Infrastructure::Parasol);
+        let band = TempBand::new(Celsius::new(20.0), Celsius::new(25.0));
+        let r = readings(22.0, 15.0, 45.0);
+        let d = opt.select(&m, &cfg, &r, None, Some(band), &[true; 4]);
+        assert_eq!(d.regime, CoolingRegime::Closed, "penalty {}", d.penalty);
+        assert!(d.candidates >= 8);
+    }
+
+    #[test]
+    fn overheating_with_cold_outside_prefers_free_cooling_on_smooth() {
+        // On Parasol the 15 % minimum fan would crash temperatures through
+        // the 20 °C/h rate limit (the Figure 7(b) problem), so CoolAir may
+        // dodge free cooling there; the smooth infrastructure offers gentle
+        // speeds that make free cooling the clear winner.
+        let m = model();
+        let cfg = CoolAirConfig::default();
+        let opt = CoolingOptimizer::new(Version::AllNd.utility(&cfg), Infrastructure::Smooth);
+        let band = TempBand::new(Celsius::new(20.0), Celsius::new(25.0));
+        let r = readings(26.5, 16.0, 45.0);
+        let d = opt.select(&m, &cfg, &r, None, Some(band), &[true; 4]);
+        assert!(
+            matches!(d.regime, CoolingRegime::FreeCooling { .. }),
+            "expected free cooling, got {} (penalty {})",
+            d.regime,
+            d.penalty
+        );
+    }
+
+    #[test]
+    fn parasol_abruptness_discourages_min_fan_when_rate_limited() {
+        // The documented Parasol limitation: with very cold outside air even
+        // the minimum fan speed moves temperatures too fast, so the
+        // optimizer's choice is *not* free cooling at a high speed.
+        let m = model();
+        let cfg = CoolAirConfig::default();
+        let opt = CoolingOptimizer::new(Version::AllNd.utility(&cfg), Infrastructure::Parasol);
+        let band = TempBand::new(Celsius::new(20.0), Celsius::new(25.0));
+        let r = readings(28.0, 10.0, 45.0);
+        let d = opt.select(&m, &cfg, &r, None, Some(band), &[true; 4]);
+        if let CoolingRegime::FreeCooling { fan } = d.regime {
+            assert!(fan.fraction() <= 0.25, "abrupt fast fan chosen: {fan}");
+        }
+    }
+
+    #[test]
+    fn overheating_with_hot_outside_prefers_ac() {
+        let m = model();
+        let cfg = CoolAirConfig::default();
+        let opt = CoolingOptimizer::new(Version::AllNd.utility(&cfg), Infrastructure::Parasol);
+        let band = TempBand::new(Celsius::new(25.0), Celsius::new(30.0));
+        let r = readings(31.5, 38.0, 45.0);
+        let d = opt.select(&m, &cfg, &r, None, Some(band), &[true; 4]);
+        assert!(
+            matches!(d.regime, CoolingRegime::Ac { .. }),
+            "expected AC with 38°C outside, got {}",
+            d.regime
+        );
+    }
+
+    #[test]
+    fn smooth_infrastructure_offers_gentler_choices() {
+        let m = model();
+        let cfg = CoolAirConfig::default();
+        let opt = CoolingOptimizer::new(Version::AllNd.utility(&cfg), Infrastructure::Smooth);
+        let band = TempBand::new(Celsius::new(20.0), Celsius::new(25.0));
+        // Slightly above band with very cold outside: Parasol's 15 % minimum
+        // fan overshoots; smooth can pick a whisper of air.
+        let r = readings(25.6, -5.0, 45.0);
+        let d = opt.select(&m, &cfg, &r, None, Some(band), &[true; 4]);
+        if let CoolingRegime::FreeCooling { fan } = d.regime {
+            assert!(fan.fraction() < 0.15, "expected sub-15% fan, got {fan}");
+        }
+        // Whatever the choice, the predicted change must be small.
+        assert!(d.prediction.deltas.iter().all(|&x| x < 6.0));
+    }
+
+    #[test]
+    fn decision_is_deterministic() {
+        let m = model();
+        let cfg = CoolAirConfig::default();
+        let opt = CoolingOptimizer::new(Version::AllNd.utility(&cfg), Infrastructure::Parasol);
+        let band = TempBand::new(Celsius::new(20.0), Celsius::new(25.0));
+        let r = readings(24.0, 12.0, 45.0);
+        let a = opt.select(&m, &cfg, &r, None, Some(band), &[true; 4]);
+        let b = opt.select(&m, &cfg, &r, None, Some(band), &[true; 4]);
+        assert_eq!(a.regime, b.regime);
+    }
+}
+
+#[cfg(test)]
+mod dbg {
+    
+    use crate::config::{CoolAirConfig, Version};
+    use crate::manager::band::TempBand;
+    use crate::manager::predictor::predict_regime;
+    use crate::manager::utility::utility_penalty;
+    use coolair_thermal::Infrastructure;
+    use coolair_units::Celsius;
+
+    #[test]
+    #[ignore]
+    fn debug_candidates() {
+        let m = super::tests::model_pub();
+        let cfg = CoolAirConfig::default();
+        let band = TempBand::new(Celsius::new(20.0), Celsius::new(25.0));
+        let r = super::tests::readings_pub(28.0, 16.0, 45.0);
+        let profile = Version::AllNd.utility(&cfg);
+        for c in Infrastructure::Smooth.candidate_regimes() {
+            let p = predict_regime(&m, &cfg, &r, None, c, Infrastructure::Smooth);
+            let pen = utility_penalty(&profile, &cfg, Some(band), &p, &[true;4], c);
+            println!("{c}: pen={pen:.2} final={:.2} max={:.2} delta={:.2} rh={:.1} e={:.3}", p.final_temps[0].value(), p.max_temps[0].value(), p.deltas[0], p.final_rh.percent(), p.energy_kwh);
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! The Cooling Predictor (§3.2).
+//!
+//! "The Cooling Optimizer calls the Cooling Predictor when it needs
+//! temperature and relative humidity predictions for a cooling regime it is
+//! considering. The Predictor then uses the Cooling Model to produce the
+//! predictions. However, as the Cooling Model predicts temperatures for a
+//! short term, the Cooling Predictor has to use it repeatedly (each time
+//! passing the results of the previous use as input)."
+
+use coolair_thermal::{CoolingRegime, Infrastructure, ModelKey, PodId, RegimeClass, SensorReadings};
+use coolair_units::{psychro, AbsoluteHumidity, Celsius, RelativeHumidity};
+use serde::{Deserialize, Serialize};
+
+use crate::config::CoolAirConfig;
+use crate::modeler::features::{humidity_features, temp_features};
+use crate::modeler::CoolingModel;
+
+/// The predicted outcome of holding one cooling regime for a full control
+/// period.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Predicted inlet temperature per pod at the end of the period.
+    pub final_temps: Vec<Celsius>,
+    /// Highest predicted temperature per pod over the period.
+    pub max_temps: Vec<Celsius>,
+    /// Mean predicted temperature per pod over the period's sub-steps —
+    /// the time-integral that the over-maximum penalty charges ("each
+    /// sensor reading above the threshold"), so a regime that *recovers*
+    /// from a violation scores better than one that stays hot.
+    pub mean_temps: Vec<Celsius>,
+    /// The starting temperatures the prediction departed from.
+    pub start_temps: Vec<Celsius>,
+    /// Per-pod absolute change from the starting temperature.
+    pub deltas: Vec<f64>,
+    /// Predicted cold-aisle relative humidity at the end of the period.
+    pub final_rh: RelativeHumidity,
+    /// Predicted cooling energy over the period, kWh.
+    pub energy_kwh: f64,
+}
+
+/// Rolls the Cooling Model forward `cfg.substeps()` model steps under
+/// `candidate`, starting from the current (and previous) sensor readings.
+///
+/// For the smooth infrastructure's variable-speed compressor, predictions
+/// interpolate between the AC-compressor-off and AC-compressor-on models by
+/// compressor fraction, exactly as Smooth-Sim does in §5.1 ("we model the
+/// temperature and humidity of the smooth AC by interpolating the models for
+/// the AC with the compressor on and off").
+#[must_use]
+pub fn predict_regime(
+    model: &CoolingModel,
+    cfg: &CoolAirConfig,
+    readings: &SensorReadings,
+    prev: Option<&SensorReadings>,
+    candidate: CoolingRegime,
+    infra: Infrastructure,
+) -> Prediction {
+    let candidate = infra.sanitize(candidate);
+    let comp = candidate.compressor();
+    let interpolate_ac =
+        infra == Infrastructure::Smooth && comp > 0.0 && comp < 1.0;
+
+    if interpolate_ac {
+        let off = predict_single(model, cfg, readings, prev, CoolingRegime::ac_fan_only());
+        let on = predict_single(model, cfg, readings, prev, CoolingRegime::ac_on());
+        return blend(&off, &on, comp, model, cfg);
+    }
+
+    // Fan speeds below Parasol's 15 % minimum have no training data; a raw
+    // linear extrapolation badly over-predicts cooling (the plant's airflow
+    // response saturates, so the fitted fan slope is shallow and the
+    // intercept inherits phantom cooling). Interpolate between the two
+    // *trained* anchors instead: the closed model at fan 0 and the
+    // free-cooling model at the 15 % floor — the §5.1 "extrapolating the
+    // earlier models to lower speeds" step.
+    let fan = candidate.fan_speed().fraction();
+    let floor = coolair_units::FanSpeed::PARASOL_MIN.fraction();
+    if matches!(candidate, CoolingRegime::FreeCooling { .. }) && fan > 0.0 && fan < floor {
+        let closed = predict_single(model, cfg, readings, prev, CoolingRegime::Closed);
+        let fc_floor = predict_single(
+            model,
+            cfg,
+            readings,
+            prev,
+            CoolingRegime::free_cooling(coolair_units::FanSpeed::PARASOL_MIN),
+        );
+        let w = fan / floor;
+        let mut out = blend(&closed, &fc_floor, w, model, cfg);
+        // Fan power, not AC power, for this regime family.
+        out.energy_kwh = model.predict_power(RegimeClass::FreeCooling, fan, 0.0) / 1000.0
+            * cfg.control_period.as_hours_f64();
+        return out;
+    }
+    predict_single(model, cfg, readings, prev, candidate)
+}
+
+fn predict_single(
+    model: &CoolingModel,
+    cfg: &CoolAirConfig,
+    readings: &SensorReadings,
+    prev: Option<&SensorReadings>,
+    candidate: CoolingRegime,
+) -> Prediction {
+    let pods = model.pods();
+    let start_class = readings.regime.class();
+    let cand_class = candidate.class();
+    let fan = candidate.fan_speed().fraction();
+    let comp = candidate.compressor();
+
+    // State rolled forward: per-pod (T, T_prev), humidity, previous fan.
+    let mut t_now: Vec<f64> = readings.pod_inlets.iter().map(|t| t.value()).collect();
+    let mut t_prev: Vec<f64> = match prev {
+        Some(p) if p.pod_inlets.len() == pods => {
+            p.pod_inlets.iter().map(|t| t.value()).collect()
+        }
+        _ => t_now.clone(),
+    };
+    let mut w_now = readings.cold_aisle_abs.grams_per_kg();
+    let mut fan_prev = readings.regime.fan_speed().fraction();
+
+    // Outside conditions held constant over the short horizon.
+    let t_out = readings.outside_temp.value();
+    let w_out = readings.outside_abs.grams_per_kg();
+    let util = readings.active_fraction;
+
+    let mut max_temps = t_now.clone();
+    let mut sum_temps = vec![0.0; pods];
+    let start = t_now.clone();
+
+    for step in 0..cfg.substeps() {
+        let key = if step == 0 {
+            ModelKey::for_step(start_class, cand_class)
+        } else {
+            ModelKey::Steady(cand_class)
+        };
+        let mut next = vec![0.0; pods];
+        for p in 0..pods {
+            let x = temp_features(t_now[p], t_prev[p], t_out, t_out, fan, fan_prev, util);
+            let predicted = model.predict_temp(key, PodId(p), &x);
+            // Clamp pathological extrapolations to a sane envelope around
+            // the current state (the model is linear; keep it honest).
+            next[p] = predicted.clamp(t_now[p] - 12.0, t_now[p] + 12.0);
+            max_temps[p] = max_temps[p].max(next[p]);
+            sum_temps[p] += next[p];
+        }
+        let hx = humidity_features(w_now, w_out, fan);
+        w_now = model.predict_humidity(key, &hx).clamp(0.0, 40.0);
+        t_prev = std::mem::take(&mut t_now);
+        t_now = next;
+        fan_prev = fan;
+    }
+
+    let mean_t = t_now.iter().sum::<f64>() / pods as f64;
+    let final_rh =
+        psychro::relative_humidity(Celsius::new(mean_t), AbsoluteHumidity::new(w_now));
+    let power_w = model.predict_power(cand_class, fan, comp);
+    let energy_kwh = power_w / 1000.0 * cfg.control_period.as_hours_f64();
+
+    let substeps = cfg.substeps() as f64;
+    Prediction {
+        final_temps: t_now.iter().map(|&t| Celsius::new(t)).collect(),
+        max_temps: max_temps.iter().map(|&t| Celsius::new(t)).collect(),
+        mean_temps: sum_temps.iter().map(|&s| Celsius::new(s / substeps)).collect(),
+        start_temps: start.iter().map(|&t| Celsius::new(t)).collect(),
+        deltas: t_now.iter().zip(start.iter()).map(|(a, b)| (a - b).abs()).collect(),
+        final_rh,
+        energy_kwh,
+    }
+}
+
+/// Blends the AC-off and AC-on predictions by compressor fraction. The
+/// blended power interpolates the learned fan-only and full-compressor
+/// draws linearly — the §5.1 assumption that "the compressor consumes power
+/// linearly with speed".
+fn blend(
+    off: &Prediction,
+    on: &Prediction,
+    comp: f64,
+    model: &CoolingModel,
+    cfg: &CoolAirConfig,
+) -> Prediction {
+    let mix = |a: Celsius, b: Celsius| Celsius::new(a.value() * (1.0 - comp) + b.value() * comp);
+    let power_off = model.predict_power(RegimeClass::AcFanOnly, 0.0, 0.0);
+    let power_on = model.predict_power(RegimeClass::AcCompressorOn, 0.0, 1.0);
+    let energy_w = power_off * (1.0 - comp) + power_on * comp;
+    Prediction {
+        final_temps: off
+            .final_temps
+            .iter()
+            .zip(on.final_temps.iter())
+            .map(|(a, b)| mix(*a, *b))
+            .collect(),
+        max_temps: off
+            .max_temps
+            .iter()
+            .zip(on.max_temps.iter())
+            .map(|(a, b)| mix(*a, *b))
+            .collect(),
+        mean_temps: off
+            .mean_temps
+            .iter()
+            .zip(on.mean_temps.iter())
+            .map(|(a, b)| mix(*a, *b))
+            .collect(),
+        start_temps: off.start_temps.clone(),
+        deltas: off
+            .deltas
+            .iter()
+            .zip(on.deltas.iter())
+            .map(|(a, b)| a * (1.0 - comp) + b * comp)
+            .collect(),
+        final_rh: RelativeHumidity::new(
+            off.final_rh.percent() * (1.0 - comp) + on.final_rh.percent() * comp,
+        ),
+        energy_kwh: energy_w / 1000.0 * cfg.control_period.as_hours_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modeler::{train_cooling_model, TrainingConfig};
+    use coolair_units::{SimTime, Watts};
+    use coolair_weather::{Location, TmySeries};
+
+    fn model() -> CoolingModel {
+        let tmy = TmySeries::generate(&Location::newark(), 11);
+        train_cooling_model(&tmy, &TrainingConfig::quick())
+    }
+
+    fn readings(inlet: f64, outside: f64, regime: CoolingRegime) -> SensorReadings {
+        let t = Celsius::new(inlet);
+        let out = Celsius::new(outside);
+        SensorReadings {
+            time: SimTime::EPOCH,
+            outside_temp: out,
+            outside_rh: RelativeHumidity::new(60.0),
+            outside_abs: psychro::absolute_humidity(out, RelativeHumidity::new(60.0)),
+            pod_inlets: vec![t; 4],
+            cold_aisle_rh: RelativeHumidity::new(45.0),
+            cold_aisle_abs: psychro::absolute_humidity(t, RelativeHumidity::new(45.0)),
+            hot_aisle: Celsius::new(inlet + 6.0),
+            disk_temps: vec![Celsius::new(inlet + 10.0); 4],
+            regime,
+            cooling_power: Watts::ZERO,
+            it_power: Watts::new(500.0),
+            active_fraction: 0.3,
+        }
+    }
+
+    #[test]
+    fn full_fan_cools_when_outside_cold() {
+        let m = model();
+        let cfg = CoolAirConfig::default();
+        let r = readings(30.0, 8.0, CoolingRegime::Closed);
+        let p = predict_regime(
+            &m,
+            &cfg,
+            &r,
+            None,
+            CoolingRegime::free_cooling(coolair_units::FanSpeed::MAX),
+            Infrastructure::Parasol,
+        );
+        assert!(
+            p.final_temps[0].value() < 27.0,
+            "full fan at 8°C outside should cool from 30°C: {:?}",
+            p.final_temps
+        );
+        assert!(p.energy_kwh > 0.0);
+    }
+
+    #[test]
+    fn closed_heats_under_load() {
+        let m = model();
+        let cfg = CoolAirConfig::default();
+        let mut r = readings(18.0, 10.0, CoolingRegime::Closed);
+        r.active_fraction = 0.9;
+        r.it_power = Watts::new(1500.0);
+        let p = predict_regime(&m, &cfg, &r, None, CoolingRegime::Closed, Infrastructure::Parasol);
+        assert!(
+            p.final_temps[0].value() > 17.8,
+            "closed under load should warm: {:?}",
+            p.final_temps
+        );
+    }
+
+    #[test]
+    fn smooth_compressor_interpolates() {
+        let m = model();
+        let cfg = CoolAirConfig::default();
+        let r = readings(29.0, 33.0, CoolingRegime::ac_fan_only());
+        let off = predict_regime(&m, &cfg, &r, None, CoolingRegime::ac_fan_only(), Infrastructure::Smooth);
+        let half =
+            predict_regime(&m, &cfg, &r, None, CoolingRegime::Ac { compressor: 0.5 }, Infrastructure::Smooth);
+        let full = predict_regime(&m, &cfg, &r, None, CoolingRegime::ac_on(), Infrastructure::Smooth);
+        // Half-compressor lands between fan-only and full.
+        let (o, h, f) =
+            (off.final_temps[0].value(), half.final_temps[0].value(), full.final_temps[0].value());
+        assert!(f <= h + 1e-9 && h <= o + 1e-9, "expected {f:.2} <= {h:.2} <= {o:.2}");
+        assert!(half.energy_kwh < full.energy_kwh);
+    }
+
+    #[test]
+    fn prediction_horizon_is_bounded() {
+        let m = model();
+        let cfg = CoolAirConfig::default();
+        let r = readings(25.0, 20.0, CoolingRegime::Closed);
+        let p = predict_regime(&m, &cfg, &r, None, CoolingRegime::Closed, Infrastructure::Parasol);
+        for (f, s) in p.final_temps.iter().zip(r.pod_inlets.iter()) {
+            assert!((f.value() - s.value()).abs() < 20.0, "runaway prediction");
+        }
+        assert!(p.final_rh.percent() <= 100.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! The §3.2 utility function.
+//!
+//! "The following violations all carry the same penalty: each 0.5 °C higher
+//! than the maximum temperature threshold, each 1 °C of temperature
+//! variation higher than 20 °C/hour, each 0.5 °C outside of the temperature
+//! band, each 5 % of relative humidity outside of the humidity band, and
+//! turning on the AC at full speed. The overall function value for each
+//! cooling regime is the sum of the penalties for the sensors of all active
+//! pods."
+
+use coolair_thermal::CoolingRegime;
+
+use crate::config::{BandPolicy, CoolAirConfig, UtilityProfile};
+use crate::manager::band::TempBand;
+use crate::manager::predictor::Prediction;
+
+/// Weight of one kWh of predicted cooling energy, in penalty units, for
+/// versions that manage energy. Calibrated so a full control period of
+/// full-blast AC (~0.37 kWh) costs a few violation units: the optimizer
+/// spends compressor energy only when violations would otherwise pile up.
+const ENERGY_PENALTY_PER_KWH: f64 = 10.0;
+
+/// Scores a candidate regime's predicted outcome; lower is better.
+///
+/// `band` must be `Some` when the profile's band policy is
+/// [`BandPolicy::Adaptive`]. `active_pods[p]` marks pods whose sensors
+/// count (pods hosting active servers).
+///
+/// # Panics
+///
+/// Panics if the adaptive band policy is in force but `band` is `None`, or
+/// if `active_pods` has the wrong arity.
+#[must_use]
+pub fn utility_penalty(
+    profile: &UtilityProfile,
+    cfg: &CoolAirConfig,
+    band: Option<TempBand>,
+    prediction: &Prediction,
+    active_pods: &[bool],
+    candidate: CoolingRegime,
+) -> f64 {
+    assert_eq!(active_pods.len(), prediction.final_temps.len(), "active pod arity");
+    let effective_band = match profile.band {
+        BandPolicy::Adaptive => {
+            Some(band.expect("adaptive band policy requires a selected band"))
+        }
+        BandPolicy::Fixed { lo, hi } => Some(TempBand::new(lo, hi)),
+        BandPolicy::MaxOnly => None,
+    };
+
+    let horizon_hours = cfg.control_period.as_hours_f64();
+    let mut penalty = 0.0;
+
+    for (p, active) in active_pods.iter().enumerate() {
+        if !active {
+            continue;
+        }
+        let mean_t = prediction.mean_temps[p];
+        let final_t = prediction.final_temps[p];
+
+        // Absolute temperature: one unit per 0.5 °C over the maximum,
+        // integrated over the period (charged on the mean of the predicted
+        // sub-steps — "each sensor reading above the threshold" — so a
+        // regime that recovers beats one that stays hot). The predicted
+        // peak is charged at half rate on top, so the optimizer acts
+        // *before* an excursion rather than after.
+        let over = (mean_t.value() - profile.max_temp.value()).max(0.0);
+        penalty += over / 0.5;
+        let peak_over = (prediction.max_temps[p].value() - profile.max_temp.value()).max(0.0);
+        penalty += peak_over;
+
+        // Variation: one unit per 1 °C of change beyond what the ASHRAE
+        // 20 °C/hour limit allows within this period. (Charging the
+        // extrapolated hourly rate instead would punish a single in-band
+        // adjustment six-fold and paralyse the controller.) During a
+        // thermal emergency — the sensor already far above the maximum —
+        // the rate limit yields: cooling down fast beats cooking slowly.
+        let emergency =
+            prediction.start_temps[p].value() > profile.max_temp.value() + 3.0;
+        if profile.manage_variation && !emergency {
+            let allowance = cfg.max_rate_c_per_hour * horizon_hours;
+            penalty += (prediction.deltas[p] - allowance).max(0.0);
+        }
+
+        // Band: one unit per 0.5 °C outside.
+        if let Some(b) = effective_band {
+            penalty += b.distance_outside(final_t) / 0.5;
+        }
+    }
+
+    // Humidity: one unit per 5 % RH over the limit (single cold-aisle
+    // sensor).
+    let rh_over = (prediction.final_rh.percent() - cfg.humidity_limit.percent()).max(0.0);
+    penalty += rh_over / 5.0;
+
+    // Full-blast AC carries a flat penalty.
+    if candidate.is_ac_full_blast() {
+        penalty += 1.0;
+    }
+
+    // Energy term (zero weight for the Variation version).
+    penalty += profile.energy_weight * ENERGY_PENALTY_PER_KWH * prediction.energy_kwh;
+
+    penalty
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Version;
+    use coolair_units::{Celsius, RelativeHumidity};
+
+    fn prediction(temps: &[f64], rh: f64, energy: f64, delta: f64) -> Prediction {
+        Prediction {
+            final_temps: temps.iter().map(|&t| Celsius::new(t)).collect(),
+            max_temps: temps.iter().map(|&t| Celsius::new(t)).collect(),
+            mean_temps: temps.iter().map(|&t| Celsius::new(t)).collect(),
+            start_temps: temps.iter().map(|&t| Celsius::new(t - delta)).collect(),
+            deltas: vec![delta; temps.len()],
+            final_rh: RelativeHumidity::new(rh),
+            energy_kwh: energy,
+        }
+    }
+
+    fn cfg() -> CoolAirConfig {
+        CoolAirConfig::default()
+    }
+
+    #[test]
+    fn no_violations_no_penalty_except_energy() {
+        let cfg = cfg();
+        let profile = Version::Variation.utility(&cfg);
+        let band = TempBand::new(Celsius::new(20.0), Celsius::new(25.0));
+        let p = prediction(&[22.0; 4], 50.0, 0.5, 0.1);
+        let pen = utility_penalty(&profile, &cfg, Some(band), &p, &[true; 4], CoolingRegime::Closed);
+        assert_eq!(pen, 0.0);
+    }
+
+    #[test]
+    fn energy_weight_distinguishes_versions() {
+        let cfg = cfg();
+        let band = TempBand::new(Celsius::new(20.0), Celsius::new(25.0));
+        let p = prediction(&[22.0; 4], 50.0, 0.5, 0.1);
+        let all_nd = Version::AllNd.utility(&cfg);
+        let pen = utility_penalty(&all_nd, &cfg, Some(band), &p, &[true; 4], CoolingRegime::Closed);
+        assert!((pen - 5.0).abs() < 1e-9, "0.5 kWh at weight 10: {pen}");
+    }
+
+    #[test]
+    fn over_max_temperature_charged_per_half_degree() {
+        let cfg = cfg();
+        let profile = Version::Variation.utility(&cfg);
+        let band = TempBand::new(Celsius::new(25.0), Celsius::new(30.0));
+        // 31 °C on one sensor: 1 °C over max → 2 units (mean) + 1 unit
+        // (peak at half rate); also 1 °C over band hi → 2 more.
+        let p = prediction(&[31.0, 22.0, 26.0, 26.0], 50.0, 0.0, 0.1);
+        let active = [true, false, true, true];
+        let pen = utility_penalty(&profile, &cfg, Some(band), &p, &active, CoolingRegime::Closed);
+        assert!((pen - 5.0).abs() < 1e-9, "{pen}");
+    }
+
+    #[test]
+    fn inactive_pods_are_ignored() {
+        let cfg = cfg();
+        let profile = Version::Variation.utility(&cfg);
+        let band = TempBand::new(Celsius::new(25.0), Celsius::new(30.0));
+        let p = prediction(&[40.0, 26.0, 26.0, 26.0], 50.0, 0.0, 0.1);
+        let pen = utility_penalty(
+            &profile,
+            &cfg,
+            Some(band),
+            &p,
+            &[false, true, true, true],
+            CoolingRegime::Closed,
+        );
+        assert_eq!(pen, 0.0, "hot pod 0 is asleep and must not be charged");
+    }
+
+    #[test]
+    fn variation_rate_penalised() {
+        let cfg = cfg();
+        let profile = Version::Variation.utility(&cfg);
+        let band = TempBand::new(Celsius::new(15.0), Celsius::new(30.0));
+        // 5 °C change in 10 min; the allowance is 20 °C/h × 1/6 h = 3.33 °C
+        // → 1.67 units on the single counted sensor.
+        let p = prediction(&[22.0; 4], 50.0, 0.0, 5.0);
+        let pen = utility_penalty(
+            &profile,
+            &cfg,
+            Some(band),
+            &p,
+            &[true, false, false, false],
+            CoolingRegime::Closed,
+        );
+        assert!((pen - (5.0 - 20.0 / 6.0)).abs() < 1e-9, "{pen}");
+    }
+
+    #[test]
+    fn humidity_charged_per_five_percent() {
+        let cfg = cfg();
+        let profile = Version::AllNd.utility(&cfg);
+        let band = TempBand::new(Celsius::new(15.0), Celsius::new(30.0));
+        let p = prediction(&[22.0; 4], 90.0, 0.0, 0.1);
+        let pen = utility_penalty(&profile, &cfg, Some(band), &p, &[true; 4], CoolingRegime::Closed);
+        assert!((pen - 2.0).abs() < 1e-9, "10% over at 1/5: {pen}");
+    }
+
+    #[test]
+    fn full_blast_ac_has_flat_penalty() {
+        let cfg = cfg();
+        let profile = Version::Variation.utility(&cfg);
+        let band = TempBand::new(Celsius::new(15.0), Celsius::new(30.0));
+        let p = prediction(&[22.0; 4], 50.0, 0.0, 0.1);
+        let closed =
+            utility_penalty(&profile, &cfg, Some(band), &p, &[true; 4], CoolingRegime::Closed);
+        let ac = utility_penalty(&profile, &cfg, Some(band), &p, &[true; 4], CoolingRegime::ac_on());
+        assert_eq!(ac - closed, 1.0);
+        let half = utility_penalty(
+            &profile,
+            &cfg,
+            Some(band),
+            &p,
+            &[true; 4],
+            CoolingRegime::Ac { compressor: 0.5 },
+        );
+        assert_eq!(half - closed, 0.0, "partial compressor is not full blast");
+    }
+
+    #[test]
+    fn max_only_policy_ignores_band() {
+        let cfg = cfg();
+        let profile = Version::Energy.utility(&cfg);
+        // 18 °C would violate any band but MaxOnly does not care.
+        let p = prediction(&[18.0; 4], 50.0, 0.0, 0.1);
+        let pen = utility_penalty(&profile, &cfg, None, &p, &[true; 4], CoolingRegime::Closed);
+        assert_eq!(pen, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "adaptive band policy requires")]
+    fn adaptive_without_band_panics() {
+        let cfg = cfg();
+        let profile = Version::AllNd.utility(&cfg);
+        let p = prediction(&[22.0; 4], 50.0, 0.0, 0.1);
+        let _ = utility_penalty(&profile, &cfg, None, &p, &[true; 4], CoolingRegime::Closed);
+    }
+}

@@ -1,0 +1,91 @@
+//! Feature construction for the learned models.
+//!
+//! §3.1 fixes the inputs exactly. Temperature: "the current and last inside
+//! air temperature (at the sensor's location), the current and last outside
+//! air temperature, the current and last fan speed of the free cooling
+//! system, the current datacenter utilization, the product of the current
+//! fan speed and the current inside air temperature, and the product of the
+//! current fan speed and the current outside air temperature." Humidity:
+//! "the current inside air humidity, the current outside air humidity, the
+//! current fan speed of the free cooling system, the product of the fan
+//! speed and the inside humidity, and the product of the fan speed and the
+//! outside humidity." The products let plain linear regression capture the
+//! bilinear mixing physics.
+
+/// Number of temperature-model features.
+pub const TEMP_FEATURES: usize = 9;
+
+/// Names of the temperature features, for dataset introspection.
+pub const TEMP_FEATURE_NAMES: [&str; TEMP_FEATURES] = [
+    "t_in", "t_in_prev", "t_out", "t_out_prev", "fan", "fan_prev", "util", "fan*t_in",
+    "fan*t_out",
+];
+
+/// Builds the temperature feature vector.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn temp_features(
+    t_in: f64,
+    t_in_prev: f64,
+    t_out: f64,
+    t_out_prev: f64,
+    fan: f64,
+    fan_prev: f64,
+    util: f64,
+) -> [f64; TEMP_FEATURES] {
+    [t_in, t_in_prev, t_out, t_out_prev, fan, fan_prev, util, fan * t_in, fan * t_out]
+}
+
+/// Number of humidity-model features.
+pub const HUM_FEATURES: usize = 5;
+
+/// Names of the humidity features.
+pub const HUM_FEATURE_NAMES: [&str; HUM_FEATURES] =
+    ["w_in", "w_out", "fan", "fan*w_in", "fan*w_out"];
+
+/// Builds the humidity feature vector (absolute humidities in g/kg).
+#[must_use]
+pub fn humidity_features(w_in: f64, w_out: f64, fan: f64) -> [f64; HUM_FEATURES] {
+    [w_in, w_out, fan, fan * w_in, fan * w_out]
+}
+
+/// Number of cooling-power features.
+pub const POWER_FEATURES: usize = 2;
+
+/// Names of the power features.
+pub const POWER_FEATURE_NAMES: [&str; POWER_FEATURES] = ["fan", "compressor"];
+
+/// Builds the cooling-power feature vector.
+#[must_use]
+pub fn power_features(fan: f64, compressor: f64) -> [f64; POWER_FEATURES] {
+    [fan, compressor]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temp_features_include_products() {
+        let f = temp_features(25.0, 24.0, 10.0, 9.0, 0.5, 0.4, 0.3);
+        assert_eq!(f.len(), TEMP_FEATURES);
+        assert_eq!(f[7], 0.5 * 25.0);
+        assert_eq!(f[8], 0.5 * 10.0);
+        assert_eq!(TEMP_FEATURE_NAMES.len(), TEMP_FEATURES);
+    }
+
+    #[test]
+    fn humidity_features_include_products() {
+        let f = humidity_features(7.0, 9.0, 0.25);
+        assert_eq!(f.len(), HUM_FEATURES);
+        assert_eq!(f[3], 0.25 * 7.0);
+        assert_eq!(f[4], 0.25 * 9.0);
+        assert_eq!(HUM_FEATURE_NAMES.len(), HUM_FEATURES);
+    }
+
+    #[test]
+    fn power_features_shape() {
+        assert_eq!(power_features(0.3, 0.0), [0.3, 0.0]);
+        assert_eq!(POWER_FEATURE_NAMES.len(), POWER_FEATURES);
+    }
+}

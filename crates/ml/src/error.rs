@@ -1,0 +1,70 @@
+//! Fitting errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a model cannot be fitted or data is malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FitError {
+    /// A row's arity did not match the dataset's feature count.
+    DimensionMismatch {
+        /// Features the dataset expects.
+        expected: usize,
+        /// Features the row supplied.
+        got: usize,
+    },
+    /// An input or target value was NaN or infinite.
+    NonFiniteData,
+    /// Too few observations to fit the requested model.
+    InsufficientData {
+        /// Observations required.
+        needed: usize,
+        /// Observations available.
+        available: usize,
+    },
+    /// The normal-equations system was singular even after regularisation.
+    SingularSystem,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::DimensionMismatch { expected, got } => {
+                write!(f, "feature vector has {got} entries, dataset expects {expected}")
+            }
+            FitError::NonFiniteData => write!(f, "input contains NaN or infinite values"),
+            FitError::InsufficientData { needed, available } => {
+                write!(f, "need at least {needed} observations, have {available}")
+            }
+            FitError::SingularSystem => write!(f, "design matrix is singular"),
+        }
+    }
+}
+
+impl Error for FitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            FitError::DimensionMismatch { expected: 3, got: 1 }.to_string(),
+            "feature vector has 1 entries, dataset expects 3"
+        );
+        assert_eq!(
+            FitError::InsufficientData { needed: 5, available: 2 }.to_string(),
+            "need at least 5 observations, have 2"
+        );
+        assert!(FitError::NonFiniteData.to_string().contains("NaN"));
+        assert!(FitError::SingularSystem.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<FitError>();
+    }
+}

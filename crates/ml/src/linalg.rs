@@ -1,0 +1,205 @@
+//! Minimal dense linear algebra for least-squares solving.
+//!
+//! The models in this workspace have at most a dozen features, so a simple
+//! Cholesky solve of the normal equations is both fast and accurate enough.
+//! No external linear-algebra crate is needed.
+
+use crate::error::FitError;
+
+/// Solves the least-squares problem `min ||X·b − y||²` where each row of
+/// `xs` is an observation (without intercept column — the caller augments).
+///
+/// Uses the normal equations `XᵀX b = Xᵀy` factored by Cholesky; if the
+/// Gram matrix is not positive definite (collinear features), retries with
+/// escalating ridge regularisation before giving up.
+///
+/// # Errors
+///
+/// - [`FitError::InsufficientData`] if there are fewer rows than columns.
+/// - [`FitError::SingularSystem`] if the system stays singular after the
+///   strongest regularisation attempt.
+pub fn solve_least_squares(xs: &[Vec<f64>], y: &[f64]) -> Result<Vec<f64>, FitError> {
+    let n = xs.len();
+    debug_assert_eq!(n, y.len());
+    let p = xs.first().map_or(0, Vec::len);
+    if n < p || p == 0 {
+        return Err(FitError::InsufficientData { needed: p.max(1), available: n });
+    }
+
+    // Gram matrix XᵀX (symmetric p×p) and moment vector Xᵀy.
+    let mut gram = vec![0.0; p * p];
+    let mut moment = vec![0.0; p];
+    for (row, &target) in xs.iter().zip(y.iter()) {
+        debug_assert_eq!(row.len(), p);
+        for i in 0..p {
+            moment[i] += row[i] * target;
+            for j in i..p {
+                gram[i * p + j] += row[i] * row[j];
+            }
+        }
+    }
+    for i in 0..p {
+        for j in 0..i {
+            gram[i * p + j] = gram[j * p + i];
+        }
+    }
+
+    // Scale-aware ridge ladder.
+    let diag_max = (0..p).map(|i| gram[i * p + i]).fold(0.0_f64, f64::max).max(1e-12);
+    for &ridge_scale in &[0.0, 1e-10, 1e-7, 1e-4] {
+        let mut a = gram.clone();
+        let ridge = ridge_scale * diag_max;
+        for i in 0..p {
+            a[i * p + i] += ridge;
+        }
+        if let Some(b) = cholesky_solve(&mut a, p, &moment) {
+            if b.iter().all(|v| v.is_finite()) {
+                return Ok(b);
+            }
+        }
+    }
+    Err(FitError::SingularSystem)
+}
+
+/// In-place Cholesky factorisation of the symmetric positive-definite matrix
+/// `a` (p×p, row-major) followed by forward/back substitution against `rhs`.
+/// Returns `None` if the matrix is not positive definite.
+fn cholesky_solve(a: &mut [f64], p: usize, rhs: &[f64]) -> Option<Vec<f64>> {
+    // Factor: a becomes lower-triangular L with A = L·Lᵀ.
+    for i in 0..p {
+        for j in 0..=i {
+            let mut sum = a[i * p + j];
+            for k in 0..j {
+                sum -= a[i * p + k] * a[j * p + k];
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return None;
+                }
+                a[i * p + j] = sum.sqrt();
+            } else {
+                a[i * p + j] = sum / a[j * p + j];
+            }
+        }
+    }
+    // Solve L z = rhs.
+    let mut z = vec![0.0; p];
+    for i in 0..p {
+        let mut sum = rhs[i];
+        for k in 0..i {
+            sum -= a[i * p + k] * z[k];
+        }
+        z[i] = sum / a[i * p + i];
+    }
+    // Solve Lᵀ b = z.
+    let mut b = vec![0.0; p];
+    for i in (0..p).rev() {
+        let mut sum = z[i];
+        for k in (i + 1)..p {
+            sum -= a[k * p + i] * b[k];
+        }
+        b[i] = sum / a[i * p + i];
+    }
+    Some(b)
+}
+
+/// Solves an exactly determined small system `A b = y` for LMS elemental
+/// fits, where `a` rows are observations. Returns `None` when singular.
+#[allow(clippy::needless_range_loop)] // index form mirrors the textbook elimination
+pub(crate) fn solve_exact(a: &[Vec<f64>], y: &[f64]) -> Option<Vec<f64>> {
+    let p = a.len();
+    if p == 0 || a[0].len() != p || y.len() != p {
+        return None;
+    }
+    // Gaussian elimination with partial pivoting.
+    let mut m: Vec<Vec<f64>> = a.to_vec();
+    let mut rhs = y.to_vec();
+    for col in 0..p {
+        let (pivot, pval) = (col..p)
+            .map(|r| (r, m[r][col].abs()))
+            .max_by(|x, y| x.1.total_cmp(&y.1))?;
+        if pval < 1e-12 {
+            return None;
+        }
+        m.swap(col, pivot);
+        rhs.swap(col, pivot);
+        for r in (col + 1)..p {
+            let f = m[r][col] / m[col][col];
+            for c in col..p {
+                m[r][c] -= f * m[col][c];
+            }
+            rhs[r] -= f * rhs[col];
+        }
+    }
+    let mut b = vec![0.0; p];
+    for i in (0..p).rev() {
+        let mut sum = rhs[i];
+        for k in (i + 1)..p {
+            sum -= m[i][k] * b[k];
+        }
+        b[i] = sum / m[i][i];
+    }
+    if b.iter().all(|v| v.is_finite()) {
+        Some(b)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_linear_recovery() {
+        // y = 2x0 - 3x1 + 1 (intercept as a column of ones).
+        let xs: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                let x0 = f64::from(i);
+                let x1 = f64::from(i % 5);
+                vec![1.0, x0, x1]
+            })
+            .collect();
+        let y: Vec<f64> = xs.iter().map(|r| 1.0 + 2.0 * r[1] - 3.0 * r[2]).collect();
+        let b = solve_least_squares(&xs, &y).unwrap();
+        assert!((b[0] - 1.0).abs() < 1e-8);
+        assert!((b[1] - 2.0).abs() < 1e-8);
+        assert!((b[2] + 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn collinear_features_fall_back_to_ridge() {
+        // x1 duplicates x0 exactly: the Gram matrix is singular, but the
+        // ridge ladder must still produce a finite solution with the right
+        // combined slope.
+        let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![1.0, f64::from(i), f64::from(i)]).collect();
+        let y: Vec<f64> = xs.iter().map(|r| 4.0 * r[1]).collect();
+        let b = solve_least_squares(&xs, &y).unwrap();
+        assert!((b[1] + b[2] - 4.0).abs() < 1e-3, "combined slope {}", b[1] + b[2]);
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        let xs = vec![vec![1.0, 2.0, 3.0]];
+        let y = vec![1.0];
+        assert!(matches!(
+            solve_least_squares(&xs, &y),
+            Err(FitError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn exact_solver_2x2() {
+        // 2b0 + b1 = 5; b0 - b1 = 1 → b0 = 2, b1 = 1.
+        let a = vec![vec![2.0, 1.0], vec![1.0, -1.0]];
+        let b = solve_exact(&a, &[5.0, 1.0]).unwrap();
+        assert!((b[0] - 2.0).abs() < 1e-12);
+        assert!((b[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_solver_rejects_singular() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve_exact(&a, &[1.0, 2.0]).is_none());
+    }
+}

@@ -1,0 +1,259 @@
+//! Linear models: ordinary least squares and least median of squares.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::error::FitError;
+use crate::linalg::{solve_exact, solve_least_squares};
+use crate::{mae, Regressor};
+
+/// A fitted linear model `ŷ = intercept + Σ coeffs[i]·x[i]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearModel {
+    intercept: f64,
+    coeffs: Vec<f64>,
+}
+
+impl LinearModel {
+    /// A constant model (all-zero coefficients) over `num_features` inputs —
+    /// the degenerate leaf used when a model-tree leaf has no variance.
+    #[must_use]
+    pub fn constant(num_features: usize, value: f64) -> Self {
+        LinearModel { intercept: value, coeffs: vec![0.0; num_features] }
+    }
+
+    /// Builds a model from explicit parameters.
+    #[must_use]
+    pub fn from_parts(intercept: f64, coeffs: Vec<f64>) -> Self {
+        LinearModel { intercept, coeffs }
+    }
+
+    /// Fits by ordinary least squares.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FitError`] when the data is insufficient or singular.
+    pub fn fit_ols(data: &Dataset) -> Result<Self, FitError> {
+        let p = data.num_features();
+        if data.len() < p + 1 {
+            return Err(FitError::InsufficientData { needed: p + 1, available: data.len() });
+        }
+        let xs: Vec<Vec<f64>> = data
+            .iter()
+            .map(|(row, _)| {
+                let mut r = Vec::with_capacity(p + 1);
+                r.push(1.0);
+                r.extend_from_slice(row);
+                r
+            })
+            .collect();
+        let b = solve_least_squares(&xs, data.targets())?;
+        Ok(LinearModel { intercept: b[0], coeffs: b[1..].to_vec() })
+    }
+
+    /// Fits by least median of squares (Rousseeuw), the robust regression
+    /// that survives up to 50 % outliers.
+    ///
+    /// Draws `samples` random elemental subsets of `p + 1` observations,
+    /// solves each exactly, and keeps the candidate with the smallest median
+    /// squared residual; then refits OLS on the inliers (residual within
+    /// 2.5 robust standard deviations) for efficiency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FitError`] when the data is insufficient.
+    pub fn fit_lms(data: &Dataset, samples: usize, seed: u64) -> Result<Self, FitError> {
+        let p = data.num_features() + 1; // parameters incl. intercept
+        if data.len() < p + 2 {
+            return Err(FitError::InsufficientData { needed: p + 2, available: data.len() });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = data.len();
+
+        let mut best: Option<(f64, Vec<f64>)> = None;
+        let mut residuals = vec![0.0_f64; n];
+        for _ in 0..samples.max(1) {
+            // Draw p distinct row indices.
+            let mut idx = Vec::with_capacity(p);
+            while idx.len() < p {
+                let i = rng.gen_range(0..n);
+                if !idx.contains(&i) {
+                    idx.push(i);
+                }
+            }
+            let a: Vec<Vec<f64>> = idx
+                .iter()
+                .map(|&i| {
+                    let mut r = Vec::with_capacity(p);
+                    r.push(1.0);
+                    r.extend_from_slice(data.get(i).0);
+                    r
+                })
+                .collect();
+            let ys: Vec<f64> = idx.iter().map(|&i| data.get(i).1).collect();
+            let Some(b) = solve_exact(&a, &ys) else { continue };
+
+            for (slot, (row, y)) in residuals.iter_mut().zip(data.iter()) {
+                let pred = b[0] + dot(&b[1..], row);
+                let e = pred - y;
+                *slot = e * e;
+            }
+            let med = median_in_place(&mut residuals);
+            if best.as_ref().is_none_or(|(m, _)| med < *m) {
+                best = Some((med, b));
+            }
+        }
+
+        let (med, b) = best.ok_or(FitError::SingularSystem)?;
+        // Rousseeuw's robust scale estimate.
+        let s0 = 1.4826 * (1.0 + 5.0 / (n as f64 - p as f64)) * med.sqrt();
+        let threshold = (2.5 * s0).max(1e-9);
+        let inliers: Vec<usize> = data
+            .iter()
+            .enumerate()
+            .filter(|(_, (row, y))| {
+                let pred = b[0] + dot(&b[1..], row);
+                (pred - y).abs() <= threshold
+            })
+            .map(|(i, _)| i)
+            .collect();
+
+        if inliers.len() > p {
+            if let Ok(m) = LinearModel::fit_ols(&data.subset(&inliers)) {
+                return Ok(m);
+            }
+        }
+        Ok(LinearModel { intercept: b[0], coeffs: b[1..].to_vec() })
+    }
+
+    /// The fitted intercept.
+    #[must_use]
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// The fitted coefficients, one per feature.
+    #[must_use]
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+}
+
+impl Regressor for LinearModel {
+    fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.coeffs.len(), "feature arity mismatch");
+        self.intercept + dot(&self.coeffs, x)
+    }
+
+    fn num_features(&self) -> usize {
+        self.coeffs.len()
+    }
+}
+
+/// Fits both OLS and LMS and returns whichever has the lower mean absolute
+/// error on the training data — the paper's §4.2 selection rule ("we try
+/// linear and least median square approaches and pick the one with the
+/// lowest error").
+///
+/// # Errors
+///
+/// Fails only if *both* fits fail.
+pub fn fit_best_linear(data: &Dataset, seed: u64) -> Result<LinearModel, FitError> {
+    let ols = LinearModel::fit_ols(data);
+    let lms = LinearModel::fit_lms(data, 60, seed);
+    match (ols, lms) {
+        (Ok(a), Ok(b)) => {
+            if mae(&a, data) <= mae(&b, data) {
+                Ok(a)
+            } else {
+                Ok(b)
+            }
+        }
+        (Ok(a), Err(_)) => Ok(a),
+        (Err(_), Ok(b)) => Ok(b),
+        (Err(e), Err(_)) => Err(e),
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+fn median_in_place(v: &mut [f64]) -> f64 {
+    let mid = v.len() / 2;
+    let (_, m, _) = v.select_nth_unstable_by(mid, f64::total_cmp);
+    *m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_data(noise: impl Fn(usize) -> f64) -> Dataset {
+        let mut d = Dataset::new(vec!["x0".into(), "x1".into()]);
+        for i in 0..60 {
+            let x0 = f64::from(i as u32) * 0.5;
+            let x1 = f64::from((i * 7 % 13) as u32);
+            d.push(vec![x0, x1], 2.0 + 1.5 * x0 - 0.5 * x1 + noise(i)).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn ols_recovers_exact_coefficients() {
+        let d = linear_data(|_| 0.0);
+        let m = LinearModel::fit_ols(&d).unwrap();
+        assert!((m.intercept() - 2.0).abs() < 1e-8);
+        assert!((m.coeffs()[0] - 1.5).abs() < 1e-8);
+        assert!((m.coeffs()[1] + 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn lms_ignores_gross_outliers() {
+        // 20 % of points corrupted by +100.
+        let d = linear_data(|i| if i % 5 == 0 { 100.0 } else { 0.0 });
+        let lms = LinearModel::fit_lms(&d, 100, 42).unwrap();
+        assert!((lms.coeffs()[0] - 1.5).abs() < 0.05, "slope {}", lms.coeffs()[0]);
+        // OLS, by contrast, is badly biased.
+        let ols = LinearModel::fit_ols(&d).unwrap();
+        assert!((ols.intercept() - 2.0).abs() > 1.0);
+    }
+
+    #[test]
+    fn best_linear_picks_robust_fit_under_outliers() {
+        let d = linear_data(|i| if i % 5 == 0 { 100.0 } else { 0.0 });
+        let m = fit_best_linear(&d, 1).unwrap();
+        assert!((m.coeffs()[0] - 1.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn best_linear_picks_ols_on_clean_data() {
+        let d = linear_data(|_| 0.0);
+        let m = fit_best_linear(&d, 1).unwrap();
+        assert!((m.intercept() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn insufficient_data_errors() {
+        let mut d = Dataset::new(vec!["x".into()]);
+        d.push(vec![1.0], 1.0).unwrap();
+        assert!(LinearModel::fit_ols(&d).is_err());
+        assert!(LinearModel::fit_lms(&d, 10, 0).is_err());
+    }
+
+    #[test]
+    fn constant_model() {
+        let m = LinearModel::constant(3, 7.5);
+        assert_eq!(m.predict(&[1.0, 2.0, 3.0]), 7.5);
+        assert_eq!(m.num_features(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature arity mismatch")]
+    fn predict_wrong_arity_panics() {
+        let m = LinearModel::constant(2, 0.0);
+        let _ = m.predict(&[1.0]);
+    }
+}

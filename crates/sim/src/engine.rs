@@ -1,0 +1,513 @@
+//! The closed-loop day simulator shared by Real-Sim and Smooth-Sim.
+
+use coolair::CoolAir;
+use coolair_thermal::{
+    CoolingRegime, ItLoad, OutsideConditions, Plant, PlantConfig, SensorReadings, TksController,
+};
+use coolair_units::{Celsius, SimDuration, SimTime, SECS_PER_HOUR};
+use coolair_weather::TmySeries;
+use coolair_workload::{Cluster, Job};
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::DayRecord;
+
+/// Anything that behaves like the container: the physics [`Plant`] or the
+/// learned-model simulator [`crate::ModelPlant`] (the paper's Real-Sim).
+pub trait Container: std::fmt::Debug {
+    /// Advances the container by `dt`.
+    fn step(
+        &mut self,
+        dt: SimDuration,
+        outside: OutsideConditions,
+        it: &ItLoad,
+        commanded: CoolingRegime,
+    );
+    /// Sensor snapshot.
+    fn readings(&self, now: SimTime) -> SensorReadings;
+    /// Number of pod sensors.
+    fn pods(&self) -> usize;
+}
+
+impl Container for Plant {
+    fn step(
+        &mut self,
+        dt: SimDuration,
+        outside: OutsideConditions,
+        it: &ItLoad,
+        commanded: CoolingRegime,
+    ) {
+        Plant::step(self, dt, outside, it, commanded);
+    }
+    fn readings(&self, now: SimTime) -> SensorReadings {
+        Plant::readings(self, now)
+    }
+    fn pods(&self) -> usize {
+        self.config().layout.len()
+    }
+}
+
+impl Container for crate::ModelPlant {
+    fn step(
+        &mut self,
+        dt: SimDuration,
+        outside: OutsideConditions,
+        it: &ItLoad,
+        commanded: CoolingRegime,
+    ) {
+        crate::ModelPlant::step(self, dt, outside, it, commanded);
+    }
+    fn readings(&self, now: SimTime) -> SensorReadings {
+        crate::ModelPlant::readings(self, now)
+    }
+    fn pods(&self) -> usize {
+        self.readings(SimTime::EPOCH).pod_inlets.len()
+    }
+}
+
+/// Engine parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Plant integration step.
+    pub physics_step: SimDuration,
+    /// Metrics sampling period.
+    pub sample_period: SimDuration,
+    /// How often CoolAir observes sensor snapshots (its model step).
+    pub observe_period: SimDuration,
+    /// Baseline (TKS) decision period. The paper's Real-Sim evaluates the
+    /// baseline at the same 10-minute granularity as CoolAir, which is what
+    /// produces the documented overshoot behaviour of the abrupt units.
+    pub baseline_control: SimDuration,
+    /// Cluster/compute management period.
+    pub compute_period: SimDuration,
+    /// Desired maximum temperature for the violation metric (30 °C in
+    /// Figure 8).
+    pub desired_max: Celsius,
+    /// Record per-minute samples for plotting (Figures 6/7); costs memory.
+    pub record_minutes: bool,
+    /// Hours of unrecorded warm-up simulated before each day's midnight.
+    pub warmup_hours: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            physics_step: SimDuration::from_secs(15),
+            sample_period: SimDuration::from_secs(60),
+            observe_period: SimDuration::from_minutes(2),
+            baseline_control: SimDuration::from_minutes(10),
+            compute_period: SimDuration::from_secs(60),
+            desired_max: Celsius::new(30.0),
+            record_minutes: false,
+            warmup_hours: 3,
+        }
+    }
+}
+
+/// One per-minute sample for figure time series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinuteSample {
+    /// Sample time.
+    pub time: SimTime,
+    /// Outside temperature, °C.
+    pub outside: f64,
+    /// Warmest pod inlet (the TKS control sensor), °C.
+    pub max_inlet: f64,
+    /// Coolest pod inlet, °C.
+    pub min_inlet: f64,
+    /// Mean pod inlet, °C.
+    pub mean_inlet: f64,
+    /// Cold-aisle relative humidity, %.
+    pub rh: f64,
+    /// Free-cooling fan speed, % of max (0 when not free cooling).
+    pub fan_pct: f64,
+    /// AC compressor drive, % (0 when AC off).
+    pub compressor_pct: f64,
+    /// Cooling power, W.
+    pub cooling_w: f64,
+    /// IT power, W.
+    pub it_w: f64,
+    /// Servers active.
+    pub active_servers: usize,
+    /// The day's temperature band `(lo, hi)` if the controller has one.
+    pub band: Option<(f64, f64)>,
+    /// Disk temperature of the warmest pod, °C.
+    pub max_disk: f64,
+}
+
+/// Output of one simulated day.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DayOutput {
+    /// Aggregated metrics.
+    pub record: DayRecord,
+    /// Per-minute series (empty unless `record_minutes`).
+    pub minutes: Vec<MinuteSample>,
+}
+
+/// The controller under test.
+#[derive(Debug)]
+pub enum SimController {
+    /// The baseline system: the extended TKS scheme with every server kept
+    /// active (the TKS manages only the cooling regime).
+    Baseline(TksController),
+    /// A CoolAir version (cooling + compute management).
+    CoolAir(Box<CoolAir>),
+}
+
+impl SimController {
+    /// Human-readable name.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            SimController::Baseline(_) => "Baseline".to_string(),
+            SimController::CoolAir(ca) => ca.version().name().to_string(),
+        }
+    }
+}
+
+/// The closed-loop simulation: weather drives the plant, the cluster heats
+/// it, the controller manages cooling (and, for CoolAir, the active server
+/// set and job start times).
+#[derive(Debug)]
+pub struct Simulation<P: Container = Plant> {
+    cfg: SimConfig,
+    plant: P,
+    cluster: Cluster,
+    controller: SimController,
+    tmy: TmySeries,
+    regime: CoolingRegime,
+    pending: Vec<Job>,
+    next_job: usize,
+}
+
+impl Simulation<Plant> {
+    /// Builds a physics-backed simulation.
+    #[must_use]
+    pub fn new(
+        controller: SimController,
+        plant_config: PlantConfig,
+        cluster: Cluster,
+        tmy: TmySeries,
+        cfg: SimConfig,
+    ) -> Self {
+        Simulation::with_plant(controller, Plant::new(plant_config), cluster, tmy, cfg)
+    }
+}
+
+impl<P: Container> Simulation<P> {
+    /// Builds a simulation over any container implementation.
+    #[must_use]
+    pub fn with_plant(
+        controller: SimController,
+        plant: P,
+        cluster: Cluster,
+        tmy: TmySeries,
+        cfg: SimConfig,
+    ) -> Self {
+        Simulation {
+            cfg,
+            plant,
+            cluster,
+            controller,
+            tmy,
+            regime: CoolingRegime::Closed,
+            pending: Vec::new(),
+            next_job: 0,
+        }
+    }
+
+    /// The engine configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The controller under test.
+    #[must_use]
+    pub fn controller(&self) -> &SimController {
+        &self.controller
+    }
+
+    /// Simulates calendar day `day` with the given day-shifted jobs,
+    /// returning its metrics. Includes `warmup_hours` of unrecorded
+    /// simulation before midnight so the plant state matches the day's
+    /// weather.
+    pub fn run_day(&mut self, day: u64, jobs: Vec<Job>) -> DayOutput {
+        self.pending = jobs;
+        self.pending.sort_by_key(|j| j.submit);
+        self.next_job = 0;
+
+        let midnight = SimTime::from_days(day);
+        let start = SimTime::from_secs(
+            midnight.as_secs().saturating_sub(self.cfg.warmup_hours * SECS_PER_HOUR),
+        );
+        let end = midnight + SimDuration::from_days(1);
+
+        let pods = self.plant.pods();
+        let mut sensor_min = vec![f64::INFINITY; pods];
+        let mut sensor_max = vec![f64::NEG_INFINITY; pods];
+        let mut violation_sum = 0.0;
+        let mut readings_count = 0u64;
+        let mut cooling_j = 0.0; // watt-seconds
+        let mut it_j = 0.0;
+        let mut rh_violations = 0u64;
+        let mut rh_samples = 0u64;
+        let mut minutes = Vec::new();
+        // Ring buffer of the last hour of per-sensor samples for the
+        // rate-of-change metric.
+        let samples_per_hour = (SECS_PER_HOUR / self.cfg.sample_period.as_secs()) as usize;
+        let mut hour_ring: Vec<Vec<f64>> = Vec::with_capacity(samples_per_hour);
+        let mut max_rate = 0.0_f64;
+
+        let cycles_before = self.cluster.total_power_cycles();
+        let jobs_before = self.cluster.completed_jobs();
+
+        let mut t = start;
+        while t < end {
+            let in_day = t >= midnight;
+
+            // --- compute management -----------------------------------------
+            if (t % self.cfg.compute_period).is_zero() {
+                self.submit_arrivals(t);
+                match &mut self.controller {
+                    SimController::Baseline(_) => {
+                        // The baseline does no energy management: every
+                        // server stays active.
+                        let total = self.cluster.config().total_servers;
+                        self.cluster.set_active_target(total, None);
+                    }
+                    SimController::CoolAir(ca) => {
+                        let demand = self.cluster.demand(t);
+                        let covering = self.cluster.config().covering_count;
+                        let (target, order) = ca.decide_compute(demand, covering);
+                        let order = order.to_vec();
+                        self.cluster.set_active_target(target, Some(&order));
+                    }
+                }
+                self.cluster.step(t, self.cfg.compute_period);
+            }
+
+            // --- sensing & control --------------------------------------------
+            if (t % self.cfg.observe_period).is_zero() {
+                let readings = self.plant.readings(t);
+                if let SimController::CoolAir(ca) = &mut self.controller {
+                    ca.observe(readings);
+                }
+            }
+            let control_period = match &self.controller {
+                SimController::Baseline(_) => self.cfg.baseline_control,
+                SimController::CoolAir(ca) => ca.config().control_period,
+            };
+            if (t % control_period).is_zero() {
+                let readings = self.plant.readings(t);
+                self.regime = match &mut self.controller {
+                    SimController::Baseline(tks) => tks.decide(&readings),
+                    SimController::CoolAir(ca) => ca.decide_cooling(&readings, t).regime,
+                };
+            }
+
+            // --- metrics -------------------------------------------------------
+            if in_day && (t % self.cfg.sample_period).is_zero() {
+                let readings = self.plant.readings(t);
+                let temps: Vec<f64> = readings.pod_inlets.iter().map(|c| c.value()).collect();
+                for (i, &v) in temps.iter().enumerate() {
+                    sensor_min[i] = sensor_min[i].min(v);
+                    sensor_max[i] = sensor_max[i].max(v);
+                    violation_sum += (v - self.cfg.desired_max.value()).max(0.0);
+                    readings_count += 1;
+                }
+                if readings.cold_aisle_rh.percent() > 80.0 {
+                    rh_violations += 1;
+                }
+                rh_samples += 1;
+                if hour_ring.len() == samples_per_hour {
+                    let old = hour_ring.remove(0);
+                    for (a, b) in old.iter().zip(temps.iter()) {
+                        max_rate = max_rate.max((b - a).abs());
+                    }
+                }
+                hour_ring.push(temps);
+
+                if self.cfg.record_minutes {
+                    minutes.push(self.minute_sample(t, &readings));
+                }
+            }
+
+            // --- physics ---------------------------------------------------------
+            let outside = OutsideConditions {
+                temperature: self.tmy.temperature_at(t),
+                abs_humidity: self.tmy.absolute_humidity_at(t),
+            };
+            let it = ItLoad {
+                pod_power: self.cluster.pod_power(),
+                active_fraction: self.cluster.active_fraction(),
+            };
+            if in_day {
+                let dt_s = self.cfg.physics_step.as_secs() as f64;
+                cooling_j += self.plant.readings(t).cooling_power.value() * dt_s;
+                it_j += it.total().value() * dt_s;
+            }
+            self.plant.step(self.cfg.physics_step, outside, &it, self.regime);
+            t += self.cfg.physics_step;
+        }
+
+        let (out_lo, out_hi) = self.tmy.daily_extremes(day);
+        let record = DayRecord {
+            day,
+            sensor_min,
+            sensor_max,
+            violation_sum,
+            readings: readings_count,
+            cooling_kwh: cooling_j / 3.6e6,
+            it_kwh: it_j / 3.6e6,
+            max_rate_c_per_hour: max_rate,
+            rh_violation_fraction: if rh_samples == 0 {
+                0.0
+            } else {
+                rh_violations as f64 / rh_samples as f64
+            },
+            outside_range: (out_hi - out_lo).degrees(),
+            jobs_completed: self.cluster.completed_jobs() - jobs_before,
+            power_cycles: self.cluster.total_power_cycles() - cycles_before,
+        };
+        DayOutput { record, minutes }
+    }
+
+    /// Current plant readings (for validation harnesses).
+    #[must_use]
+    pub fn readings(&self, now: SimTime) -> SensorReadings {
+        self.plant.readings(now)
+    }
+
+    /// The cluster (for workload statistics).
+    #[must_use]
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    fn submit_arrivals(&mut self, now: SimTime) {
+        while self.next_job < self.pending.len() && self.pending[self.next_job].submit <= now {
+            let job = self.pending[self.next_job].clone();
+            self.next_job += 1;
+            let earliest = match &mut self.controller {
+                SimController::CoolAir(ca) if job.is_deferrable() => {
+                    ca.schedule_job(&job, now)
+                }
+                _ => job.submit,
+            };
+            self.cluster.submit_with_start(job, earliest);
+        }
+    }
+
+    fn minute_sample(&self, t: SimTime, readings: &SensorReadings) -> MinuteSample {
+        let band = match &self.controller {
+            SimController::CoolAir(ca) => {
+                ca.band().map(|b| (b.lo().value(), b.hi().value()))
+            }
+            SimController::Baseline(_) => None,
+        };
+        let active = (self.cluster.active_fraction()
+            * self.cluster.config().total_servers as f64)
+            .round() as usize;
+        MinuteSample {
+            time: t,
+            outside: readings.outside_temp.value(),
+            max_inlet: readings.max_inlet().value(),
+            min_inlet: readings.min_inlet().value(),
+            mean_inlet: readings.mean_inlet().value(),
+            rh: readings.cold_aisle_rh.percent(),
+            fan_pct: readings.regime.fan_speed().percent(),
+            compressor_pct: readings.regime.compressor() * 100.0,
+            cooling_w: readings.cooling_power.value(),
+            it_w: readings.it_power.value(),
+            active_servers: active,
+            band,
+            max_disk: readings
+                .disk_temps
+                .iter()
+                .map(|c| c.value())
+                .fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coolair_thermal::TksConfig;
+    use coolair_weather::Location;
+    use coolair_workload::{facebook_trace, ClusterConfig};
+
+    fn baseline_sim(record_minutes: bool) -> Simulation {
+        let tmy = TmySeries::generate(&Location::newark(), 5);
+        Simulation::new(
+            SimController::Baseline(TksController::new(TksConfig::baseline())),
+            PlantConfig::parasol(),
+            Cluster::new(ClusterConfig::parasol()),
+            tmy,
+            SimConfig { record_minutes, ..SimConfig::default() },
+        )
+    }
+
+    #[test]
+    fn baseline_day_produces_sane_metrics() {
+        let mut sim = baseline_sim(false);
+        let jobs = facebook_trace(1).jobs_for_day(150);
+        let out = sim.run_day(150, jobs);
+        let r = &out.record;
+        assert_eq!(r.day, 150);
+        assert_eq!(r.readings, 4 * 1440);
+        assert!(r.worst_range() > 0.5, "some daily range expected");
+        assert!(r.worst_range() < 30.0);
+        assert!(r.it_kwh > 10.0, "64 servers × 24 h ≥ 10 kWh, got {}", r.it_kwh);
+        assert!(r.cooling_kwh >= 0.0);
+        assert!(r.jobs_completed > 1000, "got {}", r.jobs_completed);
+        assert_eq!(r.power_cycles, 0, "baseline never sleeps servers");
+    }
+
+    #[test]
+    fn minute_recording_produces_series() {
+        let mut sim = baseline_sim(true);
+        let jobs = facebook_trace(1).jobs_for_day(10);
+        let out = sim.run_day(10, jobs);
+        assert_eq!(out.minutes.len(), 1440);
+        let s = &out.minutes[720];
+        assert!(s.max_inlet >= s.min_inlet);
+        assert!(s.it_w > 1000.0, "baseline keeps 64 servers awake");
+        assert_eq!(s.band, None);
+    }
+
+    #[test]
+    fn summer_day_in_chad_engages_ac() {
+        let tmy = TmySeries::generate(&Location::chad(), 5);
+        let mut sim = Simulation::new(
+            SimController::Baseline(TksController::new(TksConfig::baseline())),
+            PlantConfig::parasol(),
+            Cluster::new(ClusterConfig::parasol()),
+            tmy,
+            SimConfig { record_minutes: true, ..SimConfig::default() },
+        );
+        let jobs = facebook_trace(2).jobs_for_day(120);
+        let out = sim.run_day(120, jobs);
+        let any_ac = out.minutes.iter().any(|m| m.compressor_pct > 0.0);
+        assert!(any_ac, "Chad needs the AC");
+        assert!(out.record.cooling_kwh > 1.0);
+    }
+
+    #[test]
+    fn cool_day_in_iceland_avoids_ac() {
+        let tmy = TmySeries::generate(&Location::iceland(), 5);
+        let mut sim = Simulation::new(
+            SimController::Baseline(TksController::new(TksConfig::baseline())),
+            PlantConfig::parasol(),
+            Cluster::new(ClusterConfig::parasol()),
+            tmy,
+            SimConfig { record_minutes: true, ..SimConfig::default() },
+        );
+        let jobs = facebook_trace(2).jobs_for_day(30);
+        let out = sim.run_day(30, jobs);
+        let any_comp = out.minutes.iter().any(|m| m.compressor_pct > 0.0);
+        assert!(!any_comp, "Iceland winter should free-cool only");
+        // Temperatures stay under control.
+        assert!(out.record.avg_violation() < 1.0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Evaluation metrics (§5.2).
+
+use serde::{Deserialize, Serialize};
+
+/// Power-delivery losses of Parasol, in PUE terms (§5.2, Figure 10:
+/// "including 0.08 for power delivery").
+pub const POWER_DELIVERY_PUE: f64 = 0.08;
+
+/// Metrics of one simulated day under one system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DayRecord {
+    /// The simulated (calendar) day index.
+    pub day: u64,
+    /// Per-sensor minimum inlet temperature over the day, °C.
+    pub sensor_min: Vec<f64>,
+    /// Per-sensor maximum inlet temperature over the day, °C.
+    pub sensor_max: Vec<f64>,
+    /// Sum over all sensor readings of °C above the desired maximum
+    /// (readings at or below it contribute 0).
+    pub violation_sum: f64,
+    /// Number of sensor readings taken.
+    pub readings: u64,
+    /// Cooling energy for the day, kWh.
+    pub cooling_kwh: f64,
+    /// IT energy for the day, kWh.
+    pub it_kwh: f64,
+    /// Largest observed hour-over-hour temperature change, °C/h.
+    pub max_rate_c_per_hour: f64,
+    /// Fraction of samples with cold-aisle RH above the 80 % limit.
+    pub rh_violation_fraction: f64,
+    /// Outside temperature range over the day, °C.
+    pub outside_range: f64,
+    /// Jobs completed during the day.
+    pub jobs_completed: u64,
+    /// Disk power cycles accumulated during the day.
+    pub power_cycles: u64,
+}
+
+impl DayRecord {
+    /// The worst sensor's daily temperature range (§5.2: "we measure the
+    /// daily variation for each sensor as the difference between its
+    /// maximum and minimum readings. From these variations, we select the
+    /// worst sensor variation for each day").
+    #[must_use]
+    pub fn worst_range(&self) -> f64 {
+        self.sensor_max
+            .iter()
+            .zip(self.sensor_min.iter())
+            .map(|(hi, lo)| hi - lo)
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean violation per reading, °C.
+    #[must_use]
+    pub fn avg_violation(&self) -> f64 {
+        if self.readings == 0 {
+            0.0
+        } else {
+            self.violation_sum / self.readings as f64
+        }
+    }
+}
+
+/// Year-long results for one system at one location.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AnnualSummary {
+    days: Vec<DayRecord>,
+}
+
+impl AnnualSummary {
+    /// Wraps a set of day records.
+    #[must_use]
+    pub fn new(days: Vec<DayRecord>) -> Self {
+        AnnualSummary { days }
+    }
+
+    /// The per-day records.
+    #[must_use]
+    pub fn days(&self) -> &[DayRecord] {
+        &self.days
+    }
+
+    /// Number of simulated days.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.days.len()
+    }
+
+    /// `true` when no days were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.days.is_empty()
+    }
+
+    /// Average of the worst daily sensor ranges (the Figure 9 bars).
+    #[must_use]
+    pub fn avg_worst_range(&self) -> f64 {
+        if self.days.is_empty() {
+            return 0.0;
+        }
+        self.days.iter().map(DayRecord::worst_range).sum::<f64>() / self.days.len() as f64
+    }
+
+    /// The largest worst daily range over the year (the Figure 9 whisker
+    /// tops — "the maximum ranges are important because they represent an
+    /// upper-bound on how variable a system is").
+    #[must_use]
+    pub fn max_worst_range(&self) -> f64 {
+        self.days.iter().map(DayRecord::worst_range).fold(0.0, f64::max)
+    }
+
+    /// The smallest worst daily range over the year (Figure 9 whisker
+    /// bottoms).
+    #[must_use]
+    pub fn min_worst_range(&self) -> f64 {
+        self.days.iter().map(DayRecord::worst_range).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Average temperature violation per sensor reading over the year, °C
+    /// (the Figure 8 bars).
+    #[must_use]
+    pub fn avg_violation(&self) -> f64 {
+        let readings: u64 = self.days.iter().map(|d| d.readings).sum();
+        if readings == 0 {
+            return 0.0;
+        }
+        self.days.iter().map(|d| d.violation_sum).sum::<f64>() / readings as f64
+    }
+
+    /// Yearly PUE including power-delivery losses (the Figure 10 bars).
+    #[must_use]
+    pub fn pue(&self) -> f64 {
+        let it: f64 = self.days.iter().map(|d| d.it_kwh).sum();
+        let cooling: f64 = self.days.iter().map(|d| d.cooling_kwh).sum();
+        if it <= 0.0 {
+            return 1.0 + POWER_DELIVERY_PUE;
+        }
+        (it + cooling) / it + POWER_DELIVERY_PUE
+    }
+
+    /// Total cooling energy, kWh (scaled from the sampled days to a full
+    /// year when the year was subsampled — callers that simulate 52 of 365
+    /// days get the 52-day total here).
+    #[must_use]
+    pub fn cooling_kwh(&self) -> f64 {
+        self.days.iter().map(|d| d.cooling_kwh).sum()
+    }
+
+    /// Total IT energy, kWh.
+    #[must_use]
+    pub fn it_kwh(&self) -> f64 {
+        self.days.iter().map(|d| d.it_kwh).sum()
+    }
+
+    /// Average outside daily range, °C (the Figure 9 "Outside" bars).
+    #[must_use]
+    pub fn avg_outside_range(&self) -> f64 {
+        if self.days.is_empty() {
+            return 0.0;
+        }
+        self.days.iter().map(|d| d.outside_range).sum::<f64>() / self.days.len() as f64
+    }
+
+    /// Maximum outside daily range, °C.
+    #[must_use]
+    pub fn max_outside_range(&self) -> f64 {
+        self.days.iter().map(|d| d.outside_range).fold(0.0, f64::max)
+    }
+
+    /// Largest observed temperature-change rate, °C/h.
+    #[must_use]
+    pub fn max_rate(&self) -> f64 {
+        self.days.iter().map(|d| d.max_rate_c_per_hour).fold(0.0, f64::max)
+    }
+
+    /// Fraction of samples violating the RH limit, averaged over days.
+    #[must_use]
+    pub fn rh_violation_fraction(&self) -> f64 {
+        if self.days.is_empty() {
+            return 0.0;
+        }
+        self.days.iter().map(|d| d.rh_violation_fraction).sum::<f64>() / self.days.len() as f64
+    }
+
+    /// Total disk power cycles.
+    #[must_use]
+    pub fn power_cycles(&self) -> u64 {
+        self.days.iter().map(|d| d.power_cycles).sum()
+    }
+
+    /// Total jobs completed.
+    #[must_use]
+    pub fn jobs_completed(&self) -> u64 {
+        self.days.iter().map(|d| d.jobs_completed).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn day(day: u64, min: &[f64], max: &[f64], viol: f64, n: u64, cool: f64, it: f64) -> DayRecord {
+        DayRecord {
+            day,
+            sensor_min: min.to_vec(),
+            sensor_max: max.to_vec(),
+            violation_sum: viol,
+            readings: n,
+            cooling_kwh: cool,
+            it_kwh: it,
+            max_rate_c_per_hour: 5.0,
+            rh_violation_fraction: 0.0,
+            outside_range: 10.0,
+            jobs_completed: 100,
+            power_cycles: 2,
+        }
+    }
+
+    #[test]
+    fn worst_range_picks_worst_sensor() {
+        let d = day(0, &[20.0, 18.0, 22.0], &[25.0, 29.0, 24.0], 0.0, 100, 1.0, 10.0);
+        assert_eq!(d.worst_range(), 11.0);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = AnnualSummary::new(vec![
+            day(0, &[20.0], &[28.0], 10.0, 100, 2.0, 20.0),
+            day(7, &[22.0], &[26.0], 0.0, 100, 1.0, 20.0),
+        ]);
+        assert_eq!(s.avg_worst_range(), 6.0);
+        assert_eq!(s.max_worst_range(), 8.0);
+        assert_eq!(s.min_worst_range(), 4.0);
+        assert!((s.avg_violation() - 0.05).abs() < 1e-12);
+        // PUE = (40+3)/40 + 0.08 = 1.155.
+        assert!((s.pue() - 1.155).abs() < 1e-12);
+        assert_eq!(s.cooling_kwh(), 3.0);
+        assert_eq!(s.power_cycles(), 4);
+        assert_eq!(s.jobs_completed(), 200);
+    }
+
+    #[test]
+    fn empty_summary_is_sane() {
+        let s = AnnualSummary::default();
+        assert_eq!(s.avg_worst_range(), 0.0);
+        assert_eq!(s.avg_violation(), 0.0);
+        assert!((s.pue() - 1.08).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,193 @@
+//! Multiple independent cooling zones.
+//!
+//! §6: "For a large datacenter with multiple independent 'cooling zones'
+//! (e.g., containers), each of them would have its own CoolAir-like
+//! manager." This module scales the single-container simulation out to a
+//! small fleet: each zone owns a plant, a cluster, and a controller; a
+//! dispatcher splits the offered workload across zones.
+
+use coolair::{CoolAir, CoolAirConfig, CoolingModel, Version};
+use coolair_thermal::{Infrastructure, PlantConfig, TksConfig, TksController};
+use coolair_units::SimTime;
+use coolair_weather::{Forecaster, TmySeries};
+use coolair_workload::{Cluster, ClusterConfig, Job, JobId};
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{SimConfig, SimController, Simulation};
+use crate::metrics::{AnnualSummary, DayRecord};
+
+/// What runs in one zone.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ZoneSpec {
+    /// The extended-TKS baseline.
+    Baseline,
+    /// A CoolAir version on the smooth infrastructure.
+    CoolAir(Version),
+}
+
+/// A fleet of independent cooling zones fed by one workload stream.
+#[derive(Debug)]
+pub struct MultiZone {
+    zones: Vec<Simulation>,
+    records: Vec<Vec<DayRecord>>,
+}
+
+/// Aggregate results per zone.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiZoneReport {
+    /// Zone names (controller names).
+    pub zones: Vec<String>,
+    /// Per-zone annual summaries.
+    pub summaries: Vec<AnnualSummary>,
+}
+
+impl MultiZoneReport {
+    /// Fleet-wide PUE (energy-weighted across zones).
+    #[must_use]
+    pub fn fleet_pue(&self) -> f64 {
+        let it: f64 = self.summaries.iter().map(AnnualSummary::it_kwh).sum();
+        let cooling: f64 = self.summaries.iter().map(AnnualSummary::cooling_kwh).sum();
+        if it <= 0.0 {
+            return 1.0 + crate::metrics::POWER_DELIVERY_PUE;
+        }
+        (it + cooling) / it + crate::metrics::POWER_DELIVERY_PUE
+    }
+}
+
+impl MultiZone {
+    /// Builds a fleet. All zones share the site's weather; CoolAir zones
+    /// share the pre-trained model (one container design, one model — as a
+    /// real fleet of identical containers would).
+    #[must_use]
+    pub fn new(
+        specs: &[ZoneSpec],
+        model: &CoolingModel,
+        tmy: &TmySeries,
+        engine: SimConfig,
+    ) -> Self {
+        let zones = specs
+            .iter()
+            .map(|spec| {
+                let (controller, plant) = match spec {
+                    ZoneSpec::Baseline => (
+                        SimController::Baseline(TksController::new(TksConfig::baseline())),
+                        PlantConfig::parasol(),
+                    ),
+                    ZoneSpec::CoolAir(version) => (
+                        SimController::CoolAir(Box::new(CoolAir::new(
+                            *version,
+                            CoolAirConfig::default(),
+                            model.clone(),
+                            Forecaster::perfect(tmy.clone()),
+                            Infrastructure::Smooth,
+                        ))),
+                        PlantConfig::smooth(),
+                    ),
+                };
+                Simulation::new(
+                    controller,
+                    plant,
+                    Cluster::new(ClusterConfig::parasol()),
+                    tmy.clone(),
+                    engine.clone(),
+                )
+            })
+            .collect::<Vec<_>>();
+        let records = (0..zones.len()).map(|_| Vec::new()).collect();
+        MultiZone { zones, records }
+    }
+
+    /// Number of zones.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// `true` when the fleet is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.zones.is_empty()
+    }
+
+    /// Runs one calendar day, splitting `jobs` across zones round-robin
+    /// (each zone gets an equal share of jobs, with fresh per-zone ids).
+    pub fn run_day(&mut self, day: u64, jobs: &[Job]) {
+        let n = self.zones.len();
+        for (z, zone) in self.zones.iter_mut().enumerate() {
+            let share: Vec<Job> = jobs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % n == z)
+                .map(|(i, j)| Job { id: JobId(j.id.0 * n as u64 + i as u64), ..j.clone() })
+                .collect();
+            let out = zone.run_day(day, share);
+            self.records[z].push(out.record);
+        }
+    }
+
+    /// Collects the per-zone summaries.
+    #[must_use]
+    pub fn report(&self) -> MultiZoneReport {
+        MultiZoneReport {
+            zones: self.zones.iter().map(|z| z.controller().name()).collect(),
+            summaries: self
+                .records
+                .iter()
+                .map(|days| AnnualSummary::new(days.clone()))
+                .collect(),
+        }
+    }
+
+    /// Direct access to a zone's simulation (e.g. its cluster statistics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z` is out of range.
+    #[must_use]
+    pub fn zone(&self, z: usize) -> &Simulation {
+        &self.zones[z]
+    }
+
+    /// Current simulated readings of zone `z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z` is out of range.
+    #[must_use]
+    pub fn zone_readings(&self, z: usize, now: SimTime) -> coolair_thermal::SensorReadings {
+        self.zones[z].readings(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coolair::{train_cooling_model, TrainingConfig};
+    use coolair_weather::Location;
+    use coolair_workload::facebook_trace;
+
+    #[test]
+    fn fleet_splits_work_and_reports_per_zone() {
+        let tmy = TmySeries::generate(&Location::newark(), 11);
+        let model = train_cooling_model(&tmy, &TrainingConfig::quick());
+        let mut fleet = MultiZone::new(
+            &[ZoneSpec::Baseline, ZoneSpec::CoolAir(Version::AllNd)],
+            &model,
+            &tmy,
+            SimConfig::default(),
+        );
+        assert_eq!(fleet.len(), 2);
+        let jobs = facebook_trace(1).jobs_for_day(100);
+        fleet.run_day(100, &jobs);
+        let report = fleet.report();
+        assert_eq!(report.zones, ["Baseline", "All-ND"]);
+        for s in &report.summaries {
+            assert_eq!(s.len(), 1);
+            assert!(s.it_kwh() > 1.0);
+        }
+        // Each zone got roughly half the jobs.
+        let total: u64 = report.summaries.iter().map(AnnualSummary::jobs_completed).sum();
+        assert!(total > jobs.len() as u64 / 2, "completed {total}");
+        assert!(report.fleet_pue() > 1.05 && report.fleet_pue() < 2.0);
+    }
+}

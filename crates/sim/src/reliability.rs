@@ -1,0 +1,215 @@
+//! Disk-reliability impact model.
+//!
+//! The paper's entire motivation is hardware (especially disk) reliability:
+//! Sankar et al. found absolute disk temperature drives failures
+//! (Arrhenius-like), El-Sayed et al. found wide *temporal variation*
+//! increases sector errors, and §4.2 bounds power-cycle wear against the
+//! 300 000-cycle load/unload budget. This module turns an
+//! [`AnnualSummary`] into the reliability factors those studies measure, so
+//! the management systems can be compared in the currency the paper cares
+//! about, not just degrees.
+//!
+//! The factors are *relative* annualised failure-rate multipliers against a
+//! disk held at the reference temperature with no variation — the same way
+//! the cited studies report their results.
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::AnnualSummary;
+
+/// Parameters of the reliability model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityParams {
+    /// Arrhenius activation energy, eV (0.4–0.5 eV spans the values used
+    /// for commodity drives; Sankar et al. report this range).
+    pub activation_energy_ev: f64,
+    /// Reference disk temperature, °C (multiplier 1.0 at this temperature).
+    pub reference_disk_temp: f64,
+    /// Typical disk-over-inlet offset, °C (Figure 1 shows ~8–12 °C at
+    /// 50 % utilisation).
+    pub disk_over_inlet: f64,
+    /// Fractional increase in error rate per °C of *daily* temperature
+    /// range beyond `benign_range` (El-Sayed et al.: variability raised
+    /// sector errors "more significantly and consistently" than absolute
+    /// temperature).
+    pub variation_slope_per_c: f64,
+    /// Daily range below which variation is considered benign, °C.
+    pub benign_range: f64,
+    /// Load/unload cycle budget over the disk's service life (§4.2:
+    /// "at least 300,000 times without failure").
+    pub cycle_budget: f64,
+    /// Service life used for the cycle-budget rate, years (§4.2: 4 years).
+    pub service_years: f64,
+}
+
+impl Default for ReliabilityParams {
+    fn default() -> Self {
+        ReliabilityParams {
+            activation_energy_ev: 0.46,
+            reference_disk_temp: 38.0,
+            disk_over_inlet: 10.0,
+            variation_slope_per_c: 0.05,
+            benign_range: 4.0,
+            cycle_budget: 300_000.0,
+            service_years: 4.0,
+        }
+    }
+}
+
+/// The reliability impact of one system's year at one location.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityReport {
+    /// Arrhenius failure-rate multiplier from absolute disk temperature
+    /// (time-weighted across days; 1.0 = reference temperature).
+    pub arrhenius_factor: f64,
+    /// Multiplier from daily temperature variation (1.0 = benign).
+    pub variation_factor: f64,
+    /// Combined multiplier (product — the studies treat the effects as
+    /// independent).
+    pub combined_factor: f64,
+    /// Fraction of the lifetime power-cycle budget the year consumed
+    /// (should stay ≤ 1/service_years ≈ 0.25).
+    pub cycle_budget_fraction: f64,
+    /// Mean disk temperature used, °C.
+    pub mean_disk_temp: f64,
+    /// Mean worst daily range used, °C.
+    pub mean_daily_range: f64,
+}
+
+const BOLTZMANN_EV: f64 = 8.617e-5;
+
+/// Evaluates the reliability impact of a simulated year.
+///
+/// The summary's sensor extremes are inlet temperatures; disk temperatures
+/// add the configured offset. Days are weighted equally (each sampled day
+/// stands for one week).
+#[must_use]
+pub fn disk_reliability(summary: &AnnualSummary, params: &ReliabilityParams) -> ReliabilityReport {
+    if summary.is_empty() {
+        return ReliabilityReport {
+            arrhenius_factor: 1.0,
+            variation_factor: 1.0,
+            combined_factor: 1.0,
+            cycle_budget_fraction: 0.0,
+            mean_disk_temp: params.reference_disk_temp,
+            mean_daily_range: 0.0,
+        };
+    }
+
+    // Arrhenius factor averaged over days (each day's mean inlet ≈ midpoint
+    // of its per-sensor extremes, averaged across sensors).
+    let mut factor_sum = 0.0;
+    let mut disk_temp_sum = 0.0;
+    for day in summary.days() {
+        let mean_inlet: f64 = day
+            .sensor_min
+            .iter()
+            .zip(day.sensor_max.iter())
+            .map(|(lo, hi)| 0.5 * (lo + hi))
+            .sum::<f64>()
+            / day.sensor_min.len() as f64;
+        let disk_t = mean_inlet + params.disk_over_inlet;
+        let t_k = disk_t + 273.15;
+        let ref_k = params.reference_disk_temp + 273.15;
+        let f = (params.activation_energy_ev / BOLTZMANN_EV * (1.0 / ref_k - 1.0 / t_k)).exp();
+        factor_sum += f;
+        disk_temp_sum += disk_t;
+    }
+    let arrhenius_factor = factor_sum / summary.len() as f64;
+    let mean_disk_temp = disk_temp_sum / summary.len() as f64;
+
+    let mean_daily_range = summary.avg_worst_range();
+    let variation_factor =
+        1.0 + params.variation_slope_per_c * (mean_daily_range - params.benign_range).max(0.0);
+
+    // Power cycles: the sampled days stand for the full year.
+    let scale = 365.0 / summary.len() as f64;
+    let yearly_cycles = summary.power_cycles() as f64 * scale / 64.0; // per disk
+    let cycle_budget_fraction = yearly_cycles / (params.cycle_budget / params.service_years);
+
+    ReliabilityReport {
+        arrhenius_factor,
+        variation_factor,
+        combined_factor: arrhenius_factor * variation_factor,
+        cycle_budget_fraction,
+        mean_disk_temp,
+        mean_daily_range,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::DayRecord;
+
+    fn day(min: f64, max: f64, cycles: u64) -> DayRecord {
+        DayRecord {
+            day: 0,
+            sensor_min: vec![min; 4],
+            sensor_max: vec![max; 4],
+            violation_sum: 0.0,
+            readings: 100,
+            cooling_kwh: 1.0,
+            it_kwh: 10.0,
+            max_rate_c_per_hour: 2.0,
+            rh_violation_fraction: 0.0,
+            outside_range: max - min,
+            jobs_completed: 0,
+            power_cycles: cycles,
+        }
+    }
+
+    #[test]
+    fn reference_conditions_give_unit_factors() {
+        // Inlet 28 + offset 10 = 38 °C = reference; range = benign.
+        let s = AnnualSummary::new(vec![day(26.0, 30.0, 0)]);
+        let r = disk_reliability(&s, &ReliabilityParams::default());
+        assert!((r.arrhenius_factor - 1.0).abs() < 0.02, "{}", r.arrhenius_factor);
+        assert_eq!(r.variation_factor, 1.0);
+        assert_eq!(r.cycle_budget_fraction, 0.0);
+    }
+
+    #[test]
+    fn hotter_disks_fail_more() {
+        let cool = disk_reliability(
+            &AnnualSummary::new(vec![day(18.0, 22.0, 0)]),
+            &ReliabilityParams::default(),
+        );
+        let hot = disk_reliability(
+            &AnnualSummary::new(vec![day(33.0, 37.0, 0)]),
+            &ReliabilityParams::default(),
+        );
+        assert!(cool.arrhenius_factor < 1.0);
+        assert!(hot.arrhenius_factor > 1.3, "{}", hot.arrhenius_factor);
+        assert!(hot.combined_factor > cool.combined_factor);
+    }
+
+    #[test]
+    fn wider_ranges_raise_variation_factor() {
+        let narrow = disk_reliability(
+            &AnnualSummary::new(vec![day(24.0, 28.0, 0)]),
+            &ReliabilityParams::default(),
+        );
+        let wide = disk_reliability(
+            &AnnualSummary::new(vec![day(16.0, 36.0, 0)]),
+            &ReliabilityParams::default(),
+        );
+        assert_eq!(narrow.variation_factor, 1.0);
+        assert!((wide.variation_factor - 1.8).abs() < 1e-9, "{}", wide.variation_factor);
+    }
+
+    #[test]
+    fn cycle_budget_accounting() {
+        // 64 disks × 8 cycles on the one sampled day → 8 per disk per day →
+        // 2920/year against a 75k/year budget.
+        let s = AnnualSummary::new(vec![day(24.0, 28.0, 512)]);
+        let r = disk_reliability(&s, &ReliabilityParams::default());
+        assert!((r.cycle_budget_fraction - 2920.0 / 75_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_neutral() {
+        let r = disk_reliability(&AnnualSummary::default(), &ReliabilityParams::default());
+        assert_eq!(r.combined_factor, 1.0);
+    }
+}

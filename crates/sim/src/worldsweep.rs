@@ -1,0 +1,154 @@
+//! The 1520-location world-wide sweep behind Figures 12 and 13.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use coolair::Version;
+use coolair_weather::{Location, WorldGrid};
+use coolair_workload::TraceKind;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::annual::{run_annual, run_annual_with_model, train_for_location, AnnualConfig, SystemSpec};
+
+/// One location's baseline-vs-CoolAir comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorldPoint {
+    /// Grid cell name.
+    pub name: String,
+    /// Latitude, degrees north.
+    pub latitude: f64,
+    /// Longitude, degrees east.
+    pub longitude: f64,
+    /// Baseline maximum worst daily range, °C.
+    pub baseline_max_range: f64,
+    /// All-ND maximum worst daily range, °C.
+    pub coolair_max_range: f64,
+    /// Baseline yearly PUE.
+    pub baseline_pue: f64,
+    /// All-ND yearly PUE.
+    pub coolair_pue: f64,
+}
+
+impl WorldPoint {
+    /// Reduction in maximum daily range (positive = CoolAir better), °C —
+    /// the Figure 12 quantity.
+    #[must_use]
+    pub fn range_reduction(&self) -> f64 {
+        self.baseline_max_range - self.coolair_max_range
+    }
+
+    /// Reduction in yearly PUE (positive = CoolAir better) — the Figure 13
+    /// quantity.
+    #[must_use]
+    pub fn pue_reduction(&self) -> f64 {
+        self.baseline_pue - self.coolair_pue
+    }
+}
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct WorldSweepConfig {
+    /// Number of grid locations (the paper uses 1520; smaller counts keep
+    /// the latitude coverage).
+    pub locations: usize,
+    /// Per-location annual-run configuration.
+    pub annual: AnnualConfig,
+    /// Worker threads (0 → available parallelism).
+    pub threads: usize,
+}
+
+impl Default for WorldSweepConfig {
+    fn default() -> Self {
+        // The sweep is 2 runs × 1520 locations: use a fortnightly stride and
+        // a shorter training campaign to keep it tractable, as the paper
+        // shortened its own year-long simulations.
+        let annual = AnnualConfig {
+            stride: 14,
+            training: coolair::TrainingConfig { days: 10, ..Default::default() },
+            ..AnnualConfig::default()
+        };
+        WorldSweepConfig { locations: WorldGrid::PAPER_COUNT, annual, threads: 0 }
+    }
+}
+
+impl WorldSweepConfig {
+    /// A tiny sweep for tests.
+    #[must_use]
+    pub fn smoke(locations: usize) -> Self {
+        let annual = AnnualConfig { stride: 60, ..AnnualConfig::quick() };
+        WorldSweepConfig { locations, annual, ..WorldSweepConfig::default() }
+    }
+}
+
+/// Runs baseline and All-ND for a year at every grid location, in parallel.
+#[must_use]
+pub fn world_sweep(cfg: &WorldSweepConfig) -> Vec<WorldPoint> {
+    let grid = WorldGrid::with_count(cfg.locations);
+    let locations: Vec<Location> = grid.locations().to_vec();
+    let results: Mutex<Vec<WorldPoint>> = Mutex::new(Vec::with_capacity(locations.len()));
+    let next = AtomicUsize::new(0);
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+    } else {
+        cfg.threads
+    };
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= locations.len() {
+                    break;
+                }
+                let point = sweep_one(&locations[i], &cfg.annual);
+                results.lock().push(point);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    let mut out = results.into_inner();
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
+/// Evaluates one location: baseline vs All-ND (the Figure 12/13 pairing).
+#[must_use]
+pub fn sweep_one(location: &Location, annual: &AnnualConfig) -> WorldPoint {
+    let baseline = run_annual(&SystemSpec::Baseline, location, TraceKind::Facebook, annual);
+    let model = train_for_location(location, annual);
+    let coolair = run_annual_with_model(
+        &SystemSpec::CoolAir(Version::AllNd),
+        location,
+        TraceKind::Facebook,
+        annual,
+        Some(model),
+    );
+    WorldPoint {
+        name: location.name().to_string(),
+        latitude: location.latitude(),
+        longitude: location.longitude(),
+        baseline_max_range: baseline.max_worst_range(),
+        coolair_max_range: coolair.max_worst_range(),
+        baseline_pue: baseline.pue(),
+        coolair_pue: coolair.pue(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_covers_locations() {
+        let cfg = WorldSweepConfig::smoke(3);
+        let points = world_sweep(&cfg);
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert!(p.baseline_max_range > 0.0);
+            assert!(p.coolair_max_range > 0.0);
+            assert!(p.baseline_pue > 1.0 && p.baseline_pue < 3.0);
+            assert!(p.coolair_pue > 1.0 && p.coolair_pue < 3.0);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Server pods and their heat-recirculation characteristics.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of pods in the Parasol layout.
+///
+/// Parasol "has one air temperature sensor for each server pod, which
+/// includes the servers that behave similarly (e.g., same temperature
+/// changes, same potential for recirculation)" (§4.2). We model its two
+/// racks of 32 half-U servers as four pods of sixteen.
+pub const PODS: usize = 4;
+
+/// Servers per pod.
+pub const SERVERS_PER_POD: usize = 16;
+
+/// Total servers hosted in the container (§5.1: 64 half-U Atom servers).
+pub const TOTAL_SERVERS: usize = PODS * SERVERS_PER_POD;
+
+/// Identifier of a pod (0-based).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PodId(pub usize);
+
+impl PodId {
+    /// All pod ids in layout order.
+    pub fn all() -> impl Iterator<Item = PodId> {
+        (0..PODS).map(PodId)
+    }
+
+    /// The pod's index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for PodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pod{}", self.0)
+    }
+}
+
+/// Physical characteristics of one pod.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PodSpec {
+    /// Relative exposure to hot-aisle recirculation (1.0 = container
+    /// average). Pods near the partitions see more recirculated hot air;
+    /// pods in front of the free-cooling unit see less.
+    pub recirc_factor: f64,
+    /// Relative exposure to the incoming cold airflow (1.0 = average).
+    /// Roughly anti-correlated with `recirc_factor` in Parasol's layout.
+    pub airflow_factor: f64,
+}
+
+/// The container's pod layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PodLayout {
+    specs: Vec<PodSpec>,
+}
+
+impl PodLayout {
+    /// The Parasol layout: pod 0 sits deepest in the container (highest
+    /// recirculation, least direct airflow), pod 3 directly faces the free
+    /// cooling unit.
+    #[must_use]
+    pub fn parasol() -> Self {
+        PodLayout {
+            specs: vec![
+                PodSpec { recirc_factor: 1.55, airflow_factor: 0.82 },
+                PodSpec { recirc_factor: 1.20, airflow_factor: 0.94 },
+                PodSpec { recirc_factor: 0.80, airflow_factor: 1.06 },
+                PodSpec { recirc_factor: 0.45, airflow_factor: 1.18 },
+            ],
+        }
+    }
+
+    /// Creates a custom layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty or any factor is non-positive.
+    #[must_use]
+    pub fn new(specs: Vec<PodSpec>) -> Self {
+        assert!(!specs.is_empty(), "layout needs at least one pod");
+        assert!(
+            specs.iter().all(|s| s.recirc_factor > 0.0 && s.airflow_factor > 0.0),
+            "pod factors must be positive"
+        );
+        PodLayout { specs }
+    }
+
+    /// Number of pods.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// `true` if the layout has no pods (never true for valid layouts).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The spec of pod `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn spec(&self, id: PodId) -> PodSpec {
+        self.specs[id.0]
+    }
+
+    /// Iterates over `(PodId, PodSpec)`.
+    pub fn iter(&self) -> impl Iterator<Item = (PodId, PodSpec)> + '_ {
+        self.specs.iter().enumerate().map(|(i, s)| (PodId(i), *s))
+    }
+
+    /// Pod ids sorted by descending recirculation factor — the ranking the
+    /// Cooling Modeler hands the Compute Optimizer (§3.3). The first entry
+    /// is the pod *most* prone to heat recirculation.
+    #[must_use]
+    pub fn recirc_ranking(&self) -> Vec<PodId> {
+        let mut ids: Vec<PodId> = (0..self.specs.len()).map(PodId).collect();
+        ids.sort_by(|a, b| {
+            self.specs[b.0]
+                .recirc_factor
+                .total_cmp(&self.specs[a.0].recirc_factor)
+        });
+        ids
+    }
+}
+
+impl Default for PodLayout {
+    fn default() -> Self {
+        PodLayout::parasol()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parasol_layout_shape() {
+        let layout = PodLayout::parasol();
+        assert_eq!(layout.len(), PODS);
+        assert_eq!(TOTAL_SERVERS, 64);
+    }
+
+    #[test]
+    fn ranking_is_descending_recirc() {
+        let layout = PodLayout::parasol();
+        let ranking = layout.recirc_ranking();
+        assert_eq!(ranking.len(), PODS);
+        for pair in ranking.windows(2) {
+            assert!(
+                layout.spec(pair[0]).recirc_factor >= layout.spec(pair[1]).recirc_factor,
+                "ranking not descending"
+            );
+        }
+        assert_eq!(ranking[0], PodId(0));
+        assert_eq!(ranking[PODS - 1], PodId(3));
+    }
+
+    #[test]
+    fn pod_id_iteration() {
+        let ids: Vec<PodId> = PodId::all().collect();
+        assert_eq!(ids.len(), PODS);
+        assert_eq!(ids[2].index(), 2);
+        assert_eq!(ids[1].to_string(), "pod1");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_factors() {
+        let _ = PodLayout::new(vec![PodSpec { recirc_factor: 0.0, airflow_factor: 1.0 }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pod")]
+    fn rejects_empty_layout() {
+        let _ = PodLayout::new(Vec::new());
+    }
+}

@@ -1,0 +1,122 @@
+//! Cooling power draw per regime.
+
+use coolair_units::Watts;
+
+use crate::regime::{CoolingRegime, Infrastructure};
+
+/// Free-cooling fan power at zero speed (controller/standby draw), W.
+const FC_BASE_W: f64 = 8.0;
+/// Free-cooling fan power span from 0 to full speed, W. The unit "draws
+/// between 8 W and 425 W, depending on fan speed" (§4.1); power is cubic in
+/// speed, "as in [27]" (§6).
+const FC_SPAN_W: f64 = 417.0;
+/// AC draw with fan only, W (§4.1: "consumes either 135 W (fan only) or
+/// 2.2 kW (compressor and fan on)").
+const AC_FAN_ONLY_W: f64 = 135.0;
+/// AC draw with compressor and fan on, W.
+const AC_FULL_W: f64 = 2200.0;
+
+/// Electrical power drawn by the cooling infrastructure in `regime`.
+///
+/// For the smooth infrastructure, "the air conditioning fan consumes 1/4 of
+/// the power of the entire unit, and the compressor consumes power linearly
+/// with speed" (§5.1) — i.e. 550 W of fan plus up to 1650 W of compressor.
+///
+/// # Example
+///
+/// ```
+/// use coolair_thermal::{cooling_power, CoolingRegime, Infrastructure};
+/// use coolair_units::FanSpeed;
+///
+/// let full = cooling_power(
+///     CoolingRegime::free_cooling(FanSpeed::MAX),
+///     Infrastructure::Parasol,
+/// );
+/// assert!((full.value() - 425.0).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn cooling_power(regime: CoolingRegime, infra: Infrastructure) -> Watts {
+    match regime {
+        CoolingRegime::Closed => Watts::ZERO,
+        CoolingRegime::FreeCooling { fan } => {
+            let f = fan.fraction();
+            Watts::new(FC_BASE_W + FC_SPAN_W * f * f * f)
+        }
+        CoolingRegime::Ac { compressor } => match infra {
+            Infrastructure::Parasol => {
+                if compressor > 0.0 {
+                    Watts::new(AC_FULL_W)
+                } else {
+                    Watts::new(AC_FAN_ONLY_W)
+                }
+            }
+            Infrastructure::Smooth => {
+                let fan_w = AC_FULL_W / 4.0;
+                let comp_w = (AC_FULL_W - fan_w) * compressor.clamp(0.0, 1.0);
+                Watts::new(fan_w + comp_w)
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coolair_units::FanSpeed;
+
+    #[test]
+    fn fan_power_matches_published_range() {
+        let min = cooling_power(
+            CoolingRegime::free_cooling(FanSpeed::PARASOL_MIN),
+            Infrastructure::Parasol,
+        );
+        let max = cooling_power(
+            CoolingRegime::free_cooling(FanSpeed::MAX),
+            Infrastructure::Parasol,
+        );
+        assert!(min.value() > 8.0 && min.value() < 15.0, "min speed draw {min}");
+        assert!((max.value() - 425.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fan_power_is_cubic() {
+        let half = cooling_power(
+            CoolingRegime::free_cooling(FanSpeed::new(0.5).unwrap()),
+            Infrastructure::Parasol,
+        );
+        assert!((half.value() - (8.0 + 417.0 / 8.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parasol_ac_is_binary() {
+        assert_eq!(
+            cooling_power(CoolingRegime::ac_fan_only(), Infrastructure::Parasol).value(),
+            135.0
+        );
+        assert_eq!(
+            cooling_power(CoolingRegime::ac_on(), Infrastructure::Parasol).value(),
+            2200.0
+        );
+        // Any positive compressor drive on Parasol means full power.
+        assert_eq!(
+            cooling_power(CoolingRegime::Ac { compressor: 0.4 }, Infrastructure::Parasol).value(),
+            2200.0
+        );
+    }
+
+    #[test]
+    fn smooth_ac_is_linear_in_compressor() {
+        let fan_only = cooling_power(CoolingRegime::ac_fan_only(), Infrastructure::Smooth);
+        assert!((fan_only.value() - 550.0).abs() < 1e-9);
+        let half = cooling_power(CoolingRegime::Ac { compressor: 0.5 }, Infrastructure::Smooth);
+        assert!((half.value() - (550.0 + 825.0)).abs() < 1e-9);
+        let full = cooling_power(CoolingRegime::ac_on(), Infrastructure::Smooth);
+        assert!((full.value() - 2200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closed_draws_nothing() {
+        assert_eq!(cooling_power(CoolingRegime::Closed, Infrastructure::Parasol), Watts::ZERO);
+        assert_eq!(cooling_power(CoolingRegime::Closed, Infrastructure::Smooth), Watts::ZERO);
+    }
+}

@@ -1,0 +1,338 @@
+//! Cooling regimes and the infrastructure that constrains them.
+
+use std::fmt;
+
+use coolair_units::FanSpeed;
+use serde::{Deserialize, Serialize};
+
+/// A cooling regime: what the cooling units are commanded to do.
+///
+/// §4.1 identifies Parasol's main regimes: "(1) free cooling with a fan
+/// speed above 15 %; (2) air conditioning with the compressor on or off; or
+/// (3) neither (the datacenter is closed)."
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum CoolingRegime {
+    /// Container closed: no free cooling, no AC. Temperatures rise through
+    /// recirculation — used deliberately to warm up or dry the air.
+    #[default]
+    Closed,
+    /// Free cooling: outside air blown in at the given fan speed, damper
+    /// open.
+    FreeCooling {
+        /// Fan speed as a fraction of maximum.
+        fan: FanSpeed,
+    },
+    /// Air conditioning: damper closed, free cooling off, AC fan running.
+    Ac {
+        /// Compressor drive in `[0, 1]`. Parasol's compressor is binary
+        /// (0.0 or 1.0); the smooth infrastructure modulates it
+        /// continuously. `0.0` means fan-only operation.
+        compressor: f64,
+    },
+}
+
+impl CoolingRegime {
+    /// Free cooling at the given speed.
+    #[must_use]
+    pub fn free_cooling(fan: FanSpeed) -> Self {
+        CoolingRegime::FreeCooling { fan }
+    }
+
+    /// AC with the compressor fully on.
+    #[must_use]
+    pub fn ac_on() -> Self {
+        CoolingRegime::Ac { compressor: 1.0 }
+    }
+
+    /// AC fan-only (compressor off).
+    #[must_use]
+    pub fn ac_fan_only() -> Self {
+        CoolingRegime::Ac { compressor: 0.0 }
+    }
+
+    /// The regime's class, used to key learned models.
+    #[must_use]
+    pub fn class(self) -> RegimeClass {
+        match self {
+            CoolingRegime::Closed => RegimeClass::Closed,
+            CoolingRegime::FreeCooling { .. } => RegimeClass::FreeCooling,
+            CoolingRegime::Ac { compressor } => {
+                if compressor > 0.0 {
+                    RegimeClass::AcCompressorOn
+                } else {
+                    RegimeClass::AcFanOnly
+                }
+            }
+        }
+    }
+
+    /// The free-cooling fan speed (zero unless free cooling).
+    #[must_use]
+    pub fn fan_speed(self) -> FanSpeed {
+        match self {
+            CoolingRegime::FreeCooling { fan } => fan,
+            _ => FanSpeed::OFF,
+        }
+    }
+
+    /// Compressor drive (zero unless AC).
+    #[must_use]
+    pub fn compressor(self) -> f64 {
+        match self {
+            CoolingRegime::Ac { compressor } => compressor,
+            _ => 0.0,
+        }
+    }
+
+    /// `true` when this is the full-blast AC regime the utility function
+    /// penalises ("turning on the AC at full speed", §3.2).
+    #[must_use]
+    pub fn is_ac_full_blast(self) -> bool {
+        matches!(self, CoolingRegime::Ac { compressor } if compressor >= 1.0)
+    }
+}
+
+
+impl fmt::Display for CoolingRegime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoolingRegime::Closed => write!(f, "closed"),
+            CoolingRegime::FreeCooling { fan } => write!(f, "FC@{:.0}%", fan.percent()),
+            CoolingRegime::Ac { compressor } => write!(f, "AC@{:.0}%", compressor * 100.0),
+        }
+    }
+}
+
+/// Coarse regime classes — the granularity at which CoolAir learns one
+/// model per regime (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegimeClass {
+    /// Container closed.
+    Closed,
+    /// Free cooling (any speed; speed is a model input).
+    FreeCooling,
+    /// AC fan running, compressor off.
+    AcFanOnly,
+    /// AC compressor running.
+    AcCompressorOn,
+}
+
+impl RegimeClass {
+    /// All classes, in a stable order.
+    pub const ALL: [RegimeClass; 4] = [
+        RegimeClass::Closed,
+        RegimeClass::FreeCooling,
+        RegimeClass::AcFanOnly,
+        RegimeClass::AcCompressorOn,
+    ];
+}
+
+impl fmt::Display for RegimeClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RegimeClass::Closed => "closed",
+            RegimeClass::FreeCooling => "free-cooling",
+            RegimeClass::AcFanOnly => "ac-fan",
+            RegimeClass::AcCompressorOn => "ac-on",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Key identifying which learned model applies to a prediction step:
+/// steady operation in one regime, or a transition between two (§3.1:
+/// "a distinct function F for each possible cooling regime and transition
+/// between regimes").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKey {
+    /// The regime did not change across the step.
+    Steady(RegimeClass),
+    /// The regime changed from the first class to the second.
+    Transition(RegimeClass, RegimeClass),
+}
+
+impl ModelKey {
+    /// Builds the key for a step that starts in `from` and ends in `to`.
+    #[must_use]
+    pub fn for_step(from: RegimeClass, to: RegimeClass) -> Self {
+        if from == to {
+            ModelKey::Steady(from)
+        } else {
+            ModelKey::Transition(from, to)
+        }
+    }
+
+    /// `true` for transition keys.
+    #[must_use]
+    pub fn is_transition(self) -> bool {
+        matches!(self, ModelKey::Transition(..))
+    }
+}
+
+impl fmt::Display for ModelKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelKey::Steady(c) => write!(f, "{c}"),
+            ModelKey::Transition(a, b) => write!(f, "{a}->{b}"),
+        }
+    }
+}
+
+/// The cooling infrastructure installed in the container, which determines
+/// the set of regimes a controller may command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Infrastructure {
+    /// Parasol's real units: free-cooling fan runs at 15–100 %, AC
+    /// compressor is all-or-nothing (§4.1).
+    Parasol,
+    /// The §5.1 "smooth" units: fan ramps at fine granularity from 1 %, AC
+    /// compressor speed is continuously variable.
+    Smooth,
+}
+
+impl Infrastructure {
+    /// Minimum running fan speed for free cooling.
+    #[must_use]
+    pub fn min_fan(self) -> FanSpeed {
+        match self {
+            Infrastructure::Parasol => FanSpeed::PARASOL_MIN,
+            Infrastructure::Smooth => FanSpeed::SMOOTH_MIN,
+        }
+    }
+
+    /// Clamps a commanded regime to what this infrastructure can actually
+    /// do (fan minimums; binary compressor on Parasol).
+    #[must_use]
+    pub fn sanitize(self, regime: CoolingRegime) -> CoolingRegime {
+        match regime {
+            CoolingRegime::Closed => CoolingRegime::Closed,
+            CoolingRegime::FreeCooling { fan } => {
+                if fan.is_off() {
+                    CoolingRegime::Closed
+                } else {
+                    CoolingRegime::FreeCooling { fan: fan.max(self.min_fan()) }
+                }
+            }
+            CoolingRegime::Ac { compressor } => match self {
+                Infrastructure::Parasol => CoolingRegime::Ac {
+                    compressor: if compressor > 0.0 { 1.0 } else { 0.0 },
+                },
+                Infrastructure::Smooth => CoolingRegime::Ac {
+                    compressor: compressor.clamp(0.0, 1.0),
+                },
+            },
+        }
+    }
+
+    /// The candidate regimes a controller can choose from at each decision
+    /// point. Parasol offers coarse steps; the smooth infrastructure offers
+    /// fine-grained fan and compressor speeds.
+    #[must_use]
+    pub fn candidate_regimes(self) -> Vec<CoolingRegime> {
+        let mut out = vec![CoolingRegime::Closed];
+        match self {
+            Infrastructure::Parasol => {
+                for pct in [15.0, 25.0, 50.0, 75.0, 100.0] {
+                    out.push(CoolingRegime::free_cooling(
+                        FanSpeed::from_percent(pct).expect("static speed"),
+                    ));
+                }
+                out.push(CoolingRegime::ac_fan_only());
+                out.push(CoolingRegime::ac_on());
+            }
+            Infrastructure::Smooth => {
+                for pct in [1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 40.0, 50.0, 65.0, 80.0, 100.0]
+                {
+                    out.push(CoolingRegime::free_cooling(
+                        FanSpeed::from_percent(pct).expect("static speed"),
+                    ));
+                }
+                out.push(CoolingRegime::ac_fan_only());
+                for comp in [0.15, 0.3, 0.5, 0.7, 0.85, 1.0] {
+                    out.push(CoolingRegime::Ac { compressor: comp });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes() {
+        assert_eq!(CoolingRegime::Closed.class(), RegimeClass::Closed);
+        assert_eq!(
+            CoolingRegime::free_cooling(FanSpeed::PARASOL_MIN).class(),
+            RegimeClass::FreeCooling
+        );
+        assert_eq!(CoolingRegime::ac_on().class(), RegimeClass::AcCompressorOn);
+        assert_eq!(CoolingRegime::ac_fan_only().class(), RegimeClass::AcFanOnly);
+    }
+
+    #[test]
+    fn model_keys() {
+        let k = ModelKey::for_step(RegimeClass::Closed, RegimeClass::Closed);
+        assert_eq!(k, ModelKey::Steady(RegimeClass::Closed));
+        assert!(!k.is_transition());
+        let t = ModelKey::for_step(RegimeClass::FreeCooling, RegimeClass::AcCompressorOn);
+        assert!(t.is_transition());
+        assert_eq!(t.to_string(), "free-cooling->ac-on");
+    }
+
+    #[test]
+    fn parasol_sanitizes_fan_minimum() {
+        let slow = CoolingRegime::free_cooling(FanSpeed::new(0.05).unwrap());
+        let got = Infrastructure::Parasol.sanitize(slow);
+        assert_eq!(got.fan_speed(), FanSpeed::PARASOL_MIN);
+        // Smooth keeps it.
+        let got = Infrastructure::Smooth.sanitize(slow);
+        assert!((got.fan_speed().fraction() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parasol_compressor_is_binary() {
+        let half = CoolingRegime::Ac { compressor: 0.5 };
+        assert_eq!(Infrastructure::Parasol.sanitize(half).compressor(), 1.0);
+        assert_eq!(Infrastructure::Smooth.sanitize(half).compressor(), 0.5);
+    }
+
+    #[test]
+    fn zero_fan_free_cooling_becomes_closed() {
+        let r = CoolingRegime::FreeCooling { fan: FanSpeed::OFF };
+        assert_eq!(Infrastructure::Parasol.sanitize(r), CoolingRegime::Closed);
+    }
+
+    #[test]
+    fn candidate_sets() {
+        let p = Infrastructure::Parasol.candidate_regimes();
+        assert!(p.contains(&CoolingRegime::Closed));
+        assert!(p.iter().any(|r| r.is_ac_full_blast()));
+        assert!(p.iter().all(|r| *r == Infrastructure::Parasol.sanitize(*r)));
+
+        let s = Infrastructure::Smooth.candidate_regimes();
+        assert!(s.len() > p.len());
+        assert!(s.iter().any(|r| r.fan_speed() == FanSpeed::SMOOTH_MIN));
+        assert!(s.iter().any(|r| matches!(r, CoolingRegime::Ac { compressor } if *compressor > 0.0 && *compressor < 1.0)));
+    }
+
+    #[test]
+    fn full_blast_detection() {
+        assert!(CoolingRegime::ac_on().is_ac_full_blast());
+        assert!(!CoolingRegime::Ac { compressor: 0.5 }.is_ac_full_blast());
+        assert!(!CoolingRegime::Closed.is_ac_full_blast());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(CoolingRegime::Closed.to_string(), "closed");
+        assert_eq!(
+            CoolingRegime::free_cooling(FanSpeed::new(0.5).unwrap()).to_string(),
+            "FC@50%"
+        );
+        assert_eq!(CoolingRegime::ac_on().to_string(), "AC@100%");
+    }
+}

@@ -1,0 +1,118 @@
+//! Sensor readings: what any controller (TKS or CoolAir) can observe.
+
+use coolair_units::{
+    AbsoluteHumidity, Celsius, RelativeHumidity, SimTime, Watts,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::pods::PodId;
+use crate::regime::CoolingRegime;
+
+/// A snapshot of every sensor in the container, plus the operating state
+/// CoolAir's Cooling Modeler records alongside it (§3.1: air temperature and
+/// humidity per sensor, server utilisation, cooling status, cooling power).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensorReadings {
+    /// When the snapshot was taken.
+    pub time: SimTime,
+    /// Outside air temperature.
+    pub outside_temp: Celsius,
+    /// Outside relative humidity.
+    pub outside_rh: RelativeHumidity,
+    /// Outside absolute humidity.
+    pub outside_abs: AbsoluteHumidity,
+    /// Inlet air temperature per pod (one sensor per pod, §4.2).
+    pub pod_inlets: Vec<Celsius>,
+    /// Cold-aisle relative humidity (one sensor, §3).
+    pub cold_aisle_rh: RelativeHumidity,
+    /// Cold-aisle absolute humidity (derived).
+    pub cold_aisle_abs: AbsoluteHumidity,
+    /// Hot-aisle air temperature.
+    pub hot_aisle: Celsius,
+    /// Modelled disk temperature per pod (for the Figure 1 analysis).
+    pub disk_temps: Vec<Celsius>,
+    /// The cooling regime in force when the snapshot was taken.
+    pub regime: CoolingRegime,
+    /// Cooling power draw at the snapshot.
+    pub cooling_power: Watts,
+    /// Total IT power draw at the snapshot.
+    pub it_power: Watts,
+    /// Fraction of servers active (datacenter "utilization" in the paper's
+    /// terminology, §3).
+    pub active_fraction: f64,
+}
+
+impl SensorReadings {
+    /// Inlet temperature of one pod.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pod id is out of range.
+    #[must_use]
+    pub fn inlet(&self, pod: PodId) -> Celsius {
+        self.pod_inlets[pod.index()]
+    }
+
+    /// The warmest pod inlet — the TKS control sensor sits "in a typically
+    /// warmer area in the cold aisle" (§4.1).
+    #[must_use]
+    pub fn max_inlet(&self) -> Celsius {
+        self.pod_inlets
+            .iter()
+            .copied()
+            .fold(Celsius::new(-1e9), Celsius::max)
+    }
+
+    /// The coolest pod inlet.
+    #[must_use]
+    pub fn min_inlet(&self) -> Celsius {
+        self.pod_inlets
+            .iter()
+            .copied()
+            .fold(Celsius::new(1e9), Celsius::min)
+    }
+
+    /// Mean pod inlet temperature.
+    #[must_use]
+    pub fn mean_inlet(&self) -> Celsius {
+        let sum: f64 = self.pod_inlets.iter().map(|t| t.value()).sum();
+        Celsius::new(sum / self.pod_inlets.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SensorReadings {
+        SensorReadings {
+            time: SimTime::EPOCH,
+            outside_temp: Celsius::new(10.0),
+            outside_rh: RelativeHumidity::new(50.0),
+            outside_abs: AbsoluteHumidity::new(3.0),
+            pod_inlets: vec![
+                Celsius::new(24.0),
+                Celsius::new(26.0),
+                Celsius::new(22.0),
+                Celsius::new(25.0),
+            ],
+            cold_aisle_rh: RelativeHumidity::new(40.0),
+            cold_aisle_abs: AbsoluteHumidity::new(7.0),
+            hot_aisle: Celsius::new(32.0),
+            disk_temps: vec![Celsius::new(35.0); 4],
+            regime: CoolingRegime::Closed,
+            cooling_power: Watts::ZERO,
+            it_power: Watts::new(500.0),
+            active_fraction: 0.5,
+        }
+    }
+
+    #[test]
+    fn extrema() {
+        let r = sample();
+        assert_eq!(r.max_inlet(), Celsius::new(26.0));
+        assert_eq!(r.min_inlet(), Celsius::new(22.0));
+        assert!((r.mean_inlet().value() - 24.25).abs() < 1e-12);
+        assert_eq!(r.inlet(PodId(2)), Celsius::new(22.0));
+    }
+}

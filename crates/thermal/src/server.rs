@@ -1,0 +1,56 @@
+//! Server power model.
+
+use coolair_units::Watts;
+
+/// Power draw of a sleeping server (ACPI S3), W.
+pub const SERVER_SLEEP_W: f64 = 2.0;
+/// Power draw of an active but idle server, W (§5.1: "each server draws
+/// from 22 W to 30 W").
+pub const SERVER_ACTIVE_IDLE_W: f64 = 22.0;
+/// Power draw of a fully utilised server, W.
+pub const SERVER_ACTIVE_PEAK_W: f64 = 30.0;
+
+/// Power draw of one server.
+///
+/// `utilization` is the server's CPU/disk utilisation in `[0, 1]` and is
+/// ignored for sleeping servers. Active power interpolates linearly between
+/// the idle and peak draws, matching the Atom D525 servers of §5.1.
+///
+/// # Example
+///
+/// ```
+/// use coolair_thermal::server_power;
+///
+/// assert_eq!(server_power(0.0, false).value(), 22.0);
+/// assert_eq!(server_power(1.0, false).value(), 30.0);
+/// assert_eq!(server_power(0.9, true).value(), 2.0);
+/// ```
+#[must_use]
+pub fn server_power(utilization: f64, asleep: bool) -> Watts {
+    if asleep {
+        return Watts::new(SERVER_SLEEP_W);
+    }
+    let u = utilization.clamp(0.0, 1.0);
+    Watts::new(SERVER_ACTIVE_IDLE_W + (SERVER_ACTIVE_PEAK_W - SERVER_ACTIVE_IDLE_W) * u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_between_idle_and_peak() {
+        assert_eq!(server_power(0.5, false).value(), 26.0);
+    }
+
+    #[test]
+    fn clamps_utilization() {
+        assert_eq!(server_power(-0.5, false).value(), SERVER_ACTIVE_IDLE_W);
+        assert_eq!(server_power(1.5, false).value(), SERVER_ACTIVE_PEAK_W);
+    }
+
+    #[test]
+    fn sleep_ignores_utilization() {
+        assert_eq!(server_power(1.0, true).value(), SERVER_SLEEP_W);
+    }
+}

@@ -1,0 +1,304 @@
+//! The TKS 3000 feedback controller and the paper's baseline extension.
+//!
+//! Parasol ships with a commercial controller that CoolAir replaces. §4.1
+//! specifies its control law precisely, and §5.1's baseline "extends
+//! Parasol's default control scheme in two ways: (1) we set the setpoint to
+//! 30 °C, instead of the default 25 °C; and (2) we add humidity control to
+//! it, with a maximum limit of 80 % relative humidity."
+
+use coolair_units::{Celsius, FanSpeed, RelativeHumidity, TempDelta};
+use serde::{Deserialize, Serialize};
+
+use crate::regime::CoolingRegime;
+use crate::sensor::SensorReadings;
+
+/// TKS configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TksConfig {
+    /// Temperature setpoint SP (default 25 °C; the baseline uses 30 °C).
+    pub setpoint: Celsius,
+    /// Proportional band P below the setpoint within which free cooling
+    /// modulates (default 5 °C).
+    pub proportional_band: f64,
+    /// Hysteresis around the setpoint for LOT/HOT mode switching (1 °C).
+    pub hysteresis: f64,
+    /// Compressor cut-out: the AC stops the compressor below
+    /// `setpoint − ac_off_delta` (2 °C).
+    pub ac_off_delta: f64,
+    /// Optional relative-humidity ceiling (the baseline adds 80 %).
+    pub humidity_limit: Option<RelativeHumidity>,
+}
+
+impl TksConfig {
+    /// Parasol's factory defaults (§4.1): SP = 25 °C, P = 5 °C, no humidity
+    /// control.
+    #[must_use]
+    pub fn factory() -> Self {
+        TksConfig {
+            setpoint: Celsius::new(25.0),
+            proportional_band: 5.0,
+            hysteresis: 1.0,
+            ac_off_delta: 2.0,
+            humidity_limit: None,
+        }
+    }
+
+    /// The paper's baseline system (§5.1): SP = 30 °C plus an 80 % RH limit.
+    #[must_use]
+    pub fn baseline() -> Self {
+        TksConfig {
+            setpoint: Celsius::new(30.0),
+            humidity_limit: Some(RelativeHumidity::new(80.0)),
+            ..TksConfig::factory()
+        }
+    }
+
+    /// The baseline with a different setpoint (the §5.2 "impact of the
+    /// desired maximum temperature" study).
+    #[must_use]
+    pub fn baseline_with_setpoint(setpoint: Celsius) -> Self {
+        TksConfig { setpoint, ..TksConfig::baseline() }
+    }
+}
+
+impl Default for TksConfig {
+    fn default() -> Self {
+        TksConfig::factory()
+    }
+}
+
+/// TKS operating mode, selected by outside temperature (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TksMode {
+    /// Low Outside Temperature: free cooling as much as possible.
+    Lot,
+    /// High Outside Temperature: damper closed, AC on.
+    Hot,
+}
+
+/// The TKS feedback controller.
+#[derive(Debug, Clone)]
+pub struct TksController {
+    config: TksConfig,
+    mode: TksMode,
+    compressor_on: bool,
+}
+
+impl TksController {
+    /// Creates a controller starting in LOT mode with the compressor off.
+    #[must_use]
+    pub fn new(config: TksConfig) -> Self {
+        TksController { config, mode: TksMode::Lot, compressor_on: false }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &TksConfig {
+        &self.config
+    }
+
+    /// Changes the setpoint at runtime — the hook CoolAir's Cooling
+    /// Configurer uses on Parasol ("CoolAir translates its desired actions
+    /// into changes to the TKS temperature setpoint", §4.2).
+    pub fn set_setpoint(&mut self, setpoint: Celsius) {
+        self.config.setpoint = setpoint;
+    }
+
+    /// Current operating mode.
+    #[must_use]
+    pub fn mode(&self) -> TksMode {
+        self.mode
+    }
+
+    /// Selects the cooling regime for the next control period.
+    pub fn decide(&mut self, readings: &SensorReadings) -> CoolingRegime {
+        let sp = self.config.setpoint;
+        let out = readings.outside_temp;
+        // Mode switch on outside temperature with hysteresis.
+        match self.mode {
+            TksMode::Lot if out.value() > sp.value() + self.config.hysteresis => {
+                self.mode = TksMode::Hot;
+            }
+            TksMode::Hot if out.value() < sp.value() - self.config.hysteresis => {
+                self.mode = TksMode::Lot;
+                self.compressor_on = false;
+            }
+            _ => {}
+        }
+
+        // The control sensor sits in a typically warmer area of the cold
+        // aisle: use the warmest pod inlet.
+        let t_ctrl = readings.max_inlet();
+
+        // Humidity override (baseline extension): above the RH limit, stop
+        // pulling in outside air. Warming by recirculation dries the air;
+        // if the container is already warm, the AC coil dehumidifies.
+        if let Some(limit) = self.config.humidity_limit {
+            if readings.cold_aisle_rh > limit {
+                return if t_ctrl.value() <= sp.value() - self.config.ac_off_delta {
+                    CoolingRegime::Closed
+                } else {
+                    self.compressor_on = true;
+                    CoolingRegime::ac_on()
+                };
+            }
+        }
+
+        match self.mode {
+            TksMode::Hot => {
+                // AC with cycling compressor: on above SP, off below SP−2.
+                if t_ctrl > sp {
+                    self.compressor_on = true;
+                } else if t_ctrl.value() < sp.value() - self.config.ac_off_delta {
+                    self.compressor_on = false;
+                }
+                if self.compressor_on {
+                    CoolingRegime::ac_on()
+                } else {
+                    CoolingRegime::ac_fan_only()
+                }
+            }
+            TksMode::Lot => {
+                if t_ctrl.value() < sp.value() - self.config.proportional_band {
+                    // Too cold: close up and let recirculation warm the air.
+                    CoolingRegime::Closed
+                } else {
+                    // Free cooling; the closer inside is to outside, the
+                    // faster the fan blows (§4.1).
+                    let dt: TempDelta = t_ctrl - out;
+                    let speed = fan_speed_for_delta(dt);
+                    CoolingRegime::free_cooling(speed)
+                }
+            }
+        }
+    }
+}
+
+/// §4.1 fan-speed law: minimum speed when inside is much warmer than
+/// outside (cold air works by itself), full speed as the two converge.
+fn fan_speed_for_delta(dt: TempDelta) -> FanSpeed {
+    let d = dt.degrees();
+    // d ≥ 10 °C → 15 %; d ≤ 1 °C → 100 %; linear in between.
+    let frac = 1.0 - (d - 1.0) / 9.0 * 0.85;
+    FanSpeed::saturating(frac.clamp(0.15, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coolair_units::{AbsoluteHumidity, SimTime, Watts};
+
+    fn readings(outside: f64, inlet: f64, rh: f64) -> SensorReadings {
+        SensorReadings {
+            time: SimTime::EPOCH,
+            outside_temp: Celsius::new(outside),
+            outside_rh: RelativeHumidity::new(50.0),
+            outside_abs: AbsoluteHumidity::new(5.0),
+            pod_inlets: vec![Celsius::new(inlet); 4],
+            cold_aisle_rh: RelativeHumidity::new(rh),
+            cold_aisle_abs: AbsoluteHumidity::new(6.0),
+            hot_aisle: Celsius::new(inlet + 5.0),
+            disk_temps: vec![Celsius::new(inlet + 8.0); 4],
+            regime: CoolingRegime::Closed,
+            cooling_power: Watts::ZERO,
+            it_power: Watts::new(500.0),
+            active_fraction: 0.3,
+        }
+    }
+
+    #[test]
+    fn cold_inside_closes_container() {
+        let mut tks = TksController::new(TksConfig::factory());
+        // SP=25, P=5: control temp below 20 → closed.
+        assert_eq!(tks.decide(&readings(10.0, 18.0, 40.0)), CoolingRegime::Closed);
+    }
+
+    #[test]
+    fn band_uses_free_cooling_with_speed_law() {
+        let mut tks = TksController::new(TksConfig::factory());
+        // Inside much warmer than outside → slow fan.
+        let r = tks.decide(&readings(5.0, 23.0, 40.0));
+        assert_eq!(r.fan_speed(), FanSpeed::PARASOL_MIN);
+        // Inside close to outside → fast fan.
+        let r = tks.decide(&readings(22.0, 23.0, 40.0));
+        assert!(r.fan_speed().fraction() > 0.9, "got {r}");
+    }
+
+    #[test]
+    fn hot_mode_switches_with_hysteresis() {
+        let mut tks = TksController::new(TksConfig::factory());
+        assert_eq!(tks.mode(), TksMode::Lot);
+        // Outside rises above SP+1 → HOT mode, AC engages.
+        let r = tks.decide(&readings(27.0, 26.0, 40.0));
+        assert_eq!(tks.mode(), TksMode::Hot);
+        assert_eq!(r, CoolingRegime::ac_on());
+        // A dip to 25.5 (within hysteresis) keeps HOT mode.
+        let _ = tks.decide(&readings(25.5, 24.5, 40.0));
+        assert_eq!(tks.mode(), TksMode::Hot);
+        // Below SP−1 → back to LOT.
+        let _ = tks.decide(&readings(23.5, 24.0, 40.0));
+        assert_eq!(tks.mode(), TksMode::Lot);
+    }
+
+    #[test]
+    fn compressor_cycles_within_hot_mode() {
+        let mut tks = TksController::new(TksConfig::factory());
+        // Enter HOT with inside hot: compressor on.
+        assert_eq!(tks.decide(&readings(28.0, 27.0, 40.0)), CoolingRegime::ac_on());
+        // Inside falls between SP−2 and SP: compressor keeps running.
+        assert_eq!(tks.decide(&readings(28.0, 24.0, 40.0)), CoolingRegime::ac_on());
+        // Inside below SP−2 = 23: compressor stops, fan only.
+        assert_eq!(tks.decide(&readings(28.0, 22.5, 40.0)), CoolingRegime::ac_fan_only());
+        // Warms past SP again: compressor restarts.
+        assert_eq!(tks.decide(&readings(28.0, 25.5, 40.0)), CoolingRegime::ac_on());
+    }
+
+    #[test]
+    fn factory_config_ignores_humidity() {
+        let mut tks = TksController::new(TksConfig::factory());
+        let r = tks.decide(&readings(10.0, 23.0, 95.0));
+        assert!(matches!(r, CoolingRegime::FreeCooling { .. }));
+    }
+
+    #[test]
+    fn baseline_humidity_override_closes_when_cool() {
+        let mut tks = TksController::new(TksConfig::baseline());
+        // RH over 80 % and container cool → close to dry by warming.
+        assert_eq!(tks.decide(&readings(20.0, 24.0, 90.0)), CoolingRegime::Closed);
+    }
+
+    #[test]
+    fn baseline_humidity_override_uses_ac_when_warm() {
+        let mut tks = TksController::new(TksConfig::baseline());
+        // RH over 80 % and container already warm → AC condenses.
+        assert_eq!(tks.decide(&readings(28.0, 29.5, 90.0)), CoolingRegime::ac_on());
+    }
+
+    #[test]
+    fn baseline_setpoint_is_30() {
+        let cfg = TksConfig::baseline();
+        assert_eq!(cfg.setpoint, Celsius::new(30.0));
+        assert_eq!(cfg.humidity_limit, Some(RelativeHumidity::new(80.0)));
+    }
+
+    #[test]
+    fn setpoint_can_be_retargeted() {
+        let mut tks = TksController::new(TksConfig::factory());
+        tks.set_setpoint(Celsius::new(28.0));
+        // 26 °C inside is now within the proportional band (23..28) → FC.
+        let r = tks.decide(&readings(15.0, 26.0, 40.0));
+        assert!(matches!(r, CoolingRegime::FreeCooling { .. }));
+    }
+
+    #[test]
+    fn fan_law_is_monotone_in_delta() {
+        let mut prev = FanSpeed::MAX.fraction() + 0.01;
+        for d in 0..15 {
+            let s = fan_speed_for_delta(TempDelta::new(f64::from(d))).fraction();
+            assert!(s <= prev + 1e-12, "fan speed should not increase with delta");
+            prev = s;
+        }
+        assert_eq!(fan_speed_for_delta(TempDelta::new(20.0)), FanSpeed::PARASOL_MIN);
+        assert_eq!(fan_speed_for_delta(TempDelta::new(0.0)), FanSpeed::MAX);
+    }
+}

@@ -1,0 +1,209 @@
+//! Electrical power and energy.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// Electrical power in watts.
+///
+/// Multiplying by a [`SimDuration`] yields energy in [`KilowattHours`]:
+///
+/// ```
+/// use coolair_units::{Watts, SimDuration};
+///
+/// let fan = Watts::new(425.0);
+/// let energy = fan * SimDuration::from_hours(2);
+/// assert!((energy.kwh() - 0.85).abs() < 1e-12);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Watts(f64);
+
+impl Watts {
+    /// Zero power draw.
+    pub const ZERO: Watts = Watts(0.0);
+
+    /// Creates a power of `watts` W, clamped at zero (a cooling unit never
+    /// generates electricity).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `watts` is NaN.
+    #[must_use]
+    pub fn new(watts: f64) -> Self {
+        debug_assert!(!watts.is_nan(), "power must not be NaN");
+        Watts(watts.max(0.0))
+    }
+
+    /// The numeric value in watts.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The numeric value in kilowatts.
+    #[must_use]
+    pub fn kilowatts(self) -> f64 {
+        self.0 / 1000.0
+    }
+}
+
+impl fmt::Display for Watts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1000.0 {
+            write!(f, "{:.2}kW", self.0 / 1000.0)
+        } else {
+            write!(f, "{:.1}W", self.0)
+        }
+    }
+}
+
+impl Add for Watts {
+    type Output = Watts;
+    fn add(self, rhs: Watts) -> Watts {
+        Watts(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Watts {
+    fn add_assign(&mut self, rhs: Watts) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Watts {
+    type Output = Watts;
+    fn sub(self, rhs: Watts) -> Watts {
+        Watts((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for Watts {
+    type Output = Watts;
+    fn mul(self, rhs: f64) -> Watts {
+        Watts((self.0 * rhs).max(0.0))
+    }
+}
+
+impl Mul<SimDuration> for Watts {
+    type Output = KilowattHours;
+    fn mul(self, rhs: SimDuration) -> KilowattHours {
+        KilowattHours::new(self.0 / 1000.0 * rhs.as_hours_f64())
+    }
+}
+
+impl Sum for Watts {
+    fn sum<I: Iterator<Item = Watts>>(iter: I) -> Watts {
+        Watts(iter.map(|w| w.0).sum())
+    }
+}
+
+/// Electrical energy in kilowatt-hours.
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct KilowattHours(f64);
+
+impl KilowattHours {
+    /// Zero energy.
+    pub const ZERO: KilowattHours = KilowattHours(0.0);
+
+    /// Creates an energy of `kwh` kWh, clamped at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `kwh` is NaN.
+    #[must_use]
+    pub fn new(kwh: f64) -> Self {
+        debug_assert!(!kwh.is_nan(), "energy must not be NaN");
+        KilowattHours(kwh.max(0.0))
+    }
+
+    /// The numeric value in kilowatt-hours.
+    #[must_use]
+    pub fn kwh(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for KilowattHours {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}kWh", self.0)
+    }
+}
+
+impl Add for KilowattHours {
+    type Output = KilowattHours;
+    fn add(self, rhs: KilowattHours) -> KilowattHours {
+        KilowattHours(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for KilowattHours {
+    fn add_assign(&mut self, rhs: KilowattHours) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for KilowattHours {
+    type Output = KilowattHours;
+    fn sub(self, rhs: KilowattHours) -> KilowattHours {
+        KilowattHours((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Div<KilowattHours> for KilowattHours {
+    type Output = f64;
+    /// Ratio of two energies — the building block of PUE computations.
+    fn div(self, rhs: KilowattHours) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for KilowattHours {
+    fn sum<I: Iterator<Item = KilowattHours>>(iter: I) -> KilowattHours {
+        KilowattHours(iter.map(|e| e.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_times_duration_is_energy() {
+        let e = Watts::new(2200.0) * SimDuration::from_minutes(30);
+        assert!((e.kwh() - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_clamps_negative() {
+        assert_eq!(Watts::new(-5.0), Watts::ZERO);
+        assert_eq!(Watts::new(10.0) - Watts::new(25.0), Watts::ZERO);
+    }
+
+    #[test]
+    fn energy_ratio_for_pue() {
+        let it = KilowattHours::new(100.0);
+        let total = KilowattHours::new(117.0);
+        assert!((total / it - 1.17).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sums() {
+        let p: Watts = (1..=3).map(|i| Watts::new(f64::from(i) * 10.0)).sum();
+        assert_eq!(p.value(), 60.0);
+        let e: KilowattHours = vec![KilowattHours::new(1.0), KilowattHours::new(2.5)]
+            .into_iter()
+            .sum();
+        assert_eq!(e.kwh(), 3.5);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Watts::new(425.0).to_string(), "425.0W");
+        assert_eq!(Watts::new(2200.0).to_string(), "2.20kW");
+        assert_eq!(KilowattHours::new(1.5).to_string(), "1.500kWh");
+    }
+}

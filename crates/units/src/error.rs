@@ -1,0 +1,66 @@
+//! Validation errors for unit construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing a quantity from a value outside its
+/// physically valid range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitRangeError {
+    quantity: &'static str,
+    value: f64,
+    lo: f64,
+    hi: f64,
+}
+
+impl UnitRangeError {
+    /// Creates a range error for `quantity` with the offending `value` and
+    /// the permitted `[lo, hi]` interval.
+    #[must_use]
+    pub fn new(quantity: &'static str, value: f64, lo: f64, hi: f64) -> Self {
+        UnitRangeError { quantity, value, lo, hi }
+    }
+
+    /// The offending value.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// The name of the quantity that failed validation.
+    #[must_use]
+    pub fn quantity(&self) -> &'static str {
+        self.quantity
+    }
+}
+
+impl fmt::Display for UnitRangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} outside valid range [{}, {}]",
+            self.quantity, self.value, self.lo, self.hi
+        )
+    }
+}
+
+impl Error for UnitRangeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_names_quantity_and_range() {
+        let e = UnitRangeError::new("fan speed fraction", 1.5, 0.0, 1.0);
+        assert_eq!(e.to_string(), "fan speed fraction 1.5 outside valid range [0, 1]");
+        assert_eq!(e.value(), 1.5);
+        assert_eq!(e.quantity(), "fan speed fraction");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<UnitRangeError>();
+    }
+}

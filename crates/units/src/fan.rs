@@ -1,0 +1,154 @@
+//! Free-cooling fan speed.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::UnitRangeError;
+
+/// A fan speed as a fraction of maximum, in `[0, 1]`.
+///
+/// Parasol's free-cooling unit runs between 15 % and 100 % of maximum speed
+/// (or off); the "smooth" infrastructure of Smooth-Sim ramps from 1 %.
+/// Keeping speed as a validated fraction lets both infrastructures share one
+/// type while each enforces its own minimum in the regime logic.
+///
+/// # Example
+///
+/// ```
+/// use coolair_units::FanSpeed;
+///
+/// let s = FanSpeed::from_percent(50.0)?;
+/// assert_eq!(s.fraction(), 0.5);
+/// assert_eq!(FanSpeed::OFF.fraction(), 0.0);
+/// # Ok::<(), coolair_units::UnitRangeError>(())
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct FanSpeed(f64);
+
+impl FanSpeed {
+    /// Fan stopped.
+    pub const OFF: FanSpeed = FanSpeed(0.0);
+    /// Fan at maximum speed.
+    pub const MAX: FanSpeed = FanSpeed(1.0);
+    /// Parasol's minimum running speed (15 % of maximum, §4.1).
+    pub const PARASOL_MIN: FanSpeed = FanSpeed(0.15);
+    /// The smooth infrastructure's minimum running speed (1 %, §5.1).
+    pub const SMOOTH_MIN: FanSpeed = FanSpeed(0.01);
+
+    /// Creates a fan speed from a fraction in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitRangeError`] if `fraction` is not finite or outside
+    /// `[0, 1]`.
+    pub fn new(fraction: f64) -> Result<Self, UnitRangeError> {
+        if fraction.is_finite() && (0.0..=1.0).contains(&fraction) {
+            Ok(FanSpeed(fraction))
+        } else {
+            Err(UnitRangeError::new("fan speed fraction", fraction, 0.0, 1.0))
+        }
+    }
+
+    /// Creates a fan speed from a percentage in `[0, 100]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitRangeError`] if `percent` is not finite or outside
+    /// `[0, 100]`.
+    pub fn from_percent(percent: f64) -> Result<Self, UnitRangeError> {
+        if percent.is_finite() && (0.0..=100.0).contains(&percent) {
+            Ok(FanSpeed(percent / 100.0))
+        } else {
+            Err(UnitRangeError::new("fan speed percent", percent, 0.0, 100.0))
+        }
+    }
+
+    /// Creates a fan speed, clamping any finite input into `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `fraction` is NaN.
+    #[must_use]
+    pub fn saturating(fraction: f64) -> Self {
+        debug_assert!(!fraction.is_nan(), "fan speed must not be NaN");
+        FanSpeed(fraction.clamp(0.0, 1.0))
+    }
+
+    /// The speed as a fraction of maximum in `[0, 1]`.
+    #[must_use]
+    pub fn fraction(self) -> f64 {
+        self.0
+    }
+
+    /// The speed as a percentage of maximum in `[0, 100]`.
+    #[must_use]
+    pub fn percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// `true` when the fan is stopped.
+    #[must_use]
+    pub fn is_off(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// The higher of two speeds.
+    #[must_use]
+    pub fn max(self, other: FanSpeed) -> FanSpeed {
+        FanSpeed(self.0.max(other.0))
+    }
+
+    /// The lower of two speeds.
+    #[must_use]
+    pub fn min(self, other: FanSpeed) -> FanSpeed {
+        FanSpeed(self.0.min(other.0))
+    }
+}
+
+impl fmt::Display for FanSpeed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0}%fan", self.0 * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_construction() {
+        assert_eq!(FanSpeed::new(0.15).unwrap(), FanSpeed::PARASOL_MIN);
+        assert_eq!(FanSpeed::from_percent(1.0).unwrap(), FanSpeed::SMOOTH_MIN);
+        assert_eq!(FanSpeed::new(1.0).unwrap(), FanSpeed::MAX);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(FanSpeed::new(-0.1).is_err());
+        assert!(FanSpeed::new(1.01).is_err());
+        assert!(FanSpeed::new(f64::NAN).is_err());
+        assert!(FanSpeed::from_percent(101.0).is_err());
+    }
+
+    #[test]
+    fn saturating_clamps() {
+        assert_eq!(FanSpeed::saturating(3.0), FanSpeed::MAX);
+        assert_eq!(FanSpeed::saturating(-1.0), FanSpeed::OFF);
+    }
+
+    #[test]
+    fn accessors() {
+        let s = FanSpeed::new(0.4).unwrap();
+        assert_eq!(s.percent(), 40.0);
+        assert!(!s.is_off());
+        assert!(FanSpeed::OFF.is_off());
+        assert_eq!(s.max(FanSpeed::MAX), FanSpeed::MAX);
+        assert_eq!(s.min(FanSpeed::OFF), FanSpeed::OFF);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(FanSpeed::PARASOL_MIN.to_string(), "15%fan");
+    }
+}

@@ -1,0 +1,162 @@
+//! Relative and absolute humidity.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Relative humidity, as a percentage in `[0, 100]`.
+///
+/// Values outside the physical range are clamped on construction: the plant
+/// physics integrates absolute humidity and converts to relative humidity,
+/// and transient numerical overshoot past saturation is folded back to 100 %
+/// exactly as a real sensor would report it.
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct RelativeHumidity(f64);
+
+impl RelativeHumidity {
+    /// Completely dry air (0 %).
+    pub const DRY: RelativeHumidity = RelativeHumidity(0.0);
+    /// Saturated air (100 %).
+    pub const SATURATED: RelativeHumidity = RelativeHumidity(100.0);
+
+    /// Creates a relative humidity, clamping into `[0, 100]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `percent` is NaN.
+    #[must_use]
+    pub fn new(percent: f64) -> Self {
+        debug_assert!(!percent.is_nan(), "relative humidity must not be NaN");
+        RelativeHumidity(percent.clamp(0.0, 100.0))
+    }
+
+    /// The value as a percentage in `[0, 100]`.
+    #[must_use]
+    pub fn percent(self) -> f64 {
+        self.0
+    }
+
+    /// The value as a fraction in `[0, 1]`.
+    #[must_use]
+    pub fn fraction(self) -> f64 {
+        self.0 / 100.0
+    }
+}
+
+impl fmt::Display for RelativeHumidity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}%RH", self.0)
+    }
+}
+
+/// Absolute humidity as a mixing ratio in grams of water vapor per kilogram
+/// of dry air.
+///
+/// This is the quantity the plant physics and CoolAir's humidity model `G`
+/// integrate; it mixes linearly with airflow, unlike relative humidity.
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct AbsoluteHumidity(f64);
+
+impl AbsoluteHumidity {
+    /// Zero water content.
+    pub const ZERO: AbsoluteHumidity = AbsoluteHumidity(0.0);
+
+    /// Creates an absolute humidity of `grams_per_kg` g/kg, clamped at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `grams_per_kg` is NaN.
+    #[must_use]
+    pub fn new(grams_per_kg: f64) -> Self {
+        debug_assert!(!grams_per_kg.is_nan(), "absolute humidity must not be NaN");
+        AbsoluteHumidity(grams_per_kg.max(0.0))
+    }
+
+    /// The mixing ratio in g/kg of dry air.
+    #[must_use]
+    pub fn grams_per_kg(self) -> f64 {
+        self.0
+    }
+
+    /// The lower of two humidities.
+    #[must_use]
+    pub fn min(self, other: AbsoluteHumidity) -> AbsoluteHumidity {
+        AbsoluteHumidity(self.0.min(other.0))
+    }
+
+    /// The higher of two humidities.
+    #[must_use]
+    pub fn max(self, other: AbsoluteHumidity) -> AbsoluteHumidity {
+        AbsoluteHumidity(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for AbsoluteHumidity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}g/kg", self.0)
+    }
+}
+
+impl Add for AbsoluteHumidity {
+    type Output = AbsoluteHumidity;
+    fn add(self, rhs: AbsoluteHumidity) -> AbsoluteHumidity {
+        AbsoluteHumidity(self.0 + rhs.0)
+    }
+}
+
+impl Sub for AbsoluteHumidity {
+    type Output = AbsoluteHumidity;
+    fn sub(self, rhs: AbsoluteHumidity) -> AbsoluteHumidity {
+        AbsoluteHumidity((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for AbsoluteHumidity {
+    type Output = AbsoluteHumidity;
+    fn mul(self, rhs: f64) -> AbsoluteHumidity {
+        AbsoluteHumidity((self.0 * rhs).max(0.0))
+    }
+}
+
+impl Div<f64> for AbsoluteHumidity {
+    type Output = AbsoluteHumidity;
+    fn div(self, rhs: f64) -> AbsoluteHumidity {
+        AbsoluteHumidity((self.0 / rhs).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_clamps() {
+        assert_eq!(RelativeHumidity::new(120.0), RelativeHumidity::SATURATED);
+        assert_eq!(RelativeHumidity::new(-3.0), RelativeHumidity::DRY);
+        assert_eq!(RelativeHumidity::new(55.0).fraction(), 0.55);
+    }
+
+    #[test]
+    fn absolute_never_negative() {
+        let a = AbsoluteHumidity::new(2.0);
+        let b = AbsoluteHumidity::new(5.0);
+        assert_eq!((a - b).grams_per_kg(), 0.0);
+        assert_eq!(AbsoluteHumidity::new(-1.0).grams_per_kg(), 0.0);
+        assert_eq!((a * -2.0).grams_per_kg(), 0.0);
+    }
+
+    #[test]
+    fn absolute_arithmetic() {
+        let a = AbsoluteHumidity::new(4.0);
+        assert_eq!((a + AbsoluteHumidity::new(1.0)).grams_per_kg(), 5.0);
+        assert_eq!((a * 0.5).grams_per_kg(), 2.0);
+        assert_eq!((a / 4.0).grams_per_kg(), 1.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(RelativeHumidity::new(80.0).to_string(), "80.0%RH");
+        assert_eq!(AbsoluteHumidity::new(7.126).to_string(), "7.13g/kg");
+    }
+}

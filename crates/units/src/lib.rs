@@ -1,0 +1,40 @@
+//! Typed physical quantities for the CoolAir reproduction.
+//!
+//! Every crate in the workspace exchanges temperatures, humidities, powers,
+//! energies, fan speeds, and simulation timestamps. Bare `f64`s make it far
+//! too easy to add a relative humidity to a temperature or to confuse watts
+//! with kilowatt-hours, so this crate provides cheap `Copy` newtypes with the
+//! arithmetic that is physically meaningful and nothing else (C-NEWTYPE).
+//!
+//! It also hosts the psychrometric conversions (Magnus formula) shared by the
+//! weather generator, the container plant, and CoolAir's humidity model.
+//!
+//! # Example
+//!
+//! ```
+//! use coolair_units::{Celsius, RelativeHumidity, psychro};
+//!
+//! let outside = Celsius::new(18.0);
+//! let rh = RelativeHumidity::new(65.0);
+//! let w = psychro::absolute_humidity(outside, rh);
+//! let back = psychro::relative_humidity(outside, w);
+//! assert!((back.percent() - 65.0).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod energy;
+mod error;
+mod fan;
+mod humidity;
+pub mod psychro;
+mod temperature;
+mod time;
+
+pub use energy::{KilowattHours, Watts};
+pub use error::UnitRangeError;
+pub use fan::FanSpeed;
+pub use humidity::{AbsoluteHumidity, RelativeHumidity};
+pub use temperature::{Celsius, TempDelta};
+pub use time::{SimDuration, SimTime, SECS_PER_DAY, SECS_PER_HOUR, SECS_PER_MINUTE};

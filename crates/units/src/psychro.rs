@@ -1,0 +1,173 @@
+//! Psychrometric conversions between absolute and relative humidity.
+//!
+//! The plant physics and CoolAir's humidity model `G` both work in absolute
+//! humidity (a mixing ratio, which mixes linearly with airflow) and convert
+//! to relative humidity only at the sensor boundary — exactly as the paper
+//! describes ("uses the predicted inside air temperature … to convert the
+//! predicted absolute inside air humidity to a relative inside air
+//! humidity", §3.1).
+//!
+//! Saturation vapor pressure uses the Magnus–Tetens approximation, accurate
+//! to well under 1 % over the -40…50 °C range these simulations inhabit.
+
+use crate::{AbsoluteHumidity, Celsius, RelativeHumidity};
+
+/// Standard atmospheric pressure in hectopascals.
+pub const ATMOSPHERIC_PRESSURE_HPA: f64 = 1013.25;
+
+/// Saturation vapor pressure over liquid water, in hPa (Magnus–Tetens).
+///
+/// # Example
+///
+/// ```
+/// use coolair_units::{psychro, Celsius};
+///
+/// // ~23.4 hPa at 20°C (textbook value 23.39 hPa).
+/// let p = psychro::saturation_vapor_pressure(Celsius::new(20.0));
+/// assert!((p - 23.39).abs() < 0.2);
+/// ```
+#[must_use]
+pub fn saturation_vapor_pressure(t: Celsius) -> f64 {
+    let c = t.value();
+    6.1094 * ((17.625 * c) / (c + 243.04)).exp()
+}
+
+/// Mixing ratio (g water / kg dry air) of saturated air at temperature `t`.
+#[must_use]
+pub fn saturation_mixing_ratio(t: Celsius) -> AbsoluteHumidity {
+    let es = saturation_vapor_pressure(t);
+    // w = 621.97 * e / (p - e), in g/kg.
+    AbsoluteHumidity::new(621.97 * es / (ATMOSPHERIC_PRESSURE_HPA - es))
+}
+
+/// Converts relative humidity at temperature `t` to an absolute mixing ratio.
+#[must_use]
+pub fn absolute_humidity(t: Celsius, rh: RelativeHumidity) -> AbsoluteHumidity {
+    let e = saturation_vapor_pressure(t) * rh.fraction();
+    AbsoluteHumidity::new(621.97 * e / (ATMOSPHERIC_PRESSURE_HPA - e))
+}
+
+/// Converts an absolute mixing ratio at temperature `t` to relative humidity.
+///
+/// Super-saturated inputs clamp to 100 % — the plant physics treats the
+/// excess as condensation.
+#[must_use]
+pub fn relative_humidity(t: Celsius, w: AbsoluteHumidity) -> RelativeHumidity {
+    let wg = w.grams_per_kg();
+    let e = ATMOSPHERIC_PRESSURE_HPA * wg / (621.97 + wg);
+    let es = saturation_vapor_pressure(t);
+    RelativeHumidity::new(100.0 * e / es)
+}
+
+/// Wet-bulb temperature via Stull's (2011) empirical formula, valid for
+/// -20…50 °C and 5…99 %RH — the temperature an adiabatic (evaporative)
+/// cooler can approach.
+#[must_use]
+pub fn wet_bulb(t: Celsius, rh: RelativeHumidity) -> Celsius {
+    let tc = t.value();
+    let r = rh.percent().clamp(5.0, 99.0);
+    let tw = tc * (0.151_977 * (r + 8.313_659).sqrt()).atan() + (tc + r).atan()
+        - (r - 1.676_331).atan()
+        + 0.003_918_38 * r.powf(1.5) * (0.023_101 * r).atan()
+        - 4.686_035;
+    Celsius::new(tw.min(tc))
+}
+
+/// Dew point temperature for a given absolute mixing ratio (inverse Magnus).
+///
+/// Used by the AC coil model: when the coil surface is colder than the dew
+/// point of the passing air, moisture condenses out.
+#[must_use]
+pub fn dew_point(w: AbsoluteHumidity) -> Celsius {
+    let wg = w.grams_per_kg().max(1e-6);
+    let e = ATMOSPHERIC_PRESSURE_HPA * wg / (621.97 + wg);
+    let ln = (e / 6.1094).ln();
+    Celsius::new(243.04 * ln / (17.625 - ln))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturation_pressure_reference_points() {
+        // Textbook values: 6.11 hPa at 0°C, 12.27 at 10°C, 42.43 at 30°C.
+        assert!((saturation_vapor_pressure(Celsius::new(0.0)) - 6.11).abs() < 0.05);
+        assert!((saturation_vapor_pressure(Celsius::new(10.0)) - 12.27).abs() < 0.1);
+        assert!((saturation_vapor_pressure(Celsius::new(30.0)) - 42.43).abs() < 0.3);
+    }
+
+    #[test]
+    fn round_trip_rh_to_abs_and_back() {
+        for &t in &[-10.0, 0.0, 15.0, 25.0, 40.0] {
+            for &rh in &[5.0, 30.0, 65.0, 95.0] {
+                let temp = Celsius::new(t);
+                let w = absolute_humidity(temp, RelativeHumidity::new(rh));
+                let back = relative_humidity(temp, w);
+                assert!(
+                    (back.percent() - rh).abs() < 1e-9,
+                    "round trip failed at {t}°C {rh}%: got {back}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warmer_air_holds_more_water() {
+        let w_cold = saturation_mixing_ratio(Celsius::new(5.0));
+        let w_warm = saturation_mixing_ratio(Celsius::new(30.0));
+        assert!(w_warm > w_cold);
+    }
+
+    #[test]
+    fn heating_air_lowers_relative_humidity() {
+        let w = absolute_humidity(Celsius::new(10.0), RelativeHumidity::new(80.0));
+        let rh_heated = relative_humidity(Celsius::new(25.0), w);
+        assert!(rh_heated.percent() < 40.0, "got {rh_heated}");
+    }
+
+    #[test]
+    fn supersaturation_clamps_to_100() {
+        let w = saturation_mixing_ratio(Celsius::new(30.0));
+        let rh = relative_humidity(Celsius::new(10.0), w);
+        assert_eq!(rh, RelativeHumidity::SATURATED);
+    }
+
+    #[test]
+    fn dew_point_inverse() {
+        for &t in &[2.0, 12.0, 22.0] {
+            let w = saturation_mixing_ratio(Celsius::new(t));
+            let dp = dew_point(w);
+            assert!((dp.value() - t).abs() < 0.05, "dew point of saturated {t}°C air was {dp}");
+        }
+    }
+
+    #[test]
+    fn wet_bulb_reference_points() {
+        // Stull's own reference: 20 °C, 50 %RH → ~13.7 °C.
+        let wb = wet_bulb(Celsius::new(20.0), RelativeHumidity::new(50.0));
+        assert!((wb.value() - 13.7).abs() < 0.5, "got {wb}");
+        // Saturated air: wet bulb ≈ dry bulb.
+        let wb = wet_bulb(Celsius::new(25.0), RelativeHumidity::new(99.0));
+        assert!((wb.value() - 25.0).abs() < 0.6, "got {wb}");
+        // Dry desert air: large depression.
+        let wb = wet_bulb(Celsius::new(40.0), RelativeHumidity::new(15.0));
+        assert!(wb.value() < 25.0, "got {wb}");
+    }
+
+    #[test]
+    fn wet_bulb_never_exceeds_dry_bulb() {
+        for &t in &[0.0, 15.0, 30.0, 45.0] {
+            for &rh in &[10.0, 50.0, 90.0] {
+                let wb = wet_bulb(Celsius::new(t), RelativeHumidity::new(rh));
+                assert!(wb.value() <= t + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn dew_point_below_temperature_when_unsaturated() {
+        let w = absolute_humidity(Celsius::new(25.0), RelativeHumidity::new(50.0));
+        assert!(dew_point(w).value() < 25.0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Air and component temperatures in degrees Celsius.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A temperature in degrees Celsius.
+///
+/// Subtracting two temperatures yields a [`TempDelta`]; adding a delta back
+/// yields a temperature. Temperatures themselves cannot be added — the sum of
+/// two absolute temperatures is not physically meaningful in this codebase.
+///
+/// # Example
+///
+/// ```
+/// use coolair_units::{Celsius, TempDelta};
+///
+/// let inlet = Celsius::new(27.5);
+/// let outside = Celsius::new(19.5);
+/// let offset: TempDelta = inlet - outside;
+/// assert_eq!(offset.degrees(), 8.0);
+/// assert_eq!(outside + offset, inlet);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Celsius(f64);
+
+impl Celsius {
+    /// Absolute zero, the lowest representable temperature.
+    pub const ABSOLUTE_ZERO: Celsius = Celsius(-273.15);
+
+    /// Creates a temperature of `degrees` °C.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `degrees` is not finite.
+    #[must_use]
+    pub fn new(degrees: f64) -> Self {
+        debug_assert!(degrees.is_finite(), "temperature must be finite: {degrees}");
+        Celsius(degrees)
+    }
+
+    /// The numeric value in degrees Celsius.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// This temperature expressed in Kelvin.
+    #[must_use]
+    pub fn kelvin(self) -> f64 {
+        self.0 + 273.15
+    }
+
+    /// The lower of two temperatures.
+    #[must_use]
+    pub fn min(self, other: Celsius) -> Celsius {
+        Celsius(self.0.min(other.0))
+    }
+
+    /// The higher of two temperatures.
+    #[must_use]
+    pub fn max(self, other: Celsius) -> Celsius {
+        Celsius(self.0.max(other.0))
+    }
+
+    /// Clamps this temperature into `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn clamp(self, lo: Celsius, hi: Celsius) -> Celsius {
+        assert!(lo <= hi, "clamp bounds inverted: {lo} > {hi}");
+        Celsius(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// Returns `true` when the value is finite (not NaN or infinite).
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl fmt::Display for Celsius {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*}°C", prec, self.0)
+        } else {
+            write!(f, "{:.2}°C", self.0)
+        }
+    }
+}
+
+/// A temperature difference in degrees Celsius (equivalently, kelvins).
+///
+/// Deltas support the full additive arithmetic that absolute temperatures do
+/// not: they can be added, scaled, and averaged.
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct TempDelta(f64);
+
+impl TempDelta {
+    /// A zero-degree difference.
+    pub const ZERO: TempDelta = TempDelta(0.0);
+
+    /// Creates a delta of `degrees` °C.
+    #[must_use]
+    pub fn new(degrees: f64) -> Self {
+        debug_assert!(degrees.is_finite(), "temperature delta must be finite: {degrees}");
+        TempDelta(degrees)
+    }
+
+    /// The numeric value in degrees Celsius.
+    #[must_use]
+    pub fn degrees(self) -> f64 {
+        self.0
+    }
+
+    /// The magnitude of this difference.
+    #[must_use]
+    pub fn abs(self) -> TempDelta {
+        TempDelta(self.0.abs())
+    }
+
+    /// The larger of two deltas.
+    #[must_use]
+    pub fn max(self, other: TempDelta) -> TempDelta {
+        TempDelta(self.0.max(other.0))
+    }
+
+    /// The smaller of two deltas.
+    #[must_use]
+    pub fn min(self, other: TempDelta) -> TempDelta {
+        TempDelta(self.0.min(other.0))
+    }
+}
+
+impl fmt::Display for TempDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}Δ°C", self.0)
+    }
+}
+
+impl Sub for Celsius {
+    type Output = TempDelta;
+    fn sub(self, rhs: Celsius) -> TempDelta {
+        TempDelta(self.0 - rhs.0)
+    }
+}
+
+impl Add<TempDelta> for Celsius {
+    type Output = Celsius;
+    fn add(self, rhs: TempDelta) -> Celsius {
+        Celsius(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<TempDelta> for Celsius {
+    fn add_assign(&mut self, rhs: TempDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<TempDelta> for Celsius {
+    type Output = Celsius;
+    fn sub(self, rhs: TempDelta) -> Celsius {
+        Celsius(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign<TempDelta> for Celsius {
+    fn sub_assign(&mut self, rhs: TempDelta) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Add for TempDelta {
+    type Output = TempDelta;
+    fn add(self, rhs: TempDelta) -> TempDelta {
+        TempDelta(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for TempDelta {
+    fn add_assign(&mut self, rhs: TempDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for TempDelta {
+    type Output = TempDelta;
+    fn sub(self, rhs: TempDelta) -> TempDelta {
+        TempDelta(self.0 - rhs.0)
+    }
+}
+
+impl Neg for TempDelta {
+    type Output = TempDelta;
+    fn neg(self) -> TempDelta {
+        TempDelta(-self.0)
+    }
+}
+
+impl Mul<f64> for TempDelta {
+    type Output = TempDelta;
+    fn mul(self, rhs: f64) -> TempDelta {
+        TempDelta(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for TempDelta {
+    type Output = TempDelta;
+    fn div(self, rhs: f64) -> TempDelta {
+        TempDelta(self.0 / rhs)
+    }
+}
+
+impl Sum for TempDelta {
+    fn sum<I: Iterator<Item = TempDelta>>(iter: I) -> TempDelta {
+        TempDelta(iter.map(|d| d.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_round_trip() {
+        let a = Celsius::new(30.0);
+        let b = Celsius::new(21.5);
+        let d = a - b;
+        assert!((d.degrees() - 8.5).abs() < 1e-12);
+        assert_eq!(b + d, a);
+        assert_eq!(a - d, b);
+    }
+
+    #[test]
+    fn kelvin_conversion() {
+        assert!((Celsius::new(0.0).kelvin() - 273.15).abs() < 1e-12);
+        assert!((Celsius::ABSOLUTE_ZERO.kelvin()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_and_extrema() {
+        let t = Celsius::new(35.0);
+        assert_eq!(t.clamp(Celsius::new(10.0), Celsius::new(30.0)), Celsius::new(30.0));
+        assert_eq!(t.min(Celsius::new(20.0)), Celsius::new(20.0));
+        assert_eq!(t.max(Celsius::new(40.0)), Celsius::new(40.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "clamp bounds inverted")]
+    fn clamp_rejects_inverted_bounds() {
+        let _ = Celsius::new(0.0).clamp(Celsius::new(30.0), Celsius::new(10.0));
+    }
+
+    #[test]
+    fn delta_arithmetic() {
+        let d = TempDelta::new(4.0) + TempDelta::new(-1.0);
+        assert_eq!(d.degrees(), 3.0);
+        assert_eq!((d * 2.0).degrees(), 6.0);
+        assert_eq!((d / 3.0).degrees(), 1.0);
+        assert_eq!((-d).degrees(), -3.0);
+        assert_eq!(TempDelta::new(-5.0).abs().degrees(), 5.0);
+    }
+
+    #[test]
+    fn delta_sum() {
+        let total: TempDelta = (0..4).map(|i| TempDelta::new(f64::from(i))).sum();
+        assert_eq!(total.degrees(), 6.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Celsius::new(21.257).to_string(), "21.26°C");
+        assert_eq!(format!("{:.0}", Celsius::new(21.6)), "22°C");
+        assert_eq!(TempDelta::new(1.5).to_string(), "1.50Δ°C");
+    }
+}

@@ -1,0 +1,302 @@
+//! Simulation time.
+//!
+//! All simulations in this workspace run on a discrete clock counted in whole
+//! seconds from an arbitrary epoch (usually midnight on the first simulated
+//! day). [`SimTime`] is an instant on that clock and [`SimDuration`] a span
+//! between instants. Calendar helpers (`hour_of_day`, `day_index`) implement
+//! the day-based logic CoolAir relies on (daily band selection, daily range
+//! metrics, 24-hour temporal scheduling).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds per minute.
+pub const SECS_PER_MINUTE: u64 = 60;
+/// Seconds per hour.
+pub const SECS_PER_HOUR: u64 = 3_600;
+/// Seconds per day.
+pub const SECS_PER_DAY: u64 = 86_400;
+
+/// An instant on the simulation clock, in whole seconds since the epoch.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// Creates an instant `secs` seconds after the epoch.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs)
+    }
+
+    /// Creates an instant at midnight of day `day` (0-based).
+    #[must_use]
+    pub fn from_days(day: u64) -> Self {
+        SimTime(day * SECS_PER_DAY)
+    }
+
+    /// Seconds since the epoch.
+    #[must_use]
+    pub fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Hours since the epoch, as a float (useful for interpolation).
+    #[must_use]
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / SECS_PER_HOUR as f64
+    }
+
+    /// The 0-based day this instant falls on.
+    #[must_use]
+    pub fn day_index(self) -> u64 {
+        self.0 / SECS_PER_DAY
+    }
+
+    /// The hour of day in `[0, 24)`, as a float.
+    #[must_use]
+    pub fn hour_of_day(self) -> f64 {
+        (self.0 % SECS_PER_DAY) as f64 / SECS_PER_HOUR as f64
+    }
+
+    /// The whole hour of day in `0..24`.
+    #[must_use]
+    pub fn whole_hour_of_day(self) -> u32 {
+        ((self.0 % SECS_PER_DAY) / SECS_PER_HOUR) as u32
+    }
+
+    /// Seconds elapsed since the most recent midnight.
+    #[must_use]
+    pub fn secs_into_day(self) -> u64 {
+        self.0 % SECS_PER_DAY
+    }
+
+    /// `true` exactly at a midnight boundary.
+    #[must_use]
+    pub fn is_midnight(self) -> bool {
+        self.0.is_multiple_of(SECS_PER_DAY)
+    }
+
+    /// The instant of the next midnight strictly after this one.
+    #[must_use]
+    pub fn next_midnight(self) -> SimTime {
+        SimTime((self.day_index() + 1) * SECS_PER_DAY)
+    }
+
+    /// Saturating difference: `self - earlier`, or zero if `earlier` is later.
+    #[must_use]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let day = self.day_index();
+        let rem = self.0 % SECS_PER_DAY;
+        let (h, m, s) = (rem / 3600, (rem % 3600) / 60, rem % 60);
+        write!(f, "d{day} {h:02}:{m:02}:{s:02}")
+    }
+}
+
+/// A span of simulation time, in whole seconds.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// A zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a span of `secs` seconds.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs)
+    }
+
+    /// Creates a span of `minutes` minutes.
+    #[must_use]
+    pub const fn from_minutes(minutes: u64) -> Self {
+        SimDuration(minutes * SECS_PER_MINUTE)
+    }
+
+    /// Creates a span of `hours` hours.
+    #[must_use]
+    pub const fn from_hours(hours: u64) -> Self {
+        SimDuration(hours * SECS_PER_HOUR)
+    }
+
+    /// Creates a span of `days` days.
+    #[must_use]
+    pub const fn from_days(days: u64) -> Self {
+        SimDuration(days * SECS_PER_DAY)
+    }
+
+    /// The span in whole seconds.
+    #[must_use]
+    pub fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// The span in fractional hours.
+    #[must_use]
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / SECS_PER_HOUR as f64
+    }
+
+    /// The span in fractional minutes.
+    #[must_use]
+    pub fn as_minutes_f64(self) -> f64 {
+        self.0 as f64 / SECS_PER_MINUTE as f64
+    }
+
+    /// `true` when the span is zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.0)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] when ordering is not guaranteed.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflow"),
+        )
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<SimDuration> for SimDuration {
+    type Output = u64;
+    /// How many whole `rhs` spans fit in `self`.
+    fn div(self, rhs: SimDuration) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Rem<SimDuration> for SimTime {
+    type Output = SimDuration;
+    /// Offset of this instant within a repeating period — e.g.
+    /// `t % SimDuration::from_minutes(10)` is zero exactly on the control
+    /// boundaries CoolAir acts on.
+    fn rem(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 % rhs.0)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        SimDuration(iter.map(|d| d.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calendar_helpers() {
+        let t = SimTime::from_days(3) + SimDuration::from_hours(7) + SimDuration::from_minutes(30);
+        assert_eq!(t.day_index(), 3);
+        assert_eq!(t.whole_hour_of_day(), 7);
+        assert!((t.hour_of_day() - 7.5).abs() < 1e-12);
+        assert!(!t.is_midnight());
+        assert_eq!(t.next_midnight(), SimTime::from_days(4));
+        assert!(SimTime::from_days(4).is_midnight());
+    }
+
+    #[test]
+    fn durations() {
+        assert_eq!(SimDuration::from_minutes(10).as_secs(), 600);
+        assert_eq!(SimDuration::from_hours(2).as_minutes_f64(), 120.0);
+        assert_eq!(SimDuration::from_days(1) / SimDuration::from_hours(1), 24);
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let a = SimTime::from_secs(100);
+        let b = a + SimDuration::from_secs(50);
+        assert_eq!(b - a, SimDuration::from_secs(50));
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = SimTime::from_secs(10) - SimTime::from_secs(20);
+    }
+
+    #[test]
+    fn control_period_alignment() {
+        let period = SimDuration::from_minutes(10);
+        assert!((SimTime::from_secs(1200) % period).is_zero());
+        assert!(!(SimTime::from_secs(1230) % period).is_zero());
+    }
+
+    #[test]
+    fn display() {
+        let t = SimTime::from_days(1) + SimDuration::from_secs(3_661);
+        assert_eq!(t.to_string(), "d1 01:01:01");
+        assert_eq!(SimDuration::from_secs(90).to_string(), "90s");
+    }
+}

@@ -1,0 +1,137 @@
+//! Climate parameterisation.
+
+use serde::{Deserialize, Serialize};
+
+/// The statistics of a location's climate that matter for free cooling.
+///
+/// A [`crate::TmySeries`] expands these into an hourly year. The temperature
+/// model is
+///
+/// ```text
+/// T(d, h) = mean
+///         + seasonal_amplitude · cos(2π (d − warmest_day) / 365)
+///         + synoptic(d)                       // AR(1) multi-day fronts
+///         + diurnal_amplitude · cos(2π (h − 14.5) / 24) · (-1)
+///         + hourly noise
+/// ```
+///
+/// with the diurnal term peaking mid-afternoon, and humidity follows the
+/// configured mean relative humidity with anti-correlated diurnal swing
+/// (afternoons are drier in relative terms even at constant moisture).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClimateParams {
+    /// Annual mean outside temperature, °C.
+    pub mean_temp: f64,
+    /// Half peak-to-trough seasonal swing, °C (0 at the equator, large in
+    /// continental mid-latitudes).
+    pub seasonal_amplitude: f64,
+    /// Half peak-to-trough typical daily swing, °C (large in dry climates).
+    pub diurnal_amplitude: f64,
+    /// Standard deviation of the multi-day synoptic (weather-front) process,
+    /// °C. High values mean volatile weather (cold snaps, heat waves).
+    pub synoptic_std: f64,
+    /// Day-to-day persistence of the synoptic process in `[0, 1)`; higher
+    /// values mean fronts last longer.
+    pub synoptic_persistence: f64,
+    /// Standard deviation of residual hour-to-hour noise, °C.
+    pub hourly_noise_std: f64,
+    /// Day of year (0-based) with the warmest seasonal mean; ~200 in the
+    /// northern hemisphere, ~20 in the southern.
+    pub warmest_day: f64,
+    /// Annual mean relative humidity, percent.
+    pub mean_rh: f64,
+    /// Half peak-to-trough diurnal relative-humidity swing, percent.
+    pub diurnal_rh_amplitude: f64,
+    /// Standard deviation of day-scale humidity variation, percent.
+    pub rh_noise_std: f64,
+}
+
+impl ClimateParams {
+    /// A temperate default (roughly mid-latitude maritime). Matches
+    /// `Location::santiago()`'s magnitude class; mostly useful for tests.
+    #[must_use]
+    pub fn temperate() -> Self {
+        ClimateParams {
+            mean_temp: 14.0,
+            seasonal_amplitude: 7.0,
+            diurnal_amplitude: 5.0,
+            synoptic_std: 2.5,
+            synoptic_persistence: 0.75,
+            hourly_noise_std: 0.4,
+            warmest_day: 200.0,
+            mean_rh: 65.0,
+            diurnal_rh_amplitude: 12.0,
+            rh_noise_std: 8.0,
+        }
+    }
+
+    /// Validates physical plausibility of the parameters.
+    ///
+    /// Returns `false` when any amplitude is negative, persistence is outside
+    /// `[0, 1)`, or the humidity mean is outside `(0, 100)`.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.seasonal_amplitude >= 0.0
+            && self.diurnal_amplitude >= 0.0
+            && self.synoptic_std >= 0.0
+            && (0.0..1.0).contains(&self.synoptic_persistence)
+            && self.hourly_noise_std >= 0.0
+            && (0.0..365.0).contains(&self.warmest_day)
+            && self.mean_rh > 0.0
+            && self.mean_rh < 100.0
+            && self.diurnal_rh_amplitude >= 0.0
+            && self.rh_noise_std >= 0.0
+            && self.mean_temp.is_finite()
+    }
+
+    /// Seasonal mean temperature on day `d` (0-based day of year).
+    #[must_use]
+    pub fn seasonal_mean(&self, d: f64) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * (d - self.warmest_day) / 365.0;
+        self.mean_temp + self.seasonal_amplitude * phase.cos()
+    }
+}
+
+impl Default for ClimateParams {
+    fn default() -> Self {
+        ClimateParams::temperate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temperate_is_valid() {
+        assert!(ClimateParams::temperate().is_valid());
+    }
+
+    #[test]
+    fn seasonal_mean_peaks_on_warmest_day() {
+        let c = ClimateParams::temperate();
+        let peak = c.seasonal_mean(c.warmest_day);
+        let trough = c.seasonal_mean(c.warmest_day + 182.5);
+        assert!((peak - (c.mean_temp + c.seasonal_amplitude)).abs() < 1e-9);
+        assert!((trough - (c.mean_temp - c.seasonal_amplitude)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalid_params_detected() {
+        let mut c = ClimateParams::temperate();
+        c.seasonal_amplitude = -1.0;
+        assert!(!c.is_valid());
+
+        let mut c = ClimateParams::temperate();
+        c.synoptic_persistence = 1.0;
+        assert!(!c.is_valid());
+
+        let mut c = ClimateParams::temperate();
+        c.mean_rh = 0.0;
+        assert!(!c.is_valid());
+
+        let mut c = ClimateParams::temperate();
+        c.warmest_day = 400.0;
+        assert!(!c.is_valid());
+    }
+}

@@ -1,0 +1,229 @@
+//! The weather-forecast service CoolAir queries for band selection.
+//!
+//! CoolAir "selects the band by querying a Web-based weather forecast service
+//! to find the hourly outside temperature predictions at the datacenter's
+//! location for the rest of the day" (§3.2). Here the service is backed by
+//! the synthetic TMY year plus a configurable error model, which lets us
+//! reproduce the §5.2 forecast-accuracy study (consistent ±5 °C bias).
+
+use coolair_units::{Celsius, SimTime, TempDelta};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::tmy::TmySeries;
+
+/// Systematic and random error applied to forecasts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForecastError {
+    /// Constant bias added to every forecast, °C (the §5.2 experiment uses
+    /// +5 and −5).
+    pub bias: f64,
+    /// Standard deviation of independent per-hour noise, °C.
+    pub noise_std: f64,
+}
+
+impl ForecastError {
+    /// A perfectly accurate forecast (the TMY-data case in §5.1: "our
+    /// simulated predictions of average outside temperature are perfectly
+    /// accurate").
+    pub const PERFECT: ForecastError = ForecastError { bias: 0.0, noise_std: 0.0 };
+
+    /// A consistently-too-high forecast (+`bias` °C).
+    #[must_use]
+    pub fn biased(bias: f64) -> Self {
+        ForecastError { bias, noise_std: 0.0 }
+    }
+}
+
+impl Default for ForecastError {
+    fn default() -> Self {
+        ForecastError::PERFECT
+    }
+}
+
+/// One day's forecast: hourly temperatures and their mean.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DailyForecast {
+    /// The forecast day (0-based simulation day).
+    pub day: u64,
+    /// Predicted temperature for each hour 0..24.
+    pub hourly: Vec<Celsius>,
+}
+
+impl DailyForecast {
+    /// Mean of the hourly predictions — the quantity CoolAir centres its
+    /// temperature band on.
+    #[must_use]
+    pub fn daily_mean(&self) -> Celsius {
+        let sum: f64 = self.hourly.iter().map(|t| t.value()).sum();
+        Celsius::new(sum / self.hourly.len() as f64)
+    }
+
+    /// Predicted min and max over the day.
+    #[must_use]
+    pub fn extremes(&self) -> (Celsius, Celsius) {
+        let lo = self.hourly.iter().cloned().fold(Celsius::new(1e9), Celsius::min);
+        let hi = self.hourly.iter().cloned().fold(Celsius::new(-1e9), Celsius::max);
+        (lo, hi)
+    }
+
+    /// Hours (0-based) whose prediction lies within `[lo, hi]` inclusive.
+    #[must_use]
+    pub fn hours_within(&self, lo: Celsius, hi: Celsius) -> Vec<u32> {
+        self.hourly
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t >= lo && **t <= hi)
+            .map(|(h, _)| h as u32)
+            .collect()
+    }
+}
+
+/// Forecast provider backed by a TMY series plus an error model.
+#[derive(Debug, Clone)]
+pub struct Forecaster {
+    tmy: TmySeries,
+    error: ForecastError,
+    seed: u64,
+}
+
+impl Forecaster {
+    /// Creates a forecaster over `tmy` with the given error model. The
+    /// `seed` makes noisy forecasts reproducible.
+    #[must_use]
+    pub fn new(tmy: TmySeries, error: ForecastError, seed: u64) -> Self {
+        Forecaster { tmy, error, seed }
+    }
+
+    /// A perfectly accurate forecaster (the paper's default).
+    #[must_use]
+    pub fn perfect(tmy: TmySeries) -> Self {
+        Forecaster::new(tmy, ForecastError::PERFECT, 0)
+    }
+
+    /// The error model in force.
+    #[must_use]
+    pub fn error(&self) -> ForecastError {
+        self.error
+    }
+
+    /// Hourly temperature forecast for the day containing `now` (the "rest
+    /// of the day" query of §3.2 — we return all 24 hours; callers slice).
+    #[must_use]
+    pub fn forecast_for(&self, now: SimTime) -> DailyForecast {
+        let day = now.day_index();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ day.wrapping_mul(0x9e37_79b9));
+        let hourly = self
+            .tmy
+            .hourly_temps_for_day(day)
+            .into_iter()
+            .map(|t| {
+                let noise = if self.error.noise_std > 0.0 {
+                    self.error.noise_std * gaussian(&mut rng)
+                } else {
+                    0.0
+                };
+                t + TempDelta::new(self.error.bias + noise)
+            })
+            .collect();
+        DailyForecast { day, hourly }
+    }
+
+    /// Hourly forecast for `days_ahead` days after the day containing `now`
+    /// (temporal scheduling looks 24 h into the future).
+    #[must_use]
+    pub fn forecast_for_day(&self, day: u64) -> DailyForecast {
+        self.forecast_for(SimTime::from_days(day))
+    }
+
+    /// The underlying weather series (ground truth).
+    #[must_use]
+    pub fn tmy(&self) -> &TmySeries {
+        &self.tmy
+    }
+}
+
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::location::Location;
+
+    fn tmy() -> TmySeries {
+        TmySeries::generate(&Location::newark(), 1)
+    }
+
+    #[test]
+    fn perfect_forecast_matches_truth() {
+        let series = tmy();
+        let f = Forecaster::perfect(series.clone());
+        let fc = f.forecast_for(SimTime::from_days(10));
+        assert_eq!(fc.hourly, series.hourly_temps_for_day(10));
+        assert!((fc.daily_mean().value() - series.daily_mean(10).value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bias_shifts_every_hour() {
+        let series = tmy();
+        let truth = series.hourly_temps_for_day(3);
+        let f = Forecaster::new(series, ForecastError::biased(5.0), 0);
+        let fc = f.forecast_for(SimTime::from_days(3));
+        for (p, t) in fc.hourly.iter().zip(truth.iter()) {
+            assert!(((p.value() - t.value()) - 5.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn noisy_forecast_is_reproducible() {
+        let series = tmy();
+        let f1 = Forecaster::new(series.clone(), ForecastError { bias: 0.0, noise_std: 2.0 }, 7);
+        let f2 = Forecaster::new(series, ForecastError { bias: 0.0, noise_std: 2.0 }, 7);
+        assert_eq!(f1.forecast_for(SimTime::from_days(5)), f2.forecast_for(SimTime::from_days(5)));
+    }
+
+    #[test]
+    fn hours_within_band() {
+        let fc = DailyForecast {
+            day: 0,
+            hourly: (0..24).map(|h| Celsius::new(f64::from(h))).collect(),
+        };
+        let hours = fc.hours_within(Celsius::new(5.0), Celsius::new(8.0));
+        assert_eq!(hours, vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn noise_magnitude_matches_configuration() {
+        let series = tmy();
+        let truth = series.hourly_temps_for_day(8);
+        let f = Forecaster::new(series, ForecastError { bias: 0.0, noise_std: 2.0 }, 3);
+        // Collect errors over many days to estimate the noise std.
+        let mut sq = 0.0;
+        let mut n = 0.0;
+        for day in 0..60u64 {
+            let fc = f.forecast_for_day(day);
+            let t = f.tmy().hourly_temps_for_day(day);
+            for (p, a) in fc.hourly.iter().zip(t.iter()) {
+                sq += (p.value() - a.value()).powi(2);
+                n += 1.0;
+            }
+        }
+        let std = (sq / n).sqrt();
+        assert!((std - 2.0).abs() < 0.3, "estimated noise std {std}");
+        let _ = truth;
+    }
+
+    #[test]
+    fn extremes_ordering() {
+        let f = Forecaster::perfect(tmy());
+        let fc = f.forecast_for_day(42);
+        let (lo, hi) = fc.extremes();
+        assert!(lo <= hi);
+        assert!(lo <= fc.daily_mean() && fc.daily_mean() <= hi);
+    }
+}

@@ -1,0 +1,47 @@
+//! Synthetic weather substrate for the CoolAir reproduction.
+//!
+//! The paper drives its year-long evaluations with Typical Meteorological
+//! Year (TMY) temperature and humidity data from the US DOE for five named
+//! locations plus 1520 world-wide locations, and queries a web-based weather
+//! forecast service for daily band selection. Neither the TMY archive nor a
+//! live forecast service is available here, so this crate synthesizes both:
+//!
+//! - [`ClimateParams`] captures the handful of statistics that matter for
+//!   free-cooling management (annual mean, seasonal and diurnal amplitude,
+//!   synoptic variability, humidity regime);
+//! - [`TmySeries`] expands a parameter set into a deterministic, seeded
+//!   hourly year of outside temperature and humidity with realistic
+//!   seasonal/diurnal/synoptic structure;
+//! - [`Location`] provides calibrated archetypes for the paper's five study
+//!   locations (Newark, Chad, Santiago, Iceland, Singapore) and a
+//!   latitude/continentality climate model that generates the 1520-location
+//!   world grid;
+//! - [`Forecaster`] plays the role of the web forecast service, with
+//!   configurable bias and noise so the §5.2 forecast-accuracy experiment can
+//!   be reproduced.
+//!
+//! # Example
+//!
+//! ```
+//! use coolair_weather::{Location, TmySeries};
+//! use coolair_units::SimTime;
+//!
+//! let newark = Location::newark();
+//! let tmy = TmySeries::generate(&newark, 42);
+//! let noon_jan1 = SimTime::from_secs(12 * 3600);
+//! let t = tmy.temperature_at(noon_jan1);
+//! assert!(t.value() > -25.0 && t.value() < 20.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod climate;
+mod forecast;
+mod location;
+mod tmy;
+
+pub use climate::ClimateParams;
+pub use forecast::{DailyForecast, ForecastError, Forecaster};
+pub use location::{Location, WorldGrid};
+pub use tmy::{TmySeries, HOURS_PER_YEAR};

@@ -1,0 +1,603 @@
+//! Study locations: the paper's five named sites and the 1520-location
+//! world grid.
+
+use serde::{Deserialize, Serialize};
+
+use crate::climate::ClimateParams;
+
+/// A geographical location with an associated climate.
+///
+/// The five named constructors correspond to the paper's §5.1 study set:
+/// Iceland (cold year-round), Chad (hot year-round), Santiago de Chile (mild
+/// year-round), Singapore (hot and humid year-round), and Newark (hot
+/// summers, cold winters; the closest TMY site to Parasol). Their climate
+/// parameters are calibrated to published climate normals for
+/// Reykjavik, N'Djamena, Santiago, Singapore, and Newark NJ.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Location {
+    name: String,
+    latitude: f64,
+    longitude: f64,
+    climate: ClimateParams,
+}
+
+impl Location {
+    /// Creates a location with explicit climate parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `climate` fails [`ClimateParams::is_valid`] or the
+    /// coordinates are outside `[-90, 90] × [-180, 180]`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, latitude: f64, longitude: f64, climate: ClimateParams) -> Self {
+        assert!(climate.is_valid(), "invalid climate parameters");
+        assert!((-90.0..=90.0).contains(&latitude), "latitude out of range");
+        assert!((-180.0..=180.0).contains(&longitude), "longitude out of range");
+        Location { name: name.into(), latitude, longitude, climate }
+    }
+
+    /// Newark, NJ, USA — hot summers, cold winters (closest TMY site to
+    /// Parasol).
+    #[must_use]
+    pub fn newark() -> Self {
+        Location::new(
+            "Newark",
+            40.7,
+            -74.2,
+            ClimateParams {
+                mean_temp: 12.6,
+                seasonal_amplitude: 12.0,
+                diurnal_amplitude: 4.5,
+                synoptic_std: 3.5,
+                synoptic_persistence: 0.72,
+                hourly_noise_std: 0.5,
+                warmest_day: 201.0,
+                mean_rh: 64.0,
+                diurnal_rh_amplitude: 14.0,
+                rh_noise_std: 10.0,
+            },
+        )
+    }
+
+    /// N'Djamena, Chad — hot year-round, dry with large diurnal swings.
+    #[must_use]
+    pub fn chad() -> Self {
+        Location::new(
+            "Chad",
+            12.1,
+            15.0,
+            ClimateParams {
+                mean_temp: 28.3,
+                seasonal_amplitude: 4.0,
+                diurnal_amplitude: 7.5,
+                synoptic_std: 1.2,
+                synoptic_persistence: 0.6,
+                hourly_noise_std: 0.4,
+                warmest_day: 110.0,
+                mean_rh: 38.0,
+                diurnal_rh_amplitude: 15.0,
+                rh_noise_std: 12.0,
+            },
+        )
+    }
+
+    /// Santiago de Chile — mild year-round, southern hemisphere.
+    #[must_use]
+    pub fn santiago() -> Self {
+        Location::new(
+            "Santiago",
+            -33.4,
+            -70.7,
+            ClimateParams {
+                mean_temp: 14.5,
+                seasonal_amplitude: 6.5,
+                diurnal_amplitude: 7.0,
+                synoptic_std: 1.8,
+                synoptic_persistence: 0.65,
+                hourly_noise_std: 0.4,
+                warmest_day: 17.0,
+                mean_rh: 59.0,
+                diurnal_rh_amplitude: 18.0,
+                rh_noise_std: 9.0,
+            },
+        )
+    }
+
+    /// Reykjavik, Iceland — cold year-round, maritime.
+    #[must_use]
+    pub fn iceland() -> Self {
+        Location::new(
+            "Iceland",
+            64.1,
+            -21.9,
+            ClimateParams {
+                mean_temp: 5.1,
+                seasonal_amplitude: 5.5,
+                diurnal_amplitude: 2.5,
+                synoptic_std: 2.8,
+                synoptic_persistence: 0.7,
+                hourly_noise_std: 0.5,
+                warmest_day: 205.0,
+                mean_rh: 77.0,
+                diurnal_rh_amplitude: 6.0,
+                rh_noise_std: 7.0,
+            },
+        )
+    }
+
+    /// Singapore — hot and humid year-round.
+    #[must_use]
+    pub fn singapore() -> Self {
+        Location::new(
+            "Singapore",
+            1.35,
+            103.8,
+            ClimateParams {
+                mean_temp: 27.6,
+                seasonal_amplitude: 0.9,
+                diurnal_amplitude: 3.3,
+                synoptic_std: 0.7,
+                synoptic_persistence: 0.5,
+                hourly_noise_std: 0.3,
+                warmest_day: 140.0,
+                mean_rh: 83.0,
+                diurnal_rh_amplitude: 10.0,
+                rh_noise_std: 5.0,
+            },
+        )
+    }
+
+    /// Phoenix, AZ, USA — extreme dry heat with huge diurnal swings.
+    #[must_use]
+    pub fn phoenix() -> Self {
+        Location::new(
+            "Phoenix",
+            33.4,
+            -112.1,
+            ClimateParams {
+                mean_temp: 23.9,
+                seasonal_amplitude: 10.5,
+                diurnal_amplitude: 7.0,
+                synoptic_std: 1.5,
+                synoptic_persistence: 0.6,
+                hourly_noise_std: 0.4,
+                warmest_day: 190.0,
+                mean_rh: 30.0,
+                diurnal_rh_amplitude: 12.0,
+                rh_noise_std: 8.0,
+            },
+        )
+    }
+
+    /// London, UK — mild maritime, small diurnal swings.
+    #[must_use]
+    pub fn london() -> Self {
+        Location::new(
+            "London",
+            51.5,
+            -0.1,
+            ClimateParams {
+                mean_temp: 11.1,
+                seasonal_amplitude: 6.5,
+                diurnal_amplitude: 3.5,
+                synoptic_std: 2.5,
+                synoptic_persistence: 0.7,
+                hourly_noise_std: 0.4,
+                warmest_day: 199.0,
+                mean_rh: 75.0,
+                diurnal_rh_amplitude: 10.0,
+                rh_noise_std: 7.0,
+            },
+        )
+    }
+
+    /// Tokyo, Japan — humid with hot summers and cool winters.
+    #[must_use]
+    pub fn tokyo() -> Self {
+        Location::new(
+            "Tokyo",
+            35.7,
+            139.7,
+            ClimateParams {
+                mean_temp: 15.8,
+                seasonal_amplitude: 10.5,
+                diurnal_amplitude: 4.0,
+                synoptic_std: 2.2,
+                synoptic_persistence: 0.68,
+                hourly_noise_std: 0.4,
+                warmest_day: 220.0,
+                mean_rh: 70.0,
+                diurnal_rh_amplitude: 12.0,
+                rh_noise_std: 8.0,
+            },
+        )
+    }
+
+    /// Sydney, Australia — mild southern-hemisphere maritime.
+    #[must_use]
+    pub fn sydney() -> Self {
+        Location::new(
+            "Sydney",
+            -33.9,
+            151.2,
+            ClimateParams {
+                mean_temp: 18.2,
+                seasonal_amplitude: 5.5,
+                diurnal_amplitude: 4.5,
+                synoptic_std: 2.0,
+                synoptic_persistence: 0.62,
+                hourly_noise_std: 0.4,
+                warmest_day: 25.0,
+                mean_rh: 65.0,
+                diurnal_rh_amplitude: 12.0,
+                rh_noise_std: 8.0,
+            },
+        )
+    }
+
+    /// Moscow, Russia — deep continental: hot-ish summers, frigid winters.
+    #[must_use]
+    pub fn moscow() -> Self {
+        Location::new(
+            "Moscow",
+            55.8,
+            37.6,
+            ClimateParams {
+                mean_temp: 5.8,
+                seasonal_amplitude: 14.0,
+                diurnal_amplitude: 4.0,
+                synoptic_std: 3.5,
+                synoptic_persistence: 0.75,
+                hourly_noise_std: 0.5,
+                warmest_day: 200.0,
+                mean_rh: 72.0,
+                diurnal_rh_amplitude: 10.0,
+                rh_noise_std: 8.0,
+            },
+        )
+    }
+
+    /// Nairobi, Kenya — highland equatorial: mild and remarkably constant.
+    #[must_use]
+    pub fn nairobi() -> Self {
+        Location::new(
+            "Nairobi",
+            -1.3,
+            36.8,
+            ClimateParams {
+                mean_temp: 17.8,
+                seasonal_amplitude: 1.8,
+                diurnal_amplitude: 6.0,
+                synoptic_std: 0.9,
+                synoptic_persistence: 0.55,
+                hourly_noise_std: 0.3,
+                warmest_day: 60.0,
+                mean_rh: 66.0,
+                diurnal_rh_amplitude: 16.0,
+                rh_noise_std: 8.0,
+            },
+        )
+    }
+
+    /// The paper's five locations plus six more world cities — a broader
+    /// site-selection shortlist.
+    #[must_use]
+    pub fn extended_set() -> Vec<Location> {
+        let mut all = Location::paper_five();
+        all.extend([
+            Location::phoenix(),
+            Location::london(),
+            Location::tokyo(),
+            Location::sydney(),
+            Location::moscow(),
+            Location::nairobi(),
+        ]);
+        all
+    }
+
+    /// The paper's five named study locations, in figure order.
+    #[must_use]
+    pub fn paper_five() -> Vec<Location> {
+        vec![
+            Location::newark(),
+            Location::chad(),
+            Location::santiago(),
+            Location::iceland(),
+            Location::singapore(),
+        ]
+    }
+
+    /// The location's display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Latitude in degrees north.
+    #[must_use]
+    pub fn latitude(&self) -> f64 {
+        self.latitude
+    }
+
+    /// Longitude in degrees east.
+    #[must_use]
+    pub fn longitude(&self) -> f64 {
+        self.longitude
+    }
+
+    /// The location's climate parameters.
+    #[must_use]
+    pub fn climate(&self) -> &ClimateParams {
+        &self.climate
+    }
+
+    /// A deterministic per-location salt mixed into weather seeds so two
+    /// locations never share a noise realisation.
+    #[must_use]
+    pub fn seed_salt(&self) -> u64 {
+        // FNV-1a over the name plus quantised coordinates.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let lat = (self.latitude * 100.0) as i64 as u64;
+        let lon = (self.longitude * 100.0) as i64 as u64;
+        h ^ lat.rotate_left(17) ^ lon.rotate_left(43)
+    }
+}
+
+/// The world-wide location grid used by the paper's Figures 12 and 13
+/// ("we now extend our study to 1520 locations world-wide").
+///
+/// Since the DOE TMY archive is unavailable, the grid is synthesized from a
+/// latitude/continentality climate model: annual mean falls off with
+/// latitude, seasonal amplitude grows with latitude and continentality,
+/// diurnal swing grows with dryness, and a deterministic land-mask keeps the
+/// count at exactly 1520. The point of the grid is to span the space of
+/// climates, which is what the world-sweep experiments measure.
+#[derive(Debug, Clone)]
+pub struct WorldGrid {
+    locations: Vec<Location>,
+}
+
+impl WorldGrid {
+    /// Number of locations in the paper's world-wide sweep.
+    pub const PAPER_COUNT: usize = 1520;
+
+    /// Generates the full 1520-location grid.
+    #[must_use]
+    pub fn generate() -> Self {
+        Self::with_count(Self::PAPER_COUNT)
+    }
+
+    /// Generates a reduced grid with the same latitude coverage — useful for
+    /// fast tests and smoke runs. `count` is capped at the full grid size.
+    #[must_use]
+    pub fn with_count(count: usize) -> Self {
+        let mut all = Vec::new();
+        let mut cell = 0u64;
+        // 38 latitude bands × 48 longitude cells = 1824 candidates; the hash
+        // mask below drops ~17 % ("ocean") to land on ≥1520.
+        for lat_i in 0..38 {
+            let lat = -58.0 + 3.5 * lat_i as f64;
+            for lon_i in 0..48 {
+                let lon = -180.0 + 7.5 * lon_i as f64;
+                cell += 1;
+                if hash_cell(cell) % 100 < 17 {
+                    continue; // ocean cell
+                }
+                let climate = synth_climate(lat, cell);
+                all.push(Location::new(
+                    format!("grid_{lat_i}_{lon_i}"),
+                    lat,
+                    lon,
+                    climate,
+                ));
+            }
+        }
+        all.truncate(Self::PAPER_COUNT.min(all.len()));
+        if count < all.len() {
+            // Take an evenly spaced subsample to preserve latitude coverage.
+            let stride = all.len() as f64 / count as f64;
+            let mut sampled = Vec::with_capacity(count);
+            for i in 0..count {
+                sampled.push(all[(i as f64 * stride) as usize].clone());
+            }
+            all = sampled;
+        }
+        WorldGrid { locations: all }
+    }
+
+    /// The locations in the grid.
+    #[must_use]
+    pub fn locations(&self) -> &[Location] {
+        &self.locations
+    }
+
+    /// Number of locations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// `true` when the grid is empty (only possible with `with_count(0)`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.locations.is_empty()
+    }
+
+    /// Iterates over the locations.
+    pub fn iter(&self) -> std::slice::Iter<'_, Location> {
+        self.locations.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a WorldGrid {
+    type Item = &'a Location;
+    type IntoIter = std::slice::Iter<'a, Location>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.locations.iter()
+    }
+}
+
+/// Deterministic cell hash (splitmix64).
+fn hash_cell(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn unit(hash: u64, lane: u64) -> f64 {
+    (hash_cell(hash ^ lane.wrapping_mul(0x9e37)) % 10_000) as f64 / 10_000.0
+}
+
+/// Latitude/continentality climate model for the world grid.
+fn synth_climate(lat: f64, cell: u64) -> ClimateParams {
+    let h = hash_cell(cell);
+    let abs_lat = lat.abs();
+
+    // Continentality 0 (maritime) .. 1 (deep continental).
+    let continentality = unit(h, 1);
+    // Dryness 0 (humid) .. 1 (arid); deserts concentrate near |lat| 15–30.
+    let desert_band = (1.0 - ((abs_lat - 23.0) / 15.0).powi(2)).max(0.0);
+    let dryness = (0.25 + 0.55 * desert_band) * unit(h, 2) + 0.2 * unit(h, 3);
+    // Altitude cooling up to ~8 °C.
+    let altitude_cool = 8.0 * unit(h, 4).powi(2);
+
+    let mean_temp = 28.0 - 0.0088 * abs_lat * abs_lat + 5.0 * (1.0 - continentality) * (abs_lat / 90.0)
+        - altitude_cool
+        + 2.0 * (unit(h, 5) - 0.5);
+    let seasonal_amplitude = (0.4 + 0.22 * abs_lat) * (0.45 + 0.8 * continentality);
+    let diurnal_amplitude = 2.5 + 6.5 * dryness;
+    let synoptic_std = 0.6 + 0.05 * abs_lat * (0.5 + 0.7 * continentality);
+    let mean_rh = (88.0 - 52.0 * dryness).clamp(20.0, 92.0);
+
+    ClimateParams {
+        mean_temp,
+        seasonal_amplitude,
+        diurnal_amplitude,
+        synoptic_std,
+        synoptic_persistence: 0.6 + 0.2 * unit(h, 6),
+        hourly_noise_std: 0.4,
+        warmest_day: if lat >= 0.0 { 201.0 } else { 17.0 },
+        mean_rh,
+        diurnal_rh_amplitude: 6.0 + 12.0 * dryness,
+        rh_noise_std: 5.0 + 6.0 * unit(h, 7),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_five_names() {
+        let names: Vec<_> = Location::paper_five().iter().map(|l| l.name().to_string()).collect();
+        assert_eq!(names, ["Newark", "Chad", "Santiago", "Iceland", "Singapore"]);
+    }
+
+    #[test]
+    fn named_climates_are_valid() {
+        for loc in Location::extended_set() {
+            assert!(loc.climate().is_valid(), "{}", loc.name());
+        }
+    }
+
+    #[test]
+    fn extended_set_has_eleven_distinct_sites() {
+        let set = Location::extended_set();
+        assert_eq!(set.len(), 11);
+        let mut names: Vec<&str> = set.iter().map(Location::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 11);
+    }
+
+    #[test]
+    fn extended_climates_are_plausible() {
+        // Phoenix is dry, London humid; Moscow swings more than Nairobi.
+        assert!(Location::phoenix().climate().mean_rh < 40.0);
+        assert!(Location::london().climate().mean_rh > 70.0);
+        assert!(
+            Location::moscow().climate().seasonal_amplitude
+                > Location::nairobi().climate().seasonal_amplitude + 8.0
+        );
+        // Southern-hemisphere phase for Sydney.
+        assert!(Location::sydney().climate().warmest_day < 100.0);
+    }
+
+    #[test]
+    fn southern_hemisphere_phase() {
+        assert!(Location::santiago().climate().warmest_day < 100.0);
+        assert!(Location::newark().climate().warmest_day > 150.0);
+    }
+
+    #[test]
+    fn seed_salts_distinct() {
+        let salts: Vec<_> = Location::paper_five().iter().map(Location::seed_salt).collect();
+        for i in 0..salts.len() {
+            for j in (i + 1)..salts.len() {
+                assert_ne!(salts[i], salts[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn world_grid_has_paper_count() {
+        let grid = WorldGrid::generate();
+        assert_eq!(grid.len(), WorldGrid::PAPER_COUNT);
+    }
+
+    #[test]
+    fn world_grid_subsample_preserves_extremes() {
+        let grid = WorldGrid::with_count(100);
+        assert_eq!(grid.len(), 100);
+        let lats: Vec<f64> = grid.iter().map(Location::latitude).collect();
+        let min = lats.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = lats.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(min < -40.0, "min lat {min}");
+        assert!(max > 50.0, "max lat {max}");
+    }
+
+    #[test]
+    fn world_grid_climates_valid_and_plausible() {
+        let grid = WorldGrid::generate();
+        for loc in &grid {
+            let c = loc.climate();
+            assert!(c.is_valid(), "{}", loc.name());
+            assert!(c.mean_temp > -40.0 && c.mean_temp < 40.0, "{}: {}", loc.name(), c.mean_temp);
+        }
+    }
+
+    #[test]
+    fn high_latitude_colder_than_tropics_on_average() {
+        let grid = WorldGrid::generate();
+        let (mut polar, mut tropics) = ((0.0, 0), (0.0, 0));
+        for loc in &grid {
+            let m = loc.climate().mean_temp;
+            if loc.latitude().abs() > 50.0 {
+                polar = (polar.0 + m, polar.1 + 1);
+            } else if loc.latitude().abs() < 15.0 {
+                tropics = (tropics.0 + m, tropics.1 + 1);
+            }
+        }
+        assert!(polar.0 / polar.1 as f64 + 10.0 < tropics.0 / tropics.1 as f64);
+    }
+
+    #[test]
+    fn grid_is_deterministic() {
+        let a = WorldGrid::with_count(50);
+        let b = WorldGrid::with_count(50);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "latitude out of range")]
+    fn rejects_bad_latitude() {
+        let _ = Location::new("x", 91.0, 0.0, ClimateParams::temperate());
+    }
+}

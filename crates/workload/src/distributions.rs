@@ -1,0 +1,94 @@
+//! Sampling helpers for trace generation.
+//!
+//! Implemented locally (Box–Muller, inverse-CDF) to keep the dependency set
+//! to plain `rand`.
+
+use rand::Rng;
+
+/// A truncated lognormal sample: `exp(N(mu, sigma))` clamped into
+/// `[lo, hi]`. Used for job sizes, which are heavy-tailed in the Facebook
+/// trace.
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or `sigma < 0`.
+pub fn truncated_lognormal<R: Rng>(rng: &mut R, mu: f64, sigma: f64, lo: f64, hi: f64) -> f64 {
+    assert!(lo <= hi, "bounds inverted");
+    assert!(sigma >= 0.0, "sigma must be non-negative");
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (mu + sigma * z).exp().clamp(lo, hi)
+}
+
+/// A log-uniform sample in `[lo, hi]`: uniform in log-space, so small values
+/// dominate but the tail reaches `hi`. Matches the published "2–1190 map
+/// tasks" spread.
+///
+/// # Panics
+///
+/// Panics if `lo <= 0` or `lo > hi`.
+pub fn log_uniform<R: Rng>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    assert!(lo > 0.0, "log-uniform needs positive lower bound");
+    assert!(lo <= hi, "bounds inverted");
+    let u: f64 = rng.gen();
+    (lo.ln() + u * (hi.ln() - lo.ln())).exp()
+}
+
+/// An exponential inter-arrival sample with the given mean, in seconds —
+/// the Poisson arrival process of the Nutch trace.
+///
+/// # Panics
+///
+/// Panics if `mean_secs <= 0`.
+pub fn poisson_interarrival<R: Rng>(rng: &mut R, mean_secs: f64) -> f64 {
+    assert!(mean_secs > 0.0, "mean must be positive");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean_secs * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lognormal_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = truncated_lognormal(&mut rng, 3.0, 2.0, 5.0, 500.0);
+            assert!((5.0..=500.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn log_uniform_spans_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples: Vec<f64> = (0..2000).map(|_| log_uniform(&mut rng, 2.0, 1190.0)).collect();
+        assert!(samples.iter().all(|&x| (2.0..=1190.0).contains(&x)));
+        // Median of a log-uniform is the geometric mean of the bounds (~49).
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[sorted.len() / 2];
+        assert!((20.0..120.0).contains(&median), "median {median}");
+        // The tail is reached.
+        assert!(samples.iter().any(|&x| x > 800.0));
+    }
+
+    #[test]
+    fn poisson_mean_converges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| poisson_interarrival(&mut rng, 40.0)).sum();
+        let mean = total / f64::from(n);
+        assert!((mean - 40.0).abs() < 1.5, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds inverted")]
+    fn rejects_inverted_bounds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = log_uniform(&mut rng, 10.0, 1.0);
+    }
+}

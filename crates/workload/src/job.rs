@@ -1,0 +1,128 @@
+//! MapReduce jobs.
+
+use std::fmt;
+
+use coolair_units::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Unique job identifier within a trace.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// A MapReduce job: a map phase followed by a reduce phase.
+///
+/// Execution is modelled at phase granularity: each phase carries an amount
+/// of work in server-seconds and a maximum parallelism (its task count).
+/// This is exactly the resolution CoolAir manages at — it sizes the active
+/// server set and shifts start times; it never touches individual tasks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Identifier.
+    pub id: JobId,
+    /// Submission time.
+    pub submit: SimTime,
+    /// Number of map tasks (also the map phase's maximum parallelism).
+    pub map_tasks: u32,
+    /// Number of reduce tasks.
+    pub reduce_tasks: u32,
+    /// Total map work, in server-seconds.
+    pub map_work: f64,
+    /// Total reduce work, in server-seconds.
+    pub reduce_work: f64,
+    /// For deferrable workloads: the user-provided *start* deadline
+    /// relative to submission (§3.3: "CoolAir will not delay any job beyond
+    /// its user-provided start deadline"). `None` means non-deferrable.
+    pub start_deadline: Option<SimDuration>,
+}
+
+impl Job {
+    /// Total work across both phases, in server-seconds.
+    #[must_use]
+    pub fn total_work(&self) -> f64 {
+        self.map_work + self.reduce_work
+    }
+
+    /// The latest time this job may start.
+    #[must_use]
+    pub fn latest_start(&self) -> Option<SimTime> {
+        self.start_deadline.map(|d| self.submit + d)
+    }
+
+    /// `true` if the job can be temporally scheduled.
+    #[must_use]
+    pub fn is_deferrable(&self) -> bool {
+        self.start_deadline.is_some()
+    }
+
+    /// A copy with the given start deadline (used to derive the deferrable
+    /// variant of a trace).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: SimDuration) -> Job {
+        self.start_deadline = Some(deadline);
+        self
+    }
+
+    /// Validates internal consistency.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.map_tasks >= 1
+            && self.map_work >= 0.0
+            && self.reduce_work >= 0.0
+            && self.map_work.is_finite()
+            && self.reduce_work.is_finite()
+            && (self.reduce_tasks >= 1 || self.reduce_work == 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> Job {
+        Job {
+            id: JobId(1),
+            submit: SimTime::from_secs(100),
+            map_tasks: 10,
+            reduce_tasks: 2,
+            map_work: 500.0,
+            reduce_work: 60.0,
+            start_deadline: None,
+        }
+    }
+
+    #[test]
+    fn totals_and_deadlines() {
+        let j = job();
+        assert_eq!(j.total_work(), 560.0);
+        assert!(!j.is_deferrable());
+        assert_eq!(j.latest_start(), None);
+
+        let d = j.with_deadline(SimDuration::from_hours(6));
+        assert!(d.is_deferrable());
+        assert_eq!(
+            d.latest_start(),
+            Some(SimTime::from_secs(100) + SimDuration::from_hours(6))
+        );
+    }
+
+    #[test]
+    fn validity() {
+        assert!(job().is_valid());
+        let mut bad = job();
+        bad.map_tasks = 0;
+        assert!(!bad.is_valid());
+        let mut bad = job();
+        bad.reduce_tasks = 0;
+        assert!(!bad.is_valid(), "reduce work without reduce tasks");
+        bad.reduce_work = 0.0;
+        assert!(bad.is_valid(), "map-only jobs are fine");
+    }
+}

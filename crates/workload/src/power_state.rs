@@ -1,0 +1,64 @@
+//! Server power states.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The three server power states of the paper's modified Hadoop (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum PowerState {
+    /// Running and accepting work.
+    #[default]
+    Active,
+    /// Intermediate state: no *new* jobs start here, but the server still
+    /// holds (temporary) data needed by running jobs. Transitions to sleep
+    /// once its data is no longer needed.
+    Decommissioned,
+    /// ACPI S3 suspend: 2 W, no work, no data service.
+    Sleep,
+}
+
+impl PowerState {
+    /// `true` when the server consumes active power.
+    #[must_use]
+    pub fn is_awake(self) -> bool {
+        !matches!(self, PowerState::Sleep)
+    }
+
+    /// `true` when new work may be placed on the server.
+    #[must_use]
+    pub fn accepts_work(self) -> bool {
+        matches!(self, PowerState::Active)
+    }
+}
+
+impl fmt::Display for PowerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PowerState::Active => "active",
+            PowerState::Decommissioned => "decommissioned",
+            PowerState::Sleep => "sleep",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        assert!(PowerState::Active.is_awake());
+        assert!(PowerState::Active.accepts_work());
+        assert!(PowerState::Decommissioned.is_awake());
+        assert!(!PowerState::Decommissioned.accepts_work());
+        assert!(!PowerState::Sleep.is_awake());
+        assert!(!PowerState::Sleep.accepts_work());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(PowerState::Sleep.to_string(), "sleep");
+    }
+}

@@ -1,0 +1,67 @@
+//! Diagnostic: print a day-long minute trace for one system/location/day.
+//!
+//! ```sh
+//! cargo run --release --example day_trace -- [allnd|energy|temperature|variation|baseline] [day] [location]
+//! ```
+
+use coolair::{CoolAir, CoolAirConfig, Version};
+use coolair_sim::{train_for_location, AnnualConfig, SimConfig, SimController, Simulation};
+use coolair_thermal::{PlantConfig, TksConfig, TksController};
+use coolair_weather::{Forecaster, Location, TmySeries};
+use coolair_workload::{facebook_trace, Cluster, ClusterConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map_or("allnd", String::as_str);
+    let day: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(14);
+    let location = match args.get(3).map(String::as_str) {
+        Some("chad") => Location::chad(),
+        Some("santiago") => Location::santiago(),
+        Some("iceland") => Location::iceland(),
+        Some("singapore") => Location::singapore(),
+        _ => Location::newark(),
+    };
+    let cfg = AnnualConfig::default();
+    let tmy = TmySeries::generate(&location, cfg.weather_seed);
+
+    let controller = if which == "baseline" {
+        SimController::Baseline(TksController::new(TksConfig::baseline()))
+    } else {
+        let version = match which {
+            "energy" => Version::Energy,
+            "temperature" => Version::Temperature,
+            "variation" => Version::Variation,
+            _ => Version::AllNd,
+        };
+        let model = train_for_location(&location, &cfg);
+        SimController::CoolAir(Box::new(CoolAir::new(
+            version,
+            CoolAirConfig::default(),
+            model,
+            Forecaster::perfect(tmy.clone()),
+            coolair_thermal::Infrastructure::Smooth,
+        )))
+    };
+    let plant = if which == "baseline" { PlantConfig::parasol() } else { PlantConfig::smooth() };
+
+    let mut sim = Simulation::new(
+        controller,
+        plant,
+        Cluster::new(ClusterConfig::parasol()),
+        tmy,
+        SimConfig { record_minutes: true, ..SimConfig::default() },
+    );
+    let out = sim.run_day(day, facebook_trace(cfg.trace_seed).jobs_for_day(day));
+    println!("day {day} ({which}): worst range {:.2}°C  cooling {:.2} kWh", out.record.worst_range(), out.record.cooling_kwh);
+    println!("{:>5} {:>7} {:>7} {:>7} {:>6} {:>6} {:>6} {:>7} {:>6} {:>14}", "min", "out", "maxin", "minin", "rh", "fan%", "comp%", "coolW", "act", "band");
+    for (i, m) in out.minutes.iter().enumerate() {
+        if i % 15 == 0 {
+            println!(
+                "{:>5} {:>7.1} {:>7.1} {:>7.1} {:>6.0} {:>6.0} {:>6.0} {:>7.0} {:>6} {:>14}",
+                i, m.outside, m.max_inlet, m.min_inlet, m.rh, m.fan_pct, m.compressor_pct,
+                m.cooling_w, m.active_servers,
+                m.band.map_or("-".into(), |(lo, hi)| format!("[{lo:.1},{hi:.1}]")),
+            );
+        }
+    }
+}

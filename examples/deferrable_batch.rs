@@ -1,0 +1,87 @@
+//! Deferrable batch workloads: what temporal scheduling does to job start
+//! times, temperature variation, and cooling energy on one day.
+//!
+//! Runs the same deferrable Facebook day (6-hour start deadlines) under
+//! All-ND (no deferral), All-DEF (band-aware deferral), and Energy-DEF
+//! (coolest-hours deferral, as prior energy-driven work) and prints the
+//! hourly distribution of busy servers plus the §5.2 headline metrics.
+//!
+//! ```sh
+//! cargo run --release --example deferrable_batch
+//! ```
+
+use coolair::{CoolAir, CoolAirConfig, Version};
+use coolair_sim::{train_for_location, AnnualConfig, SimConfig, SimController, Simulation};
+use coolair_thermal::{Infrastructure, PlantConfig};
+use coolair_weather::{Forecaster, Location, TmySeries};
+use coolair_workload::{facebook_trace, Cluster, ClusterConfig};
+
+fn main() {
+    let location = Location::newark();
+    let cfg = AnnualConfig::default();
+    let tmy = TmySeries::generate(&location, cfg.weather_seed);
+    eprintln!("training the Cooling Model…");
+    let model = train_for_location(&location, &cfg);
+    let trace = facebook_trace(cfg.trace_seed)
+        .with_deadlines(CoolAirConfig::default().deferral_deadline);
+    let day = 196; // mid-July: warm afternoons, cool nights
+
+    let mut rows = Vec::new();
+    for version in [Version::AllNd, Version::AllDef, Version::EnergyDef] {
+        let mut sim = Simulation::new(
+            SimController::CoolAir(Box::new(CoolAir::new(
+                version,
+                CoolAirConfig::default(),
+                model.clone(),
+                Forecaster::perfect(tmy.clone()),
+                Infrastructure::Smooth,
+            ))),
+            PlantConfig::smooth(),
+            Cluster::new(ClusterConfig::parasol()),
+            tmy.clone(),
+            SimConfig { record_minutes: true, ..SimConfig::default() },
+        );
+        let out = sim.run_day(day, trace.jobs_for_day(day));
+        let hourly_busy: Vec<usize> = (0..24)
+            .map(|h| {
+                out.minutes[h * 60..(h + 1) * 60]
+                    .iter()
+                    .map(|m| m.active_servers)
+                    .sum::<usize>()
+                    / 60
+            })
+            .collect();
+        rows.push((version, out, hourly_busy));
+    }
+
+    println!("hour-by-hour active servers (deferral shifts load in time):");
+    print!("{:<12}", "hour");
+    for h in 0..24 {
+        print!("{h:>4}");
+    }
+    println!();
+    for (version, _, hourly) in &rows {
+        print!("{:<12}", version.name());
+        for v in hourly {
+            print!("{v:>4}");
+        }
+        println!();
+    }
+
+    println!(
+        "\n{:<12} {:>12} {:>12} {:>14} {:>12}",
+        "version", "worst range", "cooling kWh", "late starts", "completed"
+    );
+    for (version, out, _) in &rows {
+        println!(
+            "{:<12} {:>11.1}° {:>12.2} {:>14} {:>12}",
+            version.name(),
+            out.record.worst_range(),
+            out.record.cooling_kwh,
+            "-", // per-day late starts are tracked by the cluster across days
+            out.record.jobs_completed,
+        );
+    }
+    println!("\n§5.2 expectation: Energy-DEF trades wider temperature ranges for cooling");
+    println!("energy; All-DEF stays close to All-ND (it skips scheduling on hard days).");
+}

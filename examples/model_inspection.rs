@@ -1,0 +1,59 @@
+//! Inspect what the Cooling Modeler learned: per-regime model inventory,
+//! the fan power law recovered by M5P, the recirculation ranking, and
+//! held-out prediction accuracy.
+//!
+//! ```sh
+//! cargo run --release --example model_inspection
+//! ```
+
+use coolair::{train_cooling_model, TrainingConfig};
+use coolair_sim::model_error_cdfs;
+use coolair_thermal::{cooling_power, CoolingRegime, Infrastructure, ModelKey, RegimeClass};
+use coolair_units::FanSpeed;
+use coolair_weather::{Location, TmySeries};
+
+fn main() {
+    let location = Location::newark();
+    let tmy = TmySeries::generate(&location, 42);
+    eprintln!("running the 45-day data-collection campaign…");
+    let model = train_cooling_model(&tmy, &TrainingConfig::default());
+
+    println!("=== learned model inventory ===");
+    let mut keys: Vec<ModelKey> = model.keys().collect();
+    keys.sort_by_key(|k| format!("{k}"));
+    for key in keys {
+        let m = model.models_for(key).expect("listed key");
+        println!("{key:>28}: {} training rows", m.samples);
+    }
+
+    println!("\n=== recirculation ranking (most recirculation-prone first) ===");
+    println!("{:?}", model.recirc_ranking());
+
+    println!("\n=== learned fan power law vs ground truth (M5P over fan speed) ===");
+    println!("{:>6} {:>12} {:>12}", "fan%", "learned W", "true W");
+    for pct in [15.0, 25.0, 40.0, 60.0, 80.0, 100.0] {
+        let learned = model.predict_power(RegimeClass::FreeCooling, pct / 100.0, 0.0);
+        let truth = cooling_power(
+            CoolingRegime::free_cooling(FanSpeed::from_percent(pct).expect("static")),
+            Infrastructure::Parasol,
+        );
+        println!("{pct:>6.0} {learned:>12.1} {:>12.1}", truth.value());
+    }
+
+    println!("\n=== held-out accuracy (two days outside the training window) ===");
+    let report = model_error_cdfs(&model, &tmy, &[120, 170], 3);
+    println!(
+        "2-min predictions:  {:.1}% within 1°C (median {:.2}°C)",
+        report.two_min.fraction_within(1.0) * 100.0,
+        report.two_min.median()
+    );
+    println!(
+        "10-min predictions: {:.1}% within 1°C (median {:.2}°C)",
+        report.ten_min.fraction_within(1.0) * 100.0,
+        report.ten_min.median()
+    );
+    println!(
+        "humidity:           {:.1}% within 5%RH",
+        report.humidity.fraction_within(5.0) * 100.0
+    );
+}

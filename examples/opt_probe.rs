@@ -1,0 +1,53 @@
+//! Diagnostic: evaluate every candidate regime at a given plant state.
+
+use coolair::manager::band::TempBand;
+use coolair::manager::predictor::predict_regime;
+use coolair::manager::utility::utility_penalty;
+use coolair::{CoolAirConfig, Version};
+use coolair_sim::{train_for_location, AnnualConfig};
+use coolair_thermal::{CoolingRegime, Infrastructure, SensorReadings};
+use coolair_units::{psychro, Celsius, RelativeHumidity, SimTime, Watts};
+use coolair_weather::Location;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let t_in: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(40.0);
+    let t_out: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3.0);
+
+    let location = Location::santiago();
+    let model = train_for_location(&location, &AnnualConfig::default());
+    let cfg = CoolAirConfig::default();
+    let profile = Version::Energy.utility(&cfg);
+
+    let temp = Celsius::new(t_in);
+    let out = Celsius::new(t_out);
+    let r = SensorReadings {
+        time: SimTime::EPOCH,
+        outside_temp: out,
+        outside_rh: RelativeHumidity::new(60.0),
+        outside_abs: psychro::absolute_humidity(out, RelativeHumidity::new(60.0)),
+        pod_inlets: vec![temp; 4],
+        cold_aisle_rh: RelativeHumidity::new(10.0),
+        cold_aisle_abs: psychro::absolute_humidity(temp, RelativeHumidity::new(10.0)),
+        hot_aisle: Celsius::new(t_in + 10.0),
+        disk_temps: vec![Celsius::new(t_in + 10.0); 4],
+        regime: CoolingRegime::Closed,
+        cooling_power: Watts::ZERO,
+        it_power: Watts::new(1500.0),
+        active_fraction: 1.0,
+    };
+    let band = TempBand::new(Celsius::new(13.5), Celsius::new(18.5));
+    let _ = band;
+    println!("state: in={t_in} out={t_out} util=1.0 (Energy profile, MaxOnly)");
+    for c in Infrastructure::Smooth.candidate_regimes() {
+        let p = predict_regime(&model, &cfg, &r, None, c, Infrastructure::Smooth);
+        let pen = utility_penalty(&profile, &cfg, None, &p, &[true; 4], c);
+        println!(
+            "{c:>8}: pen={pen:8.2} final={:6.2} max={:6.2} delta={:5.2} e={:.3}",
+            p.final_temps[0].value(),
+            p.max_temps[0].value(),
+            p.deltas[0],
+            p.energy_kwh
+        );
+    }
+}

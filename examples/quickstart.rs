@@ -1,0 +1,67 @@
+//! Quickstart: train a Cooling Model, run the baseline and CoolAir All-ND
+//! for a (sub-sampled) year in Newark, and compare the headline metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use coolair::Version;
+use coolair_sim::{run_annual, run_annual_with_model, AnnualConfig, SystemSpec};
+use coolair_weather::Location;
+use coolair_workload::TraceKind;
+
+fn main() {
+    let location = Location::newark();
+    let cfg = AnnualConfig::default();
+
+    println!("Training the Cooling Model on 45 days of Parasol monitoring data…");
+    let model = coolair_sim::train_for_location(&location, &cfg);
+    println!(
+        "Learned models for {} regimes/transitions; recirculation ranking: {:?}\n",
+        model.keys().count(),
+        model.recirc_ranking()
+    );
+
+    println!("Simulating one year (first day of each week) in {}…", location.name());
+    let baseline = run_annual(&SystemSpec::Baseline, &location, TraceKind::Facebook, &cfg);
+    let coolair = run_annual_with_model(
+        &SystemSpec::CoolAir(Version::AllNd),
+        &location,
+        TraceKind::Facebook,
+        &cfg,
+        Some(model),
+    );
+
+    println!("{:<22} {:>10} {:>10}", "metric", "Baseline", "All-ND");
+    println!(
+        "{:<22} {:>10.2} {:>10.2}",
+        "avg worst range (°C)",
+        baseline.avg_worst_range(),
+        coolair.avg_worst_range()
+    );
+    println!(
+        "{:<22} {:>10.2} {:>10.2}",
+        "max worst range (°C)",
+        baseline.max_worst_range(),
+        coolair.max_worst_range()
+    );
+    println!(
+        "{:<22} {:>10.3} {:>10.3}",
+        "avg violation (°C)",
+        baseline.avg_violation(),
+        coolair.avg_violation()
+    );
+    println!("{:<22} {:>10.3} {:>10.3}", "PUE", baseline.pue(), coolair.pue());
+    println!(
+        "{:<22} {:>10.1} {:>10.1}",
+        "cooling kWh (52 days)",
+        baseline.cooling_kwh(),
+        coolair.cooling_kwh()
+    );
+    println!(
+        "{:<22} {:>10.1} {:>10.1}",
+        "IT kWh (52 days)",
+        baseline.it_kwh(),
+        coolair.it_kwh()
+    );
+}

@@ -1,0 +1,70 @@
+//! Site-selection study: how much does CoolAir change the free-cooling
+//! calculus at candidate datacenter sites?
+//!
+//! The paper's motivation: "for latency reasons or other restrictions on
+//! siting… it may be desirable to build free-cooled datacenters at such
+//! locations" — locations with hot or highly variable outside temperatures.
+//! This example evaluates an eleven-site shortlist (the paper's five study
+//! locations plus six more world cities) and reports, for each, the
+//! baseline's exposure (violations, daily ranges, PUE) and what All-ND buys.
+//!
+//! ```sh
+//! cargo run --release --example site_selection
+//! ```
+
+use coolair::Version;
+use coolair_sim::{run_annual, run_annual_with_model, train_for_location, AnnualConfig, SystemSpec};
+use coolair_weather::Location;
+use coolair_workload::TraceKind;
+
+fn main() {
+    // A fast year (bi-weekly sampling) keeps the example interactive.
+    let cfg = AnnualConfig { stride: 14, ..AnnualConfig::default() };
+
+    let candidates = Location::extended_set();
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} | {:>10}",
+        "site", "b.viol", "b.maxR", "b.PUE", "c.viol", "c.maxR", "c.PUE", "verdict"
+    );
+
+    for site in candidates {
+        eprintln!("evaluating {}…", site.name());
+        let baseline = run_annual(&SystemSpec::Baseline, &site, TraceKind::Facebook, &cfg);
+        let model = train_for_location(&site, &cfg);
+        let coolair = run_annual_with_model(
+            &SystemSpec::CoolAir(Version::AllNd),
+            &site,
+            TraceKind::Facebook,
+            &cfg,
+            Some(model),
+        );
+
+        // A simple site score: a free-cooled datacenter is viable when
+        // CoolAir keeps violations negligible, halves exposure to daily
+        // swings where they are large, and keeps PUE within budget.
+        let verdict = if coolair.avg_violation() > 0.5 {
+            "too hot"
+        } else if coolair.pue() > 1.35 {
+            "chiller-bound"
+        } else if baseline.max_worst_range() - coolair.max_worst_range() > 4.0 {
+            "CoolAir win"
+        } else {
+            "viable"
+        };
+
+        println!(
+            "{:<12} {:>8.2} {:>8.1} {:>8.3} | {:>8.2} {:>8.1} {:>8.3} | {:>10}",
+            site.name(),
+            baseline.avg_violation(),
+            baseline.max_worst_range(),
+            baseline.pue(),
+            coolair.avg_violation(),
+            coolair.max_worst_range(),
+            coolair.pue(),
+            verdict
+        );
+    }
+
+    println!("\nColumns: b.* = baseline (extended TKS), c.* = CoolAir All-ND;");
+    println!("viol = avg °C above 30°C per reading; maxR = worst daily range over the year.");
+}

@@ -1,0 +1,23 @@
+//! Umbrella crate for the CoolAir reproduction workspace.
+//!
+//! This crate hosts the workspace-level integration tests (`tests/`) and the
+//! runnable examples (`examples/`). It re-exports the member crates under
+//! short names so examples and tests can write `coolair_suite::sim::...`.
+//!
+//! The interesting code lives in the member crates:
+//!
+//! - [`units`] — typed physical quantities and psychrometrics
+//! - [`weather`] — synthetic TMY weather, climate archetypes, forecasts
+//! - [`ml`] — regression substrate (OLS, LMS, M5P model trees)
+//! - [`thermal`] — the Parasol container plant, cooling regimes, TKS controller
+//! - [`workload`] — Hadoop-like cluster simulator and trace generators
+//! - [`core`] — CoolAir itself (modeler, cooling manager, compute manager)
+//! - [`sim`] — Real-Sim / Smooth-Sim engines, metrics, annual & world sweeps
+
+pub use coolair as core;
+pub use coolair_ml as ml;
+pub use coolair_sim as sim;
+pub use coolair_thermal as thermal;
+pub use coolair_units as units;
+pub use coolair_weather as weather;
+pub use coolair_workload as workload;

@@ -1,0 +1,138 @@
+//! End-to-end closed-loop tests: controllers against the physics plant via
+//! the simulation engine.
+
+use coolair_suite::core::{CoolAir, CoolAirConfig, Version};
+use coolair_suite::sim::{
+    train_for_location, AnnualConfig, SimConfig, SimController, Simulation,
+};
+use coolair_suite::thermal::{Infrastructure, PlantConfig, TksConfig, TksController};
+use coolair_suite::weather::{Forecaster, Location, TmySeries};
+use coolair_suite::workload::{facebook_trace, Cluster, ClusterConfig};
+
+fn coolair_sim(version: Version, location: &Location, deferrable: bool) -> Simulation {
+    let cfg = AnnualConfig::quick();
+    let tmy = TmySeries::generate(location, cfg.weather_seed);
+    let model = train_for_location(location, &cfg);
+    let _ = deferrable;
+    Simulation::new(
+        SimController::CoolAir(Box::new(CoolAir::new(
+            version,
+            CoolAirConfig::default(),
+            model,
+            Forecaster::perfect(tmy.clone()),
+            Infrastructure::Smooth,
+        ))),
+        PlantConfig::smooth(),
+        Cluster::new(ClusterConfig::parasol()),
+        tmy,
+        SimConfig { record_minutes: true, ..SimConfig::default() },
+    )
+}
+
+#[test]
+fn allnd_holds_band_on_a_mild_day() {
+    let mut sim = coolair_sim(Version::AllNd, &Location::santiago(), false);
+    let trace = facebook_trace(1);
+    let out = sim.run_day(100, trace.jobs_for_day(100));
+    // The overwhelming majority of minutes stay within ±2 °C of the band.
+    let in_band = out
+        .minutes
+        .iter()
+        .filter(|m| {
+            let Some((lo, hi)) = m.band else { return true };
+            m.max_inlet <= hi + 2.0 && m.min_inlet >= lo - 3.0
+        })
+        .count();
+    assert!(
+        in_band as f64 / out.minutes.len() as f64 > 0.8,
+        "only {}/{} minutes near the band",
+        in_band,
+        out.minutes.len()
+    );
+    assert!(out.record.worst_range() < 12.0, "range {}", out.record.worst_range());
+}
+
+#[test]
+fn allnd_beats_baseline_variation_on_a_winter_day() {
+    let location = Location::newark();
+    let trace = facebook_trace(1);
+    let day = 21; // late January
+
+    let cfg = AnnualConfig::quick();
+    let tmy = TmySeries::generate(&location, cfg.weather_seed);
+    let mut baseline = Simulation::new(
+        SimController::Baseline(TksController::new(TksConfig::baseline())),
+        PlantConfig::smooth(),
+        Cluster::new(ClusterConfig::parasol()),
+        tmy,
+        SimConfig::default(),
+    );
+    let base_out = baseline.run_day(day, trace.jobs_for_day(day));
+
+    let mut coolair = coolair_sim(Version::AllNd, &location, false);
+    let cool_out = coolair.run_day(day, trace.jobs_for_day(day));
+
+    assert!(
+        cool_out.record.worst_range() < base_out.record.worst_range(),
+        "All-ND range {:.1} not below baseline {:.1}",
+        cool_out.record.worst_range(),
+        base_out.record.worst_range()
+    );
+}
+
+#[test]
+fn deferrable_jobs_meet_deadlines_under_energy_def() {
+    let location = Location::newark();
+    let cfg = AnnualConfig::quick();
+    let tmy = TmySeries::generate(&location, cfg.weather_seed);
+    let model = train_for_location(&location, &cfg);
+    let mut sim = Simulation::new(
+        SimController::CoolAir(Box::new(CoolAir::new(
+            Version::EnergyDef,
+            CoolAirConfig::default(),
+            model,
+            Forecaster::perfect(tmy.clone()),
+            Infrastructure::Smooth,
+        ))),
+        PlantConfig::smooth(),
+        Cluster::new(ClusterConfig::parasol()),
+        tmy,
+        SimConfig::default(),
+    );
+    let trace = facebook_trace(2).with_deadlines(coolair_suite::units::SimDuration::from_hours(6));
+    let out = sim.run_day(200, trace.jobs_for_day(200));
+    assert_eq!(sim.cluster().deadline_violations(), 0);
+    // Work still gets done.
+    assert!(out.record.jobs_completed > 1000, "completed {}", out.record.jobs_completed);
+}
+
+#[test]
+fn hot_climate_uses_ac_but_still_bounds_temperature() {
+    let mut sim = coolair_sim(Version::AllNd, &Location::singapore(), false);
+    let trace = facebook_trace(1);
+    let out = sim.run_day(150, trace.jobs_for_day(150));
+    assert!(out.record.cooling_kwh > 1.0, "Singapore needs cooling energy");
+    assert!(
+        out.record.avg_violation() < 1.5,
+        "violations {:.2}",
+        out.record.avg_violation()
+    );
+    // Humidity limit largely respected.
+    assert!(
+        out.record.rh_violation_fraction < 0.4,
+        "RH violations {:.2}",
+        out.record.rh_violation_fraction
+    );
+}
+
+#[test]
+fn rate_limit_mostly_respected_by_smooth_coolair() {
+    let mut sim = coolair_sim(Version::AllNd, &Location::newark(), false);
+    let trace = facebook_trace(1);
+    let out = sim.run_day(250, trace.jobs_for_day(250));
+    assert!(
+        out.record.max_rate_c_per_hour < 30.0,
+        "max observed rate {:.1} °C/h",
+        out.record.max_rate_c_per_hour
+    );
+}

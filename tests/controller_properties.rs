@@ -1,0 +1,98 @@
+//! Property-based tests for the controllers: whatever the sensors say, the
+//! commands must be realisable and safe.
+
+use coolair_suite::core::manager::ParasolConfigurer;
+use coolair_suite::thermal::{
+    CoolingRegime, Infrastructure, SensorReadings, TksConfig, TksController,
+};
+use coolair_suite::units::{
+    psychro, AbsoluteHumidity, Celsius, FanSpeed, RelativeHumidity, SimTime, Watts,
+};
+use proptest::prelude::*;
+
+fn readings(inlets: [f64; 4], outside: f64, rh: f64) -> SensorReadings {
+    let out = Celsius::new(outside);
+    let mean = inlets.iter().sum::<f64>() / 4.0;
+    SensorReadings {
+        time: SimTime::EPOCH,
+        outside_temp: out,
+        outside_rh: RelativeHumidity::new(60.0),
+        outside_abs: psychro::absolute_humidity(out, RelativeHumidity::new(60.0)),
+        pod_inlets: inlets.iter().map(|&t| Celsius::new(t)).collect(),
+        cold_aisle_rh: RelativeHumidity::new(rh),
+        cold_aisle_abs: psychro::absolute_humidity(
+            Celsius::new(mean),
+            RelativeHumidity::new(rh),
+        ),
+        hot_aisle: Celsius::new(mean + 6.0),
+        disk_temps: inlets.iter().map(|&t| Celsius::new(t + 9.0)).collect(),
+        regime: CoolingRegime::Closed,
+        cooling_power: Watts::ZERO,
+        it_power: Watts::new(800.0),
+        active_fraction: 0.5,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The TKS always returns a regime realisable on Parasol, and engages
+    /// the AC only in HOT mode or under the humidity override.
+    #[test]
+    fn tks_always_realisable(
+        inlet in -5.0..45.0f64,
+        spread in 0.0..4.0f64,
+        outside in -30.0..48.0f64,
+        rh in 5.0..100.0f64,
+        steps in 1usize..20,
+    ) {
+        let mut tks = TksController::new(TksConfig::baseline());
+        let inlets = [inlet, inlet + spread, inlet - spread * 0.5, inlet + spread * 0.3];
+        for _ in 0..steps {
+            let regime = tks.decide(&readings(inlets, outside, rh));
+            prop_assert_eq!(regime, Infrastructure::Parasol.sanitize(regime));
+            if let CoolingRegime::FreeCooling { fan } = regime {
+                prop_assert!(fan >= FanSpeed::PARASOL_MIN);
+            }
+        }
+    }
+
+    /// Sustained cold interiors never run the compressor (no heating by
+    /// accident), regardless of humidity.
+    #[test]
+    fn tks_never_compresses_when_cold(
+        inlet in 0.0..20.0f64,
+        outside in -30.0..20.0f64,
+        rh in 5.0..75.0f64,
+    ) {
+        let mut tks = TksController::new(TksConfig::baseline());
+        for _ in 0..5 {
+            let regime = tks.decide(&readings([inlet; 4], outside, rh));
+            prop_assert_eq!(regime.compressor(), 0.0, "compressor at inlet {}", inlet);
+        }
+    }
+
+    /// The Parasol Cooling Configurer's setpoint manipulation always yields
+    /// a regime of the class CoolAir asked for, across the operating
+    /// envelope where that class is reachable.
+    #[test]
+    fn configurer_reaches_requested_class(
+        inlet in 10.0..38.0f64,
+        cold_outside in -20.0..20.0f64,
+        hot_outside in 30.0..45.0f64,
+    ) {
+        let mut c = ParasolConfigurer::new(TksController::new(TksConfig::factory()));
+        // Closed is reachable whenever LOT mode holds (cold outside).
+        let got = c.apply(CoolingRegime::Closed, &readings([inlet; 4], cold_outside, 40.0));
+        prop_assert_eq!(got.class(), CoolingRegime::Closed.class());
+        // Free cooling is reachable when inside is warmer than outside.
+        if inlet > cold_outside + 3.0 {
+            let want = CoolingRegime::free_cooling(FanSpeed::PARASOL_MIN);
+            let got = c.apply(want, &readings([inlet; 4], cold_outside, 40.0));
+            prop_assert_eq!(got.class(), want.class());
+        }
+        // AC is reachable when it is hot outside.
+        let got = c.apply(CoolingRegime::ac_on(), &readings([inlet.max(26.0); 4], hot_outside, 40.0));
+        prop_assert_eq!(got.class(), CoolingRegime::ac_on().class());
+    }
+}
