@@ -1,0 +1,136 @@
+//! Extension experiment: resilience under sensor, actuator, and forecast
+//! faults.
+//!
+//! The paper assumes healthy instrumentation; this experiment asks what
+//! happens when that assumption breaks. It runs Baseline (reactive TKS),
+//! unsupervised All-ND, and All-ND wrapped in the degraded-mode supervisor
+//! through a Newark year while a seeded [`coolair_sim::FaultPlan`] injects
+//! faults at escalating rates, then compares temperature violations (°C·min
+//! above 30 °C), PUE, and time spent in degraded modes.
+//!
+//! Expected shape: at severity 0 no fault minutes accrue and the supervisor
+//! only ever acts through its genuine-overtemp failsafe (so it can only
+//! lower the violation count); as faults escalate, unsupervised All-ND
+//! degrades because its optimizer trusts corrupted inputs, while the
+//! supervised stack contains the damage at a modest energy premium.
+
+use coolair::Version;
+use coolair_bench::{cached, check, print_table};
+use coolair_sim::{
+    run_annual_with_model, train_for_location, AnnualConfig, AnnualSummary, FaultPlan, FaultRates,
+    SystemSpec,
+};
+use coolair_weather::Location;
+use coolair_workload::TraceKind;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Fault-plan seed: fixed so every run of the bench injects the same year
+/// of faults into every system.
+const FAULT_SEED: u64 = 4242;
+/// Escalating severity multipliers applied to [`FaultRates::default`].
+const SEVERITIES: [f64; 5] = [0.0, 0.5, 1.0, 2.0, 4.0];
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct FaultGrid {
+    /// `system name -> severity string -> summary`.
+    cells: HashMap<String, HashMap<String, AnnualSummary>>,
+}
+
+fn severity_key(s: f64) -> String {
+    format!("{s:.1}")
+}
+
+fn compute() -> FaultGrid {
+    let location = Location::newark();
+    let cfg = AnnualConfig { stride: 30, ..AnnualConfig::default() };
+    let model = train_for_location(&location, &cfg);
+    let systems = [
+        SystemSpec::Baseline,
+        SystemSpec::CoolAir(Version::AllNd),
+        SystemSpec::Supervised(Version::AllNd),
+    ];
+    let mut cells: HashMap<String, HashMap<String, AnnualSummary>> = HashMap::new();
+    for severity in SEVERITIES {
+        let rates = FaultRates::scaled(severity);
+        let plan = FaultPlan::random(FAULT_SEED, &rates, &cfg.sampled_days(), 4);
+        let cfg = AnnualConfig { faults: plan, ..cfg.clone() };
+        for system in &systems {
+            eprintln!("[faults] {} @ severity {severity}", system.name());
+            let needs_model = !matches!(system, SystemSpec::Baseline);
+            let m = needs_model.then(|| model.clone());
+            let summary = run_annual_with_model(system, &location, TraceKind::Facebook, &cfg, m);
+            cells
+                .entry(system.name())
+                .or_default()
+                .insert(severity_key(severity), summary);
+        }
+    }
+    FaultGrid { cells }
+}
+
+fn main() {
+    let grid = cached("ext_faults_newark", compute);
+    let systems: Vec<String> = ["Baseline", "All-ND", "All-ND+SV"].map(String::from).into();
+    let severities: Vec<String> = SEVERITIES.map(severity_key).into();
+    let get = |s: &str, sev: &str| &grid.cells[s][sev];
+
+    print_table(
+        "Extension: temperature violation (°C·min above 30 °C) vs fault severity",
+        &systems,
+        &severities,
+        |s, sev| format!("{:.0}", get(s, sev).total_violation()),
+    );
+    print_table("PUE", &systems, &severities, |s, sev| format!("{:.3}", get(s, sev).pue()));
+    print_table("Minutes with a fault active", &systems, &severities, |s, sev| {
+        format!("{}", get(s, sev).fault_minutes())
+    });
+    print_table("Minutes in a degraded supervisor mode", &systems, &severities, |s, sev| {
+        format!("{}", get(s, sev).degraded_minutes())
+    });
+    print_table("Minutes with the hard failsafe engaged", &systems, &severities, |s, sev| {
+        format!("{}", get(s, sev).failsafe_minutes())
+    });
+
+    println!("\nChecks:");
+    let zero = severity_key(0.0);
+    check(
+        "severity 0: no fault minutes are charged to any system",
+        systems.iter().all(|s| get(s, &zero).fault_minutes() == 0),
+        "",
+    );
+    // With zero faults the supervisor's only interventions are its hard
+    // failsafe on genuine overtemps (a Newark year includes summer days the
+    // optimizer lets past 32 °C), so it must never *add* violations.
+    check(
+        "severity 0: supervision never adds violations",
+        get("All-ND+SV", &zero).total_violation() <= get("All-ND", &zero).total_violation(),
+        &format!(
+            "{:.0} vs {:.0} °C·min",
+            get("All-ND+SV", &zero).total_violation(),
+            get("All-ND", &zero).total_violation()
+        ),
+    );
+    let faulted: Vec<&String> = severities.iter().filter(|s| *s != &zero).collect();
+    let wins = faulted
+        .iter()
+        .filter(|sev| {
+            get("All-ND+SV", sev).total_violation() < get("All-ND", sev).total_violation()
+        })
+        .count();
+    check(
+        "under faults, supervised All-ND has strictly fewer °C·min violations",
+        wins == faulted.len(),
+        &format!("{wins}/{} severities", faulted.len()),
+    );
+    let sv_total: f64 =
+        faulted.iter().map(|sev| get("All-ND+SV", sev).total_violation()).sum();
+    let nd_total: f64 = faulted.iter().map(|sev| get("All-ND", sev).total_violation()).sum();
+    check(
+        "aggregate violations across severities are lower with supervision",
+        sv_total < nd_total,
+        &format!("{sv_total:.0} vs {nd_total:.0} °C·min"),
+    );
+    let engaged = faulted.iter().any(|sev| get("All-ND+SV", sev).degraded_minutes() > 0);
+    check("the supervisor actually degrades under injected faults", engaged, "");
+}

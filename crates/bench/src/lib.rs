@@ -21,7 +21,7 @@ use parking_lot::Mutex;
 use serde::{de::DeserializeOwned, Deserialize, Serialize};
 
 /// Bump to invalidate all cached experiment results.
-pub const CACHE_VERSION: u32 = 1;
+pub const CACHE_VERSION: u32 = 2;
 
 /// Directory where experiment artifacts are cached.
 #[must_use]
@@ -78,7 +78,10 @@ pub fn run_grid(
         .collect();
     let results = parallel_map(&jobs, |(system, location)| {
         eprintln!("[grid] {} @ {}", system.name(), location.name());
-        let needs_model = matches!(system, SystemSpec::CoolAir(_) | SystemSpec::CoolAirWith(..));
+        let needs_model = matches!(
+            system,
+            SystemSpec::CoolAir(_) | SystemSpec::CoolAirWith(..) | SystemSpec::Supervised(_)
+        );
         let model = if needs_model {
             Some(models[location.name()].clone())
         } else {

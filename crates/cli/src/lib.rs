@@ -12,7 +12,7 @@ use std::fmt::Write as _;
 use coolair::{train_cooling_model, CoolingModel, TrainingConfig, Version};
 use coolair_sim::{
     disk_reliability, model_error_cdfs, run_annual_with_model, sweep_one, train_for_location,
-    AnnualConfig, ReliabilityParams, SystemSpec,
+    AnnualConfig, FaultPlan, FaultRates, ReliabilityParams, SystemSpec,
 };
 use coolair_weather::{Location, TmySeries, WorldGrid};
 use coolair_workload::TraceKind;
@@ -45,13 +45,21 @@ pub fn parse_location(name: &str) -> Result<Location, CliError> {
     }
 }
 
-/// Parses a system name.
+/// Parses a system name. A `+sv` suffix (e.g. `allnd+sv`) wraps the CoolAir
+/// version in the degraded-mode supervisor.
 ///
 /// # Errors
 ///
 /// Returns an error listing the known systems when `name` is unknown.
 pub fn parse_system(name: &str) -> Result<SystemSpec, CliError> {
-    match name.to_ascii_lowercase().as_str() {
+    let lower = name.to_ascii_lowercase();
+    if let Some(base) = lower.strip_suffix("+sv") {
+        return match parse_system(base)? {
+            SystemSpec::CoolAir(v) => Ok(SystemSpec::Supervised(v)),
+            _ => Err(format!("'{name}': only CoolAir versions can be supervised")),
+        };
+    }
+    match lower.as_str() {
         "baseline" => Ok(SystemSpec::Baseline),
         "temperature" => Ok(SystemSpec::CoolAir(Version::Temperature)),
         "variation" => Ok(SystemSpec::CoolAir(Version::Variation)),
@@ -60,7 +68,7 @@ pub fn parse_system(name: &str) -> Result<SystemSpec, CliError> {
         "alldef" | "all-def" => Ok(SystemSpec::CoolAir(Version::AllDef)),
         "energydef" | "energy-def" => Ok(SystemSpec::CoolAir(Version::EnergyDef)),
         other => Err(format!(
-            "unknown system '{other}' (known: baseline, temperature, variation, energy, allnd, alldef, energydef)"
+            "unknown system '{other}' (known: baseline, temperature, variation, energy, allnd, alldef, energydef; append +sv for the supervised variant)"
         )),
     }
 }
@@ -149,7 +157,7 @@ pub fn cmd_annual(
     let system = parse_system(system)?;
     let trace = parse_trace(trace)?;
     let mut cfg = AnnualConfig { stride: stride.max(1), ..AnnualConfig::default() };
-    if let SystemSpec::CoolAir(v) = &system {
+    if let SystemSpec::CoolAir(v) | SystemSpec::Supervised(v) = &system {
         cfg.deferrable = v.is_deferrable();
     }
     let model = match (&system, model_path) {
@@ -186,6 +194,62 @@ pub fn cmd_annual(
         reliability.arrhenius_factor,
         reliability.variation_factor
     );
+    if matches!(system, SystemSpec::Supervised(_)) {
+        let _ = writeln!(
+            out,
+            "  supervisor           {:>8} min degraded / {} min failsafe / {} transitions",
+            summary.degraded_minutes(),
+            summary.failsafe_minutes(),
+            summary.fallback_transitions()
+        );
+    }
+    Ok(out)
+}
+
+/// `coolair faults` — the resilience experiment: Baseline vs All-ND vs
+/// supervised All-ND under a seeded fault plan at one severity.
+///
+/// # Errors
+///
+/// Propagates parsing errors.
+pub fn cmd_faults(location: &str, seed: u64, severity: f64, stride: u64) -> Result<String, CliError> {
+    let location = parse_location(location)?;
+    let cfg = AnnualConfig { stride: stride.max(1), ..AnnualConfig::default() };
+    let plan = FaultPlan::random(seed, &FaultRates::scaled(severity), &cfg.sampled_days(), 4);
+    let windows = plan.windows().len();
+    let cfg = AnnualConfig { faults: plan, ..cfg };
+    let model = train_for_location(&location, &cfg);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fault drill @ {} (seed {seed}, severity {severity}, {windows} fault windows, {} sampled days)",
+        location.name(),
+        cfg.sampled_days().len()
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>14} {:>8} {:>12} {:>12} {:>12}",
+        "system", "violation", "PUE", "fault min", "degraded min", "failsafe min"
+    );
+    for system in [
+        SystemSpec::Baseline,
+        SystemSpec::CoolAir(Version::AllNd),
+        SystemSpec::Supervised(Version::AllNd),
+    ] {
+        let m = (!matches!(system, SystemSpec::Baseline)).then(|| model.clone());
+        let s = run_annual_with_model(&system, &location, TraceKind::Facebook, &cfg, m);
+        let _ = writeln!(
+            out,
+            "{:<12} {:>10.0} °C·min {:>8.3} {:>12} {:>12} {:>12}",
+            system.name(),
+            s.total_violation(),
+            s.pue(),
+            s.fault_minutes(),
+            s.degraded_minutes(),
+            s.failsafe_minutes()
+        );
+    }
     Ok(out)
 }
 
@@ -258,8 +322,10 @@ USAGE:
                      [--stride N] [--model <model.json>]
     coolair validate --location <name> [--model <model.json>]
     coolair compare  --location <name> [--stride N]
+    coolair faults   --location <name> [--seed N] [--severity X] [--stride N]
 
 SYSTEMS: baseline, temperature, variation, energy, allnd, alldef, energydef
+         (append +sv for the supervised variant, e.g. allnd+sv)
 LOCATIONS: newark, chad, santiago, iceland, singapore
 "
     .to_string()
@@ -307,6 +373,14 @@ mod tests {
     }
 
     #[test]
+    fn supervised_system_parsing() {
+        assert_eq!(parse_system("allnd+sv").unwrap().name(), "All-ND+SV");
+        assert_eq!(parse_system("Variation+SV").unwrap().name(), "Variation+SV");
+        assert!(parse_system("baseline+sv").is_err(), "only CoolAir versions are supervisable");
+        assert!(parse_system("turbo+sv").is_err());
+    }
+
+    #[test]
     fn flag_parsing() {
         let args: Vec<String> =
             ["--location", "newark", "--days", "8"].iter().map(|s| s.to_string()).collect();
@@ -341,7 +415,7 @@ mod tests {
     #[test]
     fn usage_names_all_commands() {
         let u = usage();
-        for cmd in ["locations", "train", "annual", "validate", "compare"] {
+        for cmd in ["locations", "train", "annual", "validate", "compare", "faults"] {
             assert!(u.contains(cmd));
         }
     }

@@ -3,7 +3,8 @@
 use std::process::ExitCode;
 
 use coolair_cli::{
-    cmd_annual, cmd_compare, cmd_locations, cmd_train, cmd_validate, parse_flags, usage,
+    cmd_annual, cmd_compare, cmd_faults, cmd_locations, cmd_train, cmd_validate, parse_flags,
+    usage,
 };
 
 fn main() -> ExitCode {
@@ -43,6 +44,19 @@ fn main() -> ExitCode {
                 s.parse::<u64>().map_err(|e| format!("--stride: {e}"))
             })?;
             cmd_compare(&location, stride)
+        }),
+        "faults" => parse_flags(rest).and_then(|f| {
+            let location = f.get("location").cloned().unwrap_or_else(|| "newark".into());
+            let seed = f.get("seed").map_or(Ok(4242), |s| {
+                s.parse::<u64>().map_err(|e| format!("--seed: {e}"))
+            })?;
+            let severity = f.get("severity").map_or(Ok(1.0), |s| {
+                s.parse::<f64>().map_err(|e| format!("--severity: {e}"))
+            })?;
+            let stride = f.get("stride").map_or(Ok(30), |s| {
+                s.parse::<u64>().map_err(|e| format!("--stride: {e}"))
+            })?;
+            cmd_faults(&location, seed, severity, stride)
         }),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command '{other}'\n\n{}", usage())),

@@ -124,8 +124,22 @@ impl CoolAir {
 
     /// Selects the cooling regime for the next control period.
     pub fn decide_cooling(&mut self, readings: &SensorReadings, now: SimTime) -> Decision {
+        self.decide_cooling_with_band(readings, now, None)
+    }
+
+    /// Like [`CoolAir::decide_cooling`], but with the daily band replaced
+    /// by `band_override` when given — the hook the degraded-mode
+    /// supervisor uses to impose conservative setpoints without retraining
+    /// or reconfiguring the instance. `None` reproduces `decide_cooling`
+    /// exactly.
+    pub fn decide_cooling_with_band(
+        &mut self,
+        readings: &SensorReadings,
+        now: SimTime,
+        band_override: Option<TempBand>,
+    ) -> Decision {
         self.ensure_band(now);
-        let band = self.band.map(|(b, _)| b);
+        let band = band_override.or(self.band.map(|(b, _)| b));
         let prev = match (&self.last_reading, &self.prev_reading) {
             // If the freshest observation is the same snapshot we were just
             // handed, use the one before it as "previous".

@@ -57,4 +57,7 @@ pub use compute::{Placement, TemporalPolicy};
 pub use config::{BandPolicy, CoolAirConfig, UtilityProfile, Version};
 pub use coolair::CoolAir;
 pub use manager::band::TempBand;
+pub use manager::supervisor::{
+    SupervisedCoolAir, SupervisorConfig, SupervisorMode, SupervisorTelemetry,
+};
 pub use modeler::{train_cooling_model, CoolingModel, TrainingConfig};

@@ -5,10 +5,12 @@ pub mod band;
 pub mod configurer;
 pub mod optimizer;
 pub mod predictor;
+pub mod supervisor;
 pub mod utility;
 
 pub use band::TempBand;
 pub use configurer::ParasolConfigurer;
 pub use optimizer::{CoolingOptimizer, Decision};
 pub use predictor::{predict_regime, Prediction};
+pub use supervisor::{SupervisedCoolAir, SupervisorConfig, SupervisorMode, SupervisorTelemetry};
 pub use utility::utility_penalty;

@@ -139,7 +139,17 @@ fn predict_single(
             let predicted = model.predict_temp(key, PodId(p), &x);
             // Clamp pathological extrapolations to a sane envelope around
             // the current state (the model is linear; keep it honest).
-            next[p] = predicted.clamp(t_now[p] - 12.0, t_now[p] + 12.0);
+            let mut bounded = predicted.clamp(t_now[p] - 12.0, t_now[p] + 12.0);
+            // Without a compressor the only heat sink is outside air, so an
+            // inlet cannot drop below the warmer of nothing: its floor is
+            // min(current, outside). In particular, with outside hotter
+            // than the aisle, closed/free-cooling regimes cannot cool at
+            // all — a constraint the learned model can violate when its
+            // training data is thin in that corner.
+            if comp <= 0.0 {
+                bounded = bounded.max(t_now[p].min(t_out));
+            }
+            next[p] = bounded;
             max_temps[p] = max_temps[p].max(next[p]);
             sum_temps[p] += next[p];
         }

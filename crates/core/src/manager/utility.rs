@@ -73,10 +73,9 @@ pub fn utility_penalty(
         // 20 °C/hour limit allows within this period. (Charging the
         // extrapolated hourly rate instead would punish a single in-band
         // adjustment six-fold and paralyse the controller.) During a
-        // thermal emergency — the sensor already far above the maximum —
-        // the rate limit yields: cooling down fast beats cooking slowly.
-        let emergency =
-            prediction.start_temps[p].value() > profile.max_temp.value() + 3.0;
+        // thermal emergency — the sensor already above the maximum — the
+        // rate limit yields: cooling down fast beats cooking slowly.
+        let emergency = prediction.start_temps[p].value() > profile.max_temp.value();
         if profile.manage_variation && !emergency {
             let allowance = cfg.max_rate_c_per_hour * horizon_hours;
             penalty += (prediction.deltas[p] - allowance).max(0.0);

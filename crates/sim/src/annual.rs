@@ -2,7 +2,10 @@
 //! Smooth-Sim simulations, we only simulate the first day of each week of
 //! the year. We repeat the workload for each of those days").
 
-use coolair::{train_cooling_model, CoolAir, CoolAirConfig, CoolingModel, TrainingConfig, Version};
+use coolair::{
+    train_cooling_model, CoolAir, CoolAirConfig, CoolingModel, SupervisedCoolAir,
+    SupervisorConfig, TrainingConfig, Version,
+};
 use coolair_thermal::{Infrastructure, PlantConfig, TksConfig, TksController};
 use coolair_units::Celsius;
 use coolair_weather::{ForecastError, Forecaster, Location, TmySeries};
@@ -10,6 +13,7 @@ use coolair_workload::{facebook_trace, nutch_trace, Cluster, ClusterConfig, Trac
 use serde::{Deserialize, Serialize};
 
 use crate::engine::{SimConfig, SimController, Simulation};
+use crate::faults::FaultPlan;
 use crate::metrics::{AnnualSummary, DayRecord};
 
 /// Which system to evaluate.
@@ -25,6 +29,9 @@ pub enum SystemSpec {
     CoolAir(Version),
     /// A CoolAir version with a custom configuration.
     CoolAirWith(Version, CoolAirConfig),
+    /// A CoolAir version wrapped in the degraded-mode supervisor (sensor
+    /// validation, fallback ladder, hard overtemp failsafe).
+    Supervised(Version),
 }
 
 impl SystemSpec {
@@ -36,6 +43,7 @@ impl SystemSpec {
             SystemSpec::BaselineWithSetpoint(sp) => format!("Baseline@{:.0}", sp.value()),
             SystemSpec::CoolAir(v) => v.name().into(),
             SystemSpec::CoolAirWith(v, _) => v.name().into(),
+            SystemSpec::Supervised(v) => format!("{}+SV", v.name()),
         }
     }
 }
@@ -67,6 +75,10 @@ pub struct AnnualConfig {
     pub ac_condenser_derate_per_c: Option<f64>,
     /// Override the plant's AC latent-load factor (ablation experiments).
     pub ac_latent_factor: Option<f64>,
+    /// Injected sensor/actuator/forecast faults ([`FaultPlan::none`] by
+    /// default, which leaves the loop bit-identical to a run without the
+    /// fault layer).
+    pub faults: FaultPlan,
     /// Engine tuning.
     pub engine: SimConfig,
 }
@@ -84,6 +96,7 @@ impl Default for AnnualConfig {
             adiabatic: None,
             ac_condenser_derate_per_c: None,
             ac_latent_factor: None,
+            faults: FaultPlan::none(),
             engine: SimConfig::default(),
         }
     }
@@ -141,7 +154,7 @@ pub fn run_annual(
     cfg: &AnnualConfig,
 ) -> AnnualSummary {
     let model = match system {
-        SystemSpec::CoolAir(_) | SystemSpec::CoolAirWith(..) => {
+        SystemSpec::CoolAir(_) | SystemSpec::CoolAirWith(..) | SystemSpec::Supervised(_) => {
             Some(train_for_location(location, cfg))
         }
         _ => None,
@@ -162,6 +175,12 @@ pub fn run_annual_with_model(
     let tmy = TmySeries::generate(location, cfg.weather_seed);
     let trace = build_trace(trace, cfg);
 
+    // Forecast-service faults act at the provider, so every CoolAir-family
+    // controller (supervised or not) sees the same corrupted forecasts.
+    let forecaster = || {
+        Forecaster::new(tmy.clone(), cfg.forecast_error, cfg.weather_seed)
+            .with_glitches(cfg.faults.forecast_glitches())
+    };
     let controller = match system {
         SystemSpec::Baseline => {
             SimController::Baseline(TksController::new(TksConfig::baseline()))
@@ -173,7 +192,7 @@ pub fn run_annual_with_model(
             *version,
             CoolAirConfig::default(),
             model.expect("model trained above"),
-            Forecaster::new(tmy.clone(), cfg.forecast_error, cfg.weather_seed),
+            forecaster(),
             cfg.infrastructure,
         ))),
         SystemSpec::CoolAirWith(version, ca_cfg) => {
@@ -181,16 +200,32 @@ pub fn run_annual_with_model(
                 *version,
                 ca_cfg.clone(),
                 model.expect("model trained above"),
-                Forecaster::new(tmy.clone(), cfg.forecast_error, cfg.weather_seed),
+                forecaster(),
                 cfg.infrastructure,
             )))
         }
+        SystemSpec::Supervised(version) => {
+            SimController::Supervised(Box::new(SupervisedCoolAir::new(
+                CoolAir::new(
+                    *version,
+                    CoolAirConfig::default(),
+                    model.expect("model trained above"),
+                    forecaster(),
+                    cfg.infrastructure,
+                ),
+                SupervisorConfig::default(),
+            )))
+        }
     };
-    if let SimController::CoolAir(ca) = &controller {
+    let deferrable_version = match &controller {
+        SimController::CoolAir(ca) => Some(ca.version()),
+        SimController::Supervised(sv) => Some(sv.inner().version()),
+        SimController::Baseline(_) => None,
+    };
+    if let Some(version) = deferrable_version {
         assert!(
-            !ca.version().is_deferrable() || cfg.deferrable,
-            "{} needs deferrable jobs; set AnnualConfig::deferrable",
-            ca.version()
+            !version.is_deferrable() || cfg.deferrable,
+            "{version} needs deferrable jobs; set AnnualConfig::deferrable",
         );
     }
 
@@ -212,6 +247,7 @@ pub fn run_annual_with_model(
         tmy,
         cfg.engine.clone(),
     );
+    sim.set_fault_plan(cfg.faults.clone());
 
     let mut days: Vec<DayRecord> = Vec::new();
     for day in cfg.sampled_days() {

@@ -1,6 +1,6 @@
 //! The closed-loop day simulator shared by Real-Sim and Smooth-Sim.
 
-use coolair::CoolAir;
+use coolair::{CoolAir, SupervisedCoolAir, SupervisorTelemetry};
 use coolair_thermal::{
     CoolingRegime, ItLoad, OutsideConditions, Plant, PlantConfig, SensorReadings, TksController,
 };
@@ -9,6 +9,7 @@ use coolair_weather::TmySeries;
 use coolair_workload::{Cluster, Job};
 use serde::{Deserialize, Serialize};
 
+use crate::faults::FaultPlan;
 use crate::metrics::DayRecord;
 
 /// Anything that behaves like the container: the physics [`Plant`] or the
@@ -151,6 +152,9 @@ pub enum SimController {
     Baseline(TksController),
     /// A CoolAir version (cooling + compute management).
     CoolAir(Box<CoolAir>),
+    /// A CoolAir version wrapped in the degraded-mode supervisor (sensor
+    /// validation, fallback ladder, hard overtemp failsafe).
+    Supervised(Box<SupervisedCoolAir>),
 }
 
 impl SimController {
@@ -160,6 +164,7 @@ impl SimController {
         match self {
             SimController::Baseline(_) => "Baseline".to_string(),
             SimController::CoolAir(ca) => ca.version().name().to_string(),
+            SimController::Supervised(sv) => format!("{}+SV", sv.inner().version().name()),
         }
     }
 }
@@ -177,6 +182,8 @@ pub struct Simulation<P: Container = Plant> {
     regime: CoolingRegime,
     pending: Vec<Job>,
     next_job: usize,
+    faults: FaultPlan,
+    stale_inlets: Vec<Celsius>,
 }
 
 impl Simulation<Plant> {
@@ -212,7 +219,24 @@ impl<P: Container> Simulation<P> {
             regime: CoolingRegime::Closed,
             pending: Vec::new(),
             next_job: 0,
+            faults: FaultPlan::none(),
+            stale_inlets: Vec::new(),
         }
+    }
+
+    /// Installs a fault plan. Faults corrupt what the controller senses and
+    /// what its actuator commands achieve; the metrics keep sampling the
+    /// plant's ground truth. [`FaultPlan::none`] (the default) leaves the
+    /// loop bit-identical to a simulation without a fault layer.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+        self.stale_inlets.clear();
+    }
+
+    /// The installed fault plan.
+    #[must_use]
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// The engine configuration.
@@ -260,6 +284,11 @@ impl<P: Container> Simulation<P> {
 
         let cycles_before = self.cluster.total_power_cycles();
         let jobs_before = self.cluster.completed_jobs();
+        let mut fault_minutes = 0u64;
+        let sv_before = match &self.controller {
+            SimController::Supervised(sv) => sv.telemetry(),
+            _ => SupervisorTelemetry::default(),
+        };
 
         let mut t = start;
         while t < end {
@@ -282,26 +311,39 @@ impl<P: Container> Simulation<P> {
                         let order = order.to_vec();
                         self.cluster.set_active_target(target, Some(&order));
                     }
+                    SimController::Supervised(sv) => {
+                        let demand = self.cluster.demand(t);
+                        let covering = self.cluster.config().covering_count;
+                        let (target, order) = sv.decide_compute(demand, covering);
+                        let order = order.to_vec();
+                        self.cluster.set_active_target(target, Some(&order));
+                    }
                 }
                 self.cluster.step(t, self.cfg.compute_period);
             }
 
             // --- sensing & control --------------------------------------------
+            // Controllers sense through the fault layer; only the metrics
+            // below sample the plant's ground truth.
             if (t % self.cfg.observe_period).is_zero() {
-                let readings = self.plant.readings(t);
-                if let SimController::CoolAir(ca) = &mut self.controller {
-                    ca.observe(readings);
+                let readings = self.controller_readings(t);
+                match &mut self.controller {
+                    SimController::Baseline(_) => {}
+                    SimController::CoolAir(ca) => ca.observe(readings),
+                    SimController::Supervised(sv) => sv.observe(readings),
                 }
             }
             let control_period = match &self.controller {
                 SimController::Baseline(_) => self.cfg.baseline_control,
                 SimController::CoolAir(ca) => ca.config().control_period,
+                SimController::Supervised(sv) => sv.inner().config().control_period,
             };
             if (t % control_period).is_zero() {
-                let readings = self.plant.readings(t);
+                let readings = self.controller_readings(t);
                 self.regime = match &mut self.controller {
                     SimController::Baseline(tks) => tks.decide(&readings),
                     SimController::CoolAir(ca) => ca.decide_cooling(&readings, t).regime,
+                    SimController::Supervised(sv) => sv.decide_cooling(&readings, t),
                 };
             }
 
@@ -319,6 +361,9 @@ impl<P: Container> Simulation<P> {
                     rh_violations += 1;
                 }
                 rh_samples += 1;
+                if self.faults.any_active(t) {
+                    fault_minutes += 1;
+                }
                 if hour_ring.len() == samples_per_hour {
                     let old = hour_ring.remove(0);
                     for (a, b) in old.iter().zip(temps.iter()) {
@@ -346,10 +391,17 @@ impl<P: Container> Simulation<P> {
                 cooling_j += self.plant.readings(t).cooling_power.value() * dt_s;
                 it_j += it.total().value() * dt_s;
             }
-            self.plant.step(self.cfg.physics_step, outside, &it, self.regime);
+            // Actuator faults sit between command and plant: the controller
+            // believes `self.regime` is in force, the hardware does this.
+            let actual = self.faults.apply_actuator(t, self.regime);
+            self.plant.step(self.cfg.physics_step, outside, &it, actual);
             t += self.cfg.physics_step;
         }
 
+        let sv_after = match &self.controller {
+            SimController::Supervised(sv) => sv.telemetry(),
+            _ => SupervisorTelemetry::default(),
+        };
         let (out_lo, out_hi) = self.tmy.daily_extremes(day);
         let record = DayRecord {
             day,
@@ -368,8 +420,20 @@ impl<P: Container> Simulation<P> {
             outside_range: (out_hi - out_lo).degrees(),
             jobs_completed: self.cluster.completed_jobs() - jobs_before,
             power_cycles: self.cluster.total_power_cycles() - cycles_before,
+            fault_minutes,
+            degraded_minutes: sv_after.degraded_minutes - sv_before.degraded_minutes,
+            failsafe_minutes: sv_after.failsafe_minutes - sv_before.failsafe_minutes,
+            fallback_transitions: sv_after.fallback_transitions - sv_before.fallback_transitions,
+            imputed_readings: sv_after.imputed_readings - sv_before.imputed_readings,
         };
         DayOutput { record, minutes }
+    }
+
+    /// What the controller senses: the plant truth passed through the fault
+    /// layer (a no-op under [`FaultPlan::none`]).
+    fn controller_readings(&mut self, t: SimTime) -> SensorReadings {
+        let truth = self.plant.readings(t);
+        self.faults.corrupt_readings(truth, &mut self.stale_inlets)
     }
 
     /// Current plant readings (for validation harnesses).
@@ -392,6 +456,9 @@ impl<P: Container> Simulation<P> {
                 SimController::CoolAir(ca) if job.is_deferrable() => {
                     ca.schedule_job(&job, now)
                 }
+                SimController::Supervised(sv) if job.is_deferrable() => {
+                    sv.schedule_job(&job, now)
+                }
                 _ => job.submit,
             };
             self.cluster.submit_with_start(job, earliest);
@@ -402,6 +469,9 @@ impl<P: Container> Simulation<P> {
         let band = match &self.controller {
             SimController::CoolAir(ca) => {
                 ca.band().map(|b| (b.lo().value(), b.hi().value()))
+            }
+            SimController::Supervised(sv) => {
+                sv.band().map(|b| (b.lo().value(), b.hi().value()))
             }
             SimController::Baseline(_) => None,
         };

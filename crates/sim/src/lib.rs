@@ -39,6 +39,7 @@
 
 mod annual;
 mod engine;
+mod faults;
 mod fidelity;
 mod metrics;
 mod model_plant;
@@ -49,6 +50,7 @@ mod worldsweep;
 
 pub use annual::{run_annual, run_annual_with_model, train_for_location, AnnualConfig, SystemSpec};
 pub use engine::{Container, DayOutput, MinuteSample, SimConfig, Simulation, SimController};
+pub use faults::{ActuatorFault, FaultKind, FaultPlan, FaultRates, FaultWindow, SensorFault};
 pub use fidelity::{day_fidelity, FidelityReport, FidelitySystem};
 pub use model_plant::ModelPlant;
 pub use multizone::{MultiZone, MultiZoneReport, ZoneSpec};

@@ -34,6 +34,17 @@ pub struct DayRecord {
     pub jobs_completed: u64,
     /// Disk power cycles accumulated during the day.
     pub power_cycles: u64,
+    /// Sampled minutes with at least one injected fault active.
+    pub fault_minutes: u64,
+    /// Minutes the supervisor spent outside its `Normal` mode (0 for
+    /// unsupervised systems).
+    pub degraded_minutes: u64,
+    /// Minutes with the hard overtemp failsafe engaged.
+    pub failsafe_minutes: u64,
+    /// Supervisor ladder transitions plus failsafe engagements.
+    pub fallback_transitions: u64,
+    /// Pod-inlet readings the supervisor replaced by imputation.
+    pub imputed_readings: u64,
 }
 
 impl DayRecord {
@@ -193,6 +204,44 @@ impl AnnualSummary {
     pub fn jobs_completed(&self) -> u64 {
         self.days.iter().map(|d| d.jobs_completed).sum()
     }
+
+    /// Total temperature violation over the year, °C·min (each sampled
+    /// sensor-minute contributes its degrees above the desired maximum) —
+    /// the resilience headline number of the fault experiments.
+    #[must_use]
+    pub fn total_violation(&self) -> f64 {
+        self.days.iter().map(|d| d.violation_sum).sum()
+    }
+
+    /// Total sampled minutes with at least one injected fault active.
+    #[must_use]
+    pub fn fault_minutes(&self) -> u64 {
+        self.days.iter().map(|d| d.fault_minutes).sum()
+    }
+
+    /// Total minutes spent in a degraded supervisor mode.
+    #[must_use]
+    pub fn degraded_minutes(&self) -> u64 {
+        self.days.iter().map(|d| d.degraded_minutes).sum()
+    }
+
+    /// Total minutes with the hard failsafe engaged.
+    #[must_use]
+    pub fn failsafe_minutes(&self) -> u64 {
+        self.days.iter().map(|d| d.failsafe_minutes).sum()
+    }
+
+    /// Total supervisor mode transitions.
+    #[must_use]
+    pub fn fallback_transitions(&self) -> u64 {
+        self.days.iter().map(|d| d.fallback_transitions).sum()
+    }
+
+    /// Total imputed pod-inlet readings.
+    #[must_use]
+    pub fn imputed_readings(&self) -> u64 {
+        self.days.iter().map(|d| d.imputed_readings).sum()
+    }
 }
 
 #[cfg(test)]
@@ -213,6 +262,11 @@ mod tests {
             outside_range: 10.0,
             jobs_completed: 100,
             power_cycles: 2,
+            fault_minutes: 0,
+            degraded_minutes: 0,
+            failsafe_minutes: 0,
+            fallback_transitions: 0,
+            imputed_readings: 0,
         }
     }
 

@@ -40,6 +40,9 @@ pub struct ReliabilityParams {
     pub cycle_budget: f64,
     /// Service life used for the cycle-budget rate, years (§4.2: 4 years).
     pub service_years: f64,
+    /// Number of disks sharing the summary's power-cycle count (Parasol:
+    /// 64 servers, one disk each).
+    pub disks: u64,
 }
 
 impl Default for ReliabilityParams {
@@ -52,6 +55,7 @@ impl Default for ReliabilityParams {
             benign_range: 4.0,
             cycle_budget: 300_000.0,
             service_years: 4.0,
+            disks: 64,
         }
     }
 }
@@ -101,13 +105,18 @@ pub fn disk_reliability(summary: &AnnualSummary, params: &ReliabilityParams) -> 
     let mut factor_sum = 0.0;
     let mut disk_temp_sum = 0.0;
     for day in summary.days() {
-        let mean_inlet: f64 = day
-            .sensor_min
-            .iter()
-            .zip(day.sensor_max.iter())
-            .map(|(lo, hi)| 0.5 * (lo + hi))
-            .sum::<f64>()
-            / day.sensor_min.len() as f64;
+        // A day without any sensor extremes (e.g. total sensor dropout)
+        // contributes the reference temperature instead of dividing by zero.
+        let mean_inlet: f64 = if day.sensor_min.is_empty() {
+            params.reference_disk_temp - params.disk_over_inlet
+        } else {
+            day.sensor_min
+                .iter()
+                .zip(day.sensor_max.iter())
+                .map(|(lo, hi)| 0.5 * (lo + hi))
+                .sum::<f64>()
+                / day.sensor_min.len() as f64
+        };
         let disk_t = mean_inlet + params.disk_over_inlet;
         let t_k = disk_t + 273.15;
         let ref_k = params.reference_disk_temp + 273.15;
@@ -122,9 +131,10 @@ pub fn disk_reliability(summary: &AnnualSummary, params: &ReliabilityParams) -> 
     let variation_factor =
         1.0 + params.variation_slope_per_c * (mean_daily_range - params.benign_range).max(0.0);
 
-    // Power cycles: the sampled days stand for the full year.
+    // Power cycles: the sampled days stand for the full year, spread over
+    // the configured disk population.
     let scale = 365.0 / summary.len() as f64;
-    let yearly_cycles = summary.power_cycles() as f64 * scale / 64.0; // per disk
+    let yearly_cycles = summary.power_cycles() as f64 * scale / params.disks.max(1) as f64;
     let cycle_budget_fraction = yearly_cycles / (params.cycle_budget / params.service_years);
 
     ReliabilityReport {
@@ -156,6 +166,11 @@ mod tests {
             outside_range: max - min,
             jobs_completed: 0,
             power_cycles: cycles,
+            fault_minutes: 0,
+            degraded_minutes: 0,
+            failsafe_minutes: 0,
+            fallback_transitions: 0,
+            imputed_readings: 0,
         }
     }
 
@@ -211,5 +226,31 @@ mod tests {
     fn empty_summary_is_neutral() {
         let r = disk_reliability(&AnnualSummary::default(), &ReliabilityParams::default());
         assert_eq!(r.combined_factor, 1.0);
+    }
+
+    #[test]
+    fn disk_count_comes_from_params() {
+        let s = AnnualSummary::new(vec![day(24.0, 28.0, 512)]);
+        let half = ReliabilityParams { disks: 32, ..ReliabilityParams::default() };
+        let r64 = disk_reliability(&s, &ReliabilityParams::default());
+        let r32 = disk_reliability(&s, &half);
+        assert!((r32.cycle_budget_fraction - 2.0 * r64.cycle_budget_fraction).abs() < 1e-12);
+        // A zero disk count must not divide by zero.
+        let none = ReliabilityParams { disks: 0, ..ReliabilityParams::default() };
+        assert!(disk_reliability(&s, &none).cycle_budget_fraction.is_finite());
+    }
+
+    #[test]
+    fn day_without_sensor_extremes_is_finite() {
+        // Total sensor dropout leaves a day with no per-sensor extremes;
+        // the Arrhenius average must stay finite (previously NaN).
+        let mut blank = day(0.0, 0.0, 0);
+        blank.sensor_min = Vec::new();
+        blank.sensor_max = Vec::new();
+        let s = AnnualSummary::new(vec![blank, day(26.0, 30.0, 0)]);
+        let r = disk_reliability(&s, &ReliabilityParams::default());
+        assert!(r.arrhenius_factor.is_finite());
+        assert!(r.combined_factor.is_finite());
+        assert!((r.arrhenius_factor - 1.0).abs() < 0.02, "{}", r.arrhenius_factor);
     }
 }

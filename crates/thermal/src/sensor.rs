@@ -53,6 +53,17 @@ impl SensorReadings {
         self.pod_inlets[pod.index()]
     }
 
+    /// Inlet temperature of one pod, or `None` if the pod id is out of
+    /// range (e.g. a sensor snapshot degraded by dropout). Supervision and
+    /// validation code must use this instead of the panicking [`inlet`]
+    /// accessor.
+    ///
+    /// [`inlet`]: SensorReadings::inlet
+    #[must_use]
+    pub fn try_inlet(&self, pod: PodId) -> Option<Celsius> {
+        self.pod_inlets.get(pod.index()).copied()
+    }
+
     /// The warmest pod inlet — the TKS control sensor sits "in a typically
     /// warmer area in the cold aisle" (§4.1).
     #[must_use]

@@ -80,12 +80,40 @@ impl DailyForecast {
     }
 }
 
+/// How a [`ForecastGlitch`] corrupts one day's forecast.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GlitchKind {
+    /// The forecast service is unreachable: the controller falls back to
+    /// its cached copy of the *previous* day's forecast (a stale forecast,
+    /// not a missing one — band selection still happens, on wrong data).
+    Outage,
+    /// The service answers but its error is inflated beyond the configured
+    /// [`ForecastError`] (e.g. a model reset at the provider).
+    Degraded {
+        /// Extra constant bias for the day, °C.
+        bias: f64,
+        /// Extra independent per-hour noise, °C std.
+        noise_std: f64,
+    },
+}
+
+/// A scheduled forecast-service failure on one simulation day. Produced by
+/// the fault-injection layer and applied by [`Forecaster::with_glitches`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForecastGlitch {
+    /// The affected day (0-based simulation day).
+    pub day: u64,
+    /// The failure mode.
+    pub kind: GlitchKind,
+}
+
 /// Forecast provider backed by a TMY series plus an error model.
 #[derive(Debug, Clone)]
 pub struct Forecaster {
     tmy: TmySeries,
     error: ForecastError,
     seed: u64,
+    glitches: Vec<ForecastGlitch>,
 }
 
 impl Forecaster {
@@ -93,7 +121,16 @@ impl Forecaster {
     /// `seed` makes noisy forecasts reproducible.
     #[must_use]
     pub fn new(tmy: TmySeries, error: ForecastError, seed: u64) -> Self {
-        Forecaster { tmy, error, seed }
+        Forecaster { tmy, error, seed, glitches: Vec::new() }
+    }
+
+    /// Adds scheduled service failures. Days with a glitch return corrupted
+    /// forecasts; all other days are untouched, so an empty list leaves the
+    /// forecaster bit-identical to one built without glitches.
+    #[must_use]
+    pub fn with_glitches(mut self, glitches: Vec<ForecastGlitch>) -> Self {
+        self.glitches = glitches;
+        self
     }
 
     /// A perfectly accurate forecaster (the paper's default).
@@ -113,18 +150,28 @@ impl Forecaster {
     #[must_use]
     pub fn forecast_for(&self, now: SimTime) -> DailyForecast {
         let day = now.day_index();
+        let glitch = self.glitches.iter().find(|g| g.day == day);
+        // An outage serves yesterday's cached forecast labelled as today.
+        let source_day = match glitch {
+            Some(ForecastGlitch { kind: GlitchKind::Outage, .. }) => day.saturating_sub(1),
+            _ => day,
+        };
         let mut rng = StdRng::seed_from_u64(self.seed ^ day.wrapping_mul(0x9e37_79b9));
+        let (extra_bias, extra_noise) = match glitch {
+            Some(ForecastGlitch { kind: GlitchKind::Degraded { bias, noise_std }, .. }) => {
+                (*bias, *noise_std)
+            }
+            _ => (0.0, 0.0),
+        };
         let hourly = self
             .tmy
-            .hourly_temps_for_day(day)
+            .hourly_temps_for_day(source_day)
             .into_iter()
             .map(|t| {
-                let noise = if self.error.noise_std > 0.0 {
-                    self.error.noise_std * gaussian(&mut rng)
-                } else {
-                    0.0
-                };
-                t + TempDelta::new(self.error.bias + noise)
+                let noise_std = self.error.noise_std + extra_noise;
+                let noise =
+                    if noise_std > 0.0 { noise_std * gaussian(&mut rng) } else { 0.0 };
+                t + TempDelta::new(self.error.bias + extra_bias + noise)
             })
             .collect();
         DailyForecast { day, hourly }
@@ -216,6 +263,43 @@ mod tests {
         let std = (sq / n).sqrt();
         assert!((std - 2.0).abs() < 0.3, "estimated noise std {std}");
         let _ = truth;
+    }
+
+    #[test]
+    fn empty_glitch_list_changes_nothing() {
+        let series = tmy();
+        let plain = Forecaster::new(series.clone(), ForecastError { bias: 1.0, noise_std: 0.5 }, 9);
+        let glitched = plain.clone().with_glitches(Vec::new());
+        assert_eq!(
+            plain.forecast_for(SimTime::from_days(14)),
+            glitched.forecast_for(SimTime::from_days(14))
+        );
+    }
+
+    #[test]
+    fn outage_serves_stale_forecast() {
+        let series = tmy();
+        let f = Forecaster::perfect(series.clone())
+            .with_glitches(vec![ForecastGlitch { day: 20, kind: GlitchKind::Outage }]);
+        let fc = f.forecast_for(SimTime::from_days(20));
+        assert_eq!(fc.day, 20, "still labelled as today");
+        assert_eq!(fc.hourly, series.hourly_temps_for_day(19), "but carries yesterday's data");
+        // Neighbouring days are untouched.
+        assert_eq!(f.forecast_for_day(21).hourly, series.hourly_temps_for_day(21));
+    }
+
+    #[test]
+    fn degraded_day_inflates_error() {
+        let series = tmy();
+        let truth = series.hourly_temps_for_day(30);
+        let f = Forecaster::perfect(series).with_glitches(vec![ForecastGlitch {
+            day: 30,
+            kind: GlitchKind::Degraded { bias: 6.0, noise_std: 0.0 },
+        }]);
+        let fc = f.forecast_for_day(30);
+        for (p, t) in fc.hourly.iter().zip(truth.iter()) {
+            assert!(((p.value() - t.value()) - 6.0).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -42,6 +42,6 @@ mod location;
 mod tmy;
 
 pub use climate::ClimateParams;
-pub use forecast::{DailyForecast, ForecastError, Forecaster};
+pub use forecast::{DailyForecast, ForecastError, Forecaster, ForecastGlitch, GlitchKind};
 pub use location::{Location, WorldGrid};
 pub use tmy::{TmySeries, HOURS_PER_YEAR};

@@ -1,0 +1,159 @@
+//! Scripted fault drill: one summer day, a fixed schedule of sensor,
+//! actuator and forecast failures, and a side-by-side of unsupervised
+//! All-ND against the degraded-mode supervisor.
+//!
+//! ```sh
+//! cargo run --release --example fault_drill -- [day] [location]
+//! ```
+//!
+//! The drill schedule (times local to the drill day):
+//! - 02:00–08:00  pod 0 inlet sensor stuck at 24.0 °C
+//! - 09:00–12:00  pod 1 inlet sensor drifts +2 °C per hour
+//! - 13:00–16:00  AC compressor lockout (commands degrade to fan-only)
+//! - all day      forecast service outage (yesterday's weather served)
+
+use coolair::{CoolAir, CoolAirConfig, SupervisedCoolAir, SupervisorConfig, Version};
+use coolair_sim::{
+    train_for_location, ActuatorFault, AnnualConfig, FaultKind, FaultPlan, FaultWindow,
+    SensorFault, SimConfig, SimController, Simulation,
+};
+use coolair_thermal::PlantConfig;
+use coolair_units::{SimDuration, SimTime};
+use coolair_weather::{Forecaster, GlitchKind, Location, TmySeries};
+use coolair_workload::{facebook_trace, Cluster, ClusterConfig};
+
+fn drill_plan(day: u64) -> FaultPlan {
+    let at = |h: u64| SimTime::from_days(day) + SimDuration::from_secs(h * 3600);
+    FaultPlan::none()
+        .with_window(FaultWindow {
+            start: at(2),
+            end: at(8),
+            kind: FaultKind::Sensor { pod: 0, fault: SensorFault::StuckAt(24.0) },
+        })
+        .with_window(FaultWindow {
+            start: at(9),
+            end: at(12),
+            kind: FaultKind::Sensor { pod: 1, fault: SensorFault::Drift { c_per_hour: 2.0 } },
+        })
+        .with_window(FaultWindow {
+            start: at(13),
+            end: at(16),
+            kind: FaultKind::Actuator(ActuatorFault::AcLockout),
+        })
+        .with_window(FaultWindow {
+            start: SimTime::from_days(day),
+            end: SimTime::from_days(day + 1),
+            kind: FaultKind::Forecast(GlitchKind::Outage),
+        })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let day: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(181);
+    let location = match args.get(2).map(String::as_str) {
+        Some("chad") => Location::chad(),
+        Some("santiago") => Location::santiago(),
+        Some("iceland") => Location::iceland(),
+        Some("singapore") => Location::singapore(),
+        _ => Location::newark(),
+    };
+    let cfg = AnnualConfig::default();
+    let tmy = TmySeries::generate(&location, cfg.weather_seed);
+    let model = train_for_location(&location, &cfg);
+    let plan = drill_plan(day);
+
+    println!("fault drill: {} day {day}", location.name());
+    for w in plan.windows() {
+        let h = |t: SimTime| (t.as_secs() % 86_400) / 3600;
+        let end_h = if h(w.end) == 0 { 24 } else { h(w.end) };
+        println!("  {:02}:00-{end_h:02}:00  {:?}", h(w.start), w.kind);
+    }
+
+    let run = |supervised: bool| {
+        let inner = CoolAir::new(
+            Version::AllNd,
+            CoolAirConfig::default(),
+            model.clone(),
+            Forecaster::new(tmy.clone(), cfg.forecast_error, cfg.weather_seed)
+                .with_glitches(plan.forecast_glitches()),
+            coolair_thermal::Infrastructure::Smooth,
+        );
+        let controller = if supervised {
+            SimController::Supervised(Box::new(SupervisedCoolAir::new(
+                inner,
+                SupervisorConfig::default(),
+            )))
+        } else {
+            SimController::CoolAir(Box::new(inner))
+        };
+        let mut sim = Simulation::new(
+            controller,
+            PlantConfig::smooth(),
+            Cluster::new(ClusterConfig::parasol()),
+            tmy.clone(),
+            SimConfig { record_minutes: true, ..SimConfig::default() },
+        );
+        sim.set_fault_plan(plan.clone());
+        sim.run_day(day, facebook_trace(cfg.trace_seed).jobs_for_day(day))
+    };
+
+    let plain = run(false);
+    let drilled = run(true);
+
+    println!("\n{:<32} {:>12} {:>12}", "", "All-ND", "All-ND+SV");
+    let row = |label: &str, a: String, b: String| println!("{label:<32} {a:>12} {b:>12}");
+    row(
+        "violation (°C·min over limit)",
+        format!("{:.0}", plain.record.violation_sum),
+        format!("{:.0}", drilled.record.violation_sum),
+    );
+    row(
+        "max inlet (°C)",
+        format!("{:.1}", plain.record.sensor_max.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))),
+        format!("{:.1}", drilled.record.sensor_max.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))),
+    );
+    row(
+        "cooling energy (kWh)",
+        format!("{:.1}", plain.record.cooling_kwh),
+        format!("{:.1}", drilled.record.cooling_kwh),
+    );
+    row(
+        "minutes with a fault active",
+        plain.record.fault_minutes.to_string(),
+        drilled.record.fault_minutes.to_string(),
+    );
+    row(
+        "minutes in a degraded mode",
+        plain.record.degraded_minutes.to_string(),
+        drilled.record.degraded_minutes.to_string(),
+    );
+    row(
+        "minutes failsafe engaged",
+        plain.record.failsafe_minutes.to_string(),
+        drilled.record.failsafe_minutes.to_string(),
+    );
+    row(
+        "mode/failsafe transitions",
+        plain.record.fallback_transitions.to_string(),
+        drilled.record.fallback_transitions.to_string(),
+    );
+    row(
+        "imputed sensor readings",
+        plain.record.imputed_readings.to_string(),
+        drilled.record.imputed_readings.to_string(),
+    );
+
+    println!("\nsupervised minute trace (every 30 min):");
+    println!(
+        "{:>5} {:>7} {:>7} {:>6} {:>6} {:>7}",
+        "min", "out", "maxin", "fan%", "comp%", "coolW"
+    );
+    for (i, m) in drilled.minutes.iter().enumerate() {
+        if i % 30 == 0 {
+            println!(
+                "{:>5} {:>7.1} {:>7.1} {:>6.0} {:>6.0} {:>7.0}",
+                i, m.outside, m.max_inlet, m.fan_pct, m.compressor_pct, m.cooling_w
+            );
+        }
+    }
+}

@@ -6,7 +6,7 @@ use coolair_suite::thermal::{
     CoolingRegime, Infrastructure, SensorReadings, TksConfig, TksController,
 };
 use coolair_suite::units::{
-    psychro, AbsoluteHumidity, Celsius, FanSpeed, RelativeHumidity, SimTime, Watts,
+    psychro, Celsius, FanSpeed, RelativeHumidity, SimTime, Watts,
 };
 use proptest::prelude::*;
 

@@ -1,0 +1,219 @@
+//! Properties of the fault-injection layer and the degraded-mode
+//! supervisor: determinism under a fixed seed, supervisor transparency at
+//! zero faults, and the hard-failsafe temperature bound under total sensor
+//! dropout.
+
+use coolair_suite::core::Version;
+use coolair_suite::sim::{
+    run_annual, run_annual_with_model, train_for_location, AnnualConfig, FaultKind, FaultPlan,
+    FaultRates, FaultWindow, SensorFault, SimConfig, SystemSpec,
+};
+use coolair_suite::units::SimTime;
+use coolair_suite::weather::Location;
+use coolair_suite::workload::TraceKind;
+use proptest::prelude::*;
+
+fn quick_cfg() -> AnnualConfig {
+    // Three days (0, 120, 240) across the seasons: enough closed-loop
+    // dynamics to detect divergence, cheap enough to run twice per test.
+    let mut cfg = AnnualConfig::quick();
+    cfg.stride = 120;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The same seed always yields the same fault schedule, and the
+    /// schedule for a day does not depend on which other days are listed.
+    #[test]
+    fn fault_schedule_is_deterministic(seed in 0u64..1_000_000, severity in 0.1f64..4.0) {
+        let days: Vec<u64> = (0..365).step_by(7).collect();
+        let rates = FaultRates::scaled(severity);
+        let a = FaultPlan::random(seed, &rates, &days, 4);
+        let b = FaultPlan::random(seed, &rates, &days, 4);
+        prop_assert_eq!(&a, &b);
+
+        // Restricting the day list keeps the surviving days' windows.
+        let subset: Vec<u64> = days.iter().copied().filter(|d| *d >= 100).collect();
+        let c = FaultPlan::random(seed, &rates, &subset, 4);
+        let from_a: Vec<&FaultWindow> = a
+            .windows()
+            .iter()
+            .filter(|w| w.start.day_index() >= 100)
+            .collect();
+        let from_c: Vec<&FaultWindow> = c.windows().iter().collect();
+        prop_assert_eq!(from_a, from_c);
+
+        // A different seed almost surely schedules differently (at these
+        // severities a year contains dozens of windows).
+        let d = FaultPlan::random(seed ^ 0xdead_beef, &rates, &days, 4);
+        prop_assert!(a != d, "distinct seeds produced identical plans");
+    }
+}
+
+#[test]
+fn faulted_annual_run_is_deterministic() {
+    let mut cfg = quick_cfg();
+    cfg.faults = FaultPlan::random(77, &FaultRates::scaled(2.0), &cfg.sampled_days(), 4);
+    let location = Location::newark();
+    let model = train_for_location(&location, &cfg);
+    let sys = SystemSpec::Supervised(Version::AllNd);
+    let a = run_annual_with_model(&sys, &location, TraceKind::Facebook, &cfg, Some(model.clone()));
+    let b = run_annual_with_model(&sys, &location, TraceKind::Facebook, &cfg, Some(model));
+    assert_eq!(a, b, "same seed, same fault plan => identical annual summary");
+    assert!(a.fault_minutes() > 0, "severity 2.0 must actually inject faults");
+}
+
+#[test]
+fn supervisor_with_zero_faults_is_behaviour_identical() {
+    let cfg = quick_cfg();
+    assert!(cfg.faults.is_empty());
+    let location = Location::newark();
+    let model = train_for_location(&location, &cfg);
+    let plain = run_annual_with_model(
+        &SystemSpec::CoolAir(Version::AllNd),
+        &location,
+        TraceKind::Facebook,
+        &cfg,
+        Some(model.clone()),
+    );
+    let supervised = run_annual_with_model(
+        &SystemSpec::Supervised(Version::AllNd),
+        &location,
+        TraceKind::Facebook,
+        &cfg,
+        Some(model),
+    );
+    // Healthy sensors and an accurate model: validation passes readings
+    // through untouched, the mode stays Normal, the failsafe never arms —
+    // so every metric, including the degraded-mode counters, must match
+    // the unsupervised run exactly.
+    assert_eq!(plain, supervised);
+    assert_eq!(supervised.degraded_minutes(), 0);
+    assert_eq!(supervised.failsafe_minutes(), 0);
+    assert_eq!(supervised.imputed_readings(), 0);
+}
+
+#[test]
+fn inactive_fault_windows_leave_the_loop_untouched() {
+    // A plan whose windows never overlap the simulated days must produce
+    // bit-identical results to no fault layer at all.
+    let location = Location::newark();
+    let cfg = quick_cfg();
+    let mut with_dormant = cfg.clone();
+    with_dormant.faults = FaultPlan::none().with_window(FaultWindow {
+        start: SimTime::from_days(50),
+        end: SimTime::from_days(51),
+        kind: FaultKind::Sensor { pod: 0, fault: SensorFault::Dropout },
+    });
+    let a = run_annual(&SystemSpec::Baseline, &location, TraceKind::Facebook, &cfg);
+    let b = run_annual(&SystemSpec::Baseline, &location, TraceKind::Facebook, &with_dormant);
+    assert_eq!(a.days().len(), b.days().len());
+    for (x, y) in a.days().iter().zip(b.days().iter()) {
+        if x.day == 50 {
+            continue;
+        }
+        assert_eq!(x, y, "day {} diverged under a dormant fault plan", x.day);
+    }
+}
+
+#[test]
+fn failsafe_bounds_inlet_under_total_sensor_dropout() {
+    // Every pod sensor drops out for a whole summer day in Chad. The
+    // unsupervised optimizer keeps acting on frozen readings; the
+    // supervisor detects the exact-repetition streaks, loses all trust,
+    // and falls back to blind AC.
+    let location = Location::chad();
+    let day = 150u64;
+    let mut cfg = quick_cfg();
+    cfg.stride = 365; // only day 0 sampled by default...
+    cfg.engine = SimConfig { record_minutes: true, ..SimConfig::default() };
+    let mut plan = FaultPlan::none();
+    for pod in 0..4 {
+        plan = plan.with_window(FaultWindow {
+            // Cover the warm-up too, so the day starts already blind.
+            start: SimTime::from_secs(day * 86_400 - 4 * 3_600),
+            end: SimTime::from_days(day + 1),
+            kind: FaultKind::Sensor { pod, fault: SensorFault::Dropout },
+        });
+    }
+    cfg.faults = plan;
+    let model = train_for_location(&location, &cfg);
+
+    let run = |sys: &SystemSpec, model| {
+        // Drive one recorded day directly through the annual machinery by
+        // sampling just that day.
+        let mut c = cfg.clone();
+        c.stride = 365;
+        run_annual_day(sys, &location, &c, model, day)
+    };
+    let plain = run(&SystemSpec::CoolAir(Version::AllNd), Some(model.clone()));
+    let supervised = run(&SystemSpec::Supervised(Version::AllNd), Some(model));
+
+    assert!(
+        supervised.1 <= 34.0,
+        "failsafe must bound the max inlet near the 30 °C limit, got {:.1} °C",
+        supervised.1
+    );
+    assert!(
+        supervised.1 <= plain.1,
+        "supervised max inlet {:.1} °C must not exceed unsupervised {:.1} °C",
+        supervised.1,
+        plain.1
+    );
+    assert!(
+        supervised.0.failsafe_minutes() > 0,
+        "total dropout must engage the blind-AC failsafe"
+    );
+}
+
+/// Runs one specific day and returns (its summary, max observed inlet °C).
+fn run_annual_day(
+    sys: &SystemSpec,
+    location: &Location,
+    cfg: &AnnualConfig,
+    model: Option<coolair_suite::core::CoolingModel>,
+    day: u64,
+) -> (coolair_suite::sim::AnnualSummary, f64) {
+    use coolair_suite::sim::AnnualSummary;
+    // The annual runner only samples `0, stride, …`; to pin an arbitrary
+    // day we run the engine pieces directly.
+    use coolair_suite::core::{CoolAir, CoolAirConfig, SupervisedCoolAir, SupervisorConfig};
+    use coolair_suite::sim::{SimController, Simulation};
+    use coolair_suite::thermal::PlantConfig;
+    use coolair_suite::weather::{Forecaster, TmySeries};
+    use coolair_suite::workload::{facebook_trace, Cluster, ClusterConfig};
+
+    let tmy = TmySeries::generate(location, cfg.weather_seed);
+    let forecaster = Forecaster::perfect(tmy.clone())
+        .with_glitches(cfg.faults.forecast_glitches());
+    let build = |version| {
+        CoolAir::new(
+            version,
+            CoolAirConfig::default(),
+            model.clone().expect("model provided"),
+            forecaster.clone(),
+            cfg.infrastructure,
+        )
+    };
+    let controller = match sys {
+        SystemSpec::CoolAir(v) => SimController::CoolAir(Box::new(build(*v))),
+        SystemSpec::Supervised(v) => SimController::Supervised(Box::new(SupervisedCoolAir::new(
+            build(*v),
+            SupervisorConfig::default(),
+        ))),
+        _ => panic!("test only drives CoolAir-family systems"),
+    };
+    let mut sim = Simulation::new(
+        controller,
+        PlantConfig::smooth(),
+        Cluster::new(ClusterConfig::parasol()),
+        tmy,
+        cfg.engine.clone(),
+    );
+    sim.set_fault_plan(cfg.faults.clone());
+    let out = sim.run_day(day, facebook_trace(cfg.trace_seed).jobs_for_day(day));
+    let max_inlet = out.minutes.iter().map(|m| m.max_inlet).fold(f64::NEG_INFINITY, f64::max);
+    (AnnualSummary::new(vec![out.record]), max_inlet)
+}

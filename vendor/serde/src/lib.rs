@@ -1,0 +1,539 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors a
+//! simplified serialization framework under the same crate name. Instead of
+//! serde's visitor-based zero-copy architecture, this stub round-trips
+//! every value through an owned [`Value`] tree:
+//!
+//! - `Serialize` renders a value into a [`Value`];
+//! - `Deserialize` reconstructs a value from a [`Value`];
+//! - `serde_json` (also vendored) converts `Value` to/from JSON text.
+//!
+//! The derive macros (`serde_derive`, re-exported here behind the `derive`
+//! feature like upstream) generate impls of these simplified traits with the
+//! same external JSON shape real serde would produce for the workspace's
+//! types: structs as maps, unit enum variants as strings, data-carrying
+//! variants as one-entry maps, and `#[serde(from = "...", into = "...")]`
+//! conversions. No workspace crate writes a manual `impl Serialize`/
+//! `Deserialize`, so the trait-shape difference is invisible to them.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The intermediate data model every value serializes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` / `Option::None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer (negative JSON numbers land here).
+    Int(i64),
+    /// Unsigned integer (non-negative JSON integers land here).
+    UInt(u64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Sequence / JSON array.
+    Seq(Vec<Value>),
+    /// Map / JSON object, in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Returns the entries if this is a map.
+    #[must_use]
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements if this is a sequence.
+    #[must_use]
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in a map value.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map().and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// Short type name for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// Standard "expected X, found Y" error.
+    #[must_use]
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Renders `self` into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstructs `Self` from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Converts from a value tree.
+    ///
+    /// # Errors
+    /// Returns [`DeError`] when the value's shape does not match `Self`.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Deserialization helpers, mirroring the `serde::de` module path.
+pub mod de {
+    pub use super::{DeError, Deserialize};
+
+    /// Owned deserialization marker; in this stub every `Deserialize` type
+    /// qualifies because the data model is always owned.
+    pub trait DeserializeOwned: Deserialize {}
+    impl<T: Deserialize> DeserializeOwned for T {}
+}
+
+/// Serialization helpers, mirroring the `serde::ser` module path.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+/// Extracts and deserializes a named struct field (used by derive output).
+///
+/// # Errors
+/// Returns [`DeError`] if `map` is not a map, the field is missing (unless
+/// `T` is an `Option`), or the field fails to deserialize.
+pub fn field<T: Deserialize>(map: &Value, name: &str) -> Result<T, DeError> {
+    match map.get(name) {
+        Some(v) => T::from_value(v)
+            .map_err(|e| DeError::new(format!("field `{name}`: {e}"))),
+        None => T::from_value(&Value::Null)
+            .map_err(|_| DeError::new(format!("missing field `{name}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", v)),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(i64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n: i64 = match v {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) => i64::try_from(*u)
+                        .map_err(|_| DeError::new("integer out of range"))?,
+                    _ => return Err(DeError::expected("integer", v)),
+                };
+                <$t>::try_from(n).map_err(|_| DeError::new("integer out of range"))
+            }
+        }
+    )+};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n: u64 = match v {
+                    Value::UInt(u) => *u,
+                    Value::Int(i) => u64::try_from(*i)
+                        .map_err(|_| DeError::new("integer out of range"))?,
+                    _ => return Err(DeError::expected("integer", v)),
+                };
+                <$t>::try_from(n).map_err(|_| DeError::new("integer out of range"))
+            }
+        }
+    )+};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        u64::from_value(v).and_then(|n| {
+            usize::try_from(n).map_err(|_| DeError::new("integer out of range"))
+        })
+    }
+}
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        Value::Int(*self as i64)
+    }
+}
+
+impl Deserialize for isize {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        i64::from_value(v).and_then(|n| {
+            isize::try_from(n).map_err(|_| DeError::new("integer out of range"))
+        })
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    #[allow(clippy::cast_precision_loss)]
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            _ => Err(DeError::expected("number", v)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    #[allow(clippy::cast_possible_truncation)]
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::expected("single-character string", v)),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(()),
+            _ => Err(DeError::expected("null", v)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compound impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_seq()
+            .ok_or_else(|| DeError::expected("sequence", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        let n = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(move |_| DeError::new(format!("expected array of length {N}, found {n}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:expr; $($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let s = v.as_seq().ok_or_else(|| DeError::expected("tuple sequence", v))?;
+                if s.len() != $len {
+                    return Err(DeError::new(format!(
+                        "expected tuple of length {}, found {}", $len, s.len()
+                    )));
+                }
+                Ok(($($name::from_value(&s[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(1; A: 0);
+impl_tuple!(2; A: 0, B: 1);
+impl_tuple!(3; A: 0, B: 1, C: 2);
+impl_tuple!(4; A: 0, B: 1, C: 2, D: 3);
+
+impl<V: Serialize, S> Serialize for HashMap<String, V, S> {
+    fn to_value(&self) -> Value {
+        // Sort keys so output is deterministic regardless of hasher state.
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize for HashMap<String, V, S> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_map()
+            .ok_or_else(|| DeError::expected("map", v))?
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_map()
+            .ok_or_else(|| DeError::expected("map", v))?
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize + Eq + Hash, S> Serialize for std::collections::HashSet<T, S> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T, S> Deserialize for std::collections::HashSet<T, S>
+where
+    T: Deserialize + Eq + Hash,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_seq()
+            .ok_or_else(|| DeError::expected("sequence", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_round_trip() {
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_value(&Value::UInt(3)).unwrap(), Some(3));
+        assert_eq!(Some(3u32).to_value(), Value::UInt(3));
+        assert_eq!(None::<u32>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn vec_and_tuple_round_trip() {
+        let v = vec![(1u32, 2.5f64), (3, 4.5)];
+        let val = v.to_value();
+        let back: Vec<(u32, f64)> = Deserialize::from_value(&val).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(f64::from_value(&Value::Int(-3)).unwrap(), -3.0);
+        assert_eq!(f64::from_value(&Value::UInt(7)).unwrap(), 7.0);
+        assert_eq!(i64::from_value(&Value::UInt(7)).unwrap(), 7);
+        assert!(u32::from_value(&Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn missing_field_reports_name() {
+        let m = Value::Map(vec![("a".into(), Value::UInt(1))]);
+        let err = field::<u32>(&m, "b").unwrap_err();
+        assert!(err.to_string().contains('b'), "{err}");
+        // Option fields tolerate absence.
+        assert_eq!(field::<Option<u32>>(&m, "b").unwrap(), None);
+    }
+}

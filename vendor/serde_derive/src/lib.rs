@@ -1,0 +1,505 @@
+//! Offline stand-in for the `serde_derive` crate.
+//!
+//! Generates impls of the vendored `serde` stub's simplified `Serialize` /
+//! `Deserialize` traits (an owned `Value`-tree data model) without `syn` /
+//! `quote`, which are unavailable in this no-network build container. The
+//! input item is parsed directly from the `proc_macro::TokenStream` and the
+//! impl is emitted as source text.
+//!
+//! Supported shapes — exactly what the workspace uses:
+//! - named-field structs (`struct S { a: T, ... }`) → JSON object
+//! - newtype structs (`struct S(T);`) → transparent inner value
+//! - tuple structs (`struct S(A, B);`) → JSON array
+//! - unit structs → `null`
+//! - enums with unit variants (→ `"Variant"`), newtype variants
+//!   (→ `{"Variant": inner}`), tuple variants (→ `{"Variant": [a, b]}`)
+//!   and struct variants (→ `{"Variant": {..}}`) — serde's externally
+//!   tagged representation
+//! - the container attribute `#[serde(from = "T", into = "T")]`
+//!
+//! Generics are not supported (no serialized workspace type is generic);
+//! the macro panics with a clear message if it meets one.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive stub: generated invalid Serialize impl")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive stub: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: Kind,
+    /// `#[serde(from = "...")]` type, if present.
+    from_ty: Option<String>,
+    /// `#[serde(into = "...")]` type, if present.
+    into_ty: Option<String>,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut from_ty = None;
+    let mut into_ty = None;
+
+    // Attributes and visibility precede the `struct` / `enum` keyword.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    parse_serde_attr(g.stream(), &mut from_ty, &mut into_ty);
+                }
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                break;
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive stub: no struct/enum found in derive input"),
+        }
+    }
+
+    let is_enum = matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "enum");
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic type `{name}` is not supported");
+        }
+    }
+
+    let kind = if is_enum {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive stub: expected enum body, found {other:?}"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde_derive stub: expected struct body, found {other:?}"),
+        }
+    };
+
+    Item { name, kind, from_ty, into_ty }
+}
+
+/// Extracts `from` / `into` types out of a `#[serde(...)]` attribute body.
+fn parse_serde_attr(attr: TokenStream, from_ty: &mut Option<String>, into_ty: &mut Option<String>) {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return, // some other attribute (doc, derive, default, ...)
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else { return };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < args.len() {
+        let key = match &args[j] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => {
+                j += 1;
+                continue;
+            }
+        };
+        if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+            (args.get(j + 1), args.get(j + 2))
+        {
+            if eq.as_char() == '=' {
+                let raw = lit.to_string();
+                let ty = raw.trim_matches('"').to_string();
+                match key.as_str() {
+                    "from" => *from_ty = Some(ty),
+                    "into" => *into_ty = Some(ty),
+                    other => panic!("serde_derive stub: unsupported serde attribute `{other}`"),
+                }
+                j += 3;
+                continue;
+            }
+        }
+        panic!("serde_derive stub: unsupported serde attribute form near `{key}`");
+    }
+}
+
+/// Skips `#[...]` attributes at `*i`, returning the next token index.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 2; // '#' + bracketed group
+    }
+}
+
+/// Skips `pub` / `pub(...)` visibility at `*i`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Advances past one type, stopping after the `,` that ends it (or at end).
+/// Commas nested in `<...>` generics belong to the type and are skipped.
+fn skip_type_and_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            panic!("serde_derive stub: expected field name, found {:?}", tokens.get(i));
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive stub: expected `:` after field, found {other:?}"),
+        }
+        skip_type_and_comma(&tokens, &mut i);
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break; // trailing comma
+        }
+        count += 1;
+        skip_type_and_comma(&tokens, &mut i);
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break; // trailing comma before end
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            panic!("serde_derive stub: expected variant name, found {:?}", tokens.get(i));
+        };
+        let name = id.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    if let Some(into) = &item.into_ty {
+        return format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     let __repr: {into} = <Self as ::core::clone::Clone>::clone(self).into();\n\
+                     ::serde::Serialize::to_value(&__repr)\n\
+                 }}\n\
+             }}"
+        );
+    }
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                          ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|k| format!("::serde::Serialize::to_value(&self.{k})")).collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn ser_variant_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.shape {
+        Shape::Unit => format!(
+            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+        ),
+        Shape::Tuple(1) => format!(
+            "{name}::{vname}(__f0) => ::serde::Value::Map(::std::vec![(\
+                 ::std::string::String::from(\"{vname}\"), \
+                 ::serde::Serialize::to_value(__f0))]),"
+        ),
+        Shape::Tuple(n) => {
+            let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+            let items: Vec<String> =
+                binders.iter().map(|b| format!("::serde::Serialize::to_value({b})")).collect();
+            format!(
+                "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![(\
+                     ::std::string::String::from(\"{vname}\"), \
+                     ::serde::Value::Seq(::std::vec![{}]))]),",
+                binders.join(", "),
+                items.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                          ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![(\
+                     ::std::string::String::from(\"{vname}\"), \
+                     ::serde::Value::Map(::std::vec![{}]))]),",
+                fields.join(", "),
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    if let Some(from) = &item.from_ty {
+        return format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) \
+                     -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                     let __repr: {from} = ::serde::Deserialize::from_value(__v)?;\n\
+                     ::core::result::Result::Ok(\
+                         <Self as ::core::convert::From<{from}>>::from(__repr))\n\
+                 }}\n\
+             }}"
+        );
+    }
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> =
+                fields.iter().map(|f| format!("{f}: ::serde::field(__v, \"{f}\")?")).collect();
+            format!("::core::result::Result::Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Kind::TupleStruct(1) => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        ),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|k| format!("::serde::Deserialize::from_value(&__s[{k}])?")).collect();
+            format!(
+                "let __s = __v.as_seq()\
+                     .ok_or_else(|| ::serde::DeError::expected(\"sequence\", __v))?;\n\
+                 if __s.len() != {n} {{\n\
+                     return ::core::result::Result::Err(::serde::DeError::new(\
+                         ::std::format!(\"expected {n} fields for `{name}`, found {{}}\", \
+                                        __s.len())));\n\
+                 }}\n\
+                 ::core::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("::core::result::Result::Ok({name})"),
+        Kind::Enum(variants) => gen_enum_deserialize(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) \
+                 -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, Shape::Unit))
+        .map(|v| format!("\"{0}\" => ::core::result::Result::Ok({name}::{0}),", v.name))
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| !matches!(v.shape, Shape::Unit))
+        .map(|v| de_variant_arm(name, v))
+        .collect();
+    format!(
+        "match __v {{\n\
+             ::serde::Value::Str(__tag) => match __tag.as_str() {{\n\
+                 {unit}\n\
+                 __other => ::core::result::Result::Err(::serde::DeError::new(\
+                     ::std::format!(\"unknown variant `{{}}` of `{name}`\", __other))),\n\
+             }},\n\
+             ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                     {data}\n\
+                     __other => ::core::result::Result::Err(::serde::DeError::new(\
+                         ::std::format!(\"unknown variant `{{}}` of `{name}`\", __other))),\n\
+                 }}\n\
+             }}\n\
+             __other => ::core::result::Result::Err(\
+                 ::serde::DeError::expected(\"`{name}` variant\", __other)),\n\
+         }}",
+        unit = unit_arms.join("\n"),
+        data = data_arms.join("\n"),
+    )
+}
+
+fn de_variant_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.shape {
+        Shape::Unit => unreachable!("unit variants handled via the string arm"),
+        Shape::Tuple(1) => format!(
+            "\"{vname}\" => ::core::result::Result::Ok(\
+                 {name}::{vname}(::serde::Deserialize::from_value(__inner)?)),"
+        ),
+        Shape::Tuple(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|k| format!("::serde::Deserialize::from_value(&__s[{k}])?")).collect();
+            format!(
+                "\"{vname}\" => {{\n\
+                     let __s = __inner.as_seq()\
+                         .ok_or_else(|| ::serde::DeError::expected(\"sequence\", __inner))?;\n\
+                     if __s.len() != {n} {{\n\
+                         return ::core::result::Result::Err(::serde::DeError::new(\
+                             ::std::format!(\"expected {n} fields for `{name}::{vname}`, \
+                                             found {{}}\", __s.len())));\n\
+                     }}\n\
+                     ::core::result::Result::Ok({name}::{vname}({}))\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let inits: Vec<String> =
+                fields.iter().map(|f| format!("{f}: ::serde::field(__inner, \"{f}\")?")).collect();
+            format!(
+                "\"{vname}\" => ::core::result::Result::Ok(\
+                     {name}::{vname} {{ {} }}),",
+                inits.join(", ")
+            )
+        }
+    }
+}
