@@ -1,13 +1,19 @@
 //! Criterion micro-benchmarks for the hot paths: plant physics steps, the
 //! learned-model prediction, the Cooling Optimizer's decision, M5P
 //! training, and a full closed-loop simulated day.
+//!
+//! Besides the usual stdout lines, this bench writes `BENCH_perf.json` at
+//! the repo root — a machine-readable record of the median ns/iter for each
+//! component, so the performance trajectory can be tracked across commits.
+//! The schema is documented in EXPERIMENTS.md.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
-use coolair::{train_cooling_model, CoolAirConfig, TrainingConfig, Version};
-use coolair::manager::optimizer::CoolingOptimizer;
 use coolair::manager::band::TempBand;
+use coolair::manager::optimizer::CoolingOptimizer;
+use coolair::manager::predict_regime;
+use coolair::{train_cooling_model, CoolAirConfig, TrainingConfig, Version};
 use coolair_ml::{Dataset, M5pConfig, ModelTree};
 use coolair_sim::{SimConfig, SimController, Simulation};
 use coolair_thermal::{
@@ -29,6 +35,27 @@ fn bench_plant_step(c: &mut Criterion) {
     c.bench_function("plant_step_15s", |b| {
         b.iter(|| {
             plant.step(SimDuration::from_secs(15), black_box(outside), &it, regime);
+        });
+    });
+}
+
+fn bench_model_predict(c: &mut Criterion) {
+    let tmy = TmySeries::generate(&Location::newark(), 11);
+    let model = train_cooling_model(&tmy, &TrainingConfig::quick());
+    let cfg = CoolAirConfig::default();
+    let plant = Plant::new(PlantConfig::parasol());
+    let readings = plant.readings(SimTime::EPOCH);
+    let regime = CoolingRegime::free_cooling(FanSpeed::new(0.5).unwrap());
+    c.bench_function("model_predict_regime", |b| {
+        b.iter(|| {
+            black_box(predict_regime(
+                &model,
+                &cfg,
+                black_box(&readings),
+                None,
+                regime,
+                Infrastructure::Smooth,
+            ));
         });
     });
 }
@@ -79,5 +106,50 @@ fn bench_day_sim(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_plant_step, bench_optimizer, bench_m5p, bench_day_sim);
-criterion_main!(benches);
+criterion_group!(
+    benches,
+    bench_plant_step,
+    bench_model_predict,
+    bench_optimizer,
+    bench_m5p,
+    bench_day_sim
+);
+
+/// Schema of `BENCH_perf.json` (documented in EXPERIMENTS.md).
+#[derive(serde::Serialize)]
+struct PerfReport {
+    schema_version: u32,
+    generated_by: String,
+    results: Vec<PerfEntry>,
+}
+
+#[derive(serde::Serialize)]
+struct PerfEntry {
+    name: String,
+    median_ns: u64,
+    samples: u64,
+}
+
+fn main() {
+    benches();
+    let report = PerfReport {
+        schema_version: 1,
+        generated_by: "perf_components".to_string(),
+        results: criterion::take_results()
+            .into_iter()
+            .map(|r| PerfEntry {
+                name: r.name,
+                median_ns: u64::try_from(r.median_ns).unwrap_or(u64::MAX),
+                samples: r.samples as u64,
+            })
+            .collect(),
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf.json");
+    match serde_json::to_string_pretty(&report) {
+        Ok(text) => match std::fs::write(path, text + "\n") {
+            Ok(()) => println!("\nwrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        },
+        Err(e) => eprintln!("could not serialize bench results: {e}"),
+    }
+}

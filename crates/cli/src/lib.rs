@@ -7,15 +7,20 @@
 
 #![warn(missing_docs)]
 
+pub mod reporter;
+
 use std::fmt::Write as _;
 
 use coolair::{train_cooling_model, CoolingModel, TrainingConfig, Version};
 use coolair_sim::{
-    disk_reliability, model_error_cdfs, run_annual_with_model, sweep_one, train_for_location,
-    AnnualConfig, FaultPlan, FaultRates, ReliabilityParams, SystemSpec,
+    disk_reliability, model_error_cdfs, run_annual_with_model, run_days_traced, sweep_one,
+    train_for_location, AnnualConfig, FaultPlan, FaultRates, ReliabilityParams, SystemSpec,
 };
+use coolair_telemetry::{Telemetry, TraceRecord};
 use coolair_weather::{Location, TmySeries, WorldGrid};
 use coolair_workload::TraceKind;
+
+use reporter::Table;
 
 /// A CLI-level error: a message for the user.
 pub type CliError = String;
@@ -207,7 +212,9 @@ pub fn cmd_annual(
 }
 
 /// `coolair faults` — the resilience experiment: Baseline vs All-ND vs
-/// supervised All-ND under a seeded fault plan at one severity.
+/// supervised All-ND under a seeded fault plan at one severity. Renders
+/// through the shared [`reporter::Table`], the same output path every other
+/// report uses.
 ///
 /// # Errors
 ///
@@ -227,11 +234,14 @@ pub fn cmd_faults(location: &str, seed: u64, severity: f64, stride: u64) -> Resu
         location.name(),
         cfg.sampled_days().len()
     );
-    let _ = writeln!(
-        out,
-        "{:<12} {:>14} {:>8} {:>12} {:>12} {:>12}",
-        "system", "violation", "PUE", "fault min", "degraded min", "failsafe min"
-    );
+    let mut table = Table::new(&[
+        "system",
+        "violation °C·min",
+        "PUE",
+        "fault min",
+        "degraded min",
+        "failsafe min",
+    ]);
     for system in [
         SystemSpec::Baseline,
         SystemSpec::CoolAir(Version::AllNd),
@@ -239,18 +249,113 @@ pub fn cmd_faults(location: &str, seed: u64, severity: f64, stride: u64) -> Resu
     ] {
         let m = (!matches!(system, SystemSpec::Baseline)).then(|| model.clone());
         let s = run_annual_with_model(&system, &location, TraceKind::Facebook, &cfg, m);
-        let _ = writeln!(
-            out,
-            "{:<12} {:>10.0} °C·min {:>8.3} {:>12} {:>12} {:>12}",
+        table.row(&[
             system.name(),
-            s.total_violation(),
-            s.pue(),
-            s.fault_minutes(),
-            s.degraded_minutes(),
-            s.failsafe_minutes()
-        );
+            format!("{:.0}", s.total_violation()),
+            format!("{:.3}", s.pue()),
+            s.fault_minutes().to_string(),
+            s.degraded_minutes().to_string(),
+            s.failsafe_minutes().to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+    Ok(out)
+}
+
+/// `coolair run` — simulate one or more specific calendar days with the
+/// telemetry bus attached, optionally streaming the event trace as JSONL.
+///
+/// # Errors
+///
+/// Propagates parsing and file I/O errors.
+pub fn cmd_run(
+    location: &str,
+    system: &str,
+    trace_kind: &str,
+    day: u64,
+    num_days: u64,
+    trace_path: Option<&str>,
+) -> Result<String, CliError> {
+    let location = parse_location(location)?;
+    let system = parse_system(system)?;
+    let trace_kind = parse_trace(trace_kind)?;
+    // One traced day should not require a 45-day training campaign first.
+    let mut cfg = AnnualConfig { training: TrainingConfig::quick(), ..AnnualConfig::default() };
+    if let SystemSpec::CoolAir(v) | SystemSpec::Supervised(v) = &system {
+        cfg.deferrable = v.is_deferrable();
+    }
+    let model = match &system {
+        SystemSpec::Baseline | SystemSpec::BaselineWithSetpoint(_) => None,
+        _ => Some(train_for_location(&location, &cfg)),
+    };
+    let telemetry = match trace_path {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+            Telemetry::writer(std::io::BufWriter::new(file))
+        }
+        None => Telemetry::discard(),
+    };
+    let days: Vec<u64> = (0..num_days.max(1)).map(|i| (day + i) % 365).collect();
+    let summary =
+        run_days_traced(&system, &location, trace_kind, &cfg, model, &days, telemetry.clone());
+    telemetry.finish();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} @ {}: {} day(s) from day {day}",
+        system.name(),
+        location.name(),
+        days.len()
+    );
+    let _ = writeln!(
+        out,
+        "  violation {:.0} °C·min, PUE {:.3}, {:.1} kWh cooling / {:.1} kWh IT",
+        summary.total_violation(),
+        summary.pue(),
+        summary.cooling_kwh(),
+        summary.it_kwh()
+    );
+    let metrics = telemetry.metrics();
+    if !metrics.counters.is_empty() {
+        let mut table = Table::new(&["event", "count"]);
+        for (name, n) in &metrics.counters {
+            table.row(&[name.clone(), n.to_string()]);
+        }
+        out.push_str(&table.render());
+    }
+    let profile = reporter::render_profile(&telemetry.profile());
+    if !profile.is_empty() {
+        out.push_str(&profile);
+    }
+    if let Some(path) = trace_path {
+        let _ = writeln!(out, "trace written to {path} (render with `coolair report {path}`)");
     }
     Ok(out)
+}
+
+/// `coolair report` — render a run summary (event counts, timeline,
+/// histograms, profile) from a `.jsonl` trace file written by `run
+/// --trace`.
+///
+/// # Errors
+///
+/// Propagates file I/O errors and malformed trace lines.
+pub fn cmd_report(path: &str) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut records: Vec<TraceRecord> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = serde_json::from_str(line)
+            .map_err(|e| format!("{path}:{}: bad trace record: {e}", i + 1))?;
+        records.push(record);
+    }
+    if records.is_empty() {
+        return Err(format!("{path}: empty trace"));
+    }
+    Ok(reporter::render_records(&records))
 }
 
 /// `coolair validate` — held-out model accuracy (the Figure 5 gates).
@@ -323,6 +428,9 @@ USAGE:
     coolair validate --location <name> [--model <model.json>]
     coolair compare  --location <name> [--stride N]
     coolair faults   --location <name> [--seed N] [--severity X] [--stride N]
+    coolair run      [--location <name>] [--system <name>] [--trace-kind facebook|nutch]
+                     [--day N] [--days N] [--trace <out.jsonl>]
+    coolair report   <trace.jsonl>
 
 SYSTEMS: baseline, temperature, variation, energy, allnd, alldef, energydef
          (append +sv for the supervised variant, e.g. allnd+sv)

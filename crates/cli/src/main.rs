@@ -3,8 +3,8 @@
 use std::process::ExitCode;
 
 use coolair_cli::{
-    cmd_annual, cmd_compare, cmd_faults, cmd_locations, cmd_train, cmd_validate, parse_flags,
-    usage,
+    cmd_annual, cmd_compare, cmd_faults, cmd_locations, cmd_report, cmd_run, cmd_train,
+    cmd_validate, parse_flags, usage,
 };
 
 fn main() -> ExitCode {
@@ -58,6 +58,22 @@ fn main() -> ExitCode {
             })?;
             cmd_faults(&location, seed, severity, stride)
         }),
+        "run" => parse_flags(rest).and_then(|f| {
+            let location = f.get("location").cloned().unwrap_or_else(|| "newark".into());
+            let system = f.get("system").cloned().unwrap_or_else(|| "baseline".into());
+            let trace_kind = f.get("trace-kind").cloned().unwrap_or_else(|| "facebook".into());
+            let day = f.get("day").map_or(Ok(150), |d| {
+                d.parse::<u64>().map_err(|e| format!("--day: {e}"))
+            })?;
+            let days = f.get("days").map_or(Ok(1), |d| {
+                d.parse::<u64>().map_err(|e| format!("--days: {e}"))
+            })?;
+            cmd_run(&location, &system, &trace_kind, day, days, f.get("trace").map(String::as_str))
+        }),
+        "report" => match rest {
+            [path] => cmd_report(path),
+            _ => Err("usage: coolair report <trace.jsonl>".to_string()),
+        },
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command '{other}'\n\n{}", usage())),
     };

@@ -1,0 +1,287 @@
+//! Shared text rendering for run reports: aligned tables, ASCII
+//! histograms, profile summaries and trace-file rendering.
+//!
+//! Every command that prints tabular output builds it through [`Table`], so
+//! fault drills, annual summaries and trace reports share one output path.
+
+use std::fmt::Write as _;
+
+use coolair_telemetry::{Event, Histogram, MetricsRegistry, ProfileReport, TraceRecord};
+use coolair_units::SimTime;
+
+/// A simple aligned-column table: column widths are computed from the
+/// content, numeric-looking cells are right-aligned, text left-aligned.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(|s| (*s).to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row (short rows are padded with empty cells).
+    pub fn row(&mut self, cells: &[String]) {
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table with one trailing newline.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for row in std::iter::once(&self.header).chain(self.rows.iter()) {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |row: &[String], out: &mut String| {
+            for (i, width) in widths.iter().enumerate() {
+                let cell = row.get(i).map_or("", String::as_str);
+                let pad = width - cell.chars().count();
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                if i > 0 && looks_numeric(cell) {
+                    for _ in 0..pad {
+                        out.push(' ');
+                    }
+                    out.push_str(cell);
+                } else {
+                    out.push_str(cell);
+                    if i + 1 < cols {
+                        for _ in 0..pad {
+                            out.push(' ');
+                        }
+                    }
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        if !self.header.is_empty() {
+            write_row(&self.header.clone(), &mut out);
+        }
+        for row in &self.rows {
+            write_row(row, &mut out);
+        }
+        out
+    }
+}
+
+fn looks_numeric(cell: &str) -> bool {
+    let core = cell.trim_start_matches(['+', '-']);
+    !core.is_empty()
+        && core.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '.')
+}
+
+/// Formats a simulated instant as `d<day> HH:MM`.
+#[must_use]
+pub fn format_time(t: SimTime) -> String {
+    let day = t.day_index();
+    let within = t.as_secs() % 86_400;
+    format!("d{day} {:02}:{:02}", within / 3600, (within % 3600) / 60)
+}
+
+/// Renders one histogram as labelled ASCII bars (empty string when the
+/// histogram has no observations).
+#[must_use]
+pub fn render_histogram(name: &str, h: &Histogram) -> String {
+    if h.count == 0 {
+        return String::new();
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{name}: n={} mean={:.2} min={:.2} max={:.2}",
+        h.count,
+        h.mean(),
+        h.min.unwrap_or(0.0),
+        h.max.unwrap_or(0.0)
+    );
+    let peak = h.counts.iter().copied().max().unwrap_or(1).max(1);
+    for (i, &c) in h.counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let label = if i < h.bounds.len() {
+            format!("<= {:>6.1}", h.bounds[i])
+        } else {
+            format!(">  {:>6.1}", h.bounds.last().copied().unwrap_or(0.0))
+        };
+        let bar_len = (c as f64 / peak as f64 * 40.0).ceil() as usize;
+        let _ = writeln!(out, "  {label} |{} {c}", "#".repeat(bar_len));
+    }
+    out
+}
+
+/// Renders the wall-clock profile as a table (empty string when no scope
+/// was entered).
+#[must_use]
+pub fn render_profile(p: &ProfileReport) -> String {
+    if p.is_empty() {
+        return String::new();
+    }
+    let mut t = Table::new(&["scope", "calls", "total ms", "mean us", "min us", "max us"]);
+    for (name, s) in &p.scopes {
+        t.row(&[
+            name.clone(),
+            s.calls.to_string(),
+            format!("{:.2}", s.total_ns as f64 / 1e6),
+            format!("{:.1}", s.mean_ns() as f64 / 1e3),
+            format!("{:.1}", s.min_ns as f64 / 1e3),
+            format!("{:.1}", s.max_ns as f64 / 1e3),
+        ]);
+    }
+    format!("profile (wall-clock):\n{}", t.render())
+}
+
+/// Renders a full run summary from trace records: event counts, the
+/// supervisor/fault timeline, metric histograms and the profile table.
+#[must_use]
+pub fn render_records(records: &[TraceRecord]) -> String {
+    let mut events: Vec<&Event> = Vec::new();
+    let mut metrics: Option<&MetricsRegistry> = None;
+    let mut profile: Option<&ProfileReport> = None;
+    let mut dump_len: Option<usize> = None;
+    for r in records {
+        match r {
+            TraceRecord::Event(e) => events.push(e),
+            TraceRecord::Metrics(m) => metrics = Some(m),
+            TraceRecord::Profile(p) => profile = Some(p),
+            TraceRecord::Dump(d) => dump_len = Some(d.events.len()),
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "trace: {} events in {} records", events.len(), records.len());
+
+    // Event counts by kind, stable order.
+    let mut counts: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for e in &events {
+        *counts.entry(e.kind_name()).or_insert(0) += 1;
+    }
+    let mut t = Table::new(&["event", "count"]);
+    for (kind, n) in &counts {
+        t.row(&[(*kind).to_string(), n.to_string()]);
+    }
+    out.push_str(&t.render());
+
+    // Incident / transition timeline.
+    let timeline: Vec<String> = events
+        .iter()
+        .filter_map(|e| {
+            let label = match e {
+                Event::SupervisorTransition { from, to, .. } => {
+                    Some(format!("supervisor {from} -> {to}"))
+                }
+                Event::FailsafeEngaged { max_inlet, .. } => {
+                    Some(format!("FAILSAFE engaged (max inlet {max_inlet:.1} C)"))
+                }
+                Event::FailsafeReleased { .. } => Some("failsafe released".to_string()),
+                Event::FaultActivated { kind, .. } => Some(format!("fault on: {kind}")),
+                Event::FaultCleared { kind, .. } => Some(format!("fault off: {kind}")),
+                Event::TksModeFlip { from, to, .. } => Some(format!("tks {from} -> {to}")),
+                _ => None,
+            }?;
+            let stamp = e.time().map_or_else(String::new, format_time);
+            Some(format!("  {stamp:<10} {label}"))
+        })
+        .collect();
+    if !timeline.is_empty() {
+        let _ = writeln!(out, "\ntimeline:");
+        for line in &timeline {
+            let _ = writeln!(out, "{line}");
+        }
+    }
+
+    if let Some(m) = metrics {
+        let mut printed_header = false;
+        for (name, h) in &m.histograms {
+            let rendered = render_histogram(name, h);
+            if !rendered.is_empty() {
+                if !printed_header {
+                    let _ = writeln!(out, "\nhistograms:");
+                    printed_header = true;
+                }
+                out.push_str(&rendered);
+            }
+        }
+    }
+
+    if let Some(p) = profile {
+        let rendered = render_profile(p);
+        if !rendered.is_empty() {
+            let _ = writeln!(out);
+            out.push_str(&rendered);
+        }
+    }
+
+    if let Some(n) = dump_len {
+        let _ = writeln!(out, "\nflight-recorder dump present ({n} events)");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coolair_telemetry::TEMP_BOUNDS_C;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(&["system", "violation", "PUE"]);
+        t.row(&["Baseline".into(), "1234".into(), "1.342".into()]);
+        t.row(&["All-ND+SV".into(), "7".into(), "1.18".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Numeric columns right-align: the short "7" is padded left.
+        assert!(lines[2].contains("         7"), "got: {r}");
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(format_time(SimTime::from_days(150)), "d150 00:00");
+        assert_eq!(
+            format_time(SimTime::from_secs(150 * 86_400 + 3 * 3600 + 25 * 60)),
+            "d150 03:25"
+        );
+    }
+
+    #[test]
+    fn histogram_rendering_scales_bars() {
+        let mut h = Histogram::new(&TEMP_BOUNDS_C);
+        for _ in 0..10 {
+            h.observe(23.0);
+        }
+        h.observe(31.0);
+        let r = render_histogram("inlet_c", &h);
+        assert!(r.contains("n=11"));
+        assert!(r.contains("<="));
+        assert!(r.contains('#'));
+    }
+
+    #[test]
+    fn record_summary_counts_events() {
+        let records = vec![
+            TraceRecord::Event(Event::DayStart { day: 1 }),
+            TraceRecord::Event(Event::RegimeChange {
+                time: SimTime::from_secs(600),
+                from: "closed".into(),
+                to: "fc@40%".into(),
+            }),
+            TraceRecord::Metrics(MetricsRegistry::default()),
+        ];
+        let r = render_records(&records);
+        assert!(r.contains("regime-change"), "got: {r}");
+        assert!(r.contains("day-start"));
+    }
+}

@@ -74,6 +74,12 @@ impl CoolAir {
         }
     }
 
+    /// Attaches a telemetry bus, propagated into the Cooling Optimizer so
+    /// its hot paths are profiled.
+    pub fn set_telemetry(&mut self, telemetry: coolair_telemetry::Telemetry) {
+        self.optimizer.set_telemetry(telemetry);
+    }
+
     /// The version this instance implements.
     #[must_use]
     pub fn version(&self) -> Version {

@@ -1,5 +1,6 @@
 //! The Cooling Optimizer (§3.2): pick the best regime for the next period.
 
+use coolair_telemetry::Telemetry;
 use coolair_thermal::{CoolingRegime, Infrastructure, SensorReadings};
 use serde::{Deserialize, Serialize};
 
@@ -29,6 +30,7 @@ pub struct Decision {
 pub struct CoolingOptimizer {
     profile: UtilityProfile,
     infra: Infrastructure,
+    telemetry: Telemetry,
 }
 
 impl CoolingOptimizer {
@@ -36,7 +38,14 @@ impl CoolingOptimizer {
     /// infrastructure.
     #[must_use]
     pub fn new(profile: UtilityProfile, infra: Infrastructure) -> Self {
-        CoolingOptimizer { profile, infra }
+        CoolingOptimizer { profile, infra, telemetry: Telemetry::disabled() }
+    }
+
+    /// Attaches a telemetry bus; selections are wrapped in the
+    /// `optimizer.select` profiling scope and each candidate prediction in
+    /// `model.predict_regime`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The utility profile in force.
@@ -61,11 +70,15 @@ impl CoolingOptimizer {
         active_pods: &[bool],
     ) -> Decision {
         assert_eq!(active_pods.len(), model.pods(), "active pod arity");
+        let _select_scope = self.telemetry.time_scope("optimizer.select");
         let mut best: Option<Decision> = None;
         let candidates = self.infra.candidate_regimes();
         let n = candidates.len();
         for candidate in candidates {
-            let prediction = predict_regime(model, cfg, readings, prev, candidate, self.infra);
+            let prediction = {
+                let _predict_scope = self.telemetry.time_scope("model.predict_regime");
+                predict_regime(model, cfg, readings, prev, candidate, self.infra)
+            };
             let penalty =
                 utility_penalty(&self.profile, cfg, band, &prediction, active_pods, candidate);
             let better = match &best {

@@ -28,6 +28,7 @@
 //! reading through untouched, the mode stays `Normal`, and the failsafe
 //! never arms.
 
+use coolair_telemetry::{Event, Telemetry, ERROR_BOUNDS_C};
 use coolair_thermal::{CoolingRegime, RegimeClass, SensorReadings, TksConfig, TksController};
 use coolair_units::{Celsius, FanSpeed, SimTime, TempDelta};
 use coolair_workload::Job;
@@ -182,6 +183,7 @@ pub struct SupervisedCoolAir {
     fc_impaired: bool,
     settle_windows: u32,
     telemetry: SupervisorTelemetry,
+    bus: Telemetry,
 }
 
 impl SupervisedCoolAir {
@@ -218,7 +220,18 @@ impl SupervisedCoolAir {
             fc_impaired: false,
             settle_windows: 0,
             telemetry: SupervisorTelemetry::default(),
+            bus: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry bus (propagated into the wrapped instance).
+    /// Ladder transitions, failsafe flips and model-error scores are
+    /// published as first-class events; the [`SupervisorTelemetry`]
+    /// counters keep working regardless, so per-day diffing by the engine
+    /// is unaffected.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.inner.set_telemetry(telemetry.clone());
+        self.bus = telemetry;
     }
 
     /// The wrapped instance.
@@ -314,8 +327,19 @@ impl SupervisedCoolAir {
         if !self.failsafe && engage {
             self.failsafe = true;
             self.telemetry.fallback_transitions += 1;
+            self.bus.emit_with(|| Event::FailsafeEngaged {
+                time: now,
+                // Fall back to the raw reading when every sensor is
+                // distrusted, so the event always carries a finite value.
+                max_inlet: if est_max.is_finite() {
+                    est_max
+                } else {
+                    sanitized.max_inlet().value()
+                },
+            });
         } else if self.failsafe && release {
             self.failsafe = false;
+            self.bus.emit_with(|| Event::FailsafeReleased { time: now });
         }
 
         // Commanded-vs-applied actuator check: both infrastructures settle
@@ -341,7 +365,7 @@ impl SupervisedCoolAir {
             }
         }
 
-        self.update_mode(untrusted);
+        self.update_mode(untrusted, now);
 
         let regime = if self.failsafe {
             // The forced AC invalidates whatever end-state the last
@@ -485,6 +509,7 @@ impl SupervisedCoolAir {
                     r.pod_inlets[p] = Celsius::new(med);
                     if fresh {
                         self.telemetry.imputed_readings += 1;
+                        self.bus.counter_add("supervisor.imputed_readings", 1);
                     }
                 }
             }
@@ -540,6 +565,12 @@ impl SupervisedCoolAir {
         };
         self.ewma_error = Some(ewma);
         self.peak_error = self.peak_error.max(ewma);
+        self.bus.observe("model_error_c", err, &ERROR_BOUNDS_C);
+        self.bus.emit_with(|| Event::ModelErrorScored {
+            time: sanitized.time,
+            error_c: err,
+            ewma_c: ewma,
+        });
     }
 
     /// Stores a decision's end-state prediction for later scoring — but
@@ -595,7 +626,7 @@ impl SupervisedCoolAir {
 
     /// Moves along the ladder: escalation is immediate, de-escalation
     /// requires `recovery_windows` consecutive healthier assessments.
-    fn update_mode(&mut self, untrusted: usize) {
+    fn update_mode(&mut self, untrusted: usize, now: SimTime) {
         let err = self.ewma_error.unwrap_or(0.0);
         let desired = if untrusted >= self.cfg.fallback_sensors
             || err >= self.cfg.fallback_error_c
@@ -609,6 +640,7 @@ impl SupervisedCoolAir {
         } else {
             SupervisorMode::Normal
         };
+        let prev = self.mode;
         if desired > self.mode {
             self.mode = desired;
             self.healthy_streak = 0;
@@ -622,6 +654,13 @@ impl SupervisedCoolAir {
             }
         } else {
             self.healthy_streak = 0;
+        }
+        if self.mode != prev {
+            self.bus.emit_with(|| Event::SupervisorTransition {
+                time: now,
+                from: prev.name().into(),
+                to: self.mode.name().into(),
+            });
         }
     }
 }

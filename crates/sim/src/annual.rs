@@ -172,6 +172,38 @@ pub fn run_annual_with_model(
     cfg: &AnnualConfig,
     model: Option<CoolingModel>,
 ) -> AnnualSummary {
+    run_annual_traced(system, location, trace, cfg, model, coolair_telemetry::Telemetry::disabled())
+}
+
+/// Like [`run_annual_with_model`] but with a telemetry bus attached to the
+/// engine and controller for the whole run. Telemetry never feeds back into
+/// the loop: the returned summary is bit-identical whether the bus is
+/// enabled, disabled, or absent.
+#[must_use]
+pub fn run_annual_traced(
+    system: &SystemSpec,
+    location: &Location,
+    trace: TraceKind,
+    cfg: &AnnualConfig,
+    model: Option<CoolingModel>,
+    telemetry: coolair_telemetry::Telemetry,
+) -> AnnualSummary {
+    run_days_traced(system, location, trace, cfg, model, &cfg.sampled_days(), telemetry)
+}
+
+/// Like [`run_annual_traced`] but over an explicit list of calendar days
+/// instead of the config's stride sampling (how the CLI `run` command
+/// traces a single day).
+#[must_use]
+pub fn run_days_traced(
+    system: &SystemSpec,
+    location: &Location,
+    trace: TraceKind,
+    cfg: &AnnualConfig,
+    model: Option<CoolingModel>,
+    sampled_days: &[u64],
+    telemetry: coolair_telemetry::Telemetry,
+) -> AnnualSummary {
     let tmy = TmySeries::generate(location, cfg.weather_seed);
     let trace = build_trace(trace, cfg);
 
@@ -248,9 +280,10 @@ pub fn run_annual_with_model(
         cfg.engine.clone(),
     );
     sim.set_fault_plan(cfg.faults.clone());
+    sim.set_telemetry(telemetry);
 
     let mut days: Vec<DayRecord> = Vec::new();
-    for day in cfg.sampled_days() {
+    for &day in sampled_days {
         let out = sim.run_day(day, trace.jobs_for_day(day));
         days.push(out.record);
     }

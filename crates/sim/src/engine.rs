@@ -1,6 +1,7 @@
 //! The closed-loop day simulator shared by Real-Sim and Smooth-Sim.
 
 use coolair::{CoolAir, SupervisedCoolAir, SupervisorTelemetry};
+use coolair_telemetry::{Event, Telemetry, TEMP_BOUNDS_C};
 use coolair_thermal::{
     CoolingRegime, ItLoad, OutsideConditions, Plant, PlantConfig, SensorReadings, TksController,
 };
@@ -61,7 +62,7 @@ impl Container for crate::ModelPlant {
         crate::ModelPlant::readings(self, now)
     }
     fn pods(&self) -> usize {
-        self.readings(SimTime::EPOCH).pod_inlets.len()
+        crate::ModelPlant::pods(self)
     }
 }
 
@@ -184,6 +185,8 @@ pub struct Simulation<P: Container = Plant> {
     next_job: usize,
     faults: FaultPlan,
     stale_inlets: Vec<Celsius>,
+    telemetry: Telemetry,
+    fault_active: Vec<bool>,
 }
 
 impl Simulation<Plant> {
@@ -221,7 +224,24 @@ impl<P: Container> Simulation<P> {
             next_job: 0,
             faults: FaultPlan::none(),
             stale_inlets: Vec::new(),
+            telemetry: Telemetry::disabled(),
+            fault_active: Vec::new(),
         }
+    }
+
+    /// Attaches a telemetry bus to the engine and its controller. Events
+    /// cover day boundaries, control ticks, regime changes, controller mode
+    /// changes and fault-window transitions; hot paths are profiled under
+    /// the `engine.run_day`, `controller.decide` and `plant.step` scopes.
+    /// Telemetry never feeds back into the loop, so an enabled bus produces
+    /// bit-identical simulation results to a disabled one.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        match &mut self.controller {
+            SimController::Baseline(tks) => tks.set_telemetry(telemetry.clone()),
+            SimController::CoolAir(ca) => ca.set_telemetry(telemetry.clone()),
+            SimController::Supervised(sv) => sv.set_telemetry(telemetry.clone()),
+        }
+        self.telemetry = telemetry;
     }
 
     /// Installs a fault plan. Faults corrupt what the controller senses and
@@ -231,6 +251,7 @@ impl<P: Container> Simulation<P> {
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.faults = plan;
         self.stale_inlets.clear();
+        self.fault_active = vec![false; self.faults.windows().len()];
     }
 
     /// The installed fault plan.
@@ -256,6 +277,9 @@ impl<P: Container> Simulation<P> {
     /// simulation before midnight so the plant state matches the day's
     /// weather.
     pub fn run_day(&mut self, day: u64, jobs: Vec<Job>) -> DayOutput {
+        let _day_scope = self.telemetry.time_scope("engine.run_day");
+        let _guard = self.telemetry.panic_guard();
+        self.telemetry.emit_with(|| Event::DayStart { day });
         self.pending = jobs;
         self.pending.sort_by_key(|j| j.submit);
         self.next_job = 0;
@@ -340,11 +364,29 @@ impl<P: Container> Simulation<P> {
             };
             if (t % control_period).is_zero() {
                 let readings = self.controller_readings(t);
-                self.regime = match &mut self.controller {
-                    SimController::Baseline(tks) => tks.decide(&readings),
-                    SimController::CoolAir(ca) => ca.decide_cooling(&readings, t).regime,
-                    SimController::Supervised(sv) => sv.decide_cooling(&readings, t),
+                let prev_regime = self.regime;
+                self.regime = {
+                    let _decide_scope = self.telemetry.time_scope("controller.decide");
+                    match &mut self.controller {
+                        SimController::Baseline(tks) => tks.decide(&readings),
+                        SimController::CoolAir(ca) => ca.decide_cooling(&readings, t).regime,
+                        SimController::Supervised(sv) => sv.decide_cooling(&readings, t),
+                    }
                 };
+                self.telemetry.emit_with(|| Event::ControlTick {
+                    time: t,
+                    controller: self.controller.name(),
+                    regime: self.regime.to_string(),
+                    max_inlet: readings.max_inlet().value(),
+                    outside: readings.outside_temp.value(),
+                });
+                if self.regime != prev_regime {
+                    self.telemetry.emit_with(|| Event::RegimeChange {
+                        time: t,
+                        from: prev_regime.to_string(),
+                        to: self.regime.to_string(),
+                    });
+                }
             }
 
             // --- metrics -------------------------------------------------------
@@ -363,6 +405,24 @@ impl<P: Container> Simulation<P> {
                 rh_samples += 1;
                 if self.faults.any_active(t) {
                     fault_minutes += 1;
+                }
+                if self.telemetry.enabled() {
+                    for &v in &temps {
+                        self.telemetry.observe("inlet_c", v, &TEMP_BOUNDS_C);
+                    }
+                    // Fault-window edge detection, at metrics resolution.
+                    for (i, w) in self.faults.windows().iter().enumerate() {
+                        let active = w.covers(t);
+                        if active != self.fault_active[i] {
+                            self.fault_active[i] = active;
+                            let kind = w.kind.to_string();
+                            self.telemetry.emit(if active {
+                                Event::FaultActivated { time: t, kind }
+                            } else {
+                                Event::FaultCleared { time: t, kind }
+                            });
+                        }
+                    }
                 }
                 if hour_ring.len() == samples_per_hour {
                     let old = hour_ring.remove(0);
@@ -394,7 +454,10 @@ impl<P: Container> Simulation<P> {
             // Actuator faults sit between command and plant: the controller
             // believes `self.regime` is in force, the hardware does this.
             let actual = self.faults.apply_actuator(t, self.regime);
-            self.plant.step(self.cfg.physics_step, outside, &it, actual);
+            {
+                let _step_scope = self.telemetry.time_scope("plant.step");
+                self.plant.step(self.cfg.physics_step, outside, &it, actual);
+            }
             t += self.cfg.physics_step;
         }
 
@@ -426,6 +489,12 @@ impl<P: Container> Simulation<P> {
             fallback_transitions: sv_after.fallback_transitions - sv_before.fallback_transitions,
             imputed_readings: sv_after.imputed_readings - sv_before.imputed_readings,
         };
+        self.telemetry.emit_with(|| Event::DayEnd {
+            day,
+            violation_sum: record.violation_sum,
+            cooling_kwh: record.cooling_kwh,
+            it_kwh: record.it_kwh,
+        });
         DayOutput { record, minutes }
     }
 

@@ -83,6 +83,37 @@ pub enum FaultKind {
     Forecast(GlitchKind),
 }
 
+impl std::fmt::Display for SensorFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SensorFault::Dropout => write!(f, "dropout"),
+            SensorFault::StuckAt(v) => write!(f, "stuck@{v:.1}C"),
+            SensorFault::Drift { c_per_hour } => write!(f, "drift {c_per_hour:+.1}C/h"),
+            SensorFault::Noise { std_c } => write!(f, "noise σ={std_c:.1}C"),
+        }
+    }
+}
+
+impl std::fmt::Display for ActuatorFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ActuatorFault::FanStuck { fan } => write!(f, "fan stuck@{fan}"),
+            ActuatorFault::AcLockout => write!(f, "AC lockout"),
+            ActuatorFault::DamperJam => write!(f, "damper jam"),
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::Sensor { pod, fault } => write!(f, "sensor[{pod}]: {fault}"),
+            FaultKind::Actuator(a) => write!(f, "actuator: {a}"),
+            FaultKind::Forecast(g) => write!(f, "forecast: {g:?}"),
+        }
+    }
+}
+
 /// One scheduled fault: a kind active over `[start, end)`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FaultWindow {

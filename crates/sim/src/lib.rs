@@ -48,7 +48,10 @@ mod reliability;
 mod validate;
 mod worldsweep;
 
-pub use annual::{run_annual, run_annual_with_model, train_for_location, AnnualConfig, SystemSpec};
+pub use annual::{
+    run_annual, run_annual_traced, run_annual_with_model, run_days_traced, train_for_location,
+    AnnualConfig, SystemSpec,
+};
 pub use engine::{Container, DayOutput, MinuteSample, SimConfig, Simulation, SimController};
 pub use faults::{ActuatorFault, FaultKind, FaultPlan, FaultRates, FaultWindow, SensorFault};
 pub use fidelity::{day_fidelity, FidelityReport, FidelitySystem};

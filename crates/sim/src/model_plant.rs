@@ -63,6 +63,12 @@ impl ModelPlant {
         }
     }
 
+    /// Number of pod sensors (cached from the model; no snapshot needed).
+    #[must_use]
+    pub fn pods(&self) -> usize {
+        self.pod_temps.len()
+    }
+
     /// Forces the interior to a uniform state.
     pub fn reset_interior(&mut self, temp: Celsius, rh: RelativeHumidity) {
         for t in self.pod_temps.iter_mut().chain(self.prev_temps.iter_mut()) {

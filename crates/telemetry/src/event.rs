@@ -1,0 +1,192 @@
+//! The typed event taxonomy of the control loop.
+//!
+//! Every event is stamped with [`SimTime`] (never wall-clock time), so a
+//! trace is a pure function of the simulated run: the same seed produces
+//! the same stream byte for byte. Wall-clock measurements live in the
+//! profiler ([`crate::ProfileReport`]), not here.
+
+use coolair_units::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One structured event on the telemetry bus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A simulated day began (including its warm-up hours).
+    DayStart {
+        /// Calendar day index.
+        day: u64,
+    },
+    /// A simulated day finished; carries its headline aggregates.
+    DayEnd {
+        /// Calendar day index.
+        day: u64,
+        /// Total °C above the desired maximum over all sensor readings.
+        violation_sum: f64,
+        /// Cooling energy, kWh.
+        cooling_kwh: f64,
+        /// IT energy, kWh.
+        it_kwh: f64,
+    },
+    /// The controller issued a cooling command for the next control period.
+    ControlTick {
+        /// Decision time.
+        time: SimTime,
+        /// Controller display name (e.g. `Baseline`, `All-ND+SV`).
+        controller: String,
+        /// The commanded regime, rendered (`closed`, `fc@55%`, `ac@100%`).
+        regime: String,
+        /// Warmest pod inlet the controller saw, °C.
+        max_inlet: f64,
+        /// Outside temperature, °C.
+        outside: f64,
+    },
+    /// The commanded cooling regime changed between control periods.
+    RegimeChange {
+        /// Decision time.
+        time: SimTime,
+        /// Previous command.
+        from: String,
+        /// New command.
+        to: String,
+    },
+    /// The baseline TKS controller flipped between LOT and HOT modes.
+    TksModeFlip {
+        /// Observation time.
+        time: SimTime,
+        /// Previous mode (`lot`/`hot`).
+        from: String,
+        /// New mode.
+        to: String,
+    },
+    /// The degraded-mode supervisor moved along its fallback ladder.
+    SupervisorTransition {
+        /// Decision time.
+        time: SimTime,
+        /// Previous mode (`normal`/`conservative`/`fallback`).
+        from: String,
+        /// New mode.
+        to: String,
+    },
+    /// The hard overtemp (or blind-sensor) failsafe force-engaged the AC.
+    /// Emitting this event also snapshots the flight recorder.
+    FailsafeEngaged {
+        /// Decision time.
+        time: SimTime,
+        /// Best estimate of the hottest inlet, °C — from trusted sensors
+        /// when any survive, raw readings otherwise (always finite).
+        max_inlet: f64,
+    },
+    /// The failsafe released after the hysteresis condition cleared.
+    FailsafeReleased {
+        /// Decision time.
+        time: SimTime,
+    },
+    /// An injected fault window became active.
+    FaultActivated {
+        /// First sample time at which the window was observed active.
+        time: SimTime,
+        /// Human-readable fault kind (e.g. `sensor[2]: StuckAt(40.0)`).
+        kind: String,
+    },
+    /// An injected fault window cleared.
+    FaultCleared {
+        /// First sample time at which the window was observed inactive.
+        time: SimTime,
+        /// Human-readable fault kind.
+        kind: String,
+    },
+    /// The supervisor scored a Cooling Predictor prediction against a
+    /// validated observation.
+    ModelErrorScored {
+        /// Observation time.
+        time: SimTime,
+        /// This window's mean absolute error, °C.
+        error_c: f64,
+        /// The updated EWMA of the error, °C.
+        ewma_c: f64,
+    },
+}
+
+impl Event {
+    /// The simulated instant the event refers to (`None` for day markers,
+    /// which are keyed by day index instead).
+    #[must_use]
+    pub fn time(&self) -> Option<SimTime> {
+        match self {
+            Event::DayStart { .. } | Event::DayEnd { .. } => None,
+            Event::ControlTick { time, .. }
+            | Event::RegimeChange { time, .. }
+            | Event::TksModeFlip { time, .. }
+            | Event::SupervisorTransition { time, .. }
+            | Event::FailsafeEngaged { time, .. }
+            | Event::FailsafeReleased { time }
+            | Event::FaultActivated { time, .. }
+            | Event::FaultCleared { time, .. }
+            | Event::ModelErrorScored { time, .. } => Some(*time),
+        }
+    }
+
+    /// Stable short name of the variant, for counting and filtering.
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Event::DayStart { .. } => "day-start",
+            Event::DayEnd { .. } => "day-end",
+            Event::ControlTick { .. } => "control-tick",
+            Event::RegimeChange { .. } => "regime-change",
+            Event::TksModeFlip { .. } => "tks-mode-flip",
+            Event::SupervisorTransition { .. } => "supervisor-transition",
+            Event::FailsafeEngaged { .. } => "failsafe-engaged",
+            Event::FailsafeReleased { .. } => "failsafe-released",
+            Event::FaultActivated { .. } => "fault-activated",
+            Event::FaultCleared { .. } => "fault-cleared",
+            Event::ModelErrorScored { .. } => "model-error",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let events = vec![
+            Event::DayStart { day: 150 },
+            Event::ControlTick {
+                time: SimTime::from_secs(600),
+                controller: "Baseline".into(),
+                regime: "fc@55%".into(),
+                max_inlet: 24.5,
+                outside: 12.0,
+            },
+            Event::RegimeChange {
+                time: SimTime::from_secs(1200),
+                from: "closed".into(),
+                to: "ac@100%".into(),
+            },
+            Event::FailsafeEngaged { time: SimTime::from_secs(1800), max_inlet: 33.0 },
+        ];
+        for e in events {
+            let json = serde_json::to_string(&e).unwrap();
+            let back: Event = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, e);
+        }
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(Event::DayStart { day: 0 }.kind_name(), "day-start");
+        assert_eq!(
+            Event::FailsafeReleased { time: SimTime::EPOCH }.kind_name(),
+            "failsafe-released"
+        );
+    }
+
+    #[test]
+    fn time_accessor_covers_all_timed_variants() {
+        let t = SimTime::from_secs(60);
+        assert_eq!(Event::FailsafeReleased { time: t }.time(), Some(t));
+        assert_eq!(Event::DayStart { day: 3 }.time(), None);
+    }
+}

@@ -1,0 +1,412 @@
+//! Structured observability for the CoolAir control loop.
+//!
+//! The crate provides one cheap, cloneable [`Telemetry`] handle that fans
+//! out to four facilities:
+//!
+//! * a typed **event bus** ([`Event`]) stamped with `SimTime`, streamed to
+//!   a memory buffer or a JSONL writer;
+//! * a deterministic **metrics registry** ([`MetricsRegistry`]) of
+//!   counters, gauges and fixed-bucket histograms;
+//! * wall-clock **profiling scopes** ([`ScopeTimer`]/[`ProfileReport`])
+//!   around the hot paths, kept separate from the deterministic artifacts;
+//! * a bounded **flight recorder** ([`FlightRecorder`]) whose tail is
+//!   snapshotted automatically when the failsafe engages or a panic
+//!   unwinds through a [`PanicGuard`].
+//!
+//! A default-constructed handle is disabled: every operation is a branch
+//! on a `None` and returns immediately, so instrumented code pays nothing
+//! when nobody is listening. `emit_with` defers even event construction.
+
+use std::fmt;
+use std::io::Write;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+pub mod event;
+pub mod metrics;
+pub mod profile;
+pub mod recorder;
+
+pub use event::Event;
+pub use metrics::{Histogram, MetricsRegistry, ERROR_BOUNDS_C, TEMP_BOUNDS_C};
+pub use profile::{ProfileReport, Profiler, ScopeStat, ScopeTimer};
+pub use recorder::{FlightDump, FlightRecorder, DEFAULT_CAPACITY};
+
+/// One line of a `.jsonl` trace file.
+///
+/// A trace is a stream of `Event` records followed by optional `Metrics`,
+/// `Profile` and `Dump` trailer records appended by [`Telemetry::finish`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum TraceRecord {
+    /// A control-loop event.
+    Event(Event),
+    /// End-of-run metrics registry snapshot.
+    Metrics(MetricsRegistry),
+    /// End-of-run wall-clock profile (non-deterministic by nature).
+    Profile(ProfileReport),
+    /// A flight-recorder snapshot taken at an incident.
+    Dump(FlightDump),
+}
+
+enum Sink {
+    Memory(Vec<Event>),
+    Writer(Box<dyn Write + Send>),
+    Discard,
+}
+
+struct TelemetryInner {
+    sink: Mutex<Sink>,
+    metrics: Mutex<MetricsRegistry>,
+    profiler: Mutex<Profiler>,
+    recorder: Mutex<FlightRecorder>,
+    dump: Mutex<Option<FlightDump>>,
+}
+
+/// Cheap, cloneable, thread-safe handle to the telemetry bus.
+///
+/// All clones share one underlying bus. The default handle is disabled
+/// and free: no allocation, no locking, no event construction.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<TelemetryInner>>,
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Telemetry").field("enabled", &self.enabled()).finish()
+    }
+}
+
+impl Telemetry {
+    /// A disabled handle: every operation is a no-op.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// An enabled bus retaining events in memory (for tests and reports).
+    #[must_use]
+    pub fn memory() -> Self {
+        Telemetry::with_sink(Sink::Memory(Vec::new()))
+    }
+
+    /// An enabled bus that streams each event as one JSONL line to `w`.
+    #[must_use]
+    pub fn writer<W: Write + Send + 'static>(w: W) -> Self {
+        Telemetry::with_sink(Sink::Writer(Box::new(w)))
+    }
+
+    /// An enabled bus that drops events but still maintains metrics,
+    /// profile and flight recorder.
+    #[must_use]
+    pub fn discard() -> Self {
+        Telemetry::with_sink(Sink::Discard)
+    }
+
+    fn with_sink(sink: Sink) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(TelemetryInner {
+                sink: Mutex::new(sink),
+                metrics: Mutex::new(MetricsRegistry::default()),
+                profiler: Mutex::new(Profiler::default()),
+                recorder: Mutex::new(FlightRecorder::default()),
+                dump: Mutex::new(None),
+            })),
+        }
+    }
+
+    /// Whether the bus is live. Instrumented code may branch on this to
+    /// skip expensive preparation, though [`Telemetry::emit_with`] already
+    /// covers the common case.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Publishes an event: sink, flight recorder, and per-kind counter.
+    /// Emitting [`Event::FailsafeEngaged`] also snapshots the flight
+    /// recorder into the incident dump slot (first incident wins).
+    pub fn emit(&self, event: Event) {
+        let Some(inner) = &self.inner else { return };
+        inner.metrics.lock().counter_add(event.kind_name(), 1);
+        {
+            let mut rec = inner.recorder.lock();
+            rec.push(event.clone());
+            if matches!(event, Event::FailsafeEngaged { .. }) {
+                let mut dump = inner.dump.lock();
+                if dump.is_none() {
+                    *dump = Some(rec.snapshot("failsafe-engaged"));
+                }
+            }
+        }
+        match &mut *inner.sink.lock() {
+            Sink::Memory(buf) => buf.push(event),
+            Sink::Writer(w) => write_record(w, &TraceRecord::Event(event)),
+            Sink::Discard => {}
+        }
+    }
+
+    /// Publishes the event built by `f`, constructing it only when the
+    /// bus is live. Prefer this on hot paths.
+    pub fn emit_with<F: FnOnce() -> Event>(&self, f: F) {
+        if self.inner.is_some() {
+            self.emit(f());
+        }
+    }
+
+    /// Adds `n` to a registry counter.
+    pub fn counter_add(&self, name: &str, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.lock().counter_add(name, n);
+        }
+    }
+
+    /// Sets a registry gauge.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.lock().gauge_set(name, value);
+        }
+    }
+
+    /// Records one observation into a registry histogram, creating it
+    /// over `bounds` on first use.
+    pub fn observe(&self, name: &str, value: f64, bounds: &[f64]) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.lock().observe(name, value, bounds);
+        }
+    }
+
+    /// Starts timing `scope`; the returned guard records on drop. No-op
+    /// (no clock read) when disabled.
+    pub fn time_scope(&self, scope: &'static str) -> ScopeTimer {
+        if self.inner.is_some() {
+            ScopeTimer::running(scope, self.clone())
+        } else {
+            ScopeTimer::noop()
+        }
+    }
+
+    pub(crate) fn record_scope(&self, scope: &'static str, ns: u64) {
+        if let Some(inner) = &self.inner {
+            inner.profiler.lock().record(scope, ns);
+        }
+    }
+
+    /// Arms a guard that dumps the flight recorder to stderr if the
+    /// current thread panics before the guard is dropped normally.
+    #[must_use = "the guard must be bound to a local so it lives to the end of the scope"]
+    pub fn panic_guard(&self) -> PanicGuard {
+        PanicGuard { tel: self.clone() }
+    }
+
+    /// Drains and returns the events retained by a [`Telemetry::memory`]
+    /// sink (empty for other sinks).
+    #[must_use]
+    pub fn take_events(&self) -> Vec<Event> {
+        match &self.inner {
+            Some(inner) => match &mut *inner.sink.lock() {
+                Sink::Memory(buf) => std::mem::take(buf),
+                _ => Vec::new(),
+            },
+            None => Vec::new(),
+        }
+    }
+
+    /// A snapshot of the metrics registry.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsRegistry {
+        match &self.inner {
+            Some(inner) => inner.metrics.lock().clone(),
+            None => MetricsRegistry::default(),
+        }
+    }
+
+    /// A snapshot of the wall-clock profile.
+    #[must_use]
+    pub fn profile(&self) -> ProfileReport {
+        match &self.inner {
+            Some(inner) => inner.profiler.lock().report(),
+            None => ProfileReport::default(),
+        }
+    }
+
+    /// Takes the incident dump captured at the first failsafe engagement,
+    /// if one occurred.
+    #[must_use]
+    pub fn take_flight_dump(&self) -> Option<FlightDump> {
+        self.inner.as_ref().and_then(|inner| inner.dump.lock().take())
+    }
+
+    /// Finalizes a run: appends `Metrics`, `Profile` and (if an incident
+    /// occurred) `Dump` trailer records to a writer sink and flushes it.
+    /// Harmless on other sinks.
+    pub fn finish(&self) {
+        let Some(inner) = &self.inner else { return };
+        let metrics = inner.metrics.lock().clone();
+        let profile = inner.profiler.lock().report();
+        let dump = inner.dump.lock().clone();
+        if let Sink::Writer(w) = &mut *inner.sink.lock() {
+            write_record(w, &TraceRecord::Metrics(metrics));
+            write_record(w, &TraceRecord::Profile(profile));
+            if let Some(d) = dump {
+                write_record(w, &TraceRecord::Dump(d));
+            }
+            let _ = w.flush();
+        }
+    }
+}
+
+/// Best-effort line write: telemetry must never take the run down with it.
+fn write_record(w: &mut Box<dyn Write + Send>, record: &TraceRecord) {
+    if let Ok(line) = serde_json::to_string(record) {
+        let _ = writeln!(w, "{line}");
+    }
+}
+
+/// Dumps the flight recorder to stderr when a panic unwinds through it.
+///
+/// Hold one across a risky region (e.g. a full simulated day); drop it
+/// normally on success and it does nothing.
+#[must_use = "the guard only protects the region it outlives"]
+pub struct PanicGuard {
+    tel: Telemetry,
+}
+
+impl Drop for PanicGuard {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        if let Some(inner) = &self.tel.inner {
+            let dump = inner.recorder.lock().snapshot("panic");
+            if let Ok(json) = serde_json::to_string(&TraceRecord::Dump(dump)) {
+                eprintln!("telemetry flight-recorder dump (panic):\n{json}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coolair_units::SimTime;
+
+    fn tick(secs: u64) -> Event {
+        Event::ControlTick {
+            time: SimTime::from_secs(secs),
+            controller: "Baseline".into(),
+            regime: "closed".into(),
+            max_inlet: 22.0,
+            outside: 10.0,
+        }
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.enabled());
+        tel.emit(tick(0));
+        tel.counter_add("x", 1);
+        tel.observe("h", 1.0, &[1.0]);
+        {
+            let _t = tel.time_scope("s");
+        }
+        assert!(tel.take_events().is_empty());
+        assert_eq!(tel.metrics(), MetricsRegistry::default());
+        assert!(tel.profile().is_empty());
+    }
+
+    #[test]
+    fn emit_with_skips_construction_when_disabled() {
+        let tel = Telemetry::disabled();
+        tel.emit_with(|| unreachable!("closure must not run when disabled"));
+    }
+
+    #[test]
+    fn memory_sink_retains_events_and_counts_kinds() {
+        let tel = Telemetry::memory();
+        tel.emit(tick(0));
+        tel.emit(tick(600));
+        tel.emit(Event::RegimeChange {
+            time: SimTime::from_secs(600),
+            from: "closed".into(),
+            to: "fc@40%".into(),
+        });
+        let events = tel.take_events();
+        assert_eq!(events.len(), 3);
+        let m = tel.metrics();
+        assert_eq!(m.counter("control-tick"), 2);
+        assert_eq!(m.counter("regime-change"), 1);
+    }
+
+    #[test]
+    fn shared_handle_clones_feed_one_bus() {
+        let tel = Telemetry::memory();
+        let clone = tel.clone();
+        clone.emit(tick(0));
+        assert_eq!(tel.take_events().len(), 1);
+    }
+
+    #[test]
+    fn writer_sink_streams_jsonl_with_trailers() {
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let tel = Telemetry::writer(Shared(buf.clone()));
+        tel.emit(tick(0));
+        tel.observe("inlet_c", 24.0, &TEMP_BOUNDS_C);
+        {
+            let _t = tel.time_scope("plant.step");
+        }
+        tel.finish();
+        let text = String::from_utf8(buf.lock().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "event + metrics + profile: {text}");
+        let first: TraceRecord = serde_json::from_str(lines[0]).unwrap();
+        assert!(matches!(first, TraceRecord::Event(Event::ControlTick { .. })));
+        let metrics: TraceRecord = serde_json::from_str(lines[1]).unwrap();
+        match metrics {
+            TraceRecord::Metrics(m) => assert_eq!(m.histogram("inlet_c").unwrap().count, 1),
+            other => panic!("expected metrics trailer, got {other:?}"),
+        }
+        let profile: TraceRecord = serde_json::from_str(lines[2]).unwrap();
+        match profile {
+            TraceRecord::Profile(p) => assert_eq!(p.scopes["plant.step"].calls, 1),
+            other => panic!("expected profile trailer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failsafe_engagement_snapshots_flight_recorder() {
+        let tel = Telemetry::discard();
+        tel.emit(tick(0));
+        tel.emit(Event::FailsafeEngaged { time: SimTime::from_secs(60), max_inlet: 33.0 });
+        let dump = tel.take_flight_dump().expect("dump captured");
+        assert_eq!(dump.reason, "failsafe-engaged");
+        assert_eq!(dump.events.len(), 2);
+        assert!(tel.take_flight_dump().is_none(), "dump is taken once");
+    }
+
+    #[test]
+    fn scope_timer_records_on_drop() {
+        let tel = Telemetry::discard();
+        {
+            let _t = tel.time_scope("optimizer.select");
+        }
+        {
+            let _t = tel.time_scope("optimizer.select");
+        }
+        let p = tel.profile();
+        assert_eq!(p.scopes["optimizer.select"].calls, 2);
+    }
+}

@@ -1,0 +1,189 @@
+//! A deterministic, serde-serializable metrics registry.
+//!
+//! Counters, gauges and fixed-bucket histograms, all keyed by `BTreeMap` so
+//! iteration (and therefore serialization) order is stable. Everything in
+//! the registry is driven by *simulation-domain* values — wall-clock
+//! measurements belong in the profiler — so two runs with the same seed
+//! produce identical registries.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over fixed, caller-supplied bucket bounds.
+///
+/// `counts` has one slot per bound plus a final overflow slot:
+/// `counts[i]` counts observations `v <= bounds[i]` (first matching bound
+/// wins), and `counts[bounds.len()]` counts observations above every bound.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Upper-inclusive bucket bounds, ascending.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` slots).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation, if any.
+    pub min: Option<f64>,
+    /// Largest observation, if any.
+    pub max: Option<f64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over `bounds` (ascending).
+    #[must_use]
+    pub fn new(bounds: &[f64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: None,
+            max: None,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = Some(self.min.map_or(value, |m| m.min(value)));
+        self.max = Some(self.max.map_or(value, |m| m.max(value)));
+    }
+
+    /// Mean of the observations (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Approximate quantile from the bucket counts: the upper bound of the
+    /// bucket containing the `q`-quantile observation (`q` in `[0, 1]`).
+    /// Observations above every bound report the observed maximum.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max.unwrap_or(f64::NAN)
+                });
+            }
+        }
+        self.max
+    }
+}
+
+/// Counters, gauges, and histograms for one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsRegistry {
+    /// Monotonic event counts.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins values.
+    pub gauges: BTreeMap<String, f64>,
+    /// Fixed-bucket distributions.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Adds `n` to a counter, creating it at zero first if needed.
+    pub fn counter_add(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Sets a gauge.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records one observation into the named histogram, creating it over
+    /// `bounds` on first use (later calls ignore `bounds`).
+    pub fn observe(&mut self, name: &str, value: f64, bounds: &[f64]) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+
+    /// A counter's current value (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A histogram by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+}
+
+/// Default bucket bounds for inlet-temperature histograms, °C.
+pub const TEMP_BOUNDS_C: [f64; 12] =
+    [10.0, 14.0, 18.0, 20.0, 22.0, 24.0, 26.0, 28.0, 30.0, 32.0, 35.0, 40.0];
+
+/// Default bucket bounds for model-error histograms, °C.
+pub const ERROR_BOUNDS_C: [f64; 8] = [0.1, 0.25, 0.5, 1.0, 2.0, 3.0, 5.0, 10.0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::new(&[1.0, 2.0, 5.0]);
+        for v in [0.5, 1.5, 1.5, 4.0, 9.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts, vec![1, 2, 1, 1]);
+        assert_eq!(h.count, 5);
+        assert_eq!(h.min, Some(0.5));
+        assert_eq!(h.max, Some(9.0));
+        assert!((h.mean() - 3.3).abs() < 1e-12);
+        assert_eq!(h.quantile(0.5), Some(2.0));
+        assert_eq!(h.quantile(1.0), Some(9.0), "overflow bucket reports max");
+    }
+
+    #[test]
+    fn registry_round_trips_and_is_ordered() {
+        let mut r = MetricsRegistry::default();
+        r.counter_add("z.ticks", 3);
+        r.counter_add("a.ticks", 1);
+        r.gauge_set("pue", 1.12);
+        r.observe("inlet", 24.0, &TEMP_BOUNDS_C);
+        r.observe("inlet", 31.0, &TEMP_BOUNDS_C);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: MetricsRegistry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        // BTreeMap ⇒ serialization order is key order, not insertion order.
+        let a = json.find("a.ticks").unwrap();
+        let z = json.find("z.ticks").unwrap();
+        assert!(a < z);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new(&ERROR_BOUNDS_C);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

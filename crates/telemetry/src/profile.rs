@@ -1,0 +1,145 @@
+//! Wall-clock profiling scopes for the hot paths.
+//!
+//! Timing data is intentionally kept out of the metrics registry and the
+//! event stream: wall-clock durations vary run to run, and mixing them into
+//! the deterministic artifacts would break bit-identical traces. The
+//! profiler aggregates per-scope statistics and reports them separately.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregated wall-clock statistics for one named scope.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScopeStat {
+    /// Number of times the scope was entered.
+    pub calls: u64,
+    /// Total time spent inside the scope, nanoseconds.
+    pub total_ns: u64,
+    /// Fastest single entry, nanoseconds.
+    pub min_ns: u64,
+    /// Slowest single entry, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl ScopeStat {
+    fn record(&mut self, ns: u64) {
+        if self.calls == 0 {
+            self.min_ns = ns;
+            self.max_ns = ns;
+        } else {
+            self.min_ns = self.min_ns.min(ns);
+            self.max_ns = self.max_ns.max(ns);
+        }
+        self.calls += 1;
+        self.total_ns += ns;
+    }
+
+    /// Mean nanoseconds per call (0 when never entered).
+    #[must_use]
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.calls).unwrap_or(0)
+    }
+}
+
+/// Accumulates [`ScopeStat`]s keyed by scope name.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    scopes: BTreeMap<&'static str, ScopeStat>,
+}
+
+impl Profiler {
+    /// Records one completed entry of `scope` lasting `ns` nanoseconds.
+    pub fn record(&mut self, scope: &'static str, ns: u64) {
+        self.scopes.entry(scope).or_default().record(ns);
+    }
+
+    /// Snapshots the accumulated statistics into a serializable report.
+    #[must_use]
+    pub fn report(&self) -> ProfileReport {
+        ProfileReport {
+            scopes: self
+                .scopes
+                .iter()
+                .map(|(name, stat)| ((*name).to_string(), stat.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// A serializable snapshot of all profiling scopes for one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// Per-scope statistics, keyed by scope name (stable order).
+    pub scopes: BTreeMap<String, ScopeStat>,
+}
+
+impl ProfileReport {
+    /// True when no scope was ever entered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.scopes.is_empty()
+    }
+}
+
+/// RAII guard that times one scope entry; records on drop.
+///
+/// Obtained from [`crate::Telemetry::time_scope`]. When telemetry is
+/// disabled the guard holds no state and dropping it does nothing. The
+/// guard owns a clone of the handle (an `Option<Arc>`), so it never
+/// borrows the instrumented object.
+#[must_use = "a scope timer measures until it is dropped"]
+pub struct ScopeTimer {
+    state: Option<(&'static str, Instant, crate::Telemetry)>,
+}
+
+impl ScopeTimer {
+    pub(crate) fn noop() -> Self {
+        ScopeTimer { state: None }
+    }
+
+    pub(crate) fn running(scope: &'static str, tel: crate::Telemetry) -> Self {
+        ScopeTimer { state: Some((scope, Instant::now(), tel)) }
+    }
+}
+
+impl Drop for ScopeTimer {
+    fn drop(&mut self) {
+        if let Some((scope, start, tel)) = self.state.take() {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            tel.record_scope(scope, ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_stats_aggregate() {
+        let mut p = Profiler::default();
+        p.record("a", 10);
+        p.record("a", 30);
+        p.record("b", 5);
+        let r = p.report();
+        let a = &r.scopes["a"];
+        assert_eq!(a.calls, 2);
+        assert_eq!(a.total_ns, 40);
+        assert_eq!(a.min_ns, 10);
+        assert_eq!(a.max_ns, 30);
+        assert_eq!(a.mean_ns(), 20);
+        assert_eq!(r.scopes["b"].calls, 1);
+    }
+
+    #[test]
+    fn report_round_trips() {
+        let mut p = Profiler::default();
+        p.record("engine.run_day", 1_000_000);
+        let r = p.report();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ProfileReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,118 @@
+//! Bounded flight recorder: a ring buffer of the most recent events.
+//!
+//! The recorder exists for post-mortems. It always holds the last `N`
+//! events regardless of which sink the bus writes to, and is snapshotted
+//! into a [`FlightDump`] when the failsafe engages or a panic unwinds
+//! through a [`crate::PanicGuard`].
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::Event;
+
+/// Default ring capacity.
+pub const DEFAULT_CAPACITY: usize = 256;
+
+/// Fixed-capacity ring of recent events.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    capacity: usize,
+    ring: VecDeque<Event>,
+    /// Total events ever pushed (including those already evicted).
+    pushed: u64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder retaining at most `capacity` events.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            ring: VecDeque::with_capacity(capacity.max(1)),
+            pushed: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&mut self, event: Event) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(event);
+        self.pushed += 1;
+    }
+
+    /// Snapshots the current ring contents, oldest first.
+    #[must_use]
+    pub fn snapshot(&self, reason: &str) -> FlightDump {
+        FlightDump {
+            reason: reason.to_string(),
+            total_events: self.pushed,
+            events: self.ring.iter().cloned().collect(),
+        }
+    }
+
+    /// Number of events currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when no event has been retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(DEFAULT_CAPACITY)
+    }
+}
+
+/// A snapshot of the flight recorder taken at an incident.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlightDump {
+    /// Why the dump was taken (`failsafe-engaged`, `panic`, ...).
+    pub reason: String,
+    /// Total events the bus ever saw (may exceed `events.len()`).
+    pub total_events: u64,
+    /// The retained tail of the event stream, oldest first.
+    pub events: Vec<Event>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut r = FlightRecorder::new(3);
+        for day in 0..5 {
+            r.push(Event::DayStart { day });
+        }
+        assert_eq!(r.len(), 3);
+        let dump = r.snapshot("test");
+        assert_eq!(dump.total_events, 5);
+        assert_eq!(
+            dump.events,
+            vec![
+                Event::DayStart { day: 2 },
+                Event::DayStart { day: 3 },
+                Event::DayStart { day: 4 }
+            ]
+        );
+    }
+
+    #[test]
+    fn dump_round_trips() {
+        let mut r = FlightRecorder::default();
+        r.push(Event::DayStart { day: 1 });
+        let dump = r.snapshot("failsafe-engaged");
+        let json = serde_json::to_string(&dump).unwrap();
+        let back: FlightDump = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, dump);
+    }
+}

@@ -6,6 +6,7 @@
 //! 30 °C, instead of the default 25 °C; and (2) we add humidity control to
 //! it, with a maximum limit of 80 % relative humidity."
 
+use coolair_telemetry::{Event, Telemetry};
 use coolair_units::{Celsius, FanSpeed, RelativeHumidity, TempDelta};
 use serde::{Deserialize, Serialize};
 
@@ -76,19 +77,42 @@ pub enum TksMode {
     Hot,
 }
 
+impl TksMode {
+    /// Stable short name for telemetry.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TksMode::Lot => "lot",
+            TksMode::Hot => "hot",
+        }
+    }
+}
+
 /// The TKS feedback controller.
 #[derive(Debug, Clone)]
 pub struct TksController {
     config: TksConfig,
     mode: TksMode,
     compressor_on: bool,
+    telemetry: Telemetry,
 }
 
 impl TksController {
     /// Creates a controller starting in LOT mode with the compressor off.
     #[must_use]
     pub fn new(config: TksConfig) -> Self {
-        TksController { config, mode: TksMode::Lot, compressor_on: false }
+        TksController {
+            config,
+            mode: TksMode::Lot,
+            compressor_on: false,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry bus; mode flips are published as
+    /// [`Event::TksModeFlip`].
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The active configuration.
@@ -115,6 +139,7 @@ impl TksController {
         let sp = self.config.setpoint;
         let out = readings.outside_temp;
         // Mode switch on outside temperature with hysteresis.
+        let prev_mode = self.mode;
         match self.mode {
             TksMode::Lot if out.value() > sp.value() + self.config.hysteresis => {
                 self.mode = TksMode::Hot;
@@ -124,6 +149,13 @@ impl TksController {
                 self.compressor_on = false;
             }
             _ => {}
+        }
+        if self.mode != prev_mode {
+            self.telemetry.emit_with(|| Event::TksModeFlip {
+                time: readings.time,
+                from: prev_mode.name().into(),
+                to: self.mode.name().into(),
+            });
         }
 
         // The control sensor sits in a typically warmer area of the cold

@@ -1,0 +1,106 @@
+//! Telemetry tour: run a supervised summer day with a seeded fault plan
+//! and an in-memory telemetry bus attached, then walk through what the
+//! bus captured — the event stream, the metrics registry, and the
+//! wall-clock profile of the hot paths.
+//!
+//! ```sh
+//! cargo run --release --example telemetry_day -- [day] [location]
+//! ```
+//!
+//! For a persistent JSONL artifact of the same information use the CLI:
+//! `coolair-cli run --system supervised --trace out.jsonl` followed by
+//! `coolair-cli report out.jsonl`.
+
+use coolair::Version;
+use coolair_sim::{
+    run_days_traced, train_for_location, AnnualConfig, FaultPlan, FaultRates, SystemSpec,
+};
+use coolair_telemetry::{Event, Telemetry};
+use coolair_weather::Location;
+use coolair_workload::TraceKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let day: u64 = args.first().and_then(|d| d.parse().ok()).unwrap_or(150);
+    let location = match args.get(1).map(String::as_str) {
+        Some("chad") => Location::chad(),
+        Some("singapore") => Location::singapore(),
+        _ => Location::newark(),
+    };
+
+    let mut cfg = AnnualConfig::quick();
+    cfg.faults = FaultPlan::random(4242, &FaultRates::scaled(2.0), &[day], 4);
+    let model = train_for_location(&location, &cfg);
+
+    let bus = Telemetry::memory();
+    let summary = run_days_traced(
+        &SystemSpec::Supervised(Version::AllNd),
+        &location,
+        TraceKind::Facebook,
+        &cfg,
+        Some(model),
+        &[day],
+        bus.clone(),
+    );
+
+    println!(
+        "Supervised All-ND @ {}, day {day}: avg violation {:.3} °C, PUE {:.3}\n",
+        location.name(),
+        summary.avg_violation(),
+        summary.pue()
+    );
+
+    // 1. The event stream: every decision and transition, SimTime-stamped.
+    let events = bus.take_events();
+    println!("captured {} events; transitions and incidents:", events.len());
+    for e in &events {
+        match e {
+            Event::RegimeChange { time, from, to } => {
+                println!("  [{:6}s] regime {from} -> {to}", time.as_secs() % 86_400);
+            }
+            Event::TksModeFlip { time, from, to } => {
+                println!("  [{:6}s] tks {from} -> {to}", time.as_secs() % 86_400);
+            }
+            Event::SupervisorTransition { time, from, to } => {
+                println!("  [{:6}s] supervisor {from} -> {to}", time.as_secs() % 86_400);
+            }
+            Event::FailsafeEngaged { time, max_inlet } => {
+                println!("  [{:6}s] FAILSAFE at {max_inlet:.1} °C", time.as_secs() % 86_400);
+            }
+            Event::FaultActivated { time, kind } => {
+                println!("  [{:6}s] fault on: {kind}", time.as_secs() % 86_400);
+            }
+            Event::FaultCleared { time, kind } => {
+                println!("  [{:6}s] fault off: {kind}", time.as_secs() % 86_400);
+            }
+            _ => {}
+        }
+    }
+
+    // 2. The metrics registry: per-kind counters plus the inlet histogram.
+    let metrics = bus.metrics();
+    println!("\ncounters:");
+    for (name, value) in &metrics.counters {
+        println!("  {name:<32} {value}");
+    }
+    if let Some(h) = metrics.histograms.get("inlet_c") {
+        println!(
+            "\ninlet °C: n={} mean={:.2} p50<={:.1} p99<={:.1} max={:.2}",
+            h.count,
+            h.mean(),
+            h.quantile(0.50).unwrap_or(0.0),
+            h.quantile(0.99).unwrap_or(0.0),
+            h.max.unwrap_or(0.0),
+        );
+    }
+
+    // 3. The wall-clock profile (not part of the deterministic trace).
+    println!("\nhot paths:");
+    for (scope, s) in &bus.profile().scopes {
+        println!(
+            "  {scope:<24} {:>7} calls, mean {:>9.1} us",
+            s.calls,
+            s.mean_ns() as f64 / 1e3
+        );
+    }
+}

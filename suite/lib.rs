@@ -13,10 +13,12 @@
 //! - [`workload`] — Hadoop-like cluster simulator and trace generators
 //! - [`core`] — CoolAir itself (modeler, cooling manager, compute manager)
 //! - [`sim`] — Real-Sim / Smooth-Sim engines, metrics, annual & world sweeps
+//! - [`telemetry`] — structured events, metrics registry, profiler, recorder
 
 pub use coolair as core;
 pub use coolair_ml as ml;
 pub use coolair_sim as sim;
+pub use coolair_telemetry as telemetry;
 pub use coolair_thermal as thermal;
 pub use coolair_units as units;
 pub use coolair_weather as weather;

@@ -6,7 +6,31 @@
 //! machinery. Good enough to keep `cargo bench` targets compiling and to give
 //! rough ns/iter numbers without network access to crates.io.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One benchmark's outcome, retrievable via [`take_results`].
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name (group-qualified, e.g. `day_sim/baseline_full_day`).
+    pub name: String,
+    /// Median wall-clock time per iteration in nanoseconds.
+    pub median_ns: u128,
+    /// Number of timed samples behind the median.
+    pub samples: usize,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drains every benchmark result recorded since the last call.
+///
+/// Real criterion exposes results only through its report files; this stub
+/// keeps them in-process so bench binaries can emit machine-readable
+/// summaries (e.g. `BENCH_perf.json`) without parsing stdout.
+#[must_use]
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut *RESULTS.lock().unwrap())
+}
 
 /// Top-level benchmark driver.
 pub struct Criterion {
@@ -82,6 +106,11 @@ fn run_named<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
     b.samples.sort();
     let median = b.samples.get(b.samples.len() / 2).copied().unwrap_or_default();
     println!("bench {name:<40} median {:>12.1} ns/iter ({} samples)", median.as_nanos() as f64, b.samples.len());
+    RESULTS.lock().unwrap().push(BenchResult {
+        name: name.to_string(),
+        median_ns: median.as_nanos(),
+        samples: b.samples.len(),
+    });
 }
 
 /// Passed to each benchmark closure; times the routine under test.
@@ -136,6 +165,14 @@ mod tests {
         });
         // one warm-up + three timed samples
         assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn results_are_recorded_and_drained() {
+        Criterion::default().sample_size(2).bench_function("drain-probe", |b| b.iter(|| 1 + 1));
+        let results = take_results();
+        assert!(results.iter().any(|r| r.name == "drain-probe" && r.samples == 2));
+        assert!(take_results().iter().all(|r| r.name != "drain-probe"));
     }
 
     #[test]
