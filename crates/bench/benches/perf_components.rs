@@ -11,6 +11,7 @@ use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
 use coolair::manager::band::TempBand;
+use coolair_runner::{stable_digest, Digest, Executor, Job, Telemetry};
 use coolair::manager::optimizer::CoolingOptimizer;
 use coolair::manager::predict_regime;
 use coolair::{train_cooling_model, CoolAirConfig, TrainingConfig, Version};
@@ -106,13 +107,44 @@ fn bench_day_sim(c: &mut Criterion) {
     group.finish();
 }
 
+/// A near-empty job, so the bench isolates the executor's own costs
+/// (slot allocation, deque round trip, catch_unwind, counters).
+struct NoopJob(u64);
+
+impl Job for NoopJob {
+    type Output = u64;
+    fn kind(&self) -> &'static str {
+        "noop"
+    }
+    fn digest(&self) -> Digest {
+        stable_digest(&self.0)
+    }
+    fn label(&self) -> String {
+        self.0.to_string()
+    }
+    fn run(&self) -> u64 {
+        self.0.wrapping_mul(2)
+    }
+}
+
+fn bench_executor_overhead(c: &mut Criterion) {
+    let jobs: Vec<NoopJob> = (0..256).map(NoopJob).collect();
+    c.bench_function("executor_overhead_256_noop_jobs", |b| {
+        b.iter(|| {
+            let exec = Executor::in_memory(4, Telemetry::disabled());
+            black_box(exec.run(black_box(&jobs)));
+        });
+    });
+}
+
 criterion_group!(
     benches,
     bench_plant_step,
     bench_model_predict,
     bench_optimizer,
     bench_m5p,
-    bench_day_sim
+    bench_day_sim,
+    bench_executor_overhead
 );
 
 /// Schema of `BENCH_perf.json` (documented in EXPERIMENTS.md).

@@ -93,9 +93,10 @@ pub fn run_grid(
     results.into_iter().collect()
 }
 
-/// Simple two-thread (N-core) parallel map preserving input order.
+/// Simple N-core parallel map preserving input order (thread count from
+/// [`coolair_runner::worker_threads`], the one resolution point).
 pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let threads = std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get);
+    let threads = coolair_runner::worker_threads(0);
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     crossbeam::thread::scope(|scope| {

@@ -12,9 +12,12 @@ pub mod reporter;
 use std::fmt::Write as _;
 
 use coolair::{train_cooling_model, CoolingModel, TrainingConfig, Version};
+use coolair_runner::{Executor, ExecutorConfig};
+use coolair_sim::jobs::KIND_COOLING_MODEL;
 use coolair_sim::{
-    disk_reliability, model_error_cdfs, run_annual_with_model, run_days_traced, sweep_one,
-    train_for_location, AnnualConfig, FaultPlan, FaultRates, ReliabilityParams, SystemSpec,
+    disk_reliability, model_error_cdfs, run_annual_with_model, run_days_traced, sweep_locations,
+    sweep_one, train_for_location, AnnualConfig, FaultPlan, FaultRates, ReliabilityParams,
+    SystemSpec,
 };
 use coolair_telemetry::{Telemetry, TraceRecord};
 use coolair_weather::{Location, TmySeries, WorldGrid};
@@ -415,6 +418,133 @@ pub fn cmd_compare(location: &str, stride: u64) -> Result<String, CliError> {
     ))
 }
 
+/// Arguments of `coolair sweep`.
+#[derive(Debug, Clone)]
+pub struct SweepArgs {
+    /// World-grid size (the paper's full sweep is 1520).
+    pub locations: usize,
+    /// Day stride of the annual sub-sampling.
+    pub stride: u64,
+    /// Training-campaign length per location, days.
+    pub training_days: u64,
+    /// Worker threads (0 → available parallelism).
+    pub threads: usize,
+    /// Store directory for the artifact cache and journal; `None` runs in
+    /// memory (no caching, no resume).
+    pub store: Option<String>,
+    /// Replay the store's journal instead of starting a fresh one.
+    pub resume: bool,
+    /// `(k, n)`: run only the k-th of n interleaved grid shards (1-based).
+    pub shard: Option<(usize, usize)>,
+    /// Write the merged `WorldPoint` list to this path as pretty JSON.
+    pub out: Option<String>,
+}
+
+impl Default for SweepArgs {
+    fn default() -> Self {
+        SweepArgs {
+            locations: 60,
+            stride: 60,
+            training_days: 10,
+            threads: 0,
+            store: None,
+            resume: false,
+            shard: None,
+            out: None,
+        }
+    }
+}
+
+/// Parses a `--shard k/n` value (1-based, e.g. `2/4`).
+///
+/// # Errors
+///
+/// Returns an error unless `1 <= k <= n`.
+pub fn parse_shard(value: &str) -> Result<(usize, usize), CliError> {
+    let err = || format!("--shard wants k/n with 1 <= k <= n, got '{value}'");
+    let (k, n) = value.split_once('/').ok_or_else(err)?;
+    let k: usize = k.trim().parse().map_err(|_| err())?;
+    let n: usize = n.trim().parse().map_err(|_| err())?;
+    if k >= 1 && k <= n {
+        Ok((k, n))
+    } else {
+        Err(err())
+    }
+}
+
+/// `coolair sweep` — the Figure 12/13 world sweep on the `coolair-runner`
+/// executor: resumable via `--store`/`--resume`, shardable across machines
+/// via `--shard k/n`, with queue-style progress output.
+///
+/// # Errors
+///
+/// Propagates store I/O errors, and reports failed shards as an error
+/// after printing the partial report.
+pub fn cmd_sweep(args: &SweepArgs) -> Result<String, CliError> {
+    let annual = AnnualConfig {
+        stride: args.stride.max(1),
+        training: TrainingConfig { days: args.training_days.max(1), ..TrainingConfig::default() },
+        ..AnnualConfig::default()
+    };
+    let grid = WorldGrid::with_count(args.locations);
+    // Shards interleave (every n-th cell) so each one keeps the full
+    // latitude coverage of the grid.
+    let (k, n) = args.shard.unwrap_or((1, 1));
+    let selected: Vec<Location> = grid
+        .locations()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % n == k - 1)
+        .map(|(_, l)| l.clone())
+        .collect();
+
+    let telemetry = Telemetry::discard();
+    let exec = Executor::new(ExecutorConfig {
+        threads: args.threads,
+        store_dir: args.store.as_ref().map(std::path::PathBuf::from),
+        resume: args.resume,
+        telemetry: telemetry.clone(),
+        ..ExecutorConfig::default()
+    })
+    .map_err(|e| format!("open store: {e}"))?;
+
+    let started = std::time::Instant::now();
+    let report = sweep_locations(&selected, &annual, &exec);
+    let elapsed = started.elapsed();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "sweep: {} of {} grid locations (shard {k}/{n}), stride {}, {} training days, {} threads",
+        selected.len(),
+        grid.len(),
+        annual.stride,
+        annual.training.days,
+        exec.threads()
+    );
+    out.push_str(&reporter::render_progress(&exec.progress()));
+    let trained = telemetry.metrics().counter(&format!("runner.run.{KIND_COOLING_MODEL}"));
+    let _ = writeln!(out, "training jobs executed: {trained}");
+    let _ = writeln!(out, "wall clock: {:.2} s", elapsed.as_secs_f64());
+
+    if let Some(path) = &args.out {
+        let json = serde_json::to_vec_pretty(&report.points)
+            .map_err(|e| format!("serialise points: {e}"))?;
+        std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+        let _ = writeln!(out, "{} points written to {path}", report.points.len());
+    }
+
+    if report.failures.is_empty() {
+        Ok(out)
+    } else {
+        let _ = writeln!(out, "\nfailed locations:");
+        for (name, error) in &report.failures {
+            let _ = writeln!(out, "  {name}: {error}");
+        }
+        Err(out)
+    }
+}
+
 /// Usage text.
 #[must_use]
 pub fn usage() -> String {
@@ -427,6 +557,8 @@ USAGE:
                      [--stride N] [--model <model.json>]
     coolair validate --location <name> [--model <model.json>]
     coolair compare  --location <name> [--stride N]
+    coolair sweep    [--locations N] [--stride N] [--training-days N] [--threads N]
+                     [--store <dir>] [--resume] [--shard k/n] [--out <points.json>]
     coolair faults   --location <name> [--seed N] [--severity X] [--stride N]
     coolair run      [--location <name>] [--system <name>] [--trace-kind facebook|nutch]
                      [--day N] [--days N] [--trace <out.jsonl>]
@@ -445,16 +577,35 @@ LOCATIONS: newark, chad, santiago, iceland, singapore
 ///
 /// Returns an error for flags without values or unknown positionals.
 pub fn parse_flags(args: &[String]) -> Result<std::collections::HashMap<String, String>, CliError> {
+    parse_flags_with_switches(args, &[])
+}
+
+/// Extracts `--flag value` pairs plus valueless `--switch` flags (stored
+/// as `"true"`).
+///
+/// # Errors
+///
+/// Returns an error for non-switch flags without values or unknown
+/// positionals.
+pub fn parse_flags_with_switches(
+    args: &[String],
+    switches: &[&str],
+) -> Result<std::collections::HashMap<String, String>, CliError> {
     let mut flags = std::collections::HashMap::new();
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
-            let value = args
-                .get(i + 1)
-                .ok_or_else(|| format!("flag --{name} needs a value"))?;
-            flags.insert(name.to_string(), value.clone());
-            i += 2;
+            if switches.contains(&name) {
+                flags.insert(name.to_string(), "true".to_string());
+                i += 1;
+            } else {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                flags.insert(name.to_string(), value.clone());
+                i += 2;
+            }
         } else {
             return Err(format!("unexpected argument '{a}'"));
         }
@@ -500,6 +651,43 @@ mod tests {
     }
 
     #[test]
+    fn switch_flag_parsing() {
+        let args: Vec<String> =
+            ["--store", "/tmp/s", "--resume", "--threads", "2"].iter().map(|s| s.to_string()).collect();
+        let flags = parse_flags_with_switches(&args, &["resume"]).unwrap();
+        assert_eq!(flags["store"], "/tmp/s");
+        assert_eq!(flags["resume"], "true");
+        assert_eq!(flags["threads"], "2");
+        // Without the switch declared, --resume still wants a value.
+        assert!(parse_flags(&["--resume".to_string()]).is_err());
+    }
+
+    #[test]
+    fn shard_parsing() {
+        assert_eq!(parse_shard("2/4").unwrap(), (2, 4));
+        assert_eq!(parse_shard("1/1").unwrap(), (1, 1));
+        assert!(parse_shard("0/4").is_err());
+        assert!(parse_shard("5/4").is_err());
+        assert!(parse_shard("2").is_err());
+        assert!(parse_shard("a/b").is_err());
+    }
+
+    #[test]
+    fn sweep_smoke_reports_progress() {
+        let out = cmd_sweep(&SweepArgs {
+            locations: 2,
+            stride: 120,
+            training_days: 2,
+            threads: 2,
+            ..SweepArgs::default()
+        })
+        .unwrap();
+        assert!(out.contains("2 of 2 grid locations"), "got: {out}");
+        assert!(out.contains("training jobs executed: 2"), "got: {out}");
+        assert!(out.contains("wall clock"), "got: {out}");
+    }
+
+    #[test]
     fn locations_command_lists_five() {
         let out = cmd_locations();
         for name in ["Newark", "Chad", "Santiago", "Iceland", "Singapore"] {
@@ -523,7 +711,7 @@ mod tests {
     #[test]
     fn usage_names_all_commands() {
         let u = usage();
-        for cmd in ["locations", "train", "annual", "validate", "compare", "faults"] {
+        for cmd in ["locations", "train", "annual", "validate", "compare", "sweep", "faults"] {
             assert!(u.contains(cmd));
         }
     }

@@ -3,8 +3,8 @@
 use std::process::ExitCode;
 
 use coolair_cli::{
-    cmd_annual, cmd_compare, cmd_faults, cmd_locations, cmd_report, cmd_run, cmd_train,
-    cmd_validate, parse_flags, usage,
+    cmd_annual, cmd_compare, cmd_faults, cmd_locations, cmd_report, cmd_run, cmd_sweep, cmd_train,
+    cmd_validate, parse_flags, parse_flags_with_switches, parse_shard, usage, SweepArgs,
 };
 
 fn main() -> ExitCode {
@@ -44,6 +44,26 @@ fn main() -> ExitCode {
                 s.parse::<u64>().map_err(|e| format!("--stride: {e}"))
             })?;
             cmd_compare(&location, stride)
+        }),
+        "sweep" => parse_flags_with_switches(rest, &["resume"]).and_then(|f| {
+            let mut a = SweepArgs::default();
+            if let Some(v) = f.get("locations") {
+                a.locations = v.parse().map_err(|e| format!("--locations: {e}"))?;
+            }
+            if let Some(v) = f.get("stride") {
+                a.stride = v.parse().map_err(|e| format!("--stride: {e}"))?;
+            }
+            if let Some(v) = f.get("training-days") {
+                a.training_days = v.parse().map_err(|e| format!("--training-days: {e}"))?;
+            }
+            if let Some(v) = f.get("threads") {
+                a.threads = v.parse().map_err(|e| format!("--threads: {e}"))?;
+            }
+            a.store = f.get("store").cloned();
+            a.resume = f.contains_key("resume");
+            a.shard = f.get("shard").map(|v| parse_shard(v)).transpose()?;
+            a.out = f.get("out").cloned();
+            cmd_sweep(&a)
         }),
         "faults" => parse_flags(rest).and_then(|f| {
             let location = f.get("location").cloned().unwrap_or_else(|| "newark".into());

@@ -6,6 +6,7 @@
 
 use std::fmt::Write as _;
 
+use coolair_runner::ProgressSnapshot;
 use coolair_telemetry::{Event, Histogram, MetricsRegistry, ProfileReport, TraceRecord};
 use coolair_units::SimTime;
 
@@ -143,6 +144,30 @@ pub fn render_profile(p: &ProfileReport) -> String {
     format!("profile (wall-clock):\n{}", t.render())
 }
 
+/// Renders executor progress as a queue-style status table plus a cache
+/// summary line.
+#[must_use]
+pub fn render_progress(p: &ProgressSnapshot) -> String {
+    let mut t = Table::new(&["state", "jobs"]);
+    for (state, n) in [
+        ("executed", p.done),
+        ("failed", p.failed),
+        ("running", p.running),
+        ("cache-hit", p.cache_hits),
+        ("resumed", p.resumed),
+        ("retried", p.retries),
+    ] {
+        t.row(&[state.to_string(), n.to_string()]);
+    }
+    let mut out = t.render();
+    let _ = writeln!(
+        out,
+        "cache: {:.1}% of jobs served without execution",
+        p.cache_hit_rate() * 100.0
+    );
+    out
+}
+
 /// Renders a full run summary from trace records: event counts, the
 /// supervisor/fault timeline, metric histograms and the profile table.
 #[must_use]
@@ -267,6 +292,14 @@ mod tests {
         assert!(r.contains("n=11"));
         assert!(r.contains("<="));
         assert!(r.contains('#'));
+    }
+
+    #[test]
+    fn progress_rendering_shows_cache_rate() {
+        let p = ProgressSnapshot { done: 3, cache_hits: 1, resumed: 2, ..Default::default() };
+        let r = render_progress(&p);
+        assert!(r.contains("executed"), "got: {r}");
+        assert!(r.contains("cache: 50.0%"), "got: {r}");
     }
 
     #[test]

@@ -1,0 +1,470 @@
+//! The job executor: resume, cache, schedule, isolate, retry, record.
+
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use coolair_telemetry::{Event, Telemetry};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::job::{panic_message, Job, JobResult};
+use crate::journal::{Journal, JournalEntry, JournalStatus};
+use crate::pool::{run_stealing, worker_threads};
+use crate::store::ArtifactStore;
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Worker threads (`0` → available parallelism).
+    pub threads: usize,
+    /// Attempts per job before it is recorded as failed (≥ 1). A
+    /// panicking job never takes the rest of the run down.
+    pub max_attempts: u32,
+    /// Store directory holding `artifacts/` and `journal.jsonl`. `None`
+    /// runs fully in memory: no caching, no resume, no journal.
+    pub store_dir: Option<PathBuf>,
+    /// Replay the existing journal (skip its completed jobs). When
+    /// `false`, an existing journal is truncated and the run starts a
+    /// fresh log — but intact artifacts still serve as a warm cache.
+    pub resume: bool,
+    /// Progress bus: per-state counters, a `runner.running` gauge, and one
+    /// [`Event::JobState`] per terminal transition.
+    pub telemetry: Telemetry,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            threads: 0,
+            max_attempts: 2,
+            store_dir: None,
+            resume: false,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+}
+
+/// A point-in-time view of executor progress, suitable for `queue`-style
+/// status output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ProgressSnapshot {
+    /// Jobs that needed execution this run.
+    pub scheduled: u64,
+    /// Jobs executing right now.
+    pub running: u64,
+    /// Jobs executed to completion this run.
+    pub done: u64,
+    /// Jobs that exhausted their attempt budget this run.
+    pub failed: u64,
+    /// Jobs served from intact artifacts without a journal entry (warm
+    /// store).
+    pub cache_hits: u64,
+    /// Jobs skipped by journal replay (`--resume`).
+    pub resumed: u64,
+    /// Extra attempts consumed by retries after panics.
+    pub retries: u64,
+}
+
+impl ProgressSnapshot {
+    /// Fraction of concluded jobs served without execution.
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let served = self.cache_hits + self.resumed;
+        let total = served + self.done + self.failed;
+        if total == 0 {
+            0.0
+        } else {
+            served as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    scheduled: AtomicU64,
+    running: AtomicU64,
+    done: AtomicU64,
+    failed: AtomicU64,
+    cache_hits: AtomicU64,
+    resumed: AtomicU64,
+    retries: AtomicU64,
+}
+
+/// The orchestration engine. One executor owns (at most) one store and
+/// one journal; [`Executor::run`] may be called repeatedly to execute
+/// phases of a campaign (e.g. all training jobs, then all sweep shards).
+#[derive(Debug)]
+pub struct Executor {
+    threads: usize,
+    max_attempts: u32,
+    store: Option<ArtifactStore>,
+    journal: Option<Journal>,
+    /// `(kind, digest)` pairs completed according to journal replay.
+    replayed: Mutex<HashSet<(String, String)>>,
+    telemetry: Telemetry,
+    counters: Counters,
+}
+
+impl Executor {
+    /// Builds an executor from a config, opening the store and journal
+    /// when a store directory is set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store/journal I/O errors.
+    pub fn new(cfg: ExecutorConfig) -> std::io::Result<Self> {
+        let mut store = None;
+        let mut journal = None;
+        let mut replayed = HashSet::new();
+        if let Some(dir) = &cfg.store_dir {
+            std::fs::create_dir_all(dir)?;
+            store = Some(ArtifactStore::open(&dir.join("artifacts"))?);
+            let journal_path = dir.join("journal.jsonl");
+            if !cfg.resume {
+                // Fresh log; artifacts are kept (they are the cache).
+                let _ = std::fs::remove_file(&journal_path);
+            }
+            let (j, entries) = Journal::open(&journal_path)?;
+            for e in entries {
+                if e.status == JournalStatus::Done {
+                    replayed.insert((e.kind, e.digest));
+                }
+            }
+            journal = Some(j);
+        }
+        Ok(Executor {
+            threads: worker_threads(cfg.threads),
+            max_attempts: cfg.max_attempts.max(1),
+            store,
+            journal,
+            replayed: Mutex::new(replayed),
+            telemetry: cfg.telemetry,
+            counters: Counters::default(),
+        })
+    }
+
+    /// A store-less in-memory executor (every job executes).
+    ///
+    /// # Panics
+    ///
+    /// Never — the store-less path has no I/O to fail.
+    #[must_use]
+    pub fn in_memory(threads: usize, telemetry: Telemetry) -> Self {
+        Executor::new(ExecutorConfig {
+            threads,
+            telemetry,
+            ..ExecutorConfig::default()
+        })
+        .expect("in-memory executor cannot fail to open")
+    }
+
+    /// The resolved worker-thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The executor's artifact store, when one is attached.
+    #[must_use]
+    pub fn store(&self) -> Option<&ArtifactStore> {
+        self.store.as_ref()
+    }
+
+    /// A snapshot of cumulative progress across all `run` calls.
+    #[must_use]
+    pub fn progress(&self) -> ProgressSnapshot {
+        let c = &self.counters;
+        ProgressSnapshot {
+            scheduled: c.scheduled.load(Ordering::Relaxed),
+            running: c.running.load(Ordering::Relaxed),
+            done: c.done.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            resumed: c.resumed.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Executes a batch of jobs and returns one result per job, in input
+    /// order (per-index slots — deterministic by construction, no sorting).
+    ///
+    /// Each job is first resolved against the journal replay set and the
+    /// artifact store; only unresolved jobs are scheduled onto the
+    /// work-stealing pool. A panicking job is caught, retried up to the
+    /// attempt budget, and recorded as failed — never allowed to abort
+    /// the batch.
+    pub fn run<J: Job>(&self, jobs: &[J]) -> Vec<JobResult<J::Output>> {
+        let mut slots: Vec<Mutex<Option<JobResult<J::Output>>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+
+        // Phase 1: serve from journal replay and warm artifacts.
+        let mut pending: Vec<usize> = Vec::new();
+        for (i, job) in jobs.iter().enumerate() {
+            match self.resolve_cached(job) {
+                Some(result) => *slots[i].lock() = Some(result),
+                None => pending.push(i),
+            }
+        }
+
+        // Phase 2: execute the remainder on the pool.
+        self.counters.scheduled.fetch_add(pending.len() as u64, Ordering::Relaxed);
+        self.telemetry.counter_add("runner.scheduled", pending.len() as u64);
+        run_stealing(&pending, self.threads, |i| {
+            let result = self.execute(&jobs[i]);
+            *slots[i].lock() = Some(result);
+        });
+
+        slots
+            .iter_mut()
+            .map(|slot| slot.lock().take().expect("every slot filled"))
+            .collect()
+    }
+
+    /// Tries to serve one job from the journal replay set or the store.
+    fn resolve_cached<J: Job>(&self, job: &J) -> Option<JobResult<J::Output>> {
+        let store = self.store.as_ref()?;
+        let digest = job.digest();
+        let from_journal = self
+            .replayed
+            .lock()
+            .contains(&(job.kind().to_string(), digest.to_string()));
+        let value: J::Output = store.get(job.kind(), digest)?;
+        let (counter, name) = if from_journal {
+            (&self.counters.resumed, "resumed")
+        } else {
+            (&self.counters.cache_hits, "cache-hit")
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.counter_add(&format!("runner.{name}"), 1);
+        self.emit_state(job, name, 0);
+        Some(JobResult::Cached(value))
+    }
+
+    /// Executes one job with panic isolation and bounded retries.
+    fn execute<J: Job>(&self, job: &J) -> JobResult<J::Output> {
+        self.counters.running.fetch_add(1, Ordering::Relaxed);
+        self.telemetry
+            .gauge_set("runner.running", self.counters.running.load(Ordering::Relaxed) as f64);
+        let mut last_error = String::new();
+        let mut outcome = None;
+        for attempt in 1..=self.max_attempts {
+            self.telemetry.counter_add(&format!("runner.run.{}", job.kind()), 1);
+            match catch_unwind(AssertUnwindSafe(|| job.run())) {
+                Ok(output) => {
+                    outcome = Some(output);
+                    break;
+                }
+                Err(payload) => {
+                    last_error = panic_message(payload.as_ref());
+                    if attempt < self.max_attempts {
+                        self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                        self.telemetry.counter_add("runner.retry", 1);
+                        self.emit_state(job, "retry", attempt);
+                    }
+                }
+            }
+        }
+        self.counters.running.fetch_sub(1, Ordering::Relaxed);
+        self.telemetry
+            .gauge_set("runner.running", self.counters.running.load(Ordering::Relaxed) as f64);
+
+        match outcome {
+            Some(output) => {
+                // Artifact first (atomic rename), then the journal line:
+                // a replayed `Done` entry always has its artifact.
+                if let Some(store) = &self.store {
+                    if let Err(e) = store.put(job.kind(), job.digest(), &output) {
+                        eprintln!(
+                            "runner: could not store artifact {}/{}: {e}",
+                            job.kind(),
+                            job.digest()
+                        );
+                    }
+                }
+                self.journal_append(job, JournalStatus::Done, 1);
+                self.counters.done.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.counter_add("runner.done", 1);
+                self.emit_state(job, "done", 1);
+                JobResult::Computed(output)
+            }
+            None => {
+                self.journal_append(job, JournalStatus::Failed, self.max_attempts);
+                self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.counter_add("runner.failed", 1);
+                self.emit_state(job, "failed", self.max_attempts);
+                JobResult::Failed { attempts: self.max_attempts, error: last_error }
+            }
+        }
+    }
+
+    fn journal_append<J: Job>(&self, job: &J, status: JournalStatus, attempts: u32) {
+        if let Some(journal) = &self.journal {
+            journal.append(&JournalEntry {
+                kind: job.kind().to_string(),
+                digest: job.digest().to_string(),
+                label: job.label(),
+                status,
+                attempts,
+            });
+        }
+    }
+
+    fn emit_state<J: Job>(&self, job: &J, state: &str, attempt: u32) {
+        self.telemetry.emit_with(|| Event::JobState {
+            kind: job.kind().to_string(),
+            label: job.label(),
+            state: state.to_string(),
+            attempt,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::{stable_digest, Digest};
+
+    /// Doubles its input; optionally panics on every attempt.
+    struct Doubler {
+        input: u64,
+        panic_on: bool,
+    }
+
+    impl Job for Doubler {
+        type Output = u64;
+        fn kind(&self) -> &'static str {
+            "doubler"
+        }
+        fn digest(&self) -> Digest {
+            stable_digest(&self.input)
+        }
+        fn label(&self) -> String {
+            format!("double({})", self.input)
+        }
+        fn run(&self) -> u64 {
+            assert!(!self.panic_on, "injected panic");
+            self.input * 2
+        }
+    }
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("coolair_runner_exec_test").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn jobs(n: u64) -> Vec<Doubler> {
+        (0..n).map(|input| Doubler { input, panic_on: false }).collect()
+    }
+
+    #[test]
+    fn in_memory_runs_everything_in_order() {
+        let exec = Executor::in_memory(3, Telemetry::disabled());
+        let out = exec.run(&jobs(17));
+        let values: Vec<u64> = out.into_iter().map(|r| r.into_output().unwrap()).collect();
+        assert_eq!(values, (0..17).map(|x| x * 2).collect::<Vec<_>>());
+        let p = exec.progress();
+        assert_eq!((p.scheduled, p.done, p.failed, p.cache_hits), (17, 17, 0, 0));
+    }
+
+    #[test]
+    fn warm_store_serves_without_execution() {
+        let dir = temp_dir("warm");
+        let cfg = |resume| ExecutorConfig {
+            threads: 2,
+            store_dir: Some(dir.clone()),
+            resume,
+            ..ExecutorConfig::default()
+        };
+        let cold = Executor::new(cfg(false)).unwrap();
+        let first = cold.run(&jobs(9));
+        assert!(first.iter().all(|r| matches!(r, JobResult::Computed(_))));
+
+        // Second executor, fresh journal: artifacts alone serve the batch.
+        let warm = Executor::new(cfg(false)).unwrap();
+        let second = warm.run(&jobs(9));
+        assert!(second.iter().all(JobResult::is_cached));
+        let p = warm.progress();
+        assert_eq!((p.scheduled, p.done, p.cache_hits, p.resumed), (0, 0, 9, 0));
+        assert!((p.cache_hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn journal_replay_counts_as_resumed() {
+        let dir = temp_dir("resumed");
+        let cold = Executor::new(ExecutorConfig {
+            threads: 2,
+            store_dir: Some(dir.clone()),
+            ..ExecutorConfig::default()
+        })
+        .unwrap();
+        cold.run(&jobs(5));
+        drop(cold);
+
+        let resumed = Executor::new(ExecutorConfig {
+            threads: 2,
+            store_dir: Some(dir.clone()),
+            resume: true,
+            ..ExecutorConfig::default()
+        })
+        .unwrap();
+        let out = resumed.run(&jobs(5));
+        assert!(out.iter().all(JobResult::is_cached));
+        let p = resumed.progress();
+        assert_eq!((p.resumed, p.cache_hits, p.scheduled), (5, 0, 0));
+    }
+
+    #[test]
+    fn panicking_job_is_failed_not_fatal() {
+        let exec = Executor::in_memory(2, Telemetry::discard());
+        let batch = vec![
+            Doubler { input: 1, panic_on: false },
+            Doubler { input: 2, panic_on: true },
+            Doubler { input: 3, panic_on: false },
+        ];
+        let out = exec.run(&batch);
+        assert_eq!(out[0], JobResult::Computed(2));
+        assert!(out[1].is_failed());
+        if let JobResult::Failed { attempts, error } = &out[1] {
+            assert_eq!(*attempts, 2);
+            assert!(error.contains("injected panic"), "got: {error}");
+        }
+        assert_eq!(out[2], JobResult::Computed(6));
+        let p = exec.progress();
+        assert_eq!((p.done, p.failed, p.retries), (2, 1, 1));
+        let m = exec.telemetry.metrics();
+        assert_eq!(m.counter("runner.failed"), 1);
+        assert_eq!(m.counter("runner.retry"), 1);
+        assert_eq!(m.counter("runner.run.doubler"), 4, "2 ok + 2 attempts on the panicker");
+    }
+
+    #[test]
+    fn store_probe_ignores_corrupt_artifacts() {
+        let dir = temp_dir("corrupt");
+        let exec = Executor::new(ExecutorConfig {
+            threads: 1,
+            store_dir: Some(dir.clone()),
+            ..ExecutorConfig::default()
+        })
+        .unwrap();
+        exec.run(&jobs(1));
+        // Corrupt the artifact; a fresh run must recompute, not fail.
+        let store = exec.store().unwrap();
+        let path = store.path_for("doubler", stable_digest(&0u64));
+        std::fs::write(&path, b"{ torn").unwrap();
+        drop(exec);
+
+        let again = Executor::new(ExecutorConfig {
+            threads: 1,
+            store_dir: Some(dir),
+            resume: true,
+            ..ExecutorConfig::default()
+        })
+        .unwrap();
+        let out = again.run(&jobs(1));
+        assert_eq!(out[0], JobResult::Computed(0));
+        assert_eq!(again.progress().done, 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! The job abstraction: a serializable, deterministic unit of work.
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::hash::Digest;
+
+/// One deterministic unit of work (an annual run, a training campaign, one
+/// sweep shard…).
+///
+/// The contract that makes resume and caching sound:
+///
+/// * `run` is a **pure function** of the spec — same spec, same output,
+///   bit for bit (all simulation entropy comes from seeds inside the spec);
+/// * `digest` covers **everything** that determines the output, and
+///   nothing else (runtime-only payloads such as a pre-loaded model that is
+///   itself a deterministic product of digested fields stay out);
+/// * `kind` namespaces the artifact store, so two job types whose digests
+///   collide can never serve each other's artifacts.
+pub trait Job: Send + Sync {
+    /// The artifact this job produces. Must survive a JSON round trip
+    /// exactly (the store persists artifacts as JSON).
+    type Output: Serialize + DeserializeOwned + Send + 'static;
+
+    /// Artifact namespace, e.g. `"cooling-model"` or `"world-point"`.
+    fn kind(&self) -> &'static str;
+
+    /// Stable digest of the job's defining content (see [`crate::stable_digest`]).
+    fn digest(&self) -> Digest;
+
+    /// Short human label for status output and telemetry (e.g. the
+    /// location name).
+    fn label(&self) -> String;
+
+    /// Executes the job. May panic: the executor isolates panics, records
+    /// the job as failed and retries up to its attempt budget.
+    fn run(&self) -> Self::Output;
+}
+
+/// How one job concluded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobResult<T> {
+    /// Executed in this run.
+    Computed(T),
+    /// Served from the artifact store (warm cache or journal replay).
+    Cached(T),
+    /// Exhausted its attempt budget; carries the last panic message.
+    Failed {
+        /// Attempts consumed (= the executor's `max_attempts`).
+        attempts: u32,
+        /// Rendered panic payload of the final attempt.
+        error: String,
+    },
+}
+
+impl<T> JobResult<T> {
+    /// The output, if the job succeeded either way.
+    pub fn output(&self) -> Option<&T> {
+        match self {
+            JobResult::Computed(v) | JobResult::Cached(v) => Some(v),
+            JobResult::Failed { .. } => None,
+        }
+    }
+
+    /// Consumes the result into its output, if any.
+    pub fn into_output(self) -> Option<T> {
+        match self {
+            JobResult::Computed(v) | JobResult::Cached(v) => Some(v),
+            JobResult::Failed { .. } => None,
+        }
+    }
+
+    /// Whether the output came from the store rather than execution.
+    pub fn is_cached(&self) -> bool {
+        matches!(self, JobResult::Cached(_))
+    }
+
+    /// Whether the job exhausted its attempts.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, JobResult::Failed { .. })
+    }
+}
+
+/// Renders a `catch_unwind` payload as a message, the way the default
+/// panic hook would.
+#[must_use]
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_accessors() {
+        let c: JobResult<u32> = JobResult::Computed(7);
+        let k: JobResult<u32> = JobResult::Cached(9);
+        let f: JobResult<u32> = JobResult::Failed { attempts: 2, error: "boom".into() };
+        assert_eq!(c.output(), Some(&7));
+        assert!(!c.is_cached() && !c.is_failed());
+        assert!(k.is_cached());
+        assert_eq!(k.into_output(), Some(9));
+        assert!(f.is_failed());
+        assert_eq!(f.output(), None);
+    }
+
+    #[test]
+    fn panic_messages_render() {
+        let static_payload =
+            std::panic::catch_unwind(|| panic!("boom")).expect_err("panicked");
+        assert_eq!(panic_message(static_payload.as_ref()), "boom");
+        let formatted_payload =
+            std::panic::catch_unwind(|| panic!("ow {}", 7)).expect_err("panicked");
+        assert_eq!(panic_message(formatted_payload.as_ref()), "ow 7");
+    }
+}

@@ -1,0 +1,153 @@
+//! The append-only JSONL progress journal.
+//!
+//! Every job completion (success or exhausted failure) appends exactly one
+//! line. A killed run leaves at worst one torn final line; replay stops at
+//! the first malformed line, so everything before the kill is recovered
+//! and the torn tail is simply re-run. Artifacts are written (atomically)
+//! *before* the journal line, so a replayed `Done` entry always has its
+//! artifact — and an artifact without a journal line is still found by the
+//! executor's store probe.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Terminal status of a journaled job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JournalStatus {
+    /// The job produced its artifact.
+    Done,
+    /// The job exhausted its attempt budget.
+    Failed,
+}
+
+/// One line of the journal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalEntry {
+    /// Artifact namespace (`Job::kind`).
+    pub kind: String,
+    /// Stable job digest, 16 hex digits.
+    pub digest: String,
+    /// Human label (`Job::label`).
+    pub label: String,
+    /// Terminal status.
+    pub status: JournalStatus,
+    /// Attempts consumed.
+    pub attempts: u32,
+}
+
+/// An append-only journal writer plus the entries replayed at open time.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `path` for appending and
+    /// returns it together with the entries replayed from its existing
+    /// content. Replay stops at the first malformed line (a torn write
+    /// from a killed run).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file I/O errors.
+    pub fn open(path: &Path) -> std::io::Result<(Journal, Vec<JournalEntry>)> {
+        let entries = match std::fs::read_to_string(path) {
+            Ok(text) => replay(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let journal =
+            Journal { path: path.to_path_buf(), writer: Mutex::new(BufWriter::new(file)) };
+        Ok((journal, entries))
+    }
+
+    /// The journal's file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one entry as a JSONL line and flushes it, so a kill loses
+    /// at most the entry being written. Best-effort: journal I/O must
+    /// never take the run down.
+    pub fn append(&self, entry: &JournalEntry) {
+        if let Ok(line) = serde_json::to_string(entry) {
+            let mut w = self.writer.lock();
+            let _ = writeln!(w, "{line}");
+            let _ = w.flush();
+        }
+    }
+}
+
+/// Parses journal text, stopping at the first malformed line.
+#[must_use]
+pub fn replay(text: &str) -> Vec<JournalEntry> {
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<JournalEntry>(line) {
+            Ok(e) => entries.push(e),
+            Err(_) => break,
+        }
+    }
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(digest: &str, status: JournalStatus) -> JournalEntry {
+        JournalEntry {
+            kind: "world-point".into(),
+            digest: digest.into(),
+            label: "cell".into(),
+            status,
+            attempts: 1,
+        }
+    }
+
+    #[test]
+    fn append_then_reopen_replays() {
+        let dir = std::env::temp_dir().join("coolair_runner_journal_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let (j, replayed) = Journal::open(&path).unwrap();
+        assert!(replayed.is_empty());
+        j.append(&entry("aaaa", JournalStatus::Done));
+        j.append(&entry("bbbb", JournalStatus::Failed));
+        drop(j);
+
+        let (_j, replayed) = Journal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(replayed[0].digest, "aaaa");
+        assert_eq!(replayed[1].status, JournalStatus::Failed);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn replay_stops_at_torn_tail() {
+        let good = serde_json::to_string(&entry("aaaa", JournalStatus::Done)).unwrap();
+        let text = format!("{good}\n{{\"kind\":\"world-po");
+        let entries = replay(&text);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].digest, "aaaa");
+    }
+
+    #[test]
+    fn replay_skips_blank_lines() {
+        let good = serde_json::to_string(&entry("cccc", JournalStatus::Done)).unwrap();
+        let entries = replay(&format!("\n{good}\n\n"));
+        assert_eq!(entries.len(), 1);
+    }
+}

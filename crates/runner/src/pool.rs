@@ -1,0 +1,116 @@
+//! The crossbeam work-stealing worker pool.
+//!
+//! Tasks (plain indices into the caller's job slice) are pre-distributed
+//! round-robin across per-worker FIFO deques; an idle worker first drains
+//! its own queue, then steals from its siblings' opposite ends. No task is
+//! ever created dynamically, so a worker may exit as soon as every queue
+//! is empty — remaining work is already in flight on other workers.
+//!
+//! This module is also the workspace's single authority on thread-count
+//! resolution ([`worker_threads`]); `worldsweep` and the bench harness
+//! used to each carry their own `available_parallelism().map_or(…)` copy.
+
+use crossbeam::deque::{Steal, Stealer, Worker};
+
+/// Fallback worker count when the platform will not report its
+/// parallelism.
+pub const DEFAULT_THREADS: usize = 4;
+
+/// Resolves a requested thread count: `0` means "use the machine's
+/// available parallelism" (falling back to [`DEFAULT_THREADS`]); any other
+/// value is taken as-is.
+#[must_use]
+pub fn worker_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(DEFAULT_THREADS, std::num::NonZeroUsize::get)
+    } else {
+        requested
+    }
+}
+
+/// Runs `f(task)` for every task on `threads` workers with work stealing.
+/// Returns when all tasks have finished. `f` is responsible for its own
+/// panic containment — a panic that escapes `f` poisons the whole pool.
+///
+/// # Panics
+///
+/// Panics if a worker thread itself panics (i.e. `f` let one escape).
+pub fn run_stealing(tasks: &[usize], threads: usize, f: impl Fn(usize) + Sync) {
+    if tasks.is_empty() {
+        return;
+    }
+    let threads = threads.clamp(1, tasks.len());
+
+    // Round-robin pre-distribution: deterministic and balanced.
+    let queues: Vec<Worker<usize>> = (0..threads).map(|_| Worker::new_fifo()).collect();
+    for (i, &task) in tasks.iter().enumerate() {
+        queues[i % threads].push(task);
+    }
+    let stealers: Vec<Stealer<usize>> = queues.iter().map(Worker::stealer).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for (id, own) in queues.iter().enumerate() {
+            let stealers = &stealers;
+            let f = &f;
+            scope.spawn(move |_| loop {
+                let task = own.pop().or_else(|| {
+                    // Steal scan starting after ourselves, wrapping around.
+                    (1..stealers.len()).find_map(|off| {
+                        match stealers[(id + off) % stealers.len()].steal() {
+                            Steal::Success(t) => Some(t),
+                            Steal::Empty | Steal::Retry => None,
+                        }
+                    })
+                });
+                match task {
+                    Some(t) => f(t),
+                    None => break,
+                }
+            });
+        }
+    })
+    .expect("runner worker panicked (job panic escaped its isolation wrapper)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn zero_resolves_to_machine_parallelism() {
+        assert!(worker_threads(0) >= 1);
+        assert_eq!(worker_threads(3), 3);
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let n = 97;
+        let tasks: Vec<usize> = (0..n).collect();
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        run_stealing(&tasks, 5, |t| {
+            hits[t].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn uneven_tasks_get_stolen() {
+        // One slow task pinned to worker 0's queue; the rest must still
+        // complete via stealing even with 2 workers.
+        let tasks: Vec<usize> = (0..20).collect();
+        let done = AtomicUsize::new(0);
+        run_stealing(&tasks, 2, |t| {
+            if t == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            done.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn empty_task_list_is_a_no_op() {
+        run_stealing(&[], 4, |_| panic!("must not run"));
+    }
+}

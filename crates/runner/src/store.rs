@@ -1,0 +1,133 @@
+//! The content-addressed artifact store.
+//!
+//! Artifacts live at `<root>/<kind>/<digest>.json`, where the digest is
+//! the stable hash of the producing job's defining content (for a sweep
+//! shard: location + `AnnualConfig`, which embeds the `TrainingConfig`).
+//! Writes go through a temp file and an atomic rename, so a kill can never
+//! leave a torn artifact — the store either has the complete JSON or
+//! nothing.
+
+use std::path::{Path, PathBuf};
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::hash::Digest;
+
+/// A directory of content-addressed JSON artifacts.
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    root: PathBuf,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if absent) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation errors.
+    pub fn open(root: &Path) -> std::io::Result<Self> {
+        std::fs::create_dir_all(root)?;
+        Ok(ArtifactStore { root: root.to_path_buf() })
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The path an artifact lives at.
+    #[must_use]
+    pub fn path_for(&self, kind: &str, digest: Digest) -> PathBuf {
+        self.root.join(kind).join(format!("{digest}.json"))
+    }
+
+    /// Whether a complete artifact exists.
+    #[must_use]
+    pub fn contains(&self, kind: &str, digest: Digest) -> bool {
+        self.path_for(kind, digest).is_file()
+    }
+
+    /// Loads an artifact, or `None` when absent or unreadable (an
+    /// unreadable artifact is treated as a cache miss, never an error —
+    /// the job simply re-runs).
+    #[must_use]
+    pub fn get<T: DeserializeOwned>(&self, kind: &str, digest: Digest) -> Option<T> {
+        let bytes = std::fs::read(self.path_for(kind, digest)).ok()?;
+        serde_json::from_slice(&bytes).ok()
+    }
+
+    /// Stores an artifact atomically (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization and file I/O errors.
+    pub fn put<T: Serialize>(
+        &self,
+        kind: &str,
+        digest: Digest,
+        value: &T,
+    ) -> std::io::Result<()> {
+        let path = self.path_for(kind, digest);
+        let dir = path.parent().expect("artifact path has a parent");
+        std::fs::create_dir_all(dir)?;
+        let json = serde_json::to_vec(value)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let tmp = dir.join(format!("{digest}.json.tmp"));
+        std::fs::write(&tmp, &json)?;
+        std::fs::rename(&tmp, &path)
+    }
+
+    /// Number of complete artifacts under one kind (0 for an absent kind).
+    #[must_use]
+    pub fn count(&self, kind: &str) -> usize {
+        std::fs::read_dir(self.root.join(kind)).map_or(0, |rd| {
+            rd.filter_map(Result::ok)
+                .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                .count()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::stable_digest;
+
+    fn temp_store(name: &str) -> ArtifactStore {
+        let root = std::env::temp_dir().join("coolair_runner_store_test").join(name);
+        let _ = std::fs::remove_dir_all(&root);
+        ArtifactStore::open(&root).unwrap()
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let store = temp_store("round_trip");
+        let digest = stable_digest(&("Newark", 42u64));
+        assert!(!store.contains("probe", digest));
+        store.put("probe", digest, &vec![1.5f64, 0.1, -3.25]).unwrap();
+        assert!(store.contains("probe", digest));
+        let back: Vec<f64> = store.get("probe", digest).unwrap();
+        assert_eq!(back, vec![1.5, 0.1, -3.25]);
+        assert_eq!(store.count("probe"), 1);
+        assert_eq!(store.count("absent-kind"), 0);
+    }
+
+    #[test]
+    fn corrupt_artifact_reads_as_miss() {
+        let store = temp_store("corrupt");
+        let digest = stable_digest(&1u8);
+        store.put("probe", digest, &7u32).unwrap();
+        std::fs::write(store.path_for("probe", digest), b"{ torn").unwrap();
+        assert_eq!(store.get::<u32>("probe", digest), None);
+    }
+
+    #[test]
+    fn kinds_are_namespaced() {
+        let store = temp_store("namespaced");
+        let digest = stable_digest(&1u8);
+        store.put("a", digest, &1u32).unwrap();
+        assert!(store.get::<u32>("b", digest).is_none());
+    }
+}

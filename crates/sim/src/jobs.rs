@@ -1,0 +1,231 @@
+//! Serializable job specs turning the expensive experiments — training
+//! campaigns, annual runs (including fault campaigns), and world-sweep
+//! shards — into [`coolair_runner::Job`]s.
+//!
+//! Digest discipline: a job's digest covers exactly the spec fields that
+//! determine its output. [`SweepPointJob`] carries a pre-trained model as
+//! a runtime payload, but the model is itself a deterministic product of
+//! `(location, weather_seed, training)` — all inside the digested
+//! `AnnualConfig` — so it stays out of the hash and repeated sweeps hit
+//! the same artifacts.
+
+use coolair::{CoolingModel, TrainingConfig};
+use coolair_runner::{stable_digest, Digest, Job};
+use coolair_weather::Location;
+use coolair_workload::TraceKind;
+use serde::{Deserialize, Serialize};
+
+use crate::annual::{
+    run_annual, run_annual_with_model, train_for_location, AnnualConfig, SystemSpec,
+};
+use crate::metrics::AnnualSummary;
+use crate::worldsweep::{sweep_one_with_model, WorldPoint};
+
+/// Artifact namespace of trained Cooling Models.
+pub const KIND_COOLING_MODEL: &str = "cooling-model";
+/// Artifact namespace of world-sweep points.
+pub const KIND_WORLD_POINT: &str = "world-point";
+/// Artifact namespace of annual summaries.
+pub const KIND_ANNUAL_SUMMARY: &str = "annual-summary";
+
+/// Trains the §4.2 Cooling Model for one location.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainJob {
+    /// Training site.
+    pub location: Location,
+    /// Annual configuration supplying the weather seed and
+    /// [`TrainingConfig`].
+    pub annual: AnnualConfig,
+}
+
+impl Job for TrainJob {
+    type Output = CoolingModel;
+
+    fn kind(&self) -> &'static str {
+        KIND_COOLING_MODEL
+    }
+
+    /// Training depends only on the location, the weather seed and the
+    /// training campaign — not on stride, faults, or any other evaluation
+    /// knob.
+    fn digest(&self) -> Digest {
+        let key: (&Location, u64, &TrainingConfig) =
+            (&self.location, self.annual.weather_seed, &self.annual.training);
+        stable_digest(&key)
+    }
+
+    fn label(&self) -> String {
+        self.location.name().to_string()
+    }
+
+    fn run(&self) -> CoolingModel {
+        train_for_location(&self.location, &self.annual)
+    }
+}
+
+/// One world-sweep shard: baseline vs All-ND for a year at one grid cell
+/// (the Figure 12/13 pairing), evaluated with a pre-trained model.
+#[derive(Debug, Clone)]
+pub struct SweepPointJob {
+    /// Grid cell.
+    pub location: Location,
+    /// Per-location annual configuration.
+    pub annual: AnnualConfig,
+    /// The location's trained Cooling Model (runtime payload; not part of
+    /// the digest — see the module docs).
+    pub model: CoolingModel,
+}
+
+impl Job for SweepPointJob {
+    type Output = WorldPoint;
+
+    fn kind(&self) -> &'static str {
+        KIND_WORLD_POINT
+    }
+
+    fn digest(&self) -> Digest {
+        let key: (&Location, &AnnualConfig) = (&self.location, &self.annual);
+        stable_digest(&key)
+    }
+
+    fn label(&self) -> String {
+        self.location.name().to_string()
+    }
+
+    fn run(&self) -> WorldPoint {
+        sweep_one_with_model(&self.location, &self.annual, self.model.clone())
+    }
+}
+
+/// One full annual evaluation of a system at a location — the unit behind
+/// the figure grids and fault campaigns (faults ride in
+/// [`AnnualConfig::faults`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnnualJob {
+    /// System under evaluation.
+    pub system: SystemSpec,
+    /// Evaluation site.
+    pub location: Location,
+    /// Workload trace.
+    pub trace: TraceKind,
+    /// Annual configuration (stride, seeds, faults, engine tuning).
+    pub annual: AnnualConfig,
+}
+
+impl Job for AnnualJob {
+    type Output = AnnualSummary;
+
+    fn kind(&self) -> &'static str {
+        KIND_ANNUAL_SUMMARY
+    }
+
+    fn digest(&self) -> Digest {
+        stable_digest(self)
+    }
+
+    fn label(&self) -> String {
+        format!("{} @ {}", self.system.name(), self.location.name())
+    }
+
+    fn run(&self) -> AnnualSummary {
+        run_annual(&self.system, &self.location, self.trace, &self.annual)
+    }
+}
+
+/// Like [`AnnualJob`] but reusing a pre-trained model (the digest is the
+/// same as the equivalent [`AnnualJob`] — the artifact is
+/// interchangeable).
+#[derive(Debug, Clone)]
+pub struct AnnualWithModelJob {
+    /// The underlying spec.
+    pub spec: AnnualJob,
+    /// Pre-trained model (runtime payload, not digested).
+    pub model: Option<CoolingModel>,
+}
+
+impl Job for AnnualWithModelJob {
+    type Output = AnnualSummary;
+
+    fn kind(&self) -> &'static str {
+        KIND_ANNUAL_SUMMARY
+    }
+
+    fn digest(&self) -> Digest {
+        self.spec.digest()
+    }
+
+    fn label(&self) -> String {
+        self.spec.label()
+    }
+
+    fn run(&self) -> AnnualSummary {
+        run_annual_with_model(
+            &self.spec.system,
+            &self.spec.location,
+            self.spec.trace,
+            &self.spec.annual,
+            self.model.clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_annual() -> AnnualConfig {
+        AnnualConfig::quick()
+    }
+
+    #[test]
+    fn train_digest_ignores_evaluation_knobs() {
+        let a = TrainJob { location: Location::newark(), annual: quick_annual() };
+        let mut faster = quick_annual();
+        faster.stride = 120; // stride is an evaluation knob, not a training one
+        let b = TrainJob { location: Location::newark(), annual: faster };
+        assert_eq!(a.digest(), b.digest());
+
+        let mut other_campaign = quick_annual();
+        other_campaign.training.days += 1;
+        let c = TrainJob { location: Location::newark(), annual: other_campaign };
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn point_digest_separates_locations_and_configs() {
+        let newark_model = train_for_location(&Location::newark(), &quick_annual());
+        let chad_model = train_for_location(&Location::chad(), &quick_annual());
+        let a = SweepPointJob {
+            location: Location::newark(),
+            annual: quick_annual(),
+            model: newark_model.clone(),
+        };
+        let b = SweepPointJob {
+            location: Location::chad(),
+            annual: quick_annual(),
+            model: newark_model,
+        };
+        assert_ne!(a.digest(), b.digest());
+        // The runtime model payload does not perturb the digest.
+        let c = SweepPointJob {
+            location: Location::newark(),
+            annual: quick_annual(),
+            model: chad_model,
+        };
+        assert_eq!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn annual_job_digest_covers_system_and_trace() {
+        let base = AnnualJob {
+            system: SystemSpec::Baseline,
+            location: Location::newark(),
+            trace: TraceKind::Facebook,
+            annual: quick_annual(),
+        };
+        let other_system = AnnualJob { system: SystemSpec::CoolAir(coolair::Version::AllNd), ..base.clone() };
+        let other_trace = AnnualJob { trace: TraceKind::Nutch, ..base.clone() };
+        assert_ne!(base.digest(), other_system.digest());
+        assert_ne!(base.digest(), other_trace.digest());
+    }
+}

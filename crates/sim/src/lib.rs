@@ -41,6 +41,7 @@ mod annual;
 mod engine;
 mod faults;
 mod fidelity;
+pub mod jobs;
 mod metrics;
 mod model_plant;
 mod multizone;
@@ -60,4 +61,7 @@ pub use multizone::{MultiZone, MultiZoneReport, ZoneSpec};
 pub use reliability::{disk_reliability, ReliabilityParams, ReliabilityReport};
 pub use metrics::{AnnualSummary, DayRecord, POWER_DELIVERY_PUE};
 pub use validate::{model_error_cdfs, ModelErrorReport};
-pub use worldsweep::{sweep_one, world_sweep, WorldPoint, WorldSweepConfig};
+pub use worldsweep::{
+    sweep_locations, sweep_one, sweep_one_with_model, world_sweep, world_sweep_with, SweepReport,
+    WorldPoint, WorldSweepConfig,
+};

@@ -1,14 +1,24 @@
-//! The 1520-location world-wide sweep behind Figures 12 and 13.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
+//! The 1520-location world-wide sweep behind Figures 12 and 13, run on
+//! the `coolair-runner` executor.
+//!
+//! The sweep is two phases of jobs per grid cell: a [`TrainJob`] producing
+//! the cell's Cooling Model, then a [`SweepPointJob`] evaluating baseline
+//! vs All-ND for a year with that model. Under an executor with an
+//! attached store, both phases are content-addressed — a killed sweep
+//! resumes from its journal, and a warm rerun serves every model and
+//! point from the artifact cache without executing anything.
+//!
+//! Output ordering is deterministic by construction: results land in
+//! per-index slots in grid order (no collection mutex, no name sort).
 
 use coolair::Version;
+use coolair_runner::{Executor, JobResult, Telemetry};
 use coolair_weather::{Location, WorldGrid};
 use coolair_workload::TraceKind;
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
-use crate::annual::{run_annual, run_annual_with_model, train_for_location, AnnualConfig, SystemSpec};
+use crate::annual::{run_annual, run_annual_with_model, AnnualConfig, SystemSpec};
+use crate::jobs::{SweepPointJob, TrainJob};
 
 /// One location's baseline-vs-CoolAir comparison.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -53,7 +63,8 @@ pub struct WorldSweepConfig {
     pub locations: usize,
     /// Per-location annual-run configuration.
     pub annual: AnnualConfig,
-    /// Worker threads (0 → available parallelism).
+    /// Worker threads (0 → available parallelism, resolved by
+    /// [`coolair_runner::worker_threads`]).
     pub threads: usize,
 }
 
@@ -80,43 +91,108 @@ impl WorldSweepConfig {
     }
 }
 
-/// Runs baseline and All-ND for a year at every grid location, in parallel.
-#[must_use]
-pub fn world_sweep(cfg: &WorldSweepConfig) -> Vec<WorldPoint> {
-    let grid = WorldGrid::with_count(cfg.locations);
-    let locations: Vec<Location> = grid.locations().to_vec();
-    let results: Mutex<Vec<WorldPoint>> = Mutex::new(Vec::with_capacity(locations.len()));
-    let next = AtomicUsize::new(0);
-    let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
-    } else {
-        cfg.threads
-    };
-
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= locations.len() {
-                    break;
-                }
-                let point = sweep_one(&locations[i], &cfg.annual);
-                results.lock().push(point);
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-
-    let mut out = results.into_inner();
-    out.sort_by(|a, b| a.name.cmp(&b.name));
-    out
+/// Outcome of an executor-driven sweep: the successful points in grid
+/// order plus any shards that exhausted their attempt budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Successful points, in grid (input) order.
+    pub points: Vec<WorldPoint>,
+    /// `(location name, error)` for each failed shard.
+    pub failures: Vec<(String, String)>,
 }
 
-/// Evaluates one location: baseline vs All-ND (the Figure 12/13 pairing).
+/// Runs baseline and All-ND for a year at every grid location, in
+/// parallel. Thin wrapper over [`world_sweep_with`] on an in-memory
+/// executor (no store, no journal), kept for the figure benches and
+/// callers that want the original fail-fast contract.
+///
+/// # Panics
+///
+/// Panics if any shard exhausts its attempt budget (matching the old
+/// behaviour where a worker panic aborted the sweep).
+#[must_use]
+pub fn world_sweep(cfg: &WorldSweepConfig) -> Vec<WorldPoint> {
+    let exec = Executor::in_memory(cfg.threads, Telemetry::disabled());
+    let report = world_sweep_with(cfg, &exec);
+    assert!(
+        report.failures.is_empty(),
+        "sweep shards failed: {:?}",
+        report.failures
+    );
+    report.points
+}
+
+/// Runs the sweep for a config's grid on the given executor.
+#[must_use]
+pub fn world_sweep_with(cfg: &WorldSweepConfig, exec: &Executor) -> SweepReport {
+    let grid = WorldGrid::with_count(cfg.locations);
+    sweep_locations(grid.locations(), &cfg.annual, exec)
+}
+
+/// Runs the two-phase sweep over an explicit location list (how the CLI
+/// shards the grid across machines).
+#[must_use]
+pub fn sweep_locations(
+    locations: &[Location],
+    annual: &AnnualConfig,
+    exec: &Executor,
+) -> SweepReport {
+    // Phase 1: one training job per location (content-addressed, so warm
+    // stores serve every model without retraining).
+    let train_jobs: Vec<TrainJob> = locations
+        .iter()
+        .map(|l| TrainJob { location: l.clone(), annual: annual.clone() })
+        .collect();
+    let models = exec.run(&train_jobs);
+
+    // Phase 2: one evaluation shard per successfully trained location.
+    let mut failures: Vec<(String, String)> = Vec::new();
+    let mut point_jobs: Vec<SweepPointJob> = Vec::new();
+    for (location, model) in locations.iter().zip(models) {
+        match model {
+            JobResult::Computed(m) | JobResult::Cached(m) => point_jobs.push(SweepPointJob {
+                location: location.clone(),
+                annual: annual.clone(),
+                model: m,
+            }),
+            JobResult::Failed { attempts, error } => failures.push((
+                location.name().to_string(),
+                format!("training failed after {attempts} attempts: {error}"),
+            )),
+        }
+    }
+
+    let mut points = Vec::with_capacity(point_jobs.len());
+    for (job, result) in point_jobs.iter().zip(exec.run(&point_jobs)) {
+        match result {
+            JobResult::Computed(p) | JobResult::Cached(p) => points.push(p),
+            JobResult::Failed { attempts, error } => failures.push((
+                job.location.name().to_string(),
+                format!("evaluation failed after {attempts} attempts: {error}"),
+            )),
+        }
+    }
+    SweepReport { points, failures }
+}
+
+/// Evaluates one location: baseline vs All-ND (the Figure 12/13 pairing),
+/// training the model in-line. The single-location entry point behind
+/// `coolair compare`.
 #[must_use]
 pub fn sweep_one(location: &Location, annual: &AnnualConfig) -> WorldPoint {
+    let model = crate::annual::train_for_location(location, annual);
+    sweep_one_with_model(location, annual, model)
+}
+
+/// Evaluates one location with a pre-trained model — the body of a
+/// [`SweepPointJob`].
+#[must_use]
+pub fn sweep_one_with_model(
+    location: &Location,
+    annual: &AnnualConfig,
+    model: coolair::CoolingModel,
+) -> WorldPoint {
     let baseline = run_annual(&SystemSpec::Baseline, location, TraceKind::Facebook, annual);
-    let model = train_for_location(location, annual);
     let coolair = run_annual_with_model(
         &SystemSpec::CoolAir(Version::AllNd),
         location,
@@ -150,5 +226,15 @@ mod tests {
             assert!(p.baseline_pue > 1.0 && p.baseline_pue < 3.0);
             assert!(p.coolair_pue > 1.0 && p.coolair_pue < 3.0);
         }
+    }
+
+    #[test]
+    fn sweep_order_is_grid_order() {
+        let cfg = WorldSweepConfig::smoke(4);
+        let points = world_sweep(&cfg);
+        let grid = WorldGrid::with_count(4);
+        let names: Vec<&str> = grid.locations().iter().map(Location::name).collect();
+        let got: Vec<&str> = points.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(got, names, "points must land in grid order, not name order");
     }
 }

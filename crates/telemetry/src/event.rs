@@ -105,6 +105,21 @@ pub enum Event {
         /// The updated EWMA of the error, °C.
         ewma_c: f64,
     },
+    /// An orchestrated experiment job changed state in the
+    /// `coolair-runner` executor. Like the day markers, this is not a
+    /// simulated-time event — jobs live in the orchestration layer above
+    /// the simulation clock.
+    JobState {
+        /// Artifact namespace of the job (e.g. `cooling-model`,
+        /// `world-point`).
+        kind: String,
+        /// Human job label (e.g. the location name).
+        label: String,
+        /// New state: `done`, `failed`, `retry`, `cache-hit` or `resumed`.
+        state: String,
+        /// Attempt number the transition refers to (0 for cache serves).
+        attempt: u32,
+    },
 }
 
 impl Event {
@@ -113,7 +128,7 @@ impl Event {
     #[must_use]
     pub fn time(&self) -> Option<SimTime> {
         match self {
-            Event::DayStart { .. } | Event::DayEnd { .. } => None,
+            Event::DayStart { .. } | Event::DayEnd { .. } | Event::JobState { .. } => None,
             Event::ControlTick { time, .. }
             | Event::RegimeChange { time, .. }
             | Event::TksModeFlip { time, .. }
@@ -141,6 +156,7 @@ impl Event {
             Event::FaultActivated { .. } => "fault-activated",
             Event::FaultCleared { .. } => "fault-cleared",
             Event::ModelErrorScored { .. } => "model-error",
+            Event::JobState { .. } => "job-state",
         }
     }
 }
@@ -166,6 +182,12 @@ mod tests {
                 to: "ac@100%".into(),
             },
             Event::FailsafeEngaged { time: SimTime::from_secs(1800), max_inlet: 33.0 },
+            Event::JobState {
+                kind: "world-point".into(),
+                label: "cell0231".into(),
+                state: "done".into(),
+                attempt: 1,
+            },
         ];
         for e in events {
             let json = serde_json::to_string(&e).unwrap();
@@ -188,5 +210,13 @@ mod tests {
         let t = SimTime::from_secs(60);
         assert_eq!(Event::FailsafeReleased { time: t }.time(), Some(t));
         assert_eq!(Event::DayStart { day: 3 }.time(), None);
+        let job = Event::JobState {
+            kind: "cooling-model".into(),
+            label: "Newark".into(),
+            state: "cache-hit".into(),
+            attempt: 0,
+        };
+        assert_eq!(job.time(), None, "job states live above the simulation clock");
+        assert_eq!(job.kind_name(), "job-state");
     }
 }

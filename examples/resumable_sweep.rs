@@ -1,0 +1,121 @@
+//! Resumable world sweep: kill, resume, and warm-cache rerun.
+//!
+//! Runs a 12-location world sweep through the `coolair-runner` executor
+//! three times against the same artifact store:
+//!
+//! 1. an uninterrupted reference run,
+//! 2. a "killed" run — its journal is truncated mid-campaign and the
+//!    un-journaled artifacts deleted, then the sweep is resumed with the
+//!    journal replayed — whose output must be byte-identical to (1),
+//! 3. a warm rerun, served entirely from the artifact cache with zero
+//!    training jobs executed.
+//!
+//! ```sh
+//! cargo run --release --example resumable_sweep
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use coolair_runner::{Executor, ExecutorConfig, ProgressSnapshot};
+use coolair_sim::jobs::KIND_COOLING_MODEL;
+use coolair_sim::{sweep_locations, AnnualConfig, SweepReport};
+use coolair_telemetry::Telemetry;
+use coolair_weather::WorldGrid;
+
+fn sweep(dir: &Path, resume: bool) -> (SweepReport, ProgressSnapshot, u64) {
+    let telemetry = Telemetry::discard();
+    let exec = Executor::new(ExecutorConfig {
+        store_dir: Some(dir.to_path_buf()),
+        resume,
+        telemetry: telemetry.clone(),
+        ..ExecutorConfig::default()
+    })
+    .expect("open store");
+    let grid = WorldGrid::with_count(12);
+    let annual = AnnualConfig { stride: 90, ..AnnualConfig::quick() };
+    let report = sweep_locations(grid.locations(), &annual, &exec);
+    assert!(report.failures.is_empty(), "sweep failed: {:?}", report.failures);
+    let trained = telemetry.metrics().counter(&format!("runner.run.{KIND_COOLING_MODEL}"));
+    (report, exec.progress(), trained)
+}
+
+fn points_json(report: &SweepReport) -> String {
+    serde_json::to_string(&report.points).expect("serialise points")
+}
+
+/// Simulates a mid-campaign kill: keep only the first half of the
+/// journal, and delete every artifact the kept prefix does not mention.
+fn kill_midway(dir: &Path) -> (usize, usize) {
+    let journal = dir.join("journal.jsonl");
+    let text = std::fs::read_to_string(&journal).expect("read journal");
+    let lines: Vec<&str> = text.lines().collect();
+    let keep = lines.len() / 2;
+    let mut kept = lines[..keep].join("\n");
+    kept.push('\n');
+    std::fs::write(&journal, kept.as_bytes()).expect("truncate journal");
+
+    let referenced: std::collections::HashSet<(String, String)> =
+        coolair_runner::replay(&kept).into_iter().map(|e| (e.kind, e.digest)).collect();
+    let mut deleted = 0;
+    for kind_dir in std::fs::read_dir(dir.join("artifacts")).expect("artifacts dir") {
+        let kind_dir = kind_dir.unwrap().path();
+        let kind = kind_dir.file_name().unwrap().to_str().unwrap().to_string();
+        for artifact in std::fs::read_dir(&kind_dir).unwrap() {
+            let path = artifact.unwrap().path();
+            let digest = path.file_stem().unwrap().to_str().unwrap().to_string();
+            if !referenced.contains(&(kind.clone(), digest)) {
+                std::fs::remove_file(&path).unwrap();
+                deleted += 1;
+            }
+        }
+    }
+    (keep, deleted)
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("coolair_resumable_sweep").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn main() {
+    println!("== 1. uninterrupted reference sweep (12 locations) ==");
+    let reference_dir = fresh_dir("reference");
+    let (reference, progress, trained) = sweep(&reference_dir, false);
+    println!(
+        "   {} points, {} jobs executed, {} models trained\n",
+        reference.points.len(),
+        progress.done,
+        trained
+    );
+
+    println!("== 2. killed mid-campaign, then resumed ==");
+    let killed_dir = fresh_dir("killed");
+    let (_, progress, _) = sweep(&killed_dir, false);
+    let total = progress.done;
+    let (kept, deleted) = kill_midway(&killed_dir);
+    println!("   simulated kill: journal truncated to {kept}/{total} entries, {deleted} artifacts deleted");
+    let (resumed, progress, _) = sweep(&killed_dir, true);
+    println!(
+        "   resumed: {} jobs replayed from the journal, {} re-executed",
+        progress.resumed, progress.done
+    );
+    assert_eq!(
+        points_json(&resumed),
+        points_json(&reference),
+        "resumed output must be byte-identical to the uninterrupted run"
+    );
+    println!("   resumed output is byte-identical to the reference ✔\n");
+
+    println!("== 3. warm-cache rerun on the reference store ==");
+    let (warm, progress, trained) = sweep(&reference_dir, false);
+    assert_eq!(points_json(&warm), points_json(&reference));
+    assert_eq!(trained, 0);
+    println!(
+        "   {} cache hits, {} jobs executed, {} models trained ({:.0}% served from cache) ✔",
+        progress.cache_hits,
+        progress.done,
+        trained,
+        progress.cache_hit_rate() * 100.0
+    );
+}

@@ -14,9 +14,11 @@
 //! - [`core`] — CoolAir itself (modeler, cooling manager, compute manager)
 //! - [`sim`] — Real-Sim / Smooth-Sim engines, metrics, annual & world sweeps
 //! - [`telemetry`] — structured events, metrics registry, profiler, recorder
+//! - [`runner`] — job executor, artifact store, resumable journals
 
 pub use coolair as core;
 pub use coolair_ml as ml;
+pub use coolair_runner as runner;
 pub use coolair_sim as sim;
 pub use coolair_telemetry as telemetry;
 pub use coolair_thermal as thermal;

@@ -1,0 +1,179 @@
+//! Properties of the experiment orchestration subsystem: a killed sweep
+//! resumed from its journal must be bit-identical to an uninterrupted
+//! run, a warm artifact store must serve a repeat sweep without executing
+//! anything, and a panicking job must never take a batch down.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+use coolair_suite::runner::{
+    replay, stable_digest, Digest, Executor, ExecutorConfig, Job, JobResult, ProgressSnapshot,
+};
+use coolair_suite::sim::jobs::KIND_COOLING_MODEL;
+use coolair_suite::sim::{sweep_locations, AnnualConfig, SweepReport};
+use coolair_suite::telemetry::Telemetry;
+use coolair_suite::weather::Location;
+use proptest::prelude::*;
+
+/// The test sweep: two climate-distinct locations, four sampled days,
+/// quick training — 4 jobs total (2 train + 2 evaluate), cheap enough to
+/// run several times per property.
+fn sweep_inputs() -> (Vec<Location>, AnnualConfig) {
+    let annual = AnnualConfig { stride: 120, ..AnnualConfig::quick() };
+    (vec![Location::newark(), Location::chad()], annual)
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("coolair_runner_props").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs the test sweep against `dir`, returning the report, the
+/// executor's progress, and how many training jobs actually executed.
+fn run_sweep(dir: &Path, resume: bool) -> (SweepReport, ProgressSnapshot, u64) {
+    let telemetry = Telemetry::discard();
+    let exec = Executor::new(ExecutorConfig {
+        threads: 2,
+        store_dir: Some(dir.to_path_buf()),
+        resume,
+        telemetry: telemetry.clone(),
+        ..ExecutorConfig::default()
+    })
+    .expect("open store");
+    let (locations, annual) = sweep_inputs();
+    let report = sweep_locations(&locations, &annual, &exec);
+    let trained = telemetry.metrics().counter(&format!("runner.run.{KIND_COOLING_MODEL}"));
+    (report, exec.progress(), trained)
+}
+
+fn points_json(report: &SweepReport) -> String {
+    assert!(report.failures.is_empty(), "sweep failed: {:?}", report.failures);
+    serde_json::to_string(&report.points).expect("serialise points")
+}
+
+/// Truncates the journal to its first `keep` lines and deletes every
+/// artifact the kept prefix does not reference — the state after a kill
+/// at an arbitrary point (the journal line is written after its
+/// artifact, so a torn run can also leave *extra* artifacts; deleting
+/// them exercises the harder recovery, recomputation).
+fn kill_at(dir: &Path, keep: usize) -> usize {
+    let journal = dir.join("journal.jsonl");
+    let text = std::fs::read_to_string(&journal).expect("read journal");
+    let lines: Vec<&str> = text.lines().collect();
+    let keep = keep.min(lines.len());
+    let mut kept = lines[..keep].join("\n");
+    if keep > 0 {
+        kept.push('\n');
+    }
+    std::fs::write(&journal, kept.as_bytes()).expect("truncate journal");
+
+    let referenced: HashSet<(String, String)> = replay(&kept)
+        .into_iter()
+        .map(|e| (e.kind, e.digest))
+        .collect();
+    for kind_dir in std::fs::read_dir(dir.join("artifacts")).expect("artifacts dir") {
+        let kind_dir = kind_dir.unwrap().path();
+        let kind = kind_dir.file_name().unwrap().to_str().unwrap().to_string();
+        for artifact in std::fs::read_dir(&kind_dir).unwrap() {
+            let path = artifact.unwrap().path();
+            let digest = path.file_stem().unwrap().to_str().unwrap().to_string();
+            if !referenced.contains(&(kind.clone(), digest)) {
+                std::fs::remove_file(&path).unwrap();
+            }
+        }
+    }
+    keep
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Kill a sweep after an arbitrary number of completed jobs; the
+    /// resumed run must produce byte-identical points to an
+    /// uninterrupted fresh run.
+    #[test]
+    fn resume_after_random_kill_is_bit_identical(keep in 0usize..5) {
+        let reference_dir = fresh_dir(&format!("reference_{keep}"));
+        let (reference, _, _) = run_sweep(&reference_dir, false);
+        let reference = points_json(&reference);
+
+        let dir = fresh_dir(&format!("killed_{keep}"));
+        let (_, progress, _) = run_sweep(&dir, false);
+        let total = progress.done;
+        let kept = kill_at(&dir, keep);
+
+        let (resumed, progress, _) = run_sweep(&dir, true);
+        prop_assert_eq!(points_json(&resumed), reference.clone());
+        prop_assert_eq!(progress.resumed, kept as u64);
+        prop_assert_eq!(progress.done, total - kept as u64);
+    }
+}
+
+/// A second sweep over a warm store must serve every point from the
+/// artifact cache: identical output, zero jobs executed, zero training —
+/// verified through the telemetry counters, as the acceptance criteria
+/// demand.
+#[test]
+fn warm_store_reruns_identically_with_zero_training() {
+    let dir = fresh_dir("warm");
+    let (cold, cold_progress, cold_trained) = run_sweep(&dir, false);
+    assert_eq!(cold_trained, 2, "cold run trains both locations");
+    assert_eq!(cold_progress.done, 4);
+
+    let (warm, warm_progress, warm_trained) = run_sweep(&dir, false);
+    assert_eq!(points_json(&warm), points_json(&cold));
+    assert_eq!(warm_trained, 0, "warm run must not execute any training job");
+    assert_eq!(warm_progress.scheduled, 0);
+    assert_eq!(warm_progress.cache_hits, 4);
+    assert!((warm_progress.cache_hit_rate() - 1.0).abs() < 1e-12);
+}
+
+/// A job that panics on every attempt for flagged inputs.
+struct Brittle {
+    input: u64,
+    broken: bool,
+}
+
+impl Job for Brittle {
+    type Output = u64;
+    fn kind(&self) -> &'static str {
+        "brittle"
+    }
+    fn digest(&self) -> Digest {
+        stable_digest(&self.input)
+    }
+    fn label(&self) -> String {
+        self.input.to_string()
+    }
+    fn run(&self) -> u64 {
+        assert!(!self.broken, "shard {} is broken", self.input);
+        self.input + 1
+    }
+}
+
+/// One panicking job in a batch is retried, recorded failed, and does not
+/// disturb its neighbours — in particular their input-order slots.
+#[test]
+fn panicking_job_is_isolated_and_retried() {
+    let exec = Executor::in_memory(3, Telemetry::discard());
+    let batch: Vec<Brittle> =
+        (0..12).map(|input| Brittle { input, broken: input == 7 }).collect();
+    let out = exec.run(&batch);
+
+    for (i, result) in out.iter().enumerate() {
+        if i == 7 {
+            match result {
+                JobResult::Failed { attempts, error } => {
+                    assert_eq!(*attempts, 2, "default budget is two attempts");
+                    assert!(error.contains("shard 7 is broken"), "got: {error}");
+                }
+                other => panic!("job 7 should fail, got {other:?}"),
+            }
+        } else {
+            assert_eq!(result.output(), Some(&(i as u64 + 1)));
+        }
+    }
+    let progress = exec.progress();
+    assert_eq!((progress.done, progress.failed, progress.retries), (11, 1, 1));
+}

@@ -1,9 +1,15 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only the `crossbeam::thread::scope` API surface the workspace uses is
-//! provided, implemented on top of `std::thread::scope` (stable since Rust
-//! 1.63). As in crossbeam, `scope` returns `Err` if any spawned thread
-//! panicked instead of propagating the panic directly.
+//! Only the API surface the workspace uses is provided:
+//!
+//! * `crossbeam::thread::scope`, implemented on top of `std::thread::scope`
+//!   (stable since Rust 1.63). As in crossbeam, `scope` returns `Err` if
+//!   any spawned thread panicked instead of propagating the panic directly.
+//! * `crossbeam::deque` — the `Worker`/`Stealer`/`Steal` work-stealing
+//!   deque trio used by the `coolair-runner` pool, implemented with a
+//!   mutex-guarded `VecDeque` (correct and contention-light at the
+//!   workspace's job granularity; real crossbeam's lock-free Chase-Lev
+//!   deque has identical semantics).
 
 pub mod thread {
     use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -39,6 +45,105 @@ pub mod thread {
     }
 }
 
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// The owner's end of a work-stealing deque: LIFO push/pop for the
+    /// owning worker, with [`Stealer`] handles taking from the other end.
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// A new FIFO worker queue (the owner pops oldest-first, matching
+        /// crossbeam's `Worker::new_fifo`).
+        #[must_use]
+        pub fn new_fifo() -> Self {
+            Worker { inner: Arc::new(Mutex::new(VecDeque::new())) }
+        }
+
+        /// Enqueues a task on the owner's end.
+        pub fn push(&self, task: T) {
+            self.inner.lock().expect("deque poisoned").push_back(task);
+        }
+
+        /// Pops the owner's next task (front of a FIFO queue).
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().expect("deque poisoned").pop_front()
+        }
+
+        /// Whether the queue is currently empty.
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().expect("deque poisoned").is_empty()
+        }
+
+        /// A stealer handle sharing this queue.
+        #[must_use]
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Worker<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Worker").finish_non_exhaustive()
+        }
+    }
+
+    /// A cloneable handle that steals tasks from the back of a [`Worker`]'s
+    /// queue.
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Attempts to steal one task from the victim's queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().expect("deque poisoned").pop_back() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Stealer<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Stealer").finish_non_exhaustive()
+        }
+    }
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The victim's queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The operation lost a race and may be retried (never produced by
+        /// this mutex-based stand-in, but part of crossbeam's contract).
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Converts to an `Option`, discarding the `Empty`/`Retry`
+        /// distinction.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                Steal::Empty | Steal::Retry => None,
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -63,5 +168,19 @@ mod tests {
             s.spawn(|_| panic!("boom"));
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn deque_owner_pops_fifo_stealers_take_the_back() {
+        let w = super::deque::Worker::new_fifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(1), "owner pops oldest first");
+        assert_eq!(s.steal().success(), Some(3), "stealer takes the back");
+        assert_eq!(w.pop(), Some(2));
+        assert!(w.is_empty());
+        assert_eq!(s.steal(), super::deque::Steal::Empty);
     }
 }
