@@ -147,41 +147,14 @@ criterion_group!(
     bench_executor_overhead
 );
 
-/// Schema of `BENCH_perf.json` (documented in EXPERIMENTS.md).
-#[derive(serde::Serialize)]
-struct PerfReport {
-    schema_version: u32,
-    generated_by: String,
-    results: Vec<PerfEntry>,
-}
-
-#[derive(serde::Serialize)]
-struct PerfEntry {
-    name: String,
-    median_ns: u64,
-    samples: u64,
-}
-
 fn main() {
     benches();
-    let report = PerfReport {
-        schema_version: 1,
-        generated_by: "perf_components".to_string(),
-        results: criterion::take_results()
-            .into_iter()
-            .map(|r| PerfEntry {
-                name: r.name,
-                median_ns: u64::try_from(r.median_ns).unwrap_or(u64::MAX),
-                samples: r.samples as u64,
-            })
-            .collect(),
-    };
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf.json");
-    match serde_json::to_string_pretty(&report) {
-        Ok(text) => match std::fs::write(path, text + "\n") {
-            Ok(()) => println!("\nwrote {path}"),
-            Err(e) => eprintln!("could not write {path}: {e}"),
-        },
-        Err(e) => eprintln!("could not serialize bench results: {e}"),
+    // Merge-preserving write: rows from other bench targets (e.g.
+    // serve_throughput) survive; schema in EXPERIMENTS.md.
+    let entries = coolair_bench::perf::entries_from_criterion(criterion::take_results());
+    let path = coolair_bench::perf::report_path();
+    match coolair_bench::perf::merge_into_report(&path, "perf_components", entries) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
 }

@@ -1,0 +1,133 @@
+//! Throughput and latency of the `coolair-serve` daemon under concurrent
+//! keep-alive load: N client threads hammer `GET /healthz` and
+//! `GET /metrics` over persistent connections, and the observed request
+//! rate plus p50/p99 latencies are merged into `BENCH_perf.json`
+//! alongside the `perf_components` rows (schema in EXPERIMENTS.md).
+//!
+//! The daemon runs in-process on a loopback port with an in-memory
+//! executor, so the numbers isolate the HTTP layer (parse, route, encode,
+//! socket round trip) from simulation work.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use coolair_bench::http_client::HttpClient;
+use coolair_bench::perf::{merge_into_report, report_path, PerfEntry};
+use coolair_serve::{ServeConfig, Server};
+use coolair_telemetry::Telemetry;
+use parking_lot::Mutex;
+
+/// Concurrent keep-alive connections (the acceptance floor is 64).
+const CONNECTIONS: usize = 64;
+/// Requests per connection.
+const REQUESTS_PER_CONN: usize = 150;
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        max_connections: CONNECTIONS + 8,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(cfg, Telemetry::discard()).expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(CONNECTIONS * REQUESTS_PER_CONN));
+    let errors = AtomicU64::new(0);
+    let mut elapsed_s = 0.0;
+
+    crossbeam::thread::scope(|s| {
+        s.spawn(|_| server.run());
+        // Wait for the listener to answer before unleashing the fleet.
+        let mut probe = HttpClient::connect(addr).expect("probe connect");
+        assert_eq!(probe.get("/healthz").expect("probe").status, 200);
+        drop(probe);
+
+        let started = Instant::now();
+        crossbeam::thread::scope(|inner| {
+            for conn_id in 0..CONNECTIONS {
+                let latencies = &latencies;
+                let errors = &errors;
+                inner.spawn(move |_| {
+                    let Ok(mut client) = HttpClient::connect(addr) else {
+                        errors.fetch_add(REQUESTS_PER_CONN as u64, Ordering::Relaxed);
+                        return;
+                    };
+                    let mut local = Vec::with_capacity(REQUESTS_PER_CONN);
+                    for i in 0..REQUESTS_PER_CONN {
+                        // 1-in-8 requests scrape /metrics so the bench
+                        // exercises the heavier encoder path too.
+                        let target =
+                            if (i + conn_id) % 8 == 0 { "/metrics" } else { "/healthz" };
+                        let t0 = Instant::now();
+                        match client.get(target) {
+                            Ok(resp) if resp.status == 200 => {
+                                local.push(t0.elapsed().as_nanos() as u64);
+                            }
+                            _ => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    latencies.lock().extend(local);
+                });
+            }
+        })
+        .expect("client scope");
+        elapsed_s = started.elapsed().as_secs_f64();
+
+        let mut shut = HttpClient::connect(addr).expect("shutdown connect");
+        assert_eq!(shut.post_json("/shutdown", &()).expect("shutdown").status, 200);
+    })
+    .expect("server scope");
+
+    let mut sorted = latencies.into_inner();
+    sorted.sort_unstable();
+    let completed = sorted.len() as u64;
+    let failed = errors.load(Ordering::Relaxed);
+    assert!(
+        failed == 0,
+        "{failed} requests failed under {CONNECTIONS}-connection load"
+    );
+    let rps = completed as f64 / elapsed_s.max(1e-9);
+    let p50 = percentile(&sorted, 0.50);
+    let p99 = percentile(&sorted, 0.99);
+    println!(
+        "serve_throughput: {CONNECTIONS} conns x {REQUESTS_PER_CONN} reqs -> \
+         {rps:.0} req/s, p50 {p50} ns, p99 {p99} ns"
+    );
+
+    let unit = |u: &str| Some(u.to_string());
+    let entries = vec![
+        PerfEntry {
+            name: format!("serve/{CONNECTIONS}conn_req_per_s"),
+            median_ns: rps.round() as u64,
+            samples: completed,
+            unit: unit("req/s"),
+        },
+        PerfEntry {
+            name: format!("serve/{CONNECTIONS}conn_p50"),
+            median_ns: p50,
+            samples: completed,
+            unit: unit("ns"),
+        },
+        PerfEntry {
+            name: format!("serve/{CONNECTIONS}conn_p99"),
+            median_ns: p99,
+            samples: completed,
+            unit: unit("ns"),
+        },
+    ];
+    let path = report_path();
+    match merge_into_report(&path, "serve_throughput", entries) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

@@ -1,0 +1,77 @@
+//! A minimal keep-alive HTTP/1.1 client over `std::net`, for benching and
+//! integration-testing the `coolair-serve` daemon (no HTTP crate, same
+//! no-new-dependencies rule as the server).
+
+use std::io::Write as _;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use coolair_serve::http::{encode_request, read_response, Response};
+
+/// One persistent connection to the daemon. Requests reuse the socket
+/// (keep-alive) until the server closes it.
+#[derive(Debug)]
+pub struct HttpClient {
+    stream: TcpStream,
+}
+
+impl HttpClient {
+    /// Connects with 5-second read/write timeouts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configure failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+        stream.set_nodelay(true)?;
+        Ok(HttpClient { stream })
+    }
+
+    /// Sends one request and reads the full response (chunked bodies are
+    /// reassembled).
+    ///
+    /// # Errors
+    ///
+    /// Socket I/O failures and malformed responses.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> std::io::Result<Response> {
+        let extra: Vec<(String, String)> = if body.is_empty() {
+            Vec::new()
+        } else {
+            vec![("content-type".to_string(), "application/json".to_string())]
+        };
+        let wire = encode_request(method, target, &extra, body);
+        self.stream.write_all(&wire)?;
+        read_response(&mut self.stream)
+    }
+
+    /// `GET target`.
+    ///
+    /// # Errors
+    ///
+    /// See [`HttpClient::request`].
+    pub fn get(&mut self, target: &str) -> std::io::Result<Response> {
+        self.request("GET", target, &[])
+    }
+
+    /// `POST target` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// See [`HttpClient::request`].
+    pub fn post_json<T: serde::Serialize>(
+        &mut self,
+        target: &str,
+        value: &T,
+    ) -> std::io::Result<Response> {
+        let body = serde_json::to_vec(value)
+            .map_err(|e| std::io::Error::other(format!("encode body: {e}")))?;
+        self.request("POST", target, &body)
+    }
+}

@@ -6,6 +6,9 @@
 //! [`CACHE_VERSION`]) to force recomputation. The caches also serve as the
 //! machine-readable record behind `EXPERIMENTS.md`.
 
+pub mod http_client;
+pub mod perf;
+
 use std::collections::HashMap;
 use std::fs;
 use std::path::PathBuf;

@@ -1,0 +1,136 @@
+//! The shared writer behind `BENCH_perf.json`.
+//!
+//! Several bench targets contribute rows to the same file
+//! (`perf_components` for the hot paths, `serve_throughput` for the
+//! daemon), so writes are merge-preserving: rows are replaced by `name`
+//! and everything else in an existing file is kept. Schema documented in
+//! `EXPERIMENTS.md`.
+
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+/// One benchmark row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfEntry {
+    /// Benchmark id, group-qualified with `/` where a criterion group is
+    /// used.
+    pub name: String,
+    /// The measured value. Median wall-clock nanoseconds per iteration
+    /// when `unit` is absent or `"ns"`; otherwise the value in `unit`
+    /// (e.g. requests per second for `"req/s"`).
+    pub median_ns: u64,
+    /// Timed samples behind the value.
+    pub samples: u64,
+    /// Unit of `median_ns`; absent means `"ns"` (rows written before the
+    /// field existed).
+    pub unit: Option<String>,
+}
+
+/// The whole report file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Bumped on any incompatible layout change.
+    pub schema_version: u32,
+    /// `+`-joined list of the bench targets that contributed rows.
+    pub generated_by: String,
+    /// All rows, in first-written order.
+    pub results: Vec<PerfEntry>,
+}
+
+/// `BENCH_perf.json` at the repository root.
+#[must_use]
+pub fn report_path() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf.json"))
+}
+
+/// Converts criterion's raw results into rows (nanosecond unit).
+#[must_use]
+pub fn entries_from_criterion(results: Vec<criterion::BenchResult>) -> Vec<PerfEntry> {
+    results
+        .into_iter()
+        .map(|r| PerfEntry {
+            name: r.name,
+            median_ns: u64::try_from(r.median_ns).unwrap_or(u64::MAX),
+            samples: r.samples as u64,
+            unit: Some("ns".to_string()),
+        })
+        .collect()
+}
+
+/// Merges `entries` from bench target `generated_by` into the report at
+/// `path`: existing rows with the same `name` are replaced in place, new
+/// rows are appended, rows from other targets survive. An unreadable or
+/// unparsable existing file is replaced rather than propagated.
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn merge_into_report(
+    path: &Path,
+    generated_by: &str,
+    entries: Vec<PerfEntry>,
+) -> std::io::Result<()> {
+    let mut report = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| serde_json::from_str::<PerfReport>(&text).ok())
+        .unwrap_or_else(|| PerfReport {
+            schema_version: 1,
+            generated_by: String::new(),
+            results: Vec::new(),
+        });
+    for entry in entries {
+        match report.results.iter_mut().find(|e| e.name == entry.name) {
+            Some(existing) => *existing = entry,
+            None => report.results.push(entry),
+        }
+    }
+    let mut generators: Vec<&str> = report
+        .generated_by
+        .split('+')
+        .filter(|g| !g.is_empty())
+        .chain(std::iter::once(generated_by))
+        .collect();
+    generators.sort_unstable();
+    generators.dedup();
+    report.generated_by = generators.join("+");
+    let text = serde_json::to_string_pretty(&report)
+        .map_err(|e| std::io::Error::other(format!("serialize report: {e}")))?;
+    std::fs::write(path, text + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str, value: u64) -> PerfEntry {
+        PerfEntry { name: name.to_string(), median_ns: value, samples: 1, unit: None }
+    }
+
+    #[test]
+    fn merge_preserves_other_targets_rows() {
+        let dir = std::env::temp_dir().join(format!("coolair-perf-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_perf.json");
+        merge_into_report(&path, "alpha", vec![entry("a", 1), entry("b", 2)]).unwrap();
+        merge_into_report(&path, "beta", vec![entry("b", 20), entry("c", 3)]).unwrap();
+        let report: PerfReport =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(report.generated_by, "alpha+beta");
+        let by_name: Vec<(String, u64)> =
+            report.results.iter().map(|e| (e.name.clone(), e.median_ns)).collect();
+        assert_eq!(
+            by_name,
+            vec![("a".to_string(), 1), ("b".to_string(), 20), ("c".to_string(), 3)]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tolerates_rows_without_a_unit_field() {
+        let legacy = r#"{"schema_version":1,"generated_by":"perf_components",
+            "results":[{"name":"plant_step_15s","median_ns":125,"samples":30}]}"#;
+        let report: PerfReport = serde_json::from_str(legacy).unwrap();
+        assert_eq!(report.results[0].unit, None);
+    }
+}

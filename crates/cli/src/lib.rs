@@ -319,14 +319,7 @@ pub fn cmd_run(
         summary.cooling_kwh(),
         summary.it_kwh()
     );
-    let metrics = telemetry.metrics();
-    if !metrics.counters.is_empty() {
-        let mut table = Table::new(&["event", "count"]);
-        for (name, n) in &metrics.counters {
-            table.row(&[name.clone(), n.to_string()]);
-        }
-        out.push_str(&table.render());
-    }
+    out.push_str(&reporter::render_scalar_metrics(&telemetry.metrics()));
     let profile = reporter::render_profile(&telemetry.profile());
     if !profile.is_empty() {
         out.push_str(&profile);
@@ -337,28 +330,138 @@ pub fn cmd_run(
     Ok(out)
 }
 
+/// A report-path failure that keeps the *missing* / *corrupt* distinction
+/// a service or script needs: a missing trace is the caller's mistake
+/// (exit [`EXIT_NOT_FOUND`], HTTP 404), a corrupt one is the producer's
+/// (exit [`EXIT_CORRUPT`], HTTP 500).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportError {
+    /// The trace file does not exist.
+    Missing(String),
+    /// The trace file exists but cannot be read or parsed.
+    Corrupt(String),
+}
+
+/// Exit code when a requested input file does not exist.
+pub const EXIT_NOT_FOUND: u8 = 2;
+/// Exit code when a requested input file exists but is corrupt.
+pub const EXIT_CORRUPT: u8 = 3;
+
+impl ReportError {
+    /// The process exit code this error maps to.
+    #[must_use]
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            ReportError::Missing(_) => EXIT_NOT_FOUND,
+            ReportError::Corrupt(_) => EXIT_CORRUPT,
+        }
+    }
+
+    /// The user-facing message.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        match self {
+            ReportError::Missing(m) | ReportError::Corrupt(m) => m,
+        }
+    }
+}
+
 /// `coolair report` — render a run summary (event counts, timeline,
 /// histograms, profile) from a `.jsonl` trace file written by `run
 /// --trace`.
 ///
 /// # Errors
 ///
-/// Propagates file I/O errors and malformed trace lines.
-pub fn cmd_report(path: &str) -> Result<String, CliError> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+/// [`ReportError::Missing`] when the trace file does not exist;
+/// [`ReportError::Corrupt`] for unreadable files, malformed trace lines,
+/// and empty traces.
+pub fn cmd_report(path: &str) -> Result<String, ReportError> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            ReportError::Missing(format!("{path}: no such trace file"))
+        } else {
+            ReportError::Corrupt(format!("read {path}: {e}"))
+        }
+    })?;
     let mut records: Vec<TraceRecord> = Vec::new();
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
         let record = serde_json::from_str(line)
-            .map_err(|e| format!("{path}:{}: bad trace record: {e}", i + 1))?;
+            .map_err(|e| ReportError::Corrupt(format!("{path}:{}: bad trace record: {e}", i + 1)))?;
         records.push(record);
     }
     if records.is_empty() {
-        return Err(format!("{path}: empty trace"));
+        return Err(ReportError::Corrupt(format!("{path}: empty trace")));
     }
     Ok(reporter::render_records(&records))
+}
+
+/// Arguments for `coolair serve`.
+#[derive(Debug, Clone)]
+pub struct ServeArgs {
+    /// Bind address (port 0 picks a free port).
+    pub addr: String,
+    /// Job worker threads.
+    pub threads: usize,
+    /// Work-queue bound (submissions beyond it get `503 Retry-After`).
+    pub queue_depth: usize,
+    /// Concurrent-connection bound.
+    pub max_connections: usize,
+    /// Artifact store + journal directory; in-memory when absent.
+    pub store: Option<String>,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        let cfg = coolair_serve::ServeConfig::default();
+        ServeArgs {
+            addr: cfg.addr,
+            threads: cfg.job_threads,
+            queue_depth: cfg.queue_depth,
+            max_connections: cfg.max_connections,
+            store: None,
+        }
+    }
+}
+
+/// `coolair serve` — run the control-plane daemon until drained.
+///
+/// Blocks the calling thread; prints the bound address up front (the
+/// caller may pass port 0) and returns a drain summary after
+/// `POST /shutdown` completes.
+///
+/// # Errors
+///
+/// Bind and store I/O failures, and accept-loop errors.
+pub fn cmd_serve(args: &ServeArgs) -> Result<String, CliError> {
+    let cfg = coolair_serve::ServeConfig {
+        addr: args.addr.clone(),
+        job_threads: args.threads.max(1),
+        queue_depth: args.queue_depth.max(1),
+        max_connections: args.max_connections.max(1),
+        store_dir: args.store.clone().map(std::path::PathBuf::from),
+        ..coolair_serve::ServeConfig::default()
+    };
+    // Discard events but keep the metrics registry: a long-running daemon
+    // must not buffer an unbounded event log in memory.
+    let telemetry = Telemetry::discard();
+    let server = coolair_serve::Server::bind(cfg, telemetry.clone())
+        .map_err(|e| format!("bind {}: {e}", args.addr))?;
+    let local = server.local_addr().map_err(|e| format!("local addr: {e}"))?;
+    println!("coolair-serve listening on http://{local}");
+    server.run().map_err(|e| format!("serve: {e}"))?;
+    let metrics = telemetry.metrics();
+    let requests: u64 = metrics
+        .snapshot()
+        .filter(|s| s.name.starts_with("serve.requests{"))
+        .map(|s| match s.value {
+            coolair_telemetry::MetricValue::Counter(v) => v,
+            _ => 0,
+        })
+        .sum();
+    Ok(format!("drained cleanly after {requests} requests\n"))
 }
 
 /// `coolair validate` — held-out model accuracy (the Figure 5 gates).
@@ -563,6 +666,8 @@ USAGE:
     coolair run      [--location <name>] [--system <name>] [--trace-kind facebook|nutch]
                      [--day N] [--days N] [--trace <out.jsonl>]
     coolair report   <trace.jsonl>
+    coolair serve    [--addr host:port] [--threads N] [--queue-depth N]
+                     [--max-connections N] [--store <dir>]
 
 SYSTEMS: baseline, temperature, variation, energy, allnd, alldef, energydef
          (append +sv for the supervised variant, e.g. allnd+sv)
@@ -706,6 +811,29 @@ mod tests {
         let model = load_model(path).unwrap();
         assert_eq!(model.pods(), 4);
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn report_distinguishes_missing_from_corrupt() {
+        let dir = std::env::temp_dir().join("coolair_cli_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let absent = dir.join("no-such-trace.jsonl");
+        let _ = std::fs::remove_file(&absent);
+        let err = cmd_report(absent.to_str().unwrap()).unwrap_err();
+        assert!(matches!(err, ReportError::Missing(_)), "got: {err:?}");
+        assert_eq!(err.exit_code(), EXIT_NOT_FOUND);
+
+        let torn = dir.join("torn-trace.jsonl");
+        std::fs::write(&torn, b"{ not json\n").unwrap();
+        let err = cmd_report(torn.to_str().unwrap()).unwrap_err();
+        assert!(matches!(err, ReportError::Corrupt(_)), "got: {err:?}");
+        assert_eq!(err.exit_code(), EXIT_CORRUPT);
+
+        let empty = dir.join("empty-trace.jsonl");
+        std::fs::write(&empty, b"\n").unwrap();
+        let err = cmd_report(empty.to_str().unwrap()).unwrap_err();
+        assert!(matches!(err, ReportError::Corrupt(_)), "empty is corrupt, not missing");
     }
 
     #[test]

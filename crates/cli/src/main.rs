@@ -3,8 +3,9 @@
 use std::process::ExitCode;
 
 use coolair_cli::{
-    cmd_annual, cmd_compare, cmd_faults, cmd_locations, cmd_report, cmd_run, cmd_sweep, cmd_train,
-    cmd_validate, parse_flags, parse_flags_with_switches, parse_shard, usage, SweepArgs,
+    cmd_annual, cmd_compare, cmd_faults, cmd_locations, cmd_report, cmd_run, cmd_serve, cmd_sweep,
+    cmd_train, cmd_validate, parse_flags, parse_flags_with_switches, parse_shard, usage,
+    ServeArgs, SweepArgs,
 };
 
 fn main() -> ExitCode {
@@ -90,8 +91,33 @@ fn main() -> ExitCode {
             })?;
             cmd_run(&location, &system, &trace_kind, day, days, f.get("trace").map(String::as_str))
         }),
+        "serve" => parse_flags(rest).and_then(|f| {
+            let mut a = ServeArgs::default();
+            if let Some(v) = f.get("addr") {
+                a.addr = v.clone();
+            }
+            if let Some(v) = f.get("threads") {
+                a.threads = v.parse().map_err(|e| format!("--threads: {e}"))?;
+            }
+            if let Some(v) = f.get("queue-depth") {
+                a.queue_depth = v.parse().map_err(|e| format!("--queue-depth: {e}"))?;
+            }
+            if let Some(v) = f.get("max-connections") {
+                a.max_connections = v.parse().map_err(|e| format!("--max-connections: {e}"))?;
+            }
+            a.store = f.get("store").cloned();
+            cmd_serve(&a)
+        }),
         "report" => match rest {
-            [path] => cmd_report(path),
+            [path] => match cmd_report(path) {
+                Ok(report) => Ok(report),
+                Err(e) => {
+                    // Scripts (and the serve daemon's 404-vs-500 mapping)
+                    // rely on missing and corrupt traces exiting differently.
+                    eprintln!("error: {}", e.message());
+                    return ExitCode::from(e.exit_code());
+                }
+            },
             _ => Err("usage: coolair report <trace.jsonl>".to_string()),
         },
         "help" | "--help" | "-h" => Ok(usage()),

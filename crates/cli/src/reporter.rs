@@ -7,7 +7,9 @@
 use std::fmt::Write as _;
 
 use coolair_runner::ProgressSnapshot;
-use coolair_telemetry::{Event, Histogram, MetricsRegistry, ProfileReport, TraceRecord};
+use coolair_telemetry::{
+    Event, Histogram, MetricValue, MetricsRegistry, ProfileReport, TraceRecord,
+};
 use coolair_units::SimTime;
 
 /// A simple aligned-column table: column widths are computed from the
@@ -123,6 +125,29 @@ pub fn render_histogram(name: &str, h: &Histogram) -> String {
     out
 }
 
+/// Renders the scalar metrics (counters and gauges) of a registry as a
+/// table, in [`MetricsRegistry::snapshot`] order (empty string when there
+/// are none).
+#[must_use]
+pub fn render_scalar_metrics(m: &MetricsRegistry) -> String {
+    let mut t = Table::new(&["metric", "value"]);
+    let mut rows = 0usize;
+    for sample in m.snapshot() {
+        let value = match sample.value {
+            MetricValue::Counter(n) => n.to_string(),
+            MetricValue::Gauge(v) => format!("{v:.3}"),
+            MetricValue::Histogram(_) => continue,
+        };
+        t.row(&[sample.name.to_string(), value]);
+        rows += 1;
+    }
+    if rows == 0 {
+        String::new()
+    } else {
+        t.render()
+    }
+}
+
 /// Renders the wall-clock profile as a table (empty string when no scope
 /// was entered).
 #[must_use]
@@ -229,8 +254,9 @@ pub fn render_records(records: &[TraceRecord]) -> String {
 
     if let Some(m) = metrics {
         let mut printed_header = false;
-        for (name, h) in &m.histograms {
-            let rendered = render_histogram(name, h);
+        for sample in m.snapshot() {
+            let MetricValue::Histogram(h) = sample.value else { continue };
+            let rendered = render_histogram(sample.name, h);
             if !rendered.is_empty() {
                 if !printed_header {
                     let _ = writeln!(out, "\nhistograms:");
@@ -292,6 +318,20 @@ mod tests {
         assert!(r.contains("n=11"));
         assert!(r.contains("<="));
         assert!(r.contains('#'));
+    }
+
+    #[test]
+    fn scalar_metrics_render_in_snapshot_order() {
+        let mut m = MetricsRegistry::default();
+        m.counter_add("z.count", 4);
+        m.gauge_set("a.gauge", 1.5);
+        m.observe("h.hist", 1.0, &[2.0]); // histograms are excluded here
+        let r = render_scalar_metrics(&m);
+        let a = r.find("a.gauge").expect("gauge row");
+        let z = r.find("z.count").expect("counter row");
+        assert!(a < z, "snapshot order: {r}");
+        assert!(!r.contains("h.hist"), "got: {r}");
+        assert_eq!(render_scalar_metrics(&MetricsRegistry::default()), "");
     }
 
     #[test]

@@ -19,6 +19,20 @@ impl std::fmt::Display for Digest {
     }
 }
 
+impl std::str::FromStr for Digest {
+    type Err = String;
+
+    /// Parses the 16-lowercase-hex-digit rendering produced by `Display`
+    /// (the form artifact filenames and URLs carry).
+    fn from_str(s: &str) -> Result<Self, String> {
+        if s.len() == 16 && s.bytes().all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b)) {
+            u64::from_str_radix(s, 16).map(Digest).map_err(|e| e.to_string())
+        } else {
+            Err(format!("digest wants 16 lowercase hex digits, got '{s}'"))
+        }
+    }
+}
+
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
@@ -76,6 +90,15 @@ mod tests {
         let hex = d.to_string();
         assert_eq!(hex.len(), 16);
         assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn digest_round_trips_through_its_string_form() {
+        let d = stable_digest(&("Newark", 42u64));
+        assert_eq!(d.to_string().parse::<Digest>().unwrap(), d);
+        assert!("short".parse::<Digest>().is_err());
+        assert!("XYZ4567890123456".parse::<Digest>().is_err());
+        assert!("ABCDEF0123456789".parse::<Digest>().is_err(), "uppercase rejected");
     }
 
     #[test]

@@ -66,4 +66,4 @@ pub use hash::{fnv1a, stable_digest, Digest};
 pub use job::{panic_message, Job, JobResult};
 pub use journal::{replay, Journal, JournalEntry, JournalStatus};
 pub use pool::{run_stealing, worker_threads, DEFAULT_THREADS};
-pub use store::ArtifactStore;
+pub use store::{ArtifactError, ArtifactStore};

@@ -7,12 +7,40 @@
 //! leave a torn artifact — the store either has the complete JSON or
 //! nothing.
 
+use std::fmt;
 use std::path::{Path, PathBuf};
 
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
 use crate::hash::Digest;
+
+/// Why an artifact could not be loaded. The distinction matters to
+/// callers that answer for the store over a network or an exit code:
+/// *absent* is the caller's mistake (404), *corrupt* or *unreadable* is
+/// the store's (500).
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// No artifact exists under this `(kind, digest)`.
+    NotFound,
+    /// The artifact file exists but its JSON does not parse (torn write
+    /// or foreign content).
+    Corrupt(String),
+    /// The artifact file exists but could not be read.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::NotFound => write!(f, "artifact not found"),
+            ArtifactError::Corrupt(e) => write!(f, "artifact corrupt: {e}"),
+            ArtifactError::Io(e) => write!(f, "artifact unreadable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
 
 /// A directory of content-addressed JSON artifacts.
 #[derive(Debug, Clone)]
@@ -54,8 +82,33 @@ impl ArtifactStore {
     /// the job simply re-runs).
     #[must_use]
     pub fn get<T: DeserializeOwned>(&self, kind: &str, digest: Digest) -> Option<T> {
-        let bytes = std::fs::read(self.path_for(kind, digest)).ok()?;
-        serde_json::from_slice(&bytes).ok()
+        self.try_get(kind, digest).ok()
+    }
+
+    /// Loads an artifact, distinguishing *absent* from *corrupt* and
+    /// *unreadable*. The executor's cache probe wants [`ArtifactStore::get`]
+    /// (any failure is a miss); result backends answering for a specific
+    /// artifact — `GET /jobs/{id}`, `coolair report` — want this.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::NotFound`] when no file exists,
+    /// [`ArtifactError::Corrupt`] when its JSON does not parse,
+    /// [`ArtifactError::Io`] when it cannot be read.
+    pub fn try_get<T: DeserializeOwned>(
+        &self,
+        kind: &str,
+        digest: Digest,
+    ) -> Result<T, ArtifactError> {
+        let path = self.path_for(kind, digest);
+        let bytes = std::fs::read(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                ArtifactError::NotFound
+            } else {
+                ArtifactError::Io(e)
+            }
+        })?;
+        serde_json::from_slice(&bytes).map_err(|e| ArtifactError::Corrupt(e.to_string()))
     }
 
     /// Stores an artifact atomically (temp file + rename).
@@ -70,8 +123,8 @@ impl ArtifactStore {
         value: &T,
     ) -> std::io::Result<()> {
         let path = self.path_for(kind, digest);
-        let dir = path.parent().expect("artifact path has a parent");
-        std::fs::create_dir_all(dir)?;
+        let dir = self.root.join(kind);
+        std::fs::create_dir_all(&dir)?;
         let json = serde_json::to_vec(value)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         let tmp = dir.join(format!("{digest}.json.tmp"));
@@ -121,6 +174,23 @@ mod tests {
         store.put("probe", digest, &7u32).unwrap();
         std::fs::write(store.path_for("probe", digest), b"{ torn").unwrap();
         assert_eq!(store.get::<u32>("probe", digest), None);
+    }
+
+    #[test]
+    fn try_get_distinguishes_absent_from_corrupt() {
+        let store = temp_store("try_get");
+        let digest = stable_digest(&9u8);
+        assert!(matches!(
+            store.try_get::<u32>("probe", digest),
+            Err(ArtifactError::NotFound)
+        ));
+        store.put("probe", digest, &7u32).unwrap();
+        assert_eq!(store.try_get::<u32>("probe", digest).unwrap(), 7);
+        std::fs::write(store.path_for("probe", digest), b"{ torn").unwrap();
+        assert!(matches!(
+            store.try_get::<u32>("probe", digest),
+            Err(ArtifactError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,342 @@
+//! Request routing: maps a parsed [`Request`] onto the daemon endpoints.
+//!
+//! Handlers are pure with respect to the socket — they return a [`Reply`]
+//! and the server decides framing (plain responses get content-length,
+//! artifact streams go out chunked). That split keeps every endpoint
+//! testable without a live listener.
+
+use std::path::PathBuf;
+use std::str::FromStr;
+
+use coolair_runner::{ArtifactError, Digest, Job as _};
+use coolair_sim::jobs::AnnualJob;
+use serde::{Serialize as _, Value};
+
+use crate::http::{path_segments, Request, Response};
+use crate::jobs::{ticket_for, EnqueueOutcome, JobRecord, JobState};
+use crate::prom::encode_prometheus;
+use crate::state::AppState;
+
+/// What a handler wants written back.
+#[derive(Debug)]
+pub enum Reply {
+    /// An in-memory response; the server frames it with content-length.
+    Full(Response),
+    /// A file streamed with chunked transfer encoding (artifacts can be
+    /// large; this avoids buffering them on the heap).
+    Stream {
+        /// Status code (always 200 today).
+        status: u16,
+        /// `Content-Type` for the stream.
+        content_type: &'static str,
+        /// File to stream.
+        path: PathBuf,
+    },
+}
+
+/// Builds a JSON object [`Value`] from key/value pairs (the vendored
+/// serde stub has no `json!` macro).
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Map(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn s(text: impl Into<String>) -> Value {
+    Value::Str(text.into())
+}
+
+impl Reply {
+    fn json(status: u16, value: &Value) -> Reply {
+        Reply::Full(Response::json(status, value))
+    }
+
+    fn error(status: u16, message: &str) -> Reply {
+        Reply::json(status, &obj(vec![("error", s(message))]))
+    }
+
+    /// Status code of the reply (for the request log and metrics).
+    #[must_use]
+    pub fn status(&self) -> u16 {
+        match self {
+            Reply::Full(r) => r.status,
+            Reply::Stream { status, .. } => *status,
+        }
+    }
+}
+
+/// Stable, low-cardinality endpoint label for metrics. Path parameters
+/// collapse onto their route (`/jobs/abc` → `/jobs/{id}`) so the registry
+/// cannot grow without bound under arbitrary request targets.
+#[must_use]
+pub fn endpoint_class(path: &str) -> &'static str {
+    let segs: Vec<&str> = path_segments(path);
+    match segs.as_slice() {
+        [] => "/",
+        ["healthz"] => "/healthz",
+        ["version"] => "/version",
+        ["metrics"] => "/metrics",
+        ["jobs"] => "/jobs",
+        ["jobs", _] => "/jobs/{id}",
+        ["artifacts", _, _] => "/artifacts/{kind}/{hash}",
+        ["shutdown"] => "/shutdown",
+        _ => "other",
+    }
+}
+
+/// Routes one request. Never panics on untrusted input: unknown routes
+/// are `404`, wrong methods `405`, bad payloads `400`.
+#[must_use]
+pub fn handle(state: &AppState, req: &Request) -> Reply {
+    let segs: Vec<&str> = path_segments(req.path());
+    match (req.method.as_str(), segs.as_slice()) {
+        ("GET", ["healthz"]) => healthz(state),
+        ("GET", ["version"]) => version(),
+        ("GET", ["metrics"]) => metrics(state),
+        ("GET", ["jobs"]) => list_jobs(state),
+        ("GET", ["jobs", id]) => get_job(state, id),
+        ("POST", ["jobs"]) => submit_job(state, &req.body),
+        ("GET", ["artifacts", kind, hash]) => get_artifact(state, kind, hash),
+        ("POST", ["shutdown"]) => shutdown(state),
+        (_, ["healthz" | "version" | "metrics" | "shutdown"])
+        | (_, ["jobs", ..])
+        | (_, ["artifacts", _, _]) => Reply::error(405, "method not allowed"),
+        _ => Reply::error(404, "no such route"),
+    }
+}
+
+fn healthz(state: &AppState) -> Reply {
+    let status = if state.is_shutting_down() { "draining" } else { "ok" };
+    Reply::json(200, &obj(vec![("status", s(status))]))
+}
+
+fn version() -> Reply {
+    Reply::json(
+        200,
+        &obj(vec![
+            ("name", s(env!("CARGO_PKG_NAME"))),
+            ("version", s(env!("CARGO_PKG_VERSION"))),
+        ]),
+    )
+}
+
+fn metrics(state: &AppState) -> Reply {
+    let text = encode_prometheus(&state.telemetry.metrics());
+    Reply::Full(
+        Response::new(200)
+            .with_header("content-type", "text/plain; version=0.0.4; charset=utf-8")
+            .with_body(text.into_bytes()),
+    )
+}
+
+fn list_jobs(state: &AppState) -> Reply {
+    let records: Vec<Value> = state.tracker.list().iter().map(|r| r.to_value()).collect();
+    Reply::json(200, &obj(vec![("jobs", Value::Seq(records))]))
+}
+
+fn get_job(state: &AppState, id: &str) -> Reply {
+    if let Some(record) = state.tracker.get(id) {
+        return Reply::json(200, &record.to_value());
+    }
+    // Not submitted this lifetime — a prior run may have left its summary
+    // in the artifact store. Absent and corrupt are different failures:
+    // 404 means "never ran", 500 means "ran, but the record is damaged".
+    let Ok(digest) = Digest::from_str(id) else {
+        return Reply::error(404, "no such job");
+    };
+    let Some(store) = state.executor.store() else {
+        return Reply::error(404, "no such job");
+    };
+    match store.try_get::<Value>(coolair_sim::jobs::KIND_ANNUAL_SUMMARY, digest) {
+        Ok(summary) => Reply::json(
+            200,
+            &obj(vec![
+                ("id", s(id)),
+                ("state", s(JobState::Done.as_str())),
+                ("result", summary),
+            ]),
+        ),
+        Err(ArtifactError::NotFound) => Reply::error(404, "no such job"),
+        Err(e @ (ArtifactError::Corrupt(_) | ArtifactError::Io(_))) => {
+            Reply::error(500, &format!("artifact unreadable: {e}"))
+        }
+    }
+}
+
+fn submit_job(state: &AppState, body: &[u8]) -> Reply {
+    let job: AnnualJob = match serde_json::from_slice(body) {
+        Ok(job) => job,
+        Err(e) => return Reply::error(400, &format!("bad job spec: {e}")),
+    };
+    let ticket = ticket_for(job);
+    let id = ticket.digest.to_string();
+    // Same spec → same digest → same job: answer from the tracker instead
+    // of queueing a duplicate.
+    if let Some(existing) = state.tracker.get(&id) {
+        return Reply::json(200, &existing.to_value());
+    }
+    let label = ticket.job.label();
+    match state.queue.try_submit(ticket) {
+        EnqueueOutcome::Accepted => {
+            state.tracker.put(JobRecord {
+                id: id.clone(),
+                label,
+                state: JobState::Queued,
+                error: None,
+                result: None,
+            });
+            Reply::json(
+                202,
+                &obj(vec![("id", s(id)), ("state", s(JobState::Queued.as_str()))]),
+            )
+        }
+        EnqueueOutcome::Saturated => Reply::Full(
+            Response::json(503, &obj(vec![("error", s("job queue full"))]))
+                .with_header("retry-after", "1"),
+        ),
+        EnqueueOutcome::Draining => Reply::error(503, "daemon is draining"),
+    }
+}
+
+fn get_artifact(state: &AppState, kind: &str, hash: &str) -> Reply {
+    // Kind doubles as a directory name under the store root; restricting
+    // its charset (no '/', '.', '\') forecloses path traversal.
+    let kind_ok = !kind.is_empty()
+        && kind.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-');
+    if !kind_ok {
+        return Reply::error(404, "no such artifact");
+    }
+    let Ok(digest) = Digest::from_str(hash) else {
+        return Reply::error(404, "no such artifact");
+    };
+    let Some(store) = state.executor.store() else {
+        return Reply::error(404, "daemon has no artifact store");
+    };
+    let path = store.path_for(kind, digest);
+    if !path.is_file() {
+        return Reply::error(404, "no such artifact");
+    }
+    Reply::Stream { status: 200, content_type: "application/json", path }
+}
+
+fn shutdown(state: &AppState) -> Reply {
+    state.begin_shutdown();
+    Reply::json(200, &obj(vec![("status", s("draining"))]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::parse_request;
+    use crate::jobs::JobQueue;
+    use crate::state::ServeConfig;
+    use coolair_runner::Executor;
+    use coolair_telemetry::Telemetry;
+    use std::sync::mpsc::sync_channel;
+
+    fn state_with_depth(depth: usize) -> (AppState, std::sync::mpsc::Receiver<crate::jobs::JobTicket>) {
+        let telemetry = Telemetry::discard();
+        let executor = Executor::in_memory(1, telemetry.clone());
+        let (tx, rx) = sync_channel(depth);
+        (AppState::new(ServeConfig::default(), executor, telemetry, JobQueue::new(tx)), rx)
+    }
+
+    fn get(state: &AppState, target: &str) -> Reply {
+        let raw = format!("GET {target} HTTP/1.1\r\nhost: t\r\n\r\n");
+        let req = match parse_request(raw.as_bytes(), &crate::http::Limits::default()) {
+            crate::http::Parsed::Complete(req, _) => req,
+            other => panic!("bad fixture: {other:?}"),
+        };
+        handle(state, &req)
+    }
+
+    fn job_spec(seed: u64) -> AnnualJob {
+        let mut annual = coolair_sim::AnnualConfig::quick();
+        annual.weather_seed = seed;
+        AnnualJob {
+            system: coolair_sim::SystemSpec::Baseline,
+            location: coolair_weather::Location::newark(),
+            trace: coolair_workload::TraceKind::Facebook,
+            annual,
+        }
+    }
+
+    fn post_jobs(state: &AppState, body: &[u8]) -> Reply {
+        let req = Request {
+            method: "POST".to_string(),
+            target: "/jobs".to_string(),
+            version: crate::http::HttpVersion::Http11,
+            headers: vec![],
+            body: body.to_vec(),
+        };
+        handle(state, &req)
+    }
+
+    #[test]
+    fn healthz_version_metrics_answer() {
+        let (state, _rx) = state_with_depth(1);
+        assert_eq!(get(&state, "/healthz").status(), 200);
+        assert_eq!(get(&state, "/version").status(), 200);
+        let reply = get(&state, "/metrics");
+        assert_eq!(reply.status(), 200);
+        let Reply::Full(resp) = reply else { panic!("metrics should not stream") };
+        assert!(resp.header("content-type").unwrap_or_default().contains("0.0.4"));
+    }
+
+    #[test]
+    fn unknown_route_404_wrong_method_405() {
+        let (state, _rx) = state_with_depth(1);
+        assert_eq!(get(&state, "/nope").status(), 404);
+        assert_eq!(post_jobs(&state, b"").status(), 400); // bad body, right route
+        let req = Request {
+            method: "DELETE".to_string(),
+            target: "/healthz".to_string(),
+            version: crate::http::HttpVersion::Http11,
+            headers: vec![],
+            body: vec![],
+        };
+        assert_eq!(handle(&state, &req).status(), 405);
+    }
+
+    #[test]
+    fn submit_is_idempotent_then_saturates() {
+        let (state, _rx) = state_with_depth(1);
+        let body = serde_json::to_vec(&job_spec(1)).unwrap();
+        assert_eq!(post_jobs(&state, &body).status(), 202);
+        // Same spec again: answered from the tracker, not re-queued.
+        assert_eq!(post_jobs(&state, &body).status(), 200);
+        // A different spec hits the full queue.
+        let other = serde_json::to_vec(&job_spec(99)).unwrap();
+        let reply = post_jobs(&state, &other);
+        assert_eq!(reply.status(), 503);
+        let Reply::Full(resp) = reply else { panic!() };
+        assert_eq!(resp.header("retry-after"), Some("1"));
+    }
+
+    #[test]
+    fn unknown_job_is_404_and_draining_submits_503() {
+        let (state, _rx) = state_with_depth(1);
+        assert_eq!(get(&state, "/jobs/0123456789abcdef").status(), 404);
+        assert_eq!(get(&state, "/jobs/not-a-digest").status(), 404);
+        state.begin_shutdown();
+        let body = serde_json::to_vec(&job_spec(1)).unwrap();
+        assert_eq!(post_jobs(&state, &body).status(), 503);
+        assert_eq!(get(&state, "/healthz").status(), 200);
+    }
+
+    #[test]
+    fn artifact_routes_reject_traversal_shapes() {
+        let (state, _rx) = state_with_depth(1);
+        // In-memory executor has no store: everything is 404, nothing panics.
+        assert_eq!(get(&state, "/artifacts/annual-summary/0123456789abcdef").status(), 404);
+        assert_eq!(get(&state, "/artifacts/..%2F..%2Fetc/0123456789abcdef").status(), 404);
+        assert_eq!(get(&state, "/artifacts/UPPER/0123456789abcdef").status(), 404);
+        assert_eq!(get(&state, "/artifacts/annual-summary/xyz").status(), 404);
+    }
+
+    #[test]
+    fn endpoint_classes_are_bounded() {
+        assert_eq!(endpoint_class("/jobs/0123456789abcdef"), "/jobs/{id}");
+        assert_eq!(endpoint_class("/artifacts/a/b"), "/artifacts/{kind}/{hash}");
+        assert_eq!(endpoint_class("/metrics"), "/metrics");
+        assert_eq!(endpoint_class("/a/b/c/d"), "other");
+    }
+}

@@ -1,0 +1,705 @@
+//! A minimal, fuzz-resistant HTTP/1.1 message layer over plain byte
+//! buffers.
+//!
+//! Parsing is *pure*: [`parse_request`] and [`parse_response`] take a byte
+//! slice and either produce a complete message plus the number of bytes it
+//! consumed, ask for more input, or reject the stream with a typed
+//! [`ParseError`] that already knows its status code. No state lives
+//! outside the caller's buffer, so keep-alive pipelining is just "drain
+//! the consumed prefix and parse again" — and the property tests can throw
+//! arbitrary byte streams at the parser without any setup.
+//!
+//! Framing is deliberately narrow: requests carry `Content-Length` bodies
+//! only (a request with `Transfer-Encoding` is rejected with `501`);
+//! responses may use `Content-Length` or `chunked` (the artifact-streaming
+//! path). That subset is exactly what the daemon and its clients speak.
+
+use std::collections::HashMap;
+use std::io::Read;
+
+/// Parser limits. Both bounds exist so a malicious peer cannot make the
+/// daemon buffer without end.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum bytes of request line + headers (pre-body).
+    pub max_head_bytes: usize,
+    /// Maximum `Content-Length` accepted.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits { max_head_bytes: 16 * 1024, max_body_bytes: 4 * 1024 * 1024 }
+    }
+}
+
+/// HTTP version of a parsed message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpVersion {
+    /// HTTP/1.0 — connections close by default.
+    Http10,
+    /// HTTP/1.1 — connections persist by default.
+    Http11,
+}
+
+impl HttpVersion {
+    /// The on-wire rendering.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HttpVersion::Http10 => "HTTP/1.0",
+            HttpVersion::Http11 => "HTTP/1.1",
+        }
+    }
+}
+
+/// A parsed request. Header names are lowercased at parse time; values
+/// keep their bytes (trimmed of optional whitespace).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), uppercased token.
+    pub method: String,
+    /// Request target as sent (`/jobs/abc123`, `/metrics?x=1`).
+    pub target: String,
+    /// Protocol version.
+    pub version: HttpVersion,
+    /// `(lowercased-name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The `Content-Length` body (empty when the header is absent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lowercase name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The request path without any `?query` suffix.
+    #[must_use]
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// Whether the connection should persist after this exchange
+    /// (HTTP/1.1 default-on, HTTP/1.0 default-off, `Connection` header
+    /// overrides either way).
+    #[must_use]
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection").map(str::to_ascii_lowercase) {
+            Some(v) if v.contains("close") => false,
+            Some(v) if v.contains("keep-alive") => true,
+            _ => self.version == HttpVersion::Http11,
+        }
+    }
+}
+
+/// Why a byte stream is not a valid message. Each variant knows the
+/// response status the server should answer with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The head (request line + headers) exceeds [`Limits::max_head_bytes`].
+    HeadTooLarge,
+    /// The declared `Content-Length` exceeds [`Limits::max_body_bytes`].
+    BodyTooLarge,
+    /// The request line is malformed.
+    BadRequestLine(String),
+    /// A header line is malformed.
+    BadHeader(String),
+    /// `Content-Length` is missing, repeated inconsistently, or not a
+    /// number.
+    BadContentLength(String),
+    /// The request carries a `Transfer-Encoding` (unsupported for
+    /// requests).
+    UnsupportedTransferEncoding,
+    /// The version is not HTTP/1.0 or HTTP/1.1.
+    BadVersion(String),
+    /// A status line (response side) is malformed.
+    BadStatusLine(String),
+    /// A chunked response body is malformed.
+    BadChunk(String),
+}
+
+impl ParseError {
+    /// The status code a server should reject this request with.
+    #[must_use]
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseError::HeadTooLarge => 431,
+            ParseError::BodyTooLarge => 413,
+            ParseError::UnsupportedTransferEncoding => 501,
+            ParseError::BadVersion(_) => 505,
+            _ => 400,
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::HeadTooLarge => write!(f, "request head too large"),
+            ParseError::BodyTooLarge => write!(f, "request body too large"),
+            ParseError::BadRequestLine(l) => write!(f, "bad request line: {l}"),
+            ParseError::BadHeader(l) => write!(f, "bad header: {l}"),
+            ParseError::BadContentLength(v) => write!(f, "bad content-length: {v}"),
+            ParseError::UnsupportedTransferEncoding => {
+                write!(f, "transfer-encoding not supported in requests")
+            }
+            ParseError::BadVersion(v) => write!(f, "unsupported version: {v}"),
+            ParseError::BadStatusLine(l) => write!(f, "bad status line: {l}"),
+            ParseError::BadChunk(e) => write!(f, "bad chunked body: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Outcome of feeding a buffer to a parser.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Parsed<T> {
+    /// A complete message and the count of buffer bytes it consumed.
+    Complete(T, usize),
+    /// The buffer holds a valid prefix; read more and try again.
+    Incomplete,
+    /// The stream can never become a valid message.
+    Error(ParseError),
+}
+
+/// Locates the `\r\n\r\n` head terminator, enforcing the head limit.
+fn find_head_end(buf: &[u8], limits: &Limits) -> Result<Option<usize>, ParseError> {
+    let window = &buf[..buf.len().min(limits.max_head_bytes)];
+    if let Some(pos) = window.windows(4).position(|w| w == b"\r\n\r\n") {
+        return Ok(Some(pos + 4));
+    }
+    if buf.len() >= limits.max_head_bytes {
+        return Err(ParseError::HeadTooLarge);
+    }
+    Ok(None)
+}
+
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+}
+
+/// Splits raw head lines (after the first) into lowercase-name/value
+/// pairs.
+fn parse_headers(lines: std::str::Lines<'_>) -> Result<Vec<(String, String)>, ParseError> {
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) =
+            line.split_once(':').ok_or_else(|| ParseError::BadHeader(line.to_string()))?;
+        if name.is_empty() || !name.bytes().all(is_token_byte) {
+            return Err(ParseError::BadHeader(line.to_string()));
+        }
+        let value = value.trim();
+        if value.bytes().any(|b| b == 0 || b == b'\r' || b == b'\n') {
+            return Err(ParseError::BadHeader(line.to_string()));
+        }
+        headers.push((name.to_ascii_lowercase(), value.to_string()));
+    }
+    Ok(headers)
+}
+
+/// The single `Content-Length` of a message (0 when absent).
+fn content_length(headers: &[(String, String)]) -> Result<usize, ParseError> {
+    let mut lengths = headers.iter().filter(|(n, _)| n == "content-length");
+    let Some((_, first)) = lengths.next() else { return Ok(0) };
+    if lengths.any(|(_, v)| v != first) {
+        return Err(ParseError::BadContentLength("conflicting values".to_string()));
+    }
+    first.parse::<usize>().map_err(|_| ParseError::BadContentLength(first.clone()))
+}
+
+fn parse_version(text: &str) -> Result<HttpVersion, ParseError> {
+    match text {
+        "HTTP/1.1" => Ok(HttpVersion::Http11),
+        "HTTP/1.0" => Ok(HttpVersion::Http10),
+        other => Err(ParseError::BadVersion(other.to_string())),
+    }
+}
+
+/// Parses one request from the front of `buf`.
+///
+/// Never panics, whatever the bytes: anything malformed comes back as
+/// [`Parsed::Error`], anything truncated as [`Parsed::Incomplete`].
+#[must_use]
+pub fn parse_request(buf: &[u8], limits: &Limits) -> Parsed<Request> {
+    let head_end = match find_head_end(buf, limits) {
+        Ok(Some(end)) => end,
+        Ok(None) => return Parsed::Incomplete,
+        Err(e) => return Parsed::Error(e),
+    };
+    // The head is CRLF-delimited ASCII by construction of the terminator
+    // search; reject other bytes up front so `from_utf8` cannot fail.
+    let Ok(head) = std::str::from_utf8(&buf[..head_end - 4]) else {
+        return Parsed::Error(ParseError::BadHeader("non-UTF8 head".to_string()));
+    };
+    let mut lines = head.lines();
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Parsed::Error(ParseError::BadRequestLine(request_line.to_string()));
+    };
+    if method.is_empty()
+        || !method.bytes().all(is_token_byte)
+        || method.bytes().any(|b| b.is_ascii_lowercase())
+    {
+        return Parsed::Error(ParseError::BadRequestLine(request_line.to_string()));
+    }
+    if target.is_empty() || !(target.starts_with('/') || target == "*") {
+        return Parsed::Error(ParseError::BadRequestLine(request_line.to_string()));
+    }
+    let version = match parse_version(version) {
+        Ok(v) => v,
+        Err(e) => return Parsed::Error(e),
+    };
+    let headers = match parse_headers(lines) {
+        Ok(h) => h,
+        Err(e) => return Parsed::Error(e),
+    };
+    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+        return Parsed::Error(ParseError::UnsupportedTransferEncoding);
+    }
+    let body_len = match content_length(&headers) {
+        Ok(n) if n > limits.max_body_bytes => return Parsed::Error(ParseError::BodyTooLarge),
+        Ok(n) => n,
+        Err(e) => return Parsed::Error(e),
+    };
+    if buf.len() < head_end + body_len {
+        return Parsed::Incomplete;
+    }
+    let request = Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        version,
+        headers,
+        body: buf[head_end..head_end + body_len].to_vec(),
+    };
+    Parsed::Complete(request, head_end + body_len)
+}
+
+/// Encodes a request for the wire (the client half of the round trip).
+/// A `Content-Length` header is appended exactly when `body` is
+/// non-empty; `extra_headers` must not include one.
+#[must_use]
+pub fn encode_request(
+    method: &str,
+    target: &str,
+    extra_headers: &[(String, String)],
+    body: &[u8],
+) -> Vec<u8> {
+    let mut out = format!("{method} {target} HTTP/1.1\r\n").into_bytes();
+    for (name, value) in extra_headers {
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    if !body.is_empty() {
+        out.extend_from_slice(format!("content-length: {}\r\n", body.len()).as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+    out
+}
+
+/// A response, on either side of the wire: built by handlers, encoded by
+/// the server, parsed back by clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `(lowercased-name, value)` pairs.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes (already de-chunked on the client side).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with `status`.
+    #[must_use]
+    pub fn new(status: u16) -> Self {
+        Response { status, headers: Vec::new(), body: Vec::new() }
+    }
+
+    /// A `text/plain` response.
+    #[must_use]
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response::new(status)
+            .with_header("content-type", "text/plain; charset=utf-8")
+            .with_body(body.into().into_bytes())
+    }
+
+    /// An `application/json` response rendering `value`. Serialization
+    /// failures degrade to a 500 — a handler can always return.
+    #[must_use]
+    pub fn json<T: serde::Serialize>(status: u16, value: &T) -> Self {
+        match serde_json::to_vec(value) {
+            Ok(body) => Response::new(status)
+                .with_header("content-type", "application/json")
+                .with_body(body),
+            Err(e) => Response::text(500, format!("serialize response: {e}\n")),
+        }
+    }
+
+    /// Appends a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_ascii_lowercase(), value.to_string()));
+        self
+    }
+
+    /// Replaces the body.
+    #[must_use]
+    pub fn with_body(mut self, body: Vec<u8>) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// First value of a header, by lowercase name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Encodes for the wire with `Content-Length` framing and an explicit
+    /// `Connection` header.
+    #[must_use]
+    pub fn encode(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\n",
+            self.status,
+            reason_phrase(self.status)
+        )
+        .into_bytes();
+        for (name, value) in &self.headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        out.extend_from_slice(format!("content-length: {}\r\n", self.body.len()).as_bytes());
+        out.extend_from_slice(if keep_alive {
+            &b"connection: keep-alive\r\n"[..]
+        } else {
+            &b"connection: close\r\n"[..]
+        });
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// The standard reason phrase for the status codes the daemon emits.
+#[must_use]
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// De-chunks a `Transfer-Encoding: chunked` body. Returns the decoded
+/// bytes and the count of raw bytes consumed, or `None` when the buffer
+/// is still incomplete.
+fn decode_chunked(buf: &[u8]) -> Result<Option<(Vec<u8>, usize)>, ParseError> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let Some(line_end) = buf[pos..].windows(2).position(|w| w == b"\r\n") else {
+            return Ok(None);
+        };
+        let size_line = &buf[pos..pos + line_end];
+        let size_text = std::str::from_utf8(size_line)
+            .map_err(|_| ParseError::BadChunk("non-UTF8 size line".to_string()))?;
+        // Chunk extensions (";ext") are tolerated and ignored.
+        let size_text = size_text.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_text, 16)
+            .map_err(|_| ParseError::BadChunk(format!("bad size '{size_text}'")))?;
+        let chunk_start = pos + line_end + 2;
+        if size == 0 {
+            // Trailer-less termination: expect the final CRLF.
+            if buf.len() < chunk_start + 2 {
+                return Ok(None);
+            }
+            return Ok(Some((out, chunk_start + 2)));
+        }
+        if buf.len() < chunk_start + size + 2 {
+            return Ok(None);
+        }
+        out.extend_from_slice(&buf[chunk_start..chunk_start + size]);
+        if &buf[chunk_start + size..chunk_start + size + 2] != b"\r\n" {
+            return Err(ParseError::BadChunk("missing chunk CRLF".to_string()));
+        }
+        pos = chunk_start + size + 2;
+    }
+}
+
+/// Parses one response from the front of `buf` (the client half).
+/// Handles `Content-Length` and `chunked` framing; a response with
+/// neither is taken as zero-length (the daemon always sends a length).
+#[must_use]
+pub fn parse_response(buf: &[u8], limits: &Limits) -> Parsed<Response> {
+    let head_end = match find_head_end(buf, limits) {
+        Ok(Some(end)) => end,
+        Ok(None) => return Parsed::Incomplete,
+        Err(e) => return Parsed::Error(e),
+    };
+    let Ok(head) = std::str::from_utf8(&buf[..head_end - 4]) else {
+        return Parsed::Error(ParseError::BadHeader("non-UTF8 head".to_string()));
+    };
+    let mut lines = head.lines();
+    let status_line = lines.next().unwrap_or("");
+    let mut parts = status_line.splitn(3, ' ');
+    let (Some(version), Some(status), _) = (parts.next(), parts.next(), parts.next()) else {
+        return Parsed::Error(ParseError::BadStatusLine(status_line.to_string()));
+    };
+    if parse_version(version).is_err() {
+        return Parsed::Error(ParseError::BadStatusLine(status_line.to_string()));
+    }
+    let Ok(status) = status.parse::<u16>() else {
+        return Parsed::Error(ParseError::BadStatusLine(status_line.to_string()));
+    };
+    let headers = match parse_headers(lines) {
+        Ok(h) => h,
+        Err(e) => return Parsed::Error(e),
+    };
+    let chunked = headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v.to_ascii_lowercase().contains("chunked"));
+    if chunked {
+        return match decode_chunked(&buf[head_end..]) {
+            Ok(Some((body, consumed))) => {
+                Parsed::Complete(Response { status, headers, body }, head_end + consumed)
+            }
+            Ok(None) => Parsed::Incomplete,
+            Err(e) => Parsed::Error(e),
+        };
+    }
+    let body_len = match content_length(&headers) {
+        Ok(n) => n,
+        Err(e) => return Parsed::Error(e),
+    };
+    if buf.len() < head_end + body_len {
+        return Parsed::Incomplete;
+    }
+    let response =
+        Response { status, headers, body: buf[head_end..head_end + body_len].to_vec() };
+    Parsed::Complete(response, head_end + body_len)
+}
+
+/// Reads from `r` until one complete response parses, with a generous
+/// response-size limit (artifacts can be large). The building block of
+/// every client in the workspace: the bench harness, the integration
+/// tests and the demo example all read through this.
+///
+/// # Errors
+///
+/// I/O errors from `r`; `InvalidData` when the stream is not a valid
+/// response or ends mid-message.
+pub fn read_response<R: Read>(r: &mut R) -> std::io::Result<Response> {
+    let limits = Limits { max_head_bytes: 64 * 1024, max_body_bytes: 256 * 1024 * 1024 };
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 8192];
+    loop {
+        match parse_response(&buf, &limits) {
+            Parsed::Complete(response, _) => return Ok(response),
+            Parsed::Error(e) => {
+                return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+            }
+            Parsed::Incomplete => {}
+        }
+        let n = r.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Splits a path into its `/`-separated non-empty segments.
+#[must_use]
+pub fn path_segments(path: &str) -> Vec<&str> {
+    path.split('/').filter(|s| !s.is_empty()).collect()
+}
+
+/// Parses query-string `k=v` pairs (no percent-decoding — the daemon's
+/// parameters are all plain tokens).
+#[must_use]
+pub fn query_pairs(target: &str) -> HashMap<&str, &str> {
+    let Some((_, query)) = target.split_once('?') else { return HashMap::new() };
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> Limits {
+        Limits::default()
+    }
+
+    #[test]
+    fn parses_a_minimal_get() {
+        let buf = b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n";
+        let Parsed::Complete(req, used) = parse_request(buf, &limits()) else {
+            panic!("expected complete");
+        };
+        assert_eq!(used, buf.len());
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path(), "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.wants_keep_alive());
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_leaves_pipelined_bytes() {
+        let buf = b"POST /jobs HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcdGET /";
+        let Parsed::Complete(req, used) = parse_request(buf, &limits()) else {
+            panic!("expected complete");
+        };
+        assert_eq!(req.body, b"abcd");
+        assert_eq!(&buf[used..], b"GET /");
+    }
+
+    #[test]
+    fn incomplete_until_terminator_and_body_arrive() {
+        assert_eq!(parse_request(b"GET / HT", &limits()), Parsed::Incomplete);
+        assert_eq!(
+            parse_request(b"POST / HTTP/1.1\r\ncontent-length: 9\r\n\r\nabc", &limits()),
+            Parsed::Incomplete
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_the_right_status() {
+        let cases: Vec<(&[u8], u16)> = vec![
+            (b"GET\r\n\r\n".as_slice(), 400),
+            (b"GET / HTTP/2.0\r\n\r\n".as_slice(), 505),
+            (b"GET / HTTP/1.1\r\nbad header line\r\n\r\n".as_slice(), 400),
+            (b"GET / HTTP/1.1\r\ncontent-length: banana\r\n\r\n".as_slice(), 400),
+            (b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n".as_slice(), 501),
+            (b"get / HTTP/1.1\r\n\r\n".as_slice(), 400),
+            (b"GET nopath HTTP/1.1\r\n\r\n".as_slice(), 400),
+        ];
+        for (bytes, status) in cases {
+            match parse_request(bytes, &limits()) {
+                Parsed::Error(e) => assert_eq!(e.status(), status, "case: {bytes:?}"),
+                other => panic!("expected error for {bytes:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_head_and_body_are_bounded() {
+        let tight = Limits { max_head_bytes: 32, max_body_bytes: 8 };
+        let long_head = b"GET /aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa HTTP/1.1\r\n\r\n";
+        assert_eq!(
+            parse_request(long_head, &tight),
+            Parsed::Error(ParseError::HeadTooLarge)
+        );
+        let roomy_head = Limits { max_head_bytes: 64, max_body_bytes: 8 };
+        let big_body = b"POST / HTTP/1.1\r\ncontent-length: 9\r\n\r\n";
+        assert_eq!(parse_request(big_body, &roomy_head), Parsed::Error(ParseError::BodyTooLarge));
+    }
+
+    #[test]
+    fn conflicting_content_lengths_rejected_matching_ones_tolerated() {
+        let conflicting = b"POST / HTTP/1.1\r\ncontent-length: 1\r\ncontent-length: 2\r\n\r\n";
+        assert!(matches!(
+            parse_request(conflicting, &limits()),
+            Parsed::Error(ParseError::BadContentLength(_))
+        ));
+        let matching = b"POST / HTTP/1.1\r\ncontent-length: 2\r\ncontent-length: 2\r\n\r\nok";
+        assert!(matches!(parse_request(matching, &limits()), Parsed::Complete(_, _)));
+    }
+
+    #[test]
+    fn keep_alive_follows_version_and_connection_header() {
+        let http10 = b"GET / HTTP/1.0\r\n\r\n";
+        let Parsed::Complete(req, _) = parse_request(http10, &limits()) else { panic!() };
+        assert!(!req.wants_keep_alive());
+        let http10_ka = b"GET / HTTP/1.0\r\nconnection: keep-alive\r\n\r\n";
+        let Parsed::Complete(req, _) = parse_request(http10_ka, &limits()) else { panic!() };
+        assert!(req.wants_keep_alive());
+        let http11_close = b"GET / HTTP/1.1\r\nconnection: close\r\n\r\n";
+        let Parsed::Complete(req, _) = parse_request(http11_close, &limits()) else { panic!() };
+        assert!(!req.wants_keep_alive());
+    }
+
+    #[test]
+    fn request_encode_parse_round_trip() {
+        let headers = vec![("x-probe".to_string(), "7".to_string())];
+        let wire = encode_request("POST", "/jobs", &headers, b"{\"k\":1}");
+        let Parsed::Complete(req, used) = parse_request(&wire, &limits()) else {
+            panic!("round trip failed");
+        };
+        assert_eq!(used, wire.len());
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/jobs");
+        assert_eq!(req.header("x-probe"), Some("7"));
+        assert_eq!(req.body, b"{\"k\":1}");
+    }
+
+    #[test]
+    fn response_encode_parse_round_trip() {
+        let resp =
+            Response::json(200, &serde::Value::Map(vec![("ok".to_string(), serde::Value::Bool(true))]));
+        let wire = resp.encode(true);
+        let Parsed::Complete(back, used) = parse_response(&wire, &limits()) else {
+            panic!("round trip failed");
+        };
+        assert_eq!(used, wire.len());
+        assert_eq!(back.status, 200);
+        assert_eq!(back.header("connection"), Some("keep-alive"));
+        assert_eq!(back.body, resp.body);
+    }
+
+    #[test]
+    fn chunked_response_decodes() {
+        let wire =
+            b"HTTP/1.1 200 OK\r\ntransfer-encoding: chunked\r\n\r\n4\r\nWiki\r\n5\r\npedia\r\n0\r\n\r\n";
+        let Parsed::Complete(resp, used) = parse_response(wire, &limits()) else {
+            panic!("expected complete");
+        };
+        assert_eq!(used, wire.len());
+        assert_eq!(resp.body, b"Wikipedia");
+        // Truncated chunk stream is incomplete, not an error.
+        assert_eq!(parse_response(&wire[..wire.len() - 4], &limits()), Parsed::Incomplete);
+    }
+
+    #[test]
+    fn bad_chunk_sizes_are_errors() {
+        let wire = b"HTTP/1.1 200 OK\r\ntransfer-encoding: chunked\r\n\r\nzz\r\n\r\n";
+        assert!(matches!(
+            parse_response(wire, &limits()),
+            Parsed::Error(ParseError::BadChunk(_))
+        ));
+    }
+
+    #[test]
+    fn query_and_segments_helpers() {
+        assert_eq!(path_segments("/jobs/abc/"), vec!["jobs", "abc"]);
+        let q = query_pairs("/metrics?a=1&b=two");
+        assert_eq!(q.get("a"), Some(&"1"));
+        assert_eq!(q.get("b"), Some(&"two"));
+        assert!(query_pairs("/metrics").is_empty());
+    }
+}

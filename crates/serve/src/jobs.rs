@@ -1,0 +1,257 @@
+//! Job submission: a bounded work queue in front of the persistent
+//! executor, plus the tracker that answers `GET /jobs/{id}`.
+//!
+//! A submitted job is an [`AnnualJob`] spec; its content digest is its
+//! public id, so resubmitting the same spec is idempotent (same id, and
+//! the artifact store serves the repeat without re-execution). The queue
+//! is a `sync_channel` bounded at the configured depth — when it is full
+//! the daemon answers `503 Retry-After` instead of buffering without end.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+
+use coolair_runner::{Digest, Executor, Job, JobResult};
+use coolair_sim::jobs::AnnualJob;
+use parking_lot::Mutex;
+use serde::{Serialize, Value};
+
+/// Lifecycle of a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// Executing on a worker.
+    Running,
+    /// Finished; its summary is available.
+    Done,
+    /// Exhausted its attempt budget.
+    Failed,
+}
+
+impl JobState {
+    /// Lowercase wire name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+}
+
+impl Serialize for JobState {
+    fn to_value(&self) -> Value {
+        Value::Str(self.as_str().to_string())
+    }
+}
+
+/// One tracked submission.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Public id (the spec digest, 16 hex digits).
+    pub id: String,
+    /// Human label (`system @ location`).
+    pub label: String,
+    /// Current state.
+    pub state: JobState,
+    /// Failure message, when `state == failed`.
+    pub error: Option<String>,
+    /// The annual summary, when `state == done`.
+    pub result: Option<Value>,
+}
+
+impl Serialize for JobRecord {
+    // Hand-rolled so absent `error`/`result` are omitted rather than
+    // serialized as `null` (the vendored derive has no `skip` attribute).
+    fn to_value(&self) -> Value {
+        let mut map = vec![
+            ("id".to_string(), Value::Str(self.id.clone())),
+            ("label".to_string(), Value::Str(self.label.clone())),
+            ("state".to_string(), self.state.to_value()),
+        ];
+        if let Some(error) = &self.error {
+            map.push(("error".to_string(), Value::Str(error.clone())));
+        }
+        if let Some(result) = &self.result {
+            map.push(("result".to_string(), result.clone()));
+        }
+        Value::Map(map)
+    }
+}
+
+/// Thread-safe id → record map. `BTreeMap` so `GET /jobs` lists in
+/// stable order.
+#[derive(Debug, Default)]
+pub struct JobTracker {
+    records: Mutex<BTreeMap<String, JobRecord>>,
+}
+
+impl JobTracker {
+    /// Inserts or replaces a record.
+    pub fn put(&self, record: JobRecord) {
+        self.records.lock().insert(record.id.clone(), record);
+    }
+
+    /// Updates a record in place.
+    pub fn update(&self, id: &str, f: impl FnOnce(&mut JobRecord)) {
+        if let Some(record) = self.records.lock().get_mut(id) {
+            f(record);
+        }
+    }
+
+    /// A record by id.
+    #[must_use]
+    pub fn get(&self, id: &str) -> Option<JobRecord> {
+        self.records.lock().get(id).cloned()
+    }
+
+    /// Every record, id-ordered.
+    #[must_use]
+    pub fn list(&self) -> Vec<JobRecord> {
+        self.records.lock().values().cloned().collect()
+    }
+}
+
+/// A queued unit of work: the spec plus its precomputed id.
+#[derive(Debug)]
+pub struct JobTicket {
+    /// The spec digest (also the tracker key).
+    pub digest: Digest,
+    /// The job spec.
+    pub job: AnnualJob,
+}
+
+/// Outcome of trying to enqueue a submission.
+#[derive(Debug, PartialEq, Eq)]
+pub enum EnqueueOutcome {
+    /// Queued; a worker will pick it up.
+    Accepted,
+    /// The work queue is at capacity — answer `503 Retry-After`.
+    Saturated,
+    /// The daemon is draining — no new work is accepted.
+    Draining,
+}
+
+/// The submission side of the work queue. The sender lives behind a
+/// mutex-guarded `Option` so shutdown can drop it: workers then drain
+/// what is buffered and exit (the "finish in-flight jobs" half of
+/// graceful drain).
+#[derive(Debug)]
+pub struct JobQueue {
+    tx: Mutex<Option<SyncSender<JobTicket>>>,
+}
+
+impl JobQueue {
+    /// Wraps a bounded sender.
+    #[must_use]
+    pub fn new(tx: SyncSender<JobTicket>) -> Self {
+        JobQueue { tx: Mutex::new(Some(tx)) }
+    }
+
+    /// Tries to enqueue without blocking.
+    #[must_use]
+    pub fn try_submit(&self, ticket: JobTicket) -> EnqueueOutcome {
+        let guard = self.tx.lock();
+        let Some(tx) = guard.as_ref() else { return EnqueueOutcome::Draining };
+        match tx.try_send(ticket) {
+            Ok(()) => EnqueueOutcome::Accepted,
+            Err(TrySendError::Full(_)) => EnqueueOutcome::Saturated,
+            Err(TrySendError::Disconnected(_)) => EnqueueOutcome::Draining,
+        }
+    }
+
+    /// Drops the sender: workers drain the buffered backlog and exit.
+    pub fn close(&self) {
+        self.tx.lock().take();
+    }
+}
+
+/// One worker: pulls tickets until the queue closes *and* drains, runs
+/// each on the shared executor, and records the outcome. The executor
+/// already persists successful outputs to the artifact store (when one is
+/// attached) before this returns the result.
+pub fn job_worker(rx: &Mutex<Receiver<JobTicket>>, executor: &Executor, tracker: &JobTracker) {
+    loop {
+        // Hold the lock only for the take, not for the run.
+        let ticket = match rx.lock().recv() {
+            Ok(t) => t,
+            Err(_) => return, // closed and drained
+        };
+        let id = ticket.digest.to_string();
+        tracker.update(&id, |r| r.state = JobState::Running);
+        let mut results = executor.run(std::slice::from_ref(&ticket.job));
+        let result = results.pop();
+        tracker.update(&id, |r| match result {
+            Some(JobResult::Computed(ref summary) | JobResult::Cached(ref summary)) => {
+                r.state = JobState::Done;
+                r.result = Some(summary.to_value());
+            }
+            Some(JobResult::Failed { ref error, .. }) => {
+                r.state = JobState::Failed;
+                r.error = Some(error.clone());
+            }
+            None => {
+                r.state = JobState::Failed;
+                r.error = Some("executor returned no result".to_string());
+            }
+        });
+    }
+}
+
+/// Builds the ticket for a spec (digest is computed once, here).
+#[must_use]
+pub fn ticket_for(job: AnnualJob) -> JobTicket {
+    JobTicket { digest: job.digest(), job }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::sync_channel;
+
+    fn record(id: &str) -> JobRecord {
+        JobRecord {
+            id: id.to_string(),
+            label: "probe".to_string(),
+            state: JobState::Queued,
+            error: None,
+            result: None,
+        }
+    }
+
+    #[test]
+    fn tracker_put_update_get_list() {
+        let tracker = JobTracker::default();
+        tracker.put(record("bb"));
+        tracker.put(record("aa"));
+        tracker.update("aa", |r| r.state = JobState::Done);
+        assert_eq!(tracker.get("aa").unwrap().state, JobState::Done);
+        assert_eq!(tracker.get("bb").unwrap().state, JobState::Queued);
+        assert!(tracker.get("zz").is_none());
+        let ids: Vec<String> = tracker.list().into_iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec!["aa", "bb"]);
+    }
+
+    #[test]
+    fn queue_saturates_then_drains() {
+        let (tx, rx) = sync_channel(1);
+        let queue = JobQueue::new(tx);
+        let job = || {
+            ticket_for(AnnualJob {
+                system: coolair_sim::SystemSpec::Baseline,
+                location: coolair_weather::Location::newark(),
+                trace: coolair_workload::TraceKind::Facebook,
+                annual: coolair_sim::AnnualConfig::quick(),
+            })
+        };
+        assert_eq!(queue.try_submit(job()), EnqueueOutcome::Accepted);
+        assert_eq!(queue.try_submit(job()), EnqueueOutcome::Saturated);
+        queue.close();
+        assert_eq!(queue.try_submit(job()), EnqueueOutcome::Draining);
+        // The buffered ticket is still drainable after close.
+        assert!(rx.recv().is_ok());
+        assert!(rx.recv().is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! coolair-serve: the network control plane for the CoolAir reproduction.
+//!
+//! A dependency-free HTTP/1.1 daemon (no async runtime, no HTTP crate —
+//! `std::net` sockets, scoped threads, and a hand-written parser) that
+//! turns the offline job executor into a service:
+//!
+//! | Endpoint | Purpose |
+//! |---|---|
+//! | `GET /healthz` | liveness (`ok` / `draining`) |
+//! | `GET /version` | crate name + version |
+//! | `GET /metrics` | Prometheus text exposition of the telemetry registry |
+//! | `GET /jobs` | every tracked submission |
+//! | `POST /jobs` | submit an [`coolair_sim::jobs::AnnualJob`] spec (idempotent by content digest) |
+//! | `GET /jobs/{id}` | submission state, falling back to the artifact store |
+//! | `GET /artifacts/{kind}/{hash}` | stream a raw artifact (chunked) |
+//! | `POST /shutdown` | graceful drain |
+//!
+//! Robustness is load-bearing, not decorative: the accept side and the
+//! work queue are both bounded (`503 Retry-After` past either bound),
+//! every socket carries read/write timeouts, request heads and bodies
+//! have size limits, malformed bytes get a `4xx` — never a panic — and a
+//! drain finishes in-flight requests and queued jobs before `run`
+//! returns.
+
+pub mod http;
+pub mod jobs;
+pub mod prom;
+pub mod state;
+
+mod handlers;
+mod server;
+
+pub use handlers::{endpoint_class, handle, Reply};
+pub use jobs::{EnqueueOutcome, JobQueue, JobRecord, JobState, JobTracker};
+pub use prom::encode_prometheus;
+pub use server::{Server, LATENCY_BOUNDS_S};
+pub use state::{AppState, ServeConfig};

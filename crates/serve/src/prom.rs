@@ -1,0 +1,178 @@
+//! Prometheus text exposition (version 0.0.4) over the telemetry
+//! registry.
+//!
+//! The encoder walks [`MetricsRegistry::snapshot`] — it never touches the
+//! per-family maps — and renders counters, gauges and histograms in the
+//! flat text format scrapers expect. Registry keys may embed label pairs
+//! directly (`serve.requests{endpoint="/metrics",status="200"}`); the
+//! part before `{` is sanitized into a metric name, the labels pass
+//! through untouched. Keys that share a name after sanitization (the same
+//! metric at different label sets) are grouped under one `# TYPE` header,
+//! as the format requires.
+
+use coolair_telemetry::{Histogram, MetricValue, MetricsRegistry};
+use std::fmt::Write as _;
+
+/// Splits a registry key into its name part and optional `{...}` label
+/// block (braces stripped).
+fn split_key(key: &str) -> (&str, Option<&str>) {
+    match key.split_once('{') {
+        Some((name, rest)) => (name, rest.strip_suffix('}').or(Some(rest))),
+        None => (key, None),
+    }
+}
+
+/// Maps a registry key's name part onto the Prometheus name charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Joins a base label block with one extra pair (`le` for buckets).
+fn labels_with(labels: Option<&str>, extra: &str) -> String {
+    match labels {
+        Some(l) if !l.is_empty() => format!("{{{l},{extra}}}"),
+        _ => format!("{{{extra}}}"),
+    }
+}
+
+fn labels_or_empty(labels: Option<&str>) -> String {
+    match labels {
+        Some(l) if !l.is_empty() => format!("{{{l}}}"),
+        _ => String::new(),
+    }
+}
+
+/// Renders an `f64` the way Prometheus parsers expect (finite decimal,
+/// `+Inf`/`-Inf`/`NaN` words).
+fn number(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf".to_string() } else { "-Inf".to_string() }
+    } else {
+        format!("{v}")
+    }
+}
+
+fn write_histogram(out: &mut String, name: &str, labels: Option<&str>, h: &Histogram) {
+    let mut cumulative = 0u64;
+    for (i, bound) in h.bounds.iter().enumerate() {
+        cumulative += h.counts.get(i).copied().unwrap_or(0);
+        let le = labels_with(labels, &format!("le=\"{}\"", number(*bound)));
+        let _ = writeln!(out, "{name}_bucket{le} {cumulative}");
+    }
+    let le = labels_with(labels, "le=\"+Inf\"");
+    let _ = writeln!(out, "{name}_bucket{le} {}", h.count);
+    let plain = labels_or_empty(labels);
+    let _ = writeln!(out, "{name}_sum{plain} {}", number(h.sum));
+    let _ = writeln!(out, "{name}_count{plain} {}", h.count);
+}
+
+/// Encodes a registry snapshot as Prometheus text exposition format.
+#[must_use]
+pub fn encode_prometheus(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    let mut last_typed: Option<(String, &'static str)> = None;
+    for sample in registry.snapshot() {
+        let (raw_name, labels) = split_key(sample.name);
+        let mut name = sanitize(raw_name);
+        let family = match sample.value {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        };
+        // Counters conventionally end in `_total`; appending (rather than
+        // requiring) keeps registry keys short.
+        if family == "counter" && !name.ends_with("_total") {
+            name.push_str("_total");
+        }
+        if last_typed.as_ref() != Some(&(name.clone(), family)) {
+            let _ = writeln!(out, "# TYPE {name} {family}");
+            last_typed = Some((name.clone(), family));
+        }
+        match sample.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "{name}{} {v}", labels_or_empty(labels));
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "{name}{} {}", labels_or_empty(labels), number(v));
+            }
+            MetricValue::Histogram(h) => write_histogram(&mut out, &name, labels, h),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_counters_gauges_histograms() {
+        let mut m = MetricsRegistry::default();
+        m.counter_add("serve.requests{endpoint=\"/healthz\",status=\"200\"}", 3);
+        m.gauge_set("serve.inflight", 2.0);
+        m.observe("serve.request_seconds{endpoint=\"/healthz\"}", 0.002, &[0.001, 0.01, 0.1]);
+        m.observe("serve.request_seconds{endpoint=\"/healthz\"}", 0.5, &[0.001, 0.01, 0.1]);
+        let text = encode_prometheus(&m);
+        assert!(text.contains("# TYPE serve_requests_total counter"), "{text}");
+        assert!(
+            text.contains("serve_requests_total{endpoint=\"/healthz\",status=\"200\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE serve_inflight gauge"), "{text}");
+        assert!(text.contains("serve_inflight 2"), "{text}");
+        assert!(text.contains("# TYPE serve_request_seconds histogram"), "{text}");
+        assert!(
+            text.contains("serve_request_seconds_bucket{endpoint=\"/healthz\",le=\"0.01\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_request_seconds_bucket{endpoint=\"/healthz\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_request_seconds_count{endpoint=\"/healthz\"} 2"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn buckets_are_cumulative() {
+        let mut m = MetricsRegistry::default();
+        for v in [0.5, 1.5, 2.5, 9.0] {
+            m.observe("h", v, &[1.0, 2.0, 3.0]);
+        }
+        let text = encode_prometheus(&m);
+        assert!(text.contains("h_bucket{le=\"1\"} 1"), "{text}");
+        assert!(text.contains("h_bucket{le=\"2\"} 2"), "{text}");
+        assert!(text.contains("h_bucket{le=\"3\"} 3"), "{text}");
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 4"), "{text}");
+        assert!(text.contains("h_sum 13.5"), "{text}");
+    }
+
+    #[test]
+    fn one_type_header_per_labelled_family() {
+        let mut m = MetricsRegistry::default();
+        m.counter_add("serve.requests{endpoint=\"/a\"}", 1);
+        m.counter_add("serve.requests{endpoint=\"/b\"}", 2);
+        let text = encode_prometheus(&m);
+        assert_eq!(text.matches("# TYPE serve_requests_total counter").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn dotted_names_sanitize() {
+        assert_eq!(sanitize("runner.run.world-point"), "runner_run_world_point");
+        assert_eq!(sanitize("9lives"), "_lives");
+        assert_eq!(sanitize(""), "_");
+    }
+}

@@ -1,0 +1,368 @@
+//! The daemon: accept loop, connection threads, job workers, drain.
+//!
+//! Threading model — thread-per-connection inside one
+//! `crossbeam::thread::scope`, bounded by [`ServeConfig::max_connections`]
+//! (beyond the bound a connection is answered `503` and closed, never
+//! queued). Keep-alive is first-class: a connection thread serves requests
+//! back-to-back until the peer closes, the idle read timeout fires, or a
+//! drain begins. Job execution happens on separate worker threads fed by
+//! the bounded queue, so a slow simulation never stalls `/metrics`.
+//!
+//! Drain protocol (`POST /shutdown`): the shutdown flag flips, the job
+//! queue's sender drops (workers finish the buffered backlog, then exit —
+//! the executor flushes its journal per entry, so nothing is lost), the
+//! accept loop is woken by a loopback poke and stops accepting, and every
+//! in-flight response goes out with `connection: close`. `run` returns
+//! once all scoped threads join.
+
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::Arc;
+use std::time::Instant;
+
+use coolair_runner::{Executor, ExecutorConfig};
+use coolair_telemetry::Telemetry;
+use parking_lot::Mutex;
+
+use crate::handlers::{endpoint_class, handle, Reply};
+use crate::http::{parse_request, ParseError, Parsed, Response};
+use crate::jobs::{job_worker, JobQueue, JobTicket};
+use crate::state::{AppState, ServeConfig};
+
+/// Request-latency histogram bounds, in seconds.
+pub const LATENCY_BOUNDS_S: [f64; 10] =
+    [0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.1, 0.5, 2.0, 10.0];
+
+/// Socket read chunk.
+const READ_CHUNK: usize = 8 * 1024;
+/// File-to-socket chunk for artifact streaming.
+const STREAM_CHUNK: usize = 64 * 1024;
+
+/// A bound daemon, ready to [`run`](Server::run).
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<AppState>,
+    rx: Mutex<Receiver<JobTicket>>,
+}
+
+impl Server {
+    /// Binds the listener and builds the executor backend (store-backed
+    /// with resume when `cfg.store_dir` is set, in-memory otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and store/journal I/O errors.
+    pub fn bind(cfg: ServeConfig, telemetry: Telemetry) -> io::Result<Server> {
+        let executor = Executor::new(ExecutorConfig {
+            // Each worker thread runs one job at a time; parallelism comes
+            // from `job_threads`, not from fan-out inside a single run.
+            threads: 1,
+            store_dir: cfg.store_dir.clone(),
+            resume: true,
+            telemetry: telemetry.clone(),
+            ..ExecutorConfig::default()
+        })?;
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let (tx, rx) = sync_channel(cfg.queue_depth.max(1));
+        let state = Arc::new(AppState::new(cfg, executor, telemetry, JobQueue::new(tx)));
+        Ok(Server { listener, state, rx: Mutex::new(rx) })
+    }
+
+    /// The bound address (resolves port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle onto the shared state (tests and embedders can inspect
+    /// the tracker or trigger a drain without going over the wire).
+    #[must_use]
+    pub fn state(&self) -> Arc<AppState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Serves until drained. Blocks the calling thread; returns after
+    /// `POST /shutdown` once in-flight requests and queued jobs finish.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O errors and surfaces worker panics.
+    pub fn run(&self) -> io::Result<()> {
+        let state = &self.state;
+        let rx = &self.rx;
+        let local = self.local_addr()?;
+        crossbeam::thread::scope(|s| {
+            for _ in 0..state.cfg.job_threads.max(1) {
+                s.spawn(move |_| job_worker(rx, &state.executor, &state.tracker));
+            }
+            for stream in self.listener.incoming() {
+                if state.is_shutting_down() {
+                    break;
+                }
+                let stream = match stream {
+                    Ok(stream) => stream,
+                    Err(_) => continue, // transient accept error
+                };
+                let active = state.active_connections.fetch_add(1, Ordering::SeqCst) + 1;
+                state.telemetry.gauge_set("serve.connections", active as f64);
+                if active > state.cfg.max_connections {
+                    reject_overloaded(state, stream);
+                    release_connection(state);
+                    continue;
+                }
+                s.spawn(move |_| {
+                    // A panicking connection must not take the daemon down
+                    // (a scope panic would); it only loses its own socket.
+                    let _ = catch_unwind(AssertUnwindSafe(|| {
+                        serve_connection(state, stream, local);
+                    }));
+                    release_connection(state);
+                });
+            }
+            // Drain: the queue sender is already dropped (begin_shutdown),
+            // so job workers exit once the backlog is empty, and the scope
+            // joins every connection thread on the way out.
+        })
+        .map_err(|_| io::Error::other("server worker panicked"))
+    }
+}
+
+fn release_connection(state: &AppState) {
+    let left = state.active_connections.fetch_sub(1, Ordering::SeqCst) - 1;
+    state.telemetry.gauge_set("serve.connections", left as f64);
+}
+
+/// Over the connection bound: a one-line `503` and close, written inline
+/// on the accept thread so overload handling never waits on a worker.
+fn reject_overloaded(state: &AppState, mut stream: TcpStream) {
+    state.telemetry.counter_add("serve.rejected_connections", 1);
+    let _ = stream.set_write_timeout(Some(state.cfg.write_timeout));
+    let resp = Response::text(503, "connection limit reached\n").with_header("retry-after", "1");
+    let _ = stream.write_all(&resp.encode(false));
+}
+
+/// One connection's lifetime: read, parse, dispatch, write, repeat while
+/// keep-alive holds.
+fn serve_connection(state: &AppState, mut stream: TcpStream, local: SocketAddr) {
+    let _ = stream.set_read_timeout(Some(state.cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(state.cfg.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; READ_CHUNK];
+    loop {
+        match parse_request(&buf, &state.cfg.limits) {
+            Parsed::Complete(req, consumed) => {
+                buf.drain(..consumed);
+                let keep_alive = req.wants_keep_alive() && !state.is_shutting_down();
+                let ok = respond(state, &mut stream, &req, keep_alive);
+                // `POST /shutdown` flips the flag mid-request; poke the
+                // accept loop so it observes the flag instead of blocking
+                // in `accept` until the next organic connection.
+                if state.is_shutting_down() {
+                    let _ = TcpStream::connect(local);
+                    return;
+                }
+                if !(ok && keep_alive) {
+                    return;
+                }
+            }
+            Parsed::Incomplete => {
+                let n = match stream.read(&mut chunk) {
+                    Ok(0) | Err(_) => return, // peer closed or timed out
+                    Ok(n) => n,
+                };
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            Parsed::Error(e) => {
+                state.telemetry.counter_add("serve.parse_errors", 1);
+                let _ = write_parse_error(&mut stream, &e);
+                return;
+            }
+        }
+    }
+}
+
+/// Dispatches one request and writes the reply; records the per-endpoint
+/// counter and latency histogram either way. Returns `false` when the
+/// connection must close (write failure, or a streamed reply whose length
+/// was unknowable after an I/O error mid-stream).
+fn respond(
+    state: &AppState,
+    stream: &mut TcpStream,
+    req: &crate::http::Request,
+    keep_alive: bool,
+) -> bool {
+    let endpoint = endpoint_class(req.path());
+    let start = Instant::now();
+    let reply = catch_unwind(AssertUnwindSafe(|| handle(state, req)))
+        .unwrap_or_else(|_| Reply::Full(Response::text(500, "internal error\n")));
+    let status = reply.status();
+    let elapsed = start.elapsed().as_secs_f64();
+    state.telemetry.counter_add(
+        &format!("serve.requests{{endpoint=\"{endpoint}\",status=\"{status}\"}}"),
+        1,
+    );
+    state.telemetry.observe(
+        &format!("serve.request_seconds{{endpoint=\"{endpoint}\"}}"),
+        elapsed,
+        &LATENCY_BOUNDS_S,
+    );
+    match reply {
+        Reply::Full(resp) => stream.write_all(&resp.encode(keep_alive)).is_ok(),
+        Reply::Stream { status, content_type, path } => {
+            stream_file(stream, status, content_type, &path, keep_alive)
+        }
+    }
+}
+
+fn write_parse_error(stream: &mut TcpStream, e: &ParseError) -> io::Result<()> {
+    let resp = Response::text(e.status(), format!("bad request: {e}\n"));
+    stream.write_all(&resp.encode(false))
+}
+
+/// Streams a file with chunked transfer encoding. On an open failure the
+/// reply degrades to a plain `500`; after the head is on the wire a read
+/// failure can only truncate the chunk stream (the missing terminator
+/// tells the client the body is incomplete).
+fn stream_file(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    path: &Path,
+    keep_alive: bool,
+) -> bool {
+    let mut file = match File::open(path) {
+        Ok(f) => f,
+        Err(_) => {
+            let resp = Response::text(500, "artifact unreadable\n");
+            let _ = stream.write_all(&resp.encode(false));
+            return false;
+        }
+    };
+    let head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ntransfer-encoding: chunked\r\nconnection: {}\r\n\r\n",
+        status,
+        crate::http::reason_phrase(status),
+        content_type,
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    if stream.write_all(head.as_bytes()).is_err() {
+        return false;
+    }
+    let mut chunk = [0u8; STREAM_CHUNK];
+    loop {
+        let n = match file.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(_) => return false, // truncated stream; client sees no terminator
+        };
+        if stream.write_all(format!("{n:x}\r\n").as_bytes()).is_err()
+            || stream.write_all(&chunk[..n]).is_err()
+            || stream.write_all(b"\r\n").is_err()
+        {
+            return false;
+        }
+    }
+    stream.write_all(b"0\r\n\r\n").is_ok() && keep_alive
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::read_response;
+    use std::time::Duration;
+
+    fn test_config() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            read_timeout: Duration::from_millis(500),
+            write_timeout: Duration::from_millis(500),
+            ..ServeConfig::default()
+        }
+    }
+
+    fn request(addr: SocketAddr, raw: &str) -> Response {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        conn.write_all(raw.as_bytes()).expect("write");
+        read_response(&mut conn).expect("response")
+    }
+
+    #[test]
+    fn serves_healthz_and_drains_on_shutdown() {
+        let server = Server::bind(test_config(), Telemetry::discard()).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        crossbeam::thread::scope(|s| {
+            let handle = s.spawn(|_| server.run());
+            let resp = request(addr, "GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n");
+            assert_eq!(resp.status, 200);
+            let resp = request(addr, "POST /shutdown HTTP/1.1\r\nhost: t\r\n\r\n");
+            assert_eq!(resp.status, 200);
+            handle.join().expect("join").expect("clean exit");
+        })
+        .expect("scope");
+    }
+
+    #[test]
+    fn keep_alive_serves_pipelined_requests_on_one_connection() {
+        let server = Server::bind(test_config(), Telemetry::discard()).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        crossbeam::thread::scope(|s| {
+            s.spawn(|_| server.run());
+            let mut conn = TcpStream::connect(addr).expect("connect");
+            // Two requests in one write: the parser must consume exactly
+            // one request's bytes per iteration. Both responses may land
+            // in one read, so parse them out of a single buffer.
+            conn.write_all(
+                b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\nGET /version HTTP/1.1\r\nhost: t\r\n\r\n",
+            )
+            .expect("write");
+            let limits = crate::http::Limits::default();
+            let mut buf = Vec::new();
+            let mut chunk = [0u8; 4096];
+            let (first, second) = loop {
+                if let crate::http::Parsed::Complete(first, used) =
+                    crate::http::parse_response(&buf, &limits)
+                {
+                    if let crate::http::Parsed::Complete(second, _) =
+                        crate::http::parse_response(&buf[used..], &limits)
+                    {
+                        break (first, second);
+                    }
+                }
+                let n = conn.read(&mut chunk).expect("read");
+                assert!(n > 0, "connection closed before both responses arrived");
+                buf.extend_from_slice(&chunk[..n]);
+            };
+            assert_eq!(first.status, 200);
+            assert_eq!(second.status, 200);
+            assert!(String::from_utf8_lossy(&second.body).contains("coolair-serve"));
+            let resp = request(addr, "POST /shutdown HTTP/1.1\r\nhost: t\r\n\r\n");
+            assert_eq!(resp.status, 200);
+        })
+        .expect("scope");
+    }
+
+    #[test]
+    fn malformed_request_gets_4xx_and_close() {
+        let server = Server::bind(test_config(), Telemetry::discard()).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        crossbeam::thread::scope(|s| {
+            s.spawn(|_| server.run());
+            let resp = request(addr, "NOT-HTTP garbage\r\n\r\n");
+            assert_eq!(resp.status, 400);
+            assert_eq!(resp.header("connection"), Some("close"));
+            let resp = request(addr, "POST /shutdown HTTP/1.1\r\nhost: t\r\n\r\n");
+            assert_eq!(resp.status, 200);
+        })
+        .expect("scope");
+    }
+}

@@ -1,0 +1,102 @@
+//! Daemon configuration and the state shared by every connection thread.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use coolair_runner::Executor;
+use coolair_telemetry::Telemetry;
+
+use crate::http::Limits;
+use crate::jobs::{JobQueue, JobTracker};
+
+/// Daemon configuration. Defaults favour safety: every queue and buffer
+/// is bounded, every socket read and write carries a timeout.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:7070`; port 0 picks a free port).
+    pub addr: String,
+    /// Maximum concurrent connections; the excess is answered `503` and
+    /// closed (the bounded accept queue).
+    pub max_connections: usize,
+    /// Bound of the job work queue; `POST /jobs` beyond it is `503
+    /// Retry-After` (the bounded work queue).
+    pub queue_depth: usize,
+    /// Worker threads executing submitted jobs.
+    pub job_threads: usize,
+    /// Per-connection socket read timeout (idle keep-alive connections
+    /// are closed after this).
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// HTTP parser limits.
+    pub limits: Limits,
+    /// Artifact store + journal directory for the executor backend;
+    /// `None` runs in memory (results live only in the tracker).
+    pub store_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7070".to_string(),
+            max_connections: 128,
+            queue_depth: 64,
+            job_threads: 2,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            limits: Limits::default(),
+            store_dir: None,
+        }
+    }
+}
+
+/// Everything a connection thread needs, shared behind one `Arc`.
+#[derive(Debug)]
+pub struct AppState {
+    /// Daemon configuration.
+    pub cfg: ServeConfig,
+    /// The persistent job executor (store-backed when configured).
+    pub executor: Executor,
+    /// The bus `/metrics` renders; also threaded through the executor so
+    /// `runner.*` series export alongside `serve.*`.
+    pub telemetry: Telemetry,
+    /// Submission records for `GET /jobs`.
+    pub tracker: JobTracker,
+    /// The bounded work queue.
+    pub queue: JobQueue,
+    /// Set once by `POST /shutdown`; the accept loop and keep-alive
+    /// connections observe it and wind down.
+    shutdown: AtomicBool,
+    /// Live connection count (the accept bound and a gauge).
+    pub active_connections: AtomicUsize,
+}
+
+impl AppState {
+    /// Builds the shared state.
+    #[must_use]
+    pub fn new(cfg: ServeConfig, executor: Executor, telemetry: Telemetry, queue: JobQueue) -> Self {
+        AppState {
+            cfg,
+            executor,
+            telemetry,
+            tracker: JobTracker::default(),
+            queue,
+            shutdown: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+        }
+    }
+
+    /// Whether a drain has been requested.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests a graceful drain: stop accepting, let in-flight requests
+    /// finish, let job workers drain the queue. Idempotent.
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+}

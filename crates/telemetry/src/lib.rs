@@ -30,7 +30,9 @@ pub mod profile;
 pub mod recorder;
 
 pub use event::Event;
-pub use metrics::{Histogram, MetricsRegistry, ERROR_BOUNDS_C, TEMP_BOUNDS_C};
+pub use metrics::{
+    Histogram, MetricSample, MetricValue, MetricsRegistry, ERROR_BOUNDS_C, TEMP_BOUNDS_C,
+};
 pub use profile::{ProfileReport, Profiler, ScopeStat, ScopeTimer};
 pub use recorder::{FlightDump, FlightRecorder, DEFAULT_CAPACITY};
 

@@ -135,6 +135,62 @@ impl MetricsRegistry {
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
     }
+
+    /// One ordered pass over every metric in the registry: counters,
+    /// gauges and histograms merged into a single name-sorted sequence
+    /// (ties broken counter < gauge < histogram, though families never
+    /// share a name in practice). Renderers — the CLI reporter, the
+    /// Prometheus encoder — iterate this instead of reaching into the
+    /// per-family maps, so they cannot disagree about ordering.
+    pub fn snapshot(&self) -> impl Iterator<Item = MetricSample<'_>> {
+        let mut samples: Vec<MetricSample<'_>> = self
+            .counters
+            .iter()
+            .map(|(name, &v)| MetricSample { name, value: MetricValue::Counter(v) })
+            .chain(
+                self.gauges
+                    .iter()
+                    .map(|(name, &v)| MetricSample { name, value: MetricValue::Gauge(v) }),
+            )
+            .chain(
+                self.histograms
+                    .iter()
+                    .map(|(name, h)| MetricSample { name, value: MetricValue::Histogram(h) }),
+            )
+            .collect();
+        samples.sort_by(|a, b| a.name.cmp(b.name).then(a.value.family_rank().cmp(&b.value.family_rank())));
+        samples.into_iter()
+    }
+}
+
+/// One metric in a [`MetricsRegistry::snapshot`] pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricSample<'a> {
+    /// Registry key (may carry embedded `{label="…"}` pairs).
+    pub name: &'a str,
+    /// The metric's current value.
+    pub value: MetricValue<'a>,
+}
+
+/// The value half of a [`MetricSample`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue<'a> {
+    /// A monotonic count.
+    Counter(u64),
+    /// A last-write-wins value.
+    Gauge(f64),
+    /// A fixed-bucket distribution.
+    Histogram(&'a Histogram),
+}
+
+impl MetricValue<'_> {
+    fn family_rank(&self) -> u8 {
+        match self {
+            MetricValue::Counter(_) => 0,
+            MetricValue::Gauge(_) => 1,
+            MetricValue::Histogram(_) => 2,
+        }
+    }
 }
 
 /// Default bucket bounds for inlet-temperature histograms, °C.
@@ -178,6 +234,30 @@ mod tests {
         let a = json.find("a.ticks").unwrap();
         let z = json.find("z.ticks").unwrap();
         assert!(a < z);
+    }
+
+    #[test]
+    fn snapshot_is_name_ordered_across_families() {
+        let mut r = MetricsRegistry::default();
+        r.observe("m.latency", 0.2, &[1.0]);
+        r.counter_add("z.ticks", 2);
+        r.gauge_set("a.load", 0.5);
+        r.counter_add("b.ticks", 1);
+        let names: Vec<&str> = r.snapshot().map(|s| s.name).collect();
+        assert_eq!(names, vec!["a.load", "b.ticks", "m.latency", "z.ticks"]);
+        let kinds: Vec<u8> = r
+            .snapshot()
+            .map(|s| match s.value {
+                MetricValue::Counter(_) => 0,
+                MetricValue::Gauge(_) => 1,
+                MetricValue::Histogram(_) => 2,
+            })
+            .collect();
+        assert_eq!(kinds, vec![1, 0, 2, 0]);
+        match r.snapshot().find(|s| s.name == "m.latency").unwrap().value {
+            MetricValue::Histogram(h) => assert_eq!(h.count, 1),
+            other => panic!("expected histogram, got {other:?}"),
+        };
     }
 
     #[test]

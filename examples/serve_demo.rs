@@ -1,0 +1,100 @@
+//! The control plane end to end: start the daemon in-process, drive it
+//! over real loopback sockets with the pure-std HTTP client, and drain.
+//!
+//! 1. bind `coolair-serve` on a free port with a store-backed executor,
+//! 2. `GET /healthz` and `GET /version`,
+//! 3. `POST /jobs` with a quick annual spec (the job id is the spec's
+//!    content digest, so resubmission is idempotent),
+//! 4. poll `GET /jobs/{id}` to completion,
+//! 5. stream the raw artifact back via `GET /artifacts/{kind}/{hash}`,
+//! 6. scrape `GET /metrics` (Prometheus text) and `POST /shutdown`.
+//!
+//! ```sh
+//! cargo run --release --example serve_demo
+//! ```
+
+use std::time::{Duration, Instant};
+
+use coolair_bench::http_client::HttpClient;
+use coolair_runner::Job;
+use coolair_serve::{ServeConfig, Server};
+use coolair_sim::jobs::{AnnualJob, KIND_ANNUAL_SUMMARY};
+use coolair_sim::{AnnualConfig, SystemSpec};
+use coolair_telemetry::Telemetry;
+use coolair_weather::Location;
+use coolair_workload::TraceKind;
+use serde_json::JsonValue as Value;
+
+fn main() {
+    let store = std::env::temp_dir().join("coolair_serve_demo");
+    let _ = std::fs::remove_dir_all(&store);
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        store_dir: Some(store.clone()),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(cfg, Telemetry::discard()).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    println!("daemon on http://{addr}  (store: {})", store.display());
+
+    std::thread::scope(|s| {
+        s.spawn(|| server.run().expect("serve"));
+        let mut client = HttpClient::connect(addr).expect("connect");
+
+        let health = client.get("/healthz").expect("healthz");
+        let version = client.get("/version").expect("version");
+        println!("healthz  -> {}", String::from_utf8_lossy(&health.body).trim());
+        println!("version  -> {}", String::from_utf8_lossy(&version.body).trim());
+
+        let job = AnnualJob {
+            system: SystemSpec::Baseline,
+            location: Location::newark(),
+            trace: TraceKind::Facebook,
+            annual: AnnualConfig { stride: 180, ..AnnualConfig::quick() },
+        };
+        let id = job.digest().to_string();
+        let accepted = client.post_json("/jobs", &job).expect("submit");
+        println!("submit   -> {} {}", accepted.status, String::from_utf8_lossy(&accepted.body).trim());
+
+        let deadline = Instant::now() + Duration::from_secs(120);
+        let record = loop {
+            let resp = client.get(&format!("/jobs/{id}")).expect("poll");
+            let record: Value = serde_json::from_slice(&resp.body).expect("job record");
+            match record.get("state") {
+                Some(Value::Str(state)) if state == "done" => break record,
+                Some(Value::Str(state)) if state == "failed" => panic!("job failed: {record:?}"),
+                _ => {}
+            }
+            assert!(Instant::now() < deadline, "job did not finish");
+            std::thread::sleep(Duration::from_millis(50));
+        };
+        let days = record
+            .get("result")
+            .and_then(|r| r.get("days"))
+            .and_then(Value::as_seq)
+            .map_or(0, <[Value]>::len);
+        println!("job done -> id {id}, {days} simulated days in summary");
+
+        let artifact = client
+            .get(&format!("/artifacts/{KIND_ANNUAL_SUMMARY}/{id}"))
+            .expect("artifact");
+        println!(
+            "artifact -> {} ({} bytes, chunked{})",
+            artifact.status,
+            artifact.body.len(),
+            if artifact.header("transfer-encoding").is_some() { "" } else { "?" },
+        );
+
+        let metrics = client.get("/metrics").expect("metrics");
+        let text = String::from_utf8_lossy(&metrics.body);
+        println!("metrics  -> {} lines, e.g.:", text.lines().count());
+        for line in text.lines().filter(|l| l.starts_with("serve_requests_total")).take(4) {
+            println!("            {line}");
+        }
+
+        let drained = client.post_json("/shutdown", &()).expect("shutdown");
+        println!("shutdown -> {}", String::from_utf8_lossy(&drained.body).trim());
+    });
+    println!("drained cleanly");
+    let _ = std::fs::remove_dir_all(&store);
+}

@@ -15,10 +15,14 @@
 //! - [`sim`] — Real-Sim / Smooth-Sim engines, metrics, annual & world sweeps
 //! - [`telemetry`] — structured events, metrics registry, profiler, recorder
 //! - [`runner`] — job executor, artifact store, resumable journals
+//! - [`serve`] — HTTP/1.1 control-plane daemon (jobs, artifacts, metrics)
+//! - [`bench`] — experiment-bench helpers, incl. the pure-std HTTP client
 
 pub use coolair as core;
+pub use coolair_bench as bench;
 pub use coolair_ml as ml;
 pub use coolair_runner as runner;
+pub use coolair_serve as serve;
 pub use coolair_sim as sim;
 pub use coolair_telemetry as telemetry;
 pub use coolair_thermal as thermal;

@@ -1,0 +1,216 @@
+//! End-to-end tests of the `coolair-serve` daemon over real sockets:
+//! concurrent keep-alive clients, connection-bound backpressure, job
+//! submission through to completion, and bit-identical agreement between
+//! a job run through the daemon and the same job run offline.
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use coolair_suite::bench::http_client::HttpClient;
+use coolair_suite::runner::{Executor, Job};
+use coolair_suite::serve::{ServeConfig, Server};
+use coolair_suite::sim::jobs::AnnualJob;
+use coolair_suite::sim::{AnnualConfig, SystemSpec};
+use coolair_suite::telemetry::Telemetry;
+use coolair_suite::weather::Location;
+use coolair_suite::workload::TraceKind;
+use serde_json::JsonValue as Value;
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        ..ServeConfig::default()
+    }
+}
+
+/// A cheap but real job: a handful of simulated days.
+fn quick_job() -> AnnualJob {
+    AnnualJob {
+        system: SystemSpec::Baseline,
+        location: Location::newark(),
+        trace: TraceKind::Facebook,
+        annual: AnnualConfig { stride: 180, ..AnnualConfig::quick() },
+    }
+}
+
+fn shutdown(addr: std::net::SocketAddr) {
+    let mut client = HttpClient::connect(addr).expect("shutdown connect");
+    assert_eq!(client.post_json("/shutdown", &()).expect("shutdown").status, 200);
+}
+
+fn body_json(body: &[u8]) -> Value {
+    serde_json::from_slice(body).expect("response body is JSON")
+}
+
+#[test]
+fn sixty_four_concurrent_keep_alive_connections_all_succeed() {
+    let server = Server::bind(test_config(), Telemetry::discard()).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let ok = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        s.spawn(|| server.run());
+        std::thread::scope(|clients| {
+            for _ in 0..64 {
+                clients.spawn(|| {
+                    let mut client = HttpClient::connect(addr).expect("connect");
+                    for _ in 0..5 {
+                        // Keep-alive: five requests over the one socket.
+                        let resp = client.get("/healthz").expect("healthz");
+                        assert_eq!(resp.status, 200);
+                        ok.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        shutdown(addr);
+    });
+    assert_eq!(ok.load(Ordering::Relaxed), 64 * 5);
+}
+
+#[test]
+fn connections_beyond_the_bound_get_503_not_a_hang() {
+    let cfg = ServeConfig { max_connections: 3, ..test_config() };
+    let server = Server::bind(cfg, Telemetry::discard()).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    std::thread::scope(|s| {
+        s.spawn(|| server.run());
+        // Fill the bound with established keep-alive connections.
+        let mut held: Vec<HttpClient> = (0..3)
+            .map(|_| {
+                let mut c = HttpClient::connect(addr).expect("connect");
+                assert_eq!(c.get("/healthz").expect("fill").status, 200);
+                c
+            })
+            .collect();
+        // The next connection must be answered 503 promptly — not queued
+        // behind the held sockets, and never left hanging.
+        let started = Instant::now();
+        let mut extra = HttpClient::connect(addr).expect("extra connect");
+        let resp = extra.get("/healthz").expect("overload response");
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert!(started.elapsed() < Duration::from_secs(2), "503 was not prompt");
+        // Releasing one held connection frees a slot for new clients.
+        drop(held.pop());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let mut retry = HttpClient::connect(addr).expect("retry connect");
+            match retry.get("/healthz") {
+                Ok(resp) if resp.status == 200 => break,
+                _ if Instant::now() > deadline => panic!("slot was never released"),
+                _ => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+        drop(held);
+        shutdown(addr);
+    });
+}
+
+/// The centrepiece: a job submitted over the wire — while other clients
+/// hammer `/metrics` and `/jobs` — must complete and report exactly the
+/// summary an offline executor computes for the same spec.
+#[test]
+fn served_job_results_are_bit_identical_to_offline_runs() {
+    let job = quick_job();
+    let offline = {
+        let exec = Executor::in_memory(1, Telemetry::disabled());
+        let mut results = exec.run(std::slice::from_ref(&job));
+        match results.pop().expect("one result") {
+            coolair_suite::runner::JobResult::Computed(s)
+            | coolair_suite::runner::JobResult::Cached(s) => s,
+            coolair_suite::runner::JobResult::Failed { error, .. } => {
+                panic!("offline run failed: {error}")
+            }
+        }
+    };
+    let offline_json = serde_json::to_string(&offline).expect("serialize offline");
+    let expected_id = job.digest().to_string();
+
+    let server = Server::bind(test_config(), Telemetry::discard()).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    std::thread::scope(|s| {
+        s.spawn(|| server.run());
+
+        let mut client = HttpClient::connect(addr).expect("connect");
+        let resp = client.post_json("/jobs", &job).expect("submit");
+        assert_eq!(resp.status, 202, "{}", String::from_utf8_lossy(&resp.body));
+        let accepted = body_json(&resp.body);
+        assert_eq!(accepted.get("id"), Some(&Value::Str(expected_id.clone())));
+
+        // Background load while the job runs: metrics scrapes and job
+        // listings must stay well-formed throughout.
+        let done = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|bg| {
+            bg.spawn(|| {
+                let mut noisy = HttpClient::connect(addr).expect("noise connect");
+                while !done.load(Ordering::Relaxed) {
+                    let m = noisy.get("/metrics").expect("metrics");
+                    assert_eq!(m.status, 200);
+                    let text = String::from_utf8(m.body).expect("metrics is UTF-8");
+                    assert!(text.contains("# TYPE"), "metrics lost its TYPE headers");
+                    let l = noisy.get("/jobs").expect("jobs list");
+                    assert_eq!(l.status, 200);
+                    body_json(&l.body);
+                }
+            });
+
+            let deadline = Instant::now() + Duration::from_secs(120);
+            let result = loop {
+                let resp = client.get(&format!("/jobs/{expected_id}")).expect("poll");
+                assert_eq!(resp.status, 200);
+                let record = body_json(&resp.body);
+                match record.get("state") {
+                    Some(Value::Str(state)) if state == "done" => {
+                        break record.get("result").expect("done record has result").clone();
+                    }
+                    Some(Value::Str(state)) if state == "failed" => {
+                        panic!("served job failed: {record:?}");
+                    }
+                    _ => {}
+                }
+                assert!(Instant::now() < deadline, "job did not finish in time");
+                std::thread::sleep(Duration::from_millis(50));
+            };
+            done.store(true, Ordering::Relaxed);
+
+            let served_json = serde_json::to_string(&result).expect("serialize served");
+            assert_eq!(served_json, offline_json, "served summary diverged from offline run");
+        });
+
+        // Idempotent resubmission: same spec, same id, no second run.
+        let resp = client.post_json("/jobs", &job).expect("resubmit");
+        assert_eq!(resp.status, 200);
+        let record = body_json(&resp.body);
+        assert_eq!(record.get("id"), Some(&Value::Str(expected_id.clone())));
+
+        shutdown(addr);
+    });
+}
+
+/// Malformed bytes on a fresh socket: the daemon answers 4xx and closes,
+/// and stays healthy for the next client.
+#[test]
+fn garbage_bytes_do_not_poison_the_daemon() {
+    let server = Server::bind(test_config(), Telemetry::discard()).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    std::thread::scope(|s| {
+        s.spawn(|| server.run());
+        for garbage in [&b"\x00\xffnonsense\r\n\r\n"[..], &b"GET  HTTP/9.9\r\n\r\n"[..]] {
+            use std::io::Write as _;
+            let mut raw = TcpStream::connect(addr).expect("connect");
+            raw.set_read_timeout(Some(Duration::from_secs(2))).expect("timeout");
+            raw.write_all(garbage).expect("write garbage");
+            // Whatever comes back (an error status or a straight close),
+            // the daemon must still serve the next request.
+            let mut sink = Vec::new();
+            use std::io::Read as _;
+            let _ = raw.take(4096).read_to_end(&mut sink);
+        }
+        let mut client = HttpClient::connect(addr).expect("connect after garbage");
+        assert_eq!(client.get("/healthz").expect("healthz").status, 200);
+        shutdown(addr);
+    });
+}

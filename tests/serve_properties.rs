@@ -1,0 +1,80 @@
+//! Properties of the hand-written HTTP/1.1 parser behind `coolair-serve`:
+//! arbitrary bytes must never panic it (the daemon faces the network), a
+//! valid encoded request must round-trip exactly, and truncation must
+//! report `Incomplete` — never a false `Complete` and never a crash.
+
+use coolair_suite::serve::http::{
+    encode_request, parse_request, parse_response, Limits, Parsed,
+};
+use proptest::prelude::*;
+
+fn limits() -> Limits {
+    Limits::default()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Fuzz resistance: any byte soup yields Complete/Incomplete/Error,
+    /// never a panic, on both the request and response parsers.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_parsers(
+        bytes in proptest::collection::vec(0u8..=255u8, 0..2048)
+    ) {
+        let _ = parse_request(&bytes, &limits());
+        let _ = parse_response(&bytes, &limits());
+    }
+
+    /// A structurally valid request survives encode → parse unchanged,
+    /// and the parser consumes exactly the encoded bytes (the keep-alive
+    /// pipelining invariant).
+    #[test]
+    fn valid_requests_round_trip(
+        method in proptest::sample::subsequence(vec!["GET", "POST", "PUT", "DELETE"], 1),
+        seg_a in 0u32..1000,
+        seg_b in 0u32..1000,
+        header_v in 0u64..u64::MAX,
+        body in proptest::collection::vec(0u8..=255u8, 0..512),
+    ) {
+        let method = method[0];
+        let target = format!("/seg{seg_a}/item{seg_b}?q={header_v}");
+        let headers = vec![("x-probe".to_string(), header_v.to_string())];
+        let wire = encode_request(method, &target, &headers, &body);
+        match parse_request(&wire, &limits()) {
+            Parsed::Complete(req, used) => {
+                prop_assert_eq!(used, wire.len());
+                prop_assert_eq!(req.method.as_str(), method);
+                prop_assert_eq!(req.target.as_str(), target.as_str());
+                let probe = header_v.to_string();
+                prop_assert_eq!(req.header("x-probe"), Some(probe.as_str()));
+                prop_assert_eq!(req.body, body);
+            }
+            other => prop_assert!(false, "valid request failed to parse: {:?}", other),
+        }
+    }
+
+    /// Every proper prefix of a valid request is Incomplete (the parser
+    /// must wait for more bytes, not guess), and appending pipelined
+    /// bytes after a complete request leaves them unconsumed.
+    #[test]
+    fn truncation_is_incomplete_and_pipelining_leaves_a_tail(
+        cut_seed in 0usize..10_000,
+        body in proptest::collection::vec(0u8..=255u8, 1..256),
+    ) {
+        let wire = encode_request("POST", "/jobs", &[], &body);
+        let cut = 1 + cut_seed % (wire.len() - 1);
+        match parse_request(&wire[..cut], &limits()) {
+            Parsed::Incomplete => {}
+            other => prop_assert!(false, "prefix of {cut} bytes gave {:?}", other),
+        }
+        let mut pipelined = wire.clone();
+        pipelined.extend_from_slice(b"GET /healthz HTTP/1.1\r\n\r\n");
+        match parse_request(&pipelined, &limits()) {
+            Parsed::Complete(req, used) => {
+                prop_assert_eq!(used, wire.len());
+                prop_assert_eq!(req.body, body);
+            }
+            other => prop_assert!(false, "pipelined parse gave {:?}", other),
+        }
+    }
+}
