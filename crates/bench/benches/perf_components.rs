@@ -16,13 +16,15 @@ use coolair::manager::optimizer::CoolingOptimizer;
 use coolair::manager::predict_regime;
 use coolair::{train_cooling_model, CoolAirConfig, TrainingConfig, Version};
 use coolair_ml::{Dataset, M5pConfig, ModelTree};
-use coolair_sim::{SimConfig, SimController, Simulation};
+use coolair_sim::{
+    sweep_one_with_model, train_for_location, AnnualConfig, SimConfig, SimController, Simulation,
+};
 use coolair_thermal::{
     CoolingRegime, Infrastructure, ItLoad, OutsideConditions, Plant, PlantConfig, TksConfig,
     TksController,
 };
 use coolair_units::{psychro, Celsius, FanSpeed, RelativeHumidity, SimDuration, SimTime, Watts};
-use coolair_weather::{Location, TmySeries};
+use coolair_weather::{Location, TmySeries, WorldGrid};
 use coolair_workload::{facebook_trace, Cluster, ClusterConfig};
 
 fn bench_plant_step(c: &mut Criterion) {
@@ -65,15 +67,63 @@ fn bench_optimizer(c: &mut Criterion) {
     let tmy = TmySeries::generate(&Location::newark(), 11);
     let model = train_cooling_model(&tmy, &TrainingConfig::quick());
     let cfg = CoolAirConfig::default();
-    let opt = CoolingOptimizer::new(Version::AllNd.utility(&cfg), Infrastructure::Smooth);
+    let mut opt = CoolingOptimizer::new(Version::AllNd.utility(&cfg), Infrastructure::Smooth);
     let plant = Plant::new(PlantConfig::parasol());
     let readings = plant.readings(SimTime::EPOCH);
     let band = TempBand::new(Celsius::new(20.0), Celsius::new(25.0));
+    // Steady-state shape: the same tick repeats, so iterations 2+ hit the
+    // prediction memo — the common case in Smooth-Sim's long plateaus.
     c.bench_function("optimizer_select_smooth", |b| {
         b.iter(|| {
-            black_box(opt.select(&model, &cfg, &readings, None, Some(band), &[true; 4]));
+            black_box(
+                opt.select(&model, &cfg, &readings, None, Some(band), &[true; 4]).unwrap(),
+            );
         });
     });
+}
+
+fn bench_optimizer_batched(c: &mut Criterion) {
+    let tmy = TmySeries::generate(&Location::newark(), 11);
+    let model = train_cooling_model(&tmy, &TrainingConfig::quick());
+    let cfg = CoolAirConfig::default();
+    let mut opt = CoolingOptimizer::new(Version::AllNd.utility(&cfg), Infrastructure::Smooth);
+    // Memo off: this measures the two-phase PredictionContext path itself —
+    // candidate-invariant work hoisted out of the per-candidate loop, scratch
+    // buffers reused across all 20 Smooth candidates — with no caching.
+    opt.set_memo_capacity(0);
+    let plant = Plant::new(PlantConfig::parasol());
+    let readings = plant.readings(SimTime::EPOCH);
+    let band = TempBand::new(Celsius::new(20.0), Celsius::new(25.0));
+    c.bench_function("optimizer_select_batched", |b| {
+        b.iter(|| {
+            black_box(
+                opt.select(&model, &cfg, &readings, None, Some(band), &[true; 4]).unwrap(),
+            );
+        });
+    });
+}
+
+fn bench_world_sweep_1day(c: &mut Criterion) {
+    // One grid location, one simulated day (stride > 365 samples only day
+    // 0), model pre-trained outside the loop: the iteration cost is the
+    // baseline-vs-All-ND evaluation pair — the closed-loop path the
+    // prediction engine serves.
+    let annual = AnnualConfig { stride: 400, ..AnnualConfig::quick() };
+    let grid = WorldGrid::with_count(1);
+    let location = grid.locations()[0].clone();
+    let model = train_for_location(&location, &annual);
+    let mut group = c.benchmark_group("world_sweep");
+    group.sample_size(10);
+    group.bench_function("world_sweep_1day", |b| {
+        b.iter(|| {
+            black_box(sweep_one_with_model(
+                black_box(&location),
+                &annual,
+                model.clone(),
+            ));
+        });
+    });
+    group.finish();
 }
 
 fn bench_m5p(c: &mut Criterion) {
@@ -142,8 +192,10 @@ criterion_group!(
     bench_plant_step,
     bench_model_predict,
     bench_optimizer,
+    bench_optimizer_batched,
     bench_m5p,
     bench_day_sim,
+    bench_world_sweep_1day,
     bench_executor_overhead
 );
 

@@ -99,6 +99,102 @@ pub fn merge_into_report(
     std::fs::write(path, text + "\n")
 }
 
+/// Reads and parses a report file.
+///
+/// # Errors
+///
+/// Propagates read failures; a parse failure maps to
+/// [`std::io::ErrorKind::InvalidData`].
+pub fn load_report(path: &Path) -> std::io::Result<PerfReport> {
+    let text = std::fs::read_to_string(path)?;
+    serde_json::from_str(&text).map_err(|e| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("parse {}: {e}", path.display()),
+        )
+    })
+}
+
+/// One tracked metric that moved past the regression threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Benchmark row name.
+    pub name: String,
+    /// Committed-baseline value.
+    pub baseline: u64,
+    /// Freshly measured value.
+    pub current: u64,
+    /// `current / baseline` (so 1.40 = 40 % more ns, or 40 % more req/s).
+    pub ratio: f64,
+    /// `true` for rate units (`req/s`), where *smaller* is the regression
+    /// direction; `false` for latency units (`ns`).
+    pub higher_is_better: bool,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let direction = if self.higher_is_better { "slower (rate fell)" } else { "slower" };
+        write!(
+            f,
+            "{}: baseline {} -> current {} ({:+.1}% , {direction})",
+            self.name,
+            self.baseline,
+            self.current,
+            (self.ratio - 1.0) * 100.0
+        )
+    }
+}
+
+/// `true` when a row's unit means larger values are better (throughput
+/// rates); `ns` rows (and legacy unit-less rows) are latency, where larger
+/// is worse.
+#[must_use]
+fn unit_higher_is_better(unit: Option<&str>) -> bool {
+    matches!(unit, Some("req/s"))
+}
+
+/// Compares a fresh report against a committed baseline and returns every
+/// tracked metric that regressed by more than `threshold` (0.25 = 25 %).
+///
+/// Direction-aware: `ns` rows regress when `current > baseline × (1 +
+/// threshold)`; rate rows (`req/s`) regress when `current < baseline × (1 -
+/// threshold)`. Rows present in only one report are skipped — a new or
+/// renamed bench is not a regression — as are baseline rows with value 0
+/// (no meaningful ratio).
+#[must_use]
+pub fn compare_reports(
+    baseline: &PerfReport,
+    current: &PerfReport,
+    threshold: f64,
+) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    for base in &baseline.results {
+        if base.median_ns == 0 {
+            continue;
+        }
+        let Some(cur) = current.results.iter().find(|e| e.name == base.name) else {
+            continue;
+        };
+        let higher_is_better = unit_higher_is_better(base.unit.as_deref());
+        let ratio = cur.median_ns as f64 / base.median_ns as f64;
+        let regressed = if higher_is_better {
+            ratio < 1.0 - threshold
+        } else {
+            ratio > 1.0 + threshold
+        };
+        if regressed {
+            regressions.push(Regression {
+                name: base.name.clone(),
+                baseline: base.median_ns,
+                current: cur.median_ns,
+                ratio,
+                higher_is_better,
+            });
+        }
+    }
+    regressions
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,5 +228,55 @@ mod tests {
             "results":[{"name":"plant_step_15s","median_ns":125,"samples":30}]}"#;
         let report: PerfReport = serde_json::from_str(legacy).unwrap();
         assert_eq!(report.results[0].unit, None);
+    }
+
+    fn report(entries: Vec<PerfEntry>) -> PerfReport {
+        PerfReport { schema_version: 1, generated_by: "test".into(), results: entries }
+    }
+
+    fn rate_entry(name: &str, value: u64) -> PerfEntry {
+        PerfEntry {
+            name: name.to_string(),
+            median_ns: value,
+            samples: 1,
+            unit: Some("req/s".to_string()),
+        }
+    }
+
+    #[test]
+    fn compare_flags_latency_regressions_only_past_threshold() {
+        let base = report(vec![entry("a", 100), entry("b", 100)]);
+        let cur = report(vec![entry("a", 124), entry("b", 126)]);
+        let regs = compare_reports(&base, &cur, 0.25);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "b");
+        assert!(!regs[0].higher_is_better);
+        assert!((regs[0].ratio - 1.26).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compare_is_direction_aware_for_rates() {
+        // A rate that *rises* 50% is an improvement; one that falls 30%
+        // regresses.
+        let base = report(vec![rate_entry("rps_up", 1000), rate_entry("rps_down", 1000)]);
+        let cur = report(vec![rate_entry("rps_up", 1500), rate_entry("rps_down", 700)]);
+        let regs = compare_reports(&base, &cur, 0.25);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "rps_down");
+        assert!(regs[0].higher_is_better);
+    }
+
+    #[test]
+    fn compare_skips_unmatched_and_zero_baseline_rows() {
+        let base = report(vec![entry("gone", 100), entry("zero", 0)]);
+        let cur = report(vec![entry("new", 1), entry("zero", 999)]);
+        assert!(compare_reports(&base, &cur, 0.25).is_empty());
+    }
+
+    #[test]
+    fn compare_improvements_never_flagged() {
+        let base = report(vec![entry("fast", 1000)]);
+        let cur = report(vec![entry("fast", 10)]);
+        assert!(compare_reports(&base, &cur, 0.25).is_empty());
     }
 }

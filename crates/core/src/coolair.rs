@@ -9,7 +9,7 @@ use coolair_workload::Job;
 use crate::compute::{schedule_start, server_priority};
 use crate::config::{CoolAirConfig, Version};
 use crate::manager::band::{select_band, TempBand};
-use crate::manager::optimizer::{CoolingOptimizer, Decision};
+use crate::manager::optimizer::{CoolingOptimizer, Decision, SelectError};
 use crate::modeler::CoolingModel;
 
 /// A running CoolAir instance for one datacenter (cooling zone).
@@ -129,7 +129,17 @@ impl CoolAir {
     }
 
     /// Selects the cooling regime for the next control period.
-    pub fn decide_cooling(&mut self, readings: &SensorReadings, now: SimTime) -> Decision {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SelectError::NoCandidates`] if the infrastructure offers
+    /// an empty candidate-regime list (impossible for the built-in
+    /// infrastructures).
+    pub fn decide_cooling(
+        &mut self,
+        readings: &SensorReadings,
+        now: SimTime,
+    ) -> Result<Decision, SelectError> {
         self.decide_cooling_with_band(readings, now, None)
     }
 
@@ -138,12 +148,16 @@ impl CoolAir {
     /// supervisor uses to impose conservative setpoints without retraining
     /// or reconfiguring the instance. `None` reproduces `decide_cooling`
     /// exactly.
+    ///
+    /// # Errors
+    ///
+    /// See [`CoolAir::decide_cooling`].
     pub fn decide_cooling_with_band(
         &mut self,
         readings: &SensorReadings,
         now: SimTime,
         band_override: Option<TempBand>,
-    ) -> Decision {
+    ) -> Result<Decision, SelectError> {
         self.ensure_band(now);
         let band = band_override.or(self.band.map(|(b, _)| b));
         let prev = match (&self.last_reading, &self.prev_reading) {
@@ -154,6 +168,19 @@ impl CoolAir {
             _ => None,
         };
         self.optimizer.select(&self.model, &self.cfg, readings, prev, band, &self.active_pods)
+    }
+
+    /// Resizes the Cooling Optimizer's prediction memo; `0` disables
+    /// memoization (useful for A/B-testing that the cache changes nothing,
+    /// which `tests/prediction_properties.rs` does for whole annual runs).
+    pub fn set_prediction_memo_capacity(&mut self, capacity: usize) {
+        self.optimizer.set_memo_capacity(capacity);
+    }
+
+    /// Prediction-memo hit/miss counters accumulated so far.
+    #[must_use]
+    pub fn prediction_memo_stats(&self) -> crate::manager::optimizer::MemoStats {
+        self.optimizer.memo_stats()
     }
 
     /// Sizes the active server set for the current `demand` (servers of
@@ -263,7 +290,7 @@ mod tests {
         let now = SimTime::from_days(20);
         let r = readings(24.0, 10.0, now);
         ca.observe(r.clone());
-        let d = ca.decide_cooling(&r, now);
+        let d = ca.decide_cooling(&r, now).unwrap();
         assert_eq!(d.regime, ca.infrastructure().sanitize(d.regime));
     }
 
@@ -318,7 +345,7 @@ mod tests {
         ca.observe(readings(24.0, 10.0, t0));
         ca.observe(readings(24.5, 10.0, t1));
         // Decide with the latest snapshot: prev must be the t0 one.
-        let d = ca.decide_cooling(&readings(24.5, 10.0, t1), t1);
+        let d = ca.decide_cooling(&readings(24.5, 10.0, t1), t1).unwrap();
         let _ = d; // exercised the two-snapshot path without panicking
     }
 }

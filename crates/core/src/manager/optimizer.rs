@@ -1,12 +1,14 @@
 //! The Cooling Optimizer (§3.2): pick the best regime for the next period.
 
+use std::collections::HashMap;
+
 use coolair_telemetry::Telemetry;
 use coolair_thermal::{CoolingRegime, Infrastructure, SensorReadings};
 use serde::{Deserialize, Serialize};
 
 use crate::config::{CoolAirConfig, UtilityProfile};
 use crate::manager::band::TempBand;
-use crate::manager::predictor::{predict_regime, Prediction};
+use crate::manager::predictor::{Prediction, PredictionContext};
 use crate::manager::utility::utility_penalty;
 use crate::modeler::CoolingModel;
 
@@ -23,14 +25,132 @@ pub struct Decision {
     pub candidates: usize,
 }
 
+/// Why [`CoolingOptimizer::select`] could not produce a decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectError {
+    /// The infrastructure offered an empty candidate-regime list, so there
+    /// was nothing to choose from. Cannot happen with the built-in
+    /// [`Infrastructure`] variants, whose candidate lists are non-empty by
+    /// construction.
+    NoCandidates,
+}
+
+impl std::fmt::Display for SelectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SelectError::NoCandidates => {
+                write!(f, "infrastructure offers no candidate regimes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SelectError {}
+
+/// Exact-bit memo key for one control tick: every input that flows into a
+/// prediction, with each `f64` captured as its raw bit pattern.
+///
+/// "Quantization" here is the identity map onto bits — **no rounding** — so
+/// two readings collide only when every input is bit-for-bit equal, in
+/// which case the cached predictions are exactly what re-prediction would
+/// produce. That is why the memo cannot change results (the property test
+/// `memo_on_off_annual_summaries_identical` holds by construction). The
+/// steady-state ticks Smooth-Sim spends most of a quiet day in repeat the
+/// same snapshot bits, which is what makes the cache pay off.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct MemoKey {
+    /// Current per-pod inlets.
+    inlets: Vec<u64>,
+    /// Previous per-pod inlets (empty when no usable previous snapshot —
+    /// the context then starts from `inlets`, so the key still pins the
+    /// full start state).
+    prev_inlets: Vec<u64>,
+    /// Cold-aisle absolute humidity.
+    w_in: u64,
+    /// Outside temperature.
+    t_out: u64,
+    /// Outside absolute humidity.
+    w_out: u64,
+    /// Datacenter utilization.
+    util: u64,
+    /// The regime currently applied (start class + previous fan speed both
+    /// derive from it).
+    start_fan: u64,
+    start_comp: u64,
+    start_closed: bool,
+    /// Prediction-horizon shape (changes with `CoolAirConfig` overrides).
+    substeps: usize,
+    period_secs: u64,
+}
+
+impl MemoKey {
+    fn for_tick(
+        cfg: &CoolAirConfig,
+        readings: &SensorReadings,
+        prev: Option<&SensorReadings>,
+        pods: usize,
+    ) -> Self {
+        let prev_inlets = match prev {
+            Some(p) if p.pod_inlets.len() == pods => {
+                p.pod_inlets.iter().map(|t| t.value().to_bits()).collect()
+            }
+            _ => Vec::new(),
+        };
+        MemoKey {
+            inlets: readings.pod_inlets.iter().map(|t| t.value().to_bits()).collect(),
+            prev_inlets,
+            w_in: readings.cold_aisle_abs.grams_per_kg().to_bits(),
+            t_out: readings.outside_temp.value().to_bits(),
+            w_out: readings.outside_abs.grams_per_kg().to_bits(),
+            util: readings.active_fraction.to_bits(),
+            start_fan: readings.regime.fan_speed().fraction().to_bits(),
+            start_comp: readings.regime.compressor().to_bits(),
+            start_closed: matches!(readings.regime, CoolingRegime::Closed),
+            substeps: cfg.substeps(),
+            period_secs: cfg.control_period.as_secs(),
+        }
+    }
+}
+
+/// Cache-effectiveness counters, mirrored into the telemetry registry as
+/// `optimizer.memo_hit` / `optimizer.memo_miss` (and from there onto the
+/// daemon's `/metrics` endpoint).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Ticks answered from the cache.
+    pub hits: u64,
+    /// Ticks that had to predict every candidate.
+    pub misses: u64,
+}
+
+/// Default number of distinct ticks the prediction memo retains before it
+/// resets (steady-state reuse needs only a handful; the bound keeps a
+/// volatile day from growing the map without limit).
+pub const DEFAULT_MEMO_CAPACITY: usize = 256;
+
 /// Evaluates every candidate regime the infrastructure offers and returns
 /// the one with the lowest utility penalty; predicted cooling energy breaks
 /// ties, so "do nothing" (closed) wins whenever nothing is at risk.
+///
+/// Selection is backed by a keyed prediction memo: a tick whose full input
+/// state (readings, previous readings, horizon shape) is bit-identical to
+/// one already seen reuses that tick's candidate predictions instead of
+/// re-running the model — the common case in Smooth-Sim's quiet
+/// steady-state stretches. The memo assumes the `CoolingModel` passed to
+/// [`CoolingOptimizer::select`] is stable for the optimizer's lifetime (as
+/// it is inside `CoolAir`); it self-invalidates if a different model
+/// instance shows up.
 #[derive(Debug, Clone)]
 pub struct CoolingOptimizer {
     profile: UtilityProfile,
     infra: Infrastructure,
     telemetry: Telemetry,
+    memo: HashMap<MemoKey, Vec<Prediction>>,
+    memo_capacity: usize,
+    memo_stats: MemoStats,
+    /// Identity tag (address) of the model the memo was filled against —
+    /// compared, never dereferenced.
+    memo_model: Option<usize>,
 }
 
 impl CoolingOptimizer {
@@ -38,12 +158,21 @@ impl CoolingOptimizer {
     /// infrastructure.
     #[must_use]
     pub fn new(profile: UtilityProfile, infra: Infrastructure) -> Self {
-        CoolingOptimizer { profile, infra, telemetry: Telemetry::disabled() }
+        CoolingOptimizer {
+            profile,
+            infra,
+            telemetry: Telemetry::disabled(),
+            memo: HashMap::new(),
+            memo_capacity: DEFAULT_MEMO_CAPACITY,
+            memo_stats: MemoStats::default(),
+            memo_model: None,
+        }
     }
 
     /// Attaches a telemetry bus; selections are wrapped in the
-    /// `optimizer.select` profiling scope and each candidate prediction in
-    /// `model.predict_regime`.
+    /// `optimizer.select` profiling scope, each candidate prediction in
+    /// `model.predict_regime`, and memo effectiveness lands on the
+    /// `optimizer.memo_hit` / `optimizer.memo_miss` counters.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
     }
@@ -54,46 +183,129 @@ impl CoolingOptimizer {
         &self.profile
     }
 
+    /// Resizes the prediction memo; `0` disables memoization entirely.
+    /// Existing entries are dropped.
+    pub fn set_memo_capacity(&mut self, capacity: usize) {
+        self.memo_capacity = capacity;
+        self.memo.clear();
+        self.memo.shrink_to_fit();
+    }
+
+    /// Hit/miss counts accumulated so far.
+    #[must_use]
+    pub fn memo_stats(&self) -> MemoStats {
+        self.memo_stats
+    }
+
     /// Selects the best regime for the next control period.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SelectError::NoCandidates`] when the infrastructure's
+    /// candidate list is empty (impossible for the built-in
+    /// infrastructures).
     ///
     /// # Panics
     ///
     /// Panics if `active_pods` arity disagrees with the model's pod count.
-    #[must_use]
     pub fn select(
-        &self,
+        &mut self,
         model: &CoolingModel,
         cfg: &CoolAirConfig,
         readings: &SensorReadings,
         prev: Option<&SensorReadings>,
         band: Option<TempBand>,
         active_pods: &[bool],
-    ) -> Decision {
+    ) -> Result<Decision, SelectError> {
         assert_eq!(active_pods.len(), model.pods(), "active pod arity");
         let _select_scope = self.telemetry.time_scope("optimizer.select");
-        let mut best: Option<Decision> = None;
         let candidates = self.infra.candidate_regimes();
         let n = candidates.len();
-        for candidate in candidates {
-            let prediction = {
-                let _predict_scope = self.telemetry.time_scope("model.predict_regime");
-                predict_regime(model, cfg, readings, prev, candidate, self.infra)
-            };
+        if n == 0 {
+            return Err(SelectError::NoCandidates);
+        }
+
+        // A memo filled against a different model instance is garbage.
+        let model_tag = std::ptr::from_ref(model) as usize;
+        if self.memo_model != Some(model_tag) {
+            self.memo.clear();
+            self.memo_model = Some(model_tag);
+        }
+
+        let uncached: Vec<Prediction>;
+        let predictions: &[Prediction] = if self.memo_capacity == 0 {
+            uncached = Self::predict_all(
+                model, cfg, self.infra, readings, prev, &candidates, &self.telemetry,
+            );
+            &uncached
+        } else {
+            let key = MemoKey::for_tick(cfg, readings, prev, model.pods());
+            if !self.memo.contains_key(&key) && self.memo.len() >= self.memo_capacity {
+                // Deterministic wholesale reset: cheaper and
+                // order-independent compared to tracking recency.
+                self.memo.clear();
+            }
+            match self.memo.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    self.memo_stats.hits += 1;
+                    self.telemetry.counter_add("optimizer.memo_hit", 1);
+                    e.into_mut()
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    self.memo_stats.misses += 1;
+                    self.telemetry.counter_add("optimizer.memo_miss", 1);
+                    v.insert(Self::predict_all(
+                        model, cfg, self.infra, readings, prev, &candidates, &self.telemetry,
+                    ))
+                }
+            }
+        };
+
+        let mut best: Option<(usize, f64)> = None;
+        for (i, (&candidate, prediction)) in
+            candidates.iter().zip(predictions.iter()).enumerate()
+        {
             let penalty =
-                utility_penalty(&self.profile, cfg, band, &prediction, active_pods, candidate);
-            let better = match &best {
+                utility_penalty(&self.profile, cfg, band, prediction, active_pods, candidate);
+            let better = match best {
                 None => true,
-                Some(b) => {
-                    penalty < b.penalty - 1e-9
-                        || ((penalty - b.penalty).abs() <= 1e-9
-                            && prediction.energy_kwh < b.prediction.energy_kwh)
+                Some((bi, bp)) => {
+                    penalty < bp - 1e-9
+                        || ((penalty - bp).abs() <= 1e-9
+                            && prediction.energy_kwh < predictions[bi].energy_kwh)
                 }
             };
             if better {
-                best = Some(Decision { regime: candidate, penalty, prediction, candidates: n });
+                best = Some((i, penalty));
             }
         }
-        best.expect("infrastructure offers at least one candidate regime")
+        let (i, penalty) = best.ok_or(SelectError::NoCandidates)?;
+        Ok(Decision {
+            regime: candidates[i],
+            penalty,
+            prediction: predictions[i].clone(),
+            candidates: n,
+        })
+    }
+
+    /// Predicts every candidate through one shared [`PredictionContext`].
+    fn predict_all(
+        model: &CoolingModel,
+        cfg: &CoolAirConfig,
+        infra: Infrastructure,
+        readings: &SensorReadings,
+        prev: Option<&SensorReadings>,
+        candidates: &[CoolingRegime],
+        telemetry: &Telemetry,
+    ) -> Vec<Prediction> {
+        let mut ctx = PredictionContext::new(model, cfg, infra, readings, prev);
+        candidates
+            .iter()
+            .map(|&c| {
+                let _predict_scope = telemetry.time_scope("model.predict_regime");
+                ctx.predict(c)
+            })
+            .collect()
     }
 }
 
@@ -137,10 +349,10 @@ mod tests {
     fn comfortable_state_prefers_closed() {
         let m = model();
         let cfg = CoolAirConfig::default();
-        let opt = CoolingOptimizer::new(Version::AllNd.utility(&cfg), Infrastructure::Parasol);
+        let mut opt = CoolingOptimizer::new(Version::AllNd.utility(&cfg), Infrastructure::Parasol);
         let band = TempBand::new(Celsius::new(20.0), Celsius::new(25.0));
         let r = readings(22.0, 15.0, 45.0);
-        let d = opt.select(&m, &cfg, &r, None, Some(band), &[true; 4]);
+        let d = opt.select(&m, &cfg, &r, None, Some(band), &[true; 4]).unwrap();
         assert_eq!(d.regime, CoolingRegime::Closed, "penalty {}", d.penalty);
         assert!(d.candidates >= 8);
     }
@@ -153,10 +365,10 @@ mod tests {
         // speeds that make free cooling the clear winner.
         let m = model();
         let cfg = CoolAirConfig::default();
-        let opt = CoolingOptimizer::new(Version::AllNd.utility(&cfg), Infrastructure::Smooth);
+        let mut opt = CoolingOptimizer::new(Version::AllNd.utility(&cfg), Infrastructure::Smooth);
         let band = TempBand::new(Celsius::new(20.0), Celsius::new(25.0));
         let r = readings(26.5, 16.0, 45.0);
-        let d = opt.select(&m, &cfg, &r, None, Some(band), &[true; 4]);
+        let d = opt.select(&m, &cfg, &r, None, Some(band), &[true; 4]).unwrap();
         assert!(
             matches!(d.regime, CoolingRegime::FreeCooling { .. }),
             "expected free cooling, got {} (penalty {})",
@@ -172,10 +384,10 @@ mod tests {
         // optimizer's choice is *not* free cooling at a high speed.
         let m = model();
         let cfg = CoolAirConfig::default();
-        let opt = CoolingOptimizer::new(Version::AllNd.utility(&cfg), Infrastructure::Parasol);
+        let mut opt = CoolingOptimizer::new(Version::AllNd.utility(&cfg), Infrastructure::Parasol);
         let band = TempBand::new(Celsius::new(20.0), Celsius::new(25.0));
         let r = readings(28.0, 10.0, 45.0);
-        let d = opt.select(&m, &cfg, &r, None, Some(band), &[true; 4]);
+        let d = opt.select(&m, &cfg, &r, None, Some(band), &[true; 4]).unwrap();
         if let CoolingRegime::FreeCooling { fan } = d.regime {
             assert!(fan.fraction() <= 0.25, "abrupt fast fan chosen: {fan}");
         }
@@ -185,10 +397,10 @@ mod tests {
     fn overheating_with_hot_outside_prefers_ac() {
         let m = model();
         let cfg = CoolAirConfig::default();
-        let opt = CoolingOptimizer::new(Version::AllNd.utility(&cfg), Infrastructure::Parasol);
+        let mut opt = CoolingOptimizer::new(Version::AllNd.utility(&cfg), Infrastructure::Parasol);
         let band = TempBand::new(Celsius::new(25.0), Celsius::new(30.0));
         let r = readings(31.5, 38.0, 45.0);
-        let d = opt.select(&m, &cfg, &r, None, Some(band), &[true; 4]);
+        let d = opt.select(&m, &cfg, &r, None, Some(band), &[true; 4]).unwrap();
         assert!(
             matches!(d.regime, CoolingRegime::Ac { .. }),
             "expected AC with 38°C outside, got {}",
@@ -200,12 +412,12 @@ mod tests {
     fn smooth_infrastructure_offers_gentler_choices() {
         let m = model();
         let cfg = CoolAirConfig::default();
-        let opt = CoolingOptimizer::new(Version::AllNd.utility(&cfg), Infrastructure::Smooth);
+        let mut opt = CoolingOptimizer::new(Version::AllNd.utility(&cfg), Infrastructure::Smooth);
         let band = TempBand::new(Celsius::new(20.0), Celsius::new(25.0));
         // Slightly above band with very cold outside: Parasol's 15 % minimum
         // fan overshoots; smooth can pick a whisper of air.
         let r = readings(25.6, -5.0, 45.0);
-        let d = opt.select(&m, &cfg, &r, None, Some(band), &[true; 4]);
+        let d = opt.select(&m, &cfg, &r, None, Some(band), &[true; 4]).unwrap();
         if let CoolingRegime::FreeCooling { fan } = d.regime {
             assert!(fan.fraction() < 0.15, "expected sub-15% fan, got {fan}");
         }
@@ -217,12 +429,101 @@ mod tests {
     fn decision_is_deterministic() {
         let m = model();
         let cfg = CoolAirConfig::default();
-        let opt = CoolingOptimizer::new(Version::AllNd.utility(&cfg), Infrastructure::Parasol);
+        let mut opt = CoolingOptimizer::new(Version::AllNd.utility(&cfg), Infrastructure::Parasol);
         let band = TempBand::new(Celsius::new(20.0), Celsius::new(25.0));
         let r = readings(24.0, 12.0, 45.0);
-        let a = opt.select(&m, &cfg, &r, None, Some(band), &[true; 4]);
-        let b = opt.select(&m, &cfg, &r, None, Some(band), &[true; 4]);
+        let a = opt.select(&m, &cfg, &r, None, Some(band), &[true; 4]).unwrap();
+        let b = opt.select(&m, &cfg, &r, None, Some(band), &[true; 4]).unwrap();
         assert_eq!(a.regime, b.regime);
+    }
+
+    #[test]
+    fn memo_hits_repeated_tick_and_exports_counters() {
+        let m = model();
+        let cfg = CoolAirConfig::default();
+        let mut opt = CoolingOptimizer::new(Version::AllNd.utility(&cfg), Infrastructure::Smooth);
+        let telemetry = Telemetry::memory();
+        opt.set_telemetry(telemetry.clone());
+        let band = TempBand::new(Celsius::new(20.0), Celsius::new(25.0));
+        let r = readings(24.0, 12.0, 45.0);
+
+        let a = opt.select(&m, &cfg, &r, None, Some(band), &[true; 4]).unwrap();
+        let b = opt.select(&m, &cfg, &r, None, Some(band), &[true; 4]).unwrap();
+        assert_eq!(a, b, "cached tick must replay the identical decision");
+        assert_eq!(opt.memo_stats(), MemoStats { hits: 1, misses: 1 });
+
+        // A different tick misses.
+        let r2 = readings(24.5, 12.0, 45.0);
+        let _ = opt.select(&m, &cfg, &r2, None, Some(band), &[true; 4]).unwrap();
+        assert_eq!(opt.memo_stats(), MemoStats { hits: 1, misses: 2 });
+
+        // Counters flow through the telemetry registry (and from there to
+        // the daemon's /metrics encoder).
+        let metrics = telemetry.metrics();
+        assert_eq!(metrics.counter("optimizer.memo_hit"), 1);
+        assert_eq!(metrics.counter("optimizer.memo_miss"), 2);
+    }
+
+    #[test]
+    fn memo_capacity_zero_disables_caching() {
+        let m = model();
+        let cfg = CoolAirConfig::default();
+        let mut opt = CoolingOptimizer::new(Version::AllNd.utility(&cfg), Infrastructure::Parasol);
+        opt.set_memo_capacity(0);
+        let band = TempBand::new(Celsius::new(20.0), Celsius::new(25.0));
+        let r = readings(24.0, 12.0, 45.0);
+        let a = opt.select(&m, &cfg, &r, None, Some(band), &[true; 4]).unwrap();
+        let b = opt.select(&m, &cfg, &r, None, Some(band), &[true; 4]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(opt.memo_stats(), MemoStats::default(), "no cache activity when disabled");
+    }
+
+    #[test]
+    fn memoized_decision_matches_memo_off_decision() {
+        let m = model();
+        let cfg = CoolAirConfig::default();
+        let band = TempBand::new(Celsius::new(22.0), Celsius::new(27.0));
+        for (inlet, outside) in [(21.0, 5.0), (26.0, 15.0), (29.5, 36.0)] {
+            let r = readings(inlet, outside, 45.0);
+            let mut cached =
+                CoolingOptimizer::new(Version::AllNd.utility(&cfg), Infrastructure::Smooth);
+            let mut uncached =
+                CoolingOptimizer::new(Version::AllNd.utility(&cfg), Infrastructure::Smooth);
+            uncached.set_memo_capacity(0);
+            // Warm the cache, then compare the cached replay to a fresh
+            // prediction pass.
+            let _ = cached.select(&m, &cfg, &r, None, Some(band), &[true; 4]).unwrap();
+            let warm = cached.select(&m, &cfg, &r, None, Some(band), &[true; 4]).unwrap();
+            let cold = uncached.select(&m, &cfg, &r, None, Some(band), &[true; 4]).unwrap();
+            assert_eq!(warm, cold, "memo changed the decision at inlet {inlet}");
+        }
+    }
+
+    #[test]
+    fn memo_invalidates_when_model_changes() {
+        let m1 = model();
+        let m2 = m1.clone();
+        let cfg = CoolAirConfig::default();
+        let mut opt = CoolingOptimizer::new(Version::AllNd.utility(&cfg), Infrastructure::Parasol);
+        let band = TempBand::new(Celsius::new(20.0), Celsius::new(25.0));
+        let r = readings(24.0, 12.0, 45.0);
+        let _ = opt.select(&m1, &cfg, &r, None, Some(band), &[true; 4]).unwrap();
+        // Same readings against a different model instance: the memo must
+        // not replay m1's predictions.
+        let _ = opt.select(&m2, &cfg, &r, None, Some(band), &[true; 4]).unwrap();
+        assert_eq!(
+            opt.memo_stats(),
+            MemoStats { hits: 0, misses: 2 },
+            "a different model instance must invalidate the memo"
+        );
+    }
+
+    #[test]
+    fn select_error_displays() {
+        let e = SelectError::NoCandidates;
+        assert!(e.to_string().contains("no candidate"));
+        let boxed: Box<dyn std::error::Error> = Box::new(e);
+        assert!(boxed.source().is_none());
     }
 }
 

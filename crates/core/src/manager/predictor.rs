@@ -38,14 +38,270 @@ pub struct Prediction {
     pub energy_kwh: f64,
 }
 
+/// Reusable per-candidate working buffers for the prediction roll-forward.
+///
+/// One set of buffers serves every candidate of a tick (and, via
+/// [`PredictionContext`] reuse, every tick of a run): the roll-forward
+/// mutates these in place instead of allocating five fresh `Vec`s per
+/// candidate as the original `predict_regime` did. Ownership rule: the
+/// scratch belongs to the context; callers never see it, and its contents
+/// are dead between `predict` calls (every cell is overwritten before it
+/// is read).
+#[derive(Debug, Clone, Default)]
+struct PredictScratch {
+    t_now: Vec<f64>,
+    t_prev: Vec<f64>,
+    next: Vec<f64>,
+    max_temps: Vec<f64>,
+    sum_temps: Vec<f64>,
+}
+
+/// Phase one of the two-phase prediction API: everything about a tick that
+/// does **not** depend on the candidate regime, computed exactly once.
+///
+/// The Cooling Optimizer evaluates ~8 (Parasol) to ~20 (smooth) candidate
+/// regimes per control period, and the original `predict_regime` re-derived
+/// the start state — per-pod temperature vectors, humidity, previous fan
+/// speed, outside conditions — from the `SensorReadings` for every one of
+/// them, allocating as it went. A `PredictionContext` hoists all of that
+/// candidate-invariant work into its constructor, so the per-tick cost of
+/// it drops from O(candidates) to O(1); [`PredictionContext::predict`] then
+/// fills in only the regime-dependent features, rolling the model forward
+/// in reusable scratch buffers.
+///
+/// ```
+/// # use coolair::manager::predictor::PredictionContext;
+/// # use coolair::{train_cooling_model, CoolAirConfig, TrainingConfig};
+/// # use coolair_thermal::Infrastructure;
+/// # use coolair_weather::{Location, TmySeries};
+/// # let tmy = TmySeries::generate(&Location::newark(), 11);
+/// # let model = train_cooling_model(&tmy, &TrainingConfig::quick());
+/// # let cfg = CoolAirConfig::default();
+/// # let plant = coolair_thermal::Plant::new(coolair_thermal::PlantConfig::parasol());
+/// # let readings = plant.readings(coolair_units::SimTime::EPOCH);
+/// let infra = Infrastructure::Smooth;
+/// let mut ctx = PredictionContext::new(&model, &cfg, infra, &readings, None);
+/// for candidate in infra.candidate_regimes() {
+///     let prediction = ctx.predict(candidate);
+///     assert!(prediction.final_rh.percent() <= 100.0);
+/// }
+/// ```
+///
+/// Predictions are bit-identical to the original single-shot
+/// `predict_regime` (enforced by a property test): the same arithmetic runs
+/// on the same values, only the buffer reuse differs.
+#[derive(Debug)]
+pub struct PredictionContext<'a> {
+    model: &'a CoolingModel,
+    cfg: &'a CoolAirConfig,
+    infra: Infrastructure,
+    pods: usize,
+    start_class: RegimeClass,
+    /// Per-pod inlet temperatures at the start of the period.
+    base_t_now: Vec<f64>,
+    /// Per-pod inlets one model step earlier (or a copy of `base_t_now`).
+    base_t_prev: Vec<f64>,
+    /// Cold-aisle absolute humidity, g/kg.
+    w_start: f64,
+    /// Fan fraction of the regime currently applied.
+    fan_start: f64,
+    t_out: f64,
+    w_out: f64,
+    util: f64,
+    substeps: usize,
+    period_hours: f64,
+    scratch: PredictScratch,
+}
+
+impl<'a> PredictionContext<'a> {
+    /// Computes the candidate-invariant start state for one control tick.
+    #[must_use]
+    pub fn new(
+        model: &'a CoolingModel,
+        cfg: &'a CoolAirConfig,
+        infra: Infrastructure,
+        readings: &SensorReadings,
+        prev: Option<&SensorReadings>,
+    ) -> Self {
+        let pods = model.pods();
+        let base_t_now: Vec<f64> = readings.pod_inlets.iter().map(|t| t.value()).collect();
+        let base_t_prev: Vec<f64> = match prev {
+            Some(p) if p.pod_inlets.len() == pods => {
+                p.pod_inlets.iter().map(|t| t.value()).collect()
+            }
+            _ => base_t_now.clone(),
+        };
+        PredictionContext {
+            model,
+            cfg,
+            infra,
+            pods,
+            start_class: readings.regime.class(),
+            base_t_now,
+            base_t_prev,
+            w_start: readings.cold_aisle_abs.grams_per_kg(),
+            fan_start: readings.regime.fan_speed().fraction(),
+            t_out: readings.outside_temp.value(),
+            w_out: readings.outside_abs.grams_per_kg(),
+            util: readings.active_fraction,
+            substeps: cfg.substeps(),
+            period_hours: cfg.control_period.as_hours_f64(),
+            scratch: PredictScratch {
+                t_now: vec![0.0; pods],
+                t_prev: vec![0.0; pods],
+                next: vec![0.0; pods],
+                max_temps: vec![0.0; pods],
+                sum_temps: vec![0.0; pods],
+            },
+        }
+    }
+
+    /// Phase two: predicts the outcome of holding `candidate` for the
+    /// control period, reusing the context's start state and scratch.
+    ///
+    /// For the smooth infrastructure's variable-speed compressor,
+    /// predictions interpolate between the AC-compressor-off and
+    /// AC-compressor-on models by compressor fraction, exactly as
+    /// Smooth-Sim does in §5.1 ("we model the temperature and humidity of
+    /// the smooth AC by interpolating the models for the AC with the
+    /// compressor on and off").
+    pub fn predict(&mut self, candidate: CoolingRegime) -> Prediction {
+        let candidate = self.infra.sanitize(candidate);
+        let comp = candidate.compressor();
+        let interpolate_ac =
+            self.infra == Infrastructure::Smooth && comp > 0.0 && comp < 1.0;
+
+        if interpolate_ac {
+            let off = self.predict_single(CoolingRegime::ac_fan_only());
+            let on = self.predict_single(CoolingRegime::ac_on());
+            return blend(&off, &on, comp, self.model, self.cfg);
+        }
+
+        // Fan speeds below Parasol's 15 % minimum have no training data; a
+        // raw linear extrapolation badly over-predicts cooling (the plant's
+        // airflow response saturates, so the fitted fan slope is shallow
+        // and the intercept inherits phantom cooling). Interpolate between
+        // the two *trained* anchors instead: the closed model at fan 0 and
+        // the free-cooling model at the 15 % floor — the §5.1
+        // "extrapolating the earlier models to lower speeds" step.
+        let fan = candidate.fan_speed().fraction();
+        let floor = coolair_units::FanSpeed::PARASOL_MIN.fraction();
+        if matches!(candidate, CoolingRegime::FreeCooling { .. }) && fan > 0.0 && fan < floor {
+            let closed = self.predict_single(CoolingRegime::Closed);
+            let fc_floor = self
+                .predict_single(CoolingRegime::free_cooling(coolair_units::FanSpeed::PARASOL_MIN));
+            let w = fan / floor;
+            let mut out = blend(&closed, &fc_floor, w, self.model, self.cfg);
+            // Fan power, not AC power, for this regime family.
+            out.energy_kwh = self.model.predict_power(RegimeClass::FreeCooling, fan, 0.0)
+                / 1000.0
+                * self.period_hours;
+            return out;
+        }
+        self.predict_single(candidate)
+    }
+
+    fn predict_single(&mut self, candidate: CoolingRegime) -> Prediction {
+        let pods = self.pods;
+        let cand_class = candidate.class();
+        let fan = candidate.fan_speed().fraction();
+        let comp = candidate.compressor();
+
+        // State rolled forward in the scratch buffers: per-pod (T, T_prev),
+        // humidity, previous fan.
+        let scratch = &mut self.scratch;
+        scratch.t_now.copy_from_slice(&self.base_t_now);
+        scratch.t_prev.copy_from_slice(&self.base_t_prev);
+        scratch.max_temps.copy_from_slice(&self.base_t_now);
+        scratch.sum_temps.fill(0.0);
+        let mut w_now = self.w_start;
+        let mut fan_prev = self.fan_start;
+
+        // Outside conditions held constant over the short horizon.
+        let t_out = self.t_out;
+        let w_out = self.w_out;
+        let util = self.util;
+
+        for step in 0..self.substeps {
+            let key = if step == 0 {
+                ModelKey::for_step(self.start_class, cand_class)
+            } else {
+                ModelKey::Steady(cand_class)
+            };
+            for p in 0..pods {
+                let x = temp_features(
+                    scratch.t_now[p],
+                    scratch.t_prev[p],
+                    t_out,
+                    t_out,
+                    fan,
+                    fan_prev,
+                    util,
+                );
+                let predicted = self.model.predict_temp(key, PodId(p), &x);
+                // Clamp pathological extrapolations to a sane envelope
+                // around the current state (the model is linear; keep it
+                // honest).
+                let mut bounded =
+                    predicted.clamp(scratch.t_now[p] - 12.0, scratch.t_now[p] + 12.0);
+                // Without a compressor the only heat sink is outside air,
+                // so an inlet cannot drop below the warmer of nothing: its
+                // floor is min(current, outside). In particular, with
+                // outside hotter than the aisle, closed/free-cooling
+                // regimes cannot cool at all — a constraint the learned
+                // model can violate when its training data is thin in that
+                // corner.
+                if comp <= 0.0 {
+                    bounded = bounded.max(scratch.t_now[p].min(t_out));
+                }
+                scratch.next[p] = bounded;
+                scratch.max_temps[p] = scratch.max_temps[p].max(scratch.next[p]);
+                scratch.sum_temps[p] += scratch.next[p];
+            }
+            let hx = humidity_features(w_now, w_out, fan);
+            w_now = self.model.predict_humidity(key, &hx).clamp(0.0, 40.0);
+            // Rotate the buffers: (t_prev, t_now, next) ← (t_now, next, _).
+            // `next` is fully overwritten on the following step, so the
+            // values flowing through are exactly those of the allocating
+            // version.
+            std::mem::swap(&mut scratch.t_prev, &mut scratch.t_now);
+            std::mem::swap(&mut scratch.t_now, &mut scratch.next);
+            fan_prev = fan;
+        }
+
+        let mean_t = scratch.t_now.iter().sum::<f64>() / pods as f64;
+        let final_rh =
+            psychro::relative_humidity(Celsius::new(mean_t), AbsoluteHumidity::new(w_now));
+        let power_w = self.model.predict_power(cand_class, fan, comp);
+        let energy_kwh = power_w / 1000.0 * self.period_hours;
+
+        let substeps = self.substeps as f64;
+        Prediction {
+            final_temps: scratch.t_now.iter().map(|&t| Celsius::new(t)).collect(),
+            max_temps: scratch.max_temps.iter().map(|&t| Celsius::new(t)).collect(),
+            mean_temps: scratch.sum_temps.iter().map(|&s| Celsius::new(s / substeps)).collect(),
+            start_temps: self.base_t_now.iter().map(|&t| Celsius::new(t)).collect(),
+            deltas: scratch
+                .t_now
+                .iter()
+                .zip(self.base_t_now.iter())
+                .map(|(a, b)| (a - b).abs())
+                .collect(),
+            final_rh,
+            energy_kwh,
+        }
+    }
+}
+
 /// Rolls the Cooling Model forward `cfg.substeps()` model steps under
 /// `candidate`, starting from the current (and previous) sensor readings.
 ///
-/// For the smooth infrastructure's variable-speed compressor, predictions
-/// interpolate between the AC-compressor-off and AC-compressor-on models by
-/// compressor fraction, exactly as Smooth-Sim does in §5.1 ("we model the
-/// temperature and humidity of the smooth AC by interpolating the models for
-/// the AC with the compressor on and off").
+/// One-shot convenience wrapper over [`PredictionContext`]: builds a
+/// context and predicts a single candidate. Callers that evaluate several
+/// candidates against the same readings (the Cooling Optimizer) should
+/// construct the context once and call [`PredictionContext::predict`] per
+/// candidate instead — the results are bit-identical and the
+/// candidate-invariant work is done once.
 #[must_use]
 pub fn predict_regime(
     model: &CoolingModel,
@@ -55,127 +311,7 @@ pub fn predict_regime(
     candidate: CoolingRegime,
     infra: Infrastructure,
 ) -> Prediction {
-    let candidate = infra.sanitize(candidate);
-    let comp = candidate.compressor();
-    let interpolate_ac =
-        infra == Infrastructure::Smooth && comp > 0.0 && comp < 1.0;
-
-    if interpolate_ac {
-        let off = predict_single(model, cfg, readings, prev, CoolingRegime::ac_fan_only());
-        let on = predict_single(model, cfg, readings, prev, CoolingRegime::ac_on());
-        return blend(&off, &on, comp, model, cfg);
-    }
-
-    // Fan speeds below Parasol's 15 % minimum have no training data; a raw
-    // linear extrapolation badly over-predicts cooling (the plant's airflow
-    // response saturates, so the fitted fan slope is shallow and the
-    // intercept inherits phantom cooling). Interpolate between the two
-    // *trained* anchors instead: the closed model at fan 0 and the
-    // free-cooling model at the 15 % floor — the §5.1 "extrapolating the
-    // earlier models to lower speeds" step.
-    let fan = candidate.fan_speed().fraction();
-    let floor = coolair_units::FanSpeed::PARASOL_MIN.fraction();
-    if matches!(candidate, CoolingRegime::FreeCooling { .. }) && fan > 0.0 && fan < floor {
-        let closed = predict_single(model, cfg, readings, prev, CoolingRegime::Closed);
-        let fc_floor = predict_single(
-            model,
-            cfg,
-            readings,
-            prev,
-            CoolingRegime::free_cooling(coolair_units::FanSpeed::PARASOL_MIN),
-        );
-        let w = fan / floor;
-        let mut out = blend(&closed, &fc_floor, w, model, cfg);
-        // Fan power, not AC power, for this regime family.
-        out.energy_kwh = model.predict_power(RegimeClass::FreeCooling, fan, 0.0) / 1000.0
-            * cfg.control_period.as_hours_f64();
-        return out;
-    }
-    predict_single(model, cfg, readings, prev, candidate)
-}
-
-fn predict_single(
-    model: &CoolingModel,
-    cfg: &CoolAirConfig,
-    readings: &SensorReadings,
-    prev: Option<&SensorReadings>,
-    candidate: CoolingRegime,
-) -> Prediction {
-    let pods = model.pods();
-    let start_class = readings.regime.class();
-    let cand_class = candidate.class();
-    let fan = candidate.fan_speed().fraction();
-    let comp = candidate.compressor();
-
-    // State rolled forward: per-pod (T, T_prev), humidity, previous fan.
-    let mut t_now: Vec<f64> = readings.pod_inlets.iter().map(|t| t.value()).collect();
-    let mut t_prev: Vec<f64> = match prev {
-        Some(p) if p.pod_inlets.len() == pods => {
-            p.pod_inlets.iter().map(|t| t.value()).collect()
-        }
-        _ => t_now.clone(),
-    };
-    let mut w_now = readings.cold_aisle_abs.grams_per_kg();
-    let mut fan_prev = readings.regime.fan_speed().fraction();
-
-    // Outside conditions held constant over the short horizon.
-    let t_out = readings.outside_temp.value();
-    let w_out = readings.outside_abs.grams_per_kg();
-    let util = readings.active_fraction;
-
-    let mut max_temps = t_now.clone();
-    let mut sum_temps = vec![0.0; pods];
-    let start = t_now.clone();
-
-    for step in 0..cfg.substeps() {
-        let key = if step == 0 {
-            ModelKey::for_step(start_class, cand_class)
-        } else {
-            ModelKey::Steady(cand_class)
-        };
-        let mut next = vec![0.0; pods];
-        for p in 0..pods {
-            let x = temp_features(t_now[p], t_prev[p], t_out, t_out, fan, fan_prev, util);
-            let predicted = model.predict_temp(key, PodId(p), &x);
-            // Clamp pathological extrapolations to a sane envelope around
-            // the current state (the model is linear; keep it honest).
-            let mut bounded = predicted.clamp(t_now[p] - 12.0, t_now[p] + 12.0);
-            // Without a compressor the only heat sink is outside air, so an
-            // inlet cannot drop below the warmer of nothing: its floor is
-            // min(current, outside). In particular, with outside hotter
-            // than the aisle, closed/free-cooling regimes cannot cool at
-            // all — a constraint the learned model can violate when its
-            // training data is thin in that corner.
-            if comp <= 0.0 {
-                bounded = bounded.max(t_now[p].min(t_out));
-            }
-            next[p] = bounded;
-            max_temps[p] = max_temps[p].max(next[p]);
-            sum_temps[p] += next[p];
-        }
-        let hx = humidity_features(w_now, w_out, fan);
-        w_now = model.predict_humidity(key, &hx).clamp(0.0, 40.0);
-        t_prev = std::mem::take(&mut t_now);
-        t_now = next;
-        fan_prev = fan;
-    }
-
-    let mean_t = t_now.iter().sum::<f64>() / pods as f64;
-    let final_rh =
-        psychro::relative_humidity(Celsius::new(mean_t), AbsoluteHumidity::new(w_now));
-    let power_w = model.predict_power(cand_class, fan, comp);
-    let energy_kwh = power_w / 1000.0 * cfg.control_period.as_hours_f64();
-
-    let substeps = cfg.substeps() as f64;
-    Prediction {
-        final_temps: t_now.iter().map(|&t| Celsius::new(t)).collect(),
-        max_temps: max_temps.iter().map(|&t| Celsius::new(t)).collect(),
-        mean_temps: sum_temps.iter().map(|&s| Celsius::new(s / substeps)).collect(),
-        start_temps: start.iter().map(|&t| Celsius::new(t)).collect(),
-        deltas: t_now.iter().zip(start.iter()).map(|(a, b)| (a - b).abs()).collect(),
-        final_rh,
-        energy_kwh,
-    }
+    PredictionContext::new(model, cfg, infra, readings, prev).predict(candidate)
 }
 
 /// Blends the AC-off and AC-on predictions by compressor fraction. The

@@ -375,9 +375,20 @@ impl SupervisedCoolAir {
         } else {
             match self.mode {
                 SupervisorMode::Normal => {
-                    let d = self.inner.decide_cooling(&sanitized, now);
-                    self.track_prediction(now, &d, sanitized.regime.class());
-                    d.regime
+                    match self.inner.decide_cooling(&sanitized, now) {
+                        Ok(d) => {
+                            self.track_prediction(now, &d, sanitized.regime.class());
+                            d.regime
+                        }
+                        // The optimizer cannot produce a decision (no
+                        // candidate regimes); fall back to the reactive
+                        // controller rather than panicking mid-loop.
+                        Err(_) => {
+                            self.pending = None;
+                            let fallback = self.tks.decide(&sanitized);
+                            self.route_around_faults(fallback, sanitized.outside_temp)
+                        }
+                    }
                 }
                 SupervisorMode::Conservative => {
                     // Tighten (never widen) the daily band: cap its top at
@@ -391,22 +402,31 @@ impl SupervisedCoolAir {
                         lo = lo.min(daily.lo()).min(hi);
                     }
                     let band = TempBand::new(lo, hi);
-                    let d = self.inner.decide_cooling_with_band(&sanitized, now, Some(band));
-                    // Reactive guard: the model's choice never cools less
-                    // than a conservative-setpoint TKS would while we are
-                    // warmer than the conservative ceiling.
-                    let guard = self.tks_conservative.decide(&sanitized);
-                    if est_max.is_finite()
-                        && est_max > hi.value()
-                        && cooling_rank(guard) > cooling_rank(d.regime)
-                    {
-                        // The guard overrode the model's command, so its
-                        // end-state prediction no longer applies.
-                        self.pending = None;
-                        guard
-                    } else {
-                        self.track_prediction(now, &d, sanitized.regime.class());
-                        d.regime
+                    match self.inner.decide_cooling_with_band(&sanitized, now, Some(band)) {
+                        Ok(d) => {
+                            // Reactive guard: the model's choice never cools
+                            // less than a conservative-setpoint TKS would
+                            // while we are warmer than the conservative
+                            // ceiling.
+                            let guard = self.tks_conservative.decide(&sanitized);
+                            if est_max.is_finite()
+                                && est_max > hi.value()
+                                && cooling_rank(guard) > cooling_rank(d.regime)
+                            {
+                                // The guard overrode the model's command, so
+                                // its end-state prediction no longer applies.
+                                self.pending = None;
+                                guard
+                            } else {
+                                self.track_prediction(now, &d, sanitized.regime.class());
+                                d.regime
+                            }
+                        }
+                        Err(_) => {
+                            self.pending = None;
+                            let fallback = self.tks_conservative.decide(&sanitized);
+                            self.route_around_faults(fallback, sanitized.outside_temp)
+                        }
                     }
                 }
                 SupervisorMode::ReactiveFallback => {

@@ -36,7 +36,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod dataset;
@@ -50,7 +50,7 @@ pub use dataset::Dataset;
 pub use error::FitError;
 pub use eval::{holdout_split, kfold_cv, ErrorCdf};
 pub use linear::{fit_best_linear, LinearModel};
-pub use m5p::{M5pConfig, ModelTree};
+pub use m5p::{BatchScratch, M5pConfig, ModelTree};
 
 /// A fitted regression model mapping a feature vector to a prediction.
 ///
@@ -68,6 +68,27 @@ pub trait Regressor: std::fmt::Debug + Send + Sync {
 
     /// Number of input features the model expects.
     fn num_features(&self) -> usize;
+
+    /// Predicts every row of a row-major feature matrix (`xs.len()` must be
+    /// a multiple of [`Regressor::num_features`]), appending nothing and
+    /// leaving one prediction per row in `out`.
+    ///
+    /// `out` is a caller-owned scratch buffer: it is cleared and refilled,
+    /// so reusing the same `Vec` across calls amortises its allocation to
+    /// zero. The default implementation loops [`Regressor::predict`];
+    /// [`ModelTree`] replaces it with a batched partition walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has zero features or `xs.len()` is not a
+    /// multiple of the feature count.
+    fn predict_batch(&self, xs: &[f64], out: &mut Vec<f64>) {
+        let p = self.num_features();
+        assert!(p > 0, "predict_batch needs at least one feature");
+        assert_eq!(xs.len() % p, 0, "feature matrix arity mismatch");
+        out.clear();
+        out.extend(xs.chunks_exact(p).map(|row| self.predict(row)));
+    }
 }
 
 /// Root-mean-square error of `model` over `data`.
@@ -117,5 +138,23 @@ mod tests {
         let m = LinearModel::constant(1, 0.0);
         assert_eq!(rmse(&m, &d), 0.0);
         assert_eq!(mae(&m, &d), 0.0);
+    }
+
+    #[test]
+    fn default_predict_batch_matches_per_row() {
+        let mut d = Dataset::new(vec!["x0".into(), "x1".into()]);
+        for i in 0..30 {
+            let a = f64::from(i) * 0.3;
+            let b = f64::from((i * 5) % 7);
+            d.push(vec![a, b], 1.0 + 2.0 * a - b).unwrap();
+        }
+        let m = LinearModel::fit_ols(&d).unwrap();
+        let xs: Vec<f64> = d.iter().flat_map(|(row, _)| row.to_vec()).collect();
+        let mut out = Vec::new();
+        m.predict_batch(&xs, &mut out);
+        assert_eq!(out.len(), d.len());
+        for ((row, _), got) in d.iter().zip(&out) {
+            assert_eq!(m.predict(row).to_bits(), got.to_bits());
+        }
     }
 }

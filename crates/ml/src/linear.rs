@@ -165,7 +165,7 @@ pub fn fit_best_linear(data: &Dataset, seed: u64) -> Result<LinearModel, FitErro
     let lms = LinearModel::fit_lms(data, 60, seed);
     match (ols, lms) {
         (Ok(a), Ok(b)) => {
-            if mae(&a, data) <= mae(&b, data) {
+            if batch_mae(&a, data) <= batch_mae(&b, data) {
                 Ok(a)
             } else {
                 Ok(b)
@@ -175,6 +175,24 @@ pub fn fit_best_linear(data: &Dataset, seed: u64) -> Result<LinearModel, FitErro
         (Err(_), Ok(b)) => Ok(b),
         (Err(e), Err(_)) => Err(e),
     }
+}
+
+/// MAE via [`Regressor::predict_batch`] over a flattened feature matrix —
+/// the candidate-model evaluation inside [`fit_best_linear`]. Falls back to
+/// the per-row [`mae`] for zero-feature (intercept-only) datasets, which
+/// the batch API rejects.
+fn batch_mae(model: &LinearModel, data: &Dataset) -> f64 {
+    if data.is_empty() || data.num_features() == 0 {
+        return mae(model, data);
+    }
+    let mut xs = Vec::with_capacity(data.len() * data.num_features());
+    for (row, _) in data.iter() {
+        xs.extend_from_slice(row);
+    }
+    let mut preds = Vec::new();
+    model.predict_batch(&xs, &mut preds);
+    let sae: f64 = preds.iter().zip(data.targets()).map(|(p, y)| (p - y).abs()).sum();
+    sae / data.len() as f64
 }
 
 fn dot(a: &[f64], b: &[f64]) -> f64 {

@@ -126,6 +126,42 @@ impl ModelTree {
         }
         depth(&self.root)
     }
+
+    /// Predicts every row of a row-major feature matrix with one batched
+    /// tree walk: rows are partitioned in place at each split, each leaf
+    /// model is applied to its whole group, and smoothing is blended back
+    /// up per node — bit-identical to calling [`Regressor::predict`] per
+    /// row, but with one descent per *group* instead of per row and no
+    /// allocations beyond the caller's buffers.
+    ///
+    /// `scratch` and `out` are caller-owned and reused across calls (they
+    /// are cleared and refilled); holding them for the lifetime of a
+    /// prediction loop amortises their allocations to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.len()` is not a multiple of the feature count, the
+    /// model has zero features, or the batch exceeds `u32::MAX` rows.
+    pub fn predict_batch(&self, xs: &[f64], scratch: &mut BatchScratch, out: &mut Vec<f64>) {
+        let p = self.num_features;
+        assert!(p > 0, "predict_batch needs at least one feature");
+        assert_eq!(xs.len() % p, 0, "feature matrix arity mismatch");
+        let n = xs.len() / p;
+        assert!(u32::try_from(n).is_ok(), "batch too large");
+        out.clear();
+        out.resize(n, 0.0);
+        scratch.idx.clear();
+        scratch.idx.extend(0..n as u32);
+        walk_batch(&self.root, xs, p, self.config.smoothing, &mut scratch.idx, out);
+    }
+}
+
+/// Reusable row-index scratch for [`ModelTree::predict_batch`]; keep one
+/// per prediction loop and pass it to every call so the batched walk never
+/// allocates.
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    idx: Vec<u32>,
 }
 
 impl Regressor for ModelTree {
@@ -136,6 +172,53 @@ impl Regressor for ModelTree {
 
     fn num_features(&self) -> usize {
         self.num_features
+    }
+
+    fn predict_batch(&self, xs: &[f64], out: &mut Vec<f64>) {
+        // One scratch allocation per batch (not per row); callers that care
+        // use the inherent `predict_batch` with their own scratch.
+        let mut scratch = BatchScratch::default();
+        ModelTree::predict_batch(self, xs, &mut scratch, out);
+    }
+}
+
+/// The batched walk behind [`ModelTree::predict_batch`]: `idx` holds the
+/// rows that reach `node`; splits partition it in place (unstable — `out`
+/// is indexed by row id, so order inside a group is irrelevant) and the
+/// smoothing blend is applied to the whole group on the way back up, in
+/// the same bottom-up order as [`predict_smoothed`].
+fn walk_batch(node: &Node, xs: &[f64], p: usize, k: f64, idx: &mut [u32], out: &mut [f64]) {
+    match node {
+        Node::Leaf { model } => {
+            for &r in idx.iter() {
+                let r = r as usize;
+                out[r] = model.predict(&xs[r * p..r * p + p]);
+            }
+        }
+        Node::Split { feature, threshold, model, left, right } => {
+            let mut i = 0;
+            let mut j = idx.len();
+            while i < j {
+                let r = idx[i] as usize;
+                if xs[r * p + *feature] <= *threshold {
+                    i += 1;
+                } else {
+                    j -= 1;
+                    idx.swap(i, j);
+                }
+            }
+            let (li, ri) = idx.split_at_mut(i);
+            walk_batch(left, xs, p, k, li, out);
+            walk_batch(right, xs, p, k, ri, out);
+            if k > 0.0 {
+                let w = k / (k + 40.0);
+                for &r in idx.iter() {
+                    let r = r as usize;
+                    let row = &xs[r * p..r * p + p];
+                    out[r] = w * model.predict(row) + (1.0 - w) * out[r];
+                }
+            }
+        }
     }
 }
 
@@ -381,5 +464,62 @@ mod tests {
     fn predict_wrong_arity_panics() {
         let tree = ModelTree::fit_default(&fan_power_data()).unwrap();
         let _ = tree.predict(&[0.5, 0.5]);
+    }
+
+    #[test]
+    fn batch_matches_per_row_bit_for_bit() {
+        // Both with and without smoothing: the batched partition walk must
+        // produce the exact bits of the per-row recursive descent.
+        for smoothing in [0.0, 15.0] {
+            let tree = ModelTree::fit(
+                &fan_power_data(),
+                M5pConfig { smoothing, ..M5pConfig::default() },
+            )
+            .unwrap();
+            let xs: Vec<f64> = (0..=200).map(|i| f64::from(i) / 200.0).collect();
+            let mut scratch = BatchScratch::default();
+            let mut out = Vec::new();
+            tree.predict_batch(&xs, &mut scratch, &mut out);
+            assert_eq!(out.len(), xs.len());
+            for (x, got) in xs.iter().zip(&out) {
+                let want = tree.predict(&[*x]);
+                assert_eq!(
+                    want.to_bits(),
+                    got.to_bits(),
+                    "x={x} smoothing={smoothing}: {want} != {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_scratch_reuse_and_trait_dispatch() {
+        let tree = ModelTree::fit_default(&fan_power_data()).unwrap();
+        let mut scratch = BatchScratch::default();
+        let mut out = Vec::new();
+        // Two calls with different batch sizes through the same buffers.
+        tree.predict_batch(&[0.1, 0.9], &mut scratch, &mut out);
+        assert_eq!(out.len(), 2);
+        tree.predict_batch(&[0.5], &mut scratch, &mut out);
+        assert_eq!(out.len(), 1);
+        // Trait-object dispatch agrees with the inherent path.
+        let dyn_tree: &dyn Regressor = &tree;
+        let mut via_trait = Vec::new();
+        dyn_tree.predict_batch(&[0.1, 0.5, 0.9], &mut via_trait);
+        for (x, got) in [0.1, 0.5, 0.9].iter().zip(&via_trait) {
+            assert_eq!(tree.predict(&[*x]).to_bits(), got.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "feature matrix arity mismatch")]
+    fn batch_wrong_arity_panics() {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+        for i in 0..20 {
+            d.push(vec![f64::from(i), 0.0], f64::from(i)).unwrap();
+        }
+        let tree = ModelTree::fit_default(&d).unwrap();
+        let mut out = Vec::new();
+        tree.predict_batch(&[1.0, 2.0, 3.0], &mut BatchScratch::default(), &mut out);
     }
 }

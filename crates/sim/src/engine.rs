@@ -369,7 +369,10 @@ impl<P: Container> Simulation<P> {
                     let _decide_scope = self.telemetry.time_scope("controller.decide");
                     match &mut self.controller {
                         SimController::Baseline(tks) => tks.decide(&readings),
-                        SimController::CoolAir(ca) => ca.decide_cooling(&readings, t).regime,
+                        SimController::CoolAir(ca) => ca
+                            .decide_cooling(&readings, t)
+                            .expect("cooling selection: built-in infrastructures always offer candidates")
+                            .regime,
                         SimController::Supervised(sv) => sv.decide_cooling(&readings, t),
                     }
                 };

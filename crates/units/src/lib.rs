@@ -21,7 +21,7 @@
 //! assert!((back.percent() - 65.0).abs() < 1e-6);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod energy;

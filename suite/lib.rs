@@ -16,7 +16,8 @@
 //! - [`telemetry`] — structured events, metrics registry, profiler, recorder
 //! - [`runner`] — job executor, artifact store, resumable journals
 //! - [`serve`] — HTTP/1.1 control-plane daemon (jobs, artifacts, metrics)
-//! - [`bench`] — experiment-bench helpers, incl. the pure-std HTTP client
+//! - [`bench`](mod@bench) — experiment-bench helpers, incl. the pure-std
+//!   HTTP client
 
 pub use coolair as core;
 pub use coolair_bench as bench;

@@ -115,7 +115,7 @@ fn regime_sanitization_respected_by_decisions() {
             coolair_suite::thermal::PlantConfig::parasol(),
         );
         let readings = plant.readings(SimTime::from_days(50));
-        let d = coolair.decide_cooling(&readings, SimTime::from_days(50));
+        let d = coolair.decide_cooling(&readings, SimTime::from_days(50)).unwrap();
         assert_eq!(d.regime, infra.sanitize(d.regime), "{infra:?} regime not realisable");
         if let CoolingRegime::FreeCooling { fan } = d.regime {
             assert!(fan >= infra.min_fan());

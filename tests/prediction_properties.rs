@@ -1,0 +1,359 @@
+//! Property tests for the two-phase prediction engine.
+//!
+//! Two guarantees back the PR that introduced `PredictionContext` and the
+//! optimizer's prediction memo:
+//!
+//! 1. **Bit-identity of the refactor** — `PredictionContext::predict` must
+//!    produce the exact bits of the pre-refactor single-shot
+//!    `predict_regime`. The old algorithm (allocate fresh state vectors,
+//!    roll the model forward, blend for interpolated regimes) is
+//!    transcribed verbatim below as `golden::predict_regime` and compared
+//!    field-by-field via `f64::to_bits` across random readings and every
+//!    candidate of both infrastructures, plus off-grid regimes that hit
+//!    the interpolation branches.
+//! 2. **Memo transparency** — the optimizer's candidate memo keys on the
+//!    exact bits of every prediction input, so enabling it must not change
+//!    a single simulated number. A closed-loop day with the memo at its
+//!    default capacity must serialize identically to one with the memo
+//!    disabled.
+
+use coolair_suite::core::manager::predictor::{predict_regime, PredictionContext};
+use coolair_suite::core::{train_cooling_model, CoolAir, CoolAirConfig, TrainingConfig, Version};
+use coolair_suite::sim::{SimConfig, SimController, Simulation};
+use coolair_suite::thermal::{CoolingRegime, Infrastructure, PlantConfig, SensorReadings};
+use coolair_suite::units::{psychro, Celsius, FanSpeed, RelativeHumidity, SimTime, Watts};
+use coolair_suite::weather::{Forecaster, Location, TmySeries};
+use coolair_suite::workload::{facebook_trace, Cluster, ClusterConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Verbatim transcription of the pre-refactor Cooling Predictor, kept as
+/// the golden reference the two-phase API is checked against.
+mod golden {
+    use coolair_suite::core::manager::predictor::Prediction;
+    use coolair_suite::core::modeler::features::{humidity_features, temp_features};
+    use coolair_suite::core::{CoolAirConfig, CoolingModel};
+    use coolair_suite::thermal::{
+        CoolingRegime, Infrastructure, ModelKey, PodId, RegimeClass, SensorReadings,
+    };
+    use coolair_suite::units::{psychro, AbsoluteHumidity, Celsius, RelativeHumidity};
+
+    pub fn predict_regime(
+        model: &CoolingModel,
+        cfg: &CoolAirConfig,
+        readings: &SensorReadings,
+        prev: Option<&SensorReadings>,
+        candidate: CoolingRegime,
+        infra: Infrastructure,
+    ) -> Prediction {
+        let candidate = infra.sanitize(candidate);
+        let comp = candidate.compressor();
+        let interpolate_ac = infra == Infrastructure::Smooth && comp > 0.0 && comp < 1.0;
+
+        if interpolate_ac {
+            let off = predict_single(model, cfg, readings, prev, CoolingRegime::ac_fan_only());
+            let on = predict_single(model, cfg, readings, prev, CoolingRegime::ac_on());
+            return blend(&off, &on, comp, model, cfg);
+        }
+
+        let fan = candidate.fan_speed().fraction();
+        let floor = coolair_suite::units::FanSpeed::PARASOL_MIN.fraction();
+        if matches!(candidate, CoolingRegime::FreeCooling { .. }) && fan > 0.0 && fan < floor {
+            let closed = predict_single(model, cfg, readings, prev, CoolingRegime::Closed);
+            let fc_floor = predict_single(
+                model,
+                cfg,
+                readings,
+                prev,
+                CoolingRegime::free_cooling(coolair_suite::units::FanSpeed::PARASOL_MIN),
+            );
+            let w = fan / floor;
+            let mut out = blend(&closed, &fc_floor, w, model, cfg);
+            out.energy_kwh = model.predict_power(RegimeClass::FreeCooling, fan, 0.0) / 1000.0
+                * cfg.control_period.as_hours_f64();
+            return out;
+        }
+        predict_single(model, cfg, readings, prev, candidate)
+    }
+
+    fn predict_single(
+        model: &CoolingModel,
+        cfg: &CoolAirConfig,
+        readings: &SensorReadings,
+        prev: Option<&SensorReadings>,
+        candidate: CoolingRegime,
+    ) -> Prediction {
+        let pods = model.pods();
+        let start_class = readings.regime.class();
+        let cand_class = candidate.class();
+        let fan = candidate.fan_speed().fraction();
+        let comp = candidate.compressor();
+
+        let mut t_now: Vec<f64> = readings.pod_inlets.iter().map(|t| t.value()).collect();
+        let mut t_prev: Vec<f64> = match prev {
+            Some(p) if p.pod_inlets.len() == pods => {
+                p.pod_inlets.iter().map(|t| t.value()).collect()
+            }
+            _ => t_now.clone(),
+        };
+        let mut w_now = readings.cold_aisle_abs.grams_per_kg();
+        let mut fan_prev = readings.regime.fan_speed().fraction();
+
+        let t_out = readings.outside_temp.value();
+        let w_out = readings.outside_abs.grams_per_kg();
+        let util = readings.active_fraction;
+
+        let mut max_temps = t_now.clone();
+        let mut sum_temps = vec![0.0; pods];
+        let start = t_now.clone();
+
+        for step in 0..cfg.substeps() {
+            let key = if step == 0 {
+                ModelKey::for_step(start_class, cand_class)
+            } else {
+                ModelKey::Steady(cand_class)
+            };
+            let mut next = vec![0.0; pods];
+            for p in 0..pods {
+                let x = temp_features(t_now[p], t_prev[p], t_out, t_out, fan, fan_prev, util);
+                let predicted = model.predict_temp(key, PodId(p), &x);
+                let mut bounded = predicted.clamp(t_now[p] - 12.0, t_now[p] + 12.0);
+                if comp <= 0.0 {
+                    bounded = bounded.max(t_now[p].min(t_out));
+                }
+                next[p] = bounded;
+                max_temps[p] = max_temps[p].max(next[p]);
+                sum_temps[p] += next[p];
+            }
+            let hx = humidity_features(w_now, w_out, fan);
+            w_now = model.predict_humidity(key, &hx).clamp(0.0, 40.0);
+            t_prev = std::mem::take(&mut t_now);
+            t_now = next;
+            fan_prev = fan;
+        }
+
+        let mean_t = t_now.iter().sum::<f64>() / pods as f64;
+        let final_rh =
+            psychro::relative_humidity(Celsius::new(mean_t), AbsoluteHumidity::new(w_now));
+        let power_w = model.predict_power(cand_class, fan, comp);
+        let energy_kwh = power_w / 1000.0 * cfg.control_period.as_hours_f64();
+
+        let substeps = cfg.substeps() as f64;
+        Prediction {
+            final_temps: t_now.iter().map(|&t| Celsius::new(t)).collect(),
+            max_temps: max_temps.iter().map(|&t| Celsius::new(t)).collect(),
+            mean_temps: sum_temps.iter().map(|&s| Celsius::new(s / substeps)).collect(),
+            start_temps: start.iter().map(|&t| Celsius::new(t)).collect(),
+            deltas: t_now.iter().zip(start.iter()).map(|(a, b)| (a - b).abs()).collect(),
+            final_rh,
+            energy_kwh,
+        }
+    }
+
+    fn blend(
+        off: &Prediction,
+        on: &Prediction,
+        comp: f64,
+        model: &CoolingModel,
+        cfg: &CoolAirConfig,
+    ) -> Prediction {
+        let mix =
+            |a: Celsius, b: Celsius| Celsius::new(a.value() * (1.0 - comp) + b.value() * comp);
+        let power_off = model.predict_power(RegimeClass::AcFanOnly, 0.0, 0.0);
+        let power_on = model.predict_power(RegimeClass::AcCompressorOn, 0.0, 1.0);
+        let energy_w = power_off * (1.0 - comp) + power_on * comp;
+        Prediction {
+            final_temps: off
+                .final_temps
+                .iter()
+                .zip(on.final_temps.iter())
+                .map(|(a, b)| mix(*a, *b))
+                .collect(),
+            max_temps: off
+                .max_temps
+                .iter()
+                .zip(on.max_temps.iter())
+                .map(|(a, b)| mix(*a, *b))
+                .collect(),
+            mean_temps: off
+                .mean_temps
+                .iter()
+                .zip(on.mean_temps.iter())
+                .map(|(a, b)| mix(*a, *b))
+                .collect(),
+            start_temps: off.start_temps.clone(),
+            deltas: off
+                .deltas
+                .iter()
+                .zip(on.deltas.iter())
+                .map(|(a, b)| a * (1.0 - comp) + b * comp)
+                .collect(),
+            final_rh: RelativeHumidity::new(
+                off.final_rh.percent() * (1.0 - comp) + on.final_rh.percent() * comp,
+            ),
+            energy_kwh: energy_w / 1000.0 * cfg.control_period.as_hours_f64(),
+        }
+    }
+}
+
+fn shared_model() -> &'static coolair_suite::core::CoolingModel {
+    static MODEL: OnceLock<coolair_suite::core::CoolingModel> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let tmy = TmySeries::generate(&Location::newark(), 11);
+        train_cooling_model(&tmy, &TrainingConfig::quick())
+    })
+}
+
+fn readings(
+    inlets: &[f64],
+    outside: f64,
+    rh_in: f64,
+    util: f64,
+    regime: CoolingRegime,
+) -> SensorReadings {
+    let out = Celsius::new(outside);
+    let mean = inlets.iter().sum::<f64>() / inlets.len() as f64;
+    SensorReadings {
+        time: SimTime::EPOCH,
+        outside_temp: out,
+        outside_rh: RelativeHumidity::new(60.0),
+        outside_abs: psychro::absolute_humidity(out, RelativeHumidity::new(60.0)),
+        pod_inlets: inlets.iter().map(|&t| Celsius::new(t)).collect(),
+        cold_aisle_rh: RelativeHumidity::new(rh_in),
+        cold_aisle_abs: psychro::absolute_humidity(Celsius::new(mean), RelativeHumidity::new(rh_in)),
+        hot_aisle: Celsius::new(mean + 6.0),
+        disk_temps: inlets.iter().map(|&t| Celsius::new(t + 10.0)).collect(),
+        regime,
+        cooling_power: Watts::ZERO,
+        it_power: Watts::new(500.0),
+        active_fraction: util,
+    }
+}
+
+fn assert_bit_identical(
+    want: &coolair_suite::core::manager::predictor::Prediction,
+    got: &coolair_suite::core::manager::predictor::Prediction,
+    context: &str,
+) {
+    let vecs = [
+        ("final_temps", &want.final_temps, &got.final_temps),
+        ("max_temps", &want.max_temps, &got.max_temps),
+        ("mean_temps", &want.mean_temps, &got.mean_temps),
+        ("start_temps", &want.start_temps, &got.start_temps),
+    ];
+    for (field, w, g) in vecs {
+        assert_eq!(w.len(), g.len(), "{context}: {field} arity");
+        for (a, b) in w.iter().zip(g.iter()) {
+            assert_eq!(
+                a.value().to_bits(),
+                b.value().to_bits(),
+                "{context}: {field} {a:?} != {b:?}"
+            );
+        }
+    }
+    for (a, b) in want.deltas.iter().zip(got.deltas.iter()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "{context}: deltas");
+    }
+    assert_eq!(
+        want.final_rh.percent().to_bits(),
+        got.final_rh.percent().to_bits(),
+        "{context}: final_rh"
+    );
+    assert_eq!(
+        want.energy_kwh.to_bits(),
+        got.energy_kwh.to_bits(),
+        "{context}: energy_kwh"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `PredictionContext::predict` (and the thin `predict_regime` wrapper)
+    /// reproduce the pre-refactor algorithm bit for bit, for every candidate
+    /// of both infrastructures plus the interpolated off-grid regimes.
+    #[test]
+    fn context_predict_is_bit_identical_to_golden(
+        t0 in 15.0..35.0f64,
+        t1 in 15.0..35.0f64,
+        t2 in 15.0..35.0f64,
+        t3 in 15.0..35.0f64,
+        outside in -10.0..40.0f64,
+        rh_in in 20.0..80.0f64,
+        util in 0.0..1.0f64,
+        prev_delta in -2.0..2.0f64,
+        with_prev_bit in 0u8..2,
+        start_idx in 0usize..20,
+        low_fan in 0.01..0.14f64,
+        comp in 0.05..0.95f64,
+    ) {
+        let model = shared_model();
+        let cfg = CoolAirConfig::default();
+        for infra in [Infrastructure::Parasol, Infrastructure::Smooth] {
+            let candidates = infra.candidate_regimes();
+            let start = candidates[start_idx % candidates.len()];
+            let inlets = [t0, t1, t2, t3];
+            let r = readings(&inlets, outside, rh_in, util, start);
+            let prev_inlets: Vec<f64> = inlets.iter().map(|t| t + prev_delta).collect();
+            let prev_r = readings(&prev_inlets, outside, rh_in, util, start);
+            let prev = (with_prev_bit == 1).then_some(&prev_r);
+
+            // Every on-grid candidate, via one shared context (the optimizer's
+            // access pattern), plus the two interpolation families.
+            let mut probes = candidates.clone();
+            probes.push(CoolingRegime::free_cooling(FanSpeed::saturating(low_fan)));
+            probes.push(CoolingRegime::Ac { compressor: comp });
+
+            let mut ctx = PredictionContext::new(model, &cfg, infra, &r, prev);
+            for candidate in probes {
+                let want = golden::predict_regime(model, &cfg, &r, prev, candidate, infra);
+                let got = ctx.predict(candidate);
+                assert_bit_identical(&want, &got, &format!("{infra:?} {candidate:?}"));
+                let wrapper = predict_regime(model, &cfg, &r, prev, candidate, infra);
+                assert_bit_identical(&want, &wrapper, &format!("wrapper {infra:?} {candidate:?}"));
+            }
+        }
+    }
+}
+
+/// Enabling the prediction memo changes nothing: a closed-loop simulated
+/// day under All-ND serializes identically with the memo at its default
+/// capacity and with it disabled.
+#[test]
+fn memo_on_and_off_days_are_identical() {
+    let location = Location::newark();
+    let tmy = TmySeries::generate(&location, 42);
+    let model = {
+        let train_tmy = TmySeries::generate(&location, 42);
+        train_cooling_model(&train_tmy, &TrainingConfig::quick())
+    };
+    let trace = facebook_trace(1);
+
+    let run = |memo_capacity: Option<usize>| {
+        let mut ca = CoolAir::new(
+            Version::AllNd,
+            CoolAirConfig::default(),
+            model.clone(),
+            Forecaster::perfect(tmy.clone()),
+            Infrastructure::Smooth,
+        );
+        if let Some(cap) = memo_capacity {
+            ca.set_prediction_memo_capacity(cap);
+        }
+        let mut sim = Simulation::new(
+            SimController::CoolAir(Box::new(ca)),
+            PlantConfig::smooth(),
+            Cluster::new(ClusterConfig::parasol()),
+            tmy.clone(),
+            SimConfig { record_minutes: true, ..SimConfig::default() },
+        );
+        // Two days in different seasons, for different weather shapes.
+        [21u64, 200u64].map(|day| {
+            serde_json::to_string(&sim.run_day(day, trace.jobs_for_day(day))).unwrap()
+        })
+    };
+
+    let memo_on = run(None); // default capacity, memo active
+    let memo_off = run(Some(0)); // disabled
+    assert_eq!(memo_on, memo_off, "memoization must not change simulated results");
+}
