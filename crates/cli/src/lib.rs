@@ -20,6 +20,7 @@ use coolair_sim::{
     SystemSpec,
 };
 use coolair_telemetry::{Telemetry, TraceRecord};
+use coolair_tune::{run_tune_with, TuneOutcome, TuneSpec, KIND_TUNE_REPORT};
 use coolair_weather::{Location, TmySeries, WorldGrid};
 use coolair_workload::TraceKind;
 
@@ -366,9 +367,10 @@ impl ReportError {
     }
 }
 
-/// `coolair report` — render a run summary (event counts, timeline,
-/// histograms, profile) from a `.jsonl` trace file written by `run
-/// --trace`.
+/// `coolair report` — render a run summary from a `.jsonl` trace file
+/// written by `run --trace` (event counts, timeline, histograms, profile),
+/// or the robust-vs-nominal comparison from a tune outcome written by
+/// `tune --out`.
 ///
 /// # Errors
 ///
@@ -383,6 +385,11 @@ pub fn cmd_report(path: &str) -> Result<String, ReportError> {
             ReportError::Corrupt(format!("read {path}: {e}"))
         }
     })?;
+    // A tune outcome is one pretty-printed JSON document spanning many
+    // lines, so it can never parse as a JSONL trace — try it first.
+    if let Ok(outcome) = serde_json::from_str::<TuneOutcome>(&text) {
+        return Ok(reporter::render_tune(&outcome));
+    }
     let mut records: Vec<TraceRecord> = Vec::new();
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
@@ -648,6 +655,104 @@ pub fn cmd_sweep(args: &SweepArgs) -> Result<String, CliError> {
     }
 }
 
+/// Arguments of `coolair tune`.
+#[derive(Debug, Clone)]
+pub struct TuneArgs {
+    /// Master seed (all search and scenario entropy derives from it).
+    pub seed: u64,
+    /// Use the tiny CI smoke spec instead of the shipped suite.
+    pub smoke: bool,
+    /// Override the spec's decomposition-round budget.
+    pub rounds: Option<usize>,
+    /// Override the spec's local-search proposals per round.
+    pub iters: Option<usize>,
+    /// Worker threads (0 → available parallelism).
+    pub threads: usize,
+    /// Store directory for memoized evaluations and the report artifact;
+    /// `None` runs in memory (no caching, no resume).
+    pub store: Option<String>,
+    /// Replay the store's journal instead of starting a fresh one.
+    pub resume: bool,
+    /// Write the full [`TuneOutcome`] to this path as pretty JSON
+    /// (renderable later with `coolair report`).
+    pub out: Option<String>,
+}
+
+impl Default for TuneArgs {
+    fn default() -> Self {
+        TuneArgs {
+            seed: 7,
+            smoke: false,
+            rounds: None,
+            iters: None,
+            threads: 0,
+            store: None,
+            resume: false,
+            out: None,
+        }
+    }
+}
+
+/// `coolair tune` — worst-case-robust controller tuning via adversarial
+/// scenario decomposition. Prints the robust-vs-nominal comparison and
+/// persists the report artifact under `tune-report/<spec-digest>` when a
+/// store is given.
+///
+/// # Errors
+///
+/// Propagates store and output-file I/O errors.
+pub fn cmd_tune(args: &TuneArgs) -> Result<String, CliError> {
+    let mut spec = if args.smoke { TuneSpec::smoke(args.seed) } else { TuneSpec::shipped(args.seed) };
+    if let Some(rounds) = args.rounds {
+        spec.rounds = rounds.max(1);
+    }
+    if let Some(iters) = args.iters {
+        spec.iters = iters.max(1);
+    }
+    let telemetry = Telemetry::discard();
+    let exec = Executor::new(ExecutorConfig {
+        threads: args.threads,
+        store_dir: args.store.as_ref().map(std::path::PathBuf::from),
+        resume: args.resume,
+        telemetry: telemetry.clone(),
+        ..ExecutorConfig::default()
+    })
+    .map_err(|e| format!("open store: {e}"))?;
+
+    let started = std::time::Instant::now();
+    let outcome = run_tune_with(&spec, &exec, &telemetry);
+    let elapsed = started.elapsed();
+
+    if let Some(store) = exec.store() {
+        store
+            .put(KIND_TUNE_REPORT, spec.digest(), &outcome)
+            .map_err(|e| format!("store tune report: {e}"))?;
+    }
+    if let Some(path) = &args.out {
+        let json = serde_json::to_vec_pretty(&outcome)
+            .map_err(|e| format!("serialise tune outcome: {e}"))?;
+        std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+    }
+
+    let mut out = reporter::render_tune(&outcome);
+    let metrics = telemetry.metrics();
+    let _ = writeln!(
+        out,
+        "memo: {} hits / {} misses in-process, {} store cache hits",
+        metrics.counter("tune.memo.hit"),
+        metrics.counter("tune.memo.miss"),
+        telemetry.metrics().counter("runner.cache-hit"),
+    );
+    let _ = writeln!(out, "wall clock: {:.2} s", elapsed.as_secs_f64());
+    if exec.store().is_some() {
+        let _ = writeln!(out, "report artifact: tune-report/{}", spec.digest());
+    }
+    if let Some(path) = &args.out {
+        let _ = writeln!(out, "outcome written to {path} (render with `coolair report {path}`)");
+    }
+    Ok(out)
+}
+
 /// Usage text.
 #[must_use]
 pub fn usage() -> String {
@@ -663,9 +768,11 @@ USAGE:
     coolair sweep    [--locations N] [--stride N] [--training-days N] [--threads N]
                      [--store <dir>] [--resume] [--shard k/n] [--out <points.json>]
     coolair faults   --location <name> [--seed N] [--severity X] [--stride N]
+    coolair tune     [--seed N] [--smoke] [--rounds N] [--iters N] [--threads N]
+                     [--store <dir>] [--resume] [--out <outcome.json>]
     coolair run      [--location <name>] [--system <name>] [--trace-kind facebook|nutch]
                      [--day N] [--days N] [--trace <out.jsonl>]
-    coolair report   <trace.jsonl>
+    coolair report   <trace.jsonl | tune-outcome.json>
     coolair serve    [--addr host:port] [--threads N] [--queue-depth N]
                      [--max-connections N] [--store <dir>]
 
@@ -790,6 +897,34 @@ mod tests {
         assert!(out.contains("2 of 2 grid locations"), "got: {out}");
         assert!(out.contains("training jobs executed: 2"), "got: {out}");
         assert!(out.contains("wall clock"), "got: {out}");
+    }
+
+    #[test]
+    fn tune_smoke_reports_and_round_trips_through_report() {
+        let dir = std::env::temp_dir().join("coolair_cli_tune_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let out_path = dir.join("tune-outcome.json");
+        let out = cmd_tune(&TuneArgs {
+            smoke: true,
+            seed: 3,
+            threads: 2,
+            store: Some(dir.join("store").to_string_lossy().into_owned()),
+            out: Some(out_path.to_string_lossy().into_owned()),
+            ..TuneArgs::default()
+        })
+        .unwrap();
+        assert!(out.contains("robust tune (seed 3"), "got: {out}");
+        assert!(out.contains("worst-case violation"), "got: {out}");
+        assert!(out.contains("robust vs nominal over the scenario suite"), "got: {out}");
+        assert!(out.contains("memo:"), "got: {out}");
+        assert!(out.contains("report artifact: tune-report/"), "got: {out}");
+
+        // The written outcome renders through `coolair report`.
+        let rendered = cmd_report(out_path.to_str().unwrap()).unwrap();
+        assert!(rendered.contains("robust tune (seed 3"), "got: {rendered}");
+        assert!(rendered.contains("decomposition rounds"), "got: {rendered}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

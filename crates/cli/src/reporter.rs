@@ -6,10 +6,12 @@
 
 use std::fmt::Write as _;
 
+use coolair::KNOBS;
 use coolair_runner::ProgressSnapshot;
 use coolair_telemetry::{
     Event, Histogram, MetricValue, MetricsRegistry, ProfileReport, TraceRecord,
 };
+use coolair_tune::TuneOutcome;
 use coolair_units::SimTime;
 
 /// A simple aligned-column table: column widths are computed from the
@@ -191,6 +193,117 @@ pub fn render_progress(p: &ProgressSnapshot) -> String {
         p.cache_hit_rate() * 100.0
     );
     out
+}
+
+/// Renders a robust-tune outcome: the design delta, the decomposition
+/// rounds, and the robust-vs-nominal table over the full scenario suite.
+#[must_use]
+pub fn render_tune(o: &TuneOutcome) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "robust tune (seed {}, {} round(s), {})",
+        o.seed,
+        o.rounds_run,
+        if o.converged { "converged" } else { "round budget exhausted" }
+    );
+    let _ = writeln!(
+        out,
+        "worst-case violation: {:.0} -> {:.0} °C·min ({:+.1}%)",
+        o.nominal_worst_violation,
+        o.robust_worst_violation,
+        percent_change(o.nominal_worst_violation, o.robust_worst_violation)
+    );
+    let _ = writeln!(
+        out,
+        "worst-case energy:    {:.1} -> {:.1} kWh ({:+.1}%)",
+        o.nominal_worst_energy,
+        o.robust_worst_energy,
+        percent_change(o.nominal_worst_energy, o.robust_worst_energy)
+    );
+
+    let _ = writeln!(out, "\ndesign vector (changed knobs):");
+    let mut knobs = Table::new(&["knob", "nominal", "robust"]);
+    let mut changed = 0usize;
+    for (i, knob) in KNOBS.iter().enumerate() {
+        let (n, r) = (o.nominal.get(i), o.robust.get(i));
+        if (n - r).abs() > 1e-9 {
+            knobs.row(&[knob.name.to_string(), format!("{n:.2}"), format!("{r:.2}")]);
+            changed += 1;
+        }
+    }
+    if changed == 0 {
+        let _ = writeln!(out, "  (none — the nominal design was already robust)");
+    } else {
+        out.push_str(&knobs.render());
+    }
+
+    let _ = writeln!(out, "\ndecomposition rounds:");
+    let mut rounds = Table::new(&["round", "pool", "worst °C·min", "worst kWh", "accepted", "added scenario"]);
+    for r in &o.rounds {
+        rounds.row(&[
+            r.round.to_string(),
+            r.pool_size.to_string(),
+            format!("{:.0}", r.worst_violation),
+            format!("{:.1}", r.worst_energy),
+            r.accepted.to_string(),
+            if r.added.is_empty() { "(converged)".to_string() } else { r.added.clone() },
+        ]);
+    }
+    out.push_str(&rounds.render());
+
+    let _ = writeln!(out, "\nrobust vs nominal over the scenario suite:");
+    let mut t = Table::new(&[
+        "scenario",
+        "nom °C·min",
+        "rob °C·min",
+        "nom kWh",
+        "rob kWh",
+        "nom PUE",
+        "rob PUE",
+    ]);
+    for row in &o.table {
+        t.row(&[
+            row.label.clone(),
+            format!("{:.0}", row.nominal.violation_cmin),
+            format!("{:.0}", row.robust.violation_cmin),
+            format!("{:.1}", row.nominal.total_kwh()),
+            format!("{:.1}", row.robust.total_kwh()),
+            format!("{:.3}", row.nominal.pue),
+            format!("{:.3}", row.robust.pue),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    let mean_nom = mean(o.table.iter().map(|r| r.nominal.violation_cmin));
+    let mean_rob = mean(o.table.iter().map(|r| r.robust.violation_cmin));
+    let _ = writeln!(
+        out,
+        "mean violation: {mean_nom:.0} -> {mean_rob:.0} °C·min; active pool: {}",
+        o.pool.join(", ")
+    );
+    out
+}
+
+fn percent_change(from: f64, to: f64) -> f64 {
+    if from.abs() < f64::EPSILON {
+        0.0
+    } else {
+        (to - from) / from * 100.0
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0u64);
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
 }
 
 /// Renders a full run summary from trace records: event counts, the

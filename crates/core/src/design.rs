@@ -1,0 +1,321 @@
+//! The robust-tuning design vector: CoolAir's controller knobs flattened
+//! into one serializable, bounded point that a search can move through.
+//!
+//! The tuner (`coolair-tune`) treats a configuration as a vector of ten
+//! scalars — band geometry, supervisor ladder trip points and margins, and
+//! the covering-subset size — rather than as the nested
+//! [`CoolAirConfig`]/[`SupervisorConfig`] structs the controller consumes.
+//! [`DesignVector::coolair_config`] and [`DesignVector::supervisor_config`]
+//! are the only bridge back: whatever the search proposes, the controller
+//! still receives validated configuration types.
+//!
+//! Every knob carries explicit bounds ([`DesignVector::knobs`]). The
+//! bounds are deliberately generous — they mark where the *simulation*
+//! stops being meaningful, not where good configurations live; finding the
+//! good region is the search's job.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::CoolAirConfig;
+use crate::manager::supervisor::SupervisorConfig;
+use coolair_units::{Celsius, TempDelta};
+
+/// Metadata of one tunable knob: its bounds and whether it is integral.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Knob {
+    /// Field name (matches the serialized field).
+    pub name: &'static str,
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Inclusive upper bound.
+    pub hi: f64,
+    /// Round to the nearest integer when set.
+    pub integer: bool,
+}
+
+impl Knob {
+    /// The knob's span, `hi - lo`.
+    #[must_use]
+    pub fn range(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// The serializable point in design space the tuner searches over.
+///
+/// Temperatures are plain `f64` °C here (not unit types): the vector is a
+/// search-space coordinate, and uniform scalar access (`get`/`with_knob`)
+/// is what the perturbation step needs. Unit safety is restored at the
+/// [`DesignVector::coolair_config`] boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignVector {
+    /// Band ceiling / desired maximum the controller believes in, °C
+    /// (the evaluation's violation threshold stays fixed independently).
+    pub max_temp_c: f64,
+    /// Daily band width, °C.
+    pub band_width_c: f64,
+    /// Inside−outside offset added when centring the band, °C.
+    pub band_offset_c: f64,
+    /// Band floor, °C.
+    pub min_temp_c: f64,
+    /// Supervisor EWMA model error that trips `Conservative`, °C.
+    pub conservative_error_c: f64,
+    /// Supervisor EWMA model error that trips `ReactiveFallback`, °C.
+    pub fallback_error_c: f64,
+    /// How far below `max_temp` the conservative guard band sits, °C.
+    pub conservative_margin_c: f64,
+    /// Degrees above `max_temp` at which the hard failsafe engages.
+    pub failsafe_margin_c: f64,
+    /// Healthy control windows before the ladder steps back down.
+    pub recovery_windows: f64,
+    /// Covering-subset size (servers that never sleep).
+    pub covering_count: f64,
+}
+
+/// Number of knobs in the vector.
+pub const KNOB_COUNT: usize = 10;
+
+/// The knob table. Order matches [`DesignVector::get`] indices.
+pub const KNOBS: [Knob; KNOB_COUNT] = [
+    Knob { name: "max_temp_c", lo: 24.0, hi: 32.0, integer: false },
+    Knob { name: "band_width_c", lo: 2.0, hi: 8.0, integer: false },
+    Knob { name: "band_offset_c", lo: 4.0, hi: 12.0, integer: false },
+    Knob { name: "min_temp_c", lo: 8.0, hi: 18.0, integer: false },
+    Knob { name: "conservative_error_c", lo: 0.5, hi: 6.0, integer: false },
+    Knob { name: "fallback_error_c", lo: 1.0, hi: 10.0, integer: false },
+    Knob { name: "conservative_margin_c", lo: 0.5, hi: 5.0, integer: false },
+    Knob { name: "failsafe_margin_c", lo: 0.25, hi: 4.0, integer: false },
+    Knob { name: "recovery_windows", lo: 2.0, hi: 12.0, integer: true },
+    Knob { name: "covering_count", lo: 4.0, hi: 16.0, integer: true },
+];
+
+impl Default for DesignVector {
+    fn default() -> Self {
+        DesignVector::nominal()
+    }
+}
+
+impl DesignVector {
+    /// The paper-nominal configuration: [`CoolAirConfig::default`] and
+    /// [`SupervisorConfig::default`] flattened into the vector.
+    #[must_use]
+    pub fn nominal() -> Self {
+        let ca = CoolAirConfig::default();
+        let sv = SupervisorConfig::default();
+        DesignVector {
+            max_temp_c: ca.max_temp.value(),
+            band_width_c: ca.width.degrees(),
+            band_offset_c: ca.offset.degrees(),
+            min_temp_c: ca.min_temp.value(),
+            conservative_error_c: sv.conservative_error_c,
+            fallback_error_c: sv.fallback_error_c,
+            conservative_margin_c: sv.conservative_margin_c,
+            failsafe_margin_c: sv.failsafe_margin_c,
+            recovery_windows: f64::from(sv.recovery_windows),
+            covering_count: 8.0,
+        }
+    }
+
+    /// The knob metadata table.
+    #[must_use]
+    pub fn knobs() -> &'static [Knob; KNOB_COUNT] {
+        &KNOBS
+    }
+
+    /// Knob `i` as a scalar.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= KNOB_COUNT`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> f64 {
+        match i {
+            0 => self.max_temp_c,
+            1 => self.band_width_c,
+            2 => self.band_offset_c,
+            3 => self.min_temp_c,
+            4 => self.conservative_error_c,
+            5 => self.fallback_error_c,
+            6 => self.conservative_margin_c,
+            7 => self.failsafe_margin_c,
+            8 => self.recovery_windows,
+            9 => self.covering_count,
+            _ => panic!("knob index {i} out of range"),
+        }
+    }
+
+    /// A copy with knob `i` set to `value`, clamped to the knob's bounds
+    /// (integral knobs are rounded first) and cross-knob invariants
+    /// repaired — the result always passes [`DesignVector::validate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= KNOB_COUNT`.
+    #[must_use]
+    pub fn with_knob(&self, i: usize, value: f64) -> Self {
+        let k = &KNOBS[i];
+        let mut v = if k.integer { value.round() } else { value };
+        v = v.clamp(k.lo, k.hi);
+        let mut out = self.clone();
+        match i {
+            0 => out.max_temp_c = v,
+            1 => out.band_width_c = v,
+            2 => out.band_offset_c = v,
+            3 => out.min_temp_c = v,
+            4 => out.conservative_error_c = v,
+            5 => out.fallback_error_c = v,
+            6 => out.conservative_margin_c = v,
+            7 => out.failsafe_margin_c = v,
+            8 => out.recovery_windows = v,
+            9 => out.covering_count = v,
+            _ => panic!("knob index {i} out of range"),
+        }
+        out.repair();
+        out
+    }
+
+    /// Repairs cross-knob invariants in place (bounds are assumed held):
+    /// the fallback trip point stays strictly above the conservative one,
+    /// and the band floor stays below the ceiling.
+    fn repair(&mut self) {
+        let k_fb = &KNOBS[5];
+        if self.fallback_error_c <= self.conservative_error_c {
+            self.fallback_error_c = (self.conservative_error_c + 0.5).min(k_fb.hi);
+            // The ceiling may pin us: push the conservative point down
+            // instead so the gap survives at the top of the range.
+            if self.fallback_error_c <= self.conservative_error_c {
+                self.conservative_error_c = self.fallback_error_c - 0.5;
+            }
+        }
+        let k_min = &KNOBS[3];
+        if self.min_temp_c >= self.max_temp_c - self.band_width_c {
+            self.min_temp_c = (self.max_temp_c - self.band_width_c).min(k_min.hi).max(k_min.lo);
+        }
+    }
+
+    /// Checks bounds and cross-knob invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, k) in KNOBS.iter().enumerate() {
+            let v = self.get(i);
+            if !v.is_finite() || v < k.lo || v > k.hi {
+                return Err(format!("{} = {v} outside [{}, {}]", k.name, k.lo, k.hi));
+            }
+            if k.integer && (v - v.round()).abs() > 1e-9 {
+                return Err(format!("{} = {v} must be integral", k.name));
+            }
+        }
+        if self.fallback_error_c <= self.conservative_error_c {
+            return Err(format!(
+                "fallback_error_c ({}) must exceed conservative_error_c ({})",
+                self.fallback_error_c, self.conservative_error_c
+            ));
+        }
+        if self.min_temp_c >= self.max_temp_c {
+            return Err(format!(
+                "min_temp_c ({}) must be below max_temp_c ({})",
+                self.min_temp_c, self.max_temp_c
+            ));
+        }
+        // The derived SupervisorConfig enforces its own invariants; check
+        // now so a vector never reaches the controller and panics there.
+        self.supervisor_config().validate()
+    }
+
+    /// The [`CoolAirConfig`] this point denotes (defaults for everything
+    /// the vector does not cover).
+    #[must_use]
+    pub fn coolair_config(&self) -> CoolAirConfig {
+        CoolAirConfig {
+            max_temp: Celsius::new(self.max_temp_c),
+            width: TempDelta::new(self.band_width_c),
+            offset: TempDelta::new(self.band_offset_c),
+            min_temp: Celsius::new(self.min_temp_c),
+            ..CoolAirConfig::default()
+        }
+    }
+
+    /// The [`SupervisorConfig`] this point denotes.
+    #[must_use]
+    pub fn supervisor_config(&self) -> SupervisorConfig {
+        SupervisorConfig {
+            conservative_error_c: self.conservative_error_c,
+            fallback_error_c: self.fallback_error_c,
+            conservative_margin_c: self.conservative_margin_c,
+            failsafe_margin_c: self.failsafe_margin_c,
+            recovery_windows: self.recovery_windows.round().max(1.0) as u32,
+            ..SupervisorConfig::default()
+        }
+    }
+
+    /// The covering-subset size as the integer the cluster wants.
+    #[must_use]
+    pub fn covering(&self) -> usize {
+        self.covering_count.round().max(1.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_matches_defaults_and_validates() {
+        let d = DesignVector::nominal();
+        d.validate().expect("nominal is valid");
+        assert_eq!(d.coolair_config(), CoolAirConfig::default());
+        assert_eq!(d.supervisor_config(), SupervisorConfig::default());
+        assert_eq!(d.covering(), 8);
+    }
+
+    #[test]
+    fn with_knob_clamps_rounds_and_repairs() {
+        let d = DesignVector::nominal();
+        // Clamp to bounds.
+        let hot = d.with_knob(0, 99.0);
+        assert_eq!(hot.max_temp_c, 32.0);
+        hot.validate().unwrap();
+        // Integral knobs round.
+        let cov = d.with_knob(9, 11.4);
+        assert_eq!(cov.covering_count, 11.0);
+        // Lowering the fallback trip point below the conservative one is
+        // repaired, not rejected.
+        let squeezed = d.with_knob(5, 1.0);
+        assert!(squeezed.fallback_error_c > squeezed.conservative_error_c);
+        squeezed.validate().unwrap();
+        // Raising the conservative trip point to the top also repairs.
+        let topped = d.with_knob(4, 6.0);
+        assert!(topped.fallback_error_c > topped.conservative_error_c);
+        topped.validate().unwrap();
+    }
+
+    #[test]
+    fn knob_accessors_cover_every_field() {
+        let d = DesignVector::nominal();
+        for (i, k) in KNOBS.iter().enumerate() {
+            let v = d.get(i);
+            assert!(v >= k.lo && v <= k.hi, "{} nominal {v} outside bounds", k.name);
+            let moved = d.with_knob(i, v + 0.25);
+            assert!(moved.validate().is_ok(), "{} move broke validation", k.name);
+        }
+    }
+
+    #[test]
+    fn validate_names_the_broken_knob() {
+        let mut d = DesignVector::nominal();
+        d.band_width_c = 100.0;
+        let msg = d.validate().unwrap_err();
+        assert!(msg.contains("band_width_c"), "got: {msg}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = DesignVector::nominal().with_knob(0, 28.0).with_knob(7, 0.5);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: DesignVector = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}

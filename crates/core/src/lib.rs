@@ -50,11 +50,13 @@
 pub mod compute;
 mod config;
 mod coolair;
+pub mod design;
 pub mod manager;
 pub mod modeler;
 
 pub use compute::{Placement, TemporalPolicy};
 pub use config::{BandPolicy, CoolAirConfig, UtilityProfile, Version};
+pub use design::{DesignVector, Knob, KNOBS, KNOB_COUNT};
 pub use coolair::CoolAir;
 pub use manager::band::TempBand;
 pub use manager::supervisor::{

@@ -110,6 +110,76 @@ impl Default for SupervisorConfig {
     }
 }
 
+impl SupervisorConfig {
+    /// Checks the invariants the ladder logic relies on. The tuner explores
+    /// this space programmatically, so the checks are a runtime gate rather
+    /// than a type-level one: every violation is reported in one message.
+    ///
+    /// # Errors
+    ///
+    /// Returns a semicolon-joined list of every violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut problems: Vec<String> = Vec::new();
+        let mut check = |ok: bool, msg: &str| {
+            if !ok {
+                problems.push(msg.to_string());
+            }
+        };
+        check(
+            self.min_valid_c.is_finite()
+                && self.max_valid_c.is_finite()
+                && self.min_valid_c < self.max_valid_c,
+            "min_valid_c must be below max_valid_c",
+        );
+        check(self.staleness_limit >= 1, "staleness_limit must be >= 1");
+        check(
+            self.cross_pod_limit_c.is_finite() && self.cross_pod_limit_c > 0.0,
+            "cross_pod_limit_c must be > 0",
+        );
+        check(
+            self.model_error_alpha > 0.0 && self.model_error_alpha <= 1.0,
+            "model_error_alpha must be in (0, 1]",
+        );
+        check(
+            self.conservative_error_c.is_finite() && self.conservative_error_c > 0.0,
+            "conservative_error_c must be > 0",
+        );
+        check(
+            self.fallback_error_c.is_finite()
+                && self.fallback_error_c > self.conservative_error_c,
+            "fallback_error_c must exceed conservative_error_c",
+        );
+        check(self.conservative_sensors >= 1, "conservative_sensors must be >= 1");
+        check(
+            self.fallback_sensors >= self.conservative_sensors,
+            "fallback_sensors must be >= conservative_sensors",
+        );
+        check(self.recovery_windows >= 1, "recovery_windows must be >= 1");
+        check(
+            self.conservative_margin_c.is_finite() && self.conservative_margin_c >= 0.0,
+            "conservative_margin_c must be >= 0",
+        );
+        check(
+            self.failsafe_margin_c.is_finite() && self.failsafe_margin_c >= 0.0,
+            "failsafe_margin_c must be >= 0",
+        );
+        check(
+            self.failsafe_release_c.is_finite() && self.failsafe_release_c >= 0.0,
+            "failsafe_release_c must be >= 0",
+        );
+        check(
+            self.actuator_tolerance > 0.0 && self.actuator_tolerance < 1.0,
+            "actuator_tolerance must be in (0, 1)",
+        );
+        check(self.actuator_windows >= 1, "actuator_windows must be >= 1");
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems.join("; "))
+        }
+    }
+}
+
 /// Where the supervisor currently sits on the fallback ladder. Ordered by
 /// severity: `Normal < Conservative < ReactiveFallback`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
@@ -192,8 +262,17 @@ impl SupervisedCoolAir {
     /// `max_temp - conservative_margin_c`: a reactive law acting *at* the
     /// limit overshoots past it while the cooling spools up, and degraded
     /// modes exist to buy safety margin, not energy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg` violates [`SupervisorConfig::validate`] — a bad
+    /// threshold set would silently disable the ladder, which is worse
+    /// than refusing to start.
     #[must_use]
     pub fn new(inner: CoolAir, cfg: SupervisorConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid SupervisorConfig: {e}");
+        }
         let pods = inner.model().pods();
         let max_temp = inner.config().max_temp;
         let conservative_sp = max_temp - TempDelta::new(cfg.conservative_margin_c);
@@ -940,5 +1019,38 @@ mod tests {
             let _ = sv.decide_cooling(&r, t);
         }
         assert_eq!(sv.mode(), SupervisorMode::ReactiveFallback);
+    }
+
+    #[test]
+    fn default_config_validates() {
+        SupervisorConfig::default().validate().expect("defaults must be valid");
+    }
+
+    #[test]
+    fn validate_rejects_inverted_ladder_and_bad_alpha() {
+        let mut cfg = SupervisorConfig::default();
+        cfg.fallback_error_c = cfg.conservative_error_c; // not strictly above
+        cfg.model_error_alpha = 0.0;
+        cfg.fallback_sensors = 0;
+        let msg = cfg.validate().unwrap_err();
+        assert!(msg.contains("fallback_error_c"), "got: {msg}");
+        assert!(msg.contains("model_error_alpha"), "got: {msg}");
+        assert!(msg.contains("fallback_sensors"), "got: {msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SupervisorConfig")]
+    fn constructor_rejects_invalid_config() {
+        let tmy = TmySeries::generate(&Location::newark(), 11);
+        let model = train_cooling_model(&tmy, &TrainingConfig::quick());
+        let inner = CoolAir::new(
+            Version::AllNd,
+            CoolAirConfig::default(),
+            model,
+            Forecaster::perfect(tmy),
+            Infrastructure::Parasol,
+        );
+        let cfg = SupervisorConfig { model_error_alpha: 2.0, ..SupervisorConfig::default() };
+        let _ = SupervisedCoolAir::new(inner, cfg);
     }
 }

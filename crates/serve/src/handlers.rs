@@ -8,12 +8,13 @@
 use std::path::PathBuf;
 use std::str::FromStr;
 
-use coolair_runner::{ArtifactError, Digest, Job as _};
+use coolair_runner::{ArtifactError, Digest};
 use coolair_sim::jobs::AnnualJob;
-use serde::{Serialize as _, Value};
+use coolair_tune::{TuneSpec, KIND_TUNE_REPORT};
+use serde::{Deserialize, Serialize as _, Value};
 
 use crate::http::{path_segments, Request, Response};
-use crate::jobs::{ticket_for, EnqueueOutcome, JobRecord, JobState};
+use crate::jobs::{ticket_for, EnqueueOutcome, JobRecord, JobState, QueuedJob};
 use crate::prom::encode_prometheus;
 use crate::state::AppState;
 
@@ -145,26 +146,50 @@ fn get_job(state: &AppState, id: &str) -> Reply {
     let Some(store) = state.executor.store() else {
         return Reply::error(404, "no such job");
     };
-    match store.try_get::<Value>(coolair_sim::jobs::KIND_ANNUAL_SUMMARY, digest) {
-        Ok(summary) => Reply::json(
-            200,
-            &obj(vec![
-                ("id", s(id)),
-                ("state", s(JobState::Done.as_str())),
-                ("result", summary),
-            ]),
-        ),
-        Err(ArtifactError::NotFound) => Reply::error(404, "no such job"),
-        Err(e @ (ArtifactError::Corrupt(_) | ArtifactError::Io(_))) => {
-            Reply::error(500, &format!("artifact unreadable: {e}"))
+    // A digest names exactly one spec, so at most one kind can hit.
+    for kind in [coolair_sim::jobs::KIND_ANNUAL_SUMMARY, KIND_TUNE_REPORT] {
+        match store.try_get::<Value>(kind, digest) {
+            Ok(result) => {
+                return Reply::json(
+                    200,
+                    &obj(vec![
+                        ("id", s(id)),
+                        ("state", s(JobState::Done.as_str())),
+                        ("result", result),
+                    ]),
+                )
+            }
+            Err(ArtifactError::NotFound) => {}
+            Err(e @ (ArtifactError::Corrupt(_) | ArtifactError::Io(_))) => {
+                return Reply::error(500, &format!("artifact unreadable: {e}"))
+            }
         }
     }
+    Reply::error(404, "no such job")
+}
+
+/// Interprets a submission body. A plain object is an [`AnnualJob`]; an
+/// object wrapped as `{"tune": {...}}` is a robust-tuning [`TuneSpec`]
+/// (the wrapper key picks the job kind explicitly, so the two spec
+/// shapes can evolve without overlapping).
+fn parse_submission(body: &[u8]) -> Result<QueuedJob, String> {
+    let value: Value = serde_json::from_slice(body).map_err(|e| format!("bad job spec: {e}"))?;
+    if let Value::Map(pairs) = &value {
+        if let Some((_, tune)) = pairs.iter().find(|(k, _)| k == "tune") {
+            let spec = TuneSpec::from_value(tune).map_err(|e| format!("bad tune spec: {e}"))?;
+            spec.validate().map_err(|e| format!("bad tune spec: {e}"))?;
+            return Ok(QueuedJob::Tune(Box::new(spec)));
+        }
+    }
+    AnnualJob::from_value(&value)
+        .map(|job| QueuedJob::Annual(Box::new(job)))
+        .map_err(|e| format!("bad job spec: {e}"))
 }
 
 fn submit_job(state: &AppState, body: &[u8]) -> Reply {
-    let job: AnnualJob = match serde_json::from_slice(body) {
+    let job = match parse_submission(body) {
         Ok(job) => job,
-        Err(e) => return Reply::error(400, &format!("bad job spec: {e}")),
+        Err(e) => return Reply::error(400, &e),
     };
     let ticket = ticket_for(job);
     let id = ticket.digest.to_string();
@@ -309,6 +334,28 @@ mod tests {
         assert_eq!(reply.status(), 503);
         let Reply::Full(resp) = reply else { panic!() };
         assert_eq!(resp.header("retry-after"), Some("1"));
+    }
+
+    #[test]
+    fn tune_submission_is_routed_validated_and_idempotent() {
+        let (state, _rx) = state_with_depth(2);
+        let spec = TuneSpec::smoke(5);
+        let body = serde_json::to_vec(&obj(vec![("tune", spec.to_value())])).unwrap();
+        assert_eq!(post_jobs(&state, &body).status(), 202);
+        let record = state.tracker.get(&spec.digest().to_string()).expect("tracked");
+        assert_eq!(record.label, "robust tune (seed 5)");
+        assert_eq!(record.state, JobState::Queued);
+        // Same spec again: answered from the tracker, not re-queued.
+        assert_eq!(post_jobs(&state, &body).status(), 200);
+        // A structurally valid but nonsensical tune budget is a 400 up
+        // front, never a queued job that panics a worker.
+        let mut bad = TuneSpec::smoke(5);
+        bad.rounds = 0;
+        let bad_body = serde_json::to_vec(&obj(vec![("tune", bad.to_value())])).unwrap();
+        let reply = post_jobs(&state, &bad_body);
+        assert_eq!(reply.status(), 400);
+        let Reply::Full(resp) = reply else { panic!() };
+        assert!(String::from_utf8_lossy(&resp.body).contains("bad tune spec"));
     }
 
     #[test]

@@ -1,17 +1,20 @@
 //! Job submission: a bounded work queue in front of the persistent
 //! executor, plus the tracker that answers `GET /jobs/{id}`.
 //!
-//! A submitted job is an [`AnnualJob`] spec; its content digest is its
-//! public id, so resubmitting the same spec is idempotent (same id, and
-//! the artifact store serves the repeat without re-execution). The queue
-//! is a `sync_channel` bounded at the configured depth — when it is full
-//! the daemon answers `503 Retry-After` instead of buffering without end.
+//! A submitted job is either an [`AnnualJob`] spec or a robust-tuning
+//! [`TuneSpec`]; its content digest is its public id, so resubmitting the
+//! same spec is idempotent (same id, and the artifact store serves the
+//! repeat without re-execution). The queue is a `sync_channel` bounded at
+//! the configured depth — when it is full the daemon answers
+//! `503 Retry-After` instead of buffering without end.
 
 use std::collections::BTreeMap;
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 
 use coolair_runner::{Digest, Executor, Job, JobResult};
 use coolair_sim::jobs::AnnualJob;
+use coolair_telemetry::Telemetry;
+use coolair_tune::{run_tune_with, TuneSpec, KIND_TUNE_REPORT};
 use parking_lot::Mutex;
 use serde::{Serialize, Value};
 
@@ -114,13 +117,47 @@ impl JobTracker {
     }
 }
 
+/// What a ticket carries: one annual simulation, or a whole robust-tuning
+/// run. A tune occupies its worker for the full decomposition loop, but
+/// its per-scenario evaluations flow through the same shared executor, so
+/// they land in (and are served from) the same artifact store as annual
+/// jobs. Both specs are boxed — they are hundreds of bytes each and the
+/// enum moves through a bounded channel.
+#[derive(Debug)]
+pub enum QueuedJob {
+    /// A single annual simulation.
+    Annual(Box<AnnualJob>),
+    /// A worst-case-robust tuning run.
+    Tune(Box<TuneSpec>),
+}
+
+impl QueuedJob {
+    /// Content digest — doubles as the public job id.
+    #[must_use]
+    pub fn digest(&self) -> Digest {
+        match self {
+            QueuedJob::Annual(job) => job.digest(),
+            QueuedJob::Tune(spec) => spec.digest(),
+        }
+    }
+
+    /// Human label for the tracker.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            QueuedJob::Annual(job) => job.label(),
+            QueuedJob::Tune(spec) => format!("robust tune (seed {})", spec.seed),
+        }
+    }
+}
+
 /// A queued unit of work: the spec plus its precomputed id.
 #[derive(Debug)]
 pub struct JobTicket {
     /// The spec digest (also the tracker key).
     pub digest: Digest,
     /// The job spec.
-    pub job: AnnualJob,
+    pub job: QueuedJob,
 }
 
 /// Outcome of trying to enqueue a submission.
@@ -172,7 +209,12 @@ impl JobQueue {
 /// each on the shared executor, and records the outcome. The executor
 /// already persists successful outputs to the artifact store (when one is
 /// attached) before this returns the result.
-pub fn job_worker(rx: &Mutex<Receiver<JobTicket>>, executor: &Executor, tracker: &JobTracker) {
+pub fn job_worker(
+    rx: &Mutex<Receiver<JobTicket>>,
+    executor: &Executor,
+    tracker: &JobTracker,
+    telemetry: &Telemetry,
+) {
     loop {
         // Hold the lock only for the take, not for the run.
         let ticket = match rx.lock().recv() {
@@ -181,28 +223,70 @@ pub fn job_worker(rx: &Mutex<Receiver<JobTicket>>, executor: &Executor, tracker:
         };
         let id = ticket.digest.to_string();
         tracker.update(&id, |r| r.state = JobState::Running);
-        let mut results = executor.run(std::slice::from_ref(&ticket.job));
-        let result = results.pop();
-        tracker.update(&id, |r| match result {
-            Some(JobResult::Computed(ref summary) | JobResult::Cached(ref summary)) => {
-                r.state = JobState::Done;
-                r.result = Some(summary.to_value());
+        match ticket.job {
+            QueuedJob::Annual(job) => run_annual_ticket(&id, &job, executor, tracker),
+            QueuedJob::Tune(spec) => {
+                run_tune_ticket(&id, ticket.digest, &spec, executor, tracker, telemetry);
             }
-            Some(JobResult::Failed { ref error, .. }) => {
-                r.state = JobState::Failed;
-                r.error = Some(error.clone());
-            }
-            None => {
-                r.state = JobState::Failed;
-                r.error = Some("executor returned no result".to_string());
-            }
-        });
+        }
     }
+}
+
+fn run_annual_ticket(id: &str, job: &AnnualJob, executor: &Executor, tracker: &JobTracker) {
+    let mut results = executor.run(std::slice::from_ref(job));
+    let result = results.pop();
+    tracker.update(id, |r| match result {
+        Some(JobResult::Computed(ref summary) | JobResult::Cached(ref summary)) => {
+            r.state = JobState::Done;
+            r.result = Some(summary.to_value());
+        }
+        Some(JobResult::Failed { ref error, .. }) => {
+            r.state = JobState::Failed;
+            r.error = Some(error.clone());
+        }
+        None => {
+            r.state = JobState::Failed;
+            r.error = Some("executor returned no result".to_string());
+        }
+    });
+}
+
+/// Runs a tune ticket. The whole decomposition loop executes on this
+/// worker thread; the daemon's telemetry is threaded in so the tune's
+/// memo counters surface on `/metrics`. A tune panics on invalid specs
+/// and internal failures, and a panicking job must not take the worker
+/// down — it is fenced like a connection thread and recorded as failed.
+fn run_tune_ticket(
+    id: &str,
+    digest: Digest,
+    spec: &TuneSpec,
+    executor: &Executor,
+    tracker: &JobTracker,
+    telemetry: &Telemetry,
+) {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_tune_with(spec, executor, telemetry)
+    }));
+    if let (Ok(outcome), Some(store)) = (&outcome, executor.store()) {
+        // Persist the report so a restarted daemon can answer
+        // `GET /jobs/{id}` for this tune straight from the store.
+        let _ = store.put(KIND_TUNE_REPORT, digest, outcome);
+    }
+    tracker.update(id, |r| match &outcome {
+        Ok(outcome) => {
+            r.state = JobState::Done;
+            r.result = Some(outcome.to_value());
+        }
+        Err(_) => {
+            r.state = JobState::Failed;
+            r.error = Some("tune run panicked".to_string());
+        }
+    });
 }
 
 /// Builds the ticket for a spec (digest is computed once, here).
 #[must_use]
-pub fn ticket_for(job: AnnualJob) -> JobTicket {
+pub fn ticket_for(job: QueuedJob) -> JobTicket {
     JobTicket { digest: job.digest(), job }
 }
 
@@ -239,12 +323,12 @@ mod tests {
         let (tx, rx) = sync_channel(1);
         let queue = JobQueue::new(tx);
         let job = || {
-            ticket_for(AnnualJob {
+            ticket_for(QueuedJob::Annual(Box::new(AnnualJob {
                 system: coolair_sim::SystemSpec::Baseline,
                 location: coolair_weather::Location::newark(),
                 trace: coolair_workload::TraceKind::Facebook,
                 annual: coolair_sim::AnnualConfig::quick(),
-            })
+            })))
         };
         assert_eq!(queue.try_submit(job()), EnqueueOutcome::Accepted);
         assert_eq!(queue.try_submit(job()), EnqueueOutcome::Saturated);
@@ -253,5 +337,40 @@ mod tests {
         // The buffered ticket is still drainable after close.
         assert!(rx.recv().is_ok());
         assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn worker_runs_a_tune_ticket_and_its_counters_reach_the_daemon_telemetry() {
+        let telemetry = Telemetry::memory();
+        let executor = Executor::in_memory(2, telemetry.clone());
+        let tracker = JobTracker::default();
+        // Smallest possible tune: one round, one mutation per round.
+        let mut spec = TuneSpec::smoke(11);
+        spec.rounds = 1;
+        spec.iters = 1;
+        let ticket = ticket_for(QueuedJob::Tune(Box::new(spec.clone())));
+        let id = ticket.digest.to_string();
+        assert_eq!(id, spec.digest().to_string());
+        tracker.put(JobRecord {
+            id: id.clone(),
+            label: ticket.job.label(),
+            state: JobState::Queued,
+            error: None,
+            result: None,
+        });
+        let (tx, rx) = sync_channel(1);
+        tx.send(ticket).expect("enqueue");
+        drop(tx); // worker drains the one ticket, then exits
+        let rx = Mutex::new(rx);
+        job_worker(&rx, &executor, &tracker, &telemetry);
+        let record = tracker.get(&id).expect("tracked");
+        assert_eq!(record.state, JobState::Done);
+        assert_eq!(record.label, "robust tune (seed 11)");
+        let Some(Value::Map(result)) = record.result else {
+            panic!("tune result should be a JSON object")
+        };
+        assert!(result.iter().any(|(k, _)| k == "robust_worst_violation"));
+        // The tune ran on the daemon's telemetry: memo traffic is visible.
+        assert!(telemetry.metrics().counter("tune.memo.miss") > 0);
     }
 }

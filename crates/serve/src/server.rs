@@ -102,7 +102,9 @@ impl Server {
         let local = self.local_addr()?;
         crossbeam::thread::scope(|s| {
             for _ in 0..state.cfg.job_threads.max(1) {
-                s.spawn(move |_| job_worker(rx, &state.executor, &state.tracker));
+                s.spawn(move |_| {
+                    job_worker(rx, &state.executor, &state.tracker, &state.telemetry);
+                });
             }
             for stream in self.listener.incoming() {
                 if state.is_shutting_down() {

@@ -32,6 +32,11 @@ pub enum SystemSpec {
     /// A CoolAir version wrapped in the degraded-mode supervisor (sensor
     /// validation, fallback ladder, hard overtemp failsafe).
     Supervised(Version),
+    /// A supervised CoolAir version with custom controller *and* supervisor
+    /// configurations — the variant the robust tuner evaluates, since the
+    /// design vector reaches both the band geometry and the ladder trip
+    /// points.
+    SupervisedWith(Version, CoolAirConfig, SupervisorConfig),
 }
 
 impl SystemSpec {
@@ -44,6 +49,7 @@ impl SystemSpec {
             SystemSpec::CoolAir(v) => v.name().into(),
             SystemSpec::CoolAirWith(v, _) => v.name().into(),
             SystemSpec::Supervised(v) => format!("{}+SV", v.name()),
+            SystemSpec::SupervisedWith(v, _, _) => format!("{}+SV*", v.name()),
         }
     }
 }
@@ -79,6 +85,10 @@ pub struct AnnualConfig {
     /// default, which leaves the loop bit-identical to a run without the
     /// fault layer).
     pub faults: FaultPlan,
+    /// Override the cluster's covering-subset size (the robust tuner's
+    /// reach into [`ClusterConfig::parasol`]'s default of 8). `None`
+    /// keeps the default; the value is clamped to the server count.
+    pub covering_count: Option<usize>,
     /// Engine tuning.
     pub engine: SimConfig,
 }
@@ -97,6 +107,7 @@ impl Default for AnnualConfig {
             ac_condenser_derate_per_c: None,
             ac_latent_factor: None,
             faults: FaultPlan::none(),
+            covering_count: None,
             engine: SimConfig::default(),
         }
     }
@@ -154,9 +165,10 @@ pub fn run_annual(
     cfg: &AnnualConfig,
 ) -> AnnualSummary {
     let model = match system {
-        SystemSpec::CoolAir(_) | SystemSpec::CoolAirWith(..) | SystemSpec::Supervised(_) => {
-            Some(train_for_location(location, cfg))
-        }
+        SystemSpec::CoolAir(_)
+        | SystemSpec::CoolAirWith(..)
+        | SystemSpec::Supervised(_)
+        | SystemSpec::SupervisedWith(..) => Some(train_for_location(location, cfg)),
         _ => None,
     };
     run_annual_with_model(system, location, trace, cfg, model)
@@ -248,6 +260,18 @@ pub fn run_days_traced(
                 SupervisorConfig::default(),
             )))
         }
+        SystemSpec::SupervisedWith(version, ca_cfg, sv_cfg) => {
+            SimController::Supervised(Box::new(SupervisedCoolAir::new(
+                CoolAir::new(
+                    *version,
+                    ca_cfg.clone(),
+                    model.expect("model trained above"),
+                    forecaster(),
+                    cfg.infrastructure,
+                ),
+                *sv_cfg,
+            )))
+        }
     };
     let deferrable_version = match &controller {
         SimController::CoolAir(ca) => Some(ca.version()),
@@ -272,10 +296,14 @@ pub fn run_days_traced(
     if let Some(v) = cfg.ac_latent_factor {
         plant_config.ac_latent_factor = v;
     }
+    let mut cluster_config = ClusterConfig::parasol();
+    if let Some(covering) = cfg.covering_count {
+        cluster_config.covering_count = covering.clamp(1, cluster_config.total_servers);
+    }
     let mut sim = Simulation::new(
         controller,
         plant_config,
-        Cluster::new(ClusterConfig::parasol()),
+        Cluster::new(cluster_config),
         tmy,
         cfg.engine.clone(),
     );

@@ -175,6 +175,59 @@ impl FaultRates {
     }
 }
 
+/// The *generating parameters* of a fault schedule — the serializable
+/// spec from which [`FaultSpec::schedule`] derives a concrete
+/// [`FaultPlan`].
+///
+/// A [`FaultPlan`] is an extensional artifact (the full window list); the
+/// spec is intensional (seed + severity + any hand-built windows). Both
+/// round-trip through serde, and `spec → schedule → spec` is lossless:
+/// scheduling never mutates the spec, so a scenario stored as a spec
+/// reproduces the exact same plan on any later run — the property that
+/// makes scenarios content-addressable artifacts rather than
+/// seed-plus-folklore.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Seed of the generated windows (and of noise faults).
+    pub seed: u64,
+    /// Severity factor applied to [`FaultRates::default`] via
+    /// [`FaultRates::scaled`]; `0.0` generates nothing.
+    pub severity: f64,
+    /// Hand-built windows appended after the generated ones (targeted
+    /// drills on top of background fault load).
+    pub extra: Vec<FaultWindow>,
+}
+
+impl FaultSpec {
+    /// The empty spec: schedules nothing.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultSpec::default()
+    }
+
+    /// A purely random spec at one severity.
+    #[must_use]
+    pub fn random(seed: u64, severity: f64) -> Self {
+        FaultSpec { seed, severity, extra: Vec::new() }
+    }
+
+    /// Materialises the schedule for the given simulated days: the
+    /// generated windows of [`FaultPlan::random`] plus the `extra` windows,
+    /// a pure function of `(self, days, pods)`.
+    #[must_use]
+    pub fn schedule(&self, days: &[u64], pods: usize) -> FaultPlan {
+        let mut plan = if self.severity > 0.0 {
+            FaultPlan::random(self.seed, &FaultRates::scaled(self.severity), days, pods)
+        } else {
+            FaultPlan::with_seed(self.seed)
+        };
+        for w in &self.extra {
+            plan = plan.with_window(*w);
+        }
+        plan
+    }
+}
+
 /// A deterministic schedule of fault windows for a simulated year.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
@@ -569,6 +622,27 @@ mod tests {
         let days: Vec<u64> = (0..365).step_by(7).collect();
         let plan = FaultPlan::random(5, &FaultRates::scaled(0.0), &days, 4);
         assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn fault_spec_schedules_deterministically_and_appends_extras() {
+        let days: Vec<u64> = (0..365).step_by(30).collect();
+        let drill = window(10, 100, FaultKind::Actuator(ActuatorFault::DamperJam));
+        let spec = FaultSpec { seed: 7, severity: 1.5, extra: vec![drill] };
+        let a = spec.schedule(&days, 4);
+        let b = spec.schedule(&days, 4);
+        assert_eq!(a, b, "scheduling is pure");
+        assert_eq!(a.seed(), 7);
+        assert_eq!(*a.windows().last().unwrap(), drill, "extras ride at the end");
+        // Zero severity keeps only the extras (and the seed for noise).
+        let quiet = FaultSpec { severity: 0.0, ..spec.clone() };
+        assert_eq!(quiet.schedule(&days, 4).windows().len(), 1);
+        assert!(FaultSpec::none().schedule(&days, 4).is_empty());
+        // The spec itself round-trips through serde untouched.
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: FaultSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.schedule(&days, 4), a);
     }
 
     #[test]

@@ -46,6 +46,7 @@ mod metrics;
 mod model_plant;
 mod multizone;
 mod reliability;
+mod scenario;
 mod validate;
 mod worldsweep;
 
@@ -54,11 +55,14 @@ pub use annual::{
     AnnualConfig, SystemSpec,
 };
 pub use engine::{Container, DayOutput, MinuteSample, SimConfig, Simulation, SimController};
-pub use faults::{ActuatorFault, FaultKind, FaultPlan, FaultRates, FaultWindow, SensorFault};
+pub use faults::{
+    ActuatorFault, FaultKind, FaultPlan, FaultRates, FaultSpec, FaultWindow, SensorFault,
+};
 pub use fidelity::{day_fidelity, FidelityReport, FidelitySystem};
 pub use model_plant::ModelPlant;
 pub use multizone::{MultiZone, MultiZoneReport, ZoneSpec};
 pub use reliability::{disk_reliability, ReliabilityParams, ReliabilityReport};
+pub use scenario::Scenario;
 pub use metrics::{AnnualSummary, DayRecord, POWER_DELIVERY_PUE};
 pub use validate::{model_error_cdfs, ModelErrorReport};
 pub use worldsweep::{

@@ -1,0 +1,135 @@
+//! Scenarios: the (weather-year × fault schedule × workload trace) triples
+//! the robust tuner evaluates configurations against.
+//!
+//! A [`Scenario`] is a pure spec — climate archetype and weather seed,
+//! fault generating parameters ([`FaultSpec`], not a materialised window
+//! list), and workload shape — with a stable content digest. The digest is
+//! half of the tuner's memo key (`(config_digest, scenario_digest)`), so
+//! two scenarios that render the same JSON are the *same* scenario to the
+//! artifact store, no matter which run produced them.
+
+use coolair_runner::{stable_digest, Digest};
+use coolair_weather::Location;
+use coolair_workload::{ClusterConfig, TraceKind};
+use serde::{Deserialize, Serialize};
+
+use crate::annual::AnnualConfig;
+use crate::faults::FaultSpec;
+
+/// One point in scenario space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Climate archetype (which TMY generator the weather comes from).
+    pub location: Location,
+    /// Weather-year seed.
+    pub weather_seed: u64,
+    /// Fault-schedule generating parameters.
+    pub fault: FaultSpec,
+    /// Workload shape.
+    pub trace: TraceKind,
+    /// Trace generation seed.
+    pub trace_seed: u64,
+}
+
+impl Scenario {
+    /// A fault-free scenario at a location (severity 0, default seeds).
+    #[must_use]
+    pub fn nominal(location: Location) -> Self {
+        Scenario {
+            location,
+            weather_seed: 42,
+            fault: FaultSpec::none(),
+            trace: TraceKind::Facebook,
+            trace_seed: 1,
+        }
+    }
+
+    /// Stable content digest over the full spec.
+    #[must_use]
+    pub fn digest(&self) -> Digest {
+        stable_digest(self)
+    }
+
+    /// Short human label: `Singapore sev2.0#9 nutch`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "{} sev{:.1}#{} {}",
+            self.location.name(),
+            self.fault.severity,
+            self.fault.seed,
+            match self.trace {
+                TraceKind::Facebook => "fb",
+                TraceKind::Nutch => "nutch",
+            }
+        )
+    }
+
+    /// The evaluation [`AnnualConfig`] for this scenario: `base` with the
+    /// scenario's seeds applied and the fault spec materialised over the
+    /// base's sampled days. Horizon, training, infrastructure and engine
+    /// tuning stay with the base — they are evaluation-budget knobs, not
+    /// scenario dimensions.
+    #[must_use]
+    pub fn annual(&self, base: &AnnualConfig) -> AnnualConfig {
+        let mut cfg = base.clone();
+        cfg.weather_seed = self.weather_seed;
+        cfg.trace_seed = self.trace_seed;
+        cfg.faults = self.fault.schedule(&cfg.sampled_days(), ClusterConfig::parasol().pods);
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_separates_every_dimension() {
+        let base = Scenario::nominal(Location::newark());
+        let mut seen = vec![base.digest()];
+        let variants = [
+            Scenario { location: Location::singapore(), ..base.clone() },
+            Scenario { weather_seed: 43, ..base.clone() },
+            Scenario { fault: FaultSpec::random(5, 2.0), ..base.clone() },
+            Scenario { trace: TraceKind::Nutch, ..base.clone() },
+            Scenario { trace_seed: 2, ..base.clone() },
+        ];
+        for v in variants {
+            let d = v.digest();
+            assert!(!seen.contains(&d), "collision at {}", v.label());
+            seen.push(d);
+        }
+    }
+
+    #[test]
+    fn annual_applies_seeds_and_materialises_faults() {
+        let sc = Scenario {
+            fault: FaultSpec::random(9, 1.0),
+            weather_seed: 7,
+            trace_seed: 3,
+            ..Scenario::nominal(Location::chad())
+        };
+        let base = AnnualConfig::quick();
+        let cfg = sc.annual(&base);
+        assert_eq!(cfg.weather_seed, 7);
+        assert_eq!(cfg.trace_seed, 3);
+        assert!(!cfg.faults.is_empty());
+        assert_eq!(cfg.faults, sc.fault.schedule(&base.sampled_days(), 4));
+        // Identical spec → identical config (purity).
+        assert_eq!(sc.annual(&base), cfg);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_digest() {
+        let sc = Scenario {
+            fault: FaultSpec::random(11, 2.5),
+            trace: TraceKind::Nutch,
+            ..Scenario::nominal(Location::phoenix())
+        };
+        let json = serde_json::to_string(&sc).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sc);
+        assert_eq!(back.digest(), sc.digest());
+    }
+}

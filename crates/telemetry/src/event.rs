@@ -105,6 +105,21 @@ pub enum Event {
         /// The updated EWMA of the error, °C.
         ewma_c: f64,
     },
+    /// The robust tuner finished one decomposition round (tune incumbent →
+    /// adversary picks the scenario that most breaks it → grow the active
+    /// set). Not a simulated-time event — the tuner lives in the
+    /// orchestration layer, like [`Event::JobState`].
+    TuneRound {
+        /// Round index (0-based).
+        round: u64,
+        /// Active-scenario-pool size after the round.
+        pool_size: u64,
+        /// The incumbent's worst-case violation over the pool, °C·min.
+        worst_violation: f64,
+        /// Label of the scenario the adversary added (empty when the
+        /// round converged and added nothing).
+        added: String,
+    },
     /// An orchestrated experiment job changed state in the
     /// `coolair-runner` executor. Like the day markers, this is not a
     /// simulated-time event — jobs live in the orchestration layer above
@@ -128,7 +143,10 @@ impl Event {
     #[must_use]
     pub fn time(&self) -> Option<SimTime> {
         match self {
-            Event::DayStart { .. } | Event::DayEnd { .. } | Event::JobState { .. } => None,
+            Event::DayStart { .. }
+            | Event::DayEnd { .. }
+            | Event::JobState { .. }
+            | Event::TuneRound { .. } => None,
             Event::ControlTick { time, .. }
             | Event::RegimeChange { time, .. }
             | Event::TksModeFlip { time, .. }
@@ -156,6 +174,7 @@ impl Event {
             Event::FaultActivated { .. } => "fault-activated",
             Event::FaultCleared { .. } => "fault-cleared",
             Event::ModelErrorScored { .. } => "model-error",
+            Event::TuneRound { .. } => "tune-round",
             Event::JobState { .. } => "job-state",
         }
     }

@@ -1,0 +1,179 @@
+//! The tuner's evaluation unit: one (design, scenario) pair run for a
+//! (sub-sampled) year, memoized in the content-addressed artifact store.
+
+use coolair::{CoolingModel, DesignVector, Version};
+use coolair_runner::{stable_digest, Digest, Job};
+use coolair_sim::{run_annual_with_model, AnnualConfig, AnnualSummary, Scenario, SystemSpec};
+use serde::{Deserialize, Serialize};
+
+/// Artifact namespace of tune evaluations.
+pub const KIND_TUNE_EVAL: &str = "tune-eval";
+
+/// The headline metrics of one (design, scenario) evaluation — everything
+/// the robust objective and the report tables need, small enough to memoize
+/// by the thousand.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalOutcome {
+    /// Total temperature violation, °C·min.
+    pub violation_cmin: f64,
+    /// Cooling energy over the sampled days, kWh.
+    pub cooling_kwh: f64,
+    /// IT energy over the sampled days, kWh.
+    pub it_kwh: f64,
+    /// Yearly PUE including power-delivery losses.
+    pub pue: f64,
+    /// Minutes outside the supervisor's `Normal` mode.
+    pub degraded_min: u64,
+    /// Minutes with the hard overtemp failsafe engaged.
+    pub failsafe_min: u64,
+}
+
+impl EvalOutcome {
+    /// Collapses an annual summary to the tuner's metrics.
+    #[must_use]
+    pub fn from_summary(summary: &AnnualSummary) -> Self {
+        EvalOutcome {
+            violation_cmin: summary.total_violation(),
+            cooling_kwh: summary.cooling_kwh(),
+            it_kwh: summary.it_kwh(),
+            pue: summary.pue(),
+            degraded_min: summary.degraded_minutes(),
+            failsafe_min: summary.failsafe_minutes(),
+        }
+    }
+
+    /// Total energy (cooling + IT), kWh — the robust energy budget's
+    /// currency.
+    #[must_use]
+    pub fn total_kwh(&self) -> f64 {
+        self.cooling_kwh + self.it_kwh
+    }
+}
+
+/// Evaluates one design vector against one scenario: a supervised CoolAir
+/// run with the design mapped onto the controller, supervisor and cluster.
+///
+/// The digest covers exactly `(design, scenario, version, annual)` — the
+/// pre-trained model is a runtime payload and stays out, because it is
+/// itself a deterministic product of `(location, weather_seed, training)`,
+/// all of which the digest already covers (the same discipline as
+/// [`coolair_sim::jobs`]).
+#[derive(Debug, Clone)]
+pub struct EvalJob {
+    /// The design vector under evaluation.
+    pub design: DesignVector,
+    /// The scenario it is evaluated against.
+    pub scenario: Scenario,
+    /// CoolAir version the design decorates.
+    pub version: Version,
+    /// Base evaluation budget (stride, training, engine tuning); the
+    /// scenario's seeds and faults are applied on top.
+    pub annual: AnnualConfig,
+    /// Pre-trained Cooling Model (runtime payload, not digested). When
+    /// `None` the job trains inline, keeping it pure stand-alone.
+    pub model: Option<CoolingModel>,
+}
+
+impl EvalJob {
+    /// The memo key digest for a `(design, scenario)` pair under a spec's
+    /// version and budget — usable without building the full job.
+    #[must_use]
+    pub fn digest_for(
+        design: &DesignVector,
+        scenario: &Scenario,
+        version: Version,
+        annual: &AnnualConfig,
+    ) -> Digest {
+        let key: (&DesignVector, &Scenario, &Version, &AnnualConfig) =
+            (design, scenario, &version, annual);
+        stable_digest(&key)
+    }
+}
+
+impl Job for EvalJob {
+    type Output = EvalOutcome;
+
+    fn kind(&self) -> &'static str {
+        KIND_TUNE_EVAL
+    }
+
+    fn digest(&self) -> Digest {
+        EvalJob::digest_for(&self.design, &self.scenario, self.version, &self.annual)
+    }
+
+    fn label(&self) -> String {
+        format!("{:016x} vs {}", stable_digest(&self.design).0, self.scenario.label())
+    }
+
+    fn run(&self) -> EvalOutcome {
+        let mut cfg = self.scenario.annual(&self.annual);
+        cfg.covering_count = Some(self.design.covering());
+        let system = SystemSpec::SupervisedWith(
+            self.version,
+            self.design.coolair_config(),
+            self.design.supervisor_config(),
+        );
+        let model = match &self.model {
+            Some(m) => Some(m.clone()),
+            None => Some(coolair_sim::train_for_location(&self.scenario.location, &cfg)),
+        };
+        let summary =
+            run_annual_with_model(&system, &self.scenario.location, self.scenario.trace, &cfg, model);
+        EvalOutcome::from_summary(&summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coolair_weather::Location;
+
+    fn quick() -> AnnualConfig {
+        let mut a = AnnualConfig::quick();
+        a.stride = 240;
+        a
+    }
+
+    #[test]
+    fn digest_separates_design_and_scenario() {
+        let d = DesignVector::nominal();
+        let s = Scenario::nominal(Location::newark());
+        let base = EvalJob::digest_for(&d, &s, Version::AllNd, &quick());
+        let other_design = d.with_knob(0, 26.0);
+        assert_ne!(base, EvalJob::digest_for(&other_design, &s, Version::AllNd, &quick()));
+        let other_scenario = Scenario::nominal(Location::singapore());
+        assert_ne!(base, EvalJob::digest_for(&d, &other_scenario, Version::AllNd, &quick()));
+        assert_ne!(base, EvalJob::digest_for(&d, &s, Version::Energy, &quick()));
+    }
+
+    #[test]
+    fn model_payload_stays_out_of_the_digest() {
+        let d = DesignVector::nominal();
+        let s = Scenario::nominal(Location::newark());
+        let with = EvalJob {
+            design: d.clone(),
+            scenario: s.clone(),
+            version: Version::AllNd,
+            annual: quick(),
+            model: Some(coolair_sim::train_for_location(&Location::newark(), &quick())),
+        };
+        let without = EvalJob { model: None, ..with.clone() };
+        assert_eq!(with.digest(), without.digest());
+    }
+
+    #[test]
+    fn eval_runs_and_is_pure() {
+        let job = EvalJob {
+            design: DesignVector::nominal(),
+            scenario: Scenario::nominal(Location::newark()),
+            version: Version::AllNd,
+            annual: quick(),
+            model: None,
+        };
+        let a = job.run();
+        let b = job.run();
+        assert_eq!(a, b, "evaluation must be a pure function of the spec");
+        assert!(a.it_kwh > 0.0);
+        assert!(a.pue > 1.0);
+    }
+}

@@ -15,6 +15,7 @@
 //! - [`sim`] — Real-Sim / Smooth-Sim engines, metrics, annual & world sweeps
 //! - [`telemetry`] — structured events, metrics registry, profiler, recorder
 //! - [`runner`] — job executor, artifact store, resumable journals
+//! - [`tune`] — worst-case-robust tuning via adversarial scenario decomposition
 //! - [`serve`] — HTTP/1.1 control-plane daemon (jobs, artifacts, metrics)
 //! - [`bench`](mod@bench) — experiment-bench helpers, incl. the pure-std
 //!   HTTP client
@@ -27,6 +28,7 @@ pub use coolair_serve as serve;
 pub use coolair_sim as sim;
 pub use coolair_telemetry as telemetry;
 pub use coolair_thermal as thermal;
+pub use coolair_tune as tune;
 pub use coolair_units as units;
 pub use coolair_weather as weather;
 pub use coolair_workload as workload;

@@ -5,8 +5,8 @@
 
 use coolair_suite::core::Version;
 use coolair_suite::sim::{
-    run_annual, run_annual_with_model, train_for_location, AnnualConfig, FaultKind, FaultPlan,
-    FaultRates, FaultWindow, SensorFault, SimConfig, SystemSpec,
+    run_annual, run_annual_with_model, train_for_location, ActuatorFault, AnnualConfig, FaultKind,
+    FaultPlan, FaultRates, FaultSpec, FaultWindow, SensorFault, SimConfig, SystemSpec,
 };
 use coolair_suite::units::SimTime;
 use coolair_suite::weather::Location;
@@ -49,6 +49,48 @@ proptest! {
         // severities a year contains dozens of windows).
         let d = FaultPlan::random(seed ^ 0xdead_beef, &rates, &days, 4);
         prop_assert!(a != d, "distinct seeds produced identical plans");
+    }
+
+    /// A [`FaultSpec`] survives serde unchanged (including hand-built extra
+    /// windows), and scheduling from the round-tripped spec reproduces the
+    /// exact plan — the `spec → schedule → spec` property that makes a
+    /// scenario a content-addressable artifact rather than seed-plus-folklore.
+    #[test]
+    fn fault_spec_round_trips_through_serde_and_scheduling(
+        seed in 0u64..1_000_000,
+        severity in 0.0f64..4.0,
+        extra_day in 0u64..364,
+        extra_hours in 1u64..24,
+        pod in 0usize..4,
+    ) {
+        let spec = FaultSpec {
+            seed,
+            severity,
+            extra: vec![
+                FaultWindow {
+                    start: SimTime::from_days(extra_day),
+                    end: SimTime::from_secs(extra_day * 86_400 + extra_hours * 3_600),
+                    kind: FaultKind::Sensor { pod, fault: SensorFault::Drift { c_per_hour: 0.5 } },
+                },
+                FaultWindow {
+                    start: SimTime::from_days(extra_day),
+                    end: SimTime::from_secs(extra_day * 86_400 + extra_hours * 3_600),
+                    kind: FaultKind::Actuator(ActuatorFault::AcLockout),
+                },
+            ],
+        };
+        let json = serde_json::to_string(&spec).expect("serialize");
+        let back: FaultSpec = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(&back, &spec);
+
+        // Identical specs materialise identical plans, with the extra
+        // windows appended after the generated background load.
+        let days: Vec<u64> = (0..365).step_by(30).collect();
+        let plan = spec.schedule(&days, 4);
+        prop_assert_eq!(&plan, &back.schedule(&days, 4));
+        let tail: Vec<&FaultWindow> =
+            plan.windows().iter().rev().take(2).rev().collect();
+        prop_assert_eq!(tail, spec.extra.iter().collect::<Vec<_>>());
     }
 }
 
@@ -216,4 +258,110 @@ fn run_annual_day(
     let out = sim.run_day(day, facebook_trace(cfg.trace_seed).jobs_for_day(day));
     let max_inlet = out.minutes.iter().map(|m| m.max_inlet).fold(f64::NEG_INFINITY, f64::max);
     (AnnualSummary::new(vec![out.record]), max_inlet)
+}
+
+/// A nested drill on one day: every level's windows are a superset of the
+/// previous level's. `hours` scales the sensor-dropout coverage; an AC
+/// lockout rides along at half that length once `hours >= 2`.
+fn drill_plan(day: u64, pods: usize, hours: u64) -> FaultPlan {
+    let mut plan = FaultPlan::none();
+    if hours == 0 {
+        return plan;
+    }
+    let start = day * 86_400 + 6 * 3_600;
+    for pod in 0..pods {
+        plan = plan.with_window(FaultWindow {
+            start: SimTime::from_secs(start),
+            end: SimTime::from_secs(start + hours * 3_600),
+            kind: FaultKind::Sensor { pod, fault: SensorFault::Dropout },
+        });
+    }
+    if hours >= 2 {
+        plan = plan.with_window(FaultWindow {
+            start: SimTime::from_secs(start),
+            end: SimTime::from_secs(start + (hours / 2) * 3_600),
+            kind: FaultKind::Actuator(ActuatorFault::AcLockout),
+        });
+    }
+    plan
+}
+
+#[test]
+fn combined_sensor_and_actuator_faults_climb_the_ladder_deterministically() {
+    // Sensor dropout on two pods AND an AC lockout overlapping it in the
+    // same run: the supervisor must escalate (two invalid sensors cross
+    // the default fallback threshold), stay deterministic, and come back
+    // down once the windows clear.
+    let location = Location::newark();
+    let day = 150u64;
+    let mut cfg = quick_cfg();
+    cfg.stride = 365;
+    cfg.engine = SimConfig { record_minutes: true, ..SimConfig::default() };
+    cfg.faults = drill_plan(day, 2, 6);
+    let model = train_for_location(&location, &cfg);
+    let sys = SystemSpec::Supervised(Version::AllNd);
+
+    let (a, a_inlet) = run_annual_day(&sys, &location, &cfg, Some(model.clone()), day);
+    let (b, b_inlet) = run_annual_day(&sys, &location, &cfg, Some(model), day);
+    assert_eq!(a, b, "combined faults must not break run determinism");
+    assert_eq!(a_inlet.to_bits(), b_inlet.to_bits());
+    assert!(a.fault_minutes() > 0, "the drill must actually be active");
+    assert!(
+        a.degraded_minutes() > 0,
+        "two dropped sensors plus a locked-out compressor must leave Normal mode"
+    );
+    assert!(
+        a.degraded_minutes() < 24 * 60,
+        "the ladder must recover after the windows clear, got {} degraded minutes",
+        a.degraded_minutes()
+    );
+}
+
+#[test]
+fn raising_fault_severity_never_lowers_the_ladder_state() {
+    // Four drills whose windows strictly nest (longer dropout on more
+    // pods, longer lockout). More faults can only push the supervisor
+    // further up the ladder: total time away from Normal and the number
+    // of imputed readings must be monotone in the drill size.
+    let location = Location::newark();
+    let day = 150u64;
+    let mut base = quick_cfg();
+    base.stride = 365;
+    base.engine = SimConfig { record_minutes: true, ..SimConfig::default() };
+    let model = train_for_location(&location, &base);
+    let sys = SystemSpec::Supervised(Version::AllNd);
+
+    let levels = [(0usize, 0u64), (2, 2), (4, 6), (4, 12)];
+    let mut engaged = Vec::new();
+    let mut imputed = Vec::new();
+    let mut failsafe = Vec::new();
+    for (pods, hours) in levels {
+        let mut cfg = base.clone();
+        cfg.faults = drill_plan(day, pods, hours);
+        let (summary, _) = run_annual_day(&sys, &location, &cfg, Some(model.clone()), day);
+        engaged.push(summary.degraded_minutes() + summary.failsafe_minutes());
+        imputed.push(summary.imputed_readings());
+        failsafe.push(summary.failsafe_minutes());
+    }
+    // The fault-free run is the baseline, not necessarily zero: a hot
+    // summer day arms the protective failsafe on its own for a short
+    // spell. Severity must only ever add to the baseline.
+    assert!(
+        engaged.windows(2).all(|w| w[0] <= w[1]),
+        "ladder engagement must be monotone in fault severity: {engaged:?}"
+    );
+    assert!(engaged[3] > engaged[1], "the largest drill must clearly dominate the smallest");
+    // Imputation is deliberately NOT monotone: it needs surviving sensors
+    // to impute *from*. Partial dropout imputes; total dropout has nothing
+    // left to lean on and must escalate to the blind-AC failsafe instead.
+    assert_eq!(imputed[0], 0, "no faults, nothing to impute");
+    assert!(imputed[1] > 0, "partial dropout must impute from the surviving sensors");
+    assert!(
+        failsafe.windows(2).all(|w| w[0] <= w[1]),
+        "failsafe time must be monotone in fault severity: {failsafe:?}"
+    );
+    assert!(
+        failsafe[2] > failsafe[1],
+        "total dropout must arm the failsafe beyond the thermal baseline: {failsafe:?}"
+    );
 }
