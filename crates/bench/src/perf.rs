@@ -146,11 +146,11 @@ impl std::fmt::Display for Regression {
 }
 
 /// `true` when a row's unit means larger values are better (throughput
-/// rates); `ns` rows (and legacy unit-less rows) are latency, where larger
-/// is worse.
+/// rates and speedup ratios); `ns` rows, ratio-`x` rows, and legacy
+/// unit-less rows are costs, where larger is worse.
 #[must_use]
 fn unit_higher_is_better(unit: Option<&str>) -> bool {
-    matches!(unit, Some("req/s"))
+    matches!(unit, Some("req/s" | "containers/s" | "speedup"))
 }
 
 /// Compares a fresh report against a committed baseline and returns every

@@ -19,9 +19,12 @@ use coolair_sim::{
     sweep_one, train_for_location, AnnualConfig, FaultPlan, FaultRates, ReliabilityParams,
     SystemSpec,
 };
+use coolair_fleet::{
+    fleet_lane_jobs, run_fleet_with, FleetOutcome, FleetSpec, KIND_FLEET_REPORT,
+};
 use coolair_telemetry::{Telemetry, TraceRecord};
 use coolair_tune::{run_tune_with, TuneOutcome, TuneSpec, KIND_TUNE_REPORT};
-use coolair_weather::{Location, TmySeries, WorldGrid};
+use coolair_weather::{shard_locations, world_locations, Location, TmySeries, WorldGrid};
 use coolair_workload::TraceKind;
 
 use reporter::Table;
@@ -390,6 +393,10 @@ pub fn cmd_report(path: &str) -> Result<String, ReportError> {
     if let Ok(outcome) = serde_json::from_str::<TuneOutcome>(&text) {
         return Ok(reporter::render_tune(&outcome));
     }
+    // Same story for a fleet outcome written by `coolair fleet --out`.
+    if let Ok(outcome) = serde_json::from_str::<FleetOutcome>(&text) {
+        return Ok(reporter::render_fleet(&outcome));
+    }
     let mut records: Vec<TraceRecord> = Vec::new();
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
@@ -596,17 +603,9 @@ pub fn cmd_sweep(args: &SweepArgs) -> Result<String, CliError> {
         training: TrainingConfig { days: args.training_days.max(1), ..TrainingConfig::default() },
         ..AnnualConfig::default()
     };
-    let grid = WorldGrid::with_count(args.locations);
-    // Shards interleave (every n-th cell) so each one keeps the full
-    // latitude coverage of the grid.
+    let grid = world_locations(args.locations);
     let (k, n) = args.shard.unwrap_or((1, 1));
-    let selected: Vec<Location> = grid
-        .locations()
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| i % n == k - 1)
-        .map(|(_, l)| l.clone())
-        .collect();
+    let selected = shard_locations(&grid, k, n);
 
     let telemetry = Telemetry::discard();
     let exec = Executor::new(ExecutorConfig {
@@ -753,6 +752,173 @@ pub fn cmd_tune(args: &TuneArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parses a `--sites` value: either `world:N` (the first N cells of the
+/// 1520-location world grid) or a comma-separated list of named locations
+/// (e.g. `iceland,newark,phoenix,singapore`).
+///
+/// # Errors
+///
+/// Returns an error for malformed specs or unknown location names.
+pub fn parse_sites(value: &str) -> Result<Vec<Location>, CliError> {
+    if let Some(count) = value.strip_prefix("world:") {
+        let count: usize = count
+            .trim()
+            .parse()
+            .map_err(|_| format!("--sites world:N wants a number, got '{value}'"))?;
+        if count == 0 {
+            return Err("--sites world:N wants N >= 1".to_string());
+        }
+        return Ok(world_locations(count));
+    }
+    let sites: Result<Vec<Location>, CliError> =
+        value.split(',').map(str::trim).filter(|s| !s.is_empty()).map(parse_location).collect();
+    let sites = sites?;
+    if sites.is_empty() {
+        return Err(format!("--sites wants at least one location, got '{value}'"));
+    }
+    Ok(sites)
+}
+
+/// Arguments of `coolair fleet`.
+#[derive(Debug, Clone)]
+pub struct FleetArgs {
+    /// Placement seed.
+    pub seed: u64,
+    /// Use the tiny CI smoke spec instead of the shipped campaign.
+    pub smoke: bool,
+    /// Override the spec's container count.
+    pub containers: Option<usize>,
+    /// Override the spec's sites (see [`parse_sites`]).
+    pub sites: Option<String>,
+    /// Override the spec's decision-epoch count.
+    pub epochs: Option<usize>,
+    /// Worker threads (0 → available parallelism).
+    pub threads: usize,
+    /// Store directory for lane evaluations and the report artifact;
+    /// `None` runs in memory (no caching, no resume).
+    pub store: Option<String>,
+    /// Replay the store's journal instead of starting a fresh one.
+    pub resume: bool,
+    /// Warm-up mode: run only lane jobs `k/n` of the campaign's job set
+    /// into the store, skip the report (another shard or the final
+    /// unsharded run aggregates from cache).
+    pub shard: Option<(usize, usize)>,
+    /// Write the full [`FleetOutcome`] to this path as pretty JSON
+    /// (renderable later with `coolair report`).
+    pub out: Option<String>,
+}
+
+impl Default for FleetArgs {
+    fn default() -> Self {
+        FleetArgs {
+            seed: 7,
+            smoke: false,
+            containers: None,
+            sites: None,
+            epochs: None,
+            threads: 0,
+            store: None,
+            resume: false,
+            shard: None,
+            out: None,
+        }
+    }
+}
+
+/// `coolair fleet` — the geo-distributed campus campaign: batched lane
+/// stepping plus follow-the-cold migration, priced against independent
+/// containers. Resumable via `--store`/`--resume`; `--shard k/n` warms a
+/// slice of the lane-job set into the store and exits.
+///
+/// # Errors
+///
+/// Propagates spec validation and store/output I/O errors.
+pub fn cmd_fleet(args: &FleetArgs) -> Result<String, CliError> {
+    let mut spec =
+        if args.smoke { FleetSpec::smoke(args.seed) } else { FleetSpec::shipped(args.seed) };
+    if let Some(containers) = args.containers {
+        spec.containers = containers;
+    }
+    if let Some(sites) = &args.sites {
+        spec.sites = parse_sites(sites)?;
+    }
+    if let Some(epochs) = args.epochs {
+        spec.epochs = epochs;
+    }
+    spec.validate().map_err(|e| format!("invalid fleet spec: {e}"))?;
+
+    let telemetry = Telemetry::discard();
+    let exec = Executor::new(ExecutorConfig {
+        threads: args.threads,
+        store_dir: args.store.as_ref().map(std::path::PathBuf::from),
+        resume: args.resume,
+        telemetry: telemetry.clone(),
+        ..ExecutorConfig::default()
+    })
+    .map_err(|e| format!("open store: {e}"))?;
+
+    let started = std::time::Instant::now();
+    if let Some((k, n)) = args.shard {
+        // Warm-up shard: price a deterministic slice of the campaign's
+        // lane-job set into the store, no aggregation.
+        if args.store.is_none() {
+            return Err("--shard needs --store (shards only exist to warm a store)".to_string());
+        }
+        let all = fleet_lane_jobs(&spec);
+        let mine: Vec<_> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % n == k - 1)
+            .map(|(_, j)| j.clone())
+            .collect();
+        for result in exec.run(&mine) {
+            if let coolair_runner::JobResult::Failed { error, .. } = result {
+                return Err(format!("lane evaluation failed: {error}"));
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fleet shard {k}/{n}: warmed {} of {} lane jobs (spec {})",
+            mine.len(),
+            all.len(),
+            spec.digest()
+        );
+        out.push_str(&reporter::render_progress(&exec.progress()));
+        let _ = writeln!(out, "wall clock: {:.2} s", started.elapsed().as_secs_f64());
+        return Ok(out);
+    }
+
+    let outcome = run_fleet_with(&spec, &exec, &telemetry);
+    let elapsed = started.elapsed();
+
+    if let Some(store) = exec.store() {
+        store
+            .put(KIND_FLEET_REPORT, spec.digest(), &outcome)
+            .map_err(|e| format!("store fleet report: {e}"))?;
+    }
+    if let Some(path) = &args.out {
+        let json = serde_json::to_vec_pretty(&outcome)
+            .map_err(|e| format!("serialise fleet outcome: {e}"))?;
+        std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+    }
+
+    let mut out = reporter::render_fleet(&outcome);
+    let _ = writeln!(
+        out,
+        "store cache hits: {}",
+        telemetry.metrics().counter("runner.cache-hit"),
+    );
+    let _ = writeln!(out, "wall clock: {:.2} s", elapsed.as_secs_f64());
+    if exec.store().is_some() {
+        let _ = writeln!(out, "report artifact: fleet-report/{}", spec.digest());
+    }
+    if let Some(path) = &args.out {
+        let _ = writeln!(out, "outcome written to {path} (render with `coolair report {path}`)");
+    }
+    Ok(out)
+}
+
 /// Usage text.
 #[must_use]
 pub fn usage() -> String {
@@ -772,7 +938,10 @@ USAGE:
                      [--store <dir>] [--resume] [--out <outcome.json>]
     coolair run      [--location <name>] [--system <name>] [--trace-kind facebook|nutch]
                      [--day N] [--days N] [--trace <out.jsonl>]
-    coolair report   <trace.jsonl | tune-outcome.json>
+    coolair fleet    [--seed N] [--smoke] [--containers N] [--sites world:N|a,b,c]
+                     [--epochs N] [--threads N] [--store <dir>] [--resume]
+                     [--shard k/n] [--out <outcome.json>]
+    coolair report   <trace.jsonl | tune-outcome.json | fleet-outcome.json>
     coolair serve    [--addr host:port] [--threads N] [--queue-depth N]
                      [--max-connections N] [--store <dir>]
 
@@ -925,6 +1094,81 @@ mod tests {
         assert!(rendered.contains("robust tune (seed 3"), "got: {rendered}");
         assert!(rendered.contains("decomposition rounds"), "got: {rendered}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fleet_smoke_reports_and_round_trips_through_report() {
+        let dir = std::env::temp_dir().join("coolair_cli_fleet_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let out_path = dir.join("fleet-outcome.json");
+        let out = cmd_fleet(&FleetArgs {
+            smoke: true,
+            seed: 11,
+            threads: 2,
+            store: Some(dir.join("store").to_string_lossy().into_owned()),
+            out: Some(out_path.to_string_lossy().into_owned()),
+            ..FleetArgs::default()
+        })
+        .unwrap();
+        assert!(out.contains("fleet campaign (seed 11"), "got: {out}");
+        assert!(out.contains("decision epochs"), "got: {out}");
+        assert!(out.contains("per-site leaderboard"), "got: {out}");
+        assert!(out.contains("follow-the-cold vs independent containers"), "got: {out}");
+        assert!(out.contains("store cache hits"), "got: {out}");
+        assert!(out.contains("report artifact: fleet-report/"), "got: {out}");
+
+        // The written outcome renders through `coolair report`.
+        let rendered = cmd_report(out_path.to_str().unwrap()).unwrap();
+        assert!(rendered.contains("fleet campaign (seed 11"), "got: {rendered}");
+        assert!(rendered.contains("migration total"), "got: {rendered}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fleet_shard_warms_the_store_and_the_final_run_rides_the_cache() {
+        let dir = std::env::temp_dir().join("coolair_cli_fleet_shard_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = dir.join("store").to_string_lossy().into_owned();
+        let base = FleetArgs {
+            smoke: true,
+            seed: 11,
+            threads: 2,
+            store: Some(store),
+            ..FleetArgs::default()
+        };
+        // Two shards cover the whole lane-job set between them.
+        for k in 1..=2 {
+            let out = cmd_fleet(&FleetArgs { shard: Some((k, 2)), ..base.clone() }).unwrap();
+            assert!(out.contains(&format!("fleet shard {k}/2: warmed")), "got: {out}");
+        }
+        // The aggregating run finds every lane in the store.
+        let out = cmd_fleet(&base).unwrap();
+        let hits: u64 = out
+            .lines()
+            .find_map(|l| l.strip_prefix("store cache hits: "))
+            .and_then(|v| v.trim().parse().ok())
+            .expect("cache-hit line");
+        assert!(hits > 0, "aggregation should hit the warmed store: {out}");
+
+        // Shards refuse to run without a store to warm.
+        let err =
+            cmd_fleet(&FleetArgs { shard: Some((1, 2)), store: None, ..base.clone() }).unwrap_err();
+        assert!(err.contains("--shard needs --store"), "got: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_sites_handles_world_prefix_and_named_lists() {
+        assert_eq!(parse_sites("world:3").unwrap().len(), 3);
+        let named = parse_sites("iceland, newark").unwrap();
+        assert_eq!(named.len(), 2);
+        assert_eq!(named[0].name(), "Iceland");
+        assert!(parse_sites("world:0").is_err());
+        assert!(parse_sites("world:many").is_err());
+        assert!(parse_sites("atlantis").is_err());
+        assert!(parse_sites(" , ").is_err());
     }
 
     #[test]

@@ -285,6 +285,111 @@ pub fn render_tune(o: &TuneOutcome) -> String {
     out
 }
 
+/// Renders a fleet campaign outcome: per-epoch decisions, the per-site
+/// leaderboard, migration totals, and the managed-vs-independent delta.
+#[must_use]
+pub fn render_fleet(o: &coolair_fleet::FleetOutcome) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fleet campaign (seed {}, {} containers, {} sites, {} epoch(s), migration {})",
+        o.seed,
+        o.containers,
+        o.site_names.len(),
+        o.epochs_run,
+        if o.migration_enabled { "on" } else { "off" }
+    );
+    let _ = writeln!(
+        out,
+        "batched lanes: {} evaluations covered {} container-epochs",
+        o.lanes_evaluated,
+        o.containers * o.epochs_run
+    );
+
+    let _ = writeln!(out, "\ndecision epochs:");
+    let mut epochs = Table::new(&["epoch", "days", "best headroom", "moves", "migrated MWh", "loaded/site"]);
+    for e in &o.epochs {
+        let best = e
+            .headroom
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let best = best.map_or_else(String::new, |(i, h)| {
+            format!("{} ({:.0}%)", o.site_names.get(i).map_or("?", String::as_str), h * 100.0)
+        });
+        let moves: u64 = e.migrations.iter().map(|m| m.containers).sum();
+        let loads: Vec<String> = e.loaded_per_site.iter().map(u64::to_string).collect();
+        epochs.row(&[
+            e.epoch.to_string(),
+            format!("d{}..d{}", e.first_day, e.last_day),
+            best,
+            moves.to_string(),
+            format!("{:.3}", e.migrated_mwh),
+            loads.join("/"),
+        ]);
+    }
+    out.push_str(&epochs.render());
+
+    let _ = writeln!(out, "\nper-site leaderboard (managed run):");
+    let mut sites = Table::new(&[
+        "site",
+        "containers",
+        "loaded 0->N",
+        "PUE",
+        "violation °C·min",
+        "cooling kWh",
+        "IT kWh",
+    ]);
+    let mut ranked: Vec<&coolair_fleet::SiteReport> = o.per_site.iter().collect();
+    ranked.sort_by(|a, b| a.pue.partial_cmp(&b.pue).unwrap_or(std::cmp::Ordering::Equal));
+    for s in ranked {
+        sites.row(&[
+            s.name.clone(),
+            s.containers.to_string(),
+            format!("{} -> {}", s.loaded_initial, s.loaded_final),
+            format!("{:.3}", s.pue),
+            format!("{:.0}", s.violation_cmin),
+            format!("{:.1}", s.cooling_kwh),
+            format!("{:.1}", s.it_kwh),
+        ]);
+    }
+    out.push_str(&sites.render());
+
+    let _ = writeln!(out, "\nfollow-the-cold vs independent containers:");
+    let mut delta = Table::new(&["metric", "independent", "managed", "delta"]);
+    delta.row(&[
+        "PUE".to_string(),
+        format!("{:.3}", o.independent.pue),
+        format!("{:.3}", o.fleet.pue),
+        format!("{:+.1}%", percent_change(o.independent.pue, o.fleet.pue)),
+    ]);
+    delta.row(&[
+        "violation °C·min".to_string(),
+        format!("{:.0}", o.independent.violation_cmin),
+        format!("{:.0}", o.fleet.violation_cmin),
+        format!("{:+.1}%", percent_change(o.independent.violation_cmin, o.fleet.violation_cmin)),
+    ]);
+    delta.row(&[
+        "cooling kWh".to_string(),
+        format!("{:.1}", o.independent.cooling_kwh),
+        format!("{:.1}", o.fleet.cooling_kwh),
+        format!("{:+.1}%", percent_change(o.independent.cooling_kwh, o.fleet.cooling_kwh)),
+    ]);
+    delta.row(&[
+        "IT kWh".to_string(),
+        format!("{:.1}", o.independent.it_kwh),
+        format!("{:.1}", o.fleet.it_kwh),
+        format!("{:+.1}%", percent_change(o.independent.it_kwh, o.fleet.it_kwh)),
+    ]);
+    out.push_str(&delta.render());
+    let _ = writeln!(
+        out,
+        "migration total: {} container-moves, {:.3} MWh of deferrable load",
+        o.fleet.moves, o.fleet.migrated_mwh
+    );
+    out
+}
+
 fn percent_change(from: f64, to: f64) -> f64 {
     if from.abs() < f64::EPSILON {
         0.0

@@ -1,0 +1,169 @@
+//! The fleet's unit of cached work: one lane-epoch evaluation.
+//!
+//! A **lane** is a (site, load class) pair: every container in a lane is
+//! bit-identical, so one [`LaneJob`] prices all of them at once. Jobs are
+//! content-addressed in the `fleet-eval` namespace, which is what makes
+//! sharded warm-up (`--shard`) and kill/resume byte-identical: a resumed
+//! campaign replays the same digests and hits the store.
+
+use coolair::CoolingModel;
+use coolair_runner::{stable_digest, Digest, Job};
+use coolair_sim::{run_days_loaded, AnnualConfig, AnnualSummary, SystemSpec};
+use coolair_telemetry::Telemetry;
+use coolair_weather::Location;
+use coolair_workload::TraceKind;
+use serde::{Deserialize, Serialize};
+
+use crate::spec::KIND_FLEET_EVAL;
+
+/// The totals one lane contributes per container over its day span.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LaneEval {
+    /// Days evaluated.
+    pub days: u64,
+    /// Thermal violation, °C·min.
+    pub violation_cmin: f64,
+    /// Cooling energy, kWh.
+    pub cooling_kwh: f64,
+    /// IT energy, kWh.
+    pub it_kwh: f64,
+    /// Completed trace jobs.
+    pub jobs_completed: u64,
+}
+
+impl LaneEval {
+    /// Extracts the lane totals from an annual summary.
+    #[must_use]
+    pub fn from_summary(summary: &AnnualSummary) -> Self {
+        LaneEval {
+            days: summary.len() as u64,
+            violation_cmin: summary.total_violation(),
+            cooling_kwh: summary.cooling_kwh(),
+            it_kwh: summary.it_kwh(),
+            jobs_completed: summary.jobs_completed(),
+        }
+    }
+}
+
+/// Evaluates one lane over one epoch's sampled days.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LaneJob {
+    /// Lane site.
+    pub location: Location,
+    /// Load class: `true` runs the trace, `false` idles on the covering
+    /// subset (its batch load migrated elsewhere).
+    pub loaded: bool,
+    /// Sampled calendar days for this epoch.
+    pub days: Vec<u64>,
+    /// System under evaluation.
+    pub system: SystemSpec,
+    /// Workload trace (only consulted when `loaded`).
+    pub trace: TraceKind,
+    /// Shared annual configuration.
+    pub annual: AnnualConfig,
+    /// Pre-trained Cooling Model (runtime payload; a deterministic product
+    /// of fields already digested, so it stays out of the hash — the same
+    /// discipline as `SweepPointJob`).
+    pub model: Option<CoolingModel>,
+}
+
+impl Job for LaneJob {
+    type Output = LaneEval;
+
+    fn kind(&self) -> &'static str {
+        KIND_FLEET_EVAL
+    }
+
+    fn digest(&self) -> Digest {
+        // Nested pairs: the vendored serde only implements Serialize for
+        // tuples up to four elements. `model` is deliberately excluded —
+        // it is a deterministic product of fields already in the key.
+        let days: &[u64] = &self.days;
+        let key = (
+            (&self.location, self.loaded),
+            (days, &self.system),
+            (&self.trace, &self.annual),
+        );
+        stable_digest(&key)
+    }
+
+    fn label(&self) -> String {
+        let class = if self.loaded { "loaded" } else { "light" };
+        match (self.days.first(), self.days.last()) {
+            (Some(first), Some(last)) => {
+                format!("{} {class} d{first}..d{last}", self.location.name())
+            }
+            _ => format!("{} {class} (no days)", self.location.name()),
+        }
+    }
+
+    fn run(&self) -> LaneEval {
+        // Controllers that predict need a model; train on demand when the
+        // orchestrator didn't attach one (e.g. a sharded warm-up run).
+        let model = match (&self.model, &self.system) {
+            (Some(m), _) => Some(m.clone()),
+            (None, SystemSpec::Baseline | SystemSpec::BaselineWithSetpoint(_)) => None,
+            (None, _) => Some(coolair_sim::train_for_location(&self.location, &self.annual)),
+        };
+        let summary = run_days_loaded(
+            &self.system,
+            &self.location,
+            self.trace,
+            &self.annual,
+            model,
+            &self.days,
+            self.loaded,
+            Telemetry::disabled(),
+        );
+        LaneEval::from_summary(&summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lane(loaded: bool, days: Vec<u64>) -> LaneJob {
+        LaneJob {
+            location: Location::newark(),
+            loaded,
+            days,
+            system: SystemSpec::Baseline,
+            trace: TraceKind::Facebook,
+            annual: AnnualConfig::quick(),
+            model: None,
+        }
+    }
+
+    #[test]
+    fn digest_covers_lane_identity_but_not_the_model() {
+        let a = lane(true, vec![0, 30]);
+        assert_ne!(a.digest(), lane(false, vec![0, 30]).digest(), "load class digested");
+        assert_ne!(a.digest(), lane(true, vec![0, 60]).digest(), "days digested");
+        let mut other_site = a.clone();
+        other_site.location = Location::singapore();
+        assert_ne!(a.digest(), other_site.digest(), "site digested");
+        // The runtime model payload must not perturb the digest.
+        let trained =
+            coolair_sim::train_for_location(&Location::newark(), &AnnualConfig::quick());
+        let mut with_model = a.clone();
+        with_model.model = Some(trained);
+        assert_eq!(a.digest(), with_model.digest(), "model stays out of the hash");
+    }
+
+    #[test]
+    fn light_lane_runs_no_jobs_and_spends_less_it_energy() {
+        let loaded = lane(true, vec![0]).run();
+        let light = lane(false, vec![0]).run();
+        assert_eq!(loaded.days, 1);
+        assert_eq!(light.days, 1);
+        assert!(loaded.jobs_completed > 0, "loaded lane runs the trace");
+        assert_eq!(light.jobs_completed, 0, "light lane idles");
+        assert!(
+            light.it_kwh < loaded.it_kwh,
+            "idling on the covering subset must cost less IT energy: {} vs {}",
+            light.it_kwh,
+            loaded.it_kwh
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! The global compute manager: follow-the-cold placement.
+//!
+//! At each decision epoch the manager ranks sites by **free-cooling
+//! headroom** — the fraction of forecast hours inside the psychrometric
+//! envelope (outside air cool enough *and* dry enough to blow straight
+//! through the containers) — and greedily migrates deferrable batch load
+//! from the least-cool site toward the coolest one, within a per-epoch
+//! energy budget and per-site capacity.
+//!
+//! Decisions are pure functions of the spec: headroom comes from the
+//! forecast, never from evaluation results. That purity is what lets a
+//! campaign compute every epoch's placement up front, shard the resulting
+//! lane jobs across machines, and resume byte-identically after a kill.
+
+use coolair_units::psychro;
+use coolair_units::{SimDuration, SimTime};
+use coolair_weather::{Forecaster, TmySeries};
+
+use crate::spec::MigrationPolicy;
+use crate::state::{FleetState, MigrationRecord};
+
+/// Follow-the-cold migration planner.
+#[derive(Debug, Clone)]
+pub struct GlobalComputeManager {
+    policy: MigrationPolicy,
+}
+
+impl GlobalComputeManager {
+    /// Builds a manager for a policy.
+    #[must_use]
+    pub fn new(policy: MigrationPolicy) -> Self {
+        GlobalComputeManager { policy }
+    }
+
+    /// The policy under which this manager plans.
+    #[must_use]
+    pub fn policy(&self) -> &MigrationPolicy {
+        &self.policy
+    }
+
+    /// Free-cooling headroom of one site over a span of days: the fraction
+    /// of forecast hours whose outside air sits inside the psychrometric
+    /// envelope (temperature at or under `free_cool_max_c`, relative
+    /// humidity — at the forecast temperature, with the site's TMY
+    /// moisture content — at or under `max_rh_pct`).
+    #[must_use]
+    pub fn headroom(&self, forecaster: &Forecaster, tmy: &TmySeries, days: &[u64]) -> f64 {
+        let mut inside = 0usize;
+        let mut total = 0usize;
+        for &day in days {
+            let forecast = forecaster.forecast_for_day(day);
+            for (hour, temp) in forecast.hourly.iter().enumerate() {
+                total += 1;
+                if temp.value() > self.policy.free_cool_max_c {
+                    continue;
+                }
+                let at = SimTime::from_days(day) + SimDuration::from_hours(hour as u64);
+                let rh = psychro::relative_humidity(*temp, tmy.absolute_humidity_at(at));
+                if rh.percent() <= self.policy.max_rh_pct {
+                    inside += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            inside as f64 / total as f64
+        }
+    }
+
+    /// Plans and applies this epoch's migrations, mutating `state` and
+    /// returning the committed moves aggregated per site pair.
+    ///
+    /// Greedy policy: while budget remains, move one container's load from
+    /// the currently worst-headroom site that still holds load to the
+    /// currently best-headroom site with spare capacity, requiring the
+    /// destination to beat the source by at least `min_gain`.
+    pub fn migrate(
+        &self,
+        state: &mut FleetState,
+        headroom: &[f64],
+        epoch: u64,
+        epoch_hours: f64,
+    ) -> Vec<MigrationRecord> {
+        if !self.policy.enabled || headroom.len() < 2 {
+            return Vec::new();
+        }
+        let per_move_mwh = self.policy.deferrable_kw * epoch_hours / 1000.0;
+        let mut moves_left = if per_move_mwh > 0.0 {
+            (self.policy.budget_mwh / per_move_mwh).floor() as usize
+        } else {
+            usize::MAX
+        };
+        let sites = headroom.len();
+        let containers = state.containers_per_site(sites);
+        let mut loaded = state.loaded_per_site(sites);
+        let cap =
+            |s: usize| self.policy.site_capacity.unwrap_or(usize::MAX).min(containers[s]);
+        // Rank once: headroom descending, site index as the deterministic
+        // tie-break.
+        let mut order: Vec<usize> = (0..sites).collect();
+        order.sort_by(|&a, &b| {
+            headroom[b].partial_cmp(&headroom[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        });
+        let mut records: Vec<MigrationRecord> = Vec::new();
+        while moves_left > 0 {
+            let Some(&dst) = order.iter().find(|&&s| loaded[s] < cap(s)) else { break };
+            let Some(&src) = order.iter().rev().find(|&&s| loaded[s] > 0) else { break };
+            if src == dst || headroom[dst] < headroom[src] + self.policy.min_gain {
+                break;
+            }
+            if !state.apply_move(src, dst) {
+                break;
+            }
+            loaded[src] -= 1;
+            loaded[dst] += 1;
+            moves_left -= 1;
+            match records.last_mut() {
+                Some(last) if last.from == src && last.to == dst => {
+                    last.containers += 1;
+                    last.mwh += per_move_mwh;
+                }
+                _ => records.push(MigrationRecord {
+                    epoch,
+                    from: src,
+                    to: dst,
+                    containers: 1,
+                    mwh: per_move_mwh,
+                }),
+            }
+        }
+        records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use coolair_weather::{ForecastError, Location};
+
+    use super::*;
+    use crate::spec::FleetSpec;
+
+    fn site_headroom(policy: &MigrationPolicy, location: &Location, days: &[u64]) -> f64 {
+        let tmy = TmySeries::generate(location, 42);
+        let forecaster = Forecaster::new(tmy.clone(), ForecastError::PERFECT, 42);
+        GlobalComputeManager::new(policy.clone()).headroom(&forecaster, &tmy, days)
+    }
+
+    #[test]
+    fn headroom_orders_climates_sensibly() {
+        let policy = MigrationPolicy::default();
+        let days: Vec<u64> = (0..365).step_by(30).collect();
+        let iceland = site_headroom(&policy, &Location::iceland(), &days);
+        let singapore = site_headroom(&policy, &Location::singapore(), &days);
+        assert!(
+            iceland > singapore + 0.2,
+            "iceland must hold far more free-cooling headroom: {iceland} vs {singapore}"
+        );
+        assert!((0.0..=1.0).contains(&iceland) && (0.0..=1.0).contains(&singapore));
+    }
+
+    #[test]
+    fn migrate_follows_the_cold_within_budget() {
+        let spec = FleetSpec::smoke(3);
+        let mut state = FleetState::initial(&spec);
+        let manager = GlobalComputeManager::new(MigrationPolicy::default());
+        let before = state.loaded_count();
+        let hot_load_before = state.loaded_per_site(2)[1];
+        // Site 0 is cold, site 1 is hot: all load should pack into site 0.
+        let records = manager.migrate(&mut state, &[0.9, 0.1], 1, 24.0);
+        assert_eq!(state.loaded_count(), before, "migration conserves load");
+        assert_eq!(state.loaded_per_site(2)[1], 0, "hot site drained");
+        let moved: u64 = records.iter().map(|r| r.containers).sum();
+        assert_eq!(moved as usize, hot_load_before, "every hot-site container moved once");
+        for r in &records {
+            assert_eq!((r.from, r.to), (1, 0));
+            assert!(r.mwh > 0.0);
+        }
+    }
+
+    #[test]
+    fn migrate_respects_budget_capacity_and_min_gain() {
+        let spec = FleetSpec::smoke(3);
+        let manager = GlobalComputeManager::new(MigrationPolicy {
+            budget_mwh: 0.024, // exactly one 1 kW × 24 h move
+            ..MigrationPolicy::default()
+        });
+        let mut state = FleetState::initial(&spec);
+        let records = manager.migrate(&mut state, &[0.9, 0.1], 1, 24.0);
+        let moved: u64 = records.iter().map(|r| r.containers).sum();
+        assert!(moved <= 1, "budget caps moves, got {moved}");
+
+        // No gain ⇒ no moves.
+        let mut state = FleetState::initial(&spec);
+        let manager = GlobalComputeManager::new(MigrationPolicy::default());
+        assert!(manager.migrate(&mut state, &[0.5, 0.5], 1, 24.0).is_empty());
+
+        // Capacity 1 per site ⇒ the cold site accepts at most one extra.
+        let manager = GlobalComputeManager::new(MigrationPolicy {
+            site_capacity: Some(1),
+            ..MigrationPolicy::default()
+        });
+        let mut state = FleetState::initial(&spec);
+        manager.migrate(&mut state, &[0.9, 0.1], 1, 24.0);
+        assert!(state.loaded_per_site(2)[0] <= 1);
+    }
+
+    #[test]
+    fn disabled_policy_never_moves() {
+        let spec = FleetSpec::smoke(3);
+        let mut state = FleetState::initial(&spec);
+        let before = state.clone();
+        let manager = GlobalComputeManager::new(MigrationPolicy::off());
+        assert!(manager.migrate(&mut state, &[0.9, 0.1], 1, 24.0).is_empty());
+        assert_eq!(state, before);
+    }
+}

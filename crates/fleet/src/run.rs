@@ -1,0 +1,522 @@
+//! The fleet campaign orchestrator.
+//!
+//! [`run_fleet_with`] turns a [`FleetSpec`] into a [`FleetOutcome`]:
+//!
+//! 1. **Placement pass** (pure): compute every epoch's free-cooling
+//!    headroom from the forecast and let the [`GlobalComputeManager`]
+//!    migrate batch load at each epoch boundary. No simulation runs here,
+//!    so the whole placement schedule — and with it the exact set of lane
+//!    evaluations — is known up front.
+//! 2. **Evaluation batch**: train one Cooling Model per site and run every
+//!    distinct [`LaneJob`] once through the executor. Jobs are
+//!    content-addressed (`fleet-eval`), so killed campaigns resume
+//!    byte-identically and `--shard` warm-ups pay off.
+//! 3. **Aggregation**: weight each lane by its container census into
+//!    per-site and fleet totals, next to an **independent baseline** — the
+//!    same fleet frozen at its initial placement for the whole year —
+//!    so the outcome directly prices what following the cold bought.
+
+use std::collections::HashMap;
+
+use coolair_runner::{Digest, Executor, Job, JobResult};
+use coolair_sim::jobs::TrainJob;
+use coolair_sim::{SystemSpec, POWER_DELIVERY_PUE};
+use coolair_telemetry::{Event, Telemetry};
+use coolair_weather::{Forecaster, TmySeries};
+use serde::{Deserialize, Serialize};
+
+use crate::jobs::{LaneEval, LaneJob};
+use crate::manager::GlobalComputeManager;
+use crate::spec::FleetSpec;
+use crate::state::{FleetState, MigrationRecord};
+
+/// Fleet-wide totals for one management strategy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSummary {
+    /// Fleet PUE including power-delivery losses.
+    pub pue: f64,
+    /// Total thermal violation, °C·min.
+    pub violation_cmin: f64,
+    /// Total cooling energy, kWh.
+    pub cooling_kwh: f64,
+    /// Total IT energy, kWh.
+    pub it_kwh: f64,
+    /// Total completed trace jobs.
+    pub jobs_completed: u64,
+    /// Deferrable energy migrated between sites, MWh.
+    pub migrated_mwh: f64,
+    /// Container-moves committed by the manager.
+    pub moves: u64,
+}
+
+impl FleetSummary {
+    fn from_totals(
+        violation_cmin: f64,
+        cooling_kwh: f64,
+        it_kwh: f64,
+        jobs_completed: u64,
+        migrated_mwh: f64,
+        moves: u64,
+    ) -> Self {
+        let pue = if it_kwh > 0.0 {
+            (it_kwh + cooling_kwh) / it_kwh + POWER_DELIVERY_PUE
+        } else {
+            1.0 + POWER_DELIVERY_PUE
+        };
+        FleetSummary { pue, violation_cmin, cooling_kwh, it_kwh, jobs_completed, migrated_mwh, moves }
+    }
+}
+
+/// One site's accumulated share of the managed fleet year.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteReport {
+    /// Site name.
+    pub name: String,
+    /// Containers homed at the site.
+    pub containers: u64,
+    /// Loaded containers at the initial placement.
+    pub loaded_initial: u64,
+    /// Loaded containers after the final epoch.
+    pub loaded_final: u64,
+    /// Site PUE including power-delivery losses.
+    pub pue: f64,
+    /// Thermal violation, °C·min.
+    pub violation_cmin: f64,
+    /// Cooling energy, kWh.
+    pub cooling_kwh: f64,
+    /// IT energy, kWh.
+    pub it_kwh: f64,
+    /// Completed trace jobs.
+    pub jobs_completed: u64,
+}
+
+/// One decision epoch of the managed run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochReport {
+    /// Epoch index (0-based).
+    pub epoch: u64,
+    /// First sampled calendar day of the epoch.
+    pub first_day: u64,
+    /// Last sampled calendar day of the epoch.
+    pub last_day: u64,
+    /// Free-cooling headroom per site (fraction of forecast hours inside
+    /// the psychrometric envelope), indexed like the spec's site list.
+    pub headroom: Vec<f64>,
+    /// Loaded containers per site after this epoch's migrations.
+    pub loaded_per_site: Vec<u64>,
+    /// Migrations committed at this epoch's boundary (empty for epoch 0).
+    pub migrations: Vec<MigrationRecord>,
+    /// Deferrable energy migrated this epoch, MWh.
+    pub migrated_mwh: f64,
+    /// Total deferrable energy carried by loaded containers this epoch,
+    /// MWh (the conservation denominator: migration moves load, it never
+    /// creates or destroys it).
+    pub deferrable_mwh: f64,
+}
+
+/// The full result of a fleet campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetOutcome {
+    /// Digest of the spec that produced this outcome.
+    pub spec_digest: String,
+    /// Placement seed.
+    pub seed: u64,
+    /// Containers simulated.
+    pub containers: u64,
+    /// Site names, in spec order (the index space of every per-site
+    /// vector in this outcome).
+    pub site_names: Vec<String>,
+    /// Whether follow-the-cold migration was active.
+    pub migration_enabled: bool,
+    /// Decision epochs actually run (1 when migration is disabled).
+    pub epochs_run: u64,
+    /// Distinct lane evaluations the batch needed — the batching win: a
+    /// 512-container fleet over 4 sites needs at most 8 per epoch.
+    pub lanes_evaluated: u64,
+    /// Per-epoch decisions and placements.
+    pub epochs: Vec<EpochReport>,
+    /// Per-site totals of the managed run.
+    pub per_site: Vec<SiteReport>,
+    /// Managed (follow-the-cold) fleet totals.
+    pub fleet: FleetSummary,
+    /// The same fleet frozen at its initial placement all year.
+    pub independent: FleetSummary,
+}
+
+/// Splits the sampled days into `epochs` contiguous near-equal slices.
+fn epoch_slices(days: &[u64], epochs: usize) -> Vec<Vec<u64>> {
+    let e = epochs.clamp(1, days.len().max(1));
+    (0..e).map(|i| days[i * days.len() / e..(i + 1) * days.len() / e].to_vec()).collect()
+}
+
+/// Effective epoch count: forced to 1 when migration is disabled (the
+/// whole year is then one uninterrupted per-lane run, which keeps an N=1
+/// fleet bit-identical to `run_annual`).
+fn effective_epochs(spec: &FleetSpec, sampled: usize) -> usize {
+    if spec.migration.enabled {
+        spec.epochs.clamp(1, sampled.max(1))
+    } else {
+        1
+    }
+}
+
+/// Whether a system needs a trained Cooling Model.
+fn needs_model(system: &SystemSpec) -> bool {
+    !matches!(system, SystemSpec::Baseline | SystemSpec::BaselineWithSetpoint(_))
+}
+
+/// The complete, deduplicated lane-job set a campaign will evaluate —
+/// placement schedule included. Shard workers run a slice of this set to
+/// warm the shared store; the final gather run then hits cache for every
+/// lane a shard already priced. Jobs carry no model payload (lanes train
+/// on demand), so shards need nothing but the spec.
+#[must_use]
+pub fn fleet_lane_jobs(spec: &FleetSpec) -> Vec<LaneJob> {
+    let (jobs, _, _) = plan_jobs(spec);
+    jobs
+}
+
+/// One epoch's precomputed decision record from the placement pass.
+struct PlannedEpoch {
+    days: Vec<u64>,
+    headroom: Vec<f64>,
+    census: Vec<usize>,
+    migrations: Vec<MigrationRecord>,
+}
+
+/// The placement pass: runs the manager over the forecast alone and
+/// returns the deduplicated job set, the per-epoch plan, and the final
+/// placement state.
+fn plan_jobs(spec: &FleetSpec) -> (Vec<LaneJob>, Vec<PlannedEpoch>, FleetState) {
+    let sites = spec.sites.len();
+    let days = spec.annual.sampled_days();
+    let epochs = effective_epochs(spec, days.len());
+    let slices = epoch_slices(&days, epochs);
+
+    let weather: Vec<(TmySeries, Forecaster)> = spec
+        .sites
+        .iter()
+        .map(|site| {
+            let tmy = TmySeries::generate(site, spec.annual.weather_seed);
+            let forecaster =
+                Forecaster::new(tmy.clone(), spec.annual.forecast_error, spec.annual.weather_seed);
+            (tmy, forecaster)
+        })
+        .collect();
+    let manager = GlobalComputeManager::new(spec.migration.clone());
+
+    let mut jobs: Vec<LaneJob> = Vec::new();
+    let mut seen: HashMap<Digest, usize> = HashMap::new();
+    let mut want = |jobs: &mut Vec<LaneJob>, site: usize, loaded: bool, span: &[u64]| {
+        let job = LaneJob {
+            location: spec.sites[site].clone(),
+            loaded,
+            days: span.to_vec(),
+            system: spec.system.clone(),
+            trace: spec.trace,
+            annual: spec.annual.clone(),
+            model: None,
+        };
+        let digest = job.digest();
+        seen.entry(digest).or_insert_with(|| {
+            jobs.push(job);
+            jobs.len() - 1
+        });
+    };
+
+    let mut state = FleetState::initial(spec);
+    // Independent baseline: the initial placement priced over the whole
+    // year in one uninterrupted run per lane.
+    let initial_census = state.lane_census(sites);
+    for site in 0..sites {
+        for loaded in [false, true] {
+            if initial_census[2 * site + usize::from(loaded)] > 0 {
+                want(&mut jobs, site, loaded, &days);
+            }
+        }
+    }
+
+    let mut planned = Vec::with_capacity(slices.len());
+    for (e, span) in slices.iter().enumerate() {
+        let headroom: Vec<f64> = weather
+            .iter()
+            .map(|(tmy, forecaster)| manager.headroom(forecaster, tmy, span))
+            .collect();
+        let epoch_hours = span.len() as f64 * 24.0;
+        let migrations = if e > 0 {
+            manager.migrate(&mut state, &headroom, e as u64, epoch_hours)
+        } else {
+            Vec::new()
+        };
+        let census = state.lane_census(sites);
+        for site in 0..sites {
+            for loaded in [false, true] {
+                if census[2 * site + usize::from(loaded)] > 0 {
+                    want(&mut jobs, site, loaded, span);
+                }
+            }
+        }
+        planned.push(PlannedEpoch { days: span.clone(), headroom, census, migrations });
+    }
+    (jobs, planned, state)
+}
+
+/// Runs a fleet campaign through an executor, returning the aggregated
+/// outcome. See the module docs for the three passes.
+///
+/// # Panics
+///
+/// Panics if the spec fails validation or any lane evaluation fails.
+#[must_use]
+pub fn run_fleet_with(spec: &FleetSpec, exec: &Executor, telemetry: &Telemetry) -> FleetOutcome {
+    if let Err(e) = spec.validate() {
+        panic!("invalid FleetSpec: {e}");
+    }
+    let sites = spec.sites.len();
+    let days = spec.annual.sampled_days();
+    let (mut jobs, planned, final_state) = plan_jobs(spec);
+
+    // One Cooling Model per site, trained in a single executor batch and
+    // attached to every lane job so no lane trains inline.
+    if needs_model(&spec.system) {
+        let train: Vec<TrainJob> = spec
+            .sites
+            .iter()
+            .map(|site| TrainJob { location: site.clone(), annual: spec.annual.clone() })
+            .collect();
+        let mut models = HashMap::new();
+        for (site, result) in spec.sites.iter().zip(exec.run(&train)) {
+            match result.into_output() {
+                Some(model) => {
+                    models.insert(site.name().to_string(), model);
+                }
+                None => panic!("cooling-model training failed for {}", site.name()),
+            }
+        }
+        for job in &mut jobs {
+            job.model = models.get(job.location.name()).cloned();
+        }
+    }
+
+    let mut evals: HashMap<Digest, LaneEval> = HashMap::new();
+    for (job, result) in jobs.iter().zip(exec.run(&jobs)) {
+        match result {
+            JobResult::Computed(eval) | JobResult::Cached(eval) => {
+                evals.insert(job.digest(), eval);
+            }
+            JobResult::Failed { error, .. } => {
+                panic!("fleet lane evaluation failed for {}: {error}", job.label())
+            }
+        }
+    }
+    // Re-digest lanes without the model payload attached (the digest
+    // ignores it, so lookups from census arithmetic below stay valid).
+    let eval_for = |site: usize, loaded: bool, span: &[u64]| -> &LaneEval {
+        let probe = LaneJob {
+            location: spec.sites[site].clone(),
+            loaded,
+            days: span.to_vec(),
+            system: spec.system.clone(),
+            trace: spec.trace,
+            annual: spec.annual.clone(),
+            model: None,
+        };
+        evals.get(&probe.digest()).expect("every planned lane was evaluated")
+    };
+
+    // Aggregate the managed run: per-site totals weighted by each epoch's
+    // census.
+    let mut site_tot = vec![(0.0f64, 0.0f64, 0.0f64, 0u64); sites];
+    let mut epochs_out = Vec::with_capacity(planned.len());
+    let mut migrated_total = 0.0f64;
+    let mut moves_total = 0u64;
+    for plan in &planned {
+        for (site, t) in site_tot.iter_mut().enumerate() {
+            for loaded in [false, true] {
+                let count = plan.census[2 * site + usize::from(loaded)];
+                if count == 0 {
+                    continue;
+                }
+                let eval = eval_for(site, loaded, &plan.days);
+                t.0 += eval.violation_cmin * count as f64;
+                t.1 += eval.cooling_kwh * count as f64;
+                t.2 += eval.it_kwh * count as f64;
+                t.3 += eval.jobs_completed * count as u64;
+            }
+        }
+        let epoch = epochs_out.len() as u64;
+        let moves: u64 = plan.migrations.iter().map(|m| m.containers).sum();
+        let migrated_mwh: f64 = plan.migrations.iter().map(|m| m.mwh).sum();
+        let loaded_per_site: Vec<u64> =
+            (0..sites).map(|s| plan.census[2 * s + 1] as u64).collect();
+        let loaded_count: u64 = loaded_per_site.iter().sum();
+        let epoch_hours = plan.days.len() as f64 * 24.0;
+        let best_site = plan
+            .headroom
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| spec.sites[i].name().to_string())
+            .unwrap_or_default();
+        telemetry.emit(Event::FleetEpoch { epoch, moves, migrated_mwh, best_site });
+        telemetry.counter_add("fleet.migration.moves", moves);
+        migrated_total += migrated_mwh;
+        moves_total += moves;
+        epochs_out.push(EpochReport {
+            epoch,
+            first_day: plan.days.first().copied().unwrap_or(0),
+            last_day: plan.days.last().copied().unwrap_or(0),
+            headroom: plan.headroom.clone(),
+            loaded_per_site,
+            migrations: plan.migrations.clone(),
+            migrated_mwh,
+            deferrable_mwh: loaded_count as f64 * spec.migration.deferrable_kw * epoch_hours
+                / 1000.0,
+        });
+    }
+    telemetry.gauge_set("fleet.migration.mwh", migrated_total);
+    if let Some(last) = epochs_out.last() {
+        let best = last.headroom.iter().copied().fold(0.0f64, f64::max);
+        telemetry.gauge_set("fleet.headroom.best", best);
+    }
+
+    // Independent baseline: initial placement, whole year, no migration.
+    let initial = FleetState::initial(spec);
+    let initial_census = initial.lane_census(sites);
+    // Same per-site-then-fold summation order as the managed run, so a
+    // migration-off campaign compares bit-identical to its baseline.
+    let mut ind_site = vec![(0.0f64, 0.0f64, 0.0f64, 0u64); sites];
+    for site in 0..sites {
+        for loaded in [false, true] {
+            let count = initial_census[2 * site + usize::from(loaded)];
+            if count == 0 {
+                continue;
+            }
+            let eval = eval_for(site, loaded, &days);
+            let t = &mut ind_site[site];
+            t.0 += eval.violation_cmin * count as f64;
+            t.1 += eval.cooling_kwh * count as f64;
+            t.2 += eval.it_kwh * count as f64;
+            t.3 += eval.jobs_completed * count as u64;
+        }
+    }
+    let ind = ind_site.iter().fold((0.0, 0.0, 0.0, 0u64), |acc, t| {
+        (acc.0 + t.0, acc.1 + t.1, acc.2 + t.2, acc.3 + t.3)
+    });
+
+    let per_site: Vec<SiteReport> = (0..sites)
+        .map(|s| {
+            let (violation_cmin, cooling_kwh, it_kwh, jobs_completed) = site_tot[s];
+            let pue = if it_kwh > 0.0 {
+                (it_kwh + cooling_kwh) / it_kwh + POWER_DELIVERY_PUE
+            } else {
+                1.0 + POWER_DELIVERY_PUE
+            };
+            SiteReport {
+                name: spec.sites[s].name().to_string(),
+                containers: initial.containers_per_site(sites)[s] as u64,
+                loaded_initial: initial_census[2 * s + 1] as u64,
+                loaded_final: final_state.loaded_per_site(sites)[s] as u64,
+                pue,
+                violation_cmin,
+                cooling_kwh,
+                it_kwh,
+                jobs_completed,
+            }
+        })
+        .collect();
+
+    let fleet_tot = site_tot.iter().fold((0.0, 0.0, 0.0, 0u64), |acc, t| {
+        (acc.0 + t.0, acc.1 + t.1, acc.2 + t.2, acc.3 + t.3)
+    });
+    FleetOutcome {
+        spec_digest: spec.digest().to_string(),
+        seed: spec.seed,
+        containers: spec.containers as u64,
+        site_names: spec.sites.iter().map(|s| s.name().to_string()).collect(),
+        migration_enabled: spec.migration.enabled,
+        epochs_run: planned.len() as u64,
+        lanes_evaluated: jobs.len() as u64,
+        epochs: epochs_out,
+        per_site,
+        fleet: FleetSummary::from_totals(
+            fleet_tot.0,
+            fleet_tot.1,
+            fleet_tot.2,
+            fleet_tot.3,
+            migrated_total,
+            moves_total,
+        ),
+        independent: FleetSummary::from_totals(ind.0, ind.1, ind.2, ind.3, 0.0, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use coolair_runner::ExecutorConfig;
+
+    use super::*;
+    use crate::spec::MigrationPolicy;
+
+    fn quick_exec() -> Executor {
+        Executor::new(ExecutorConfig { threads: 2, ..ExecutorConfig::default() })
+            .expect("in-memory executor")
+    }
+
+    #[test]
+    fn epoch_slices_partition_the_days() {
+        let days: Vec<u64> = (0..10).collect();
+        let slices = epoch_slices(&days, 3);
+        assert_eq!(slices.len(), 3);
+        let flat: Vec<u64> = slices.iter().flatten().copied().collect();
+        assert_eq!(flat, days, "slices partition the days in order");
+        // More epochs than days clamps to one day per epoch.
+        assert_eq!(epoch_slices(&days[..2], 5).len(), 2);
+    }
+
+    #[test]
+    fn smoke_campaign_runs_and_balances() {
+        let spec = FleetSpec::smoke(11);
+        let telemetry = Telemetry::memory();
+        let outcome = run_fleet_with(&spec, &quick_exec(), &telemetry);
+        assert_eq!(outcome.containers, 4);
+        assert_eq!(outcome.epochs_run, 2);
+        assert_eq!(outcome.site_names, vec!["Newark", "Singapore"]);
+        // Load is conserved at every epoch.
+        let total = spec.loaded_total() as u64;
+        for epoch in &outcome.epochs {
+            assert_eq!(epoch.loaded_per_site.iter().sum::<u64>(), total);
+            assert!(epoch.migrated_mwh <= spec.migration.budget_mwh + 1e-9);
+        }
+        // Fleet totals equal the per-site sums.
+        let sum: f64 = outcome.per_site.iter().map(|s| s.cooling_kwh).sum();
+        assert!((sum - outcome.fleet.cooling_kwh).abs() < 1e-9);
+        // The batched path priced far fewer lanes than containers × epochs.
+        assert!(outcome.lanes_evaluated <= 2 * 2 * 3);
+        // Telemetry saw one event per epoch.
+        let events = telemetry.take_events();
+        let fleet_events =
+            events.iter().filter(|e| e.kind_name() == "fleet-epoch").count();
+        assert_eq!(fleet_events, 2);
+    }
+
+    #[test]
+    fn migration_off_is_one_epoch_and_no_moves() {
+        let mut spec = FleetSpec::smoke(11);
+        spec.migration = MigrationPolicy::off();
+        let outcome = run_fleet_with(&spec, &quick_exec(), &Telemetry::disabled());
+        assert_eq!(outcome.epochs_run, 1);
+        assert_eq!(outcome.fleet.moves, 0);
+        assert_eq!(outcome.fleet.migrated_mwh, 0.0);
+        // With no migration the managed fleet IS the independent fleet.
+        assert_eq!(outcome.fleet, outcome.independent);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid FleetSpec")]
+    fn invalid_spec_panics() {
+        let mut spec = FleetSpec::smoke(1);
+        spec.containers = 0;
+        let _ = run_fleet_with(&spec, &quick_exec(), &Telemetry::disabled());
+    }
+}

@@ -8,6 +8,7 @@
 use std::path::PathBuf;
 use std::str::FromStr;
 
+use coolair_fleet::{FleetSpec, KIND_FLEET_REPORT};
 use coolair_runner::{ArtifactError, Digest};
 use coolair_sim::jobs::AnnualJob;
 use coolair_tune::{TuneSpec, KIND_TUNE_REPORT};
@@ -147,7 +148,7 @@ fn get_job(state: &AppState, id: &str) -> Reply {
         return Reply::error(404, "no such job");
     };
     // A digest names exactly one spec, so at most one kind can hit.
-    for kind in [coolair_sim::jobs::KIND_ANNUAL_SUMMARY, KIND_TUNE_REPORT] {
+    for kind in [coolair_sim::jobs::KIND_ANNUAL_SUMMARY, KIND_TUNE_REPORT, KIND_FLEET_REPORT] {
         match store.try_get::<Value>(kind, digest) {
             Ok(result) => {
                 return Reply::json(
@@ -170,8 +171,9 @@ fn get_job(state: &AppState, id: &str) -> Reply {
 
 /// Interprets a submission body. A plain object is an [`AnnualJob`]; an
 /// object wrapped as `{"tune": {...}}` is a robust-tuning [`TuneSpec`]
-/// (the wrapper key picks the job kind explicitly, so the two spec
-/// shapes can evolve without overlapping).
+/// and one wrapped as `{"fleet": {...}}` is a fleet-campaign
+/// [`FleetSpec`] (the wrapper key picks the job kind explicitly, so the
+/// spec shapes can evolve without overlapping).
 fn parse_submission(body: &[u8]) -> Result<QueuedJob, String> {
     let value: Value = serde_json::from_slice(body).map_err(|e| format!("bad job spec: {e}"))?;
     if let Value::Map(pairs) = &value {
@@ -179,6 +181,12 @@ fn parse_submission(body: &[u8]) -> Result<QueuedJob, String> {
             let spec = TuneSpec::from_value(tune).map_err(|e| format!("bad tune spec: {e}"))?;
             spec.validate().map_err(|e| format!("bad tune spec: {e}"))?;
             return Ok(QueuedJob::Tune(Box::new(spec)));
+        }
+        if let Some((_, fleet)) = pairs.iter().find(|(k, _)| k == "fleet") {
+            let spec =
+                FleetSpec::from_value(fleet).map_err(|e| format!("bad fleet spec: {e}"))?;
+            spec.validate().map_err(|e| format!("bad fleet spec: {e}"))?;
+            return Ok(QueuedJob::Fleet(Box::new(spec)));
         }
     }
     AnnualJob::from_value(&value)
@@ -356,6 +364,28 @@ mod tests {
         assert_eq!(reply.status(), 400);
         let Reply::Full(resp) = reply else { panic!() };
         assert!(String::from_utf8_lossy(&resp.body).contains("bad tune spec"));
+    }
+
+    #[test]
+    fn fleet_submission_is_routed_validated_and_idempotent() {
+        let (state, _rx) = state_with_depth(2);
+        let spec = FleetSpec::smoke(5);
+        let body = serde_json::to_vec(&obj(vec![("fleet", spec.to_value())])).unwrap();
+        assert_eq!(post_jobs(&state, &body).status(), 202);
+        let record = state.tracker.get(&spec.digest().to_string()).expect("tracked");
+        assert_eq!(record.label, "fleet campaign (4 containers, seed 5)");
+        assert_eq!(record.state, JobState::Queued);
+        // Same spec again: answered from the tracker, not re-queued.
+        assert_eq!(post_jobs(&state, &body).status(), 200);
+        // An invalid fleet spec is a 400 up front, never a queued job
+        // that panics a worker.
+        let mut bad = FleetSpec::smoke(5);
+        bad.containers = 0;
+        let bad_body = serde_json::to_vec(&obj(vec![("fleet", bad.to_value())])).unwrap();
+        let reply = post_jobs(&state, &bad_body);
+        assert_eq!(reply.status(), 400);
+        let Reply::Full(resp) = reply else { panic!() };
+        assert!(String::from_utf8_lossy(&resp.body).contains("bad fleet spec"));
     }
 
     #[test]

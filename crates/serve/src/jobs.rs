@@ -1,10 +1,10 @@
 //! Job submission: a bounded work queue in front of the persistent
 //! executor, plus the tracker that answers `GET /jobs/{id}`.
 //!
-//! A submitted job is either an [`AnnualJob`] spec or a robust-tuning
-//! [`TuneSpec`]; its content digest is its public id, so resubmitting the
-//! same spec is idempotent (same id, and the artifact store serves the
-//! repeat without re-execution). The queue is a `sync_channel` bounded at
+//! A submitted job is an [`AnnualJob`] spec, a robust-tuning
+//! [`TuneSpec`], or a fleet campaign [`FleetSpec`]; its content digest is
+//! its public id, so resubmitting the same spec is idempotent (same id,
+//! and the artifact store serves the repeat without re-execution). The queue is a `sync_channel` bounded at
 //! the configured depth — when it is full the daemon answers
 //! `503 Retry-After` instead of buffering without end.
 
@@ -14,6 +14,7 @@ use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use coolair_runner::{Digest, Executor, Job, JobResult};
 use coolair_sim::jobs::AnnualJob;
 use coolair_telemetry::Telemetry;
+use coolair_fleet::{run_fleet_with, FleetSpec, KIND_FLEET_REPORT};
 use coolair_tune::{run_tune_with, TuneSpec, KIND_TUNE_REPORT};
 use parking_lot::Mutex;
 use serde::{Serialize, Value};
@@ -129,6 +130,8 @@ pub enum QueuedJob {
     Annual(Box<AnnualJob>),
     /// A worst-case-robust tuning run.
     Tune(Box<TuneSpec>),
+    /// A geo-distributed fleet campaign.
+    Fleet(Box<FleetSpec>),
 }
 
 impl QueuedJob {
@@ -138,6 +141,7 @@ impl QueuedJob {
         match self {
             QueuedJob::Annual(job) => job.digest(),
             QueuedJob::Tune(spec) => spec.digest(),
+            QueuedJob::Fleet(spec) => spec.digest(),
         }
     }
 
@@ -147,6 +151,9 @@ impl QueuedJob {
         match self {
             QueuedJob::Annual(job) => job.label(),
             QueuedJob::Tune(spec) => format!("robust tune (seed {})", spec.seed),
+            QueuedJob::Fleet(spec) => {
+                format!("fleet campaign ({} containers, seed {})", spec.containers, spec.seed)
+            }
         }
     }
 }
@@ -228,6 +235,9 @@ pub fn job_worker(
             QueuedJob::Tune(spec) => {
                 run_tune_ticket(&id, ticket.digest, &spec, executor, tracker, telemetry);
             }
+            QueuedJob::Fleet(spec) => {
+                run_fleet_ticket(&id, ticket.digest, &spec, executor, tracker, telemetry);
+            }
         }
     }
 }
@@ -280,6 +290,35 @@ fn run_tune_ticket(
         Err(_) => {
             r.state = JobState::Failed;
             r.error = Some("tune run panicked".to_string());
+        }
+    });
+}
+
+/// Runs a fleet ticket: the campaign's lane evaluations flow through the
+/// shared executor (and its store), the report is persisted under
+/// `fleet-report/{digest}`, and panics are fenced exactly like a tune's.
+fn run_fleet_ticket(
+    id: &str,
+    digest: Digest,
+    spec: &FleetSpec,
+    executor: &Executor,
+    tracker: &JobTracker,
+    telemetry: &Telemetry,
+) {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_fleet_with(spec, executor, telemetry)
+    }));
+    if let (Ok(outcome), Some(store)) = (&outcome, executor.store()) {
+        let _ = store.put(KIND_FLEET_REPORT, digest, outcome);
+    }
+    tracker.update(id, |r| match &outcome {
+        Ok(outcome) => {
+            r.state = JobState::Done;
+            r.result = Some(outcome.to_value());
+        }
+        Err(_) => {
+            r.state = JobState::Failed;
+            r.error = Some("fleet run panicked".to_string());
         }
     });
 }
@@ -372,5 +411,38 @@ mod tests {
         assert!(result.iter().any(|(k, _)| k == "robust_worst_violation"));
         // The tune ran on the daemon's telemetry: memo traffic is visible.
         assert!(telemetry.metrics().counter("tune.memo.miss") > 0);
+    }
+
+    #[test]
+    fn worker_runs_a_fleet_ticket_and_its_epochs_reach_the_daemon_telemetry() {
+        let telemetry = Telemetry::memory();
+        let executor = Executor::in_memory(2, telemetry.clone());
+        let tracker = JobTracker::default();
+        let spec = FleetSpec::smoke(11);
+        let ticket = ticket_for(QueuedJob::Fleet(Box::new(spec.clone())));
+        let id = ticket.digest.to_string();
+        assert_eq!(id, spec.digest().to_string());
+        tracker.put(JobRecord {
+            id: id.clone(),
+            label: ticket.job.label(),
+            state: JobState::Queued,
+            error: None,
+            result: None,
+        });
+        let (tx, rx) = sync_channel(1);
+        tx.send(ticket).expect("enqueue");
+        drop(tx); // worker drains the one ticket, then exits
+        let rx = Mutex::new(rx);
+        job_worker(&rx, &executor, &tracker, &telemetry);
+        let record = tracker.get(&id).expect("tracked");
+        assert_eq!(record.state, JobState::Done);
+        assert_eq!(record.label, "fleet campaign (4 containers, seed 11)");
+        let Some(Value::Map(result)) = record.result else {
+            panic!("fleet result should be a JSON object")
+        };
+        assert!(result.iter().any(|(k, _)| k == "fleet"));
+        assert!(result.iter().any(|(k, _)| k == "independent"));
+        // The campaign ran on the daemon's telemetry: epoch events count.
+        assert!(telemetry.metrics().counter("fleet-epoch") > 0);
     }
 }

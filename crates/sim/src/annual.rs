@@ -216,6 +216,26 @@ pub fn run_days_traced(
     sampled_days: &[u64],
     telemetry: coolair_telemetry::Telemetry,
 ) -> AnnualSummary {
+    run_days_loaded(system, location, trace, cfg, model, sampled_days, true, telemetry)
+}
+
+/// Like [`run_days_traced`] but with an explicit `loaded` switch: when
+/// `false`, no trace jobs are submitted, so the container idles on its
+/// covering subset — the fleet layer's "light" lane, a container whose
+/// deferrable batch load migrated elsewhere. `loaded == true` is exactly
+/// [`run_days_traced`] (same code path, bit for bit).
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn run_days_loaded(
+    system: &SystemSpec,
+    location: &Location,
+    trace: TraceKind,
+    cfg: &AnnualConfig,
+    model: Option<CoolingModel>,
+    sampled_days: &[u64],
+    loaded: bool,
+    telemetry: coolair_telemetry::Telemetry,
+) -> AnnualSummary {
     let tmy = TmySeries::generate(location, cfg.weather_seed);
     let trace = build_trace(trace, cfg);
 
@@ -312,7 +332,8 @@ pub fn run_days_traced(
 
     let mut days: Vec<DayRecord> = Vec::new();
     for &day in sampled_days {
-        let out = sim.run_day(day, trace.jobs_for_day(day));
+        let jobs = if loaded { trace.jobs_for_day(day) } else { Vec::new() };
+        let out = sim.run_day(day, jobs);
         days.push(out.record);
     }
     AnnualSummary::new(days)

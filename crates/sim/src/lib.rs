@@ -51,7 +51,8 @@ mod validate;
 mod worldsweep;
 
 pub use annual::{
-    run_annual, run_annual_traced, run_annual_with_model, run_days_traced, train_for_location,
+    run_annual, run_annual_traced, run_annual_with_model, run_days_loaded, run_days_traced,
+    train_for_location,
     AnnualConfig, SystemSpec,
 };
 pub use engine::{Container, DayOutput, MinuteSample, SimConfig, Simulation, SimController};

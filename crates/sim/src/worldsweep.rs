@@ -13,7 +13,7 @@
 
 use coolair::Version;
 use coolair_runner::{Executor, JobResult, Telemetry};
-use coolair_weather::{Location, WorldGrid};
+use coolair_weather::{world_locations, Location, WorldGrid};
 use coolair_workload::TraceKind;
 use serde::{Deserialize, Serialize};
 
@@ -125,8 +125,7 @@ pub fn world_sweep(cfg: &WorldSweepConfig) -> Vec<WorldPoint> {
 /// Runs the sweep for a config's grid on the given executor.
 #[must_use]
 pub fn world_sweep_with(cfg: &WorldSweepConfig, exec: &Executor) -> SweepReport {
-    let grid = WorldGrid::with_count(cfg.locations);
-    sweep_locations(grid.locations(), &cfg.annual, exec)
+    sweep_locations(&world_locations(cfg.locations), &cfg.annual, exec)
 }
 
 /// Runs the two-phase sweep over an explicit location list (how the CLI

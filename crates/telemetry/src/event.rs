@@ -120,6 +120,20 @@ pub enum Event {
         /// round converged and added nothing).
         added: String,
     },
+    /// The fleet's global compute manager closed one decision epoch:
+    /// ranked sites by free-cooling headroom and migrated deferrable batch
+    /// load toward the cold. An orchestration-layer event, like
+    /// [`Event::TuneRound`].
+    FleetEpoch {
+        /// Decision epoch (0-based).
+        epoch: u64,
+        /// Containers whose batch load moved this epoch.
+        moves: u64,
+        /// Migrated deferrable energy this epoch, MWh.
+        migrated_mwh: f64,
+        /// Name of the site with the most free-cooling headroom.
+        best_site: String,
+    },
     /// An orchestrated experiment job changed state in the
     /// `coolair-runner` executor. Like the day markers, this is not a
     /// simulated-time event — jobs live in the orchestration layer above
@@ -146,7 +160,8 @@ impl Event {
             Event::DayStart { .. }
             | Event::DayEnd { .. }
             | Event::JobState { .. }
-            | Event::TuneRound { .. } => None,
+            | Event::TuneRound { .. }
+            | Event::FleetEpoch { .. } => None,
             Event::ControlTick { time, .. }
             | Event::RegimeChange { time, .. }
             | Event::TksModeFlip { time, .. }
@@ -175,6 +190,7 @@ impl Event {
             Event::FaultCleared { .. } => "fault-cleared",
             Event::ModelErrorScored { .. } => "model-error",
             Event::TuneRound { .. } => "tune-round",
+            Event::FleetEpoch { .. } => "fleet-epoch",
             Event::JobState { .. } => "job-state",
         }
     }
@@ -207,6 +223,12 @@ mod tests {
                 state: "done".into(),
                 attempt: 1,
             },
+            Event::FleetEpoch {
+                epoch: 2,
+                moves: 5,
+                migrated_mwh: 0.12,
+                best_site: "Iceland".into(),
+            },
         ];
         for e in events {
             let json = serde_json::to_string(&e).unwrap();
@@ -237,5 +259,13 @@ mod tests {
         };
         assert_eq!(job.time(), None, "job states live above the simulation clock");
         assert_eq!(job.kind_name(), "job-state");
+        let epoch = Event::FleetEpoch {
+            epoch: 0,
+            moves: 0,
+            migrated_mwh: 0.0,
+            best_site: "Newark".into(),
+        };
+        assert_eq!(epoch.time(), None, "fleet epochs live above the simulation clock");
+        assert_eq!(epoch.kind_name(), "fleet-epoch");
     }
 }

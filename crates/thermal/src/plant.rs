@@ -167,78 +167,130 @@ impl Default for PlantConfig {
     }
 }
 
-/// The container plant: integrates pod temperatures, humidity, and disk
-/// temperatures under a commanded cooling regime and IT load.
+/// A struct-of-arrays bank of container plants stepped in lockstep.
+///
+/// Every per-lane quantity lives in one contiguous, lane-major array
+/// (`pod_temps` and `disk_temps` are `lanes × pods` flattened), so a fleet
+/// stepping pass walks linear memory instead of chasing N heap-allocated
+/// plants. [`Plant`] is a one-lane view over this bank — the physics is
+/// written once, in [`PlantBank::step_lane`], and a multi-lane bank is
+/// therefore bit-identical to the same lanes stepped as independent
+/// [`Plant`]s.
 #[derive(Debug, Clone)]
-pub struct Plant {
+pub struct PlantBank {
     config: PlantConfig,
-    /// Cold-aisle inlet temperature per pod, °C.
+    lanes: usize,
+    pods: usize,
+    /// Cold-aisle inlet temperature, °C — `lanes × pods`, lane-major.
     pod_temps: Vec<f64>,
-    /// Disk temperature per pod, °C.
+    /// Disk temperature, °C — `lanes × pods`, lane-major.
     disk_temps: Vec<f64>,
-    /// Cold-aisle absolute humidity, g/kg.
-    abs_humidity: f64,
-    /// Hot-aisle temperature, °C (derived each step, stored for sensors).
-    hot_aisle: f64,
-    /// Regime actually applied after actuator constraints.
-    applied: CoolingRegime,
-    /// Last outside conditions (for sensor snapshots).
-    last_outside: OutsideConditions,
-    /// Last IT load (for sensor snapshots).
-    last_it: ItLoad,
+    /// Cold-aisle absolute humidity per lane, g/kg.
+    abs_humidity: Vec<f64>,
+    /// Hot-aisle temperature per lane, °C (derived each step, stored for
+    /// sensors).
+    hot_aisle: Vec<f64>,
+    /// Regime actually applied per lane after actuator constraints.
+    applied: Vec<CoolingRegime>,
+    /// Last outside conditions per lane (for sensor snapshots).
+    last_outside: Vec<OutsideConditions>,
+    /// Last IT load per lane (for sensor snapshots).
+    last_it: Vec<ItLoad>,
 }
 
-impl Plant {
-    /// Creates a plant at thermal equilibrium with a 20 °C, 40 %RH interior.
+impl PlantBank {
+    /// Creates `lanes` plants, each at thermal equilibrium with a 20 °C,
+    /// 40 %RH interior (the same start state as [`Plant::new`]).
     #[must_use]
-    pub fn new(config: PlantConfig) -> Self {
+    pub fn new(config: PlantConfig, lanes: usize) -> Self {
         let pods = config.layout.len();
         let start_t = 20.0;
         let start_abs =
             psychro::absolute_humidity(Celsius::new(start_t), RelativeHumidity::new(40.0));
-        Plant {
-            pod_temps: vec![start_t; pods],
-            disk_temps: vec![start_t + config.disk_offset_base; pods],
-            abs_humidity: start_abs.grams_per_kg(),
-            hot_aisle: start_t + 5.0,
-            applied: CoolingRegime::Closed,
-            last_outside: OutsideConditions {
-                temperature: Celsius::new(start_t),
-                abs_humidity: start_abs,
-            },
-            last_it: ItLoad::uniform(pods, Watts::ZERO, 0.0),
+        PlantBank {
+            pod_temps: vec![start_t; lanes * pods],
+            disk_temps: vec![start_t + config.disk_offset_base; lanes * pods],
+            abs_humidity: vec![start_abs.grams_per_kg(); lanes],
+            hot_aisle: vec![start_t + 5.0; lanes],
+            applied: vec![CoolingRegime::Closed; lanes],
+            last_outside: vec![
+                OutsideConditions {
+                    temperature: Celsius::new(start_t),
+                    abs_humidity: start_abs,
+                };
+                lanes
+            ],
+            last_it: vec![ItLoad::uniform(pods, Watts::ZERO, 0.0); lanes],
             config,
+            lanes,
+            pods,
         }
     }
 
-    /// The plant's configuration.
+    /// The shared plant configuration.
     #[must_use]
     pub fn config(&self) -> &PlantConfig {
         &self.config
     }
 
-    /// The regime currently applied (after actuator constraints/slew).
+    /// Number of lanes (containers) in the bank.
     #[must_use]
-    pub fn applied_regime(&self) -> CoolingRegime {
-        self.applied
+    pub fn lanes(&self) -> usize {
+        self.lanes
     }
 
-    /// Forces the interior to a given uniform temperature/humidity —
+    /// Pods per lane.
+    #[must_use]
+    pub fn pods(&self) -> usize {
+        self.pods
+    }
+
+    /// The regime currently applied on `lane` (after actuator
+    /// constraints/slew).
+    #[must_use]
+    pub fn applied_regime(&self, lane: usize) -> CoolingRegime {
+        self.applied[lane]
+    }
+
+    /// Forces one lane's interior to a given uniform temperature/humidity —
     /// used to start experiments from a known state.
-    pub fn reset_interior(&mut self, temp: Celsius, rh: RelativeHumidity) {
-        for t in &mut self.pod_temps {
+    pub fn reset_lane_interior(&mut self, lane: usize, temp: Celsius, rh: RelativeHumidity) {
+        let base = lane * self.pods;
+        for t in &mut self.pod_temps[base..base + self.pods] {
             *t = temp.value();
         }
-        for (i, d) in self.disk_temps.iter_mut().enumerate() {
-            let _ = i;
+        for d in &mut self.disk_temps[base..base + self.pods] {
             *d = temp.value() + self.config.disk_offset_base;
         }
-        self.abs_humidity = psychro::absolute_humidity(temp, rh).grams_per_kg();
-        self.hot_aisle = temp.value() + 5.0;
+        self.abs_humidity[lane] = psychro::absolute_humidity(temp, rh).grams_per_kg();
+        self.hot_aisle[lane] = temp.value() + 5.0;
     }
 
-    /// Advances the physics by `dt` under `commanded` cooling and the given
-    /// outside conditions and IT load.
+    /// Advances every lane by `dt` in one batched pass over the bank's
+    /// arrays. Slices are indexed per lane: `outside[i]`, `it[i]` and
+    /// `commanded[i]` drive lane `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length differs from the lane count, or any
+    /// lane's `pod_power` arity differs from the pod count.
+    pub fn step_all(
+        &mut self,
+        dt: SimDuration,
+        outside: &[OutsideConditions],
+        it: &[ItLoad],
+        commanded: &[CoolingRegime],
+    ) {
+        assert_eq!(outside.len(), self.lanes, "outside arity mismatch");
+        assert_eq!(it.len(), self.lanes, "it load arity mismatch");
+        assert_eq!(commanded.len(), self.lanes, "command arity mismatch");
+        for lane in 0..self.lanes {
+            self.step_lane(lane, dt, outside[lane], &it[lane], commanded[lane]);
+        }
+    }
+
+    /// Advances one lane's physics by `dt` under `commanded` cooling and
+    /// the given outside conditions and IT load.
     ///
     /// The commanded regime is first constrained by the installed
     /// infrastructure (fan minimums, binary compressor on Parasol, slew
@@ -247,8 +299,9 @@ impl Plant {
     /// # Panics
     ///
     /// Panics if `it.pod_power.len()` differs from the number of pods.
-    pub fn step(
+    pub fn step_lane(
         &mut self,
+        lane: usize,
         dt: SimDuration,
         outside: OutsideConditions,
         it: &ItLoad,
@@ -260,14 +313,18 @@ impl Plant {
             cfg.layout.len(),
             "pod power arity mismatch"
         );
+        let base = lane * self.pods;
+        let pod_temps = &mut self.pod_temps[base..base + self.pods];
+        let disk_temps = &mut self.disk_temps[base..base + self.pods];
         let dt_s = dt.as_secs() as f64;
         let target = cfg.infrastructure.sanitize(commanded);
-        self.applied = apply_actuators(self.applied, target, cfg, dt_s);
+        self.applied[lane] = apply_actuators(self.applied[lane], target, cfg, dt_s);
+        let applied = self.applied[lane];
 
         let t_out = outside.temperature.value();
-        let fan = self.applied.fan_speed().fraction();
-        let comp = self.applied.compressor();
-        let ac_fan_on = matches!(self.applied, CoolingRegime::Ac { .. });
+        let fan = applied.fan_speed().fraction();
+        let comp = applied.compressor();
+        let ac_fan_on = matches!(applied, CoolingRegime::Ac { .. });
 
         // --- Hot aisle -----------------------------------------------------
         // Flow-weighted mean of pod inlets plus the IT heat picked up
@@ -276,9 +333,10 @@ impl Plant {
         let flow = cfg.flow_full_m3s * fan
             + if ac_fan_on { cfg.flow_ac_m3s } else { 0.0 }
             + cfg.flow_natural_m3s;
-        let mean_inlet = self.pod_temps.iter().sum::<f64>() / self.pod_temps.len() as f64;
+        let mean_inlet = pod_temps.iter().sum::<f64>() / pod_temps.len() as f64;
         let dt_hot = (q_it / (cfg.vol_heat_capacity * flow)).min(30.0);
-        self.hot_aisle = mean_inlet + dt_hot;
+        self.hot_aisle[lane] = mean_inlet + dt_hot;
+        let hot_aisle = self.hot_aisle[lane];
 
         // --- AC supply -----------------------------------------------------
         // DX capacity degrades with condenser (outside) temperature, and
@@ -288,17 +346,17 @@ impl Plant {
         let supply = if comp > 0.0 {
             let condenser_derate =
                 (1.0 - cfg.ac_condenser_derate_per_c * (t_out - 25.0).max(0.0)).max(0.5);
-            let dew = psychro::dew_point(AbsoluteHumidity::new(self.abs_humidity));
+            let dew = psychro::dew_point(AbsoluteHumidity::new(self.abs_humidity[lane]));
             let latent_derate =
                 if dew.value() > cfg.ac_coil_temp { cfg.ac_latent_factor } else { 1.0 };
             let drop = comp * cfg.ac_supply_drop * condenser_derate * latent_derate;
-            (self.hot_aisle - drop).max(cfg.ac_supply_min)
+            (hot_aisle - drop).max(cfg.ac_supply_min)
         } else {
-            self.hot_aisle
+            hot_aisle
         };
 
         // --- Pod temperatures ----------------------------------------------
-        let recirc_base = match self.applied {
+        let recirc_base = match applied {
             CoolingRegime::Closed => cfg.recirc_rate_closed,
             CoolingRegime::FreeCooling { .. } => cfg.recirc_rate_fc,
             CoolingRegime::Ac { .. } => cfg.recirc_rate_ac,
@@ -311,7 +369,7 @@ impl Plant {
         let mut intake_w_bonus = 0.0;
         let mut adiabatic_drop = 0.0;
         if let (Some(eff), CoolingRegime::FreeCooling { .. }) =
-            (cfg.adiabatic_effectiveness, self.applied)
+            (cfg.adiabatic_effectiveness, applied)
         {
             let out_rh = psychro::relative_humidity(
                 outside.temperature,
@@ -339,35 +397,35 @@ impl Plant {
             let g_tot = g_fc + g_ac + g_rec + g_leak + g_mix;
             let t_eq = (g_fc * intake_t
                 + g_ac * supply
-                + g_rec * self.hot_aisle
+                + g_rec * hot_aisle
                 + g_leak * t_out
                 + g_mix * mean_inlet)
                 / g_tot;
             // Exact first-order relaxation over dt.
             let alpha = 1.0 - (-g_tot * dt_s).exp();
-            self.pod_temps[i] += alpha * (t_eq - self.pod_temps[i]);
+            pod_temps[i] += alpha * (t_eq - pod_temps[i]);
         }
 
         // --- Humidity --------------------------------------------------------
         let w_out = outside.abs_humidity.grams_per_kg() + intake_w_bonus;
         let g_vent = cfg.fc_rate_full * fan + cfg.leak_rate;
         let alpha_w = 1.0 - (-g_vent * dt_s).exp();
-        self.abs_humidity += alpha_w * (w_out - self.abs_humidity);
+        self.abs_humidity[lane] += alpha_w * (w_out - self.abs_humidity[lane]);
         if comp > 0.0 {
             // Coil condensation pulls moisture toward saturation at the
             // coil surface temperature.
             let w_coil = psychro::saturation_mixing_ratio(Celsius::new(cfg.ac_coil_temp))
                 .grams_per_kg();
-            if self.abs_humidity > w_coil {
+            if self.abs_humidity[lane] > w_coil {
                 let alpha_c = 1.0 - (-cfg.ac_rate * comp * dt_s).exp();
-                self.abs_humidity -= alpha_c * (self.abs_humidity - w_coil);
+                self.abs_humidity[lane] -= alpha_c * (self.abs_humidity[lane] - w_coil);
             }
         }
         // Condensation on any surface if supersaturated at the coldest pod.
-        let coldest = self.pod_temps.iter().cloned().fold(f64::INFINITY, f64::min);
+        let coldest = pod_temps.iter().cloned().fold(f64::INFINITY, f64::min);
         let w_sat = psychro::saturation_mixing_ratio(Celsius::new(coldest)).grams_per_kg();
-        if self.abs_humidity > w_sat {
-            self.abs_humidity = w_sat;
+        if self.abs_humidity[lane] > w_sat {
+            self.abs_humidity[lane] = w_sat;
         }
 
         // --- Disks -----------------------------------------------------------
@@ -375,39 +433,105 @@ impl Plant {
         let alpha_d = 1.0 - (-dt_s / cfg.disk_tau_s).exp();
         for (i, p) in it.pod_power.iter().enumerate() {
             let util = (p.value() / per_pod_peak).clamp(0.0, 1.0);
-            let target = self.pod_temps[i] + cfg.disk_offset_base + cfg.disk_offset_util * util;
-            self.disk_temps[i] += alpha_d * (target - self.disk_temps[i]);
+            let target = pod_temps[i] + cfg.disk_offset_base + cfg.disk_offset_util * util;
+            disk_temps[i] += alpha_d * (target - disk_temps[i]);
         }
 
-        self.last_outside = outside;
-        self.last_it = it.clone();
+        self.last_outside[lane] = outside;
+        self.last_it[lane] = it.clone();
+    }
+
+    /// A snapshot of one lane's sensors, stamped with `now`.
+    #[must_use]
+    pub fn readings_lane(&self, lane: usize, now: SimTime) -> SensorReadings {
+        let base = lane * self.pods;
+        let pod_temps = &self.pod_temps[base..base + self.pods];
+        let disk_temps = &self.disk_temps[base..base + self.pods];
+        let cold_abs = AbsoluteHumidity::new(self.abs_humidity[lane]);
+        // The cold-aisle humidity sensor sits near the warmer pods; use the
+        // mean inlet for the RH conversion.
+        let mean_inlet = pod_temps.iter().sum::<f64>() / pod_temps.len() as f64;
+        SensorReadings {
+            time: now,
+            outside_temp: self.last_outside[lane].temperature,
+            outside_rh: psychro::relative_humidity(
+                self.last_outside[lane].temperature,
+                self.last_outside[lane].abs_humidity,
+            ),
+            outside_abs: self.last_outside[lane].abs_humidity,
+            pod_inlets: pod_temps.iter().map(|&t| Celsius::new(t)).collect(),
+            cold_aisle_rh: psychro::relative_humidity(Celsius::new(mean_inlet), cold_abs),
+            cold_aisle_abs: cold_abs,
+            hot_aisle: Celsius::new(self.hot_aisle[lane]),
+            disk_temps: disk_temps.iter().map(|&t| Celsius::new(t)).collect(),
+            regime: self.applied[lane],
+            cooling_power: cooling_power(self.applied[lane], self.config.infrastructure),
+            it_power: self.last_it[lane].total(),
+            active_fraction: self.last_it[lane].active_fraction,
+        }
+    }
+}
+
+/// The container plant: integrates pod temperatures, humidity, and disk
+/// temperatures under a commanded cooling regime and IT load.
+///
+/// A one-lane view over a [`PlantBank`]: the physics lives in
+/// [`PlantBank::step_lane`], so single-container and fleet-batched
+/// simulations run the exact same code.
+#[derive(Debug, Clone)]
+pub struct Plant {
+    bank: PlantBank,
+}
+
+impl Plant {
+    /// Creates a plant at thermal equilibrium with a 20 °C, 40 %RH interior.
+    #[must_use]
+    pub fn new(config: PlantConfig) -> Self {
+        Plant { bank: PlantBank::new(config, 1) }
+    }
+
+    /// The plant's configuration.
+    #[must_use]
+    pub fn config(&self) -> &PlantConfig {
+        self.bank.config()
+    }
+
+    /// The regime currently applied (after actuator constraints/slew).
+    #[must_use]
+    pub fn applied_regime(&self) -> CoolingRegime {
+        self.bank.applied_regime(0)
+    }
+
+    /// Forces the interior to a given uniform temperature/humidity —
+    /// used to start experiments from a known state.
+    pub fn reset_interior(&mut self, temp: Celsius, rh: RelativeHumidity) {
+        self.bank.reset_lane_interior(0, temp, rh);
+    }
+
+    /// Advances the physics by `dt` under `commanded` cooling and the given
+    /// outside conditions and IT load.
+    ///
+    /// The commanded regime is first constrained by the installed
+    /// infrastructure (fan minimums, binary compressor on Parasol, slew
+    /// limits on the smooth units).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `it.pod_power.len()` differs from the number of pods.
+    pub fn step(
+        &mut self,
+        dt: SimDuration,
+        outside: OutsideConditions,
+        it: &ItLoad,
+        commanded: CoolingRegime,
+    ) {
+        self.bank.step_lane(0, dt, outside, it, commanded);
     }
 
     /// A snapshot of every sensor, stamped with `now`.
     #[must_use]
     pub fn readings(&self, now: SimTime) -> SensorReadings {
-        let cold_abs = AbsoluteHumidity::new(self.abs_humidity);
-        // The cold-aisle humidity sensor sits near the warmer pods; use the
-        // mean inlet for the RH conversion.
-        let mean_inlet = self.pod_temps.iter().sum::<f64>() / self.pod_temps.len() as f64;
-        SensorReadings {
-            time: now,
-            outside_temp: self.last_outside.temperature,
-            outside_rh: psychro::relative_humidity(
-                self.last_outside.temperature,
-                self.last_outside.abs_humidity,
-            ),
-            outside_abs: self.last_outside.abs_humidity,
-            pod_inlets: self.pod_temps.iter().map(|&t| Celsius::new(t)).collect(),
-            cold_aisle_rh: psychro::relative_humidity(Celsius::new(mean_inlet), cold_abs),
-            cold_aisle_abs: cold_abs,
-            hot_aisle: Celsius::new(self.hot_aisle),
-            disk_temps: self.disk_temps.iter().map(|&t| Celsius::new(t)).collect(),
-            regime: self.applied,
-            cooling_power: cooling_power(self.applied, self.config.infrastructure),
-            it_power: self.last_it.total(),
-            active_fraction: self.last_it.active_fraction,
-        }
+        self.bank.readings_lane(0, now)
     }
 }
 
@@ -791,5 +915,65 @@ mod tests {
         let mut plant = Plant::new(PlantConfig::parasol());
         let it = ItLoad::uniform(2, Watts::new(100.0), 0.5);
         plant.step(DT, outside(20.0, 50.0), &it, CoolingRegime::Closed);
+    }
+
+    #[test]
+    fn bank_lanes_are_bit_identical_to_independent_plants() {
+        // Three lanes under three different climates/loads/regimes, stepped
+        // via step_all, must match three independent Plants bit for bit.
+        let conditions =
+            [outside(5.0, 60.0), outside(25.0, 50.0), outside(38.0, 80.0)];
+        let loads = [
+            ItLoad::uniform(4, Watts::new(125.0), 0.27),
+            ItLoad::uniform(4, Watts::new(416.0), 1.0),
+            ItLoad::uniform(4, Watts::new(50.0), 0.1),
+        ];
+        let regimes = [
+            CoolingRegime::free_cooling(FanSpeed::new(0.6).unwrap()),
+            CoolingRegime::Closed,
+            CoolingRegime::ac_on(),
+        ];
+        let mut bank = PlantBank::new(PlantConfig::smooth(), 3);
+        let mut plants: Vec<Plant> =
+            (0..3).map(|_| Plant::new(PlantConfig::smooth())).collect();
+        for step in 0..500 {
+            // Rotate the regimes so actuator slew state is exercised too.
+            let r = step / 100;
+            let cmds: Vec<CoolingRegime> =
+                (0..3).map(|i| regimes[(i + r) % 3]).collect();
+            bank.step_all(DT, &conditions, &loads, &cmds);
+            for (i, plant) in plants.iter_mut().enumerate() {
+                plant.step(DT, conditions[i], &loads[i], cmds[i]);
+            }
+        }
+        for (i, plant) in plants.iter().enumerate() {
+            let a = bank.readings_lane(i, SimTime::EPOCH);
+            let b = plant.readings(SimTime::EPOCH);
+            assert_eq!(a.pod_inlets, b.pod_inlets, "lane {i} inlets diverged");
+            assert_eq!(a.disk_temps, b.disk_temps, "lane {i} disks diverged");
+            assert_eq!(a.cold_aisle_abs, b.cold_aisle_abs, "lane {i} humidity");
+            assert_eq!(a.hot_aisle, b.hot_aisle, "lane {i} hot aisle");
+            assert_eq!(a.regime, b.regime, "lane {i} applied regime");
+        }
+    }
+
+    #[test]
+    fn bank_reset_and_arity_checks() {
+        let mut bank = PlantBank::new(PlantConfig::parasol(), 2);
+        assert_eq!(bank.lanes(), 2);
+        assert_eq!(bank.pods(), 4);
+        bank.reset_lane_interior(1, Celsius::new(31.0), RelativeHumidity::new(40.0));
+        let r0 = bank.readings_lane(0, SimTime::EPOCH);
+        let r1 = bank.readings_lane(1, SimTime::EPOCH);
+        assert!((r1.mean_inlet().value() - 31.0).abs() < 1e-9);
+        assert!((r0.mean_inlet().value() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside arity mismatch")]
+    fn bank_rejects_wrong_lane_count() {
+        let mut bank = PlantBank::new(PlantConfig::parasol(), 2);
+        let it = vec![load_27pct(); 2];
+        bank.step_all(DT, &[outside(20.0, 50.0)], &it, &[CoolingRegime::Closed; 2]);
     }
 }

@@ -43,5 +43,5 @@ mod tmy;
 
 pub use climate::ClimateParams;
 pub use forecast::{DailyForecast, ForecastError, Forecaster, ForecastGlitch, GlitchKind};
-pub use location::{Location, WorldGrid};
+pub use location::{shard_locations, world_locations, Location, WorldGrid};
 pub use tmy::{TmySeries, HOURS_PER_YEAR};

@@ -441,6 +441,33 @@ impl<'a> IntoIterator for &'a WorldGrid {
     }
 }
 
+/// Selects `count` evenly spaced world-grid locations — the shared
+/// site-selection path of the world sweep and the fleet layer. Equivalent
+/// to `WorldGrid::with_count(count).locations().to_vec()`, so sweeps and
+/// fleets placed "on the world grid" agree on which sites exist.
+#[must_use]
+pub fn world_locations(count: usize) -> Vec<Location> {
+    WorldGrid::with_count(count).locations().to_vec()
+}
+
+/// The k-th of `n` interleaved shards of a location list (1-based `k`).
+/// Shards interleave (every `n`-th entry) so each one keeps the full
+/// latitude coverage of the underlying grid.
+///
+/// # Panics
+///
+/// Panics unless `1 <= k <= n`.
+#[must_use]
+pub fn shard_locations(locations: &[Location], k: usize, n: usize) -> Vec<Location> {
+    assert!(k >= 1 && k <= n, "shard wants 1 <= k <= n, got {k}/{n}");
+    locations
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % n == k - 1)
+        .map(|(_, l)| l.clone())
+        .collect()
+}
+
 /// Deterministic cell hash (splitmix64).
 fn hash_cell(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -548,6 +575,30 @@ mod tests {
     fn world_grid_has_paper_count() {
         let grid = WorldGrid::generate();
         assert_eq!(grid.len(), WorldGrid::PAPER_COUNT);
+    }
+
+    #[test]
+    fn world_locations_matches_the_grid() {
+        assert_eq!(world_locations(60), WorldGrid::with_count(60).locations());
+    }
+
+    #[test]
+    fn shards_interleave_and_cover() {
+        let all = world_locations(10);
+        let s1 = shard_locations(&all, 1, 3);
+        let s2 = shard_locations(&all, 2, 3);
+        let s3 = shard_locations(&all, 3, 3);
+        assert_eq!(s1.len() + s2.len() + s3.len(), all.len());
+        assert_eq!(s1[0], all[0]);
+        assert_eq!(s2[0], all[1]);
+        assert_eq!(s3[1], all[5]);
+        assert_eq!(shard_locations(&all, 1, 1), all);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard wants")]
+    fn shard_rejects_zero_k() {
+        let _ = shard_locations(&world_locations(4), 0, 2);
     }
 
     #[test]

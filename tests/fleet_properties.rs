@@ -1,0 +1,178 @@
+//! Properties of the fleet campus layer: an N=1 fleet is bit-identical to
+//! the single-container annual path, migration conserves deferrable load,
+//! a killed campaign resumes byte-identically from a half-populated store,
+//! and the headline acceptance claim — on the shipped four-climate fleet,
+//! follow-the-cold strictly improves fleet PUE over the same containers
+//! run independently.
+
+use std::path::{Path, PathBuf};
+
+use coolair_suite::fleet::{run_fleet_with, FleetOutcome, FleetSpec, KIND_FLEET_EVAL};
+use coolair_suite::runner::{Executor, ExecutorConfig, Telemetry};
+use coolair_suite::sim::run_annual;
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("coolair_fleet_props").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_in_store(spec: &FleetSpec, dir: &Path, resume: bool) -> (FleetOutcome, Telemetry) {
+    let telemetry = Telemetry::discard();
+    let exec = Executor::new(ExecutorConfig {
+        threads: 4,
+        store_dir: Some(dir.to_path_buf()),
+        resume,
+        telemetry: telemetry.clone(),
+        ..ExecutorConfig::default()
+    })
+    .expect("open store");
+    (run_fleet_with(spec, &exec, &telemetry), telemetry)
+}
+
+fn outcome_json(outcome: &FleetOutcome) -> String {
+    serde_json::to_string(outcome).expect("outcome serializes")
+}
+
+/// A one-container fleet with migration off runs the exact `run_annual`
+/// code path: same sampled days, same trained model, same plant stepping.
+/// The totals must match bit for bit, not approximately.
+#[test]
+fn single_container_fleet_is_bit_identical_to_run_annual() {
+    let mut spec = FleetSpec::smoke(3);
+    spec.containers = 1;
+    spec.loaded_fraction = 1.0;
+    spec.sites.truncate(1);
+    spec.migration.enabled = false;
+
+    let telemetry = Telemetry::discard();
+    let exec = Executor::in_memory(2, telemetry.clone());
+    let outcome = run_fleet_with(&spec, &exec, &telemetry);
+    assert_eq!(outcome.epochs_run, 1, "migration off collapses to one epoch");
+
+    let summary = run_annual(&spec.system, &spec.sites[0], spec.trace, &spec.annual);
+    assert_eq!(outcome.fleet.violation_cmin, summary.total_violation());
+    assert_eq!(outcome.fleet.cooling_kwh, summary.cooling_kwh());
+    assert_eq!(outcome.fleet.it_kwh, summary.it_kwh());
+    assert_eq!(outcome.fleet.jobs_completed, summary.jobs_completed());
+    assert_eq!(outcome.fleet.pue, summary.pue());
+    assert_eq!(
+        outcome.fleet, outcome.independent,
+        "with no migration the managed fleet IS the independent fleet"
+    );
+}
+
+/// Migration moves deferrable load between sites; it never creates or
+/// destroys it, and it never overspends the per-epoch budget.
+#[test]
+fn migration_conserves_deferrable_load_within_budget() {
+    let spec = FleetSpec::shipped(7);
+    let telemetry = Telemetry::discard();
+    let exec = Executor::in_memory(4, telemetry.clone());
+    let outcome = run_fleet_with(&spec, &exec, &telemetry);
+
+    let loaded_total = spec.loaded_total() as u64;
+    assert!(loaded_total > 0, "the shipped fleet carries batch load");
+    for epoch in &outcome.epochs {
+        assert_eq!(
+            epoch.loaded_per_site.iter().sum::<u64>(),
+            loaded_total,
+            "epoch {}: migration must conserve the loaded-container count",
+            epoch.epoch
+        );
+        assert!(
+            epoch.migrated_mwh <= spec.migration.budget_mwh + 1e-9,
+            "epoch {}: migrated {} MWh overspends the {} MWh budget",
+            epoch.epoch,
+            epoch.migrated_mwh,
+            spec.migration.budget_mwh
+        );
+        assert!(
+            epoch.migrated_mwh <= epoch.deferrable_mwh + 1e-9,
+            "epoch {}: cannot migrate more load than the fleet carries",
+            epoch.epoch
+        );
+        // The audit trail prices every move consistently.
+        let recorded: u64 = epoch.migrations.iter().map(|m| m.containers).sum();
+        let priced: f64 = epoch.migrations.iter().map(|m| m.mwh).sum();
+        assert!((priced - epoch.migrated_mwh).abs() < 1e-9);
+        if epoch.epoch == 0 {
+            assert_eq!(recorded, 0, "epoch 0 is the initial placement, no moves yet");
+        }
+    }
+    let total: f64 = outcome.epochs.iter().map(|e| e.migrated_mwh).sum();
+    assert!((total - outcome.fleet.migrated_mwh).abs() < 1e-9);
+}
+
+/// A killed campaign resumed against the same store reproduces the outcome
+/// byte for byte. The kill is simulated by copying only a prefix of the
+/// first run's lane evaluations into a second store — what a mid-run
+/// SIGKILL leaves behind.
+#[test]
+fn partial_store_resume_is_byte_identical() {
+    let full_dir = fresh_dir("resume-full");
+    let spec = FleetSpec::smoke(5);
+    let (full, _) = run_in_store(&spec, &full_dir, false);
+
+    let partial_dir = fresh_dir("resume-partial");
+    let src = full_dir.join("artifacts").join(KIND_FLEET_EVAL);
+    let dst = partial_dir.join("artifacts").join(KIND_FLEET_EVAL);
+    std::fs::create_dir_all(&dst).expect("mkdir partial store");
+    let mut names: Vec<String> = std::fs::read_dir(&src)
+        .expect("read full store")
+        .map(|e| e.expect("entry").file_name().into_string().expect("utf8"))
+        .collect();
+    names.sort();
+    assert!(names.len() >= 4, "a smoke campaign should persist several lane evals");
+    for name in names.iter().take(names.len() / 2) {
+        std::fs::copy(src.join(name), dst.join(name)).expect("copy artifact");
+    }
+
+    let (resumed, telemetry) = run_in_store(&spec, &partial_dir, true);
+    assert_eq!(
+        outcome_json(&full),
+        outcome_json(&resumed),
+        "resume from a half-populated store must reproduce the outcome byte for byte"
+    );
+    assert!(
+        telemetry.metrics().counter("runner.cache-hit") > 0,
+        "the surviving lane evaluations must actually be served from the store"
+    );
+}
+
+/// The acceptance claim on the shipped fleet (64 containers over subpolar,
+/// temperate, desert, and tropical sites): following the cold strictly
+/// improves fleet PUE — or failing that, thermal violation — over the same
+/// containers frozen at their initial placement, and the batched lane path
+/// prices the whole year in far fewer evaluations than containers × epochs.
+#[test]
+fn shipped_fleet_follow_the_cold_beats_independent_containers() {
+    let spec = FleetSpec::shipped(7);
+    let telemetry = Telemetry::discard();
+    let exec = Executor::in_memory(4, telemetry.clone());
+    let outcome = run_fleet_with(&spec, &exec, &telemetry);
+
+    assert!(outcome.fleet.moves > 0, "the shipped fleet must actually migrate");
+    assert!(
+        outcome.fleet.pue < outcome.independent.pue
+            || outcome.fleet.violation_cmin < outcome.independent.violation_cmin,
+        "follow-the-cold must strictly improve PUE ({} vs {}) or violation ({} vs {})",
+        outcome.fleet.pue,
+        outcome.independent.pue,
+        outcome.fleet.violation_cmin,
+        outcome.independent.violation_cmin
+    );
+    // IT work is preserved: migration relocates batch load, it does not
+    // shed it.
+    assert_eq!(outcome.fleet.jobs_completed, outcome.independent.jobs_completed);
+    // The batching win: 64 containers × 4 epochs = 256 container-epochs,
+    // priced by at most sites × classes × (epochs + the baseline year).
+    let cap = (spec.sites.len() * 2 * (spec.epochs + 1)) as u64;
+    assert!(
+        outcome.lanes_evaluated <= cap,
+        "{} lanes for {} container-epochs (cap {})",
+        outcome.lanes_evaluated,
+        outcome.containers * outcome.epochs_run,
+        cap
+    );
+}
