@@ -1,0 +1,144 @@
+//! Throughput of the gym-style episode API, merged into
+//! `BENCH_perf.json` (schema in EXPERIMENTS.md): decision steps per
+//! second through a local [`coolair_sim::Episode`] and through the
+//! daemon's `POST /episodes/{id}/step` over a loopback keep-alive
+//! socket. The served path pays HTTP parse/route/encode plus the socket
+//! round trip on top of the same physics, so the two rows bracket the
+//! protocol overhead a remote learner pays per decision.
+//!
+//! Episode *creation* (warm-up simulation) is timed separately — it is a
+//! one-off cost per episode, not part of the step loop.
+
+use std::time::Instant;
+
+use coolair_bench::http_client::HttpClient;
+use coolair_bench::perf::{merge_into_report, report_path, PerfEntry};
+use coolair_serve::{ServeConfig, Server};
+use coolair_sim::{Action, Episode, EpisodeSpec};
+use coolair_telemetry::Telemetry;
+use coolair_units::SimDuration;
+use coolair_weather::Location;
+
+/// Full local episodes stepped back to back (each is one simulated day).
+const LOCAL_EPISODES: usize = 3;
+
+/// The benchmark episode: one seeded Newark day at the TKS control
+/// cadence (10-minute decisions, 144 steps).
+fn bench_spec() -> EpisodeSpec {
+    let mut spec = EpisodeSpec::seeded(Location::newark(), 11);
+    spec.decision_period = SimDuration::from_minutes(10);
+    spec
+}
+
+/// A mid-band action that keeps the TKS hysteresis exercised.
+fn bench_action(step: u64) -> Action {
+    Action { setpoint_c: 26.0 + (step % 5) as f64 * 2.0, active_servers: 64 }
+}
+
+/// Local path: steps/s through `Episode::step`, plus the one-off
+/// creation (warm-up) cost.
+fn local_rows(spec: &EpisodeSpec) -> (Vec<PerfEntry>, f64) {
+    let t0 = Instant::now();
+    let mut episodes: Vec<Episode> =
+        (0..LOCAL_EPISODES).map(|_| Episode::new(spec).expect("valid spec")).collect();
+    let create_ns = t0.elapsed().as_nanos() as f64 / LOCAL_EPISODES as f64;
+
+    let steps = spec.steps();
+    let t0 = Instant::now();
+    for ep in &mut episodes {
+        for i in 0..steps {
+            std::hint::black_box(ep.step(&bench_action(i)).expect("not done"));
+        }
+    }
+    let total_steps = steps * LOCAL_EPISODES as u64;
+    let per_step_ns = t0.elapsed().as_nanos() as f64 / total_steps as f64;
+    let steps_per_s = 1e9 / per_step_ns.max(1.0);
+
+    let rows = vec![
+        PerfEntry {
+            name: "episode/create_warmup".to_string(),
+            median_ns: create_ns.round() as u64,
+            samples: LOCAL_EPISODES as u64,
+            unit: Some("ns".to_string()),
+        },
+        PerfEntry {
+            name: "episode/local_step".to_string(),
+            median_ns: per_step_ns.round() as u64,
+            samples: total_steps,
+            unit: Some("ns".to_string()),
+        },
+        PerfEntry {
+            name: "episode/local_steps_per_s".to_string(),
+            median_ns: steps_per_s.round() as u64,
+            samples: total_steps,
+            unit: Some("steps/s".to_string()),
+        },
+    ];
+    (rows, steps_per_s)
+}
+
+/// Served path: the same episode driven through `POST /episodes/{id}/step`
+/// on a loopback keep-alive connection.
+fn served_rows(spec: &EpisodeSpec) -> (Vec<PerfEntry>, f64) {
+    let cfg = ServeConfig { addr: "127.0.0.1:0".to_string(), ..ServeConfig::default() };
+    let server = Server::bind(cfg, Telemetry::discard()).expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+
+    let steps = spec.steps();
+    let mut per_step_ns = 0.0;
+    crossbeam::thread::scope(|s| {
+        s.spawn(|_| server.run());
+        let mut client = HttpClient::connect(addr).expect("connect");
+        let created = client.post_json("/episodes", spec).expect("create");
+        assert_eq!(created.status, 201, "episode creation failed");
+        let id = spec.digest().to_string();
+        let target = format!("/episodes/{id}/step");
+
+        let t0 = Instant::now();
+        for i in 0..steps {
+            let resp = client.post_json(&target, &bench_action(i)).expect("step");
+            assert_eq!(resp.status, 200, "served step {i} failed");
+        }
+        per_step_ns = t0.elapsed().as_nanos() as f64 / steps as f64;
+
+        let shut = client.post_json("/shutdown", &()).expect("shutdown");
+        assert_eq!(shut.status, 200);
+    })
+    .expect("server scope");
+
+    let steps_per_s = 1e9 / per_step_ns.max(1.0);
+    let rows = vec![
+        PerfEntry {
+            name: "episode/served_step".to_string(),
+            median_ns: per_step_ns.round() as u64,
+            samples: steps,
+            unit: Some("ns".to_string()),
+        },
+        PerfEntry {
+            name: "episode/served_steps_per_s".to_string(),
+            median_ns: steps_per_s.round() as u64,
+            samples: steps,
+            unit: Some("steps/s".to_string()),
+        },
+    ];
+    (rows, steps_per_s)
+}
+
+fn main() {
+    let spec = bench_spec();
+    let (mut entries, local_sps) = local_rows(&spec);
+    let (served, served_sps) = served_rows(&spec);
+    entries.extend(served);
+    println!(
+        "episode_step_throughput: local {local_sps:.0} steps/s, served {served_sps:.0} steps/s \
+         ({:.1}% of local over loopback HTTP)",
+        served_sps / local_sps.max(1e-9) * 100.0
+    );
+    assert!(local_sps > 0.0 && served_sps > 0.0);
+
+    let path = report_path();
+    match merge_into_report(&path, "episode_step_throughput", entries) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

@@ -150,7 +150,7 @@ impl std::fmt::Display for Regression {
 /// unit-less rows are costs, where larger is worse.
 #[must_use]
 fn unit_higher_is_better(unit: Option<&str>) -> bool {
-    matches!(unit, Some("req/s" | "containers/s" | "speedup"))
+    matches!(unit, Some("req/s" | "containers/s" | "steps/s" | "speedup"))
 }
 
 /// Compares a fresh report against a committed baseline and returns every

@@ -22,6 +22,7 @@ use coolair_sim::{
 use coolair_fleet::{
     fleet_lane_jobs, run_fleet_with, FleetOutcome, FleetSpec, KIND_FLEET_REPORT,
 };
+use coolair_learn::{run_learn_with, LearnOutcome, LearnSpec, KIND_LEARN_REPORT};
 use coolair_telemetry::{Telemetry, TraceRecord};
 use coolair_tune::{run_tune_with, TuneOutcome, TuneSpec, KIND_TUNE_REPORT};
 use coolair_weather::{shard_locations, world_locations, Location, TmySeries, WorldGrid};
@@ -397,6 +398,11 @@ pub fn cmd_report(path: &str) -> Result<String, ReportError> {
     if let Ok(outcome) = serde_json::from_str::<FleetOutcome>(&text) {
         return Ok(reporter::render_fleet(&outcome));
     }
+    // And for a learn outcome written by `coolair learn --out` (or fetched
+    // from the daemon's `learn-report` artifact kind).
+    if let Ok(outcome) = serde_json::from_str::<LearnOutcome>(&text) {
+        return Ok(reporter::render_learn(&outcome));
+    }
     let mut records: Vec<TraceRecord> = Vec::new();
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
@@ -752,6 +758,87 @@ pub fn cmd_tune(args: &TuneArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Arguments of `coolair learn`.
+#[derive(Debug, Clone)]
+pub struct LearnArgs {
+    /// Master seed (all training and scenario entropy derives from it).
+    pub seed: u64,
+    /// Use the tiny CI smoke spec instead of the shipped suite.
+    pub smoke: bool,
+    /// Worker threads (0 → available parallelism).
+    pub threads: usize,
+    /// Store directory for memoized rollouts and the report artifact;
+    /// `None` runs in memory (no caching, no resume).
+    pub store: Option<String>,
+    /// Replay the store's journal instead of starting a fresh one.
+    pub resume: bool,
+    /// Write the full [`LearnOutcome`] to this path as pretty JSON
+    /// (renderable later with `coolair report`).
+    pub out: Option<String>,
+}
+
+impl Default for LearnArgs {
+    fn default() -> Self {
+        LearnArgs { seed: 7, smoke: false, threads: 0, store: None, resume: false, out: None }
+    }
+}
+
+/// `coolair learn` — train the baseline learners (CEM schedule search,
+/// tabular Q) over the gym-style episode suite, then benchmark them
+/// head-to-head against the random floor, TKS, CoolAir-M5P, and the
+/// supervisor. Every rollout is memoized in the store, so
+/// `--store`/`--resume` replays a killed run byte-identically.
+///
+/// # Errors
+///
+/// Propagates spec validation and store/output I/O errors.
+pub fn cmd_learn(args: &LearnArgs) -> Result<String, CliError> {
+    let spec = if args.smoke { LearnSpec::smoke(args.seed) } else { LearnSpec::shipped(args.seed) };
+    spec.validate().map_err(|e| format!("invalid learn spec: {e}"))?;
+    let telemetry = Telemetry::discard();
+    let exec = Executor::new(ExecutorConfig {
+        threads: args.threads,
+        store_dir: args.store.as_ref().map(std::path::PathBuf::from),
+        resume: args.resume,
+        telemetry: telemetry.clone(),
+        ..ExecutorConfig::default()
+    })
+    .map_err(|e| format!("open store: {e}"))?;
+
+    let started = std::time::Instant::now();
+    let outcome = run_learn_with(&spec, &exec, &telemetry);
+    let elapsed = started.elapsed();
+
+    if let Some(store) = exec.store() {
+        store
+            .put(KIND_LEARN_REPORT, spec.digest(), &outcome)
+            .map_err(|e| format!("store learn report: {e}"))?;
+    }
+    if let Some(path) = &args.out {
+        let json = serde_json::to_vec_pretty(&outcome)
+            .map_err(|e| format!("serialise learn outcome: {e}"))?;
+        std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+    }
+
+    let mut out = reporter::render_learn(&outcome);
+    let metrics = telemetry.metrics();
+    let _ = writeln!(
+        out,
+        "memo: {} hits / {} misses in-process, {} store cache hits",
+        metrics.counter("learn.memo.hit"),
+        metrics.counter("learn.memo.miss"),
+        metrics.counter("runner.cache-hit"),
+    );
+    let _ = writeln!(out, "wall clock: {:.2} s", elapsed.as_secs_f64());
+    if exec.store().is_some() {
+        let _ = writeln!(out, "report artifact: learn-report/{}", spec.digest());
+    }
+    if let Some(path) = &args.out {
+        let _ = writeln!(out, "outcome written to {path} (render with `coolair report {path}`)");
+    }
+    Ok(out)
+}
+
 /// Parses a `--sites` value: either `world:N` (the first N cells of the
 /// 1520-location world grid) or a comma-separated list of named locations
 /// (e.g. `iceland,newark,phoenix,singapore`).
@@ -941,7 +1028,9 @@ USAGE:
     coolair fleet    [--seed N] [--smoke] [--containers N] [--sites world:N|a,b,c]
                      [--epochs N] [--threads N] [--store <dir>] [--resume]
                      [--shard k/n] [--out <outcome.json>]
-    coolair report   <trace.jsonl | tune-outcome.json | fleet-outcome.json>
+    coolair learn    [--seed N] [--smoke] [--threads N] [--store <dir>] [--resume]
+                     [--out <outcome.json>]
+    coolair report   <trace.jsonl | tune/fleet/learn outcome.json>
     coolair serve    [--addr host:port] [--threads N] [--queue-depth N]
                      [--max-connections N] [--store <dir>]
 
@@ -1122,6 +1211,35 @@ mod tests {
         let rendered = cmd_report(out_path.to_str().unwrap()).unwrap();
         assert!(rendered.contains("fleet campaign (seed 11"), "got: {rendered}");
         assert!(rendered.contains("migration total"), "got: {rendered}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn learn_smoke_reports_and_round_trips_through_report() {
+        let dir = std::env::temp_dir().join("coolair_cli_learn_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let out_path = dir.join("learn-outcome.json");
+        let out = cmd_learn(&LearnArgs {
+            smoke: true,
+            seed: 5,
+            threads: 2,
+            store: Some(dir.join("store").to_string_lossy().into_owned()),
+            out: Some(out_path.to_string_lossy().into_owned()),
+            ..LearnArgs::default()
+        })
+        .unwrap();
+        assert!(out.contains("learn benchmark (seed 5"), "got: {out}");
+        assert!(out.contains("training curve"), "got: {out}");
+        assert!(out.contains("leaderboard over the episode suite"), "got: {out}");
+        assert!(out.contains("learned vs tks"), "got: {out}");
+        assert!(out.contains("store cache hits"), "got: {out}");
+        assert!(out.contains("report artifact: learn-report/"), "got: {out}");
+
+        // The written outcome renders through `coolair report`.
+        let rendered = cmd_report(out_path.to_str().unwrap()).unwrap();
+        assert!(rendered.contains("learn benchmark (seed 5"), "got: {rendered}");
+        assert!(rendered.contains("leaderboard over the episode suite"), "got: {rendered}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

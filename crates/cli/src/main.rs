@@ -3,9 +3,10 @@
 use std::process::ExitCode;
 
 use coolair_cli::{
-    cmd_annual, cmd_compare, cmd_faults, cmd_fleet, cmd_locations, cmd_report, cmd_run, cmd_serve,
-    cmd_sweep, cmd_train, cmd_tune, cmd_validate, parse_flags, parse_flags_with_switches,
-    parse_shard, usage, FleetArgs, ServeArgs, SweepArgs, TuneArgs,
+    cmd_annual, cmd_compare, cmd_faults, cmd_fleet, cmd_learn, cmd_locations, cmd_report, cmd_run,
+    cmd_serve, cmd_sweep, cmd_train, cmd_tune, cmd_validate, parse_flags,
+    parse_flags_with_switches, parse_shard, usage, FleetArgs, LearnArgs, ServeArgs, SweepArgs,
+    TuneArgs,
 };
 
 fn main() -> ExitCode {
@@ -111,6 +112,20 @@ fn main() -> ExitCode {
             a.shard = f.get("shard").map(|v| parse_shard(v)).transpose()?;
             a.out = f.get("out").cloned();
             cmd_fleet(&a)
+        }),
+        "learn" => parse_flags_with_switches(rest, &["resume", "smoke"]).and_then(|f| {
+            let mut a = LearnArgs::default();
+            if let Some(v) = f.get("seed") {
+                a.seed = v.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            a.smoke = f.contains_key("smoke");
+            if let Some(v) = f.get("threads") {
+                a.threads = v.parse().map_err(|e| format!("--threads: {e}"))?;
+            }
+            a.store = f.get("store").cloned();
+            a.resume = f.contains_key("resume");
+            a.out = f.get("out").cloned();
+            cmd_learn(&a)
         }),
         "faults" => parse_flags(rest).and_then(|f| {
             let location = f.get("location").cloned().unwrap_or_else(|| "newark".into());

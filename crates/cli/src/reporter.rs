@@ -390,6 +390,62 @@ pub fn render_fleet(o: &coolair_fleet::FleetOutcome) -> String {
     out
 }
 
+/// Renders a learn outcome: the training curve (CEM generations, then
+/// Q checkpoints), the head-to-head leaderboard against the classical
+/// controllers, and the learned-vs-TKS margin the acceptance tests pin.
+#[must_use]
+pub fn render_learn(o: &coolair_learn::LearnOutcome) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "learn benchmark (seed {}, best learned: {}, {} rollouts)",
+        o.seed, o.best_learned, o.rollouts
+    );
+
+    let _ = writeln!(out, "\ntraining curve (best-so-far per iteration):");
+    let mut curve = Table::new(&["learner", "iter", "violation °C·min", "energy kWh"]);
+    for l in &o.iters {
+        curve.row(&[
+            l.learner.clone(),
+            l.iter.to_string(),
+            format!("{:.1}", l.best_violation),
+            format!("{:.1}", l.best_energy_kwh),
+        ]);
+    }
+    out.push_str(&curve.render());
+
+    let _ = writeln!(out, "\nleaderboard over the episode suite (best first):");
+    let mut board = Table::new(&[
+        "policy",
+        "violation °C·min",
+        "energy kWh",
+        "cooling kWh",
+        "IT kWh",
+    ]);
+    for c in &o.leaderboard {
+        board.row(&[
+            c.name.clone(),
+            format!("{:.1}", c.violation_cmin),
+            format!("{:.1}", c.energy_kwh),
+            format!("{:.1}", c.cooling_kwh),
+            format!("{:.1}", c.it_kwh),
+        ]);
+    }
+    out.push_str(&board.render());
+
+    let best = o.leaderboard.iter().find(|c| c.name == o.best_learned);
+    let tks = o.leaderboard.iter().find(|c| c.name == "tks");
+    if let (Some(best), Some(tks)) = (best, tks) {
+        let _ = writeln!(
+            out,
+            "learned vs tks: violation {:+.1}%, energy {:+.1}%",
+            percent_change(tks.violation_cmin, best.violation_cmin),
+            percent_change(tks.energy_kwh, best.energy_kwh)
+        );
+    }
+    out
+}
+
 fn percent_change(from: f64, to: f64) -> f64 {
     if from.abs() < f64::EPSILON {
         0.0

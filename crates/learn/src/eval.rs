@@ -1,0 +1,288 @@
+//! The learner's evaluation unit: one policy rollout (or one classical
+//! system run) over one episode, memoized in the content-addressed
+//! artifact store under kind `learn-eval`.
+
+use coolair::Version;
+use coolair_runner::{stable_digest, Digest, Job};
+use coolair_sim::{train_for_location, Episode, EpisodeSpec, Reward, SystemSpec};
+use coolair_telemetry::Telemetry;
+use serde::{Deserialize, Serialize};
+
+use crate::policy::{state_of, PolicySpec};
+
+/// Artifact namespace of learn evaluations.
+pub const KIND_LEARN_EVAL: &str = "learn-eval";
+
+/// Scalarization weight of a °C·min of violation against a kWh of energy
+/// in the Q-learner's per-step reward. The benchmark comparison stays
+/// lexicographic ([`Reward::better_than`]); this only shapes the TD
+/// target.
+pub const SCALAR_VIOLATION_WEIGHT: f64 = 100.0;
+
+/// One `(state, action, reward, next state)` tuple from a tabular-policy
+/// rollout — the Q-update's input, recorded inside the job so the update
+/// chain replays deterministically from the store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    /// Discretized state before the action.
+    pub state: u32,
+    /// Discrete action index taken.
+    pub action: u32,
+    /// Scalarized step reward, `-(weight·violation + energy)`.
+    pub reward: f64,
+    /// Discretized state after the decision window.
+    pub next_state: u32,
+    /// Whether the episode ended on this step.
+    pub done: bool,
+}
+
+/// The headline metrics of one evaluation — the learner's currency, small
+/// enough to memoize by the thousand (transitions are only recorded when
+/// a Q-training rollout asks for them).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalOutcome {
+    /// Total temperature violation, °C·min (ground truth).
+    pub violation_cmin: f64,
+    /// Total (cooling + IT) energy, kWh.
+    pub energy_kwh: f64,
+    /// Cooling energy, kWh.
+    pub cooling_kwh: f64,
+    /// IT energy, kWh.
+    pub it_kwh: f64,
+    /// Decision windows (rollouts) or simulated days (system runs).
+    pub steps: u64,
+    /// Q-update tuples; empty unless the task asked for them.
+    pub transitions: Vec<Transition>,
+}
+
+impl EvalOutcome {
+    /// The episode-reward view: the lexicographic (violation, energy)
+    /// cost pair.
+    #[must_use]
+    pub fn reward(&self) -> Reward {
+        Reward { violation_cmin: self.violation_cmin, energy_kwh: self.energy_kwh }
+    }
+}
+
+/// What one evaluation runs: a policy through the episode loop, or one of
+/// the repo's classical systems over the same calendar days for the
+/// head-to-head leaderboard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EvalTask {
+    /// Roll `policy` through `episode`.
+    Rollout {
+        /// The policy under evaluation.
+        policy: PolicySpec,
+        /// The episode it runs in.
+        episode: EpisodeSpec,
+        /// Record Q-update tuples (tabular policies only).
+        record_transitions: bool,
+    },
+    /// Run a classical system (TKS, CoolAir-M5P, the supervisor) over the
+    /// episode's days under the same scenario, via the annual engine.
+    System {
+        /// The system under evaluation.
+        system: SystemSpec,
+        /// The episode describing scenario, days, and engine config.
+        episode: EpisodeSpec,
+    },
+}
+
+/// Evaluates one [`EvalTask`]; the digest covers exactly the task, so the
+/// artifact store memoizes across training iterations *and* across
+/// process restarts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalJob {
+    /// The task under evaluation.
+    pub task: EvalTask,
+}
+
+impl EvalJob {
+    fn episode(&self) -> &EpisodeSpec {
+        match &self.task {
+            EvalTask::Rollout { episode, .. } | EvalTask::System { episode, .. } => episode,
+        }
+    }
+}
+
+impl Job for EvalJob {
+    type Output = EvalOutcome;
+
+    fn kind(&self) -> &'static str {
+        KIND_LEARN_EVAL
+    }
+
+    fn digest(&self) -> Digest {
+        stable_digest(&self.task)
+    }
+
+    fn label(&self) -> String {
+        let ep = self.episode();
+        let who = match &self.task {
+            EvalTask::Rollout { policy, .. } => policy.name().to_string(),
+            EvalTask::System { system, .. } => system.name(),
+        };
+        format!("{who} @ {} d{}", ep.scenario.label(), ep.start_day)
+    }
+
+    fn run(&self) -> EvalOutcome {
+        match &self.task {
+            EvalTask::Rollout { policy, episode, record_transitions } => {
+                let mut ep = Episode::new(episode).expect("validated spec");
+                let covering = ep.covering_servers();
+                let total = ep.total_servers();
+                let mut transitions = Vec::new();
+                let mut step = 0_u64;
+                while !ep.is_done() {
+                    let obs = ep.observe().clone();
+                    let (action, sa) = policy.decide(step, &obs, covering, total);
+                    let res = ep.step(&action).expect("not done");
+                    if *record_transitions {
+                        if let Some((s, a)) = sa {
+                            transitions.push(Transition {
+                                state: s as u32,
+                                action: a as u32,
+                                reward: -(SCALAR_VIOLATION_WEIGHT * res.reward.violation_cmin
+                                    + res.reward.energy_kwh),
+                                next_state: state_of(&res.observation) as u32,
+                                done: res.done,
+                            });
+                        }
+                    }
+                    step += 1;
+                }
+                let total_reward = ep.total_reward();
+                EvalOutcome {
+                    violation_cmin: total_reward.violation_cmin,
+                    energy_kwh: total_reward.energy_kwh,
+                    cooling_kwh: ep.cooling_kwh(),
+                    it_kwh: ep.it_kwh(),
+                    steps: step,
+                    transitions,
+                }
+            }
+            EvalTask::System { system, episode } => {
+                let cfg = episode.effective_annual();
+                let location = &episode.scenario.location;
+                let model = match system {
+                    SystemSpec::Baseline | SystemSpec::BaselineWithSetpoint(_) => None,
+                    _ => Some(train_for_location(location, &cfg)),
+                };
+                let days = episode.days();
+                let summary = coolair_sim::run_days_traced(
+                    system,
+                    location,
+                    episode.scenario.trace,
+                    &cfg,
+                    model,
+                    &days,
+                    Telemetry::disabled(),
+                );
+                EvalOutcome {
+                    violation_cmin: summary.total_violation(),
+                    energy_kwh: summary.cooling_kwh() + summary.it_kwh(),
+                    cooling_kwh: summary.cooling_kwh(),
+                    it_kwh: summary.it_kwh(),
+                    steps: days.len() as u64,
+                    transitions: Vec::new(),
+                }
+            }
+        }
+    }
+}
+
+/// Leaderboard systems the learned policies are benchmarked against:
+/// CoolAir-M5P and the degraded-mode supervisor (TKS and the random
+/// baseline run through the episode loop itself).
+#[must_use]
+pub fn classical_systems() -> Vec<(String, SystemSpec)> {
+    vec![
+        ("coolair-m5p".to_string(), SystemSpec::CoolAir(Version::AllNd)),
+        ("supervisor".to_string(), SystemSpec::Supervised(Version::AllNd)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coolair_weather::Location;
+
+    fn quick_episode() -> EpisodeSpec {
+        let mut ep = EpisodeSpec::nominal(Location::newark());
+        ep.decision_period = coolair_units::SimDuration::from_minutes(60);
+        ep
+    }
+
+    #[test]
+    fn digest_separates_policy_episode_and_flags() {
+        let ep = quick_episode();
+        let base = EvalJob {
+            task: EvalTask::Rollout {
+                policy: PolicySpec::Fixed { setpoint_c: 30.0 },
+                episode: ep.clone(),
+                record_transitions: false,
+            },
+        };
+        let other_policy = EvalJob {
+            task: EvalTask::Rollout {
+                policy: PolicySpec::Fixed { setpoint_c: 28.0 },
+                episode: ep.clone(),
+                record_transitions: false,
+            },
+        };
+        let recording = EvalJob {
+            task: EvalTask::Rollout {
+                policy: PolicySpec::Fixed { setpoint_c: 30.0 },
+                episode: ep.clone(),
+                record_transitions: true,
+            },
+        };
+        let system = EvalJob {
+            task: EvalTask::System { system: SystemSpec::Baseline, episode: ep },
+        };
+        let digests =
+            [base.digest(), other_policy.digest(), recording.digest(), system.digest()];
+        for (i, a) in digests.iter().enumerate() {
+            for b in digests.iter().skip(i + 1) {
+                assert_ne!(a, b, "digest collision");
+            }
+        }
+    }
+
+    #[test]
+    fn rollout_is_pure_and_tabular_rollouts_record_transitions() {
+        let job = EvalJob {
+            task: EvalTask::Rollout {
+                policy: PolicySpec::Explore {
+                    table: crate::policy::QTable::zeros(),
+                    seed: 5,
+                    epsilon: 0.5,
+                },
+                episode: quick_episode(),
+                record_transitions: true,
+            },
+        };
+        let a = job.run();
+        let b = job.run();
+        assert_eq!(a, b, "rollouts must be pure functions of the task");
+        assert_eq!(a.steps, 24);
+        assert_eq!(a.transitions.len(), 24);
+        assert!(a.transitions.last().unwrap().done);
+        assert!(a.energy_kwh > 0.0);
+        assert!(a.transitions.iter().all(|t| t.reward <= 0.0));
+    }
+
+    #[test]
+    fn system_task_runs_the_annual_engine() {
+        let job = EvalJob {
+            task: EvalTask::System {
+                system: SystemSpec::Baseline,
+                episode: quick_episode(),
+            },
+        };
+        let out = job.run();
+        assert!(out.energy_kwh > 10.0, "a loaded day costs energy");
+        assert!(out.transitions.is_empty());
+        assert_eq!(out.steps, 1);
+    }
+}

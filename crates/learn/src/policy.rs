@@ -1,0 +1,343 @@
+//! Serializable control policies over the episode API.
+//!
+//! A policy is pure data: given the step index and an [`Observation`] it
+//! deterministically produces an [`Action`]. Keeping policies serializable
+//! (and digestible) is what lets a rollout be a content-addressed
+//! [`coolair_runner::Job`] — the policy *is* part of the memo key, so
+//! training runs kill/resume byte-identically through the artifact store.
+
+use coolair_sim::{Action, Observation};
+use coolair_tune::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// The tabular learner's discrete setpoint menu, °C.
+pub const SETPOINTS_C: [f64; 4] = [26.0, 28.0, 30.0, 32.0];
+
+/// Discretized state count: 3 cooling regimes × 4 outside-temperature
+/// bands × 3 demand bands.
+pub const STATES: usize = 36;
+
+/// Discrete action count: 4 setpoints × 2 active-server levels (covering
+/// subset only, or everything awake).
+pub const ACTIONS: usize = 8;
+
+/// The random policy samples setpoints uniformly from this band, °C.
+const RANDOM_SETPOINT_RANGE_C: (f64, f64) = (16.0, 38.0);
+
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Maps an observation onto the tabular learner's discrete state index.
+///
+/// Bands: regime (closed / free cooling / AC), outside temperature
+/// (&lt;10, 10–18, 18–26, ≥26 °C), and compute demand (thirds of the
+/// server count).
+#[must_use]
+pub fn state_of(obs: &Observation) -> usize {
+    let regime = (obs.regime_code as usize).min(2);
+    let temp = if obs.outside_temp_c < 10.0 {
+        0
+    } else if obs.outside_temp_c < 18.0 {
+        1
+    } else if obs.outside_temp_c < 26.0 {
+        2
+    } else {
+        3
+    };
+    let load = if obs.demand_fraction < 1.0 / 3.0 {
+        0
+    } else if obs.demand_fraction < 2.0 / 3.0 {
+        1
+    } else {
+        2
+    };
+    regime * 12 + temp * 3 + load
+}
+
+/// Decodes a discrete action index into an episode [`Action`]: even
+/// indices keep only the covering subset awake, odd indices wake every
+/// server; the index pair selects the setpoint from [`SETPOINTS_C`].
+#[must_use]
+pub fn decode_action(index: usize, covering: usize, total: usize) -> Action {
+    let setpoint_c = SETPOINTS_C[(index / 2).min(SETPOINTS_C.len() - 1)];
+    let active_servers = if index.is_multiple_of(2) { covering } else { total };
+    Action { setpoint_c, active_servers }
+}
+
+/// A dense `STATES × ACTIONS` action-value table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QTable {
+    /// Row-major values, `q[state * ACTIONS + action]`.
+    pub q: Vec<f64>,
+}
+
+impl QTable {
+    /// The all-zeros table every training run starts from.
+    #[must_use]
+    pub fn zeros() -> Self {
+        QTable { q: vec![0.0; STATES * ACTIONS] }
+    }
+
+    /// The value of `(state, action)`.
+    #[must_use]
+    pub fn get(&self, state: usize, action: usize) -> f64 {
+        self.q[state * ACTIONS + action]
+    }
+
+    /// Overwrites the value of `(state, action)`.
+    pub fn set(&mut self, state: usize, action: usize, value: f64) {
+        self.q[state * ACTIONS + action] = value;
+    }
+
+    /// The greedy action in `state` (ties break toward the lowest index,
+    /// so argmax is deterministic).
+    #[must_use]
+    pub fn best_action(&self, state: usize) -> usize {
+        let row = &self.q[state * ACTIONS..(state + 1) * ACTIONS];
+        let mut best = 0;
+        for (a, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = a;
+            }
+        }
+        best
+    }
+
+    /// The greedy action's value in `state`.
+    #[must_use]
+    pub fn best_value(&self, state: usize) -> f64 {
+        self.get(state, self.best_action(state))
+    }
+}
+
+/// A piecewise-constant daily setpoint schedule plus an active-server
+/// fraction — the CEM's search space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedulePolicy {
+    /// Setpoints over the day, °C; knot `i` covers day fraction
+    /// `[i/n, (i+1)/n)`.
+    pub setpoints_c: Vec<f64>,
+    /// Active-server fraction in `[0, 1]`, mapped onto
+    /// `[covering, total]`.
+    pub active_frac: f64,
+}
+
+impl SchedulePolicy {
+    /// The paper-baseline schedule: every knot at 30 °C, everything awake.
+    #[must_use]
+    pub fn baseline(knots: usize) -> Self {
+        SchedulePolicy { setpoints_c: vec![30.0; knots.max(1)], active_frac: 1.0 }
+    }
+}
+
+/// A deterministic, serializable control policy. See the module docs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PolicySpec {
+    /// The CEM's piecewise-constant daily schedule.
+    Schedule(SchedulePolicy),
+    /// Greedy tabular policy over the discretized state space.
+    Greedy {
+        /// The action-value table.
+        table: QTable,
+    },
+    /// Epsilon-greedy exploration over a table — the Q-learner's training
+    /// behaviour policy. The per-step randomness is a pure function of
+    /// `(seed, step)`, so the rollout stays memoizable.
+    Explore {
+        /// The action-value table.
+        table: QTable,
+        /// Seed of the per-step exploration stream.
+        seed: u64,
+        /// Exploration probability in `[0, 1]`.
+        epsilon: f64,
+    },
+    /// Uniformly random setpoints and active counts — the floor every
+    /// learner must beat.
+    Random {
+        /// Seed of the per-step stream.
+        seed: u64,
+    },
+    /// A constant setpoint with every server awake; 30 °C reproduces the
+    /// TKS baseline.
+    Fixed {
+        /// The constant setpoint, °C.
+        setpoint_c: f64,
+    },
+}
+
+impl PolicySpec {
+    /// Short stable name for labels and tables.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicySpec::Schedule(_) => "schedule",
+            PolicySpec::Greedy { .. } => "greedy",
+            PolicySpec::Explore { .. } => "explore",
+            PolicySpec::Random { .. } => "random",
+            PolicySpec::Fixed { .. } => "fixed",
+        }
+    }
+
+    /// The action for one decision window, plus — for the tabular family —
+    /// the `(state, action)` pair the Q-update needs.
+    #[must_use]
+    pub fn decide(
+        &self,
+        step: u64,
+        obs: &Observation,
+        covering: usize,
+        total: usize,
+    ) -> (Action, Option<(usize, usize)>) {
+        match self {
+            PolicySpec::Schedule(sched) => {
+                let n = sched.setpoints_c.len().max(1);
+                let idx = ((obs.day_fraction.clamp(0.0, 1.0) * n as f64) as usize).min(n - 1);
+                let span = total.saturating_sub(covering) as f64;
+                let active =
+                    covering + (sched.active_frac.clamp(0.0, 1.0) * span).round() as usize;
+                (Action { setpoint_c: sched.setpoints_c[idx], active_servers: active }, None)
+            }
+            PolicySpec::Greedy { table } => {
+                let s = state_of(obs);
+                let a = table.best_action(s);
+                (decode_action(a, covering, total), Some((s, a)))
+            }
+            PolicySpec::Explore { table, seed, epsilon } => {
+                let s = state_of(obs);
+                let mut rng = SplitMix64::new(seed ^ (step + 1).wrapping_mul(GOLDEN));
+                let a = if rng.next_f64() < *epsilon {
+                    rng.below(ACTIONS)
+                } else {
+                    table.best_action(s)
+                };
+                (decode_action(a, covering, total), Some((s, a)))
+            }
+            PolicySpec::Random { seed } => {
+                let mut rng = SplitMix64::new(seed ^ (step + 1).wrapping_mul(GOLDEN));
+                let (lo, hi) = RANDOM_SETPOINT_RANGE_C;
+                let setpoint_c = lo + (hi - lo) * rng.next_f64();
+                let active_servers = covering + rng.below(total.saturating_sub(covering) + 1);
+                (Action { setpoint_c, active_servers }, None)
+            }
+            PolicySpec::Fixed { setpoint_c } => {
+                (Action { setpoint_c: *setpoint_c, active_servers: total }, None)
+            }
+        }
+    }
+
+    /// Like [`PolicySpec::decide`] but dropping the tabular bookkeeping.
+    #[must_use]
+    pub fn act(&self, step: u64, obs: &Observation, covering: usize, total: usize) -> Action {
+        self.decide(step, obs, covering, total).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coolair_units::SimTime;
+
+    fn obs(outside: f64, regime: u8, demand: f64) -> Observation {
+        Observation {
+            time: SimTime::from_secs(6 * 3600),
+            day_fraction: 0.25,
+            outside_temp_c: outside,
+            outside_rh_pct: 50.0,
+            max_inlet_c: 25.0,
+            mean_inlet_c: 24.0,
+            min_inlet_c: 23.0,
+            cold_aisle_rh_pct: 45.0,
+            regime_code: regime,
+            fan_pct: 0.0,
+            compressor_pct: 0.0,
+            cooling_w: 0.0,
+            it_w: 5000.0,
+            active_fraction: 1.0,
+            demand_fraction: demand,
+        }
+    }
+
+    #[test]
+    fn state_bands_cover_the_space() {
+        assert_eq!(state_of(&obs(-5.0, 0, 0.0)), 0);
+        assert_eq!(state_of(&obs(30.0, 2, 0.9)), 2 * 12 + 3 * 3 + 2);
+        let mut seen = std::collections::HashSet::new();
+        for (t, r, d) in
+            [(5.0, 0, 0.1), (12.0, 1, 0.5), (20.0, 2, 0.9), (30.0, 1, 0.1), (17.9, 0, 0.99)]
+        {
+            let s = state_of(&obs(t, r, d));
+            assert!(s < STATES);
+            seen.insert(s);
+        }
+        assert_eq!(seen.len(), 5, "distinct inputs hit distinct states");
+    }
+
+    #[test]
+    fn decode_spans_the_action_menu() {
+        let mut pairs = std::collections::HashSet::new();
+        for a in 0..ACTIONS {
+            let act = decode_action(a, 8, 64);
+            assert!(SETPOINTS_C.contains(&act.setpoint_c));
+            assert!(act.active_servers == 8 || act.active_servers == 64);
+            pairs.insert((act.setpoint_c.to_bits(), act.active_servers));
+        }
+        assert_eq!(pairs.len(), ACTIONS);
+    }
+
+    #[test]
+    fn schedule_selects_knot_by_day_fraction() {
+        let p = PolicySpec::Schedule(SchedulePolicy {
+            setpoints_c: vec![20.0, 25.0, 30.0, 35.0],
+            active_frac: 0.5,
+        });
+        let a = p.act(0, &obs(10.0, 0, 0.5), 8, 64);
+        assert_eq!(a.setpoint_c, 25.0, "day_fraction 0.25 hits knot 1 of 4");
+        assert_eq!(a.active_servers, 8 + 28);
+    }
+
+    #[test]
+    fn greedy_argmax_is_deterministic_and_ties_break_low() {
+        let mut t = QTable::zeros();
+        assert_eq!(t.best_action(0), 0, "all-zero row ties break to action 0");
+        t.set(0, 5, 1.0);
+        assert_eq!(t.best_action(0), 5);
+        assert_eq!(t.best_value(0), 1.0);
+    }
+
+    #[test]
+    fn stochastic_policies_are_pure_functions_of_seed_and_step() {
+        let o = obs(15.0, 1, 0.4);
+        for p in [
+            PolicySpec::Random { seed: 9 },
+            PolicySpec::Explore { table: QTable::zeros(), seed: 9, epsilon: 0.7 },
+        ] {
+            let a = p.act(3, &o, 8, 64);
+            let b = p.act(3, &o, 8, 64);
+            assert_eq!(a, b, "same (seed, step) must repeat");
+            let c = p.act(4, &o, 8, 64);
+            assert!(p.act(4, &o, 8, 64) == c);
+        }
+        // The random policy stays inside the clamp-free band.
+        let p = PolicySpec::Random { seed: 1 };
+        for step in 0..50 {
+            let a = p.act(step, &o, 8, 64);
+            assert!((16.0..=38.0).contains(&a.setpoint_c));
+            assert!((8..=64).contains(&a.active_servers));
+        }
+    }
+
+    #[test]
+    fn policies_round_trip_through_json() {
+        let policies = vec![
+            PolicySpec::Schedule(SchedulePolicy::baseline(6)),
+            PolicySpec::Greedy { table: QTable::zeros() },
+            PolicySpec::Explore { table: QTable::zeros(), seed: 3, epsilon: 0.25 },
+            PolicySpec::Random { seed: 11 },
+            PolicySpec::Fixed { setpoint_c: 30.0 },
+        ];
+        for p in policies {
+            let json = serde_json::to_string(&p).unwrap();
+            let back: PolicySpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, p);
+        }
+    }
+}

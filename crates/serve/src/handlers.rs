@@ -9,8 +9,10 @@ use std::path::PathBuf;
 use std::str::FromStr;
 
 use coolair_fleet::{FleetSpec, KIND_FLEET_REPORT};
+use coolair_learn::{LearnSpec, KIND_LEARN_REPORT};
 use coolair_runner::{ArtifactError, Digest};
 use coolair_sim::jobs::AnnualJob;
+use coolair_sim::{Action, Episode, EpisodeSpec};
 use coolair_tune::{TuneSpec, KIND_TUNE_REPORT};
 use serde::{Deserialize, Serialize as _, Value};
 
@@ -78,6 +80,9 @@ pub fn endpoint_class(path: &str) -> &'static str {
         ["metrics"] => "/metrics",
         ["jobs"] => "/jobs",
         ["jobs", _] => "/jobs/{id}",
+        ["episodes"] => "/episodes",
+        ["episodes", _] => "/episodes/{id}",
+        ["episodes", _, "step"] => "/episodes/{id}/step",
         ["artifacts", _, _] => "/artifacts/{kind}/{hash}",
         ["shutdown"] => "/shutdown",
         _ => "other",
@@ -96,10 +101,14 @@ pub fn handle(state: &AppState, req: &Request) -> Reply {
         ("GET", ["jobs"]) => list_jobs(state),
         ("GET", ["jobs", id]) => get_job(state, id),
         ("POST", ["jobs"]) => submit_job(state, &req.body),
+        ("POST", ["episodes"]) => create_episode(state, &req.body),
+        ("GET", ["episodes", id]) => get_episode(state, id),
+        ("POST", ["episodes", id, "step"]) => step_episode(state, id, &req.body),
         ("GET", ["artifacts", kind, hash]) => get_artifact(state, kind, hash),
         ("POST", ["shutdown"]) => shutdown(state),
         (_, ["healthz" | "version" | "metrics" | "shutdown"])
         | (_, ["jobs", ..])
+        | (_, ["episodes"] | ["episodes", _] | ["episodes", _, "step"])
         | (_, ["artifacts", _, _]) => Reply::error(405, "method not allowed"),
         _ => Reply::error(404, "no such route"),
     }
@@ -148,7 +157,12 @@ fn get_job(state: &AppState, id: &str) -> Reply {
         return Reply::error(404, "no such job");
     };
     // A digest names exactly one spec, so at most one kind can hit.
-    for kind in [coolair_sim::jobs::KIND_ANNUAL_SUMMARY, KIND_TUNE_REPORT, KIND_FLEET_REPORT] {
+    for kind in [
+        coolair_sim::jobs::KIND_ANNUAL_SUMMARY,
+        KIND_TUNE_REPORT,
+        KIND_FLEET_REPORT,
+        KIND_LEARN_REPORT,
+    ] {
         match store.try_get::<Value>(kind, digest) {
             Ok(result) => {
                 return Reply::json(
@@ -170,9 +184,10 @@ fn get_job(state: &AppState, id: &str) -> Reply {
 }
 
 /// Interprets a submission body. A plain object is an [`AnnualJob`]; an
-/// object wrapped as `{"tune": {...}}` is a robust-tuning [`TuneSpec`]
-/// and one wrapped as `{"fleet": {...}}` is a fleet-campaign
-/// [`FleetSpec`] (the wrapper key picks the job kind explicitly, so the
+/// object wrapped as `{"tune": {...}}` is a robust-tuning [`TuneSpec`],
+/// one wrapped as `{"fleet": {...}}` is a fleet-campaign [`FleetSpec`],
+/// and one wrapped as `{"learn": {...}}` is a learned-control
+/// [`LearnSpec`] (the wrapper key picks the job kind explicitly, so the
 /// spec shapes can evolve without overlapping).
 fn parse_submission(body: &[u8]) -> Result<QueuedJob, String> {
     let value: Value = serde_json::from_slice(body).map_err(|e| format!("bad job spec: {e}"))?;
@@ -187,6 +202,12 @@ fn parse_submission(body: &[u8]) -> Result<QueuedJob, String> {
                 FleetSpec::from_value(fleet).map_err(|e| format!("bad fleet spec: {e}"))?;
             spec.validate().map_err(|e| format!("bad fleet spec: {e}"))?;
             return Ok(QueuedJob::Fleet(Box::new(spec)));
+        }
+        if let Some((_, learn)) = pairs.iter().find(|(k, _)| k == "learn") {
+            let spec =
+                LearnSpec::from_value(learn).map_err(|e| format!("bad learn spec: {e}"))?;
+            spec.validate().map_err(|e| format!("bad learn spec: {e}"))?;
+            return Ok(QueuedJob::Learn(Box::new(spec)));
         }
     }
     AnnualJob::from_value(&value)
@@ -229,6 +250,115 @@ fn submit_job(state: &AppState, body: &[u8]) -> Reply {
     }
 }
 
+/// Renders an episode's public status record. `observation` is the cached
+/// next observation — the one the client should act on.
+fn episode_status(id: &str, ep: &Episode) -> Value {
+    obj(vec![
+        ("id", s(id)),
+        ("state", s(if ep.is_done() { "done" } else { "running" })),
+        ("step", Value::UInt(ep.steps_taken())),
+        ("steps", Value::UInt(ep.spec().steps())),
+        ("observation", ep.observe().to_value()),
+        ("total", ep.total_reward().to_value()),
+    ])
+}
+
+/// `POST /episodes` — digest-keyed idempotent creation. The body is an
+/// [`EpisodeSpec`], optionally wrapped as `{"episode": {...}}` to mirror
+/// the job-submission envelope. Creation is bounded like the job queue:
+/// past `max_episodes` (after evicting finished episodes) the reply is
+/// `503 Retry-After`.
+fn create_episode(state: &AppState, body: &[u8]) -> Reply {
+    if state.is_shutting_down() {
+        return Reply::error(503, "daemon is draining");
+    }
+    let value: Value = match serde_json::from_slice(body) {
+        Ok(v) => v,
+        Err(e) => return Reply::error(400, &format!("bad episode spec: {e}")),
+    };
+    let spec_value = match &value {
+        Value::Map(pairs) => pairs
+            .iter()
+            .find(|(k, _)| k == "episode")
+            .map_or(&value, |(_, v)| v),
+        _ => &value,
+    };
+    let spec = match EpisodeSpec::from_value(spec_value) {
+        Ok(spec) => spec,
+        Err(e) => return Reply::error(400, &format!("bad episode spec: {e}")),
+    };
+    if let Err(e) = spec.validate() {
+        return Reply::error(400, &format!("bad episode spec: {e}"));
+    }
+    let id = spec.digest().to_string();
+    let mut episodes = state.episodes.lock();
+    // Same spec → same digest → same episode: answer the live one instead
+    // of resetting it.
+    if let Some(existing) = episodes.get(&id) {
+        return Reply::json(200, &episode_status(&id, existing));
+    }
+    if episodes.len() >= state.cfg.max_episodes {
+        // Finished episodes are kept for late GETs but are the first to
+        // go under pressure.
+        episodes.retain(|_, ep| !ep.is_done());
+    }
+    if episodes.len() >= state.cfg.max_episodes {
+        return Reply::Full(
+            Response::json(503, &obj(vec![("error", s("episode registry full"))]))
+                .with_header("retry-after", "1"),
+        );
+    }
+    let episode = match Episode::new(&spec) {
+        Ok(ep) => ep,
+        Err(e) => return Reply::error(400, &format!("bad episode spec: {e}")),
+    };
+    let status = episode_status(&id, &episode);
+    episodes.insert(id, episode);
+    Reply::json(201, &status)
+}
+
+/// `GET /episodes/{id}` — live-episode status, or `404`.
+fn get_episode(state: &AppState, id: &str) -> Reply {
+    match state.episodes.lock().get(id) {
+        Some(ep) => Reply::json(200, &episode_status(id, ep)),
+        None => Reply::error(404, "no such episode"),
+    }
+}
+
+/// `POST /episodes/{id}/step` — applies one [`Action`], optionally
+/// wrapped as `{"action": {...}}`. The reply body is exactly the
+/// serialized [`coolair_sim::StepResult`], so a served trajectory is
+/// byte-identical to a local one. Unknown ids are `404` (not a worker
+/// panic), finished episodes `409`.
+fn step_episode(state: &AppState, id: &str, body: &[u8]) -> Reply {
+    let value: Value = match serde_json::from_slice(body) {
+        Ok(v) => v,
+        Err(e) => return Reply::error(400, &format!("bad action: {e}")),
+    };
+    let action_value = match &value {
+        Value::Map(pairs) => pairs
+            .iter()
+            .find(|(k, _)| k == "action")
+            .map_or(&value, |(_, v)| v),
+        _ => &value,
+    };
+    let action = match Action::from_value(action_value) {
+        Ok(a) => a,
+        Err(e) => return Reply::error(400, &format!("bad action: {e}")),
+    };
+    let mut episodes = state.episodes.lock();
+    let Some(episode) = episodes.get_mut(id) else {
+        return Reply::error(404, "no such episode");
+    };
+    if episode.is_done() {
+        return Reply::error(409, "episode is done");
+    }
+    match episode.step(&action) {
+        Ok(result) => Reply::json(200, &result.to_value()),
+        Err(e) => Reply::error(409, &e),
+    }
+}
+
 fn get_artifact(state: &AppState, kind: &str, hash: &str) -> Reply {
     // Kind doubles as a directory name under the store root; restricting
     // its charset (no '/', '.', '\') forecloses path traversal.
@@ -265,11 +395,18 @@ mod tests {
     use coolair_telemetry::Telemetry;
     use std::sync::mpsc::sync_channel;
 
-    fn state_with_depth(depth: usize) -> (AppState, std::sync::mpsc::Receiver<crate::jobs::JobTicket>) {
+    fn state_with_cfg(
+        cfg: ServeConfig,
+        depth: usize,
+    ) -> (AppState, std::sync::mpsc::Receiver<crate::jobs::JobTicket>) {
         let telemetry = Telemetry::discard();
         let executor = Executor::in_memory(1, telemetry.clone());
         let (tx, rx) = sync_channel(depth);
-        (AppState::new(ServeConfig::default(), executor, telemetry, JobQueue::new(tx)), rx)
+        (AppState::new(cfg, executor, telemetry, JobQueue::new(tx)), rx)
+    }
+
+    fn state_with_depth(depth: usize) -> (AppState, std::sync::mpsc::Receiver<crate::jobs::JobTicket>) {
+        state_with_cfg(ServeConfig::default(), depth)
     }
 
     fn get(state: &AppState, target: &str) -> Reply {
@@ -292,15 +429,31 @@ mod tests {
         }
     }
 
-    fn post_jobs(state: &AppState, body: &[u8]) -> Reply {
+    fn post(state: &AppState, target: &str, body: &[u8]) -> Reply {
         let req = Request {
             method: "POST".to_string(),
-            target: "/jobs".to_string(),
+            target: target.to_string(),
             version: crate::http::HttpVersion::Http11,
             headers: vec![],
             body: body.to_vec(),
         };
         handle(state, &req)
+    }
+
+    fn post_jobs(state: &AppState, body: &[u8]) -> Reply {
+        post(state, "/jobs", body)
+    }
+
+    /// A short episode (4 decisions/day) so handler tests stay quick.
+    fn episode_spec(seed: u64) -> EpisodeSpec {
+        let mut spec = EpisodeSpec::seeded(coolair_weather::Location::newark(), seed);
+        spec.decision_period = coolair_units::SimDuration::from_minutes(360);
+        spec
+    }
+
+    fn body_of(reply: Reply) -> Vec<u8> {
+        let Reply::Full(resp) = reply else { panic!("expected a full reply") };
+        resp.body
     }
 
     #[test]
@@ -414,6 +567,102 @@ mod tests {
         assert_eq!(endpoint_class("/jobs/0123456789abcdef"), "/jobs/{id}");
         assert_eq!(endpoint_class("/artifacts/a/b"), "/artifacts/{kind}/{hash}");
         assert_eq!(endpoint_class("/metrics"), "/metrics");
+        assert_eq!(endpoint_class("/episodes"), "/episodes");
+        assert_eq!(endpoint_class("/episodes/0123456789abcdef"), "/episodes/{id}");
+        assert_eq!(endpoint_class("/episodes/0123456789abcdef/step"), "/episodes/{id}/step");
         assert_eq!(endpoint_class("/a/b/c/d"), "other");
+    }
+
+    #[test]
+    fn episode_create_is_idempotent_and_steps_match_local_bytes() {
+        let (state, _rx) = state_with_depth(1);
+        let spec = episode_spec(7);
+        let id = spec.digest().to_string();
+        let wrapped = serde_json::to_vec(&obj(vec![("episode", spec.to_value())])).unwrap();
+        assert_eq!(post(&state, "/episodes", &wrapped).status(), 201);
+        // Same spec again (wrapped or bare): the live episode answers.
+        assert_eq!(post(&state, "/episodes", &wrapped).status(), 200);
+        let bare = serde_json::to_vec(&spec).unwrap();
+        assert_eq!(post(&state, "/episodes", &bare).status(), 200);
+        let status_body = String::from_utf8(body_of(get(&state, &format!("/episodes/{id}")))).unwrap();
+        assert!(status_body.contains("\"state\": \"running\"") || status_body.contains("running"));
+        assert!(status_body.contains("observation"));
+
+        // A served step is byte-identical to the same step taken locally.
+        let mut local = Episode::new(&spec).expect("valid spec");
+        let action = Action { setpoint_c: 28.0, active_servers: 48 };
+        let action_body = serde_json::to_vec(&action).unwrap();
+        let steps = spec.steps();
+        for _ in 0..steps {
+            let reply = post(&state, &format!("/episodes/{id}/step"), &action_body);
+            assert_eq!(reply.status(), 200);
+            let expected =
+                serde_json::to_string(&local.step(&action).expect("not done")).unwrap();
+            assert_eq!(String::from_utf8(body_of(reply)).unwrap(), expected);
+        }
+        // Past the horizon the episode is done: stepping is a conflict,
+        // but its status record is still served.
+        assert_eq!(post(&state, &format!("/episodes/{id}/step"), &action_body).status(), 409);
+        let done_body = String::from_utf8(body_of(get(&state, &format!("/episodes/{id}")))).unwrap();
+        assert!(done_body.contains("done"));
+    }
+
+    #[test]
+    fn step_on_unknown_episode_is_404_and_bad_bodies_are_400() {
+        let (state, _rx) = state_with_depth(1);
+        let action = serde_json::to_vec(&Action { setpoint_c: 30.0, active_servers: 64 }).unwrap();
+        // The hardening case: a step against an id that was never created
+        // (or was evicted) is a clean 404, not a 500.
+        assert_eq!(post(&state, "/episodes/0123456789abcdef/step", &action).status(), 404);
+        assert_eq!(get(&state, "/episodes/0123456789abcdef").status(), 404);
+        assert_eq!(post(&state, "/episodes", b"{not json").status(), 400);
+        assert_eq!(post(&state, "/episodes", b"{\"episode\": 3}").status(), 400);
+        // Invalid spec values (horizon 0) are a 400 up front.
+        let mut bad = episode_spec(7);
+        bad.horizon_days = 0;
+        let bad_body = serde_json::to_vec(&bad).unwrap();
+        let reply = post(&state, "/episodes", &bad_body);
+        assert_eq!(reply.status(), 400);
+        assert!(String::from_utf8(body_of(reply)).unwrap().contains("bad episode spec"));
+        // Wrong method on every episode route is 405, not 404.
+        for target in ["/episodes", "/episodes/abc", "/episodes/abc/step"] {
+            let req = Request {
+                method: "DELETE".to_string(),
+                target: target.to_string(),
+                version: crate::http::HttpVersion::Http11,
+                headers: vec![],
+                body: vec![],
+            };
+            assert_eq!(handle(&state, &req).status(), 405, "{target}");
+        }
+    }
+
+    #[test]
+    fn episode_registry_is_bounded_and_drains() {
+        let cfg = ServeConfig { max_episodes: 1, ..ServeConfig::default() };
+        let (state, _rx) = state_with_cfg(cfg, 1);
+        let first = episode_spec(1);
+        let first_id = first.digest().to_string();
+        let body1 = serde_json::to_vec(&first).unwrap();
+        assert_eq!(post(&state, "/episodes", &body1).status(), 201);
+        // Registry full of *running* episodes: shed with Retry-After.
+        let body2 = serde_json::to_vec(&episode_spec(2)).unwrap();
+        let reply = post(&state, "/episodes", &body2);
+        assert_eq!(reply.status(), 503);
+        let Reply::Full(resp) = reply else { panic!() };
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        // Finish the first episode; it becomes evictable and the second
+        // episode's creation succeeds.
+        let action = serde_json::to_vec(&Action { setpoint_c: 30.0, active_servers: 64 }).unwrap();
+        for _ in 0..first.steps() {
+            assert_eq!(post(&state, &format!("/episodes/{first_id}/step"), &action).status(), 200);
+        }
+        assert_eq!(post(&state, "/episodes", &body2).status(), 201);
+        // The finished first episode was evicted to make room.
+        assert_eq!(get(&state, &format!("/episodes/{first_id}")).status(), 404);
+        // A draining daemon refuses new episodes.
+        state.begin_shutdown();
+        let body3 = serde_json::to_vec(&episode_spec(3)).unwrap();
+        assert_eq!(post(&state, "/episodes", &body3).status(), 503);
     }
 }

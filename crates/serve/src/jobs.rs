@@ -2,7 +2,8 @@
 //! executor, plus the tracker that answers `GET /jobs/{id}`.
 //!
 //! A submitted job is an [`AnnualJob`] spec, a robust-tuning
-//! [`TuneSpec`], or a fleet campaign [`FleetSpec`]; its content digest is
+//! [`TuneSpec`], a fleet campaign [`FleetSpec`], or a learned-control
+//! benchmark [`LearnSpec`]; its content digest is
 //! its public id, so resubmitting the same spec is idempotent (same id,
 //! and the artifact store serves the repeat without re-execution). The queue is a `sync_channel` bounded at
 //! the configured depth — when it is full the daemon answers
@@ -15,6 +16,7 @@ use coolair_runner::{Digest, Executor, Job, JobResult};
 use coolair_sim::jobs::AnnualJob;
 use coolair_telemetry::Telemetry;
 use coolair_fleet::{run_fleet_with, FleetSpec, KIND_FLEET_REPORT};
+use coolair_learn::{run_learn_with, LearnSpec, KIND_LEARN_REPORT};
 use coolair_tune::{run_tune_with, TuneSpec, KIND_TUNE_REPORT};
 use parking_lot::Mutex;
 use serde::{Serialize, Value};
@@ -132,6 +134,8 @@ pub enum QueuedJob {
     Tune(Box<TuneSpec>),
     /// A geo-distributed fleet campaign.
     Fleet(Box<FleetSpec>),
+    /// A learned-control training + benchmark run.
+    Learn(Box<LearnSpec>),
 }
 
 impl QueuedJob {
@@ -142,6 +146,7 @@ impl QueuedJob {
             QueuedJob::Annual(job) => job.digest(),
             QueuedJob::Tune(spec) => spec.digest(),
             QueuedJob::Fleet(spec) => spec.digest(),
+            QueuedJob::Learn(spec) => spec.digest(),
         }
     }
 
@@ -154,6 +159,7 @@ impl QueuedJob {
             QueuedJob::Fleet(spec) => {
                 format!("fleet campaign ({} containers, seed {})", spec.containers, spec.seed)
             }
+            QueuedJob::Learn(spec) => format!("learn benchmark (seed {})", spec.seed),
         }
     }
 }
@@ -238,6 +244,9 @@ pub fn job_worker(
             QueuedJob::Fleet(spec) => {
                 run_fleet_ticket(&id, ticket.digest, &spec, executor, tracker, telemetry);
             }
+            QueuedJob::Learn(spec) => {
+                run_learn_ticket(&id, ticket.digest, &spec, executor, tracker, telemetry);
+            }
         }
     }
 }
@@ -319,6 +328,36 @@ fn run_fleet_ticket(
         Err(_) => {
             r.state = JobState::Failed;
             r.error = Some("fleet run panicked".to_string());
+        }
+    });
+}
+
+/// Runs a learn ticket: training rollouts flow through the shared
+/// executor (so the store memoizes them and `/metrics` sees
+/// `learn.rollout.*` / `learn.memo.*`), the report is persisted under
+/// `learn-report/{digest}`, and panics are fenced exactly like a tune's.
+fn run_learn_ticket(
+    id: &str,
+    digest: Digest,
+    spec: &LearnSpec,
+    executor: &Executor,
+    tracker: &JobTracker,
+    telemetry: &Telemetry,
+) {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_learn_with(spec, executor, telemetry)
+    }));
+    if let (Ok(outcome), Some(store)) = (&outcome, executor.store()) {
+        let _ = store.put(KIND_LEARN_REPORT, digest, outcome);
+    }
+    tracker.update(id, |r| match &outcome {
+        Ok(outcome) => {
+            r.state = JobState::Done;
+            r.result = Some(outcome.to_value());
+        }
+        Err(_) => {
+            r.state = JobState::Failed;
+            r.error = Some("learn run panicked".to_string());
         }
     });
 }
@@ -411,6 +450,47 @@ mod tests {
         assert!(result.iter().any(|(k, _)| k == "robust_worst_violation"));
         // The tune ran on the daemon's telemetry: memo traffic is visible.
         assert!(telemetry.metrics().counter("tune.memo.miss") > 0);
+    }
+
+    #[test]
+    fn worker_runs_a_learn_ticket_and_its_memo_traffic_reaches_the_daemon_telemetry() {
+        let telemetry = Telemetry::memory();
+        let executor = Executor::in_memory(2, telemetry.clone());
+        let tracker = JobTracker::default();
+        // Smallest possible learn run: one scenario, one-generation CEM,
+        // one Q episode.
+        let mut spec = LearnSpec::smoke(11);
+        spec.scenarios.truncate(1);
+        spec.cem.iters = 1;
+        spec.cem.population = 3;
+        spec.cem.elites = 1;
+        spec.q.episodes = 1;
+        spec.q.checkpoint_every = 1;
+        let ticket = ticket_for(QueuedJob::Learn(Box::new(spec.clone())));
+        let id = ticket.digest.to_string();
+        assert_eq!(id, spec.digest().to_string());
+        tracker.put(JobRecord {
+            id: id.clone(),
+            label: ticket.job.label(),
+            state: JobState::Queued,
+            error: None,
+            result: None,
+        });
+        let (tx, rx) = sync_channel(1);
+        tx.send(ticket).expect("enqueue");
+        drop(tx); // worker drains the one ticket, then exits
+        let rx = Mutex::new(rx);
+        job_worker(&rx, &executor, &tracker, &telemetry);
+        let record = tracker.get(&id).expect("tracked");
+        assert_eq!(record.state, JobState::Done);
+        assert_eq!(record.label, "learn benchmark (seed 11)");
+        let Some(Value::Map(result)) = record.result else {
+            panic!("learn result should be a JSON object")
+        };
+        assert!(result.iter().any(|(k, _)| k == "leaderboard"));
+        assert!(result.iter().any(|(k, _)| k == "best_learned"));
+        // The run executed on the daemon's telemetry: rollouts counted.
+        assert!(telemetry.metrics().counter("learn.rollout.total") > 0);
     }
 
     #[test]

@@ -10,8 +10,11 @@
 //! | `GET /version` | crate name + version |
 //! | `GET /metrics` | Prometheus text exposition of the telemetry registry |
 //! | `GET /jobs` | every tracked submission |
-//! | `POST /jobs` | submit an [`coolair_sim::jobs::AnnualJob`] spec (idempotent by content digest) |
+//! | `POST /jobs` | submit an [`coolair_sim::jobs::AnnualJob`] spec, or a wrapped `{"tune"}` / `{"fleet"}` / `{"learn"}` spec (idempotent by content digest) |
 //! | `GET /jobs/{id}` | submission state, falling back to the artifact store |
+//! | `POST /episodes` | create a live [`coolair_sim::Episode`] from an [`coolair_sim::EpisodeSpec`] (idempotent by content digest) |
+//! | `GET /episodes/{id}` | live-episode status (step counter, next observation, accumulated reward) |
+//! | `POST /episodes/{id}/step` | apply an [`coolair_sim::Action`]; the reply is the serialized step result, byte-identical to a local episode |
 //! | `GET /artifacts/{kind}/{hash}` | stream a raw artifact (chunked) |
 //! | `POST /shutdown` | graceful drain |
 //!

@@ -1,11 +1,14 @@
 //! Daemon configuration and the state shared by every connection thread.
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Duration;
 
 use coolair_runner::Executor;
+use coolair_sim::Episode;
 use coolair_telemetry::Telemetry;
+use parking_lot::Mutex;
 
 use crate::http::Limits;
 use crate::jobs::{JobQueue, JobTracker};
@@ -34,6 +37,10 @@ pub struct ServeConfig {
     /// Artifact store + journal directory for the executor backend;
     /// `None` runs in memory (results live only in the tracker).
     pub store_dir: Option<PathBuf>,
+    /// Bound of the live-episode registry; creation beyond it (after
+    /// evicting finished episodes) is `503 Retry-After`, the same shedding
+    /// discipline as the job queue.
+    pub max_episodes: usize,
 }
 
 impl Default for ServeConfig {
@@ -47,6 +54,7 @@ impl Default for ServeConfig {
             write_timeout: Duration::from_secs(5),
             limits: Limits::default(),
             store_dir: None,
+            max_episodes: 64,
         }
     }
 }
@@ -65,6 +73,10 @@ pub struct AppState {
     pub tracker: JobTracker,
     /// The bounded work queue.
     pub queue: JobQueue,
+    /// Live episodes keyed by spec digest (`POST /episodes` is
+    /// digest-keyed idempotent creation; `BTreeMap` so eviction scans in
+    /// stable order).
+    pub episodes: Mutex<BTreeMap<String, Episode>>,
     /// Set once by `POST /shutdown`; the accept loop and keep-alive
     /// connections observe it and wind down.
     shutdown: AtomicBool,
@@ -82,6 +94,7 @@ impl AppState {
             telemetry,
             tracker: JobTracker::default(),
             queue,
+            episodes: Mutex::new(BTreeMap::new()),
             shutdown: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
         }

@@ -131,8 +131,8 @@ impl AnnualConfig {
     }
 }
 
-/// Builds the day-long trace for a config.
-fn build_trace(kind: TraceKind, cfg: &AnnualConfig) -> Trace {
+/// Builds the day-long trace for a config (shared with the episode layer).
+pub(crate) fn build_trace(kind: TraceKind, cfg: &AnnualConfig) -> Trace {
     let base = match kind {
         TraceKind::Facebook => facebook_trace(cfg.trace_seed),
         TraceKind::Nutch => nutch_trace(cfg.trace_seed),

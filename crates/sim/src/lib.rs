@@ -39,6 +39,7 @@
 
 mod annual;
 mod engine;
+mod episode;
 mod faults;
 mod fidelity;
 pub mod jobs;
@@ -56,6 +57,7 @@ pub use annual::{
     AnnualConfig, SystemSpec,
 };
 pub use engine::{Container, DayOutput, MinuteSample, SimConfig, Simulation, SimController};
+pub use episode::{Action, Episode, EpisodeSpec, Observation, Reward, StepResult};
 pub use faults::{
     ActuatorFault, FaultKind, FaultPlan, FaultRates, FaultSpec, FaultWindow, SensorFault,
 };

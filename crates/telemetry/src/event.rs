@@ -134,6 +134,19 @@ pub enum Event {
         /// Name of the site with the most free-cooling headroom.
         best_site: String,
     },
+    /// A baseline learner finished one training iteration (a CEM
+    /// generation or a Q-learning evaluation checkpoint). An
+    /// orchestration-layer event, like [`Event::TuneRound`].
+    LearnIter {
+        /// Learner name (`cem` or `q`).
+        learner: String,
+        /// Iteration index (0-based).
+        iter: u64,
+        /// Best-so-far suite violation, °C·min.
+        best_violation: f64,
+        /// Best-so-far suite energy, kWh.
+        best_energy_kwh: f64,
+    },
     /// An orchestrated experiment job changed state in the
     /// `coolair-runner` executor. Like the day markers, this is not a
     /// simulated-time event — jobs live in the orchestration layer above
@@ -161,7 +174,8 @@ impl Event {
             | Event::DayEnd { .. }
             | Event::JobState { .. }
             | Event::TuneRound { .. }
-            | Event::FleetEpoch { .. } => None,
+            | Event::FleetEpoch { .. }
+            | Event::LearnIter { .. } => None,
             Event::ControlTick { time, .. }
             | Event::RegimeChange { time, .. }
             | Event::TksModeFlip { time, .. }
@@ -191,6 +205,7 @@ impl Event {
             Event::ModelErrorScored { .. } => "model-error",
             Event::TuneRound { .. } => "tune-round",
             Event::FleetEpoch { .. } => "fleet-epoch",
+            Event::LearnIter { .. } => "learn-iter",
             Event::JobState { .. } => "job-state",
         }
     }
@@ -228,6 +243,12 @@ mod tests {
                 moves: 5,
                 migrated_mwh: 0.12,
                 best_site: "Iceland".into(),
+            },
+            Event::LearnIter {
+                learner: "cem".into(),
+                iter: 3,
+                best_violation: 812.5,
+                best_energy_kwh: 140.25,
             },
         ];
         for e in events {
@@ -267,5 +288,13 @@ mod tests {
         };
         assert_eq!(epoch.time(), None, "fleet epochs live above the simulation clock");
         assert_eq!(epoch.kind_name(), "fleet-epoch");
+        let learn = Event::LearnIter {
+            learner: "q".into(),
+            iter: 0,
+            best_violation: 0.0,
+            best_energy_kwh: 0.0,
+        };
+        assert_eq!(learn.time(), None, "learn iterations live above the simulation clock");
+        assert_eq!(learn.kind_name(), "learn-iter");
     }
 }

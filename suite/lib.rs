@@ -16,6 +16,7 @@
 //! - [`telemetry`] — structured events, metrics registry, profiler, recorder
 //! - [`runner`] — job executor, artifact store, resumable journals
 //! - [`tune`] — worst-case-robust tuning via adversarial scenario decomposition
+//! - [`learn`] — gym-style episode baselines (CEM, tabular Q) vs TKS/M5P
 //! - [`fleet`] — geo-distributed campus layer with follow-the-cold migration
 //! - [`serve`] — HTTP/1.1 control-plane daemon (jobs, artifacts, metrics)
 //! - [`bench`](mod@bench) — experiment-bench helpers, incl. the pure-std
@@ -24,6 +25,7 @@
 pub use coolair as core;
 pub use coolair_bench as bench;
 pub use coolair_fleet as fleet;
+pub use coolair_learn as learn;
 pub use coolair_ml as ml;
 pub use coolair_runner as runner;
 pub use coolair_serve as serve;

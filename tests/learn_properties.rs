@@ -1,0 +1,284 @@
+//! Properties of the learned-control testbed: episode trajectories are
+//! byte-identical for the same (spec, actions) pair, a daemon-served
+//! episode reproduces the local one bit for bit over the socket, a killed
+//! training run resumes byte-identically from a half-populated store, and
+//! the headline acceptance claim — on the shipped suite, the best learned
+//! policy strictly beats the random-policy floor and stays within the
+//! documented margin of TKS on (violation, energy).
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use coolair_suite::bench::http_client::HttpClient;
+use coolair_suite::learn::{
+    run_learn_with, LearnOutcome, LearnSpec, PolicySpec, KIND_LEARN_EVAL,
+};
+use coolair_suite::runner::{Executor, ExecutorConfig, Telemetry};
+use coolair_suite::serve::{ServeConfig, Server};
+use coolair_suite::sim::{Action, Episode, EpisodeSpec, Reward};
+use coolair_suite::weather::Location;
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("coolair_learn_props").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_in_store(spec: &LearnSpec, dir: &Path, resume: bool) -> (LearnOutcome, Telemetry) {
+    let telemetry = Telemetry::discard();
+    let exec = Executor::new(ExecutorConfig {
+        threads: 4,
+        store_dir: Some(dir.to_path_buf()),
+        resume,
+        telemetry: telemetry.clone(),
+        ..ExecutorConfig::default()
+    })
+    .expect("open store");
+    (run_learn_with(spec, &exec, &telemetry), telemetry)
+}
+
+fn outcome_json(outcome: &LearnOutcome) -> String {
+    serde_json::to_string(outcome).expect("outcome serializes")
+}
+
+fn row<'a>(outcome: &'a LearnOutcome, name: &str) -> &'a coolair_suite::learn::Contender {
+    outcome
+        .leaderboard
+        .iter()
+        .find(|c| c.name == name)
+        .unwrap_or_else(|| panic!("leaderboard row {name} missing"))
+}
+
+/// Same spec + same action sequence → byte-identical trajectories, with a
+/// policy that exercises both action dimensions.
+#[test]
+fn episode_trajectories_are_byte_identical() {
+    let spec = EpisodeSpec::seeded(Location::newark(), 11);
+    let actions: Vec<Action> = (0..spec.steps())
+        .map(|i| Action {
+            setpoint_c: 24.0 + (i % 7) as f64 * 2.0,
+            active_servers: 8 + (i as usize * 11) % 57,
+        })
+        .collect();
+    let run = || {
+        let mut ep = Episode::new(&spec).expect("valid spec");
+        let mut out = Vec::new();
+        for a in &actions {
+            out.push(ep.step(a).expect("not done"));
+        }
+        serde_json::to_string(&out).expect("serializes")
+    };
+    assert_eq!(run(), run());
+}
+
+/// A daemon-served episode is the local one, bit for bit: every
+/// `POST /episodes/{id}/step` reply body equals the serialized
+/// [`coolair_suite::sim::StepResult`] of the same step taken locally.
+#[test]
+fn served_episode_steps_are_byte_identical_to_local() {
+    let mut spec = EpisodeSpec::seeded(Location::newark(), 11);
+    // One decision per hour keeps the socket loop brisk (24 steps).
+    spec.decision_period = coolair_suite::units::SimDuration::from_minutes(60);
+    let actions: Vec<Action> = (0..spec.steps())
+        .map(|i| Action {
+            setpoint_c: 26.0 + (i % 5) as f64 * 2.0,
+            active_servers: 16 + (i as usize * 7) % 49,
+        })
+        .collect();
+    let local: Vec<String> = {
+        let mut ep = Episode::new(&spec).expect("valid spec");
+        actions
+            .iter()
+            .map(|a| serde_json::to_string(&ep.step(a).expect("not done")).expect("serializes"))
+            .collect()
+    };
+
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        read_timeout: Duration::from_secs(5),
+        write_timeout: Duration::from_secs(5),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(cfg, Telemetry::discard()).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    std::thread::scope(|s| {
+        s.spawn(|| server.run());
+        let mut client = HttpClient::connect(addr).expect("connect");
+        let created = client.post_json("/episodes", &spec).expect("create");
+        assert_eq!(created.status, 201);
+        let id = spec.digest().to_string();
+        // Identical spec → the same live episode, not a reset.
+        assert_eq!(client.post_json("/episodes", &spec).expect("recreate").status, 200);
+        for (i, (action, expected)) in actions.iter().zip(&local).enumerate() {
+            let resp = client
+                .post_json(&format!("/episodes/{id}/step"), action)
+                .expect("step");
+            assert_eq!(resp.status, 200, "step {i}");
+            assert_eq!(
+                String::from_utf8(resp.body).expect("utf8"),
+                *expected,
+                "served step {i} diverged from local"
+            );
+        }
+        // Past the horizon: stepping conflicts, status still serves, and
+        // an unknown id is a clean 404 either way.
+        let done = client.post_json(&format!("/episodes/{id}/step"), &actions[0]).expect("done");
+        assert_eq!(done.status, 409);
+        assert_eq!(client.get(&format!("/episodes/{id}")).expect("status").status, 200);
+        let missing = client
+            .post_json("/episodes/ffffffffffffffff/step", &actions[0])
+            .expect("missing");
+        assert_eq!(missing.status, 404);
+        let shutdown = client.post_json("/shutdown", &()).expect("shutdown");
+        assert_eq!(shutdown.status, 200);
+    });
+}
+
+/// The acceptance pin: on the smoke-sized shipped suite (same Newark
+/// fault-ladder layout as [`LearnSpec::shipped`], budget trimmed so CI
+/// stays interactive), the best learned policy strictly beats the random
+/// floor lexicographically, and stays within the documented margin of
+/// TKS: violation no higher than TKS's (the faulted scenarios break TKS,
+/// so the learners come out far below it) and energy within +25 % of TKS
+/// (see EXPERIMENTS.md `ext_learn` for the measured numbers).
+#[test]
+fn learned_policy_beats_random_and_tracks_tks() {
+    let spec = LearnSpec::smoke(9);
+    let telemetry = Telemetry::discard();
+    let exec = Executor::in_memory(4, telemetry.clone());
+    let outcome = run_learn_with(&spec, &exec, &telemetry);
+
+    let learned = row(&outcome, &outcome.best_learned).reward();
+    let random = row(&outcome, "random").reward();
+    let tks = row(&outcome, "tks").reward();
+
+    assert!(
+        learned.better_than(&random),
+        "learned {learned:?} must strictly beat random {random:?}"
+    );
+    assert!(
+        learned.violation_cmin <= tks.violation_cmin,
+        "learned violation {} vs tks {}",
+        learned.violation_cmin,
+        tks.violation_cmin
+    );
+    assert!(
+        learned.energy_kwh <= tks.energy_kwh * 1.25,
+        "learned energy {} vs tks {}",
+        learned.energy_kwh,
+        tks.energy_kwh
+    );
+
+    // The training curve is monotone non-increasing in the lexicographic
+    // order (best-so-far never regresses).
+    for learner in ["cem", "q"] {
+        let curve: Vec<Reward> = outcome
+            .iters
+            .iter()
+            .filter(|l| l.learner == learner)
+            .map(|l| Reward { violation_cmin: l.best_violation, energy_kwh: l.best_energy_kwh })
+            .collect();
+        assert!(!curve.is_empty(), "{learner} must log iterations");
+        for w in curve.windows(2) {
+            assert!(
+                !w[0].better_than(&w[1]),
+                "{learner} best-so-far regressed: {w:?}"
+            );
+        }
+    }
+    assert!(outcome.rollouts > 0 && outcome.memo_misses >= outcome.rollouts);
+}
+
+/// A killed training run resumed against a half-populated store replays
+/// to a byte-identical outcome, with store cache hits doing the saved
+/// work.
+#[test]
+fn killed_learn_resumes_byte_identically() {
+    let spec = LearnSpec::smoke(5);
+
+    let full_dir = fresh_dir("full");
+    let (full, _) = run_in_store(&spec, &full_dir, false);
+
+    // Simulate a kill: copy only the first half of the eval artifacts
+    // (sorted for determinism) into a fresh store, then resume there.
+    let resumed_dir = fresh_dir("resumed");
+    let src = full_dir.join("artifacts").join(KIND_LEARN_EVAL);
+    let dst = resumed_dir.join("artifacts").join(KIND_LEARN_EVAL);
+    std::fs::create_dir_all(&dst).expect("mkdir");
+    let mut files: Vec<_> = std::fs::read_dir(&src)
+        .expect("read store")
+        .map(|e| e.expect("entry").path())
+        .collect();
+    files.sort();
+    assert!(files.len() > 4, "smoke run must persist evaluations");
+    for f in &files[..files.len() / 2] {
+        std::fs::copy(f, dst.join(f.file_name().expect("name"))).expect("copy");
+    }
+
+    let (resumed, telemetry) = run_in_store(&spec, &resumed_dir, true);
+    assert_eq!(
+        outcome_json(&full),
+        outcome_json(&resumed),
+        "resumed outcome must be byte-identical"
+    );
+    let cache_hits = telemetry.metrics().counter("runner.cache-hit");
+    assert!(cache_hits > 0, "resume must serve evaluations from the store");
+}
+
+/// The learned policy in the outcome replays through the episode API to
+/// exactly the leaderboard's numbers — the artifact is executable, not
+/// just a score.
+#[test]
+fn outcome_policy_replays_to_leaderboard_numbers() {
+    let spec = LearnSpec::smoke(9);
+    let telemetry = Telemetry::discard();
+    let exec = Executor::in_memory(4, telemetry.clone());
+    let outcome = run_learn_with(&spec, &exec, &telemetry);
+
+    let mut total = Reward::zero();
+    for ep_spec in spec.episodes() {
+        let mut ep = Episode::new(&ep_spec).expect("valid spec");
+        let covering = ep.covering_servers();
+        let total_servers = ep.total_servers();
+        let mut step = 0;
+        while !ep.is_done() {
+            let obs = ep.observe().clone();
+            let action = outcome.policy.act(step, &obs, covering, total_servers);
+            ep.step(&action).expect("not done");
+            step += 1;
+        }
+        total.accumulate(&ep.total_reward());
+    }
+    let best = row(&outcome, &outcome.best_learned);
+    assert_eq!(total.violation_cmin, best.violation_cmin);
+    assert_eq!(total.energy_kwh, best.energy_kwh);
+}
+
+/// `PolicySpec::Fixed { 30 }` through the episode loop reproduces the
+/// leaderboard's TKS row by construction — pin that equivalence so the
+/// baselines can't silently drift apart.
+#[test]
+fn tks_row_is_the_fixed_baseline_policy() {
+    let spec = LearnSpec::smoke(9);
+    let telemetry = Telemetry::discard();
+    let exec = Executor::in_memory(2, telemetry.clone());
+    let outcome = run_learn_with(&spec, &exec, &telemetry);
+
+    let mut total = Reward::zero();
+    let policy = PolicySpec::Fixed { setpoint_c: 30.0 };
+    for ep_spec in spec.episodes() {
+        let mut ep = Episode::new(&ep_spec).expect("valid spec");
+        let (covering, total_servers) = (ep.covering_servers(), ep.total_servers());
+        let mut step = 0;
+        while !ep.is_done() {
+            let obs = ep.observe().clone();
+            let action = policy.act(step, &obs, covering, total_servers);
+            ep.step(&action).expect("not done");
+            step += 1;
+        }
+        total.accumulate(&ep.total_reward());
+    }
+    let tks = row(&outcome, "tks");
+    assert_eq!(total.violation_cmin, tks.violation_cmin);
+    assert_eq!(total.energy_kwh, tks.energy_kwh);
+}

@@ -37,8 +37,25 @@ fn quick_job() -> AnnualJob {
 }
 
 fn shutdown(addr: std::net::SocketAddr) {
-    let mut client = HttpClient::connect(addr).expect("shutdown connect");
-    assert_eq!(client.post_json("/shutdown", &()).expect("shutdown").status, 200);
+    // Retried with a deadline rather than asserted on the first attempt:
+    // the drain request can race connection teardown (a just-dropped
+    // client's slot frees only once its server thread notices the close)
+    // and get shed with a 503 — and a panic here would deadlock the
+    // enclosing `thread::scope` against a `server.run()` that never
+    // received its shutdown.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let status = HttpClient::connect(addr)
+            .and_then(|mut c| c.post_json("/shutdown", &()))
+            .map(|resp| resp.status);
+        match status {
+            Ok(200) => return,
+            other if Instant::now() > deadline => {
+                panic!("shutdown was never accepted (last: {other:?})")
+            }
+            _ => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
 }
 
 fn body_json(body: &[u8]) -> Value {
