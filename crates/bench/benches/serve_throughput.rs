@@ -1,12 +1,22 @@
-//! Throughput and latency of the `coolair-serve` daemon under concurrent
-//! keep-alive load: N client threads hammer `GET /healthz` and
-//! `GET /metrics` over persistent connections, and the observed request
-//! rate plus p50/p99 latencies are merged into `BENCH_perf.json`
-//! alongside the `perf_components` rows (schema in EXPERIMENTS.md).
+//! Throughput and latency of the `coolair-serve` daemon on loopback, in
+//! three phases (methodology in EXPERIMENTS.md, `ext_serve`):
+//!
+//! 1. **Historic closed-loop**: 64 client threads, one request in flight
+//!    per connection, 1-in-8 requests scraping `/metrics` — the exact
+//!    workload of the original thread-per-connection bench, kept so the
+//!    `serve/64conn_*` rows stay comparable across the reactor rewrite.
+//! 2. **Low-concurrency closed-loop**: 8 connections measuring
+//!    per-request latency without the client-side scheduler noise that
+//!    dominates the 64-thread p99 on small machines.
+//! 3. **Pipelined throughput**: 8 connections each writing batches of 64
+//!    requests before reading any response back. Pipelining amortizes
+//!    the per-request syscall cost on both sides, so this phase measures
+//!    how fast the reactor can actually parse, route, and encode.
 //!
 //! The daemon runs in-process on a loopback port with an in-memory
-//! executor, so the numbers isolate the HTTP layer (parse, route, encode,
-//! socket round trip) from simulation work.
+//! executor, so the numbers isolate the HTTP layer (parse, route,
+//! encode, socket round trip) from simulation work. All phases merge
+//! into `BENCH_perf.json` alongside the `perf_components` rows.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -17,10 +27,19 @@ use coolair_serve::{ServeConfig, Server};
 use coolair_telemetry::Telemetry;
 use parking_lot::Mutex;
 
-/// Concurrent keep-alive connections (the acceptance floor is 64).
+/// Concurrent keep-alive connections in the historic phase (the
+/// acceptance floor is 64).
 const CONNECTIONS: usize = 64;
-/// Requests per connection.
+/// Requests per connection in the historic phase.
 const REQUESTS_PER_CONN: usize = 150;
+/// Connections in the latency and pipelined phases.
+const FEW_CONNECTIONS: usize = 8;
+/// Closed-loop requests per connection in the latency phase.
+const LATENCY_REQUESTS: usize = 400;
+/// Pipeline depth: requests written per batch before reading replies.
+const PIPE_DEPTH: usize = 64;
+/// Batches per connection in the pipelined phase.
+const PIPE_ROUNDS: usize = 60;
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
@@ -28,6 +47,71 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     }
     let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
     sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Closed-loop load: `conns` client threads each issue `reqs` serial
+/// requests (1-in-8 scrapes `/metrics`). Returns (sorted latencies ns,
+/// elapsed seconds).
+fn closed_loop(addr: std::net::SocketAddr, conns: usize, reqs: usize) -> (Vec<u64>, f64) {
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(conns * reqs));
+    let errors = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for conn_id in 0..conns {
+            let latencies = &latencies;
+            let errors = &errors;
+            s.spawn(move || {
+                let Ok(mut client) = HttpClient::connect(addr) else {
+                    errors.fetch_add(reqs as u64, Ordering::Relaxed);
+                    return;
+                };
+                let mut local = Vec::with_capacity(reqs);
+                for i in 0..reqs {
+                    // 1-in-8 requests scrape /metrics so the bench
+                    // exercises the heavier encoder path too.
+                    let target = if (i + conn_id) % 8 == 0 { "/metrics" } else { "/healthz" };
+                    let t0 = Instant::now();
+                    match client.get(target) {
+                        Ok(resp) if resp.status == 200 => {
+                            local.push(t0.elapsed().as_nanos() as u64);
+                        }
+                        _ => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                latencies.lock().extend(local);
+            });
+        }
+    });
+    let elapsed_s = started.elapsed().as_secs_f64();
+    let failed = errors.load(Ordering::Relaxed);
+    assert!(failed == 0, "{failed} closed-loop requests failed under {conns}-connection load");
+    let mut sorted = latencies.into_inner();
+    sorted.sort_unstable();
+    (sorted, elapsed_s)
+}
+
+/// Pipelined load: `conns` client threads each send `rounds` batches of
+/// `depth` back-to-back `/healthz` requests. Returns (completed
+/// requests, elapsed seconds).
+fn pipelined(addr: std::net::SocketAddr, conns: usize, rounds: usize, depth: usize) -> (u64, f64) {
+    let completed = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..conns {
+            let completed = &completed;
+            s.spawn(move || {
+                let mut client = HttpClient::connect(addr).expect("pipeline connect");
+                for _ in 0..rounds {
+                    let batch = client.pipeline_get("/healthz", depth).expect("pipeline batch");
+                    assert!(batch.iter().all(|r| r.status == 200), "non-200 in pipeline");
+                    completed.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    (completed.load(Ordering::Relaxed), started.elapsed().as_secs_f64())
 }
 
 fn main() {
@@ -39,92 +123,82 @@ fn main() {
     let server = Server::bind(cfg, Telemetry::discard()).expect("bind loopback");
     let addr = server.local_addr().expect("local addr");
 
-    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(CONNECTIONS * REQUESTS_PER_CONN));
-    let errors = AtomicU64::new(0);
-    let mut elapsed_s = 0.0;
-
-    crossbeam::thread::scope(|s| {
-        s.spawn(|_| server.run());
+    let mut entries = Vec::new();
+    std::thread::scope(|s| {
+        s.spawn(|| server.run());
         // Wait for the listener to answer before unleashing the fleet.
         let mut probe = HttpClient::connect(addr).expect("probe connect");
         assert_eq!(probe.get("/healthz").expect("probe").status, 200);
         drop(probe);
 
-        let started = Instant::now();
-        crossbeam::thread::scope(|inner| {
-            for conn_id in 0..CONNECTIONS {
-                let latencies = &latencies;
-                let errors = &errors;
-                inner.spawn(move |_| {
-                    let Ok(mut client) = HttpClient::connect(addr) else {
-                        errors.fetch_add(REQUESTS_PER_CONN as u64, Ordering::Relaxed);
-                        return;
-                    };
-                    let mut local = Vec::with_capacity(REQUESTS_PER_CONN);
-                    for i in 0..REQUESTS_PER_CONN {
-                        // 1-in-8 requests scrape /metrics so the bench
-                        // exercises the heavier encoder path too.
-                        let target =
-                            if (i + conn_id) % 8 == 0 { "/metrics" } else { "/healthz" };
-                        let t0 = Instant::now();
-                        match client.get(target) {
-                            Ok(resp) if resp.status == 200 => {
-                                local.push(t0.elapsed().as_nanos() as u64);
-                            }
-                            _ => {
-                                errors.fetch_add(1, Ordering::Relaxed);
-                            }
-                        }
-                    }
-                    latencies.lock().extend(local);
-                });
-            }
-        })
-        .expect("client scope");
-        elapsed_s = started.elapsed().as_secs_f64();
-
-        let mut shut = HttpClient::connect(addr).expect("shutdown connect");
-        assert_eq!(shut.post_json("/shutdown", &()).expect("shutdown").status, 200);
-    })
-    .expect("server scope");
-
-    let mut sorted = latencies.into_inner();
-    sorted.sort_unstable();
-    let completed = sorted.len() as u64;
-    let failed = errors.load(Ordering::Relaxed);
-    assert!(
-        failed == 0,
-        "{failed} requests failed under {CONNECTIONS}-connection load"
-    );
-    let rps = completed as f64 / elapsed_s.max(1e-9);
-    let p50 = percentile(&sorted, 0.50);
-    let p99 = percentile(&sorted, 0.99);
-    println!(
-        "serve_throughput: {CONNECTIONS} conns x {REQUESTS_PER_CONN} reqs -> \
-         {rps:.0} req/s, p50 {p50} ns, p99 {p99} ns"
-    );
-
-    let unit = |u: &str| Some(u.to_string());
-    let entries = vec![
-        PerfEntry {
+        // Phase 1: historic 64-connection closed loop.
+        let (sorted, elapsed_s) = closed_loop(addr, CONNECTIONS, REQUESTS_PER_CONN);
+        let completed = sorted.len() as u64;
+        let rps = completed as f64 / elapsed_s.max(1e-9);
+        let (p50, p99) = (percentile(&sorted, 0.50), percentile(&sorted, 0.99));
+        println!(
+            "serve_throughput[closed {CONNECTIONS}conn]: {completed} reqs -> {rps:.0} req/s, \
+             p50 {p50} ns, p99 {p99} ns"
+        );
+        let unit = |u: &str| Some(u.to_string());
+        entries.push(PerfEntry {
             name: format!("serve/{CONNECTIONS}conn_req_per_s"),
             median_ns: rps.round() as u64,
             samples: completed,
             unit: unit("req/s"),
-        },
-        PerfEntry {
+        });
+        entries.push(PerfEntry {
             name: format!("serve/{CONNECTIONS}conn_p50"),
             median_ns: p50,
             samples: completed,
             unit: unit("ns"),
-        },
-        PerfEntry {
+        });
+        entries.push(PerfEntry {
             name: format!("serve/{CONNECTIONS}conn_p99"),
             median_ns: p99,
             samples: completed,
             unit: unit("ns"),
-        },
-    ];
+        });
+
+        // Phase 2: low-concurrency closed loop for clean latency tails.
+        let (sorted, _) = closed_loop(addr, FEW_CONNECTIONS, LATENCY_REQUESTS);
+        let completed = sorted.len() as u64;
+        let (p50, p99) = (percentile(&sorted, 0.50), percentile(&sorted, 0.99));
+        println!(
+            "serve_throughput[closed {FEW_CONNECTIONS}conn]: {completed} reqs -> \
+             p50 {p50} ns, p99 {p99} ns"
+        );
+        entries.push(PerfEntry {
+            name: format!("serve/{FEW_CONNECTIONS}conn_p50"),
+            median_ns: p50,
+            samples: completed,
+            unit: unit("ns"),
+        });
+        entries.push(PerfEntry {
+            name: format!("serve/{FEW_CONNECTIONS}conn_p99"),
+            median_ns: p99,
+            samples: completed,
+            unit: unit("ns"),
+        });
+
+        // Phase 3: pipelined throughput.
+        let (completed, elapsed_s) = pipelined(addr, FEW_CONNECTIONS, PIPE_ROUNDS, PIPE_DEPTH);
+        let pipe_rps = completed as f64 / elapsed_s.max(1e-9);
+        println!(
+            "serve_throughput[pipelined {FEW_CONNECTIONS}conn x{PIPE_DEPTH}]: {completed} reqs \
+             -> {pipe_rps:.0} req/s"
+        );
+        entries.push(PerfEntry {
+            name: "serve/pipelined_req_per_s".to_string(),
+            median_ns: pipe_rps.round() as u64,
+            samples: completed,
+            unit: unit("req/s"),
+        });
+
+        let mut shut = HttpClient::connect(addr).expect("shutdown connect");
+        assert_eq!(shut.post_json("/shutdown", &()).expect("shutdown").status, 200);
+    });
+
     let path = report_path();
     match merge_into_report(&path, "serve_throughput", entries) {
         Ok(()) => println!("wrote {}", path.display()),

@@ -2,11 +2,11 @@
 //! integration-testing the `coolair-serve` daemon (no HTTP crate, same
 //! no-new-dependencies rule as the server).
 
-use std::io::Write as _;
+use std::io::{Read as _, Write as _};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use coolair_serve::http::{encode_request, read_response, Response};
+use coolair_serve::http::{encode_request, parse_response, read_response, Limits, Parsed, Response};
 
 /// One persistent connection to the daemon. Requests reuse the socket
 /// (keep-alive) until the server closes it.
@@ -58,6 +58,69 @@ impl HttpClient {
     /// See [`HttpClient::request`].
     pub fn get(&mut self, target: &str) -> std::io::Result<Response> {
         self.request("GET", target, &[])
+    }
+
+    /// Pipelines `count` identical `GET target` requests: every request
+    /// is written in one batch up front, then all responses are read
+    /// back in order. HTTP/1.1 pipelining amortizes the per-request
+    /// syscall cost on both sides of the socket, which is how the
+    /// throughput phase of the `serve_throughput` bench saturates the
+    /// daemon from a handful of connections (see EXPERIMENTS.md,
+    /// `ext_serve`).
+    ///
+    /// # Errors
+    ///
+    /// Socket I/O failures, malformed responses, and a short reply
+    /// batch (the server closing mid-pipeline surfaces as
+    /// `UnexpectedEof`).
+    pub fn pipeline_get(&mut self, target: &str, count: usize) -> std::io::Result<Vec<Response>> {
+        let one = encode_request("GET", target, &[], &[]);
+        let mut wire = Vec::with_capacity(one.len() * count);
+        for _ in 0..count {
+            wire.extend_from_slice(&one);
+        }
+        self.stream.write_all(&wire)?;
+
+        // Responses arrive back to back; a rolling buffer carries bytes
+        // that belong to the next response across parse calls (the
+        // single-response `read_response` would discard them).
+        let limits = Limits { max_head_bytes: 64 * 1024, max_body_bytes: 256 * 1024 * 1024 };
+        let mut responses = Vec::with_capacity(count);
+        let mut buf: Vec<u8> = Vec::with_capacity(8 * 1024);
+        let mut pos = 0usize;
+        let mut chunk = [0u8; 64 * 1024];
+        while responses.len() < count {
+            match parse_response(&buf[pos..], &limits) {
+                Parsed::Complete(resp, consumed) => {
+                    responses.push(resp);
+                    pos += consumed;
+                }
+                Parsed::Error(e) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        e.to_string(),
+                    ))
+                }
+                Parsed::Incomplete => {
+                    if pos > 0 {
+                        buf.drain(..pos);
+                        pos = 0;
+                    }
+                    let n = self.stream.read(&mut chunk)?;
+                    if n == 0 {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            format!(
+                                "connection closed after {} of {count} pipelined responses",
+                                responses.len()
+                            ),
+                        ));
+                    }
+                    buf.extend_from_slice(&chunk[..n]);
+                }
+            }
+        }
+        Ok(responses)
     }
 
     /// `POST target` with a JSON body.

@@ -429,6 +429,8 @@ pub struct ServeArgs {
     pub queue_depth: usize,
     /// Concurrent-connection bound.
     pub max_connections: usize,
+    /// Epoll event loops / listener shards (0 → sized to the machine).
+    pub event_loops: usize,
     /// Artifact store + journal directory; in-memory when absent.
     pub store: Option<String>,
 }
@@ -441,6 +443,7 @@ impl Default for ServeArgs {
             threads: cfg.job_threads,
             queue_depth: cfg.queue_depth,
             max_connections: cfg.max_connections,
+            event_loops: cfg.event_loops,
             store: None,
         }
     }
@@ -461,6 +464,7 @@ pub fn cmd_serve(args: &ServeArgs) -> Result<String, CliError> {
         job_threads: args.threads.max(1),
         queue_depth: args.queue_depth.max(1),
         max_connections: args.max_connections.max(1),
+        event_loops: args.event_loops,
         store_dir: args.store.clone().map(std::path::PathBuf::from),
         ..coolair_serve::ServeConfig::default()
     };
@@ -1032,7 +1036,7 @@ USAGE:
                      [--out <outcome.json>]
     coolair report   <trace.jsonl | tune/fleet/learn outcome.json>
     coolair serve    [--addr host:port] [--threads N] [--queue-depth N]
-                     [--max-connections N] [--store <dir>]
+                     [--max-connections N] [--event-loops N] [--store <dir>]
 
 SYSTEMS: baseline, temperature, variation, energy, allnd, alldef, energydef
          (append +sv for the supervised variant, e.g. allnd+sv)

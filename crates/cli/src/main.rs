@@ -166,6 +166,9 @@ fn main() -> ExitCode {
             if let Some(v) = f.get("max-connections") {
                 a.max_connections = v.parse().map_err(|e| format!("--max-connections: {e}"))?;
             }
+            if let Some(v) = f.get("event-loops") {
+                a.event_loops = v.parse().map_err(|e| format!("--event-loops: {e}"))?;
+            }
             a.store = f.get("store").cloned();
             cmd_serve(&a)
         }),

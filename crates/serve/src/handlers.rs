@@ -36,6 +36,15 @@ pub enum Reply {
         /// File to stream.
         path: PathBuf,
     },
+    /// A live NDJSON job-event stream (`GET /jobs/{id}/events`): the
+    /// reactor subscribes the connection to the job's event log and
+    /// keeps it open until the job reaches a terminal state.
+    EventStream {
+        /// The job id (also the bus log key). The handler guarantees a
+        /// log exists (live, reseeded, or store-seeded) before returning
+        /// this variant.
+        id: String,
+    },
 }
 
 /// Builds a JSON object [`Value`] from key/value pairs (the vendored
@@ -63,6 +72,7 @@ impl Reply {
         match self {
             Reply::Full(r) => r.status,
             Reply::Stream { status, .. } => *status,
+            Reply::EventStream { .. } => 200,
         }
     }
 }
@@ -80,6 +90,7 @@ pub fn endpoint_class(path: &str) -> &'static str {
         ["metrics"] => "/metrics",
         ["jobs"] => "/jobs",
         ["jobs", _] => "/jobs/{id}",
+        ["jobs", _, "events"] => "/jobs/{id}/events",
         ["episodes"] => "/episodes",
         ["episodes", _] => "/episodes/{id}",
         ["episodes", _, "step"] => "/episodes/{id}/step",
@@ -100,6 +111,7 @@ pub fn handle(state: &AppState, req: &Request) -> Reply {
         ("GET", ["metrics"]) => metrics(state),
         ("GET", ["jobs"]) => list_jobs(state),
         ("GET", ["jobs", id]) => get_job(state, id),
+        ("GET", ["jobs", id, "events"]) => job_events(state, id),
         ("POST", ["jobs"]) => submit_job(state, &req.body),
         ("POST", ["episodes"]) => create_episode(state, &req.body),
         ("GET", ["episodes", id]) => get_episode(state, id),
@@ -130,11 +142,26 @@ fn version() -> Reply {
 }
 
 fn metrics(state: &AppState) -> Reply {
-    let text = encode_prometheus(&state.telemetry.metrics());
+    // Pull the event loops' batched serve counters in first, so a scrape
+    // always reflects every request served before it.
+    state.flush_serve_stats();
+    // Memoized encoding: the registry version bumps on every mutation, so
+    // an unchanged registry serves the cached bytes without re-encoding.
+    let version = state.telemetry.metrics_version();
+    let mut memo = state.metrics_memo.lock();
+    let body = match &*memo {
+        Some((cached, body)) if *cached == version => body.clone(),
+        _ => {
+            let text = encode_prometheus(&state.telemetry.metrics()).into_bytes();
+            *memo = Some((version, text.clone()));
+            text
+        }
+    };
+    drop(memo);
     Reply::Full(
         Response::new(200)
             .with_header("content-type", "text/plain; version=0.0.4; charset=utf-8")
-            .with_body(text.into_bytes()),
+            .with_body(body),
     )
 }
 
@@ -143,18 +170,24 @@ fn list_jobs(state: &AppState) -> Reply {
     Reply::json(200, &obj(vec![("jobs", Value::Seq(records))]))
 }
 
-fn get_job(state: &AppState, id: &str) -> Reply {
-    if let Some(record) = state.tracker.get(id) {
-        return Reply::json(200, &record.to_value());
-    }
-    // Not submitted this lifetime — a prior run may have left its summary
-    // in the artifact store. Absent and corrupt are different failures:
-    // 404 means "never ran", 500 means "ran, but the record is damaged".
+/// Outcome of looking a job id up in the artifact store (the fallback
+/// for jobs finished in a previous daemon lifetime).
+enum StoreLookup {
+    /// A persisted summary exists.
+    Hit(Value),
+    /// No artifact under any kind (or no store / unparsable id).
+    Missing,
+    /// An artifact exists but cannot be read — a `500`, not a `404`.
+    Unreadable(String),
+}
+
+/// Searches every job-report kind for a persisted summary of `id`.
+fn store_lookup(state: &AppState, id: &str) -> StoreLookup {
     let Ok(digest) = Digest::from_str(id) else {
-        return Reply::error(404, "no such job");
+        return StoreLookup::Missing;
     };
     let Some(store) = state.executor.store() else {
-        return Reply::error(404, "no such job");
+        return StoreLookup::Missing;
     };
     // A digest names exactly one spec, so at most one kind can hit.
     for kind in [
@@ -164,23 +197,70 @@ fn get_job(state: &AppState, id: &str) -> Reply {
         KIND_LEARN_REPORT,
     ] {
         match store.try_get::<Value>(kind, digest) {
-            Ok(result) => {
-                return Reply::json(
-                    200,
-                    &obj(vec![
-                        ("id", s(id)),
-                        ("state", s(JobState::Done.as_str())),
-                        ("result", result),
-                    ]),
-                )
-            }
+            Ok(result) => return StoreLookup::Hit(result),
             Err(ArtifactError::NotFound) => {}
             Err(e @ (ArtifactError::Corrupt(_) | ArtifactError::Io(_))) => {
-                return Reply::error(500, &format!("artifact unreadable: {e}"))
+                return StoreLookup::Unreadable(format!("artifact unreadable: {e}"))
             }
         }
     }
-    Reply::error(404, "no such job")
+    StoreLookup::Missing
+}
+
+/// Renders the record `GET /jobs/{id}` answers for a store-only job.
+fn store_record(id: &str, result: Value) -> Value {
+    obj(vec![
+        ("id", s(id)),
+        ("state", s(JobState::Done.as_str())),
+        ("result", result),
+    ])
+}
+
+fn get_job(state: &AppState, id: &str) -> Reply {
+    if let Some(record) = state.tracker.get(id) {
+        return Reply::json(200, &record.to_value());
+    }
+    // Not submitted this lifetime — a prior run may have left its summary
+    // in the artifact store. Absent and corrupt are different failures:
+    // 404 means "never ran", 500 means "ran, but the record is damaged".
+    match store_lookup(state, id) {
+        StoreLookup::Hit(result) => Reply::json(200, &store_record(id, result)),
+        StoreLookup::Missing => Reply::error(404, "no such job"),
+        StoreLookup::Unreadable(e) => Reply::error(500, &e),
+    }
+}
+
+/// `GET /jobs/{id}/events` — a live NDJSON stream of the job's state
+/// transitions. Live jobs stream from the event bus; store-only jobs
+/// (finished in a previous daemon lifetime) get a one-line closed stream
+/// whose single event is exactly the `GET /jobs/{id}` record. Either
+/// way the final event is byte-identical to a subsequent poll.
+fn job_events(state: &AppState, id: &str) -> Reply {
+    if let Some(record) = state.tracker.get(id) {
+        if !state.bus.has_log(id) {
+            // The log was evicted (terminal, unwatched, bus at capacity):
+            // reseed from the tracker so the stream replays the record.
+            let Ok(line) = serde_json::to_string(&record.to_value()) else {
+                return Reply::error(500, "unserializable job record");
+            };
+            match record.state {
+                JobState::Done | JobState::Failed => state.bus.seed_closed(id, line),
+                JobState::Queued | JobState::Running => state.bus.publish(id, line, false),
+            }
+        }
+        return Reply::EventStream { id: id.to_string() };
+    }
+    match store_lookup(state, id) {
+        StoreLookup::Hit(result) => {
+            let Ok(line) = serde_json::to_string(&store_record(id, result)) else {
+                return Reply::error(500, "unserializable job record");
+            };
+            state.bus.seed_closed(id, line);
+            Reply::EventStream { id: id.to_string() }
+        }
+        StoreLookup::Missing => Reply::error(404, "no such job"),
+        StoreLookup::Unreadable(e) => Reply::error(500, &e),
+    }
 }
 
 /// Interprets a submission body. A plain object is an [`AnnualJob`]; an
@@ -237,6 +317,10 @@ fn submit_job(state: &AppState, body: &[u8]) -> Reply {
                 error: None,
                 result: None,
             });
+            // Open the job's event log with the queued record, so an
+            // events stream attached right after submission replays the
+            // full lifecycle.
+            crate::jobs::publish_record(&state.bus, &state.tracker, &id, false);
             Reply::json(
                 202,
                 &obj(vec![("id", s(id)), ("state", s(JobState::Queued.as_str()))]),

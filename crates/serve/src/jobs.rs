@@ -21,6 +21,8 @@ use coolair_tune::{run_tune_with, TuneSpec, KIND_TUNE_REPORT};
 use parking_lot::Mutex;
 use serde::{Serialize, Value};
 
+use crate::events::EventBus;
+
 /// Lifecycle of a submitted job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobState {
@@ -218,15 +220,29 @@ impl JobQueue {
     }
 }
 
+/// Publishes a job's current tracker record onto the event bus as one
+/// NDJSON line. The line is the exact serialization `GET /jobs/{id}`
+/// answers, so the final event of a stream is byte-identical to a
+/// subsequent poll. `close` marks the job's log terminal.
+pub fn publish_record(bus: &EventBus, tracker: &JobTracker, id: &str, close: bool) {
+    if let Some(record) = tracker.get(id) {
+        if let Ok(line) = serde_json::to_string(&record.to_value()) {
+            bus.publish(id, line, close);
+        }
+    }
+}
+
 /// One worker: pulls tickets until the queue closes *and* drains, runs
 /// each on the shared executor, and records the outcome. The executor
 /// already persists successful outputs to the artifact store (when one is
-/// attached) before this returns the result.
+/// attached) before this returns the result. Every state transition is
+/// mirrored onto the event bus for `GET /jobs/{id}/events` subscribers.
 pub fn job_worker(
     rx: &Mutex<Receiver<JobTicket>>,
     executor: &Executor,
     tracker: &JobTracker,
     telemetry: &Telemetry,
+    bus: &EventBus,
 ) {
     loop {
         // Hold the lock only for the take, not for the run.
@@ -236,6 +252,7 @@ pub fn job_worker(
         };
         let id = ticket.digest.to_string();
         tracker.update(&id, |r| r.state = JobState::Running);
+        publish_record(bus, tracker, &id, false);
         match ticket.job {
             QueuedJob::Annual(job) => run_annual_ticket(&id, &job, executor, tracker),
             QueuedJob::Tune(spec) => {
@@ -248,6 +265,9 @@ pub fn job_worker(
                 run_learn_ticket(&id, ticket.digest, &spec, executor, tracker, telemetry);
             }
         }
+        // Terminal transition (done or failed): close the log so streams
+        // deliver the final record and end.
+        publish_record(bus, tracker, &id, true);
     }
 }
 
@@ -440,10 +460,20 @@ mod tests {
         tx.send(ticket).expect("enqueue");
         drop(tx); // worker drains the one ticket, then exits
         let rx = Mutex::new(rx);
-        job_worker(&rx, &executor, &tracker, &telemetry);
+        let bus = EventBus::default();
+        job_worker(&rx, &executor, &tracker, &telemetry, &bus);
         let record = tracker.get(&id).expect("tracked");
         assert_eq!(record.state, JobState::Done);
         assert_eq!(record.label, "robust tune (seed 11)");
+        // The worker mirrored running→done onto the event bus, and the
+        // final line is byte-identical to the tracker's rendering.
+        let batch = bus.fetch(&id, 0);
+        assert!(batch.finished, "terminal publish closes the log");
+        assert_eq!(batch.lines.len(), 2);
+        assert_eq!(
+            batch.lines.last().map(String::as_str),
+            serde_json::to_string(&record.to_value()).ok().as_deref()
+        );
         let Some(Value::Map(result)) = record.result else {
             panic!("tune result should be a JSON object")
         };
@@ -480,7 +510,7 @@ mod tests {
         tx.send(ticket).expect("enqueue");
         drop(tx); // worker drains the one ticket, then exits
         let rx = Mutex::new(rx);
-        job_worker(&rx, &executor, &tracker, &telemetry);
+        job_worker(&rx, &executor, &tracker, &telemetry, &EventBus::default());
         let record = tracker.get(&id).expect("tracked");
         assert_eq!(record.state, JobState::Done);
         assert_eq!(record.label, "learn benchmark (seed 11)");
@@ -513,7 +543,7 @@ mod tests {
         tx.send(ticket).expect("enqueue");
         drop(tx); // worker drains the one ticket, then exits
         let rx = Mutex::new(rx);
-        job_worker(&rx, &executor, &tracker, &telemetry);
+        job_worker(&rx, &executor, &tracker, &telemetry, &EventBus::default());
         let record = tracker.get(&id).expect("tracked");
         assert_eq!(record.state, JobState::Done);
         assert_eq!(record.label, "fleet campaign (4 containers, seed 11)");

@@ -1,38 +1,54 @@
 //! coolair-serve: the network control plane for the CoolAir reproduction.
 //!
 //! A dependency-free HTTP/1.1 daemon (no async runtime, no HTTP crate —
-//! `std::net` sockets, scoped threads, and a hand-written parser) that
-//! turns the offline job executor into a service:
+//! a from-scratch epoll reactor over `std::net` sockets and a
+//! hand-written parser) that turns the offline job executor into a
+//! service:
 //!
 //! | Endpoint | Purpose |
 //! |---|---|
 //! | `GET /healthz` | liveness (`ok` / `draining`) |
 //! | `GET /version` | crate name + version |
-//! | `GET /metrics` | Prometheus text exposition of the telemetry registry |
+//! | `GET /metrics` | Prometheus text exposition of the telemetry registry (memoized between registry changes) |
 //! | `GET /jobs` | every tracked submission |
 //! | `POST /jobs` | submit an [`coolair_sim::jobs::AnnualJob`] spec, or a wrapped `{"tune"}` / `{"fleet"}` / `{"learn"}` spec (idempotent by content digest) |
 //! | `GET /jobs/{id}` | submission state, falling back to the artifact store |
+//! | `GET /jobs/{id}/events` | live NDJSON stream of the job's state transitions (chunked; ends at a terminal state) |
 //! | `POST /episodes` | create a live [`coolair_sim::Episode`] from an [`coolair_sim::EpisodeSpec`] (idempotent by content digest) |
 //! | `GET /episodes/{id}` | live-episode status (step counter, next observation, accumulated reward) |
 //! | `POST /episodes/{id}/step` | apply an [`coolair_sim::Action`]; the reply is the serialized step result, byte-identical to a local episode |
-//! | `GET /artifacts/{kind}/{hash}` | stream a raw artifact (chunked) |
+//! | `GET /artifacts/{kind}/{hash}` | stream a raw artifact (chunked, zero-copy off the heap) |
 //! | `POST /shutdown` | graceful drain |
+//!
+//! Threading: one epoll event loop per `SO_REUSEPORT` listener shard
+//! ([`ServeConfig::event_loops`]) multiplexes every connection as a
+//! non-blocking state machine; job execution stays on separate worker
+//! threads behind the bounded queue. The reactor module (private) holds
+//! the event-loop internals; `DESIGN.md` §17 has the design rationale.
 //!
 //! Robustness is load-bearing, not decorative: the accept side and the
 //! work queue are both bounded (`503 Retry-After` past either bound),
-//! every socket carries read/write timeouts, request heads and bodies
-//! have size limits, malformed bytes get a `4xx` — never a panic — and a
-//! drain finishes in-flight requests and queued jobs before `run`
-//! returns.
+//! every connection carries idle-read and write-stall deadlines on a
+//! timer wheel (a slow-loris dribbling header bytes cannot hold a
+//! connection open), request heads and bodies have size limits,
+//! malformed bytes get a `4xx` — never a panic — and a drain finishes
+//! in-flight requests and queued jobs before `run` returns.
 
+#![deny(missing_docs)]
+
+pub mod events;
 pub mod http;
 pub mod jobs;
 pub mod prom;
 pub mod state;
+pub mod sys;
+pub mod timer;
 
 mod handlers;
+mod reactor;
 mod server;
 
+pub use events::{EventBatch, EventBus};
 pub use handlers::{endpoint_class, handle, Reply};
 pub use jobs::{EnqueueOutcome, JobQueue, JobRecord, JobState, JobTracker};
 pub use prom::encode_prometheus;

@@ -1,0 +1,1056 @@
+//! The epoll reactor: non-blocking connection state machines driven by
+//! one event loop per listener shard.
+//!
+//! Each [`run_event_loop`] call owns one `SO_REUSEPORT` listener, one
+//! epoll instance, one `eventfd` waker, a slab of connections and a
+//! [`TimerWheel`]. A connection is a small state machine
+//! ([`ConnMode`]): `Http` (read → parse → dispatch → write, keep-alive
+//! until told otherwise), `Streaming` (an artifact file pumped out in
+//! chunked encoding, refilled only when the output queue runs low, so a
+//! slow peer never forces the whole file onto the heap), `Events` (a
+//! live NDJSON job-event stream parked until the bus wakes it) and
+//! `Closing` (flush what is queued, then tear down).
+//!
+//! Readiness discipline: every connection is registered for `EPOLLIN`
+//! (level-triggered); `EPOLLOUT` is added only while the output queue is
+//! non-empty and removed once it drains, so an idle keep-alive
+//! connection costs nothing per tick. Deadlines (idle read, write stall,
+//! heartbeat) live on the wheel with lazy cancellation — the connection
+//! holds the true deadline and at most one in-flight wheel entry per
+//! kind; a fired entry re-parks itself when the true deadline moved.
+//!
+//! Metrics are batched per loop in [`LocalStats`] and flushed into the
+//! shared registry on a slow tick, at `/metrics` scrapes, and at loop
+//! exit — the hot path never touches the global registry lock.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, IoSlice, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use coolair_telemetry::{Histogram, Telemetry};
+use parking_lot::Mutex;
+
+use crate::handlers::{endpoint_class, handle, Reply};
+use crate::http::{parse_request, reason_phrase, Parsed, Request, Response};
+use crate::server::LATENCY_BOUNDS_S;
+use crate::state::AppState;
+use crate::sys::{self, Epoll, EpollEvent};
+use crate::timer::{TimerEntry, TimerKind, TimerWheel};
+
+/// Output segments at or below this size coalesce into one buffer, so an
+/// HTTP head plus a small body go out in a single `write`.
+const COALESCE: usize = 32 * 1024;
+/// File-read chunk for artifact streaming (also the socket read buffer).
+const STREAM_CHUNK: usize = 64 * 1024;
+/// Streaming refill threshold: while queued output is below this, read
+/// more file chunks; above it, let the socket drain first.
+const LOW_WATER: usize = 128 * 1024;
+/// At most this many `IoSlice`s per `writev`.
+const MAX_IOV: usize = 8;
+/// Socket reads per service pass (level-triggered epoll re-signals
+/// leftovers, so capping bounds one connection's share of the loop).
+const MAX_READS: usize = 16;
+/// Accepts per listener wakeup, for the same fairness reason.
+const MAX_ACCEPTS: usize = 64;
+/// `epoll_wait` batch size.
+const MAX_EVENTS: usize = 256;
+/// Timer-wheel granularity; deadlines are coarse (hundreds of ms to
+/// seconds), so a 50 ms tick is far finer than it needs to be.
+const WHEEL_TICK: Duration = Duration::from_millis(50);
+/// Timer-wheel slots (horizon = tick × slots ≈ 12.8 s; later deadlines
+/// re-park, which is correct but costs an extra pass).
+const WHEEL_SLOTS: usize = 256;
+/// Longest `epoll_wait` sleep — also the latency bound on noticing the
+/// shutdown flag without a waker nudge.
+const MAX_POLL: Duration = Duration::from_millis(50);
+/// Batched-stats flush period.
+const FLUSH_EVERY: Duration = Duration::from_millis(250);
+/// Idle event streams owe the peer a keep-alive chunk this often.
+const HEARTBEAT: Duration = Duration::from_secs(10);
+
+/// Generation tags use 30 bits (the top 2 bits of a token's high word
+/// distinguish connection tokens from listener/waker sentinels).
+const GEN_MASK: u32 = (1 << 30) - 1;
+const KIND_MASK: u64 = 0b11 << 62;
+const TOKEN_LISTENER: u64 = 1 << 62;
+const TOKEN_WAKER: u64 = 2 << 62;
+
+fn conn_token(idx: usize, gen: u32) -> u64 {
+    (u64::from(gen & GEN_MASK) << 32) | idx as u64
+}
+
+/// The chunked-encoding frame for one NDJSON event line (a trailing
+/// newline rides inside the chunk; an empty line is the heartbeat).
+fn ndjson_chunk(line: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(line.len() + 16);
+    out.extend_from_slice(format!("{:x}\r\n", line.len() + 1).as_bytes());
+    out.extend_from_slice(line.as_bytes());
+    out.extend_from_slice(b"\n\r\n");
+    out
+}
+
+const EVENTS_HEAD: &[u8] = b"HTTP/1.1 200 OK\r\ncontent-type: application/x-ndjson\r\n\
+transfer-encoding: chunked\r\nconnection: close\r\n\r\n";
+const CHUNK_END: &[u8] = b"0\r\n\r\n";
+
+/// Per-loop batched serve metrics. Flushed into the shared registry by
+/// [`LocalStats::flush`]; until then the event loop's hot path touches
+/// only this (uncontended) state.
+#[derive(Debug, Default)]
+pub(crate) struct LocalStats {
+    requests: HashMap<(&'static str, u16), u64>,
+    latency: HashMap<&'static str, Histogram>,
+    parse_errors: u64,
+    rejected: u64,
+}
+
+impl LocalStats {
+    fn record(&mut self, endpoint: &'static str, status: u16, seconds: f64) {
+        *self.requests.entry((endpoint, status)).or_insert(0) += 1;
+        self.latency
+            .entry(endpoint)
+            .or_insert_with(|| Histogram::new(&LATENCY_BOUNDS_S))
+            .observe(seconds);
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+            && self.latency.is_empty()
+            && self.parse_errors == 0
+            && self.rejected == 0
+    }
+
+    /// Drains every batched count into the shared registry, under the
+    /// exact metric names the thread-per-connection server used.
+    pub(crate) fn flush(&mut self, telemetry: &Telemetry) {
+        if self.is_empty() {
+            return;
+        }
+        for ((endpoint, status), n) in self.requests.drain() {
+            telemetry.counter_add(
+                &format!("serve.requests{{endpoint=\"{endpoint}\",status=\"{status}\"}}"),
+                n,
+            );
+        }
+        for (endpoint, hist) in self.latency.drain() {
+            telemetry
+                .merge_histogram(&format!("serve.request_seconds{{endpoint=\"{endpoint}\"}}"), &hist);
+        }
+        if self.parse_errors > 0 {
+            telemetry.counter_add("serve.parse_errors", self.parse_errors);
+            self.parse_errors = 0;
+        }
+        if self.rejected > 0 {
+            telemetry.counter_add("serve.rejected_connections", self.rejected);
+            self.rejected = 0;
+        }
+    }
+}
+
+/// Outcome of one vectored-write pass.
+enum WriteOutcome {
+    /// Everything queued went out.
+    Drained,
+    /// The socket would block; `progress` says whether any bytes moved
+    /// (progress re-arms the write-stall deadline, a dead stall does not).
+    Blocked { progress: bool },
+}
+
+/// The output queue: owned segments written with `writev`, small
+/// segments coalesced so pipelined responses share syscalls.
+#[derive(Debug, Default)]
+struct OutQueue {
+    segs: std::collections::VecDeque<Vec<u8>>,
+    /// Write offset into the front segment.
+    head: usize,
+    /// Total unwritten bytes.
+    bytes: usize,
+}
+
+impl OutQueue {
+    fn push(&mut self, data: Vec<u8>) {
+        if data.is_empty() {
+            return;
+        }
+        self.bytes += data.len();
+        if let Some(last) = self.segs.back_mut() {
+            if last.len() + data.len() <= COALESCE {
+                last.extend_from_slice(&data);
+                return;
+            }
+        }
+        self.segs.push_back(data);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.bytes == 0
+    }
+
+    fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    fn write_to(&mut self, stream: &mut TcpStream) -> io::Result<WriteOutcome> {
+        let mut progress = false;
+        loop {
+            if self.bytes == 0 {
+                return Ok(WriteOutcome::Drained);
+            }
+            let written = {
+                let mut iov: Vec<IoSlice<'_>> = Vec::with_capacity(MAX_IOV.min(self.segs.len()));
+                for (i, seg) in self.segs.iter().take(MAX_IOV).enumerate() {
+                    let slice = if i == 0 { &seg[self.head..] } else { &seg[..] };
+                    if !slice.is_empty() {
+                        iov.push(IoSlice::new(slice));
+                    }
+                }
+                stream.write_vectored(&iov)
+            };
+            match written {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.advance(n);
+                    progress = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    return Ok(WriteOutcome::Blocked { progress })
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn advance(&mut self, mut n: usize) {
+        self.bytes -= n;
+        while n > 0 {
+            let front_left = self.segs[0].len() - self.head;
+            if n >= front_left {
+                n -= front_left;
+                self.segs.pop_front();
+                self.head = 0;
+            } else {
+                self.head += n;
+                n = 0;
+            }
+        }
+        if self.segs.is_empty() {
+            self.head = 0;
+        }
+    }
+}
+
+/// Which phase of its lifecycle a connection is in.
+#[derive(Debug)]
+enum ConnMode {
+    /// Reading/serving plain requests (keep-alive).
+    Http,
+    /// Pumping an artifact file out in chunked encoding.
+    Streaming {
+        /// The artifact being streamed.
+        file: File,
+        /// Whether the connection returns to `Http` after the stream.
+        keep_alive: bool,
+        /// The terminator (or a truncation) has been queued.
+        done: bool,
+    },
+    /// A live `GET /jobs/{id}/events` NDJSON stream.
+    Events {
+        /// The job id (bus log key).
+        job: String,
+        /// Resume position in the job's event log.
+        cursor: u64,
+        /// The closing `0\r\n\r\n` has been queued.
+        finished: bool,
+    },
+    /// Flush queued output, then close.
+    Closing,
+}
+
+/// One connection's state.
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    /// Unparsed request bytes.
+    buf: Vec<u8>,
+    out: OutQueue,
+    mode: ConnMode,
+    /// Whether `EPOLLOUT` is currently registered.
+    registered_write: bool,
+    /// True deadlines (the wheel holds lazy entries; these are the truth).
+    read_deadline: Option<Instant>,
+    write_deadline: Option<Instant>,
+    heartbeat_at: Option<Instant>,
+    /// At-most-one-in-flight-wheel-entry flags, per kind.
+    armed_read: bool,
+    armed_write: bool,
+    armed_heartbeat: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            buf: Vec::new(),
+            out: OutQueue::default(),
+            mode: ConnMode::Http,
+            registered_write: false,
+            read_deadline: None,
+            write_deadline: None,
+            heartbeat_at: None,
+            armed_read: false,
+            armed_write: false,
+            armed_heartbeat: false,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Slot {
+    gen: u32,
+    conn: Option<Conn>,
+}
+
+/// What `service` decided after a flush pass.
+enum FlushOutcome {
+    /// Tear the connection down.
+    Close,
+    /// Nothing more to do until the next readiness/timer/bus event.
+    Parked,
+    /// Mode changed back to `Http` (stream finished, keep-alive): parse
+    /// whatever is already buffered.
+    Reprocess,
+}
+
+/// What to do about a fired timer entry, decided under the connection
+/// borrow and acted on after it ends.
+enum TimerAction {
+    Nothing,
+    Close,
+    Reschedule(TimerKind, Instant),
+    Heartbeat,
+}
+
+/// Runs one event loop to completion (returns after a drain finishes).
+///
+/// # Errors
+///
+/// Propagates epoll/eventfd setup failures; per-connection I/O errors
+/// only ever close their own connection.
+pub(crate) fn run_event_loop(state: &AppState, listener: &TcpListener) -> io::Result<()> {
+    EventLoop::new(state, listener)?.run()
+}
+
+struct EventLoop<'a> {
+    state: &'a AppState,
+    listener: &'a TcpListener,
+    loop_id: usize,
+    epoll: Epoll,
+    /// The read side of this loop's eventfd (the bus holds a dup).
+    waker: File,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    /// Live connections on this loop.
+    active: usize,
+    wheel: TimerWheel,
+    stats: Arc<Mutex<LocalStats>>,
+    draining: bool,
+    /// Scratch buffer for socket reads and file refills.
+    read_buf: Box<[u8]>,
+    last_flush: Instant,
+}
+
+impl<'a> EventLoop<'a> {
+    fn new(state: &'a AppState, listener: &'a TcpListener) -> io::Result<EventLoop<'a>> {
+        let epoll = Epoll::new()?;
+        let efd = sys::new_eventfd()?;
+        let bus_side = File::from(efd.try_clone()?);
+        let waker = File::from(efd);
+        let loop_id = state.bus.register_loop(bus_side);
+        epoll.add(&waker, sys::EPOLLIN, TOKEN_WAKER)?;
+        epoll.add(listener, sys::EPOLLIN, TOKEN_LISTENER)?;
+        let stats = Arc::new(Mutex::new(LocalStats::default()));
+        state.register_loop_stats(Arc::clone(&stats));
+        let now = Instant::now();
+        Ok(EventLoop {
+            state,
+            listener,
+            loop_id,
+            epoll,
+            waker,
+            slots: Vec::new(),
+            free: Vec::new(),
+            active: 0,
+            wheel: TimerWheel::new(WHEEL_TICK, WHEEL_SLOTS, now),
+            stats,
+            draining: false,
+            read_buf: vec![0u8; STREAM_CHUNK].into_boxed_slice(),
+            last_flush: now,
+        })
+    }
+
+    fn run(&mut self) -> io::Result<()> {
+        let mut events = vec![EpollEvent::default(); MAX_EVENTS];
+        let mut fired: Vec<TimerEntry> = Vec::new();
+        loop {
+            let now = Instant::now();
+            let timeout = self.wheel.next_timeout(now).min(MAX_POLL);
+            // Ceil to whole milliseconds: flooring a sub-ms remainder
+            // would spin the loop until the tick boundary.
+            let timeout_ms = i32::try_from(timeout.as_micros().div_ceil(1000)).unwrap_or(50);
+            let n = self.epoll.wait(&mut events, timeout_ms)?;
+            for ev in events.iter().take(n) {
+                let token = ev.data;
+                let ready = ev.events;
+                match token & KIND_MASK {
+                    TOKEN_LISTENER => self.on_accept(),
+                    TOKEN_WAKER => self.on_waker(),
+                    _ => self.on_conn_ready(token, ready),
+                }
+            }
+            let now = Instant::now();
+            fired.clear();
+            self.wheel.advance(now, &mut fired);
+            for entry in &fired {
+                self.on_timer(*entry, now);
+            }
+            if now.duration_since(self.last_flush) >= FLUSH_EVERY {
+                let mut stats = self.stats.lock();
+                if !stats.is_empty() {
+                    stats.flush(&self.state.telemetry);
+                }
+                drop(stats);
+                self.last_flush = now;
+            }
+            if self.state.is_shutting_down() && !self.draining {
+                self.start_drain();
+            }
+            if self.draining && self.active == 0 {
+                break;
+            }
+        }
+        // Final flush so `drained cleanly after N requests` counts every
+        // request this loop served.
+        self.stats.lock().flush(&self.state.telemetry);
+        Ok(())
+    }
+
+    /// Validates a connection token (kind bits, slab bounds, generation).
+    fn conn_idx(&self, token: u64) -> Option<usize> {
+        if token & KIND_MASK != 0 {
+            return None;
+        }
+        let idx = (token & 0xFFFF_FFFF) as usize;
+        let gen = ((token >> 32) as u32) & GEN_MASK;
+        match self.slots.get(idx) {
+            Some(slot) if slot.gen == gen && slot.conn.is_some() => Some(idx),
+            _ => None,
+        }
+    }
+
+    // ---- accept path ----------------------------------------------------
+
+    fn on_accept(&mut self) {
+        if self.draining {
+            return;
+        }
+        for _ in 0..MAX_ACCEPTS {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => self.admit(stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return, // transient accept error
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let total = self.state.active_connections.fetch_add(1, Ordering::SeqCst) + 1;
+        self.state.telemetry.gauge_set("serve.connections", total as f64);
+        let over = total > self.state.cfg.max_connections;
+        let idx = match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                self.slots.push(Slot { gen: 0, conn: None });
+                self.slots.len() - 1
+            }
+        };
+        let token = conn_token(idx, self.slots[idx].gen);
+        let mut conn = Conn::new(stream);
+        if over {
+            // Same shedding discipline as before: a one-line 503 with
+            // retry-after, then close. The connection still occupies a
+            // slot until the reply flushes.
+            self.stats.lock().rejected += 1;
+            let resp =
+                Response::text(503, "connection limit reached\n").with_header("retry-after", "1");
+            conn.out.push(resp.encode(false));
+            conn.mode = ConnMode::Closing;
+        }
+        if self.epoll.add(&conn.stream, sys::EPOLLIN, token).is_err() {
+            self.slots[idx].gen = (self.slots[idx].gen + 1) & GEN_MASK;
+            self.free.push(idx);
+            let left = self.state.active_connections.fetch_sub(1, Ordering::SeqCst) - 1;
+            self.state.telemetry.gauge_set("serve.connections", left as f64);
+            return;
+        }
+        if !over {
+            // The slow-loris defense: the deadline arms at accept and is
+            // re-armed only by *complete* requests, never by partial reads.
+            self.arm_read(token, &mut conn);
+        }
+        self.active += 1;
+        self.slots[idx].conn = Some(conn);
+        if over {
+            // Flush the 503 now rather than waiting for EPOLLOUT.
+            self.run_service(token, false, false);
+        }
+    }
+
+    // ---- readiness dispatch ---------------------------------------------
+
+    fn on_conn_ready(&mut self, token: u64, ready: u32) {
+        if ready & (sys::EPOLLERR | sys::EPOLLHUP) != 0 {
+            if let Some(idx) = self.conn_idx(token) {
+                self.close_conn(idx);
+            }
+            return;
+        }
+        self.run_service(token, ready & sys::EPOLLIN != 0, false);
+    }
+
+    fn on_waker(&mut self) {
+        // A single 8-byte read resets the eventfd counter.
+        let mut count = [0u8; 8];
+        let _ = (&self.waker).read(&mut count);
+        for token in self.state.bus.take_pending(self.loop_id) {
+            self.run_service(token, false, true);
+        }
+    }
+
+    /// Takes the connection out of its slot, services it, and either puts
+    /// it back (with its epoll interest set right) or tears it down.
+    fn run_service(&mut self, token: u64, readable: bool, pump_first: bool) {
+        let Some(idx) = self.conn_idx(token) else { return };
+        let mut conn = self.slots[idx].conn.take().expect("validated by conn_idx");
+        if pump_first {
+            self.pump(token, &mut conn);
+        }
+        if self.service(token, &mut conn, readable) {
+            self.update_interest(token, &mut conn);
+            self.slots[idx].conn = Some(conn);
+        } else {
+            self.finish_close(idx, conn);
+        }
+    }
+
+    /// One full service pass. Returns `false` when the connection must be
+    /// torn down.
+    fn service(&mut self, token: u64, conn: &mut Conn, readable: bool) -> bool {
+        if readable && !self.read_from(conn) {
+            return false;
+        }
+        loop {
+            if matches!(conn.mode, ConnMode::Http) {
+                self.process_buf(token, conn);
+            }
+            match self.flush(token, conn) {
+                FlushOutcome::Close => return false,
+                FlushOutcome::Parked => return true,
+                FlushOutcome::Reprocess => {}
+            }
+        }
+    }
+
+    /// Drains the socket until `WouldBlock` (or the fairness cap).
+    /// Returns `false` on EOF or a hard error.
+    fn read_from(&mut self, conn: &mut Conn) -> bool {
+        for _ in 0..MAX_READS {
+            match conn.stream.read(&mut self.read_buf) {
+                Ok(0) => return false, // peer closed
+                Ok(n) => {
+                    if matches!(conn.mode, ConnMode::Http) {
+                        conn.buf.extend_from_slice(&self.read_buf[..n]);
+                    }
+                    // Non-Http modes discard input: a streaming or events
+                    // response is `connection: close`, so there is nothing
+                    // valid the peer could pipeline behind it.
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+
+    /// Parses and dispatches every complete pipelined request in the
+    /// buffer (stopping if a handler switches the mode away from `Http`).
+    fn process_buf(&mut self, token: u64, conn: &mut Conn) {
+        let mut served = false;
+        while matches!(conn.mode, ConnMode::Http) {
+            match parse_request(&conn.buf, &self.state.cfg.limits) {
+                Parsed::Complete(req, used) => {
+                    conn.buf.drain(..used);
+                    served = true;
+                    self.dispatch(token, conn, &req);
+                }
+                Parsed::Incomplete => break,
+                Parsed::Error(e) => {
+                    self.stats.lock().parse_errors += 1;
+                    let resp = Response::text(e.status(), format!("bad request: {e}\n"));
+                    conn.out.push(resp.encode(false));
+                    conn.read_deadline = None;
+                    conn.mode = ConnMode::Closing;
+                }
+            }
+        }
+        if served && matches!(conn.mode, ConnMode::Http) {
+            // Keep-alive: the next request gets a fresh idle deadline.
+            self.arm_read(token, conn);
+        }
+    }
+
+    /// Routes one request and queues its reply, switching the mode for
+    /// streamed replies.
+    fn dispatch(&mut self, token: u64, conn: &mut Conn, req: &Request) {
+        let endpoint = endpoint_class(req.path());
+        let start = Instant::now();
+        let state = self.state;
+        let reply = catch_unwind(AssertUnwindSafe(|| handle(state, req)))
+            .unwrap_or_else(|_| Reply::Full(Response::text(500, "internal error\n")));
+        let status = reply.status();
+        self.stats.lock().record(endpoint, status, start.elapsed().as_secs_f64());
+        let keep_alive = req.wants_keep_alive() && !self.state.is_shutting_down();
+        // Leaving request-wait: the idle deadline no longer applies (the
+        // write-stall and heartbeat deadlines own non-Http modes).
+        conn.read_deadline = None;
+        match reply {
+            Reply::Full(resp) => {
+                conn.out.push(resp.encode(keep_alive));
+                if !keep_alive {
+                    conn.mode = ConnMode::Closing;
+                }
+            }
+            Reply::Stream { status, content_type, path } => match File::open(&path) {
+                Ok(file) => {
+                    let head = format!(
+                        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ntransfer-encoding: chunked\r\nconnection: {}\r\n\r\n",
+                        status,
+                        reason_phrase(status),
+                        content_type,
+                        if keep_alive { "keep-alive" } else { "close" },
+                    );
+                    conn.out.push(head.into_bytes());
+                    conn.mode = ConnMode::Streaming { file, keep_alive, done: false };
+                    self.refill(conn);
+                }
+                Err(_) => {
+                    conn.out.push(Response::text(500, "artifact unreadable\n").encode(false));
+                    conn.mode = ConnMode::Closing;
+                }
+            },
+            Reply::EventStream { id } => {
+                match self.state.bus.subscribe(&id, self.loop_id, token) {
+                    Some(cursor) => {
+                        conn.out.push(EVENTS_HEAD.to_vec());
+                        conn.mode = ConnMode::Events { job: id, cursor, finished: false };
+                        self.pump(token, conn);
+                        self.arm_heartbeat(token, conn);
+                    }
+                    None => {
+                        // The log was evicted between routing and here:
+                        // an empty, well-formed stream.
+                        conn.out.push(EVENTS_HEAD.to_vec());
+                        conn.out.push(CHUNK_END.to_vec());
+                        conn.mode = ConnMode::Closing;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Moves new bus lines onto the wire for an `Events` connection and
+    /// terminates the stream when the log closes.
+    fn pump(&mut self, token: u64, conn: &mut Conn) {
+        let ConnMode::Events { job, cursor, finished } = &mut conn.mode else { return };
+        if *finished {
+            return;
+        }
+        let batch = self.state.bus.fetch(job, *cursor);
+        *cursor = batch.cursor;
+        for line in &batch.lines {
+            conn.out.push(ndjson_chunk(line));
+        }
+        if batch.finished {
+            conn.out.push(CHUNK_END.to_vec());
+            *finished = true;
+            self.state.bus.unsubscribe(job, self.loop_id, token);
+        }
+    }
+
+    /// Reads file chunks into the output queue while it is under the low
+    /// watermark, queueing the terminator at EOF. A read error truncates
+    /// the chunk stream (no terminator — the client can tell) and forces
+    /// the connection closed after the flush.
+    fn refill(&mut self, conn: &mut Conn) {
+        let ConnMode::Streaming { file, keep_alive, done } = &mut conn.mode else { return };
+        while !*done && conn.out.bytes() < LOW_WATER {
+            match file.read(&mut self.read_buf) {
+                Ok(0) => {
+                    conn.out.push(CHUNK_END.to_vec());
+                    *done = true;
+                }
+                Ok(n) => {
+                    conn.out.push(format!("{n:x}\r\n").into_bytes());
+                    conn.out.push(self.read_buf[..n].to_vec());
+                    conn.out.push(b"\r\n".to_vec());
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    *done = true;
+                    *keep_alive = false;
+                }
+            }
+        }
+    }
+
+    /// Writes as much queued output as the socket takes, refilling
+    /// streams and resolving what the drained state means per mode.
+    fn flush(&mut self, token: u64, conn: &mut Conn) -> FlushOutcome {
+        #[derive(Clone, Copy)]
+        enum Drained {
+            ParkHttp,
+            Close,
+            Refill,
+            ResumeHttp,
+            ParkEvents,
+        }
+        loop {
+            if conn.out.is_empty() {
+                let drained = match &conn.mode {
+                    ConnMode::Http => Drained::ParkHttp,
+                    ConnMode::Closing => Drained::Close,
+                    ConnMode::Streaming { done: false, .. } => Drained::Refill,
+                    ConnMode::Streaming { done: true, keep_alive, .. } => {
+                        if *keep_alive && !self.draining {
+                            Drained::ResumeHttp
+                        } else {
+                            Drained::Close
+                        }
+                    }
+                    ConnMode::Events { finished: true, .. } => Drained::Close,
+                    ConnMode::Events { finished: false, .. } => Drained::ParkEvents,
+                };
+                match drained {
+                    Drained::ParkHttp | Drained::ParkEvents => {
+                        conn.write_deadline = None;
+                        return FlushOutcome::Parked;
+                    }
+                    Drained::Close => return FlushOutcome::Close,
+                    Drained::Refill => {
+                        self.refill(conn);
+                        continue;
+                    }
+                    Drained::ResumeHttp => {
+                        conn.mode = ConnMode::Http;
+                        conn.write_deadline = None;
+                        self.arm_read(token, conn);
+                        return FlushOutcome::Reprocess;
+                    }
+                }
+            }
+            if matches!(conn.mode, ConnMode::Streaming { done: false, .. })
+                && conn.out.bytes() < LOW_WATER
+            {
+                self.refill(conn);
+            }
+            match conn.out.write_to(&mut conn.stream) {
+                Ok(WriteOutcome::Drained) => {}
+                Ok(WriteOutcome::Blocked { progress }) => {
+                    self.arm_write(token, conn, progress);
+                    return FlushOutcome::Parked;
+                }
+                Err(_) => return FlushOutcome::Close,
+            }
+        }
+    }
+
+    // ---- timers ----------------------------------------------------------
+
+    fn arm_read(&mut self, token: u64, conn: &mut Conn) {
+        let now = Instant::now();
+        let deadline = now + self.state.cfg.read_timeout;
+        conn.read_deadline = Some(deadline);
+        if !conn.armed_read {
+            conn.armed_read = true;
+            self.wheel.schedule(token, TimerKind::Read, deadline, now);
+        }
+    }
+
+    fn arm_write(&mut self, token: u64, conn: &mut Conn, progress: bool) {
+        let now = Instant::now();
+        if progress || conn.write_deadline.is_none() {
+            conn.write_deadline = Some(now + self.state.cfg.write_timeout);
+        }
+        if !conn.armed_write {
+            conn.armed_write = true;
+            let deadline = conn.write_deadline.expect("just set when absent");
+            self.wheel.schedule(token, TimerKind::Write, deadline, now);
+        }
+    }
+
+    fn arm_heartbeat(&mut self, token: u64, conn: &mut Conn) {
+        let now = Instant::now();
+        let deadline = now + HEARTBEAT;
+        conn.heartbeat_at = Some(deadline);
+        if !conn.armed_heartbeat {
+            conn.armed_heartbeat = true;
+            self.wheel.schedule(token, TimerKind::Heartbeat, deadline, now);
+        }
+    }
+
+    fn on_timer(&mut self, entry: TimerEntry, now: Instant) {
+        let Some(idx) = self.conn_idx(entry.token) else { return };
+        let action = {
+            let conn = self.slots[idx].conn.as_mut().expect("validated by conn_idx");
+            match entry.kind {
+                TimerKind::Read => {
+                    conn.armed_read = false;
+                    match conn.read_deadline {
+                        Some(d) if d <= now => TimerAction::Close,
+                        Some(d) => {
+                            conn.armed_read = true;
+                            TimerAction::Reschedule(TimerKind::Read, d)
+                        }
+                        None => TimerAction::Nothing,
+                    }
+                }
+                TimerKind::Write => {
+                    conn.armed_write = false;
+                    match conn.write_deadline {
+                        Some(d) if d <= now => TimerAction::Close,
+                        Some(d) => {
+                            conn.armed_write = true;
+                            TimerAction::Reschedule(TimerKind::Write, d)
+                        }
+                        None => TimerAction::Nothing,
+                    }
+                }
+                TimerKind::Heartbeat => {
+                    conn.armed_heartbeat = false;
+                    match (&conn.mode, conn.heartbeat_at) {
+                        (ConnMode::Events { finished: false, .. }, Some(d)) if d <= now => {
+                            TimerAction::Heartbeat
+                        }
+                        (ConnMode::Events { finished: false, .. }, Some(d)) => {
+                            conn.armed_heartbeat = true;
+                            TimerAction::Reschedule(TimerKind::Heartbeat, d)
+                        }
+                        _ => TimerAction::Nothing,
+                    }
+                }
+            }
+        };
+        match action {
+            TimerAction::Nothing => {}
+            TimerAction::Close => self.close_conn(idx),
+            TimerAction::Reschedule(kind, deadline) => {
+                self.wheel.schedule(entry.token, kind, deadline, now);
+            }
+            TimerAction::Heartbeat => {
+                let mut conn = self.slots[idx].conn.take().expect("validated");
+                conn.out.push(ndjson_chunk(""));
+                self.arm_heartbeat(entry.token, &mut conn);
+                match self.flush(entry.token, &mut conn) {
+                    FlushOutcome::Close => self.finish_close(idx, conn),
+                    FlushOutcome::Parked | FlushOutcome::Reprocess => {
+                        self.update_interest(entry.token, &mut conn);
+                        self.slots[idx].conn = Some(conn);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- interest + teardown --------------------------------------------
+
+    /// Keeps `EPOLLOUT` registered exactly while output is queued.
+    fn update_interest(&mut self, token: u64, conn: &mut Conn) {
+        let want_write = !conn.out.is_empty();
+        if want_write != conn.registered_write {
+            let events = sys::EPOLLIN | if want_write { sys::EPOLLOUT } else { 0 };
+            if self.epoll.modify(&conn.stream, events, token).is_ok() {
+                conn.registered_write = want_write;
+            }
+        }
+    }
+
+    fn close_conn(&mut self, idx: usize) {
+        if let Some(conn) = self.slots[idx].conn.take() {
+            self.finish_close(idx, conn);
+        }
+    }
+
+    fn finish_close(&mut self, idx: usize, conn: Conn) {
+        if let ConnMode::Events { job, finished: false, .. } = &conn.mode {
+            let token = conn_token(idx, self.slots[idx].gen);
+            self.state.bus.unsubscribe(job, self.loop_id, token);
+        }
+        let _ = self.epoll.delete(&conn.stream);
+        // Bump the generation so stale wheel entries and queued bus
+        // tokens for this slot identify themselves.
+        self.slots[idx].gen = (self.slots[idx].gen + 1) & GEN_MASK;
+        self.free.push(idx);
+        self.active -= 1;
+        let left = self.state.active_connections.fetch_sub(1, Ordering::SeqCst) - 1;
+        self.state.telemetry.gauge_set("serve.connections", left as f64);
+    }
+
+    // ---- drain -----------------------------------------------------------
+
+    /// Enters drain: stop accepting, close idle connections, let busy
+    /// ones finish their queued output, and end-of-stream every live
+    /// event stream.
+    fn start_drain(&mut self) {
+        self.draining = true;
+        let _ = self.epoll.delete(self.listener);
+        for idx in 0..self.slots.len() {
+            if self.slots[idx].conn.is_none() {
+                continue;
+            }
+            let token = conn_token(idx, self.slots[idx].gen);
+            #[derive(Clone, Copy)]
+            enum Plan {
+                CloseNow,
+                Leave,
+                EndStream,
+            }
+            let plan = {
+                let conn = self.slots[idx].conn.as_mut().expect("checked above");
+                match &mut conn.mode {
+                    ConnMode::Http => {
+                        if conn.out.is_empty() {
+                            Plan::CloseNow
+                        } else {
+                            // Finish the queued replies, then close
+                            // (leftover pipelined bytes are dropped — the
+                            // daemon is going away).
+                            conn.mode = ConnMode::Closing;
+                            Plan::Leave
+                        }
+                    }
+                    ConnMode::Closing => Plan::Leave,
+                    ConnMode::Streaming { keep_alive, .. } => {
+                        *keep_alive = false;
+                        Plan::Leave
+                    }
+                    ConnMode::Events { finished: false, .. } => Plan::EndStream,
+                    ConnMode::Events { finished: true, .. } => Plan::Leave,
+                }
+            };
+            match plan {
+                Plan::CloseNow => self.close_conn(idx),
+                Plan::Leave => {}
+                Plan::EndStream => {
+                    let mut conn = self.slots[idx].conn.take().expect("checked above");
+                    if let ConnMode::Events { job, finished, .. } = &mut conn.mode {
+                        conn.out.push(CHUNK_END.to_vec());
+                        *finished = true;
+                        self.state.bus.unsubscribe(job, self.loop_id, token);
+                    }
+                    match self.flush(token, &mut conn) {
+                        FlushOutcome::Close => self.finish_close(idx, conn),
+                        FlushOutcome::Parked | FlushOutcome::Reprocess => {
+                            self.update_interest(token, &mut conn);
+                            self.slots[idx].conn = Some(conn);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_queue_coalesces_small_pushes_and_tracks_bytes() {
+        let mut q = OutQueue::default();
+        q.push(b"HTTP/1.1 200 OK\r\n\r\n".to_vec());
+        q.push(b"hello".to_vec());
+        assert_eq!(q.segs.len(), 1, "small segments coalesce");
+        assert_eq!(q.bytes(), 24);
+        q.push(vec![0u8; COALESCE]); // too big to merge
+        assert_eq!(q.segs.len(), 2);
+        q.advance(24 + COALESCE);
+        assert!(q.is_empty());
+        assert_eq!(q.segs.len(), 0);
+    }
+
+    #[test]
+    fn out_queue_advance_straddles_segments() {
+        let mut q = OutQueue::default();
+        q.push(vec![1u8; COALESCE]);
+        q.push(vec![2u8; COALESCE]);
+        q.push(vec![3u8; 10]);
+        assert_eq!(q.segs.len(), 3);
+        q.advance(COALESCE + 5);
+        assert_eq!(q.bytes(), COALESCE + 5);
+        assert_eq!(q.head, 5);
+        q.advance(COALESCE - 5 + 2);
+        assert_eq!(q.bytes(), 8);
+        assert_eq!(q.head, 2);
+    }
+
+    #[test]
+    fn conn_tokens_round_trip_and_never_collide_with_sentinels() {
+        for (idx, gen) in [(0usize, 0u32), (7, 1), (0xFFFF, GEN_MASK)] {
+            let token = conn_token(idx, gen);
+            assert_eq!(token & KIND_MASK, 0, "conn tokens keep the kind bits clear");
+            assert_eq!((token & 0xFFFF_FFFF) as usize, idx);
+            assert_eq!(((token >> 32) as u32) & GEN_MASK, gen);
+        }
+        assert_ne!(TOKEN_LISTENER & KIND_MASK, 0);
+        assert_ne!(TOKEN_WAKER & KIND_MASK, 0);
+    }
+
+    #[test]
+    fn local_stats_flush_reaches_the_registry_under_the_old_names() {
+        let telemetry = Telemetry::memory();
+        let mut stats = LocalStats::default();
+        stats.record("/healthz", 200, 0.0001);
+        stats.record("/healthz", 200, 0.0002);
+        stats.parse_errors = 3;
+        stats.rejected = 2;
+        assert!(!stats.is_empty());
+        stats.flush(&telemetry);
+        assert!(stats.is_empty());
+        let metrics = telemetry.metrics();
+        assert_eq!(metrics.counter("serve.requests{endpoint=\"/healthz\",status=\"200\"}"), 2);
+        assert_eq!(metrics.counter("serve.parse_errors"), 3);
+        assert_eq!(metrics.counter("serve.rejected_connections"), 2);
+        let hist = metrics
+            .histogram("serve.request_seconds{endpoint=\"/healthz\"}")
+            .expect("latency histogram");
+        assert_eq!(hist.count, 2);
+    }
+
+    #[test]
+    fn ndjson_chunks_are_valid_chunked_frames() {
+        assert_eq!(ndjson_chunk(""), b"1\r\n\n\r\n");
+        let chunk = ndjson_chunk("{\"a\":1}");
+        assert_eq!(chunk, b"8\r\n{\"a\":1}\n\r\n");
+    }
+}

@@ -1,59 +1,59 @@
-//! The daemon: accept loop, connection threads, job workers, drain.
+//! The daemon: sharded event loops, job workers, drain.
 //!
-//! Threading model — thread-per-connection inside one
-//! `crossbeam::thread::scope`, bounded by [`ServeConfig::max_connections`]
-//! (beyond the bound a connection is answered `503` and closed, never
-//! queued). Keep-alive is first-class: a connection thread serves requests
-//! back-to-back until the peer closes, the idle read timeout fires, or a
-//! drain begins. Job execution happens on separate worker threads fed by
-//! the bounded queue, so a slow simulation never stalls `/metrics`.
+//! Threading model — one epoll event loop per listener shard (see
+//! [`crate::reactor`]), each shard a separate `SO_REUSEPORT` socket on
+//! the same address so the kernel spreads accepts across loops with no
+//! shared accept lock. Connections never get a thread: they are
+//! non-blocking state machines multiplexed inside their loop, so the
+//! connection bound ([`ServeConfig::max_connections`]) caps memory, not
+//! thread count, and the excess is still answered `503` and closed. Job
+//! execution happens on separate worker threads fed by the bounded
+//! queue, so a slow simulation never stalls `/metrics`.
 //!
 //! Drain protocol (`POST /shutdown`): the shutdown flag flips, the job
-//! queue's sender drops (workers finish the buffered backlog, then exit —
-//! the executor flushes its journal per entry, so nothing is lost), the
-//! accept loop is woken by a loopback poke and stops accepting, and every
-//! in-flight response goes out with `connection: close`. `run` returns
-//! once all scoped threads join.
+//! queue's sender drops (workers finish the buffered backlog, then exit
+//! — the executor flushes its journal per entry, so nothing is lost),
+//! and the event bus wakes every loop. Each loop deregisters its
+//! listener, closes idle connections, finishes in-flight responses with
+//! `connection: close`, end-of-streams live event streams, and exits
+//! when its last connection goes. `run` returns once all scoped threads
+//! join.
 
-use std::fs::File;
-use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::Path;
-use std::sync::atomic::Ordering;
 use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::Arc;
-use std::time::Instant;
 
 use coolair_runner::{Executor, ExecutorConfig};
 use coolair_telemetry::Telemetry;
 use parking_lot::Mutex;
 
-use crate::handlers::{endpoint_class, handle, Reply};
-use crate::http::{parse_request, ParseError, Parsed, Response};
 use crate::jobs::{job_worker, JobQueue, JobTicket};
+use crate::reactor::run_event_loop;
 use crate::state::{AppState, ServeConfig};
+use crate::sys;
 
 /// Request-latency histogram bounds, in seconds.
 pub const LATENCY_BOUNDS_S: [f64; 10] =
     [0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.1, 0.5, 2.0, 10.0];
 
-/// Socket read chunk.
-const READ_CHUNK: usize = 8 * 1024;
-/// File-to-socket chunk for artifact streaming.
-const STREAM_CHUNK: usize = 64 * 1024;
+/// Listen backlog per shard.
+const BACKLOG: i32 = 1024;
 
 /// A bound daemon, ready to [`run`](Server::run).
 #[derive(Debug)]
 pub struct Server {
-    listener: TcpListener,
+    listeners: Vec<TcpListener>,
+    addr: SocketAddr,
     state: Arc<AppState>,
     rx: Mutex<Receiver<JobTicket>>,
 }
 
 impl Server {
-    /// Binds the listener and builds the executor backend (store-backed
-    /// with resume when `cfg.store_dir` is set, in-memory otherwise).
+    /// Binds one `SO_REUSEPORT` listener per event loop and builds the
+    /// executor backend (store-backed with resume when `cfg.store_dir`
+    /// is set, in-memory otherwise).
     ///
     /// # Errors
     ///
@@ -68,19 +68,32 @@ impl Server {
             telemetry: telemetry.clone(),
             ..ExecutorConfig::default()
         })?;
-        let listener = TcpListener::bind(&cfg.addr)?;
+        let requested = cfg
+            .addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::other(format!("unresolvable address {}", cfg.addr)))?;
+        // The first bind resolves port 0; the remaining shards bind the
+        // resolved address so every loop shares one port.
+        let first = sys::listen_reuseport(requested, BACKLOG)?;
+        let addr = first.local_addr()?;
+        let mut listeners = vec![first];
+        for _ in 1..cfg.resolved_event_loops() {
+            listeners.push(sys::listen_reuseport(addr, BACKLOG)?);
+        }
         let (tx, rx) = sync_channel(cfg.queue_depth.max(1));
         let state = Arc::new(AppState::new(cfg, executor, telemetry, JobQueue::new(tx)));
-        Ok(Server { listener, state, rx: Mutex::new(rx) })
+        Ok(Server { listeners, addr, state, rx: Mutex::new(rx) })
     }
 
     /// The bound address (resolves port 0).
     ///
     /// # Errors
     ///
-    /// Propagates `local_addr` failures.
+    /// Never fails today (the address is resolved at bind); kept
+    /// fallible for API stability.
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
-        self.listener.local_addr()
+        Ok(self.addr)
     }
 
     /// A handle onto the shared state (tests and embedders can inspect
@@ -95,192 +108,45 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates accept-loop I/O errors and surfaces worker panics.
+    /// Propagates event-loop setup I/O errors and surfaces loop panics.
     pub fn run(&self) -> io::Result<()> {
         let state = &self.state;
         let rx = &self.rx;
-        let local = self.local_addr()?;
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..state.cfg.job_threads.max(1) {
-                s.spawn(move |_| {
-                    job_worker(rx, &state.executor, &state.tracker, &state.telemetry);
-                });
-            }
-            for stream in self.listener.incoming() {
-                if state.is_shutting_down() {
-                    break;
-                }
-                let stream = match stream {
-                    Ok(stream) => stream,
-                    Err(_) => continue, // transient accept error
-                };
-                let active = state.active_connections.fetch_add(1, Ordering::SeqCst) + 1;
-                state.telemetry.gauge_set("serve.connections", active as f64);
-                if active > state.cfg.max_connections {
-                    reject_overloaded(state, stream);
-                    release_connection(state);
-                    continue;
-                }
-                s.spawn(move |_| {
-                    // A panicking connection must not take the daemon down
-                    // (a scope panic would); it only loses its own socket.
+                s.spawn(move || {
+                    // A panicking worker must not abort the scope join; a
+                    // panic inside a job is already fenced in `jobs.rs`,
+                    // so this guards only worker-loop bugs.
                     let _ = catch_unwind(AssertUnwindSafe(|| {
-                        serve_connection(state, stream, local);
+                        job_worker(rx, &state.executor, &state.tracker, &state.telemetry, &state.bus);
                     }));
-                    release_connection(state);
                 });
             }
-            // Drain: the queue sender is already dropped (begin_shutdown),
-            // so job workers exit once the backlog is empty, and the scope
-            // joins every connection thread on the way out.
+            let loops: Vec<_> = self
+                .listeners
+                .iter()
+                .map(|listener| s.spawn(move || run_event_loop(state, listener)))
+                .collect();
+            let mut result = Ok(());
+            for handle in loops {
+                match handle.join() {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => result = Err(e),
+                    Err(_) => result = Err(io::Error::other("event loop panicked")),
+                }
+            }
+            result
         })
-        .map_err(|_| io::Error::other("server worker panicked"))
     }
-}
-
-fn release_connection(state: &AppState) {
-    let left = state.active_connections.fetch_sub(1, Ordering::SeqCst) - 1;
-    state.telemetry.gauge_set("serve.connections", left as f64);
-}
-
-/// Over the connection bound: a one-line `503` and close, written inline
-/// on the accept thread so overload handling never waits on a worker.
-fn reject_overloaded(state: &AppState, mut stream: TcpStream) {
-    state.telemetry.counter_add("serve.rejected_connections", 1);
-    let _ = stream.set_write_timeout(Some(state.cfg.write_timeout));
-    let resp = Response::text(503, "connection limit reached\n").with_header("retry-after", "1");
-    let _ = stream.write_all(&resp.encode(false));
-}
-
-/// One connection's lifetime: read, parse, dispatch, write, repeat while
-/// keep-alive holds.
-fn serve_connection(state: &AppState, mut stream: TcpStream, local: SocketAddr) {
-    let _ = stream.set_read_timeout(Some(state.cfg.read_timeout));
-    let _ = stream.set_write_timeout(Some(state.cfg.write_timeout));
-    let _ = stream.set_nodelay(true);
-    let mut buf: Vec<u8> = Vec::new();
-    let mut chunk = [0u8; READ_CHUNK];
-    loop {
-        match parse_request(&buf, &state.cfg.limits) {
-            Parsed::Complete(req, consumed) => {
-                buf.drain(..consumed);
-                let keep_alive = req.wants_keep_alive() && !state.is_shutting_down();
-                let ok = respond(state, &mut stream, &req, keep_alive);
-                // `POST /shutdown` flips the flag mid-request; poke the
-                // accept loop so it observes the flag instead of blocking
-                // in `accept` until the next organic connection.
-                if state.is_shutting_down() {
-                    let _ = TcpStream::connect(local);
-                    return;
-                }
-                if !(ok && keep_alive) {
-                    return;
-                }
-            }
-            Parsed::Incomplete => {
-                let n = match stream.read(&mut chunk) {
-                    Ok(0) | Err(_) => return, // peer closed or timed out
-                    Ok(n) => n,
-                };
-                buf.extend_from_slice(&chunk[..n]);
-            }
-            Parsed::Error(e) => {
-                state.telemetry.counter_add("serve.parse_errors", 1);
-                let _ = write_parse_error(&mut stream, &e);
-                return;
-            }
-        }
-    }
-}
-
-/// Dispatches one request and writes the reply; records the per-endpoint
-/// counter and latency histogram either way. Returns `false` when the
-/// connection must close (write failure, or a streamed reply whose length
-/// was unknowable after an I/O error mid-stream).
-fn respond(
-    state: &AppState,
-    stream: &mut TcpStream,
-    req: &crate::http::Request,
-    keep_alive: bool,
-) -> bool {
-    let endpoint = endpoint_class(req.path());
-    let start = Instant::now();
-    let reply = catch_unwind(AssertUnwindSafe(|| handle(state, req)))
-        .unwrap_or_else(|_| Reply::Full(Response::text(500, "internal error\n")));
-    let status = reply.status();
-    let elapsed = start.elapsed().as_secs_f64();
-    state.telemetry.counter_add(
-        &format!("serve.requests{{endpoint=\"{endpoint}\",status=\"{status}\"}}"),
-        1,
-    );
-    state.telemetry.observe(
-        &format!("serve.request_seconds{{endpoint=\"{endpoint}\"}}"),
-        elapsed,
-        &LATENCY_BOUNDS_S,
-    );
-    match reply {
-        Reply::Full(resp) => stream.write_all(&resp.encode(keep_alive)).is_ok(),
-        Reply::Stream { status, content_type, path } => {
-            stream_file(stream, status, content_type, &path, keep_alive)
-        }
-    }
-}
-
-fn write_parse_error(stream: &mut TcpStream, e: &ParseError) -> io::Result<()> {
-    let resp = Response::text(e.status(), format!("bad request: {e}\n"));
-    stream.write_all(&resp.encode(false))
-}
-
-/// Streams a file with chunked transfer encoding. On an open failure the
-/// reply degrades to a plain `500`; after the head is on the wire a read
-/// failure can only truncate the chunk stream (the missing terminator
-/// tells the client the body is incomplete).
-fn stream_file(
-    stream: &mut TcpStream,
-    status: u16,
-    content_type: &str,
-    path: &Path,
-    keep_alive: bool,
-) -> bool {
-    let mut file = match File::open(path) {
-        Ok(f) => f,
-        Err(_) => {
-            let resp = Response::text(500, "artifact unreadable\n");
-            let _ = stream.write_all(&resp.encode(false));
-            return false;
-        }
-    };
-    let head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ntransfer-encoding: chunked\r\nconnection: {}\r\n\r\n",
-        status,
-        crate::http::reason_phrase(status),
-        content_type,
-        if keep_alive { "keep-alive" } else { "close" },
-    );
-    if stream.write_all(head.as_bytes()).is_err() {
-        return false;
-    }
-    let mut chunk = [0u8; STREAM_CHUNK];
-    loop {
-        let n = match file.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => n,
-            Err(_) => return false, // truncated stream; client sees no terminator
-        };
-        if stream.write_all(format!("{n:x}\r\n").as_bytes()).is_err()
-            || stream.write_all(&chunk[..n]).is_err()
-            || stream.write_all(b"\r\n").is_err()
-        {
-            return false;
-        }
-    }
-    stream.write_all(b"0\r\n\r\n").is_ok() && keep_alive
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::http::read_response;
+    use crate::http::{read_response, Response};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
     use std::time::Duration;
 
     fn test_config() -> ServeConfig {
@@ -288,6 +154,7 @@ mod tests {
             addr: "127.0.0.1:0".to_string(),
             read_timeout: Duration::from_millis(500),
             write_timeout: Duration::from_millis(500),
+            event_loops: 2,
             ..ServeConfig::default()
         }
     }
@@ -302,23 +169,22 @@ mod tests {
     fn serves_healthz_and_drains_on_shutdown() {
         let server = Server::bind(test_config(), Telemetry::discard()).expect("bind");
         let addr = server.local_addr().expect("addr");
-        crossbeam::thread::scope(|s| {
-            let handle = s.spawn(|_| server.run());
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| server.run());
             let resp = request(addr, "GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n");
             assert_eq!(resp.status, 200);
             let resp = request(addr, "POST /shutdown HTTP/1.1\r\nhost: t\r\n\r\n");
             assert_eq!(resp.status, 200);
             handle.join().expect("join").expect("clean exit");
-        })
-        .expect("scope");
+        });
     }
 
     #[test]
     fn keep_alive_serves_pipelined_requests_on_one_connection() {
         let server = Server::bind(test_config(), Telemetry::discard()).expect("bind");
         let addr = server.local_addr().expect("addr");
-        crossbeam::thread::scope(|s| {
-            s.spawn(|_| server.run());
+        std::thread::scope(|s| {
+            s.spawn(|| server.run());
             let mut conn = TcpStream::connect(addr).expect("connect");
             // Two requests in one write: the parser must consume exactly
             // one request's bytes per iteration. Both responses may land
@@ -349,22 +215,20 @@ mod tests {
             assert!(String::from_utf8_lossy(&second.body).contains("coolair-serve"));
             let resp = request(addr, "POST /shutdown HTTP/1.1\r\nhost: t\r\n\r\n");
             assert_eq!(resp.status, 200);
-        })
-        .expect("scope");
+        });
     }
 
     #[test]
     fn malformed_request_gets_4xx_and_close() {
         let server = Server::bind(test_config(), Telemetry::discard()).expect("bind");
         let addr = server.local_addr().expect("addr");
-        crossbeam::thread::scope(|s| {
-            s.spawn(|_| server.run());
+        std::thread::scope(|s| {
+            s.spawn(|| server.run());
             let resp = request(addr, "NOT-HTTP garbage\r\n\r\n");
             assert_eq!(resp.status, 400);
             assert_eq!(resp.header("connection"), Some("close"));
             let resp = request(addr, "POST /shutdown HTTP/1.1\r\nhost: t\r\n\r\n");
             assert_eq!(resp.status, 200);
-        })
-        .expect("scope");
+        });
     }
 }

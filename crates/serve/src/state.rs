@@ -10,8 +10,11 @@ use coolair_sim::Episode;
 use coolair_telemetry::Telemetry;
 use parking_lot::Mutex;
 
+use crate::events::EventBus;
 use crate::http::Limits;
 use crate::jobs::{JobQueue, JobTracker};
+use crate::reactor::LocalStats;
+use std::sync::Arc;
 
 /// Daemon configuration. Defaults favour safety: every queue and buffer
 /// is bounded, every socket read and write carries a timeout.
@@ -41,6 +44,10 @@ pub struct ServeConfig {
     /// evicting finished episodes) is `503 Retry-After`, the same shedding
     /// discipline as the job queue.
     pub max_episodes: usize,
+    /// Number of epoll event loops (each with its own `SO_REUSEPORT`
+    /// listener shard). `0` sizes to the machine: `available_parallelism`
+    /// clamped to `[1, 8]`.
+    pub event_loops: usize,
 }
 
 impl Default for ServeConfig {
@@ -55,7 +62,19 @@ impl Default for ServeConfig {
             limits: Limits::default(),
             store_dir: None,
             max_episodes: 64,
+            event_loops: 0,
         }
+    }
+}
+
+impl ServeConfig {
+    /// Resolves [`ServeConfig::event_loops`] to a concrete count.
+    #[must_use]
+    pub fn resolved_event_loops(&self) -> usize {
+        if self.event_loops > 0 {
+            return self.event_loops;
+        }
+        std::thread::available_parallelism().map_or(1, |p| p.get().clamp(1, 8))
     }
 }
 
@@ -82,6 +101,14 @@ pub struct AppState {
     shutdown: AtomicBool,
     /// Live connection count (the accept bound and a gauge).
     pub active_connections: AtomicUsize,
+    /// The job-event bus behind `GET /jobs/{id}/events`.
+    pub bus: EventBus,
+    /// Memoized `/metrics` rendering: `(metrics_version, encoded body)`.
+    /// Valid while the telemetry registry version matches.
+    pub(crate) metrics_memo: Mutex<Option<(u64, Vec<u8>)>>,
+    /// Every event loop's batched serve counters, so `/metrics` can force
+    /// a flush before rendering.
+    pub(crate) loop_stats: Mutex<Vec<Arc<Mutex<LocalStats>>>>,
 }
 
 impl AppState {
@@ -97,6 +124,9 @@ impl AppState {
             episodes: Mutex::new(BTreeMap::new()),
             shutdown: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
+            bus: EventBus::default(),
+            metrics_memo: Mutex::new(None),
+            loop_stats: Mutex::new(Vec::new()),
         }
     }
 
@@ -107,9 +137,28 @@ impl AppState {
     }
 
     /// Requests a graceful drain: stop accepting, let in-flight requests
-    /// finish, let job workers drain the queue. Idempotent.
+    /// finish, let job workers drain the queue. Idempotent. Wakes every
+    /// event loop through the bus so parked connections observe the flag.
     pub fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.queue.close();
+        self.bus.wake_all();
+    }
+
+    /// Registers an event loop's batched-stats handle (see
+    /// [`AppState::flush_serve_stats`]).
+    pub(crate) fn register_loop_stats(&self, stats: Arc<Mutex<LocalStats>>) {
+        self.loop_stats.lock().push(stats);
+    }
+
+    /// Flushes every event loop's batched serve counters into the
+    /// telemetry registry. `/metrics` calls this before rendering so a
+    /// scrape always sees up-to-date counts; loops also flush on a slow
+    /// periodic tick and at exit.
+    pub fn flush_serve_stats(&self) {
+        let handles: Vec<Arc<Mutex<LocalStats>>> = self.loop_stats.lock().clone();
+        for handle in handles {
+            handle.lock().flush(&self.telemetry);
+        }
     }
 }

@@ -1,0 +1,327 @@
+//! Thin Linux syscall layer for the reactor: `epoll`, `eventfd`, and
+//! `SO_REUSEPORT` listener sockets.
+//!
+//! The workspace vendors no `libc` crate, so the handful of calls the
+//! event loop needs beyond what `std::net` exposes are declared here as
+//! raw `extern "C"` bindings against the C library `std` already links —
+//! no new dependency. Coverage is deliberately tiny: everything that
+//! *can* go through `std` (non-blocking accept, vectored socket writes,
+//! `TCP_NODELAY`, address resolution) does; this module only supplies
+//! what `std` cannot express — readiness polling, cross-thread wakeups,
+//! and setting `SO_REUSEPORT` *before* `bind`.
+//!
+//! Linux-only by design: the daemon targets the Linux containers the
+//! repo builds, tests and benches in.
+
+use std::ffi::{c_int, c_void};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+
+/// Readiness: the fd is readable.
+pub const EPOLLIN: u32 = 0x001;
+/// Readiness: the fd is writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// Readiness: the fd is in an error state.
+pub const EPOLLERR: u32 = 0x008;
+/// Readiness: the peer hung up.
+pub const EPOLLHUP: u32 = 0x010;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLL_CLOEXEC: c_int = 0x80000;
+
+const EFD_NONBLOCK: c_int = 0x800;
+const EFD_CLOEXEC: c_int = 0x80000;
+
+const AF_INET: c_int = 2;
+const AF_INET6: c_int = 10;
+const SOCK_STREAM: c_int = 1;
+const SOCK_NONBLOCK: c_int = 0x800;
+const SOCK_CLOEXEC: c_int = 0x80000;
+const SOL_SOCKET: c_int = 1;
+const SO_REUSEADDR: c_int = 2;
+const SO_RCVBUF: c_int = 8;
+const SO_REUSEPORT: c_int = 15;
+
+/// One `epoll_wait` readiness record. Packed on x86_64 (the kernel ABI
+/// packs it there so 32- and 64-bit layouts match); naturally aligned
+/// everywhere else.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EpollEvent {
+    /// Ready-event bitmask (`EPOLLIN` | `EPOLLOUT` | …).
+    pub events: u32,
+    /// The token registered with the fd.
+    pub data: u64,
+}
+
+#[repr(C)]
+struct SockAddrIn {
+    family: u16,
+    port_be: u16,
+    addr_be: u32,
+    zero: [u8; 8],
+}
+
+#[repr(C)]
+struct SockAddrIn6 {
+    family: u16,
+    port_be: u16,
+    flowinfo: u32,
+    addr: [u8; 16],
+    scope_id: u32,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: u32, flags: c_int) -> c_int;
+    fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    fn setsockopt(
+        fd: c_int,
+        level: c_int,
+        name: c_int,
+        value: *const c_void,
+        len: u32,
+    ) -> c_int;
+    fn bind(fd: c_int, addr: *const c_void, len: u32) -> c_int;
+    fn listen(fd: c_int, backlog: c_int) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An epoll instance. Closed on drop.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: OwnedFd,
+}
+
+impl Epoll {
+    /// Creates a close-on-exec epoll instance.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_create1` errno.
+    pub fn new() -> io::Result<Epoll> {
+        let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Epoll { fd: unsafe { OwnedFd::from_raw_fd(fd) } })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events, data: token };
+        cvt(unsafe { epoll_ctl(self.fd.as_raw_fd(), op, fd, &mut ev) }).map(|_| ())
+    }
+
+    /// Registers `fd` for level-triggered readiness with `token`.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_ctl` errno.
+    pub fn add(&self, fd: &impl AsRawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd.as_raw_fd(), events, token)
+    }
+
+    /// Changes the interest set of a registered fd.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_ctl` errno.
+    pub fn modify(&self, fd: &impl AsRawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd.as_raw_fd(), events, token)
+    }
+
+    /// Deregisters a fd (closing a fd also removes it implicitly; this
+    /// exists for fds that outlive their interest, like a draining
+    /// listener).
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_ctl` errno.
+    pub fn delete(&self, fd: &impl AsRawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd.as_raw_fd(), 0, 0)
+    }
+
+    /// Blocks up to `timeout_ms` for readiness; fills `events` and
+    /// returns the ready count. `EINTR` is reported as zero events, not
+    /// an error, so callers keep their loop simple.
+    ///
+    /// # Errors
+    ///
+    /// Non-`EINTR` `epoll_wait` errnos.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        let n = unsafe {
+            epoll_wait(
+                self.fd.as_raw_fd(),
+                events.as_mut_ptr(),
+                events.len().min(i32::MAX as usize) as c_int,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        Ok(n as usize)
+    }
+}
+
+/// Creates a non-blocking, close-on-exec `eventfd` — the cross-thread
+/// wakeup primitive (job workers and `begin_shutdown` write it; the
+/// owning loop has it in its epoll set and drains it on readiness).
+///
+/// # Errors
+///
+/// The `eventfd` errno.
+pub fn new_eventfd() -> io::Result<OwnedFd> {
+    let fd = cvt(unsafe { eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC) })?;
+    Ok(unsafe { OwnedFd::from_raw_fd(fd) })
+}
+
+fn set_opt_i32(fd: c_int, level: c_int, name: c_int, value: i32) -> io::Result<()> {
+    cvt(unsafe {
+        setsockopt(
+            fd,
+            level,
+            name,
+            std::ptr::addr_of!(value).cast::<c_void>(),
+            std::mem::size_of::<i32>() as u32,
+        )
+    })
+    .map(|_| ())
+}
+
+/// Shrinks a socket's kernel receive buffer (`SO_RCVBUF`). Test-only in
+/// spirit: the partial-write-stall integration test uses it to make a
+/// client that genuinely stops draining the server's writes without
+/// needing a multi-hundred-megabyte artifact.
+///
+/// # Errors
+///
+/// The `setsockopt` errno.
+pub fn set_recv_buffer(fd: &impl AsRawFd, bytes: i32) -> io::Result<()> {
+    set_opt_i32(fd.as_raw_fd(), SOL_SOCKET, SO_RCVBUF, bytes)
+}
+
+/// Binds a non-blocking listener with `SO_REUSEPORT` set *before* `bind`
+/// — the one thing `std::net::TcpListener` cannot do, and the mechanism
+/// that lets every event loop own its own accept queue on the same
+/// address (the kernel shards incoming connections across them by flow
+/// hash).
+///
+/// # Errors
+///
+/// `socket`/`setsockopt`/`bind`/`listen` errnos.
+pub fn listen_reuseport(addr: SocketAddr, backlog: i32) -> io::Result<TcpListener> {
+    let family = match addr {
+        SocketAddr::V4(_) => AF_INET,
+        SocketAddr::V6(_) => AF_INET6,
+    };
+    let fd = cvt(unsafe { socket(family, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) })?;
+    // From here on the fd must not leak on error paths.
+    let owned = unsafe { OwnedFd::from_raw_fd(fd) };
+    set_opt_i32(fd, SOL_SOCKET, SO_REUSEADDR, 1)?;
+    set_opt_i32(fd, SOL_SOCKET, SO_REUSEPORT, 1)?;
+    match addr {
+        SocketAddr::V4(v4) => {
+            let raw = SockAddrIn {
+                family: AF_INET as u16,
+                port_be: v4.port().to_be(),
+                addr_be: u32::from(*v4.ip()).to_be(),
+                zero: [0; 8],
+            };
+            cvt(unsafe {
+                bind(
+                    fd,
+                    std::ptr::addr_of!(raw).cast::<c_void>(),
+                    std::mem::size_of::<SockAddrIn>() as u32,
+                )
+            })?;
+        }
+        SocketAddr::V6(v6) => {
+            let raw = SockAddrIn6 {
+                family: AF_INET6 as u16,
+                port_be: v6.port().to_be(),
+                flowinfo: v6.flowinfo(),
+                addr: v6.ip().octets(),
+                scope_id: v6.scope_id(),
+            };
+            cvt(unsafe {
+                bind(
+                    fd,
+                    std::ptr::addr_of!(raw).cast::<c_void>(),
+                    std::mem::size_of::<SockAddrIn6>() as u32,
+                )
+            })?;
+        }
+    }
+    cvt(unsafe { listen(fd, backlog) })?;
+    Ok(TcpListener::from(owned))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+
+    #[test]
+    fn reuseport_listeners_share_an_address() {
+        let first = listen_reuseport("127.0.0.1:0".parse().unwrap(), 16).expect("first bind");
+        let addr = first.local_addr().expect("addr");
+        // A second listener on the *same* resolved port must succeed —
+        // that is the whole point of SO_REUSEPORT.
+        let second = listen_reuseport(addr, 16).expect("second bind");
+        assert_eq!(second.local_addr().expect("addr").port(), addr.port());
+    }
+
+    #[test]
+    fn epoll_sees_accept_readiness_and_eventfd_wakeups() {
+        let listener = listen_reuseport("127.0.0.1:0".parse().unwrap(), 16).expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let ep = Epoll::new().expect("epoll");
+        ep.add(&listener, EPOLLIN, 7).expect("add listener");
+        let efd = new_eventfd().expect("eventfd");
+        ep.add(&efd, EPOLLIN, 9).expect("add eventfd");
+
+        let mut events = [EpollEvent::default(); 8];
+        // Nothing pending: a short wait returns empty.
+        assert_eq!(ep.wait(&mut events, 0).expect("wait"), 0);
+
+        // A connection makes the listener readable.
+        let client = std::net::TcpStream::connect(addr).expect("connect");
+        let n = ep.wait(&mut events, 2000).expect("wait");
+        let tokens: Vec<u64> = events[..n].iter().map(|e| e.data).collect();
+        assert!(tokens.contains(&7), "listener not ready: {tokens:?}");
+
+        // Accept it (non-blocking listener: readiness guaranteed above).
+        let (mut served, _) = listener.accept().expect("accept");
+        drop(client);
+
+        // An eventfd write from "another thread" wakes the poller.
+        let mut wake = std::fs::File::from(efd.try_clone().expect("dup"));
+        wake.write_all(&1u64.to_ne_bytes()).expect("wake");
+        let n = ep.wait(&mut events, 2000).expect("wait");
+        let tokens: Vec<u64> = events[..n].iter().map(|e| e.data).collect();
+        assert!(tokens.contains(&9), "eventfd not ready: {tokens:?}");
+        // Drain it; a non-blocking re-read reports WouldBlock.
+        let mut drain = std::fs::File::from(efd);
+        let mut count = [0u8; 8];
+        drain.read_exact(&mut count).expect("drain");
+        assert_eq!(u64::from_ne_bytes(count), 1);
+        let err = drain.read(&mut count).expect_err("empty eventfd");
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        let _ = served.write(b"x");
+    }
+}

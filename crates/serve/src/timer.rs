@@ -1,0 +1,165 @@
+//! A hashed timer wheel for per-connection deadlines.
+//!
+//! The reactor needs thousands of cheap, coarse timeouts (read deadlines,
+//! write-stall deadlines, event-stream heartbeats) and cancels or re-arms
+//! almost all of them before they fire — a keep-alive connection re-arms
+//! its read deadline on every served request. A binary heap would pay
+//! `O(log n)` per re-arm and grow stale entries without bound, so the
+//! wheel uses the classic lazy scheme instead:
+//!
+//! * the wheel holds `slots` buckets, each covering one `tick` of time;
+//!   scheduling hashes a deadline into `(cursor + ticks_ahead) % slots`;
+//! * entries are never removed on cancel. The owner keeps the *actual*
+//!   deadline next to the connection; when an entry fires the reactor
+//!   compares against that truth and either acts, re-schedules (deadline
+//!   moved later), or drops it (connection gone — generation-tagged
+//!   tokens make stale entries self-evident);
+//! * the reactor promises at most one in-flight entry per (connection,
+//!   kind), so the wheel's population is bounded by live connections, not
+//!   by request rate.
+//!
+//! Deadlines beyond the horizon (`slots × tick`) park in the furthest
+//! slot and re-schedule when it comes around — correctness never depends
+//! on the horizon, only efficiency does.
+
+use std::time::{Duration, Instant};
+
+/// Which per-connection deadline a wheel entry tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerKind {
+    /// The peer must complete a request head+body by the deadline
+    /// (armed at accept and re-armed only on *complete* requests — a
+    /// slow-loris dribbling header bytes never pushes it back).
+    Read,
+    /// Queued output must make progress by the deadline (re-armed on
+    /// every successful write; a stalled peer that stops draining its
+    /// receive window trips it).
+    Write,
+    /// An idle event stream owes the peer a keep-alive chunk.
+    Heartbeat,
+}
+
+/// One scheduled deadline.
+#[derive(Debug, Clone, Copy)]
+pub struct TimerEntry {
+    /// The epoll token of the owning connection (generation-tagged, so
+    /// entries for recycled slots identify themselves as stale).
+    pub token: u64,
+    /// Which deadline this entry tracks.
+    pub kind: TimerKind,
+    /// When it is due.
+    pub deadline: Instant,
+}
+
+/// The wheel. One per event loop; single-threaded by construction.
+#[derive(Debug)]
+pub struct TimerWheel {
+    slots: Vec<Vec<TimerEntry>>,
+    tick: Duration,
+    cursor: usize,
+    /// The wall-clock time the cursor's slot ends (entries there are due
+    /// once `now` passes it).
+    next_tick_at: Instant,
+}
+
+impl TimerWheel {
+    /// A wheel of `slots` buckets, each `tick` wide, starting at `now`.
+    #[must_use]
+    pub fn new(tick: Duration, slots: usize, now: Instant) -> TimerWheel {
+        TimerWheel {
+            slots: (0..slots.max(2)).map(|_| Vec::new()).collect(),
+            tick,
+            cursor: 0,
+            next_tick_at: now + tick,
+        }
+    }
+
+    /// The slot horizon — deadlines further out than this re-schedule
+    /// when their parking slot comes around.
+    #[must_use]
+    pub fn horizon(&self) -> Duration {
+        self.tick * (self.slots.len() as u32 - 1)
+    }
+
+    /// Schedules a deadline. Entries always land at least one tick out so
+    /// they cannot fire in the slot currently being processed.
+    pub fn schedule(&mut self, token: u64, kind: TimerKind, deadline: Instant, now: Instant) {
+        let ahead = deadline.saturating_duration_since(now);
+        let ticks = (ahead.as_nanos() / self.tick.as_nanos().max(1)) as usize + 1;
+        let ticks = ticks.min(self.slots.len() - 1);
+        let slot = (self.cursor + ticks) % self.slots.len();
+        self.slots[slot].push(TimerEntry { token, kind, deadline });
+    }
+
+    /// How long `epoll_wait` may sleep before the next slot is due.
+    #[must_use]
+    pub fn next_timeout(&self, now: Instant) -> Duration {
+        self.next_tick_at.saturating_duration_since(now)
+    }
+
+    /// Advances the cursor over every elapsed tick, appending due entries
+    /// to `fired` and re-parking entries whose true deadline lies beyond
+    /// the slot they hashed into.
+    pub fn advance(&mut self, now: Instant, fired: &mut Vec<TimerEntry>) {
+        while self.next_tick_at <= now {
+            self.cursor = (self.cursor + 1) % self.slots.len();
+            let entries = std::mem::take(&mut self.slots[self.cursor]);
+            for entry in entries {
+                if entry.deadline <= now {
+                    fired.push(entry);
+                } else {
+                    self.schedule(entry.token, entry.kind, entry.deadline, now);
+                }
+            }
+            self.next_tick_at += self.tick;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TICK: Duration = Duration::from_millis(10);
+
+    fn drain(wheel: &mut TimerWheel, now: Instant) -> Vec<(u64, TimerKind)> {
+        let mut fired = Vec::new();
+        wheel.advance(now, &mut fired);
+        fired.iter().map(|e| (e.token, e.kind)).collect()
+    }
+
+    #[test]
+    fn fires_in_deadline_order_across_ticks() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(TICK, 8, t0);
+        wheel.schedule(1, TimerKind::Read, t0 + TICK * 2, t0);
+        wheel.schedule(2, TimerKind::Write, t0 + TICK * 5, t0);
+        assert!(drain(&mut wheel, t0 + TICK).is_empty());
+        assert_eq!(drain(&mut wheel, t0 + TICK * 4), vec![(1, TimerKind::Read)]);
+        assert_eq!(drain(&mut wheel, t0 + TICK * 7), vec![(2, TimerKind::Write)]);
+    }
+
+    #[test]
+    fn deadlines_beyond_the_horizon_repark_until_due() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(TICK, 4, t0);
+        let far = t0 + TICK * 20; // 5× the 4-slot horizon
+        wheel.schedule(9, TimerKind::Heartbeat, far, t0);
+        // Sweep right up to (but not past) the deadline: never fires early.
+        for step in 1..20 {
+            assert!(
+                drain(&mut wheel, t0 + TICK * step).is_empty(),
+                "fired early at tick {step}"
+            );
+        }
+        assert_eq!(drain(&mut wheel, t0 + TICK * 22), vec![(9, TimerKind::Heartbeat)]);
+    }
+
+    #[test]
+    fn next_timeout_tracks_the_tick_boundary() {
+        let t0 = Instant::now();
+        let wheel = TimerWheel::new(TICK, 8, t0);
+        assert!(wheel.next_timeout(t0) <= TICK);
+        assert_eq!(wheel.next_timeout(t0 + TICK * 3), Duration::ZERO);
+    }
+}

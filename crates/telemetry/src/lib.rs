@@ -61,9 +61,19 @@ enum Sink {
 struct TelemetryInner {
     sink: Mutex<Sink>,
     metrics: Mutex<MetricsRegistry>,
+    metrics_version: std::sync::atomic::AtomicU64,
     profiler: Mutex<Profiler>,
     recorder: Mutex<FlightRecorder>,
     dump: Mutex<Option<FlightDump>>,
+}
+
+impl TelemetryInner {
+    /// Bumps the registry version; called by every registry mutation so
+    /// renderers (the serve daemon's memoized `/metrics` encoding) can
+    /// cheaply detect staleness.
+    fn bump_metrics_version(&self) {
+        self.metrics_version.fetch_add(1, std::sync::atomic::Ordering::Release);
+    }
 }
 
 /// Cheap, cloneable, thread-safe handle to the telemetry bus.
@@ -112,6 +122,7 @@ impl Telemetry {
             inner: Some(Arc::new(TelemetryInner {
                 sink: Mutex::new(sink),
                 metrics: Mutex::new(MetricsRegistry::default()),
+                metrics_version: std::sync::atomic::AtomicU64::new(0),
                 profiler: Mutex::new(Profiler::default()),
                 recorder: Mutex::new(FlightRecorder::default()),
                 dump: Mutex::new(None),
@@ -133,6 +144,7 @@ impl Telemetry {
     pub fn emit(&self, event: Event) {
         let Some(inner) = &self.inner else { return };
         inner.metrics.lock().counter_add(event.kind_name(), 1);
+        inner.bump_metrics_version();
         {
             let mut rec = inner.recorder.lock();
             rec.push(event.clone());
@@ -162,6 +174,7 @@ impl Telemetry {
     pub fn counter_add(&self, name: &str, n: u64) {
         if let Some(inner) = &self.inner {
             inner.metrics.lock().counter_add(name, n);
+            inner.bump_metrics_version();
         }
     }
 
@@ -169,6 +182,35 @@ impl Telemetry {
     pub fn gauge_set(&self, name: &str, value: f64) {
         if let Some(inner) = &self.inner {
             inner.metrics.lock().gauge_set(name, value);
+            inner.bump_metrics_version();
+        }
+    }
+
+    /// Merges a locally accumulated histogram into the named registry
+    /// histogram in one lock acquisition (bucket-wise add; both sides
+    /// must share bounds). The batching primitive behind the serve
+    /// daemon's per-event-loop latency stats: loops observe into a plain
+    /// local [`Histogram`] at request rate and merge here at flush rate.
+    pub fn merge_histogram(&self, name: &str, local: &Histogram) {
+        if local.count == 0 {
+            return;
+        }
+        if let Some(inner) = &self.inner {
+            inner.metrics.lock().merge_histogram(name, local);
+            inner.bump_metrics_version();
+        }
+    }
+
+    /// The registry's mutation counter: bumped by every counter, gauge,
+    /// histogram or event write. Two equal readings with no writes in
+    /// between guarantee [`Telemetry::metrics`] would return identical
+    /// registries, so renderers can memoize their encoding against this.
+    /// Always 0 on a disabled handle.
+    #[must_use]
+    pub fn metrics_version(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.metrics_version.load(std::sync::atomic::Ordering::Acquire),
+            None => 0,
         }
     }
 
@@ -177,6 +219,7 @@ impl Telemetry {
     pub fn observe(&self, name: &str, value: f64, bounds: &[f64]) {
         if let Some(inner) = &self.inner {
             inner.metrics.lock().observe(name, value, bounds);
+            inner.bump_metrics_version();
         }
     }
 

@@ -59,6 +59,29 @@ impl Histogram {
         self.max = Some(self.max.map_or(value, |m| m.max(value)));
     }
 
+    /// Bucket-wise merge of `other` into `self`. Returns `false` (and
+    /// leaves `self` untouched) when the bucket bounds differ — merging
+    /// is only defined between histograms built over the same bounds.
+    pub fn merge(&mut self, other: &Histogram) -> bool {
+        if self.bounds != other.bounds || self.counts.len() != other.counts.len() {
+            return false;
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        true
+    }
+
     /// Mean of the observations (0 when empty).
     #[must_use]
     pub fn mean(&self) -> f64 {
@@ -122,6 +145,30 @@ impl MetricsRegistry {
             .entry(name.to_string())
             .or_insert_with(|| Histogram::new(bounds))
             .observe(value);
+    }
+
+    /// Merges a pre-accumulated histogram into the named one, creating
+    /// it (as a copy of `local`) on first use. Mismatched bounds fall
+    /// back to per-value approximation via [`Histogram::observe`] of the
+    /// bucket bounds, so no observation is silently dropped.
+    pub fn merge_histogram(&mut self, name: &str, local: &Histogram) {
+        match self.histograms.entry(name.to_string()) {
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                slot.insert(local.clone());
+            }
+            std::collections::btree_map::Entry::Occupied(mut slot) => {
+                let h = slot.get_mut();
+                if !h.merge(local) {
+                    for (i, &n) in local.counts.iter().enumerate() {
+                        let representative =
+                            local.bounds.get(i).copied().or(local.max).unwrap_or(0.0);
+                        for _ in 0..n {
+                            h.observe(representative);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// A counter's current value (0 when absent).
@@ -258,6 +305,30 @@ mod tests {
             MetricValue::Histogram(h) => assert_eq!(h.count, 1),
             other => panic!("expected histogram, got {other:?}"),
         };
+    }
+
+    #[test]
+    fn merge_accumulates_and_guards_bounds() {
+        let mut a = Histogram::new(&[1.0, 2.0]);
+        a.observe(0.5);
+        a.observe(3.0);
+        let mut b = Histogram::new(&[1.0, 2.0]);
+        b.observe(1.5);
+        assert!(a.merge(&b));
+        assert_eq!(a.counts, vec![1, 1, 1]);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.min, Some(0.5));
+        assert_eq!(a.max, Some(3.0));
+        let other_bounds = Histogram::new(&[9.0]);
+        assert!(!a.merge(&other_bounds), "mismatched bounds must refuse");
+        assert_eq!(a.count, 3, "refused merge leaves target untouched");
+
+        let mut r = MetricsRegistry::default();
+        r.merge_histogram("lat", &a);
+        r.merge_histogram("lat", &b);
+        let h = r.histogram("lat").expect("created on first merge");
+        assert_eq!(h.count, 4);
+        assert_eq!(h.counts, vec![1, 2, 1]);
     }
 
     #[test]

@@ -18,10 +18,18 @@ use coolair_suite::workload::TraceKind;
 use serde_json::JsonValue as Value;
 
 fn test_config() -> ServeConfig {
+    // CI runs this whole suite twice: COOLAIR_SERVE_LOOPS=1 (single
+    // event loop, every connection multiplexed on one epoll instance)
+    // and =4 (cross-shard accept distribution). 0 means auto-size.
+    let event_loops = std::env::var("COOLAIR_SERVE_LOOPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
     ServeConfig {
         addr: "127.0.0.1:0".to_string(),
         read_timeout: Duration::from_secs(2),
         write_timeout: Duration::from_secs(2),
+        event_loops,
         ..ServeConfig::default()
     }
 }
@@ -203,6 +211,194 @@ fn served_job_results_are_bit_identical_to_offline_runs() {
         let record = body_json(&resp.body);
         assert_eq!(record.get("id"), Some(&Value::Str(expected_id.clone())));
 
+        shutdown(addr);
+    });
+}
+
+/// A slow-loris client dribbling header bytes one at a time must be cut
+/// by the read deadline: partial reads never re-arm it, so the
+/// connection dies ~`read_timeout` after accept no matter how steadily
+/// bytes trickle in — and the daemon stays healthy afterwards.
+#[test]
+fn a_slow_loris_header_dribble_is_cut_by_the_read_deadline() {
+    use std::io::{Read as _, Write as _};
+    let cfg = ServeConfig { read_timeout: Duration::from_millis(500), ..test_config() };
+    let server = Server::bind(cfg, Telemetry::discard()).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    std::thread::scope(|s| {
+        s.spawn(|| server.run());
+        let mut raw = TcpStream::connect(addr).expect("connect");
+        // The read timeout doubles as the dribble pacing: one byte per
+        // ~50ms, far slower than a real client, never a complete head.
+        raw.set_read_timeout(Some(Duration::from_millis(50))).expect("timeout");
+        raw.write_all(b"GET /healthz HTTP/1.1\r\nx-dribble: ").expect("start request");
+        let started = Instant::now();
+        let mut cut = false;
+        while started.elapsed() < Duration::from_secs(10) {
+            let _ = raw.write_all(b"a");
+            let mut buf = [0u8; 64];
+            match raw.read(&mut buf) {
+                Ok(0) => {
+                    cut = true;
+                    break;
+                }
+                Ok(_) => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) => {}
+                Err(_) => {
+                    // A reset counts too: the server closed on us.
+                    cut = true;
+                    break;
+                }
+            }
+        }
+        assert!(cut, "slow-loris connection was never cut");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "read deadline took {:?} to fire",
+            started.elapsed()
+        );
+        let mut client = HttpClient::connect(addr).expect("connect after loris");
+        assert_eq!(client.get("/healthz").expect("healthz").status, 200);
+        shutdown(addr);
+    });
+}
+
+/// A client that requests a large artifact and then stops reading must
+/// be cut by the write-stall deadline once the kernel buffers fill and
+/// the reactor's writes stop making progress — freeing the slot instead
+/// of pinning it until the client deigns to read.
+#[test]
+fn a_stalled_reader_mid_artifact_trips_the_write_deadline() {
+    use std::io::{Read as _, Write as _};
+    const ARTIFACT_BYTES: u64 = 16 << 20;
+    let dir = std::env::temp_dir()
+        .join("coolair_serve_stall")
+        .join(std::process::id().to_string());
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = ServeConfig {
+        write_timeout: Duration::from_millis(500),
+        store_dir: Some(dir.clone()),
+        ..test_config()
+    };
+    let server = Server::bind(cfg, Telemetry::discard()).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    // Plant an artifact big enough that loopback socket buffers cannot
+    // swallow it whole: the stream has to stall while the body is still
+    // mostly unsent, which is exactly what the deadline guards.
+    let digest: coolair_suite::runner::Digest = "00112233aabbccdd".parse().expect("digest");
+    let path =
+        server.state().executor.store().expect("store").path_for("annual-summary", digest);
+    std::fs::create_dir_all(path.parent().expect("kind dir")).expect("mkdir");
+    std::fs::write(&path, vec![b'x'; ARTIFACT_BYTES as usize]).expect("write artifact");
+
+    std::thread::scope(|s| {
+        s.spawn(|| server.run());
+        let mut raw = TcpStream::connect(addr).expect("connect");
+        raw.set_read_timeout(Some(Duration::from_secs(1))).expect("timeout");
+        // Shrink our receive window so the server's writes jam quickly
+        // and deterministically.
+        coolair_suite::serve::sys::set_recv_buffer(&raw, 16 * 1024).expect("rcvbuf");
+        raw.write_all(
+            format!("GET /artifacts/annual-summary/{digest} HTTP/1.1\r\nhost: t\r\n\r\n")
+                .as_bytes(),
+        )
+        .expect("request");
+        // Confirm the stream started, then stall without reading.
+        let mut first = [0u8; 4096];
+        let n = raw.read(&mut first).expect("first bytes");
+        assert!(first[..n].starts_with(b"HTTP/1.1 200"), "stream did not start with 200");
+        std::thread::sleep(Duration::from_millis(1500)); // 3x the write deadline
+        // Drain whatever the kernel buffered; the server must have closed
+        // mid-body rather than waiting out the stall.
+        let mut total = n as u64;
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut buf = vec![0u8; 64 * 1024];
+        loop {
+            assert!(Instant::now() < deadline, "stalled connection was never closed");
+            match raw.read(&mut buf) {
+                Ok(0) => break,
+                Ok(m) => total += m as u64,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) => {}
+                Err(_) => break,
+            }
+        }
+        assert!(
+            total < ARTIFACT_BYTES,
+            "the whole {ARTIFACT_BYTES}-byte artifact arrived ({total} bytes read) — \
+             the write never stalled server-side"
+        );
+        // The slot freed: a fresh client is served immediately.
+        let mut client = HttpClient::connect(addr).expect("connect after stall");
+        assert_eq!(client.get("/healthz").expect("healthz").status, 200);
+        shutdown(addr);
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `GET /jobs/{id}/events` replays the job's lifecycle as NDJSON chunks
+/// and closes after the terminal record — whose bytes must match a plain
+/// `GET /jobs/{id}` poll exactly.
+#[test]
+fn job_event_stream_replays_the_lifecycle_and_ends_on_the_final_record() {
+    use std::io::Write as _;
+    let server = Server::bind(test_config(), Telemetry::discard()).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    std::thread::scope(|s| {
+        s.spawn(|| server.run());
+        let job = quick_job();
+        let mut client = HttpClient::connect(addr).expect("connect");
+        let resp = client.post_json("/jobs", &job).expect("submit");
+        assert_eq!(resp.status, 202, "{}", String::from_utf8_lossy(&resp.body));
+        let Some(Value::Str(id)) = body_json(&resp.body).get("id").cloned() else {
+            panic!("accepted reply has no id")
+        };
+
+        // A raw socket for the stream: the response ends (and the server
+        // closes) only once the job reaches a terminal state, so one
+        // blocking read_response sees the whole lifecycle.
+        let mut raw = TcpStream::connect(addr).expect("connect stream");
+        raw.set_read_timeout(Some(Duration::from_secs(120))).expect("timeout");
+        raw.write_all(format!("GET /jobs/{id}/events HTTP/1.1\r\nhost: t\r\n\r\n").as_bytes())
+            .expect("stream request");
+        let stream =
+            coolair_suite::serve::http::read_response(&mut raw).expect("stream response");
+        assert_eq!(stream.status, 200);
+        assert_eq!(stream.header("content-type"), Some("application/x-ndjson"));
+        assert_eq!(stream.header("transfer-encoding"), Some("chunked"));
+        let text = String::from_utf8(stream.body).expect("ndjson is UTF-8");
+        // Blank lines are keep-alive heartbeats; every other line is one
+        // state-transition event for this job.
+        let lines: Vec<&str> = text.lines().filter(|l| !l.is_empty()).collect();
+        assert!(!lines.is_empty(), "stream carried no events");
+        for line in &lines {
+            let event: Value = serde_json::from_str(line).expect("event is JSON");
+            assert_eq!(event.get("id"), Some(&Value::Str(id.clone())));
+        }
+        let last = *lines.last().expect("at least one event");
+        let final_event: Value = serde_json::from_str(last).expect("final event is JSON");
+        assert_eq!(
+            final_event.get("state"),
+            Some(&Value::Str("done".into())),
+            "stream ended on a non-terminal state: {final_event:?}"
+        );
+
+        // Byte-identity with the poll endpoint: same record, same
+        // serialization path, so the bytes must agree exactly.
+        let poll = client.get(&format!("/jobs/{id}")).expect("poll");
+        assert_eq!(poll.status, 200);
+        assert_eq!(
+            last.as_bytes(),
+            &poll.body[..],
+            "final stream event diverged from GET /jobs/{id}"
+        );
         shutdown(addr);
     });
 }
